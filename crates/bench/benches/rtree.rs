@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the R-tree backing Sya's spatial joins and
+//! spatial-factor generation (paper Section IV-B optimization 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sya_geom::{Point, RTree, Rect};
+
+fn scatter(n: usize) -> Vec<(Rect, usize)> {
+    (0..n)
+        .map(|i| {
+            let x = ((i * 7919 + 13) % 10000) as f64 / 10.0;
+            let y = ((i * 104729 + 7) % 10000) as f64 / 10.0;
+            (Rect::from_point(Point::new(x, y)), i)
+        })
+        .collect()
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree");
+    for n in [1_000usize, 10_000] {
+        let items = scatter(n);
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &items, |b, items| {
+            b.iter(|| RTree::bulk_load(black_box(items.clone())))
+        });
+        let tree = RTree::bulk_load(items.clone());
+        group.bench_with_input(BenchmarkId::new("within_distance", n), &tree, |b, tree| {
+            b.iter(|| {
+                black_box(tree.within_distance(&Point::new(500.0, 500.0), 50.0))
+            })
+        });
+        // Baseline the index is supposed to beat.
+        group.bench_with_input(BenchmarkId::new("brute_force_scan", n), &items, |b, items| {
+            b.iter(|| {
+                let c = Point::new(500.0, 500.0);
+                black_box(
+                    items
+                        .iter()
+                        .filter(|(r, _)| r.distance_to_point(&c) <= 50.0)
+                        .count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree);
+criterion_main!(benches);

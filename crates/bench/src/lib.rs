@@ -1,0 +1,153 @@
+//! # sya-bench — experiment harness and benchmarks
+//!
+//! Shared plumbing for the `experiments` binary (one subcommand per table
+//! / figure of the paper's Section VI) and the Criterion micro-benches.
+
+use std::collections::HashSet;
+use sya_core::{KnowledgeBase, SyaConfig, SyaSession};
+use sya_data::{supported_ids, Dataset, QualityEval};
+use sya_store::Value;
+
+/// Builds a knowledge base from a dataset under a configuration,
+/// calibrating the spatial weighting to the dataset's scale.
+pub fn build_kb(dataset: &Dataset, config: SyaConfig) -> KnowledgeBase {
+    let config = calibrate(dataset, config);
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .expect("program compiles");
+    let mut db = dataset.db.clone();
+    let evidence = dataset.evidence.clone();
+    session
+        .construct(&mut db, &move |_, vals| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        })
+        .expect("construction succeeds")
+}
+
+/// Applies the per-dataset bandwidth/radius calibration (unless the
+/// caller already fixed them).
+pub fn calibrate(dataset: &Dataset, mut config: SyaConfig) -> SyaConfig {
+    if config.ground.weighting_bandwidth.is_none() {
+        let bw = match dataset.name.as_str() {
+            "GWDB" => sya_data::gwdb::GWDB_BANDWIDTH,
+            "NYCCAS" => sya_data::nyccas::NYCCAS_BANDWIDTH,
+            "EbolaKB" => sya_data::ebola::EBOLA_BANDWIDTH_MILES,
+            _ => return config,
+        };
+        config.ground.weighting_bandwidth = Some(bw);
+    }
+    if config.ground.spatial_radius.is_none() {
+        let r = match dataset.name.as_str() {
+            "GWDB" => sya_data::gwdb::GWDB_RADIUS,
+            "NYCCAS" => sya_data::nyccas::NYCCAS_RADIUS,
+            "EbolaKB" => sya_data::ebola::EBOLA_RADIUS_MILES,
+            _ => return config,
+        };
+        config.ground.spatial_radius = Some(r);
+    }
+    config
+}
+
+/// The variable relation each generated dataset infers.
+pub fn target_relation(dataset: &Dataset) -> &'static str {
+    match dataset.name.as_str() {
+        "GWDB" => "IsSafe",
+        "NYCCAS" => "IsPolluted",
+        "EbolaKB" => "HasEbola",
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// Evaluates a knowledge base with the paper's quality metrics.
+pub fn evaluate(dataset: &Dataset, kb: &KnowledgeBase) -> QualityEval {
+    let relation = target_relation(dataset);
+    let scores = kb.query_scores_by_id(relation);
+    let query = dataset.query_ids();
+    let supported: HashSet<i64> = supported_ids(
+        &dataset.locations,
+        dataset.evidence.keys().copied(),
+        &query,
+        dataset.support_radius,
+        dataset.metric,
+    );
+    QualityEval::evaluate(&scores, &dataset.truth, &supported)
+}
+
+/// Average KL divergence between the generator's smooth probability
+/// field and the knowledge base's factual scores over query atoms — the
+/// calibration-sensitive quality view (used by Fig. 10 and Fig. 14).
+pub fn kl_vs_truth(dataset: &Dataset, kb: &KnowledgeBase) -> f64 {
+    let relation = target_relation(dataset);
+    let graph = &kb.grounding.graph;
+    let (truth, est): (Vec<f64>, Vec<f64>) = kb
+        .grounding
+        .atoms_of(relation)
+        .iter()
+        .copied()
+        .filter(|&v| !graph.variable(v).is_evidence())
+        .filter_map(|v| {
+            let (_, values) = &kb.grounding.atom_meta[v as usize];
+            let id = values.first().and_then(Value::as_int)?;
+            Some((dataset.truth_prob.get(&id).copied()?, kb.score_of(v)))
+        })
+        .unzip();
+    sya_infer::average_kl_divergence(&truth, &est)
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Runs `runs` seeded repetitions (the paper averages over 5 runs) and
+/// returns per-run `(quality, kb)` pairs.
+pub fn repeat_runs(
+    dataset: &Dataset,
+    config: &SyaConfig,
+    runs: usize,
+) -> Vec<(QualityEval, KnowledgeBase)> {
+    (0..runs)
+        .map(|r| {
+            let cfg = config.clone().with_seed(1000 + r as u64);
+            let kb = build_kb(dataset, cfg);
+            (evaluate(dataset, &kb), kb)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_data::{gwdb_dataset, GwdbConfig};
+
+    #[test]
+    fn calibration_fills_bandwidth_and_radius() {
+        let d = gwdb_dataset(&GwdbConfig { n_wells: 20, ..Default::default() });
+        let c = calibrate(&d, SyaConfig::sya());
+        assert_eq!(c.ground.weighting_bandwidth, Some(sya_data::gwdb::GWDB_BANDWIDTH));
+        assert_eq!(c.ground.spatial_radius, Some(sya_data::gwdb::GWDB_RADIUS));
+        // Caller-fixed values are preserved.
+        let fixed = calibrate(&d, SyaConfig::sya().with_bandwidth(3.0));
+        assert_eq!(fixed.ground.weighting_bandwidth, Some(3.0));
+    }
+
+    #[test]
+    fn build_and_evaluate_smoke() {
+        let d = gwdb_dataset(&GwdbConfig { n_wells: 120, ..Default::default() });
+        let kb = build_kb(&d, SyaConfig::sya().with_epochs(100));
+        let eval = evaluate(&d, &kb);
+        assert!(eval.predicted > 0);
+        assert!(eval.f1() > 0.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Pipeline configuration: engine modes, sampler choice, and the knobs
+//! the paper's experiments vary.
+
+use std::collections::HashMap;
+use sya_ground::{GroundConfig, StepFunctionSpec};
+use sya_infer::InferConfig;
+
+/// Which system is being run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineMode {
+    /// Sya: automatic spatial factors + Spatial Gibbs Sampling.
+    Sya,
+    /// DeepDive comparator: spatial predicates evaluated as booleans, no
+    /// spatial factors, standard sampling.
+    DeepDive,
+    /// DeepDive with step-function rule expansion (Section VI-B2): the
+    /// distance-cutoff rules are replaced by `bands` fixed-weight
+    /// distance-band rules.
+    DeepDiveStepFn(StepFunctionSpec),
+}
+
+/// Which sampler estimates the marginals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Spatial Gibbs Sampling (Algorithm 1) over the pyramid index.
+    Spatial,
+    /// DeepDive's sequential single-site Gibbs.
+    Sequential,
+    /// Random-partition parallel Gibbs with `k` buckets (the
+    /// state-of-the-art baseline of Section V).
+    ParallelRandom(usize),
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct SyaConfig {
+    pub mode: EngineMode,
+    pub sampler: SamplerKind,
+    pub ground: GroundConfig,
+    pub infer: InferConfig,
+}
+
+impl SyaConfig {
+    /// The Sya defaults of Section VI-A: 1000 epochs, exponential
+    /// distance weighing, threshold `T = 0.5`, `L = 8`, locality level 8.
+    pub fn sya() -> Self {
+        SyaConfig {
+            mode: EngineMode::Sya,
+            sampler: SamplerKind::Spatial,
+            ground: GroundConfig::default(),
+            infer: InferConfig::default(),
+        }
+    }
+
+    /// The DeepDive comparator: boolean spatial predicates, sequential
+    /// Gibbs, same epoch budget.
+    pub fn deepdive() -> Self {
+        SyaConfig {
+            mode: EngineMode::DeepDive,
+            sampler: SamplerKind::Sequential,
+            ground: GroundConfig { generate_spatial_factors: false, ..Default::default() },
+            infer: InferConfig::default(),
+        }
+    }
+
+    /// DeepDive with a step-function rule ladder of `bands` rules.
+    pub fn deepdive_stepfn(bands: usize) -> Self {
+        let mut c = Self::deepdive();
+        c.mode = EngineMode::DeepDiveStepFn(StepFunctionSpec { bands, ..Default::default() });
+        c
+    }
+
+    /// Step-function ladder whose band weights follow an exponential
+    /// decay of the given bandwidth (the shape Sya's weighting uses).
+    pub fn deepdive_stepfn_shaped(bands: usize, bandwidth: f64) -> Self {
+        let mut c = Self::deepdive();
+        c.mode = EngineMode::DeepDiveStepFn(StepFunctionSpec {
+            bands,
+            shape_bandwidth: Some(bandwidth),
+            ..Default::default()
+        });
+        c
+    }
+
+    /// Sets the total epoch budget `E`.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.infer.epochs = epochs;
+        self.infer.burn_in = (epochs / 10).max(1);
+        self
+    }
+
+    /// Sets the RNG seed for grounding-independent reproducibility.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.infer.seed = seed;
+        self
+    }
+
+    /// Sets the pruning threshold `T` (Section IV-C).
+    pub fn with_pruning_threshold(mut self, t: f64) -> Self {
+        self.ground.pruning_threshold = t;
+        self
+    }
+
+    /// Declares categorical domains (relation → `h`) for the pruning
+    /// experiment.
+    pub fn with_domains(mut self, domains: HashMap<String, u32>) -> Self {
+        self.ground.domains = domains;
+        self
+    }
+
+    /// Sets the pyramid locality level (Fig. 13b).
+    pub fn with_locality_level(mut self, l: u8) -> Self {
+        self.infer.locality_level = l;
+        self
+    }
+
+    /// Fixes the spatial weighting bandwidth (metric units) instead of
+    /// deriving it from the data extent.
+    pub fn with_bandwidth(mut self, bandwidth: f64) -> Self {
+        self.ground.weighting_bandwidth = Some(bandwidth);
+        self
+    }
+
+    /// Fixes the neighbour cutoff for spatial factor generation.
+    pub fn with_spatial_radius(mut self, radius: f64) -> Self {
+        self.ground.spatial_radius = Some(radius);
+        self
+    }
+
+    /// Enables higher-order region factors at the given scale (the
+    /// out-of-scope extension of Section IV-A, implemented here).
+    pub fn with_region_factors(mut self, scale: f64) -> Self {
+        self.ground.region_factor_scale = Some(scale);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper_defaults() {
+        let s = SyaConfig::sya();
+        assert!(s.ground.generate_spatial_factors);
+        assert_eq!(s.sampler, SamplerKind::Spatial);
+        assert_eq!(s.infer.epochs, 1000);
+        assert_eq!(s.ground.pruning_threshold, 0.5);
+        assert_eq!(s.infer.levels, 8);
+        assert_eq!(s.infer.locality_level, 8);
+
+        let d = SyaConfig::deepdive();
+        assert!(!d.ground.generate_spatial_factors);
+        assert_eq!(d.sampler, SamplerKind::Sequential);
+    }
+
+    #[test]
+    fn builders_update_knobs() {
+        let c = SyaConfig::sya()
+            .with_epochs(500)
+            .with_seed(9)
+            .with_pruning_threshold(0.7)
+            .with_locality_level(5);
+        assert_eq!(c.infer.epochs, 500);
+        assert_eq!(c.infer.burn_in, 50);
+        assert_eq!(c.infer.seed, 9);
+        assert_eq!(c.ground.pruning_threshold, 0.7);
+        assert_eq!(c.infer.locality_level, 5);
+    }
+
+    #[test]
+    fn stepfn_preset_wraps_bands() {
+        let c = SyaConfig::deepdive_stepfn(110);
+        match c.mode {
+            EngineMode::DeepDiveStepFn(spec) => assert_eq!(spec.bands, 110),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Unified error type of the pipeline.
+
+use sya_ground::GroundError;
+use sya_lang::{ParseError, ValidateError};
+
+/// Anything that can go wrong between program text and factual scores.
+#[derive(Debug)]
+pub enum SyaError {
+    /// Program text failed to parse.
+    Parse(ParseError),
+    /// Program failed validation or compilation.
+    Validate(ValidateError),
+    /// Grounding failed (missing tables, bad types, unknown weighting).
+    Ground(GroundError),
+    /// Requested relation/atom does not exist in the knowledge base.
+    UnknownAtom(String),
+}
+
+impl std::fmt::Display for SyaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyaError::Parse(e) => write!(f, "{e}"),
+            SyaError::Validate(e) => write!(f, "{e}"),
+            SyaError::Ground(e) => write!(f, "{e}"),
+            SyaError::UnknownAtom(a) => write!(f, "unknown atom: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for SyaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SyaError::Parse(e) => Some(e),
+            SyaError::Validate(e) => Some(e),
+            SyaError::Ground(e) => Some(e),
+            SyaError::UnknownAtom(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for SyaError {
+    fn from(e: ParseError) -> Self {
+        SyaError::Parse(e)
+    }
+}
+
+impl From<ValidateError> for SyaError {
+    fn from(e: ValidateError) -> Self {
+        SyaError::Validate(e)
+    }
+}
+
+impl From<GroundError> for SyaError {
+    fn from(e: GroundError) -> Self {
+        SyaError::Ground(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SyaError::from(ParseError { line: 3, message: "bad token".into() });
+        assert!(e.to_string().contains("line 3"));
+        assert!(std::error::Error::source(&e).is_some());
+        let u = SyaError::UnknownAtom("X(1)".into());
+        assert!(u.to_string().contains("X(1)"));
+        assert!(std::error::Error::source(&u).is_none());
+    }
+}

@@ -1,0 +1,491 @@
+//! The construction pipeline: program text → compiled rules → grounding →
+//! inference → knowledge base.
+
+use crate::config::{EngineMode, SamplerKind, SyaConfig};
+use crate::error::SyaError;
+use crate::result::{KnowledgeBase, Timings};
+use std::time::Instant;
+use sya_geom::DistanceMetric;
+use sya_ground::{expand_step_function_rules, Grounder};
+use sya_infer::{parallel_random_gibbs, sequential_gibbs, spatial_gibbs, PyramidIndex};
+use sya_lang::{compile, parse_program, CompiledProgram, GeomConstants};
+use sya_store::{Database, Value};
+
+/// A compiled program ready to construct knowledge bases.
+pub struct SyaSession {
+    compiled: CompiledProgram,
+    config: SyaConfig,
+}
+
+impl SyaSession {
+    /// Parses, validates, and compiles a Sya DDlog program.
+    pub fn new(
+        program: &str,
+        constants: GeomConstants,
+        metric: DistanceMetric,
+        config: SyaConfig,
+    ) -> Result<Self, SyaError> {
+        let ast = parse_program(program)?;
+        let mut compiled = compile(&ast, &constants, metric)?;
+
+        // Step-function mode rewrites the rule set before grounding.
+        if let EngineMode::DeepDiveStepFn(spec) = &config.mode {
+            let shape = spec
+                .shape_bandwidth
+                .map(|bw| sya_fg::WeightingFn::Exponential { scale: 1.0, bandwidth: bw });
+            compiled.rules = expand_step_function_rules(&compiled.rules, spec, shape.as_ref());
+        }
+
+        let mut config = config;
+        config.ground.metric = metric;
+        Ok(SyaSession { compiled, config })
+    }
+
+    /// The compiled rule set (after any step-function expansion).
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    pub fn config(&self) -> &SyaConfig {
+        &self.config
+    }
+
+    /// Grounds and infers: the full knowledge base construction run.
+    ///
+    /// `evidence` maps `(relation, head values)` to an observed value.
+    pub fn construct(
+        &self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+    ) -> Result<KnowledgeBase, SyaError> {
+        // Phase 1: grounding.
+        let t0 = Instant::now();
+        let mut grounder = Grounder::new(&self.compiled, self.config.ground.clone());
+        let grounding = grounder.ground(db, evidence)?;
+        let grounding_time = t0.elapsed();
+
+        // Phase 2: inference.
+        let t1 = Instant::now();
+        let infer = &self.config.infer;
+        let (counts, pyramid) = match self.config.sampler {
+            SamplerKind::Spatial => {
+                let pyramid =
+                    PyramidIndex::build(&grounding.graph, infer.levels, infer.cell_capacity);
+                let counts = spatial_gibbs(&grounding.graph, &pyramid, infer);
+                (counts, Some(pyramid))
+            }
+            SamplerKind::Sequential => (
+                sequential_gibbs(&grounding.graph, infer.epochs, infer.burn_in, infer.seed),
+                None,
+            ),
+            SamplerKind::ParallelRandom(k) => (
+                parallel_random_gibbs(
+                    &grounding.graph,
+                    infer.epochs,
+                    infer.burn_in,
+                    k,
+                    infer.seed,
+                ),
+                None,
+            ),
+        };
+        let inference_time = t1.elapsed();
+
+        Ok(KnowledgeBase {
+            grounding,
+            counts,
+            pyramid,
+            timings: Timings { grounding: grounding_time, inference: inference_time },
+            config: self.config.clone(),
+        })
+    }
+
+    /// Incrementally extends a knowledge base after new input tuples
+    /// arrive (paper Section II's update path): inserts the rows,
+    /// delta-grounds only the affected rules, bulk-inserts the new ground
+    /// atoms into the pyramid index, and re-samples only the concliques
+    /// of the new variables.
+    ///
+    /// `new_rows` pairs relation names with tuples to insert. Requires a
+    /// knowledge base built with the spatial sampler (the pyramid is the
+    /// update structure); returns the update statistics.
+    pub fn extend(
+        &self,
+        kb: &mut KnowledgeBase,
+        db: &mut Database,
+        new_rows: &[(String, sya_store::Row)],
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+    ) -> Result<ExtendStats, SyaError> {
+        let t0 = Instant::now();
+        // 1. Insert rows, tracking indices per relation.
+        let mut delta: std::collections::HashMap<String, Vec<usize>> = Default::default();
+        for (relation, row) in new_rows {
+            let table = db.table_mut(relation).map_err(|e| {
+                SyaError::Ground(sya_ground::GroundError::Store(e))
+            })?;
+            delta.entry(relation.clone()).or_default().push(table.len());
+            table
+                .insert(row.clone())
+                .map_err(|e| SyaError::Ground(sya_ground::GroundError::Store(e)))?;
+        }
+
+        // 2. Delta grounding.
+        let vars_before = kb.grounding.graph.num_variables();
+        let factors_before = kb.grounding.graph.num_factors();
+        let spatial_before = kb.grounding.graph.num_spatial_factors();
+        let mut grounder = Grounder::new(&self.compiled, self.config.ground.clone());
+        let new_vars = grounder
+            .ground_delta(db, evidence, &mut kb.grounding, &delta)?;
+        let grounding_time = t0.elapsed();
+
+        // 3. Bulk-insert the new atoms into the pyramid and grow the
+        //    sample counters.
+        kb.counts.extend_for(&kb.grounding.graph);
+        let t1 = Instant::now();
+        let mut resampled = 0usize;
+        if let Some(pyramid) = kb.pyramid.as_mut() {
+            for &v in &new_vars {
+                if let Some(p) = kb.grounding.graph.variable(v).location {
+                    pyramid.insert(v, p, &kb.grounding.graph);
+                }
+            }
+            // 4. Re-sample only the new variables' concliques.
+            if !new_vars.is_empty() {
+                let (new_counts, touched) = sya_infer::incremental_spatial_gibbs(
+                    &kb.grounding.graph,
+                    pyramid,
+                    &new_vars,
+                    &self.config.infer,
+                );
+                resampled = touched.len();
+                kb.counts.replace_from(&new_counts, touched);
+            }
+        }
+        Ok(ExtendStats {
+            new_variables: kb.grounding.graph.num_variables() - vars_before,
+            new_logical_factors: kb.grounding.graph.num_factors() - factors_before,
+            new_spatial_factors: kb.grounding.graph.num_spatial_factors() - spatial_before,
+            resampled,
+            grounding: grounding_time,
+            inference: t1.elapsed(),
+        })
+    }
+}
+
+impl SyaSession {
+    /// Fits the weights of every inference rule's factors to training
+    /// labels by pseudo-likelihood gradient ascent (the conventional
+    /// MLN weight-learning step DeepDive performs; Sya's *spatial*
+    /// weights stay closed-form). `training` maps head atoms to their
+    /// observed training value; atoms without a label fall back to their
+    /// evidence value (or 0). Returns `(rule label, learned weight)`
+    /// pairs; the knowledge base's factors are updated in place — re-run
+    /// inference afterwards to refresh the scores.
+    pub fn learn_weights(
+        &self,
+        kb: &mut KnowledgeBase,
+        training: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        cfg: &sya_infer::LearnConfig,
+    ) -> Vec<(String, f64)> {
+        let assignment: Vec<u32> = (0..kb.grounding.graph.num_variables())
+            .map(|v| {
+                let (relation, values) = &kb.grounding.atom_meta[v];
+                training(relation, values)
+                    .or(kb.grounding.graph.variables()[v].evidence)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let grouped = kb.grounding.rule_factor_groups();
+        let groups: Vec<Vec<u32>> = grouped.iter().map(|(_, g)| g.clone()).collect();
+        let learned =
+            sya_infer::learn_weights(&mut kb.grounding.graph, &groups, &assignment, cfg);
+        grouped
+            .into_iter()
+            .map(|(label, _)| label)
+            .zip(learned)
+            .collect()
+    }
+}
+
+/// Statistics of one [`SyaSession::extend`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendStats {
+    pub new_variables: usize,
+    pub new_logical_factors: usize,
+    pub new_spatial_factors: usize,
+    /// Variables re-sampled by the conclique-restricted update.
+    pub resampled: usize,
+    pub grounding: std::time::Duration,
+    pub inference: std::time::Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_data::{ebola_dataset, gwdb_dataset, GwdbConfig};
+
+    fn build(dataset: &mut sya_data::Dataset, config: SyaConfig) -> KnowledgeBase {
+        let session = SyaSession::new(
+            &dataset.program,
+            dataset.constants.clone(),
+            dataset.metric,
+            config,
+        )
+        .unwrap();
+        let evidence = dataset.evidence.clone();
+        session
+            .construct(&mut dataset.db, &move |_, vals| {
+                vals.first()
+                    .and_then(Value::as_int)
+                    .and_then(|id| evidence.get(&id).copied())
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn ebola_pipeline_reproduces_fig1_ordering() {
+        let mut d = ebola_dataset();
+        let cfg = SyaConfig::sya()
+            .with_epochs(2000)
+            .with_seed(3)
+            .with_bandwidth(60.0)
+            .with_spatial_radius(250.0);
+        let kb = build(&mut d, cfg);
+        let scores = kb.scores_by_id("HasEbola");
+        assert_eq!(scores.len(), 4);
+        let margibi = scores[1].1;
+        let bong = scores[2].1;
+        let gbarpolu = scores[3].1;
+        // The paper's key qualitative result: Margibi > Bong > Gbarpolu,
+        // with Gbarpolu well above zero (no boolean cliff).
+        assert!(margibi > bong, "Margibi {margibi} vs Bong {bong}");
+        assert!(bong > gbarpolu, "Bong {bong} vs Gbarpolu {gbarpolu}");
+        assert!(gbarpolu > 0.05, "Gbarpolu must not be cut off: {gbarpolu}");
+        // Evidence county reports 1.0.
+        assert_eq!(scores[0].1, 1.0);
+    }
+
+    #[test]
+    fn deepdive_mode_gives_gbarpolu_the_boolean_cliff() {
+        let mut d = ebola_dataset();
+        let kb = build(&mut d, SyaConfig::deepdive().with_epochs(2000).with_seed(3));
+        let scores = kb.scores_by_id("HasEbola");
+        let margibi = scores[1].1;
+        let bong = scores[2].1;
+        let gbarpolu = scores[3].1;
+        // Margibi and Bong satisfy the 150 mi predicate and get similar
+        // scores (the boolean cliff); Gbarpolu is outside the cutoff and
+        // collapses to the negative prior. The diagnostic difference vs
+        // Sya: no graded ordering between Margibi and Bong.
+        assert!((margibi - bong).abs() < 0.1, "boolean predicates give similar scores");
+        // Gbarpolu only feels the negative prior: sigma(-0.8) ~ 0.31.
+        assert!(gbarpolu < margibi, "gbarpolu {gbarpolu} must trail the in-cutoff counties");
+        assert!((gbarpolu - 0.31).abs() < 0.1, "gbarpolu {gbarpolu}");
+    }
+
+    #[test]
+    fn step_function_mode_multiplies_rules_and_grounding_queries() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 120, ..Default::default() });
+        let base = build(&mut d, SyaConfig::deepdive().with_epochs(50));
+        let mut d2 = gwdb_dataset(&GwdbConfig { n_wells: 120, ..Default::default() });
+        let mut cfg = SyaConfig::deepdive_stepfn(10);
+        cfg = cfg.with_epochs(50);
+        let step = build(&mut d2, cfg);
+        assert!(step.grounding.stats.rules_executed > base.grounding.stats.rules_executed);
+        assert!(step.grounding.stats.queries_executed > base.grounding.stats.queries_executed);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 80, ..Default::default() });
+        let kb = build(&mut d, SyaConfig::sya().with_epochs(100));
+        assert!(kb.timings.grounding.as_nanos() > 0);
+        assert!(kb.timings.inference.as_nanos() > 0);
+        assert!(kb.pyramid.is_some());
+    }
+
+    #[test]
+    fn query_scores_exclude_evidence() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 100, ..Default::default() });
+        let n_evidence = d.evidence.len();
+        let kb = build(&mut d, SyaConfig::sya().with_epochs(100));
+        let all = kb.scores_by_id("IsSafe");
+        let query = kb.query_scores_by_id("IsSafe");
+        assert_eq!(all.len(), 100);
+        assert_eq!(query.len(), 100 - n_evidence);
+    }
+
+    #[test]
+    fn incremental_update_resamples_affected_region_only() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 150, ..Default::default() });
+        let mut kb = build(&mut d, SyaConfig::sya().with_epochs(200));
+        let target = kb.grounding.atoms_of("IsSafe")[0];
+        let (elapsed, resampled) = kb.update_evidence_incremental(&[(target, Some(1))]);
+        assert!(resampled > 0);
+        assert!(resampled < 150, "incremental must not touch everything");
+        assert!(elapsed.as_nanos() > 0);
+        assert_eq!(kb.score_of(target), 1.0);
+    }
+
+    #[test]
+    fn parallel_random_sampler_works_end_to_end() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() });
+        let mut cfg = SyaConfig::sya().with_epochs(100);
+        cfg.sampler = SamplerKind::ParallelRandom(4);
+        let kb = build(&mut d, cfg);
+        assert_eq!(kb.scores_by_id("IsSafe").len(), 60);
+        assert!(kb.pyramid.is_none());
+        // Incremental update gracefully no-ops without a pyramid.
+        let (t, n) = {
+            let mut kb = kb;
+            kb.update_evidence_incremental(&[(0, Some(1))])
+        };
+        assert_eq!(n, 0);
+        assert_eq!(t, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn extend_grows_the_knowledge_base_incrementally() {
+        use sya_geom::Point;
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 200, ..Default::default() });
+        let cfg = SyaConfig::sya()
+            .with_epochs(200)
+            .with_bandwidth(15.0)
+            .with_spatial_radius(30.0);
+        let session =
+            SyaSession::new(&d.program, d.constants.clone(), d.metric, cfg).unwrap();
+        let evidence = d.evidence.clone();
+        let ev = move |_: &str, vals: &[Value]| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        };
+        let mut kb = session.construct(&mut d.db, &ev).unwrap();
+        assert_eq!(kb.grounding.graph.num_variables(), 200);
+
+        // Add three new wells near existing ones.
+        let new_rows: Vec<(String, Vec<Value>)> = (0..3)
+            .map(|i| {
+                (
+                    "Well".to_owned(),
+                    vec![
+                        Value::Int(1000 + i),
+                        Value::from(Point::new(100.0 + i as f64, 100.0)),
+                        Value::Double(0.1),
+                        Value::Double(0.2),
+                    ],
+                )
+            })
+            .collect();
+        let stats = session.extend(&mut kb, &mut d.db, &new_rows, &ev).unwrap();
+        assert_eq!(stats.new_variables, 3);
+        assert_eq!(kb.grounding.graph.num_variables(), 203);
+        assert!(stats.resampled >= 3, "new atoms must be sampled: {stats:?}");
+        assert!(stats.resampled < 203, "must not resample everything");
+        // The new atoms have scores.
+        let score = kb
+            .factual_score("IsSafe", &[Value::Int(1000), Value::from(Point::new(100.0, 100.0))])
+            .expect("new atom exists");
+        assert!((0.0..=1.0).contains(&score));
+        // Query API sees the extended KB.
+        assert_eq!(kb.query("IsSafe").run().len(), 203);
+    }
+
+    #[test]
+    fn weight_learning_moves_rule_weights_toward_the_data() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 300, ..Default::default() });
+        let cfg = SyaConfig::sya()
+            .with_epochs(100)
+            .with_bandwidth(15.0)
+            .with_spatial_radius(30.0);
+        let session =
+            SyaSession::new(&d.program, d.constants.clone(), d.metric, cfg).unwrap();
+        let evidence = d.evidence.clone();
+        let mut kb = session
+            .construct(&mut d.db, &move |_, vals| {
+                vals.first()
+                    .and_then(Value::as_int)
+                    .and_then(|id| evidence.get(&id).copied())
+            })
+            .unwrap();
+        // Training labels: the full ground truth, binarized.
+        let truth = d.truth.clone();
+        let training = move |_: &str, vals: &[Value]| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| truth.get(&id).map(|&t| t as u32))
+        };
+        let before = sya_infer::pseudo_log_likelihood(
+            &kb.grounding.graph,
+            &(0..kb.grounding.graph.num_variables())
+                .map(|v| {
+                    let (r, vals) = &kb.grounding.atom_meta[v];
+                    training(r, vals).unwrap_or(0)
+                })
+                .collect(),
+        );
+        let learned = session.learn_weights(
+            &mut kb,
+            &training,
+            &sya_infer::LearnConfig { learning_rate: 0.2, iterations: 30, l2: 0.01 },
+        );
+        // One learned weight per inference rule (10 in the GWDB program).
+        assert_eq!(learned.len(), 10);
+        let after = sya_infer::pseudo_log_likelihood(
+            &kb.grounding.graph,
+            &(0..kb.grounding.graph.num_variables())
+                .map(|v| {
+                    let (r, vals) = &kb.grounding.atom_meta[v];
+                    training(r, vals).unwrap_or(0)
+                })
+                .collect(),
+        );
+        assert!(after > before, "PLL must improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn retract_atoms_removes_them_from_scores_and_queries() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 120, ..Default::default() });
+        let cfg = SyaConfig::sya()
+            .with_epochs(100)
+            .with_bandwidth(15.0)
+            .with_spatial_radius(30.0);
+        let session =
+            SyaSession::new(&d.program, d.constants.clone(), d.metric, cfg).unwrap();
+        let evidence = d.evidence.clone();
+        let mut kb = session
+            .construct(&mut d.db, &move |_, vals| {
+                vals.first()
+                    .and_then(Value::as_int)
+                    .and_then(|id| evidence.get(&id).copied())
+            })
+            .unwrap();
+        let victims: Vec<u32> = kb.grounding.atoms_of("IsSafe")[..5].to_vec();
+        let removed = kb.retract_atoms(&victims);
+        assert_eq!(removed, 5);
+        assert_eq!(kb.grounding.graph.num_variables(), 115);
+        assert_eq!(kb.scores_by_id("IsSafe").len(), 115);
+        assert_eq!(kb.query("IsSafe").run().len(), 115);
+        // Scores still valid and incremental updates still work.
+        let target = kb.grounding.atoms_of("IsSafe")[0];
+        let (_, resampled) = kb.update_evidence_incremental(&[(target, Some(1))]);
+        assert!(resampled > 0);
+        // Retracting unknown/out-of-range ids is a no-op.
+        assert_eq!(kb.retract_atoms(&[9999]), 0);
+    }
+
+    #[test]
+    fn bad_program_reports_parse_error() {
+        let result = SyaSession::new(
+            "County(id bigint",
+            GeomConstants::new(),
+            DistanceMetric::Euclidean,
+            SyaConfig::sya(),
+        );
+        match result {
+            Err(SyaError::Parse(_)) => {}
+            Err(other) => panic!("expected parse error, got {other}"),
+            Ok(_) => panic!("expected parse error"),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Casual-user query and visualization APIs over a constructed knowledge
+//! base (paper Fig. 2: "Querying/Visualization APIs").
+//!
+//! A [`KbQuery`] filters and ranks the factual scores of one variable
+//! relation — by score band, by spatial region, top-k — and exports the
+//! result as GeoJSON for map visualization.
+
+use crate::result::KnowledgeBase;
+use sya_fg::VarId;
+use sya_geom::{Geometry, Point, Polygon, RTree, Rect};
+use sya_store::Value;
+
+/// One result row of a knowledge-base query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KbFact {
+    pub var: VarId,
+    /// Head values of the ground atom (id first by convention).
+    pub values: Vec<Value>,
+    pub location: Option<Point>,
+    pub score: f64,
+}
+
+/// A fluent query over one variable relation's factual scores.
+pub struct KbQuery<'kb> {
+    kb: &'kb KnowledgeBase,
+    relation: String,
+    min_score: f64,
+    max_score: f64,
+    region: Option<Geometry>,
+    include_evidence: bool,
+    top_k: Option<usize>,
+}
+
+impl KnowledgeBase {
+    /// Starts a query over `relation`'s ground atoms.
+    pub fn query(&self, relation: impl Into<String>) -> KbQuery<'_> {
+        KbQuery {
+            kb: self,
+            relation: relation.into(),
+            min_score: 0.0,
+            max_score: 1.0,
+            region: None,
+            include_evidence: true,
+            top_k: None,
+        }
+    }
+}
+
+impl<'kb> KbQuery<'kb> {
+    /// Keeps facts with score `>= s`.
+    pub fn min_score(mut self, s: f64) -> Self {
+        self.min_score = s;
+        self
+    }
+
+    /// Keeps facts with score `<= s`.
+    pub fn max_score(mut self, s: f64) -> Self {
+        self.max_score = s;
+        self
+    }
+
+    /// Keeps facts whose location lies within the region.
+    pub fn within(mut self, region: Geometry) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Excludes evidence atoms (query variables only).
+    pub fn exclude_evidence(mut self) -> Self {
+        self.include_evidence = false;
+        self
+    }
+
+    /// Keeps only the `k` highest-scoring facts.
+    pub fn top(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Executes the query. Results are sorted by descending score, ties
+    /// by variable id (deterministic).
+    pub fn run(self) -> Vec<KbFact> {
+        // Candidate pruning: when a region is given, probe an R-tree over
+        // the relation's located atoms instead of scanning everything.
+        let atoms = self.kb.grounding.atoms_of(&self.relation);
+        let candidates: Vec<VarId> = match &self.region {
+            None => atoms.to_vec(),
+            Some(region) => {
+                let items: Vec<(Rect, VarId)> = atoms
+                    .iter()
+                    .filter_map(|&v| {
+                        self.kb
+                            .grounding
+                            .graph
+                            .variable(v)
+                            .location
+                            .map(|p| (Rect::from_point(p), v))
+                    })
+                    .collect();
+                let tree = RTree::bulk_load(items);
+                let mut hits = tree.search(&region.bbox());
+                hits.sort_unstable();
+                hits
+            }
+        };
+
+        let mut out: Vec<KbFact> = candidates
+            .into_iter()
+            .filter_map(|v| {
+                let var = self.kb.grounding.graph.variable(v);
+                if !self.include_evidence && var.is_evidence() {
+                    return None;
+                }
+                if let (Some(region), Some(p)) = (&self.region, var.location) {
+                    if !Geometry::Point(p).within(region) {
+                        return None;
+                    }
+                }
+                let score = self.kb.score_of(v);
+                if score < self.min_score || score > self.max_score {
+                    return None;
+                }
+                let (_, values) = &self.kb.grounding.atom_meta[v as usize];
+                Some(KbFact { var: v, values: values.clone(), location: var.location, score })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.var.cmp(&b.var))
+        });
+        if let Some(k) = self.top_k {
+            out.truncate(k);
+        }
+        out
+    }
+}
+
+/// Convex hull of the located facts — e.g. the outline of the region
+/// where `P(outbreak) >= 0.7` for map display. `None` when fewer than
+/// three non-collinear locations remain.
+pub fn hull_of(facts: &[KbFact]) -> Option<Polygon> {
+    let points: Vec<Point> = facts.iter().filter_map(|f| f.location).collect();
+    Polygon::convex_hull(&points)
+}
+
+/// Renders query results as a GeoJSON `FeatureCollection` (points with
+/// `score` and `values` properties) — the map-visualization export.
+pub fn to_geojson(facts: &[KbFact]) -> String {
+    let features: Vec<serde_json::Value> = facts
+        .iter()
+        .filter_map(|f| {
+            let p = f.location?;
+            Some(serde_json::json!({
+                "type": "Feature",
+                "geometry": { "type": "Point", "coordinates": [p.x, p.y] },
+                "properties": {
+                    "score": f.score,
+                    "values": f.values.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                },
+            }))
+        })
+        .collect();
+    serde_json::json!({ "type": "FeatureCollection", "features": features }).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SyaConfig, SyaSession};
+    use sya_data::{gwdb_dataset, GwdbConfig};
+    use sya_geom::Polygon;
+
+    fn kb() -> KnowledgeBase {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 120, ..Default::default() });
+        let cfg = SyaConfig::sya()
+            .with_epochs(100)
+            .with_bandwidth(15.0)
+            .with_spatial_radius(30.0);
+        let session =
+            SyaSession::new(&d.program, d.constants.clone(), d.metric, cfg).unwrap();
+        let evidence = d.evidence.clone();
+        session
+            .construct(&mut d.db, &move |_, vals| {
+                vals.first()
+                    .and_then(Value::as_int)
+                    .and_then(|id| evidence.get(&id).copied())
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn score_band_filters() {
+        let kb = kb();
+        let high = kb.query("IsSafe").min_score(0.8).run();
+        assert!(!high.is_empty());
+        assert!(high.iter().all(|f| f.score >= 0.8));
+        let low = kb.query("IsSafe").max_score(0.2).run();
+        assert!(low.iter().all(|f| f.score <= 0.2));
+    }
+
+    #[test]
+    fn results_sorted_descending_and_top_k() {
+        let kb = kb();
+        let all = kb.query("IsSafe").run();
+        assert_eq!(all.len(), 120);
+        for w in all.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let top = kb.query("IsSafe").top(7).run();
+        assert_eq!(top.len(), 7);
+        assert_eq!(top, all[..7].to_vec());
+    }
+
+    #[test]
+    fn region_filter_restricts_spatially() {
+        let kb = kb();
+        let region = Geometry::Polygon(Polygon::from_rect(&Rect::raw(0.0, 0.0, 300.0, 300.0)));
+        let inside = kb.query("IsSafe").within(region.clone()).run();
+        assert!(!inside.is_empty());
+        assert!(inside.len() < 120);
+        for f in &inside {
+            assert!(Geometry::Point(f.location.unwrap()).within(&region));
+        }
+    }
+
+    #[test]
+    fn exclude_evidence_drops_observed_atoms() {
+        let kb = kb();
+        let q = kb.query("IsSafe").exclude_evidence().run();
+        assert!(q.len() < 120);
+        for f in &q {
+            assert!(!kb.grounding.graph.variable(f.var).is_evidence());
+        }
+    }
+
+    #[test]
+    fn geojson_is_well_formed() {
+        let kb = kb();
+        let facts = kb.query("IsSafe").top(5).run();
+        let gj = to_geojson(&facts);
+        let parsed: serde_json::Value = serde_json::from_str(&gj).unwrap();
+        assert_eq!(parsed["type"], "FeatureCollection");
+        assert_eq!(parsed["features"].as_array().unwrap().len(), 5);
+        let f0 = &parsed["features"][0];
+        assert_eq!(f0["geometry"]["type"], "Point");
+        assert!(f0["properties"]["score"].is_number());
+    }
+
+    #[test]
+    fn hull_of_high_score_region() {
+        let kb = kb();
+        let facts = kb.query("IsSafe").min_score(0.6).run();
+        if facts.len() >= 3 {
+            let hull = hull_of(&facts).expect("enough points for a hull");
+            for f in &facts {
+                assert!(Geometry::Point(f.location.unwrap()).within(
+                    &Geometry::Polygon(hull.clone())
+                ));
+            }
+        }
+        assert!(hull_of(&[]).is_none());
+    }
+
+    #[test]
+    fn unknown_relation_returns_empty() {
+        let kb = kb();
+        assert!(kb.query("Nope").run().is_empty());
+    }
+}

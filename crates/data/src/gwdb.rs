@@ -1,0 +1,265 @@
+//! GWDB — the Texas Ground Water Database scenario (paper Section VI-A).
+//!
+//! The real GWDB relation holds ~9,831 wells with locations and element
+//! concentrations (arsenic, fluoride); the paper's 11-rule program infers
+//! the risk of drinking from each well ("a well is considered dangerous
+//! if the arsenic concentration exceeded an EPA threshold and its
+//! location is near another risky well"). The synthetic generator keeps
+//! the load-bearing structure: a spatially smooth safety ground truth, a
+//! correlated arsenic/fluoride signal, an evidence sample, and the same
+//! 11-rule program shape (1 derivation + 10 weighted inference rules over
+//! one input relation — Table I: 1 relation, 11 rules).
+//!
+//! Coordinates are projected miles over a Texas-sized box (~770 × 730).
+
+use crate::field::SmoothField;
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use sya_geom::{DistanceMetric, Point, Rect};
+use sya_lang::GeomConstants;
+use sya_store::{Column, DataType, Database, TableSchema, Value};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct GwdbConfig {
+    /// Number of wells (paper: 9,831; default scaled to 1,500).
+    pub n_wells: usize,
+    /// Fraction of wells with observed safety evidence.
+    pub evidence_fraction: f64,
+    /// Correlation length of the ground-truth field, in miles.
+    pub field_bandwidth: f64,
+    /// Probability that a well's arsenic reading contradicts the truth
+    /// (sensor noise).
+    pub noise: f64,
+    /// When set, evidence is quantized to `h` domain levels instead of
+    /// binary (the categorical setting of the pruning experiment,
+    /// Section VI-B3). Level `floor(t·h)` encodes the truth `t`; the
+    /// upper half of the domain means "safe".
+    pub domain_h: Option<u32>,
+    /// Probability that a categorical evidence level is corrupted to a
+    /// uniformly random level (creates the spurious co-occurrences the
+    /// pruning threshold `T` is designed to filter out).
+    pub evidence_noise: f64,
+    pub seed: u64,
+}
+
+impl Default for GwdbConfig {
+    fn default() -> Self {
+        GwdbConfig {
+            n_wells: 1500,
+            evidence_fraction: 0.3,
+            field_bandwidth: 80.0,
+            noise: 0.15,
+            domain_h: None,
+            evidence_noise: 0.0,
+            seed: 4242,
+        }
+    }
+}
+
+/// Texas-like extent in projected miles.
+pub const GWDB_BOUNDS: Rect = Rect::raw(0.0, 0.0, 770.0, 730.0);
+
+/// Distance below which evidence plausibly supports a prediction and
+/// below which the program's longest-range rule fires.
+pub const GWDB_SUPPORT_RADIUS: f64 = 50.0;
+
+/// Calibrated spatial weighting bandwidth (miles) for the GWDB scale.
+pub const GWDB_BANDWIDTH: f64 = 15.0;
+
+/// Calibrated neighbour cutoff (miles) for spatial factor generation.
+pub const GWDB_RADIUS: f64 = 30.0;
+
+/// The 11-rule GWDB program (1 derivation + 10 inference rules).
+pub fn gwdb_program() -> String {
+    r#"
+    # Texas Ground Water Database: well safety knowledge base.
+    Well(id bigint, location point, arsenic double, fluoride double).
+    @spatial(exp)
+    IsSafe?(id bigint, location point).
+
+    # Derivation: one random variable per well.
+    D1: IsSafe(W, L) = NULL :- Well(W, L, _, _).
+
+    # Spatial propagation over arsenic-clean pairs at three ranges.
+    R1: @weight(0.7) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, A1, _), Well(W2, L2, A2, _)
+        [distance(L1, L2) < 15, A1 < 0.25, A2 < 0.25, W1 != W2].
+    R2: @weight(0.5) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, A1, _), Well(W2, L2, A2, _)
+        [distance(L1, L2) < 30, A1 < 0.25, A2 < 0.25, W1 != W2].
+    R3: @weight(0.3) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, A1, _), Well(W2, L2, A2, _)
+        [distance(L1, L2) < 50, A1 < 0.25, A2 < 0.25, W1 != W2].
+
+    # Spatial propagation over fluoride-clean pairs at two ranges.
+    R4: @weight(0.4) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, _, F1), Well(W2, L2, _, F2)
+        [distance(L1, L2) < 15, F1 < 0.3, F2 < 0.3, W1 != W2].
+    R5: @weight(0.25) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, _, F1), Well(W2, L2, _, F2)
+        [distance(L1, L2) < 40, F1 < 0.3, F2 < 0.3, W1 != W2].
+
+    # Element-level priors (EPA-style thresholds).
+    R6: @weight(0.8)  IsSafe(W, L) :- Well(W, L, A, _) [A < 0.1].
+    R7: @weight(0.4)  IsSafe(W, L) :- Well(W, L, _, F) [F < 0.1].
+    R8: @weight(-1.0) IsSafe(W, L) :- Well(W, L, A, _) [A > 0.6].
+    R9: @weight(-0.5) IsSafe(W, L) :- Well(W, L, _, F) [F > 0.7].
+    R10: @weight(-0.3) IsSafe(W, L) :- Well(W, L, A, F) [A > 0.45, F > 0.45].
+    "#
+    .to_owned()
+}
+
+/// Generates the GWDB dataset.
+pub fn gwdb_dataset(cfg: &GwdbConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Ground truth: smooth "safety" field; readings are noisy inverses.
+    let truth_field = SmoothField::random(GWDB_BOUNDS, 40, cfg.field_bandwidth, cfg.seed ^ 0xA5);
+    let fluoride_field =
+        SmoothField::random(GWDB_BOUNDS, 30, cfg.field_bandwidth * 0.8, cfg.seed ^ 0x5A);
+
+    let schema = TableSchema::new(vec![
+        Column::new("id", DataType::BigInt),
+        Column::new("location", DataType::Point),
+        Column::new("arsenic", DataType::Double),
+        Column::new("fluoride", DataType::Double),
+    ]);
+    let mut db = Database::new();
+    let table = db.create_table("Well", schema).expect("fresh database");
+
+    let mut evidence = HashMap::new();
+    let mut truth = HashMap::new();
+    let mut truth_prob = HashMap::new();
+    let mut locations = HashMap::new();
+
+    for i in 0..cfg.n_wells as i64 {
+        let p = Point::new(
+            rng.gen_range(GWDB_BOUNDS.min_x..GWDB_BOUNDS.max_x),
+            rng.gen_range(GWDB_BOUNDS.min_y..GWDB_BOUNDS.max_y),
+        );
+        // Safety score in [0,1]; stretch the smooth field to use the
+        // whole range.
+        let t = ((truth_field.value(&p) - 0.5) * 2.2 + 0.5).clamp(0.02, 0.98);
+        // Arsenic anti-correlates with safety, plus sensor noise.
+        let noise_a: f64 = rng.gen_range(-cfg.noise..cfg.noise);
+        let arsenic = ((1.0 - t) * 0.7 + 0.1 + noise_a).clamp(0.0, 1.0);
+        let noise_f: f64 = rng.gen_range(-cfg.noise..cfg.noise);
+        let fluoride =
+            ((1.0 - fluoride_field.value(&p)) * 0.6 + 0.15 + noise_f).clamp(0.0, 1.0);
+
+        table
+            .insert(vec![
+                Value::Int(i),
+                Value::from(p),
+                Value::Double(arsenic),
+                Value::Double(fluoride),
+            ])
+            .expect("schema-conformant row");
+
+        truth_prob.insert(i, t);
+        truth.insert(i, f64::from(t >= 0.5));
+        locations.insert(i, p);
+        if rng.gen_bool(cfg.evidence_fraction) {
+            let v = match cfg.domain_h {
+                None => u32::from(t >= 0.5),
+                Some(h) => {
+                    if cfg.evidence_noise > 0.0 && rng.gen_bool(cfg.evidence_noise) {
+                        rng.gen_range(0..h)
+                    } else {
+                        ((t * h as f64) as u32).min(h - 1)
+                    }
+                }
+            };
+            evidence.insert(i, v);
+        }
+    }
+
+    Dataset {
+        name: "GWDB".into(),
+        program: gwdb_program(),
+        db,
+        constants: GeomConstants::new(),
+        metric: DistanceMetric::Euclidean,
+        evidence,
+        truth,
+        truth_prob,
+        locations,
+        support_radius: GWDB_SUPPORT_RADIUS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_lang::{compile, parse_program};
+
+    #[test]
+    fn program_parses_and_has_11_rules() {
+        let p = parse_program(&gwdb_program()).unwrap();
+        assert_eq!(p.rules().count(), 11);
+        assert_eq!(p.schemas().count(), 2);
+        let compiled = compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        assert_eq!(compiled.rules.len(), 11);
+        assert_eq!(compiled.spatial_variable_relations().count(), 1);
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let cfg = GwdbConfig { n_wells: 200, ..Default::default() };
+        let d = gwdb_dataset(&cfg);
+        assert_eq!(d.db.table("Well").unwrap().len(), 200);
+        assert_eq!(d.truth.len(), 200);
+        assert_eq!(d.locations.len(), 200);
+        let ev = d.evidence.len() as f64 / 200.0;
+        assert!((0.15..0.45).contains(&ev), "evidence fraction {ev}");
+        // Evidence values agree with the binary truth.
+        for (id, &v) in &d.evidence {
+            assert_eq!(v as f64, d.truth[id]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GwdbConfig { n_wells: 50, ..Default::default() };
+        let a = gwdb_dataset(&cfg);
+        let b = gwdb_dataset(&cfg);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.evidence, b.evidence);
+    }
+
+    #[test]
+    fn arsenic_anticorrelates_with_truth() {
+        let cfg = GwdbConfig { n_wells: 400, noise: 0.05, ..Default::default() };
+        let d = gwdb_dataset(&cfg);
+        let table = d.db.table("Well").unwrap();
+        let mut cov = 0.0;
+        for row in table.rows() {
+            let id = row[0].as_int().unwrap();
+            let a = row[2].as_f64().unwrap();
+            cov += (d.truth_prob[&id] - 0.5) * (a - 0.45);
+        }
+        assert!(cov < 0.0, "arsenic must anti-correlate with safety: {cov}");
+    }
+
+    #[test]
+    fn evidence_fn_keys_on_first_value() {
+        let cfg = GwdbConfig { n_wells: 50, ..Default::default() };
+        let d = gwdb_dataset(&cfg);
+        let f = d.evidence_fn();
+        let (&id, &v) = d.evidence.iter().next().unwrap();
+        assert_eq!(f("IsSafe", &[Value::Int(id), Value::Null]), Some(v));
+        assert_eq!(f("IsSafe", &[Value::Int(-1)]), None);
+    }
+
+    #[test]
+    fn query_ids_exclude_evidence() {
+        let cfg = GwdbConfig { n_wells: 100, ..Default::default() };
+        let d = gwdb_dataset(&cfg);
+        for id in d.query_ids() {
+            assert!(!d.evidence.contains_key(&id));
+        }
+        assert_eq!(d.query_ids().len() + d.evidence.len(), 100);
+    }
+}

@@ -1,0 +1,94 @@
+//! # sya-data — datasets and evaluation metrics for the Sya reproduction
+//!
+//! The paper evaluates Sya on two real knowledge bases — **GWDB** (Texas
+//! water-well quality, 9,831 wells, 11 rules) and **NYCCAS** (New York
+//! City air pollution raster, 4 rules) — plus the **EbolaKB** example of
+//! the introduction. The raw datasets are not redistributable offline, so
+//! this crate generates *synthetic equivalents* that preserve the
+//! properties the experiments exercise (see DESIGN.md §4):
+//!
+//! * [`field`] — spatially autocorrelated scalar fields (kernel-smoothed
+//!   seed processes), the statistical backbone of both generators;
+//! * [`gwdb`] — a Texas-like well dataset with an arsenic field, a safety
+//!   ground truth, an evidence sample, and the 11-rule program;
+//! * [`nyccas`] — an NYC-like raster with pollutant fields, a 4-rule
+//!   program, and a *random-evidence fraction* knob reproducing the
+//!   paper's observation that noisy NYCCAS evidence caps Sya's recall
+//!   advantage;
+//! * [`ebola`] — the 4 Liberia counties of Fig. 1 with the paper's
+//!   distances and scores;
+//! * [`metrics`] — the paper's quality metrics: precision / recall /
+//!   F1-score with the "within 0.1 of ground truth" correctness rule
+//!   (Section VI-A).
+
+pub mod ebola;
+pub mod field;
+pub mod gwdb;
+pub mod metrics;
+pub mod nyccas;
+
+pub use ebola::ebola_dataset;
+pub use field::SmoothField;
+pub use gwdb::{gwdb_dataset, GwdbConfig};
+pub use metrics::{supported_ids, QualityEval};
+pub use nyccas::{nyccas_dataset, NyccasConfig};
+
+use std::collections::HashMap;
+use sya_geom::{DistanceMetric, Point};
+use sya_lang::GeomConstants;
+use sya_store::{Database, Value};
+
+/// A generated dataset: everything the pipeline needs to build and
+/// evaluate a knowledge base.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: String,
+    /// Sya DDlog program source.
+    pub program: String,
+    /// Input tables.
+    pub db: Database,
+    /// Named geometry constants referenced by the program.
+    pub constants: GeomConstants,
+    /// Distance semantics of the program's `distance()` predicates.
+    pub metric: DistanceMetric,
+    /// Entity id → observed evidence value.
+    pub evidence: HashMap<i64, u32>,
+    /// Entity id → ground-truth factual score (binarized: the observable
+    /// "is the fact true" label the paper's precision/recall judge
+    /// against).
+    pub truth: HashMap<i64, f64>,
+    /// Entity id → the underlying smooth probability field in `[0, 1]`
+    /// (the "true marginal probabilities" of the Fig. 14 KL experiment).
+    pub truth_prob: HashMap<i64, f64>,
+    /// Entity id → location (for support computation and indexing).
+    pub locations: HashMap<i64, Point>,
+    /// Radius within which evidence can plausibly support a prediction
+    /// (the recall denominator of [`metrics::QualityEval`]).
+    pub support_radius: f64,
+}
+
+impl Dataset {
+    /// Evidence closure in the shape the grounder expects: variable
+    /// relations in the generated programs key on the entity id in their
+    /// first column.
+    pub fn evidence_fn(&self) -> impl Fn(&str, &[Value]) -> Option<u32> + '_ {
+        move |_, values| {
+            values
+                .first()
+                .and_then(Value::as_int)
+                .and_then(|id| self.evidence.get(&id).copied())
+        }
+    }
+
+    /// Ids of query (non-evidence) entities.
+    pub fn query_ids(&self) -> Vec<i64> {
+        let mut v: Vec<i64> = self
+            .truth
+            .keys()
+            .filter(|id| !self.evidence.contains_key(id))
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}

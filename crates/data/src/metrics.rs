@@ -1,0 +1,227 @@
+//! The paper's evaluation metrics (Section VI-A):
+//!
+//! * **Precision** — correctly inferred scores (within 0.1 of ground
+//!   truth) over all predicted scores;
+//! * **Recall** — correctly inferred scores over the scores that *should*
+//!   be predictable from the evidence data (here: query entities with at
+//!   least one evidence entity within the dataset's support radius);
+//! * **F1-score** — their harmonic mean.
+
+use std::collections::{HashMap, HashSet};
+use sya_geom::{DistanceMetric, Point, RTree, Rect};
+
+/// The paper's correctness tolerance: a score is correctly inferred when
+/// it is within 0.1 of the ground truth.
+pub const CORRECTNESS_TOLERANCE: f64 = 0.1;
+
+/// Quality evaluation result.
+///
+/// ```
+/// use std::collections::{HashMap, HashSet};
+/// use sya_data::QualityEval;
+///
+/// let truth = HashMap::from([(1, 1.0), (2, 0.0)]);
+/// let supported: HashSet<i64> = [1, 2].into();
+/// let eval = QualityEval::evaluate(&[(1, 0.95), (2, 0.4)], &truth, &supported);
+/// assert_eq!(eval.correct, 1); // only id 1 within 0.1 of its truth
+/// assert_eq!(eval.precision(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityEval {
+    /// Query entities that received a score.
+    pub predicted: usize,
+    /// Scores within tolerance of the ground truth.
+    pub correct: usize,
+    /// Query entities supported by nearby evidence (recall denominator).
+    pub supported: usize,
+    /// Correct ∩ supported.
+    pub correct_supported: usize,
+}
+
+impl QualityEval {
+    /// Evaluates predicted scores against ground truth.
+    ///
+    /// * `scores` — `(entity id, predicted factual score)` for query
+    ///   entities;
+    /// * `truth` — ground-truth scores;
+    /// * `supported` — the entities recoverable from evidence.
+    pub fn evaluate(
+        scores: &[(i64, f64)],
+        truth: &HashMap<i64, f64>,
+        supported: &HashSet<i64>,
+    ) -> QualityEval {
+        let mut eval = QualityEval { predicted: 0, correct: 0, supported: 0, correct_supported: 0 };
+        for &(id, score) in scores {
+            let Some(&t) = truth.get(&id) else { continue };
+            eval.predicted += 1;
+            let ok = (score - t).abs() <= CORRECTNESS_TOLERANCE;
+            let sup = supported.contains(&id);
+            if ok {
+                eval.correct += 1;
+            }
+            if sup {
+                eval.supported += 1;
+                if ok {
+                    eval.correct_supported += 1;
+                }
+            }
+        }
+        eval
+    }
+
+    /// Evaluates with explicit truth *ranges* (the EbolaKB form: a score
+    /// is correct when it falls inside the ground-truth range).
+    pub fn evaluate_ranges(
+        scores: &[(i64, f64)],
+        ranges: &HashMap<i64, (f64, f64)>,
+        supported: &HashSet<i64>,
+    ) -> QualityEval {
+        let mut eval = QualityEval { predicted: 0, correct: 0, supported: 0, correct_supported: 0 };
+        for &(id, score) in scores {
+            let Some(&(lo, hi)) = ranges.get(&id) else { continue };
+            eval.predicted += 1;
+            let ok = (lo..=hi).contains(&score);
+            let sup = supported.contains(&id);
+            if ok {
+                eval.correct += 1;
+            }
+            if sup {
+                eval.supported += 1;
+                if ok {
+                    eval.correct_supported += 1;
+                }
+            }
+        }
+        eval
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.predicted as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.supported == 0 {
+            return 0.0;
+        }
+        self.correct_supported as f64 / self.supported as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Query entities with at least one evidence entity within `radius`
+/// (under the dataset's metric) — the recall denominator.
+pub fn supported_ids(
+    locations: &HashMap<i64, Point>,
+    evidence_ids: impl IntoIterator<Item = i64>,
+    query_ids: &[i64],
+    radius: f64,
+    metric: DistanceMetric,
+) -> HashSet<i64> {
+    let ev_points: Vec<(Rect, Point)> = evidence_ids
+        .into_iter()
+        .filter_map(|id| locations.get(&id).map(|p| (Rect::from_point(*p), *p)))
+        .collect();
+    if ev_points.is_empty() {
+        return HashSet::new();
+    }
+    let tree = RTree::bulk_load(ev_points);
+    let cand_radius = match metric {
+        DistanceMetric::Euclidean => radius,
+        DistanceMetric::HaversineMiles => radius / 69.0 * 2.5,
+    };
+    query_ids
+        .iter()
+        .filter(|id| {
+            let Some(p) = locations.get(id) else { return false };
+            tree.within_distance(p, cand_radius).iter().any(|q| {
+                let d = match metric {
+                    DistanceMetric::Euclidean => p.distance(q),
+                    DistanceMetric::HaversineMiles => sya_geom::haversine_miles(p, q),
+                };
+                d <= radius
+            })
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> HashMap<i64, f64> {
+        HashMap::from([(0, 0.8), (1, 0.5), (2, 0.2)])
+    }
+
+    #[test]
+    fn precision_counts_within_tolerance() {
+        let scores = vec![(0, 0.75), (1, 0.9), (2, 0.25)];
+        let supported: HashSet<i64> = [0, 1, 2].into();
+        let e = QualityEval::evaluate(&scores, &truth(), &supported);
+        assert_eq!(e.predicted, 3);
+        assert_eq!(e.correct, 2); // 0 and 2 within 0.1; 1 off by 0.4
+        assert!((e.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_uses_supported_denominator() {
+        let scores = vec![(0, 0.75), (1, 0.9), (2, 0.25)];
+        let supported: HashSet<i64> = [0].into();
+        let e = QualityEval::evaluate(&scores, &truth(), &supported);
+        assert_eq!(e.supported, 1);
+        assert_eq!(e.correct_supported, 1);
+        assert_eq!(e.recall(), 1.0);
+        assert!((e.precision() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let e = QualityEval { predicted: 4, correct: 2, supported: 2, correct_supported: 2 };
+        let p = 0.5;
+        let r = 1.0;
+        assert!((e.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        let zero = QualityEval { predicted: 0, correct: 0, supported: 0, correct_supported: 0 };
+        assert_eq!(zero.f1(), 0.0);
+    }
+
+    #[test]
+    fn range_evaluation() {
+        let ranges = HashMap::from([(1, (0.6, 0.9)), (2, (0.1, 0.3))]);
+        let supported: HashSet<i64> = [1, 2].into();
+        let e = QualityEval::evaluate_ranges(&[(1, 0.76), (2, 0.63)], &ranges, &supported);
+        assert_eq!(e.correct, 1);
+        assert_eq!(e.predicted, 2);
+    }
+
+    #[test]
+    fn unknown_ids_are_skipped() {
+        let supported: HashSet<i64> = HashSet::new();
+        let e = QualityEval::evaluate(&[(99, 0.5)], &truth(), &supported);
+        assert_eq!(e.predicted, 0);
+    }
+
+    #[test]
+    fn supported_ids_respect_radius() {
+        let locations = HashMap::from([
+            (0, Point::new(0.0, 0.0)),  // evidence
+            (1, Point::new(1.0, 0.0)),  // near
+            (2, Point::new(10.0, 0.0)), // far
+        ]);
+        let s = supported_ids(&locations, [0], &[1, 2], 2.0, DistanceMetric::Euclidean);
+        assert!(s.contains(&1));
+        assert!(!s.contains(&2));
+        let none = supported_ids(&locations, [], &[1, 2], 2.0, DistanceMetric::Euclidean);
+        assert!(none.is_empty());
+    }
+}

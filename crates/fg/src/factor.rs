@@ -1,0 +1,136 @@
+//! Logical (non-spatial) factors with DeepDive true-grounding semantics:
+//! a factor of weight `w` contributes `w · 1[formula satisfied]` to the
+//! log-probability (Equation 1).
+
+use crate::variable::VarId;
+use serde::{Deserialize, Serialize};
+
+/// The logical formula shape of a factor, mirroring the rule-head forms
+/// of the language module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FactorKind {
+    /// `vars[0] ∧ ... ∧ vars[n-2] => vars[n-1]` — the common KBC factor
+    /// (for the paper's rules the body has one antecedent).
+    Imply,
+    /// All variables true.
+    And,
+    /// At least one variable true.
+    Or,
+    /// All variables share the same truth value.
+    Equal,
+    /// Single variable is true.
+    IsTrue,
+}
+
+/// A weighted logical factor over a set of variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Factor {
+    pub kind: FactorKind,
+    pub vars: Vec<VarId>,
+    pub weight: f64,
+}
+
+impl Factor {
+    pub fn new(kind: FactorKind, vars: Vec<VarId>, weight: f64) -> Self {
+        debug_assert!(!vars.is_empty(), "factor must touch at least one variable");
+        Factor { kind, vars, weight }
+    }
+
+    /// Truth interpretation of a variable value: non-zero is "true".
+    /// Binary variables use `{0, 1}` directly; categorical variables
+    /// entering logical factors count any selected non-zero domain value
+    /// as true (value 0 is reserved for the "none"/false level).
+    #[inline]
+    pub fn truthy(value: u32) -> bool {
+        value != 0
+    }
+
+    /// Whether the formula is satisfied given `value_of(var)`.
+    pub fn satisfied(&self, value_of: &dyn Fn(VarId) -> u32) -> bool {
+        match self.kind {
+            FactorKind::IsTrue => Self::truthy(value_of(self.vars[0])),
+            FactorKind::And => self.vars.iter().all(|&v| Self::truthy(value_of(v))),
+            FactorKind::Or => self.vars.iter().any(|&v| Self::truthy(value_of(v))),
+            FactorKind::Equal => {
+                let first = Self::truthy(value_of(self.vars[0]));
+                self.vars.iter().all(|&v| Self::truthy(value_of(v)) == first)
+            }
+            FactorKind::Imply => {
+                let n = self.vars.len();
+                let antecedent = self.vars[..n - 1]
+                    .iter()
+                    .all(|&v| Self::truthy(value_of(v)));
+                !antecedent || Self::truthy(value_of(self.vars[n - 1]))
+            }
+        }
+    }
+
+    /// Energy contribution: `weight` when satisfied, `0` otherwise.
+    #[inline]
+    pub fn energy(&self, value_of: &dyn Fn(VarId) -> u32) -> f64 {
+        if self.satisfied(value_of) {
+            self.weight
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(assign: &[u32]) -> impl Fn(VarId) -> u32 + '_ {
+        move |v| assign[v as usize]
+    }
+
+    #[test]
+    fn imply_semantics() {
+        let f = Factor::new(FactorKind::Imply, vec![0, 1], 2.0);
+        assert!(f.satisfied(&val(&[0, 0]))); // F => F
+        assert!(f.satisfied(&val(&[0, 1]))); // F => T
+        assert!(!f.satisfied(&val(&[1, 0]))); // T => F
+        assert!(f.satisfied(&val(&[1, 1]))); // T => T
+        assert_eq!(f.energy(&val(&[1, 0])), 0.0);
+        assert_eq!(f.energy(&val(&[1, 1])), 2.0);
+    }
+
+    #[test]
+    fn imply_with_conjunction_antecedent() {
+        let f = Factor::new(FactorKind::Imply, vec![0, 1, 2], 1.0);
+        assert!(f.satisfied(&val(&[1, 0, 0]))); // antecedent false
+        assert!(!f.satisfied(&val(&[1, 1, 0])));
+        assert!(f.satisfied(&val(&[1, 1, 1])));
+    }
+
+    #[test]
+    fn and_or_equal_istrue() {
+        let and = Factor::new(FactorKind::And, vec![0, 1], 1.0);
+        let or = Factor::new(FactorKind::Or, vec![0, 1], 1.0);
+        let eq = Factor::new(FactorKind::Equal, vec![0, 1], 1.0);
+        let ist = Factor::new(FactorKind::IsTrue, vec![0], 1.0);
+        assert!(and.satisfied(&val(&[1, 1])));
+        assert!(!and.satisfied(&val(&[1, 0])));
+        assert!(or.satisfied(&val(&[1, 0])));
+        assert!(!or.satisfied(&val(&[0, 0])));
+        assert!(eq.satisfied(&val(&[0, 0])));
+        assert!(eq.satisfied(&val(&[1, 1])));
+        assert!(!eq.satisfied(&val(&[1, 0])));
+        assert!(ist.satisfied(&val(&[1])));
+        assert!(!ist.satisfied(&val(&[0])));
+    }
+
+    #[test]
+    fn categorical_values_are_truthy_when_nonzero() {
+        let f = Factor::new(FactorKind::IsTrue, vec![0], 1.0);
+        assert!(f.satisfied(&val(&[7])));
+        assert!(!f.satisfied(&val(&[0])));
+    }
+
+    #[test]
+    fn negative_weights_penalize_satisfaction() {
+        let f = Factor::new(FactorKind::IsTrue, vec![0], -1.5);
+        assert_eq!(f.energy(&val(&[1])), -1.5);
+        assert_eq!(f.energy(&val(&[0])), 0.0);
+    }
+}

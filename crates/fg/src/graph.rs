@@ -1,0 +1,377 @@
+//! The factor graph container with variable→factor adjacency.
+
+use crate::factor::Factor;
+use crate::region_factor::RegionFactor;
+use crate::spatial_factor::SpatialFactor;
+use crate::variable::{VarId, Variable};
+use serde::{Deserialize, Serialize};
+use sya_geom::{Point, Rect};
+
+/// A complete assignment of values to all variables (indexed by `VarId`).
+pub type Assignment = Vec<u32>;
+
+/// A (spatial) factor graph: variables, logical factors, spatial factors,
+/// and per-variable adjacency into both factor sets.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FactorGraph {
+    variables: Vec<Variable>,
+    factors: Vec<Factor>,
+    spatial_factors: Vec<SpatialFactor>,
+    /// Higher-order region factors (extension; empty by default).
+    #[serde(default)]
+    region_factors: Vec<RegionFactor>,
+    /// `var -> indices into factors`.
+    var_factors: Vec<Vec<u32>>,
+    /// `var -> indices into spatial_factors`.
+    var_spatial: Vec<Vec<u32>>,
+    /// `var -> indices into region_factors`.
+    #[serde(default)]
+    var_region: Vec<Vec<u32>>,
+}
+
+impl FactorGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable, assigning it the next dense id.
+    /// The `id` field of `v` is overwritten with the assigned id, which
+    /// is returned.
+    pub fn add_variable(&mut self, mut v: Variable) -> VarId {
+        let id = self.variables.len() as VarId;
+        v.id = id;
+        self.variables.push(v);
+        self.var_factors.push(Vec::new());
+        self.var_spatial.push(Vec::new());
+        self.var_region.push(Vec::new());
+        id
+    }
+
+    /// Adds a logical factor.
+    ///
+    /// # Panics
+    /// Panics (debug) when a referenced variable does not exist.
+    pub fn add_factor(&mut self, f: Factor) -> u32 {
+        let idx = self.factors.len() as u32;
+        for &v in &f.vars {
+            debug_assert!((v as usize) < self.variables.len(), "factor references unknown var");
+            self.var_factors[v as usize].push(idx);
+        }
+        self.factors.push(f);
+        idx
+    }
+
+    /// Adds a spatial factor.
+    pub fn add_spatial_factor(&mut self, f: SpatialFactor) -> u32 {
+        let idx = self.spatial_factors.len() as u32;
+        debug_assert!((f.a as usize) < self.variables.len());
+        debug_assert!((f.b as usize) < self.variables.len());
+        self.var_spatial[f.a as usize].push(idx);
+        if f.b != f.a {
+            self.var_spatial[f.b as usize].push(idx);
+        }
+        self.spatial_factors.push(f);
+        idx
+    }
+
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    pub fn num_spatial_factors(&self) -> usize {
+        self.spatial_factors.len()
+    }
+
+    /// Total factor count (logical + spatial + region) — the paper's
+    /// "No. Factors".
+    pub fn total_factors(&self) -> usize {
+        self.factors.len() + self.spatial_factors.len() + self.region_factors.len()
+    }
+
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    pub fn variable(&self, id: VarId) -> &Variable {
+        &self.variables[id as usize]
+    }
+
+    pub fn variable_mut(&mut self, id: VarId) -> &mut Variable {
+        &mut self.variables[id as usize]
+    }
+
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    pub fn factor(&self, idx: u32) -> &Factor {
+        &self.factors[idx as usize]
+    }
+
+    /// Adds a higher-order region factor (extension).
+    pub fn add_region_factor(&mut self, f: RegionFactor) -> u32 {
+        let idx = self.region_factors.len() as u32;
+        for &v in &f.vars {
+            debug_assert!((v as usize) < self.variables.len());
+            self.var_region[v as usize].push(idx);
+        }
+        self.region_factors.push(f);
+        idx
+    }
+
+    pub fn region_factors(&self) -> &[RegionFactor] {
+        &self.region_factors
+    }
+
+    pub fn region_factor(&self, idx: u32) -> &RegionFactor {
+        &self.region_factors[idx as usize]
+    }
+
+    /// Indices of region factors touching `v`.
+    pub fn region_factors_of(&self, v: VarId) -> &[u32] {
+        self.var_region.get(v as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn num_region_factors(&self) -> usize {
+        self.region_factors.len()
+    }
+
+    /// Updates the weight of a logical factor (weight learning).
+    pub fn set_factor_weight(&mut self, idx: u32, weight: f64) {
+        self.factors[idx as usize].weight = weight;
+    }
+
+    pub fn spatial_factors(&self) -> &[SpatialFactor] {
+        &self.spatial_factors
+    }
+
+    pub fn spatial_factor(&self, idx: u32) -> &SpatialFactor {
+        &self.spatial_factors[idx as usize]
+    }
+
+    /// Indices of logical factors touching `v`.
+    pub fn factors_of(&self, v: VarId) -> &[u32] {
+        &self.var_factors[v as usize]
+    }
+
+    /// Indices of spatial factors touching `v`.
+    pub fn spatial_factors_of(&self, v: VarId) -> &[u32] {
+        &self.var_spatial[v as usize]
+    }
+
+    /// An initial assignment: evidence values where observed, `0`
+    /// elsewhere.
+    pub fn initial_assignment(&self) -> Assignment {
+        self.variables
+            .iter()
+            .map(|v| v.evidence.unwrap_or(0))
+            .collect()
+    }
+
+    /// Ids of non-evidence (query) variables.
+    pub fn query_variables(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .filter(|v| !v.is_evidence())
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Bounding box of all located variables (empty rect when none).
+    pub fn bounding_box(&self) -> Rect {
+        self.variables
+            .iter()
+            .filter_map(|v| v.location)
+            .fold(Rect::EMPTY, |acc, p: Point| acc.union(&Rect::from_point(p)))
+    }
+
+    /// Updates the evidence value of a variable (used by incremental
+    /// inference experiments); pass `None` to un-observe.
+    pub fn set_evidence(&mut self, id: VarId, value: Option<u32>) {
+        if let Some(v) = value {
+            assert!(self.variables[id as usize].domain.contains(v));
+        }
+        self.variables[id as usize].evidence = value;
+    }
+
+    /// Removes a set of variables, dropping every factor touching them
+    /// and compacting ids. Returns the old-id → new-id map (removed
+    /// variables map to `None`) — the bulk-deletion path of the paper's
+    /// update handling (callers remap their side tables and rebuild the
+    /// pyramid index).
+    pub fn remove_variables(&self, remove: &std::collections::HashSet<VarId>) -> (FactorGraph, Vec<Option<VarId>>) {
+        let mut remap: Vec<Option<VarId>> = Vec::with_capacity(self.variables.len());
+        let mut out = FactorGraph::new();
+        for v in &self.variables {
+            if remove.contains(&v.id) {
+                remap.push(None);
+            } else {
+                let nv = out.add_variable(v.clone());
+                remap.push(Some(nv));
+            }
+        }
+        for f in &self.factors {
+            let vars: Option<Vec<VarId>> =
+                f.vars.iter().map(|&v| remap[v as usize]).collect();
+            if let Some(vars) = vars {
+                out.add_factor(Factor { kind: f.kind, vars, weight: f.weight });
+            }
+        }
+        for s in &self.spatial_factors {
+            if let (Some(a), Some(b)) = (remap[s.a as usize], remap[s.b as usize]) {
+                out.add_spatial_factor(SpatialFactor { a, b, ..*s });
+            }
+        }
+        for r in &self.region_factors {
+            let vars: Option<Vec<VarId>> =
+                r.vars.iter().map(|&v| remap[v as usize]).collect();
+            if let Some(vars) = vars {
+                out.add_region_factor(RegionFactor { vars, weight: r.weight });
+            }
+        }
+        (out, remap)
+    }
+
+    /// Variables that share a logical or spatial factor with `v`
+    /// (deduplicated, `v` excluded) — the Markov blanket neighbourhood.
+    pub fn neighbours(&self, v: VarId) -> Vec<VarId> {
+        let mut out: Vec<VarId> = Vec::new();
+        for &fi in self.factors_of(v) {
+            for &u in &self.factors[fi as usize].vars {
+                if u != v {
+                    out.push(u);
+                }
+            }
+        }
+        for &si in self.spatial_factors_of(v) {
+            let o = self.spatial_factors[si as usize].other(v);
+            if o != v {
+                out.push(o);
+            }
+        }
+        for &ri in self.region_factors_of(v) {
+            for &u in &self.region_factors[ri as usize].vars {
+                if u != v {
+                    out.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::FactorKind;
+    use crate::variable::Variable;
+
+    fn tiny() -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::binary(0, "a").at(Point::new(0.0, 0.0)));
+        let b = g.add_variable(Variable::binary(0, "b").at(Point::new(3.0, 4.0)));
+        let c = g.add_variable(Variable::binary(0, "c").with_evidence(1));
+        g.add_factor(Factor::new(FactorKind::Imply, vec![a, b], 1.0));
+        g.add_factor(Factor::new(FactorKind::IsTrue, vec![c], 0.5));
+        g.add_spatial_factor(SpatialFactor::binary(a, b, 0.7));
+        g
+    }
+
+    #[test]
+    fn ids_are_dense_and_overwritten() {
+        let g = tiny();
+        assert_eq!(g.num_variables(), 3);
+        for (i, v) in g.variables().iter().enumerate() {
+            assert_eq!(v.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_maintained() {
+        let g = tiny();
+        assert_eq!(g.factors_of(0), &[0]);
+        assert_eq!(g.factors_of(1), &[0]);
+        assert_eq!(g.factors_of(2), &[1]);
+        assert_eq!(g.spatial_factors_of(0), &[0]);
+        assert_eq!(g.spatial_factors_of(1), &[0]);
+        assert!(g.spatial_factors_of(2).is_empty());
+        assert_eq!(g.total_factors(), 3);
+    }
+
+    #[test]
+    fn initial_assignment_uses_evidence() {
+        let g = tiny();
+        assert_eq!(g.initial_assignment(), vec![0, 0, 1]);
+        assert_eq!(g.query_variables(), vec![0, 1]);
+    }
+
+    #[test]
+    fn bounding_box_covers_located_vars() {
+        let g = tiny();
+        assert_eq!(g.bounding_box(), Rect::raw(0.0, 0.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn neighbours_combine_both_factor_kinds() {
+        let mut g = tiny();
+        g.add_factor(Factor::new(FactorKind::And, vec![0, 2], 1.0));
+        assert_eq!(g.neighbours(0), vec![1, 2]);
+        assert_eq!(g.neighbours(1), vec![0]);
+    }
+
+    #[test]
+    fn region_factor_adjacency_and_neighbours() {
+        let mut g = tiny();
+        let d = g.add_variable(Variable::binary(0, "d"));
+        g.add_region_factor(crate::region_factor::RegionFactor::new(vec![0, 1, d], 0.5));
+        assert_eq!(g.num_region_factors(), 1);
+        assert_eq!(g.region_factors_of(0), &[0]);
+        assert_eq!(g.region_factors_of(d), &[0]);
+        assert!(g.neighbours(d).contains(&0));
+        assert!(g.neighbours(d).contains(&1));
+        assert_eq!(g.total_factors(), 4);
+    }
+
+    #[test]
+    fn remove_variables_compacts_and_drops_factors() {
+        let mut g = tiny();
+        let d = g.add_variable(Variable::binary(0, "d"));
+        g.add_factor(Factor::new(FactorKind::And, vec![0, d], 1.0));
+        g.add_region_factor(crate::region_factor::RegionFactor::new(vec![0, 1, d], 0.5));
+        // Remove variable 1 ("b"): every factor touching it is dropped;
+        // factors over surviving variables are kept and remapped.
+        let remove: std::collections::HashSet<VarId> = [1u32].into();
+        let (g2, remap) = g.remove_variables(&remove);
+        assert_eq!(g2.num_variables(), 3);
+        assert_eq!(remap[1], None);
+        assert_eq!(remap[2], Some(1)); // compacted
+        // Imply(0,1) and spatial(0,1) dropped; IsTrue(2) and And(0,d) kept.
+        assert_eq!(g2.num_factors(), 2);
+        assert_eq!(g2.num_spatial_factors(), 0);
+        // Region factor touching the removed var is dropped entirely.
+        assert_eq!(g2.num_region_factors(), 0);
+        // Names preserved through the remap.
+        assert_eq!(g2.variable(remap[3].unwrap()).name, "d");
+        // Adjacency is rebuilt consistently.
+        for (i, f) in g2.factors().iter().enumerate() {
+            for &v in &f.vars {
+                assert!(g2.factors_of(v).contains(&(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn set_evidence_toggles() {
+        let mut g = tiny();
+        g.set_evidence(0, Some(1));
+        assert!(g.variable(0).is_evidence());
+        g.set_evidence(0, None);
+        assert!(!g.variable(0).is_evidence());
+    }
+}

@@ -1,0 +1,108 @@
+//! Higher-order spatial factors — the extension the paper marks as
+//! "intuitive ... but out of scope" (Section IV-A: "spatial correlations
+//! can be defined on more than two grounds").
+//!
+//! A [`RegionFactor`] correlates *all* spatial ground atoms of a small
+//! region at once with a normalized pairwise-agreement potential
+//!
+//! ```text
+//! ρ_R(v) = exp( w · (agree(v) − disagree(v)) / C(n, 2) )
+//! ```
+//!
+//! where `agree`/`disagree` count the value-(dis)agreeing atom pairs of
+//! the region. For a two-atom region this reduces exactly to the pairwise
+//! Definition 1 (`+w` on agreement, `−w` on disagreement), so region
+//! factors are a strict generalization of Eq. 2 — one factor replacing
+//! the `C(n, 2)` pairwise factors of a tight cluster.
+
+use crate::variable::VarId;
+use serde::{Deserialize, Serialize};
+
+/// A majority-agreement factor over the atoms of one spatial region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionFactor {
+    pub vars: Vec<VarId>,
+    /// Region weight (the distance-derived scale of the consensus pull).
+    pub weight: f64,
+}
+
+impl RegionFactor {
+    /// Creates a region factor over at least two atoms.
+    pub fn new(vars: Vec<VarId>, weight: f64) -> Self {
+        debug_assert!(vars.len() >= 2, "region factor needs at least two atoms");
+        RegionFactor { vars, weight }
+    }
+
+    /// Log-space energy: `w · (agree − disagree) / C(n, 2)` over the
+    /// region's atom pairs. Binary regions avoid allocation.
+    pub fn energy(&self, value_of: &dyn Fn(VarId) -> u32) -> f64 {
+        let n = self.vars.len();
+        let total_pairs = (n * (n - 1) / 2) as f64;
+        // Value histogram; fast path for binary {0, 1}.
+        let mut count0 = 0usize;
+        let mut count1 = 0usize;
+        let mut others: Option<std::collections::HashMap<u32, usize>> = None;
+        for &v in &self.vars {
+            match value_of(v) {
+                0 => count0 += 1,
+                1 => count1 += 1,
+                x => {
+                    *others
+                        .get_or_insert_with(Default::default)
+                        .entry(x)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let pairs = |c: usize| (c * c.saturating_sub(1) / 2) as f64;
+        let mut agree = pairs(count0) + pairs(count1);
+        if let Some(map) = &others {
+            agree += map.values().map(|&c| pairs(c)).sum::<f64>();
+        }
+        let disagree = total_pairs - agree;
+        self.weight * (agree - disagree) / total_pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(assign: &[u32]) -> impl Fn(VarId) -> u32 + '_ {
+        move |v| assign[v as usize]
+    }
+
+    #[test]
+    fn two_atom_region_reduces_to_pairwise_definition() {
+        let f = RegionFactor::new(vec![0, 1], 0.8);
+        assert_eq!(f.energy(&val(&[1, 1])), 0.8);
+        assert_eq!(f.energy(&val(&[0, 0])), 0.8);
+        assert_eq!(f.energy(&val(&[1, 0])), -0.8);
+        assert_eq!(f.energy(&val(&[0, 1])), -0.8);
+    }
+
+    #[test]
+    fn consensus_scales_with_pairwise_agreement() {
+        let f = RegionFactor::new(vec![0, 1, 2, 3], 1.0);
+        assert_eq!(f.energy(&val(&[1, 1, 1, 1])), 1.0); // 6/6 agree
+        assert_eq!(f.energy(&val(&[1, 1, 1, 0])), 0.0); // 3 agree, 3 disagree
+        // 2 agree (one 1-pair, one 0-pair), 4 disagree -> -1/3.
+        assert!((f.energy(&val(&[1, 1, 0, 0])) - (-1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_pair_counting() {
+        let f = RegionFactor::new(vec![0, 1, 2], 1.0);
+        // 5,5,2 -> 1 agree, 2 disagree over 3 pairs -> -1/3.
+        assert!((f.energy(&val(&[5, 5, 2])) - (-1.0 / 3.0)).abs() < 1e-12);
+        // all distinct -> -1.
+        assert!((f.energy(&val(&[5, 7, 2])) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_binary_and_zero_counts() {
+        let f = RegionFactor::new(vec![0, 1, 2, 3, 4], 2.0);
+        // 0,0,0,1,1 -> agree C(3,2)+C(2,2)=4 of 10 -> 2*(4-6)/10 = -0.4.
+        assert!((f.energy(&val(&[0, 0, 0, 1, 1])) + 0.4).abs() < 1e-12);
+    }
+}

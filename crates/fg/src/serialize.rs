@@ -1,0 +1,128 @@
+//! Factor-graph persistence: the grounding phase is expensive for large
+//! knowledge bases, so the ground (spatial) factor graph can be saved
+//! after grounding and reloaded for repeated inference runs — the same
+//! role DeepDive's on-disk factor-graph files play.
+
+use crate::graph::FactorGraph;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from save/load.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Encode(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "factor graph I/O error: {e}"),
+            PersistError::Encode(e) => write!(f, "factor graph encoding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Encode(e)
+    }
+}
+
+impl FactorGraph {
+    /// Serializes the graph as JSON to a writer.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        serde_json::to_writer(writer, self)?;
+        Ok(())
+    }
+
+    /// Deserializes a graph from a JSON reader.
+    pub fn load<R: Read>(reader: R) -> Result<FactorGraph, PersistError> {
+        Ok(serde_json::from_reader(reader)?)
+    }
+
+    /// Saves to a file path (buffered).
+    pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        self.save(BufWriter::new(file))
+    }
+
+    /// Loads from a file path (buffered).
+    pub fn load_from_path(path: impl AsRef<Path>) -> Result<FactorGraph, PersistError> {
+        let file = std::fs::File::open(path)?;
+        Self::load(BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{Factor, FactorKind};
+    use crate::spatial_factor::SpatialFactor;
+    use crate::variable::Variable;
+    use sya_geom::Point;
+
+    fn graph() -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::binary(0, "a").at(Point::new(1.0, 2.0)));
+        let b = g.add_variable(Variable::categorical(0, 5, "b").with_evidence(3));
+        g.add_factor(Factor::new(FactorKind::Imply, vec![a, b], 0.7));
+        g.add_spatial_factor(SpatialFactor::categorical(a, b, 0.4, 1, 1));
+        g
+    }
+
+    #[test]
+    fn round_trips_through_memory() {
+        let g = graph();
+        let mut buf = Vec::new();
+        g.save(&mut buf).unwrap();
+        let g2 = FactorGraph::load(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_variables(), 2);
+        assert_eq!(g2.num_factors(), 1);
+        assert_eq!(g2.num_spatial_factors(), 1);
+        assert_eq!(g2.variable(1).evidence, Some(3));
+        assert_eq!(g2.variable(0).location, Some(Point::new(1.0, 2.0)));
+        // Adjacency survives (it is serialized, not rebuilt).
+        assert_eq!(g2.factors_of(0), g.factors_of(0));
+        assert_eq!(g2.spatial_factors_of(1), g.spatial_factors_of(1));
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let g = graph();
+        let dir = std::env::temp_dir().join("sya_fg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.json");
+        g.save_to_path(&path).unwrap();
+        let g2 = FactorGraph::load_from_path(&path).unwrap();
+        assert_eq!(g2.num_variables(), g.num_variables());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(FactorGraph::load(&b"not json"[..]).is_err());
+        assert!(FactorGraph::load_from_path("/nonexistent/graph.json").is_err());
+    }
+
+    #[test]
+    fn energies_identical_after_round_trip() {
+        let g = graph();
+        let mut buf = Vec::new();
+        g.save(&mut buf).unwrap();
+        let g2 = FactorGraph::load(buf.as_slice()).unwrap();
+        let assignment = vec![1u32, 3u32];
+        assert_eq!(
+            crate::energy::log_prob_unnormalized(&g, &assignment),
+            crate::energy::log_prob_unnormalized(&g2, &assignment),
+        );
+    }
+}

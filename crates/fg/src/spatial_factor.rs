@@ -1,0 +1,121 @@
+//! Spatial factors — the paper's core modelling contribution
+//! (Section IV-A, Definitions 1 and 2).
+//!
+//! A spatial factor `ρ_{j,k}` correlates two spatial ground atoms of the
+//! same `@spatial` variable relation with a weight derived from their
+//! distance. In exponential form the factor multiplies straight into the
+//! joint distribution, i.e. adds `±w_d` to the log-probability
+//! (Equation 3).
+
+use crate::variable::VarId;
+use serde::{Deserialize, Serialize};
+
+/// A pairwise spatial factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialFactor {
+    pub a: VarId,
+    pub b: VarId,
+    /// The distance-derived weight `w_{d(a,b)}` (already evaluated by the
+    /// weighting function at grounding time).
+    pub weight: f64,
+    /// `None` for binary variables (Definition 1 / Eq. 2).
+    /// `Some((t_a, t_b))` for categorical variables (Definition 2 /
+    /// Eq. 4): the factor is active only when `a` takes `t_a` and `b`
+    /// takes `t_b`.
+    pub domain_pair: Option<(u32, u32)>,
+}
+
+impl SpatialFactor {
+    /// Binary spatial factor (Eq. 2).
+    pub fn binary(a: VarId, b: VarId, weight: f64) -> Self {
+        SpatialFactor { a, b, weight, domain_pair: None }
+    }
+
+    /// Categorical spatial factor over one domain-value pair (Eq. 4).
+    pub fn categorical(a: VarId, b: VarId, weight: f64, t_a: u32, t_b: u32) -> Self {
+        SpatialFactor { a, b, weight, domain_pair: Some((t_a, t_b)) }
+    }
+
+    /// Log-space contribution of this factor under values `va`, `vb`.
+    ///
+    /// * Binary (Eq. 2): `+w` when `va == vb`, `-w` otherwise —
+    ///   favouring spatial clustering.
+    /// * Categorical (Eq. 4): active only when both atoms select the
+    ///   factor's domain pair; then `+w` when the pair agrees
+    ///   (`t_a == t_b`) and `-w` when it disagrees. Inactive factors
+    ///   contribute 0 (factor value 1).
+    #[inline]
+    pub fn energy(&self, va: u32, vb: u32) -> f64 {
+        match self.domain_pair {
+            None => {
+                if va == vb {
+                    self.weight
+                } else {
+                    -self.weight
+                }
+            }
+            Some((ta, tb)) => {
+                if va == ta && vb == tb {
+                    if ta == tb {
+                        self.weight
+                    } else {
+                        -self.weight
+                    }
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The other endpoint relative to `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is not an endpoint.
+    #[inline]
+    pub fn other(&self, v: VarId) -> VarId {
+        if v == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(v, self.b, "variable {v} not on this factor");
+            self.a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_favours_agreement() {
+        let f = SpatialFactor::binary(0, 1, 0.8);
+        assert_eq!(f.energy(1, 1), 0.8);
+        assert_eq!(f.energy(0, 0), 0.8);
+        assert_eq!(f.energy(1, 0), -0.8);
+        assert_eq!(f.energy(0, 1), -0.8);
+    }
+
+    #[test]
+    fn categorical_same_value_pair_rewards() {
+        let f = SpatialFactor::categorical(0, 1, 0.5, 3, 3);
+        assert_eq!(f.energy(3, 3), 0.5);
+        assert_eq!(f.energy(3, 2), 0.0); // b did not select t_b -> inactive
+        assert_eq!(f.energy(0, 0), 0.0);
+    }
+
+    #[test]
+    fn categorical_cross_value_pair_penalizes() {
+        let f = SpatialFactor::categorical(0, 1, 0.5, 2, 7);
+        assert_eq!(f.energy(2, 7), -0.5); // active, t_a != t_b
+        assert_eq!(f.energy(7, 2), 0.0); // order matters: pair is directed
+        assert_eq!(f.energy(2, 2), 0.0);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let f = SpatialFactor::binary(4, 9, 1.0);
+        assert_eq!(f.other(4), 9);
+        assert_eq!(f.other(9), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Random variables (ground atoms) of the factor graph.
+
+use serde::{Deserialize, Serialize};
+use sya_geom::Point;
+
+/// Identifier of a variable within its factor graph (dense, 0-based).
+pub type VarId = u32;
+
+/// Domain of a random variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Boolean variable taking values `{0, 1}` (false / true).
+    Binary,
+    /// Categorical variable taking values `0..h` (paper Section IV-A,
+    /// "Spatial Factors for Categorical Variables").
+    Categorical(u32),
+}
+
+impl Domain {
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> u32 {
+        match self {
+            Domain::Binary => 2,
+            Domain::Categorical(h) => *h,
+        }
+    }
+
+    /// True when `value` lies in the domain.
+    pub fn contains(&self, value: u32) -> bool {
+        value < self.cardinality()
+    }
+}
+
+/// A ground atom: one random variable of the knowledge base.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    pub id: VarId,
+    pub domain: Domain,
+    /// Location of the underlying entity — `Some` for *spatial ground
+    /// atoms* of `@spatial` relations, `None` otherwise.
+    pub location: Option<Point>,
+    /// Observed value: evidence variables are clamped during sampling.
+    pub evidence: Option<u32>,
+    /// Human-readable name for result reporting, e.g. `HasEbola(3)`.
+    pub name: String,
+}
+
+impl Variable {
+    /// A binary query (non-evidence) variable.
+    pub fn binary(id: VarId, name: impl Into<String>) -> Self {
+        Variable { id, domain: Domain::Binary, location: None, evidence: None, name: name.into() }
+    }
+
+    /// A categorical query variable with `h` domain values.
+    pub fn categorical(id: VarId, h: u32, name: impl Into<String>) -> Self {
+        Variable {
+            id,
+            domain: Domain::Categorical(h),
+            location: None,
+            evidence: None,
+            name: name.into(),
+        }
+    }
+
+    /// Attaches a location (makes this a spatial ground atom).
+    pub fn at(mut self, p: Point) -> Self {
+        self.location = Some(p);
+        self
+    }
+
+    /// Clamps the variable to an observed value.
+    ///
+    /// # Panics
+    /// Panics when `value` is outside the domain.
+    pub fn with_evidence(mut self, value: u32) -> Self {
+        assert!(self.domain.contains(value), "evidence {value} outside domain");
+        self.evidence = Some(value);
+        self
+    }
+
+    /// True when this variable is observed.
+    pub fn is_evidence(&self) -> bool {
+        self.evidence.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_cardinality_and_membership() {
+        assert_eq!(Domain::Binary.cardinality(), 2);
+        assert!(Domain::Binary.contains(1));
+        assert!(!Domain::Binary.contains(2));
+        let c = Domain::Categorical(10);
+        assert_eq!(c.cardinality(), 10);
+        assert!(c.contains(9));
+        assert!(!c.contains(10));
+    }
+
+    #[test]
+    fn builders() {
+        let v = Variable::binary(3, "HasEbola(3)")
+            .at(Point::new(1.0, 2.0))
+            .with_evidence(1);
+        assert_eq!(v.id, 3);
+        assert_eq!(v.location, Some(Point::new(1.0, 2.0)));
+        assert!(v.is_evidence());
+        assert_eq!(v.evidence, Some(1));
+        assert_eq!(v.name, "HasEbola(3)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_evidence_panics() {
+        let _ = Variable::binary(0, "x").with_evidence(2);
+    }
+}

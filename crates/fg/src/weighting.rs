@@ -1,0 +1,133 @@
+//! Spatial weighting functions — the `w` of `@spatial(w)`
+//! (paper Section III / IV-A).
+//!
+//! The weight of a spatial factor is a decreasing function of the
+//! distance between its atoms; the paper's default is the *exponential
+//! distance weighing* function of GeoDa [Anselin et al.]. All functions
+//! are normalized so the weight at distance 0 equals `scale` and decays
+//! with the configured bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// A distance-decay weighting function.
+///
+/// ```
+/// use sya_fg::WeightingFn;
+///
+/// let exp = WeightingFn::by_name("exp", 1.0, 10.0).unwrap();
+/// assert_eq!(exp.weight(0.0), 1.0);
+/// assert!(exp.weight(10.0) < exp.weight(5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightingFn {
+    /// `w(d) = scale · exp(-d / bandwidth)` — GeoDa-style exponential
+    /// distance weighing; the paper's `@spatial(exp)` built-in.
+    Exponential { scale: f64, bandwidth: f64 },
+    /// `w(d) = scale · exp(-(d / bandwidth)²)` — gaussian kernel.
+    Gaussian { scale: f64, bandwidth: f64 },
+    /// `w(d) = scale / (1 + d / bandwidth)` — inverse-distance weighing.
+    InverseDistance { scale: f64, bandwidth: f64 },
+    /// `w(d) = scale · max(0, 1 - d / cutoff)` — linear taper to zero at
+    /// the cutoff distance.
+    Linear { scale: f64, cutoff: f64 },
+}
+
+impl WeightingFn {
+    /// The paper's default: exponential with unit scale.
+    pub fn default_exp(bandwidth: f64) -> Self {
+        WeightingFn::Exponential { scale: 1.0, bandwidth }
+    }
+
+    /// Resolves a `@spatial(name)` annotation to a built-in function.
+    /// `bandwidth` calibrates the decay to the dataset's spatial extent
+    /// (Sya derives it from the rule's distance cutoff, falling back to
+    /// the dataset diameter / 10).
+    pub fn by_name(name: &str, scale: f64, bandwidth: f64) -> Option<Self> {
+        Some(match name {
+            "exp" | "exponential" => WeightingFn::Exponential { scale, bandwidth },
+            "gauss" | "gaussian" => WeightingFn::Gaussian { scale, bandwidth },
+            "invd" | "inverse" | "inverse_distance" => {
+                WeightingFn::InverseDistance { scale, bandwidth }
+            }
+            "linear" => WeightingFn::Linear { scale, cutoff: bandwidth },
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the weight at distance `d >= 0`.
+    pub fn weight(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0, "distance must be non-negative");
+        match *self {
+            WeightingFn::Exponential { scale, bandwidth } => scale * (-d / bandwidth).exp(),
+            WeightingFn::Gaussian { scale, bandwidth } => {
+                let t = d / bandwidth;
+                scale * (-t * t).exp()
+            }
+            WeightingFn::InverseDistance { scale, bandwidth } => scale / (1.0 + d / bandwidth),
+            WeightingFn::Linear { scale, cutoff } => scale * (1.0 - d / cutoff).max(0.0),
+        }
+    }
+
+    /// Weights below this are treated as negligible; grounding skips the
+    /// corresponding spatial factors to bound graph size.
+    pub const NEGLIGIBLE: f64 = 1e-4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_functions_decay_monotonically() {
+        for f in [
+            WeightingFn::Exponential { scale: 1.0, bandwidth: 5.0 },
+            WeightingFn::Gaussian { scale: 1.0, bandwidth: 5.0 },
+            WeightingFn::InverseDistance { scale: 1.0, bandwidth: 5.0 },
+            WeightingFn::Linear { scale: 1.0, cutoff: 5.0 },
+        ] {
+            let mut prev = f.weight(0.0);
+            assert!((prev - 1.0).abs() < 1e-12, "weight at 0 must equal scale");
+            for step in 1..=20 {
+                let w = f.weight(step as f64);
+                assert!(w <= prev + 1e-15, "{f:?} not decreasing at d={step}");
+                assert!(w >= 0.0);
+                prev = w;
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_matches_formula() {
+        let f = WeightingFn::Exponential { scale: 2.0, bandwidth: 10.0 };
+        assert!((f.weight(10.0) - 2.0 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_reaches_zero_at_cutoff() {
+        let f = WeightingFn::Linear { scale: 1.0, cutoff: 4.0 };
+        assert_eq!(f.weight(4.0), 0.0);
+        assert_eq!(f.weight(6.0), 0.0);
+        assert_eq!(f.weight(2.0), 0.5);
+    }
+
+    #[test]
+    fn name_resolution() {
+        assert!(matches!(
+            WeightingFn::by_name("exp", 1.0, 5.0),
+            Some(WeightingFn::Exponential { .. })
+        ));
+        assert!(matches!(
+            WeightingFn::by_name("gaussian", 1.0, 5.0),
+            Some(WeightingFn::Gaussian { .. })
+        ));
+        assert!(matches!(
+            WeightingFn::by_name("invd", 1.0, 5.0),
+            Some(WeightingFn::InverseDistance { .. })
+        ));
+        assert!(matches!(
+            WeightingFn::by_name("linear", 1.0, 5.0),
+            Some(WeightingFn::Linear { .. })
+        ));
+        assert_eq!(WeightingFn::by_name("mystery", 1.0, 5.0), None);
+    }
+}

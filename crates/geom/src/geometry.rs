@@ -1,0 +1,311 @@
+//! The unified [`Geometry`] enum and the OGC-style predicates Sya exposes
+//! in rule bodies (`distance`, `within`, `overlaps`, `contains`,
+//! `intersects`) plus the `buffer` helper mentioned in Section III.
+
+use crate::linestring::LineString;
+use crate::point::{haversine_miles, Point};
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// One of the four Sya spatial data types (paper Section III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Geometry {
+    Point(Point),
+    Rect(Rect),
+    Polygon(Polygon),
+    LineString(LineString),
+}
+
+/// Distance metric used by the `distance` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceMetric {
+    /// Plain Euclidean distance in coordinate units.
+    #[default]
+    Euclidean,
+    /// Haversine great-circle distance in miles (lon/lat coordinates).
+    HaversineMiles,
+}
+
+impl Geometry {
+    /// Bounding box of the geometry.
+    pub fn bbox(&self) -> Rect {
+        match self {
+            Geometry::Point(p) => Rect::from_point(*p),
+            Geometry::Rect(r) => *r,
+            Geometry::Polygon(p) => p.bbox(),
+            Geometry::LineString(l) => l.bbox(),
+        }
+    }
+
+    /// A representative point (the point itself, or the bbox center).
+    pub fn representative_point(&self) -> Point {
+        match self {
+            Geometry::Point(p) => *p,
+            other => other.bbox().center(),
+        }
+    }
+
+    /// The geometry type name as it appears in WKT.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Geometry::Point(_) => "POINT",
+            Geometry::Rect(_) => "RECT",
+            Geometry::Polygon(_) => "POLYGON",
+            Geometry::LineString(_) => "LINESTRING",
+        }
+    }
+
+    /// Euclidean distance between two geometries (0 when they intersect).
+    ///
+    /// Point-point, point-rect, point-polygon-boundary, and point-line
+    /// cases are exact; for extended-extended pairs we fall back to the
+    /// distance between representative points unless they intersect —
+    /// exactness there is not required by any Sya rule in the paper.
+    pub fn distance(&self, other: &Geometry) -> f64 {
+        use Geometry::*;
+        match (self, other) {
+            (Point(a), Point(b)) => a.distance(b),
+            (Point(p), Rect(r)) | (Rect(r), Point(p)) => r.distance_to_point(p),
+            (Point(p), LineString(l)) | (LineString(l), Point(p)) => l.distance_to_point(p),
+            (Point(p), Polygon(pg)) | (Polygon(pg), Point(p)) => {
+                if pg.contains_point(p) {
+                    0.0
+                } else {
+                    // distance to boundary
+                    let ring = pg.ring();
+                    let n = ring.len();
+                    (0..n)
+                        .map(|i| {
+                            crate::linestring::point_segment_distance(
+                                p,
+                                &ring[i],
+                                &ring[(i + 1) % n],
+                            )
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                }
+            }
+            (a, b) => {
+                if a.intersects(b) {
+                    0.0
+                } else {
+                    a.representative_point().distance(&b.representative_point())
+                }
+            }
+        }
+    }
+
+    /// Distance under the chosen metric. Non-point geometries use their
+    /// representative point for the haversine case.
+    pub fn distance_with(&self, other: &Geometry, metric: DistanceMetric) -> f64 {
+        match metric {
+            DistanceMetric::Euclidean => self.distance(other),
+            DistanceMetric::HaversineMiles => haversine_miles(
+                &self.representative_point(),
+                &other.representative_point(),
+            ),
+        }
+    }
+
+    /// OGC `within`: `self` lies entirely inside `other`.
+    pub fn within(&self, other: &Geometry) -> bool {
+        other.contains(self)
+    }
+
+    /// OGC `contains`: `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &Geometry) -> bool {
+        use Geometry::*;
+        match (self, other) {
+            (Rect(r), Point(p)) => r.contains_point(p),
+            (Rect(r), Rect(s)) => r.contains_rect(s),
+            (Rect(r), Polygon(p)) => r.contains_rect(&p.bbox()),
+            (Rect(r), LineString(l)) => r.contains_rect(&l.bbox()),
+            (Polygon(pg), Point(p)) => pg.contains_point(p),
+            (Polygon(pg), Rect(r)) => pg.contains_polygon(&crate::polygon::Polygon::from_rect(r)),
+            (Polygon(a), Polygon(b)) => a.contains_polygon(b),
+            (Polygon(pg), LineString(l)) => l.points().iter().all(|p| pg.contains_point(p)),
+            (Point(a), Point(b)) => a == b,
+            (Point(_), _) | (LineString(_), _) => false,
+        }
+    }
+
+    /// OGC `intersects`: the geometries share at least one point.
+    pub fn intersects(&self, other: &Geometry) -> bool {
+        use Geometry::*;
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        match (self, other) {
+            (Point(a), Point(b)) => a == b,
+            (Point(p), Rect(r)) | (Rect(r), Point(p)) => r.contains_point(p),
+            (Point(p), Polygon(pg)) | (Polygon(pg), Point(p)) => pg.contains_point(p),
+            (Point(p), LineString(l)) | (LineString(l), Point(p)) => {
+                l.distance_to_point(p) < 1e-12
+            }
+            (Rect(a), Rect(b)) => a.intersects(b),
+            (Rect(r), Polygon(p)) | (Polygon(p), Rect(r)) => {
+                crate::polygon::Polygon::from_rect(r).intersects(p)
+            }
+            (Rect(r), LineString(l)) | (LineString(l), Rect(r)) => {
+                // any vertex inside, or any segment crossing the rect boundary
+                l.points().iter().any(|p| r.contains_point(p))
+                    || {
+                        let ring = crate::polygon::Polygon::from_rect(r);
+                        let boundary = crate::linestring::LineString::new({
+                            let mut v = ring.ring().to_vec();
+                            v.push(ring.ring()[0]);
+                            v
+                        })
+                        .expect("rect boundary");
+                        l.intersects_linestring(&boundary)
+                    }
+            }
+            (Polygon(a), Polygon(b)) => a.intersects(b),
+            (Polygon(pg), LineString(l)) | (LineString(l), Polygon(pg)) => {
+                l.points().iter().any(|p| pg.contains_point(p)) || {
+                    let mut v = pg.ring().to_vec();
+                    v.push(pg.ring()[0]);
+                    let boundary = crate::linestring::LineString::new(v).expect("polygon boundary");
+                    l.intersects_linestring(&boundary)
+                }
+            }
+            (LineString(a), LineString(b)) => a.intersects_linestring(b),
+        }
+    }
+
+    /// OGC `overlaps`: the geometries intersect but neither contains the
+    /// other (the paper lists `overlaps` as a rule-body predicate).
+    pub fn overlaps(&self, other: &Geometry) -> bool {
+        self.intersects(other) && !self.contains(other) && !other.contains(self)
+    }
+
+    /// `buffer`: expands the geometry's bounding box by `r` and returns it
+    /// as a rectangle — the axis-aligned buffer used by Sya's grounding
+    /// queries (true round buffers are unnecessary for box-filtered
+    /// candidate generation).
+    pub fn buffer(&self, r: f64) -> Geometry {
+        Geometry::Rect(self.bbox().expand(r))
+    }
+
+    /// `union` of two geometries as the combined bounding box (the form
+    /// needed by grounding-time candidate generation).
+    pub fn union_bbox(&self, other: &Geometry) -> Geometry {
+        Geometry::Rect(self.bbox().union(&other.bbox()))
+    }
+
+    /// Convenience accessor: the point if this is a `Point`.
+    pub fn as_point(&self) -> Option<Point> {
+        match self {
+            Geometry::Point(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+impl From<Point> for Geometry {
+    fn from(p: Point) -> Self {
+        Geometry::Point(p)
+    }
+}
+
+impl From<Rect> for Geometry {
+    fn from(r: Rect) -> Self {
+        Geometry::Rect(r)
+    }
+}
+
+impl From<Polygon> for Geometry {
+    fn from(p: Polygon) -> Self {
+        Geometry::Polygon(p)
+    }
+}
+
+impl From<LineString> for Geometry {
+    fn from(l: LineString) -> Self {
+        Geometry::LineString(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(r: Rect) -> Geometry {
+        Geometry::Polygon(Polygon::from_rect(&r))
+    }
+
+    #[test]
+    fn point_point_distance() {
+        let a = Geometry::Point(Point::new(0.0, 0.0));
+        let b = Geometry::Point(Point::new(3.0, 4.0));
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn point_within_polygon() {
+        let pg = poly(Rect::raw(0.0, 0.0, 10.0, 10.0));
+        let inside = Geometry::Point(Point::new(5.0, 5.0));
+        let outside = Geometry::Point(Point::new(15.0, 5.0));
+        assert!(inside.within(&pg));
+        assert!(!outside.within(&pg));
+        assert!(pg.contains(&inside));
+    }
+
+    #[test]
+    fn distance_point_to_polygon_is_boundary_distance() {
+        let pg = poly(Rect::raw(0.0, 0.0, 2.0, 2.0));
+        let p = Geometry::Point(Point::new(5.0, 1.0));
+        assert!((pg.distance(&p) - 3.0).abs() < 1e-12);
+        let inside = Geometry::Point(Point::new(1.0, 1.0));
+        assert_eq!(pg.distance(&inside), 0.0);
+    }
+
+    #[test]
+    fn overlaps_excludes_containment() {
+        let a = poly(Rect::raw(0.0, 0.0, 10.0, 10.0));
+        let b = poly(Rect::raw(5.0, 5.0, 15.0, 15.0));
+        let c = poly(Rect::raw(1.0, 1.0, 2.0, 2.0));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // contained, not overlapping
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn buffer_expands_bbox() {
+        let p = Geometry::Point(Point::new(1.0, 1.0));
+        match p.buffer(2.0) {
+            Geometry::Rect(r) => assert_eq!(r, Rect::raw(-1.0, -1.0, 3.0, 3.0)),
+            other => panic!("expected rect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linestring_rect_intersection() {
+        let l = Geometry::LineString(
+            LineString::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]).unwrap(),
+        );
+        let r = Geometry::Rect(Rect::raw(0.0, 0.0, 1.0, 1.0));
+        assert!(l.intersects(&r));
+        let far = Geometry::Rect(Rect::raw(10.0, 10.0, 11.0, 11.0));
+        assert!(!l.intersects(&far));
+    }
+
+    #[test]
+    fn haversine_metric_uses_representative_points() {
+        let a = Geometry::Point(Point::new(-10.8047, 6.3156));
+        let b = Geometry::Point(Point::new(-9.4722, 6.9956));
+        let d = a.distance_with(&b, DistanceMetric::HaversineMiles);
+        assert!((90.0..140.0).contains(&d));
+    }
+
+    #[test]
+    fn union_bbox_covers_both() {
+        let a = Geometry::Point(Point::new(0.0, 0.0));
+        let b = Geometry::Point(Point::new(4.0, 2.0));
+        match a.union_bbox(&b) {
+            Geometry::Rect(r) => assert_eq!(r, Rect::raw(0.0, 0.0, 4.0, 2.0)),
+            other => panic!("expected rect, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Uniform grid index: the simple partitioning primitive underneath the
+//! pyramid index of the inference module (each pyramid level *is* a
+//! `2^l × 2^l` uniform grid over the indexed space).
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A fixed-resolution grid over a bounding region, bucketing payloads by
+/// the cell containing their point.
+#[derive(Debug, Clone)]
+pub struct UniformGrid<T> {
+    bounds: Rect,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<T>>,
+}
+
+impl<T> UniformGrid<T> {
+    /// Creates an empty `cols × rows` grid over `bounds`.
+    ///
+    /// # Panics
+    /// Panics when `cols == 0`, `rows == 0`, or `bounds` is empty.
+    pub fn new(bounds: Rect, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        let cells = (0..cols * rows).map(|_| Vec::new()).collect();
+        UniformGrid { bounds, cols, rows, cells }
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Grid coordinates `(col, row)` of the cell containing `p`. Points on
+    /// the max edge fall into the last cell; points outside the bounds are
+    /// clamped (Sya clamps stray atoms into the boundary cells).
+    pub fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let fx = (p.x - self.bounds.min_x) / self.bounds.width().max(f64::MIN_POSITIVE);
+        let fy = (p.y - self.bounds.min_y) / self.bounds.height().max(f64::MIN_POSITIVE);
+        let col = ((fx * self.cols as f64) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let row = ((fy * self.rows as f64) as isize).clamp(0, self.rows as isize - 1) as usize;
+        (col, row)
+    }
+
+    /// Flat index of a cell.
+    pub fn cell_index(&self, col: usize, row: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// Inserts a payload at point `p`.
+    pub fn insert(&mut self, p: &Point, value: T) {
+        let (c, r) = self.cell_of(p);
+        let idx = self.cell_index(c, r);
+        self.cells[idx].push(value);
+    }
+
+    /// Contents of cell `(col, row)`.
+    pub fn cell(&self, col: usize, row: usize) -> &[T] {
+        &self.cells[self.cell_index(col, row)]
+    }
+
+    /// Bounding rectangle of a cell.
+    pub fn cell_rect(&self, col: usize, row: usize) -> Rect {
+        let w = self.bounds.width() / self.cols as f64;
+        let h = self.bounds.height() / self.rows as f64;
+        Rect::raw(
+            self.bounds.min_x + col as f64 * w,
+            self.bounds.min_y + row as f64 * h,
+            self.bounds.min_x + (col + 1) as f64 * w,
+            self.bounds.min_y + (row + 1) as f64 * h,
+        )
+    }
+
+    /// Iterates non-empty cells as `(col, row, contents)`.
+    pub fn non_empty_cells(&self) -> impl Iterator<Item = (usize, usize, &[T])> {
+        self.cells.iter().enumerate().filter_map(move |(i, v)| {
+            if v.is_empty() {
+                None
+            } else {
+                Some((i % self.cols, i / self.cols, v.as_slice()))
+            }
+        })
+    }
+
+    /// Total stored payloads.
+    pub fn len(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut g = UniformGrid::new(Rect::raw(0.0, 0.0, 10.0, 10.0), 2, 2);
+        g.insert(&Point::new(1.0, 1.0), "a");
+        g.insert(&Point::new(9.0, 9.0), "b");
+        g.insert(&Point::new(9.0, 1.0), "c");
+        assert_eq!(g.cell(0, 0), ["a"]);
+        assert_eq!(g.cell(1, 1), ["b"]);
+        assert_eq!(g.cell(1, 0), ["c"]);
+        assert!(g.cell(0, 1).is_empty());
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn max_edge_falls_in_last_cell() {
+        let g = UniformGrid::<()>::new(Rect::raw(0.0, 0.0, 4.0, 4.0), 4, 4);
+        assert_eq!(g.cell_of(&Point::new(4.0, 4.0)), (3, 3));
+        assert_eq!(g.cell_of(&Point::new(0.0, 0.0)), (0, 0));
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp() {
+        let g = UniformGrid::<()>::new(Rect::raw(0.0, 0.0, 4.0, 4.0), 4, 4);
+        assert_eq!(g.cell_of(&Point::new(-3.0, 10.0)), (0, 3));
+    }
+
+    #[test]
+    fn cell_rects_tile_bounds() {
+        let g = UniformGrid::<()>::new(Rect::raw(0.0, 0.0, 8.0, 4.0), 4, 2);
+        let mut area = 0.0;
+        for r in 0..2 {
+            for c in 0..4 {
+                area += g.cell_rect(c, r).area();
+            }
+        }
+        assert!((area - 32.0).abs() < 1e-9);
+        assert_eq!(g.cell_rect(0, 0), Rect::raw(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(g.cell_rect(3, 1), Rect::raw(6.0, 2.0, 8.0, 4.0));
+    }
+
+    #[test]
+    fn non_empty_cells_iteration() {
+        let mut g = UniformGrid::new(Rect::raw(0.0, 0.0, 1.0, 1.0), 3, 3);
+        g.insert(&Point::new(0.5, 0.5), 7);
+        let v: Vec<_> = g.non_empty_cells().collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, 1);
+        assert_eq!(v[0].1, 1);
+        assert_eq!(v[0].2, [7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cells_panics() {
+        UniformGrid::<()>::new(Rect::raw(0.0, 0.0, 1.0, 1.0), 0, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sya-geom — spatial geometry substrate for Sya
+//!
+//! This crate provides the spatial primitives the Sya paper relies on
+//! (Section III "Spatial Data Types" and Section IV-B "Integration with
+//! Spatial Databases"): the four OGC-style data types (`Point`,
+//! `Rect`angle, `Polygon`, `LineString`), the spatial predicates used in
+//! rule bodies (`distance`, `within`, `overlaps`, `contains`,
+//! `intersects`), WKT parsing/formatting, and the spatial indexes used to
+//! make grounding queries efficient (an R-tree with STR bulk loading and a
+//! uniform grid).
+//!
+//! Coordinates are plain `f64` pairs. Two distance metrics are offered:
+//! Euclidean distance in coordinate units, and haversine distance in miles
+//! for latitude/longitude data (the paper's EbolaKB example measures
+//! county proximity in miles).
+//!
+//! Everything here is deterministic and allocation-conscious; the R-tree
+//! is the workhorse behind Sya's spatial joins and the automatic spatial
+//! factor generation.
+
+pub mod geometry;
+pub mod grid;
+pub mod linestring;
+pub mod point;
+pub mod polygon;
+pub mod rect;
+pub mod rtree;
+pub mod wkt;
+
+pub use geometry::{DistanceMetric, Geometry};
+pub use grid::UniformGrid;
+pub use linestring::LineString;
+pub use point::{haversine_miles, Point};
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use rtree::RTree;
+pub use wkt::{parse_wkt, to_wkt, WktError};

@@ -1,0 +1,132 @@
+//! Polyline (`LINESTRING`) type: length, bounding box, point distance and
+//! segment intersection against other geometries.
+
+use crate::point::Point;
+use crate::polygon::segments_intersect;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A polyline with at least two vertices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineString {
+    points: Vec<Point>,
+    bbox: Rect,
+}
+
+impl LineString {
+    /// Builds a linestring; returns `None` for fewer than 2 vertices.
+    pub fn new(points: Vec<Point>) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        let bbox = points
+            .iter()
+            .fold(Rect::EMPTY, |acc, p| acc.union(&Rect::from_point(*p)));
+        Some(LineString { points, bbox })
+    }
+
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Total Euclidean length.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum()
+    }
+
+    /// Minimum distance from `p` to the polyline.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| point_segment_distance(p, &w[0], &w[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// True when any segment of `self` intersects any segment of `other`.
+    pub fn intersects_linestring(&self, other: &LineString) -> bool {
+        if !self.bbox.intersects(&other.bbox) {
+            return false;
+        }
+        self.points.windows(2).any(|a| {
+            other
+                .points
+                .windows(2)
+                .any(|b| segments_intersect(&a[0], &a[1], &b[0], &b[1]))
+        })
+    }
+}
+
+/// Distance from point `p` to segment `ab`.
+pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len_sq = abx * abx + aby * aby;
+    if len_sq == 0.0 {
+        return p.distance(a);
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq).clamp(0.0, 1.0);
+    p.distance(&Point::new(a.x + t * abx, a.y + t * aby))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(LineString::new(vec![]).is_none());
+        assert!(LineString::new(vec![Point::new(0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn length_of_right_angle_path() {
+        let ls = LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ])
+        .unwrap();
+        assert_eq!(ls.length(), 7.0);
+    }
+
+    #[test]
+    fn distance_to_point_projects_onto_segment() {
+        let ls = LineString::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap();
+        assert_eq!(ls.distance_to_point(&Point::new(5.0, 3.0)), 3.0);
+        assert_eq!(ls.distance_to_point(&Point::new(-4.0, 3.0)), 5.0); // clamps to endpoint
+    }
+
+    #[test]
+    fn crossing_linestrings_intersect() {
+        let a = LineString::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)]).unwrap();
+        let b = LineString::new(vec![Point::new(0.0, 2.0), Point::new(2.0, 0.0)]).unwrap();
+        let c = LineString::new(vec![Point::new(5.0, 5.0), Point::new(6.0, 6.0)]).unwrap();
+        assert!(a.intersects_linestring(&b));
+        assert!(!a.intersects_linestring(&c));
+    }
+
+    #[test]
+    fn degenerate_segment_distance_is_point_distance() {
+        let p = Point::new(1.0, 1.0);
+        let a = Point::new(4.0, 5.0);
+        assert_eq!(point_segment_distance(&p, &a, &a), 5.0);
+    }
+
+    #[test]
+    fn bbox_covers_all_points() {
+        let ls = LineString::new(vec![
+            Point::new(-1.0, 2.0),
+            Point::new(3.0, -4.0),
+            Point::new(0.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(ls.bbox(), Rect::raw(-1.0, -4.0, 3.0, 2.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! 2-D point type and distance metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in miles, used by [`haversine_miles`].
+pub const EARTH_RADIUS_MILES: f64 = 3958.7613;
+
+/// A 2-D point. For geographic data the convention is `x = longitude`,
+/// `y = latitude` (degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other` in coordinate units.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the `sqrt` when only comparisons
+    /// are needed, e.g. in R-tree nearest-neighbour search).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// True when both coordinates are finite (no NaN / infinity).
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "POINT({} {})", self.x, self.y)
+    }
+}
+
+/// Great-circle (haversine) distance in miles between two lon/lat points.
+///
+/// `a` and `b` use the `x = longitude`, `y = latitude` convention, in
+/// degrees. This is the metric behind predicates like
+/// `distance(L1, L2) < 150` in the paper's EbolaKB rule when coordinates
+/// are geographic.
+pub fn haversine_miles(a: &Point, b: &Point) -> f64 {
+    let lat1 = a.y.to_radians();
+    let lat2 = b.y.to_radians();
+    let dlat = (b.y - a.y).to_radians();
+    let dlon = (b.x - a.x).to_radians();
+    let h = (dlat * 0.5).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon * 0.5).sin().powi(2);
+    2.0 * EARTH_RADIUS_MILES * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(-3.0, 0.5);
+        let b = Point::new(2.0, -1.5);
+        assert!((a.distance_sq(&b).sqrt() - a.distance(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Point::new(0.0, 0.0).midpoint(&Point::new(2.0, 4.0));
+        assert_eq!(m, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn haversine_monrovia_to_gbarnga_is_plausible() {
+        // Monrovia (Montserrado) to Gbarnga (Bong), roughly 100-120 miles.
+        let monrovia = Point::new(-10.8047, 6.3156);
+        let gbarnga = Point::new(-9.4722, 6.9956);
+        let d = haversine_miles(&monrovia, &gbarnga);
+        assert!((90.0..140.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_on_same_point() {
+        let p = Point::new(-73.97, 40.78);
+        assert!(haversine_miles(&p, &p) < 1e-9);
+    }
+
+    #[test]
+    fn haversine_symmetric() {
+        let a = Point::new(-97.5, 31.0);
+        let b = Point::new(-95.3, 29.8);
+        assert!((haversine_miles(&a, &b) - haversine_miles(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_wkt() {
+        assert_eq!(Point::new(1.5, -2.0).to_string(), "POINT(1.5 -2)");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Point::new(0.0, 0.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,400 @@
+//! Simple polygon type (single outer ring) with point-in-polygon,
+//! bounding box, and segment-intersection based overlap tests.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A simple polygon given by its outer ring.
+///
+/// The ring is stored *without* a repeated closing vertex; the edge from
+/// the last vertex back to the first is implicit. At least 3 vertices are
+/// required.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    ring: Vec<Point>,
+    bbox: Rect,
+}
+
+impl Polygon {
+    /// Builds a polygon from an outer ring. A trailing vertex equal to the
+    /// first is dropped. Returns `None` for fewer than 3 distinct
+    /// vertices.
+    pub fn new(mut ring: Vec<Point>) -> Option<Self> {
+        if ring.len() >= 2 && ring.first() == ring.last() {
+            ring.pop();
+        }
+        if ring.len() < 3 {
+            return None;
+        }
+        let bbox = ring
+            .iter()
+            .fold(Rect::EMPTY, |acc, p| acc.union(&Rect::from_point(*p)));
+        Some(Polygon { ring, bbox })
+    }
+
+    /// Axis-aligned rectangle as a polygon (counter-clockwise ring).
+    pub fn from_rect(r: &Rect) -> Self {
+        Polygon::new(vec![
+            Point::new(r.min_x, r.min_y),
+            Point::new(r.max_x, r.min_y),
+            Point::new(r.max_x, r.max_y),
+            Point::new(r.min_x, r.max_y),
+        ])
+        .expect("rect ring has 4 vertices")
+    }
+
+    /// The outer ring (no repeated closing vertex).
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Precomputed bounding box.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Signed area via the shoelace formula (positive for CCW rings).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.ring.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.ring[i];
+            let b = self.ring[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc * 0.5
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Ray-casting point-in-polygon test; boundary points count as inside.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if !self.bbox.contains_point(p) {
+            return false;
+        }
+        let n = self.ring.len();
+        let mut inside = false;
+        for i in 0..n {
+            let a = self.ring[i];
+            let b = self.ring[(i + 1) % n];
+            if point_on_segment(p, &a, &b) {
+                return true;
+            }
+            // Standard even-odd crossing rule.
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_at_y = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_at_y {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// True when any edge of `self` properly intersects any edge of
+    /// `other`, or one polygon contains a vertex of the other. This is the
+    /// `intersects` OGC predicate for simple polygons.
+    pub fn intersects(&self, other: &Polygon) -> bool {
+        if !self.bbox.intersects(&other.bbox) {
+            return false;
+        }
+        let n = self.ring.len();
+        let m = other.ring.len();
+        for i in 0..n {
+            let (a1, a2) = (self.ring[i], self.ring[(i + 1) % n]);
+            for j in 0..m {
+                let (b1, b2) = (other.ring[j], other.ring[(j + 1) % m]);
+                if segments_intersect(&a1, &a2, &b1, &b2) {
+                    return true;
+                }
+            }
+        }
+        self.contains_point(&other.ring[0]) || other.contains_point(&self.ring[0])
+    }
+
+    /// True when every vertex of `other` is inside `self` and no edges
+    /// cross — sufficient containment test for simple polygons.
+    pub fn contains_polygon(&self, other: &Polygon) -> bool {
+        if !self.bbox.contains_rect(&other.bbox) {
+            return false;
+        }
+        other.ring.iter().all(|p| self.contains_point(p)) && {
+            let n = self.ring.len();
+            let m = other.ring.len();
+            for i in 0..n {
+                let (a1, a2) = (self.ring[i], self.ring[(i + 1) % n]);
+                for j in 0..m {
+                    let (b1, b2) = (other.ring[j], other.ring[(j + 1) % m]);
+                    if segments_properly_intersect(&a1, &a2, &b1, &b2) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    /// Area-weighted centroid (the shoelace centroid); falls back to the
+    /// vertex centroid for degenerate (zero-area) rings.
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a.abs() < 1e-12 {
+            return self.vertex_centroid();
+        }
+        let n = self.ring.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            let cross = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * cross;
+            cy += (p.y + q.y) * cross;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Convex hull of a point set (Andrew's monotone chain), as a CCW
+    /// polygon. Returns `None` for fewer than 3 non-collinear points.
+    pub fn convex_hull(points: &[Point]) -> Option<Polygon> {
+        let mut pts: Vec<Point> = points.to_vec();
+        pts.sort_by(|a, b| {
+            a.x.partial_cmp(&b.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        pts.dedup();
+        if pts.len() < 3 {
+            return None;
+        }
+        let mut hull: Vec<Point> = Vec::with_capacity(pts.len() * 2);
+        // Lower hull then upper hull.
+        for pass in 0..2 {
+            let start = hull.len();
+            let iter: Box<dyn Iterator<Item = &Point>> = if pass == 0 {
+                Box::new(pts.iter())
+            } else {
+                Box::new(pts.iter().rev())
+            };
+            for p in iter {
+                while hull.len() >= start + 2
+                    && orient(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+                {
+                    hull.pop();
+                }
+                hull.push(*p);
+            }
+            hull.pop(); // endpoint repeats as the next pass's start
+        }
+        Polygon::new(hull)
+    }
+
+    /// Centroid of the ring vertices (sufficient for index placement).
+    pub fn vertex_centroid(&self) -> Point {
+        let n = self.ring.len() as f64;
+        let (sx, sy) = self
+            .ring
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Point::new(sx / n, sy / n)
+    }
+}
+
+fn orient(a: &Point, b: &Point, c: &Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+fn point_on_segment(p: &Point, a: &Point, b: &Point) -> bool {
+    orient(a, b, p).abs() < 1e-12
+        && p.x >= a.x.min(b.x) - 1e-12
+        && p.x <= a.x.max(b.x) + 1e-12
+        && p.y >= a.y.min(b.y) - 1e-12
+        && p.y <= a.y.max(b.y) + 1e-12
+}
+
+/// Segment intersection including touching endpoints and collinear overlap.
+pub(crate) fn segments_intersect(a1: &Point, a2: &Point, b1: &Point, b2: &Point) -> bool {
+    let d1 = orient(a1, a2, b1);
+    let d2 = orient(a1, a2, b2);
+    let d3 = orient(b1, b2, a1);
+    let d4 = orient(b1, b2, a2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    point_on_segment(b1, a1, a2)
+        || point_on_segment(b2, a1, a2)
+        || point_on_segment(a1, b1, b2)
+        || point_on_segment(a2, b1, b2)
+}
+
+/// Proper crossing only (interiors intersect), excluding shared endpoints.
+fn segments_properly_intersect(a1: &Point, a2: &Point, b1: &Point, b2: &Point) -> bool {
+    let d1 = orient(a1, a2, b1);
+    let d2 = orient(a1, a2, b2);
+    let d3 = orient(b1, b2, a1);
+    let d4 = orient(b1, b2, a2);
+    ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::from_rect(&Rect::raw(0.0, 0.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn rejects_degenerate_rings() {
+        assert!(Polygon::new(vec![]).is_none());
+        assert!(Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).is_none());
+        // closed pair collapses to 1 distinct vertex
+        assert!(Polygon::new(vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn closing_vertex_is_dropped() {
+        let p = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(p.ring().len(), 3);
+    }
+
+    #[test]
+    fn area_of_unit_square() {
+        assert!((unit_square().area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_in_polygon_basics() {
+        let sq = unit_square();
+        assert!(sq.contains_point(&Point::new(0.5, 0.5)));
+        assert!(sq.contains_point(&Point::new(0.0, 0.5))); // boundary
+        assert!(sq.contains_point(&Point::new(1.0, 1.0))); // corner
+        assert!(!sq.contains_point(&Point::new(1.5, 0.5)));
+        assert!(!sq.contains_point(&Point::new(0.5, -0.1)));
+    }
+
+    #[test]
+    fn point_in_concave_polygon() {
+        // L-shape
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains_point(&Point::new(0.5, 1.5)));
+        assert!(!l.contains_point(&Point::new(1.5, 1.5))); // in the notch
+        assert!(l.contains_point(&Point::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn intersects_and_contains() {
+        let big = Polygon::from_rect(&Rect::raw(0.0, 0.0, 10.0, 10.0));
+        let inner = Polygon::from_rect(&Rect::raw(2.0, 2.0, 3.0, 3.0));
+        let crossing = Polygon::from_rect(&Rect::raw(9.0, 9.0, 12.0, 12.0));
+        let outside = Polygon::from_rect(&Rect::raw(20.0, 20.0, 21.0, 21.0));
+        assert!(big.contains_polygon(&inner));
+        assert!(big.intersects(&inner));
+        assert!(big.intersects(&crossing));
+        assert!(!big.contains_polygon(&crossing));
+        assert!(!big.intersects(&outside));
+        assert!(!big.contains_polygon(&outside));
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let o = Point::new(0.0, 0.0);
+        assert!(segments_intersect(
+            &o,
+            &Point::new(2.0, 2.0),
+            &Point::new(0.0, 2.0),
+            &Point::new(2.0, 0.0)
+        ));
+        // touching at endpoint counts
+        assert!(segments_intersect(
+            &o,
+            &Point::new(1.0, 0.0),
+            &Point::new(1.0, 0.0),
+            &Point::new(2.0, 5.0)
+        ));
+        // parallel disjoint does not
+        assert!(!segments_intersect(
+            &o,
+            &Point::new(1.0, 0.0),
+            &Point::new(0.0, 1.0),
+            &Point::new(1.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn area_centroid_of_lshape() {
+        // L-shape: two unit-square halves; centroid is the area-weighted
+        // average of (0.5, 1.0)-ish parts, NOT the vertex centroid.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        let c = l.centroid();
+        // Exact: three unit squares at centers (0.5,0.5),(1.5,0.5),(0.5,1.5).
+        assert!((c.x - 5.0 / 6.0).abs() < 1e-9, "{c:?}");
+        assert!((c.y - 5.0 / 6.0).abs() < 1e-9, "{c:?}");
+    }
+
+    #[test]
+    fn convex_hull_basics() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior
+            Point::new(1.0, 0.0), // edge
+        ];
+        let hull = Polygon::convex_hull(&pts).unwrap();
+        assert_eq!(hull.ring().len(), 4);
+        assert!((hull.area() - 16.0).abs() < 1e-9);
+        assert!(hull.signed_area() > 0.0, "CCW orientation");
+        // Every input point is inside or on the hull.
+        for p in &pts {
+            assert!(hull.contains_point(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn convex_hull_degenerate_inputs() {
+        assert!(Polygon::convex_hull(&[]).is_none());
+        assert!(Polygon::convex_hull(&[Point::new(0.0, 0.0)]).is_none());
+        // Collinear points have no 2-D hull.
+        let line: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert!(Polygon::convex_hull(&line).is_none());
+        // Duplicates collapse.
+        let dup = vec![Point::new(0.0, 0.0); 10];
+        assert!(Polygon::convex_hull(&dup).is_none());
+    }
+
+    #[test]
+    fn vertex_centroid_of_square() {
+        let c = unit_square().vertex_centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Axis-aligned rectangle, the workhorse bounding box of the spatial
+//! indexes and one of the four Sya spatial data types.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Axis-aligned rectangle defined by its min and max corners.
+///
+/// Invariant: `min_x <= max_x` and `min_y <= max_y` (enforced by the
+/// constructors; [`Rect::raw`] skips the normalization for trusted input).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners, normalizing order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// Creates a rectangle from already-ordered bounds.
+    pub const fn raw(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Rect { min_x, min_y, max_x, max_y }
+    }
+
+    /// Degenerate rectangle covering a single point.
+    pub const fn from_point(p: Point) -> Self {
+        Rect { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+    }
+
+    /// The "empty" rectangle, neutral element of [`Rect::union`].
+    pub const EMPTY: Rect = Rect {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    /// True when this is the neutral empty rectangle.
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half the perimeter; used as the R-tree split goodness measure.
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True when `other` is fully inside (or equal to) `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !other.is_empty()
+            && other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// True when the two rectangles share at least a boundary point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && self.max_x >= other.min_x
+            && self.min_y <= other.max_y
+            && self.max_y >= other.min_y
+    }
+
+    /// Smallest rectangle covering both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Area by which `self` would grow to cover `other` — R-tree insertion
+    /// heuristic.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Rectangle expanded by `r` on every side (Minkowski sum with a
+    /// square); used to turn within-distance queries into box queries.
+    pub fn expand(&self, r: f64) -> Rect {
+        Rect {
+            min_x: self.min_x - r,
+            min_y: self.min_y - r,
+            max_x: self.max_x + r,
+            max_y: self.max_y + r,
+        }
+    }
+
+    /// Minimum Euclidean distance from `p` to this rectangle (0 inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(Point::new(5.0, 1.0), Point::new(2.0, 4.0));
+        assert_eq!(r, Rect::raw(2.0, 1.0, 5.0, 4.0));
+    }
+
+    #[test]
+    fn empty_is_neutral_for_union() {
+        let r = Rect::raw(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(Rect::EMPTY.union(&r), r);
+        assert_eq!(r.union(&Rect::EMPTY), r);
+        assert!(Rect::EMPTY.is_empty());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let a = Rect::raw(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::raw(2.0, 2.0, 3.0, 3.0);
+        let c = Rect::raw(9.0, 9.0, 12.0, 12.0);
+        let d = Rect::raw(11.0, 11.0, 12.0, 12.0);
+        assert!(a.contains_rect(&b));
+        assert!(!a.contains_rect(&c));
+        assert!(a.intersects(&c));
+        assert!(!a.intersects(&d));
+        assert!(a.contains_point(&Point::new(10.0, 10.0)));
+        assert!(!a.contains_point(&Point::new(10.0001, 10.0)));
+    }
+
+    #[test]
+    fn empty_never_intersects() {
+        let r = Rect::raw(0.0, 0.0, 1.0, 1.0);
+        assert!(!Rect::EMPTY.intersects(&r));
+        assert!(!r.intersects(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn area_margin_enlargement() {
+        let a = Rect::raw(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        let b = Rect::raw(2.0, 3.0, 4.0, 4.0);
+        // union is (0,0)-(4,4) with area 16
+        assert_eq!(a.enlargement(&b), 10.0);
+    }
+
+    #[test]
+    fn expand_grows_all_sides() {
+        let r = Rect::from_point(Point::new(1.0, 1.0)).expand(2.0);
+        assert_eq!(r, Rect::raw(-1.0, -1.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn distance_to_point_zero_inside_positive_outside() {
+        let r = Rect::raw(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.distance_to_point(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.distance_to_point(&Point::new(5.0, 2.0)), 3.0);
+        assert!((r.distance_to_point(&Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+}

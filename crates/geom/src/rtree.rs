@@ -1,0 +1,484 @@
+//! R-tree spatial index (Guttman-style dynamic inserts with quadratic
+//! split, plus Sort-Tile-Recursive bulk loading).
+//!
+//! This is the "on-fly spatial index" of the paper's grounding module
+//! (Section IV-B optimization 1): relations with spatial attributes get an
+//! R-tree so spatial joins and range queries avoid the quadratic scan.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+const MAX_ENTRIES: usize = 16;
+const MIN_ENTRIES: usize = 4; // = MAX_ENTRIES * 25%, Guttman's m
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { entries: Vec<(Rect, T)> },
+    Inner { children: Vec<(Rect, Box<Node<T>>)> },
+}
+
+impl<T> Node<T> {
+    fn bbox(&self) -> Rect {
+        match self {
+            Node::Leaf { entries } => entries
+                .iter()
+                .fold(Rect::EMPTY, |acc, (r, _)| acc.union(r)),
+            Node::Inner { children } => children
+                .iter()
+                .fold(Rect::EMPTY, |acc, (r, _)| acc.union(r)),
+        }
+    }
+
+    #[allow(dead_code)]
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries } => entries.len(),
+            Node::Inner { children } => children.len(),
+        }
+    }
+}
+
+/// A dynamic R-tree mapping bounding rectangles to payloads.
+///
+/// ```
+/// use sya_geom::{Point, RTree, Rect};
+///
+/// let tree = RTree::bulk_load(
+///     (0..100)
+///         .map(|i| (Rect::from_point(Point::new(i as f64, 0.0)), i))
+///         .collect(),
+/// );
+/// let near = tree.within_distance(&Point::new(10.0, 0.0), 1.5);
+/// assert_eq!(near.len(), 3); // 9, 10, 11
+/// ```
+///
+/// Typical payloads in Sya are row ids of a table or ground-atom ids of a
+/// spatial factor graph.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree { root: Node::Leaf { entries: Vec::new() }, len: 0 }
+    }
+}
+
+impl<T: Clone> RTree<T> {
+
+    /// Bulk-loads a tree with the Sort-Tile-Recursive (STR) algorithm,
+    /// producing well-packed leaves — the preferred construction for
+    /// grounding, where the whole relation is known up front.
+    pub fn bulk_load(mut items: Vec<(Rect, T)>) -> Self {
+        let len = items.len();
+        if len == 0 {
+            return Self::new();
+        }
+        // STR: sort by center x, slice into vertical strips, sort each
+        // strip by center y, pack runs of MAX_ENTRIES into leaves.
+        items.sort_by(|a, b| {
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let leaf_count = len.div_ceil(MAX_ENTRIES);
+        let strips = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = len.div_ceil(strips);
+
+        let mut leaves: Vec<(Rect, Box<Node<T>>)> = Vec::with_capacity(leaf_count);
+        for strip in items.chunks_mut(per_strip.max(1)) {
+            strip.sort_by(|a, b| {
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for run in strip.chunks(MAX_ENTRIES) {
+                let node = Node::Leaf { entries: run.to_vec() };
+                leaves.push((node.bbox(), Box::new(node)));
+            }
+        }
+        // Pack upward until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<(Rect, Box<Node<T>>)> =
+                Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            for run in level.chunks(MAX_ENTRIES) {
+                let node = Node::Inner { children: run.to_vec() };
+                next.push((node.bbox(), Box::new(node)));
+            }
+            level = next;
+        }
+        let root = match level.pop() {
+            Some((_, node)) => *node,
+            None => Node::Leaf { entries: Vec::new() },
+        };
+        RTree { root, len }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts one entry (Guttman: choose-least-enlargement descent,
+    /// quadratic split on overflow).
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        self.len += 1;
+        if let Some((r1, n1, r2, n2)) = insert_rec(&mut self.root, rect, value) {
+            // Root split: grow the tree by one level.
+            self.root = Node::Inner { children: vec![(r1, n1), (r2, n2)] };
+        }
+    }
+
+    /// All payloads whose rectangle intersects `query`.
+    pub fn search(&self, query: &Rect) -> Vec<T> {
+        let mut out = Vec::new();
+        self.for_each_in(query, |_, v| out.push(v.clone()));
+        out
+    }
+
+    /// Visits `(rect, payload)` for every entry intersecting `query`.
+    pub fn for_each_in<F: FnMut(&Rect, &T)>(&self, query: &Rect, mut f: F) {
+        fn rec<T, F: FnMut(&Rect, &T)>(node: &Node<T>, query: &Rect, f: &mut F) {
+            match node {
+                Node::Leaf { entries } => {
+                    for (r, v) in entries {
+                        if r.intersects(query) {
+                            f(r, v);
+                        }
+                    }
+                }
+                Node::Inner { children } => {
+                    for (r, child) in children {
+                        if r.intersects(query) {
+                            rec(child, query, f);
+                        }
+                    }
+                }
+            }
+        }
+        rec(&self.root, query, &mut f);
+    }
+
+    /// Payloads whose rectangle lies within Euclidean distance `radius` of
+    /// `center` (distance measured rect-to-point, which equals the point
+    /// distance for point entries). This backs the `distance(a,b) < r`
+    /// spatial-join translation.
+    pub fn within_distance(&self, center: &Point, radius: f64) -> Vec<T> {
+        let query = Rect::from_point(*center).expand(radius);
+        let mut out = Vec::new();
+        self.for_each_in(&query, |r, v| {
+            if r.distance_to_point(center) <= radius {
+                out.push(v.clone());
+            }
+        });
+        out
+    }
+
+    /// Nearest entry to `p` (branch-and-bound), or `None` when empty.
+    pub fn nearest(&self, p: &Point) -> Option<(Rect, T)> {
+        fn rec<T: Clone>(
+            node: &Node<T>,
+            p: &Point,
+            best: &mut Option<(f64, Rect, T)>,
+        ) {
+            match node {
+                Node::Leaf { entries } => {
+                    for (r, v) in entries {
+                        let d = r.distance_to_point(p);
+                        if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+                            *best = Some((d, *r, v.clone()));
+                        }
+                    }
+                }
+                Node::Inner { children } => {
+                    // Visit children closest-first, prune by current best.
+                    let mut order: Vec<(f64, usize)> = children
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (r, _))| (r.distance_to_point(p), i))
+                        .collect();
+                    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                    for (d, i) in order {
+                        if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+                            rec(&children[i].1, p, best);
+                        }
+                    }
+                }
+            }
+        }
+        let mut best = None;
+        rec(&self.root, p, &mut best);
+        best.map(|(_, r, v)| (r, v))
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner { children } = node {
+            h += 1;
+            node = &children[0].1;
+        }
+        h
+    }
+}
+
+/// Recursive insert. Returns `Some((r1, n1, r2, n2))` when the child split
+/// and the parent must absorb two nodes instead of one.
+#[allow(clippy::type_complexity)]
+fn insert_rec<T: Clone>(
+    node: &mut Node<T>,
+    rect: Rect,
+    value: T,
+) -> Option<(Rect, Box<Node<T>>, Rect, Box<Node<T>>)> {
+    match node {
+        Node::Leaf { entries } => {
+            entries.push((rect, value));
+            if entries.len() <= MAX_ENTRIES {
+                return None;
+            }
+            let (left, right) = quadratic_split(std::mem::take(entries));
+            let left_node = Node::Leaf { entries: left };
+            let right_node = Node::Leaf { entries: right };
+            let (lb, rb) = (left_node.bbox(), right_node.bbox());
+            *node = Node::Leaf { entries: Vec::new() }; // replaced by caller
+            Some((lb, Box::new(left_node), rb, Box::new(right_node)))
+        }
+        Node::Inner { children } => {
+            // Choose subtree with least enlargement (ties: smaller area).
+            let mut best = 0usize;
+            let mut best_enl = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for (i, (r, _)) in children.iter().enumerate() {
+                let enl = r.enlargement(&rect);
+                let area = r.area();
+                if enl < best_enl || (enl == best_enl && area < best_area) {
+                    best = i;
+                    best_enl = enl;
+                    best_area = area;
+                }
+            }
+            let split = insert_rec(&mut children[best].1, rect, value);
+            match split {
+                None => {
+                    children[best].0 = children[best].0.union(&rect);
+                    None
+                }
+                Some((r1, n1, r2, n2)) => {
+                    children.remove(best);
+                    children.push((r1, n1));
+                    children.push((r2, n2));
+                    if children.len() <= MAX_ENTRIES {
+                        return None;
+                    }
+                    let items: Vec<(Rect, Box<Node<T>>)> = std::mem::take(children);
+                    let (left, right) = quadratic_split(items);
+                    let ln = Node::Inner { children: left };
+                    let rn = Node::Inner { children: right };
+                    let (lb, rb) = (ln.bbox(), rn.bbox());
+                    Some((lb, Box::new(ln), rb, Box::new(rn)))
+                }
+            }
+        }
+    }
+}
+
+/// A split of entries into two groups.
+type SplitGroups<E> = (Vec<(Rect, E)>, Vec<(Rect, E)>);
+
+/// Guttman's quadratic split over any `(Rect, payload)` list.
+fn quadratic_split<E>(mut items: Vec<(Rect, E)>) -> SplitGroups<E> {
+    debug_assert!(items.len() > MAX_ENTRIES);
+    // Pick seeds: the pair wasting the most area if grouped together.
+    let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let waste = items[i].0.union(&items[j].0).area()
+                - items[i].0.area()
+                - items[j].0.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Remove higher index first to keep the lower one valid.
+    let second = items.remove(s2.max(s1));
+    let first = items.remove(s2.min(s1));
+    let mut left = vec![first];
+    let mut right = vec![second];
+    let mut lbox = left[0].0;
+    let mut rbox = right[0].0;
+
+    while let Some(item) = items.pop() {
+        let remaining = items.len() + 1;
+        // Force assignment if one side must take all remaining to reach m.
+        if left.len() + remaining <= MIN_ENTRIES {
+            lbox = lbox.union(&item.0);
+            left.push(item);
+            continue;
+        }
+        if right.len() + remaining <= MIN_ENTRIES {
+            rbox = rbox.union(&item.0);
+            right.push(item);
+            continue;
+        }
+        let dl = lbox.enlargement(&item.0);
+        let dr = rbox.enlargement(&item.0);
+        if dl < dr || (dl == dr && left.len() <= right.len()) {
+            lbox = lbox.union(&item.0);
+            left.push(item);
+        } else {
+            rbox = rbox.union(&item.0);
+            right.push(item);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<(Rect, usize)> {
+        // Deterministic pseudo-random scatter.
+        (0..n)
+            .map(|i| {
+                let x = ((i * 7919 + 13) % 1000) as f64 / 10.0;
+                let y = ((i * 104729 + 7) % 1000) as f64 / 10.0;
+                (Rect::from_point(Point::new(x, y)), i)
+            })
+            .collect()
+    }
+
+    fn brute_search(items: &[(Rect, usize)], q: &Rect) -> Vec<usize> {
+        let mut v: Vec<usize> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(q))
+            .map(|(_, i)| *i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t: RTree<usize> = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.search(&Rect::raw(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.nearest(&Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn insert_search_matches_brute_force() {
+        let items = pts(500);
+        let mut t = RTree::new();
+        for (r, i) in &items {
+            t.insert(*r, *i);
+        }
+        assert_eq!(t.len(), 500);
+        for q in [
+            Rect::raw(0.0, 0.0, 20.0, 20.0),
+            Rect::raw(50.0, 50.0, 60.0, 70.0),
+            Rect::raw(-5.0, -5.0, 200.0, 200.0),
+            Rect::raw(99.0, 99.0, 99.5, 99.5),
+        ] {
+            let mut got = t.search(&q);
+            got.sort_unstable();
+            assert_eq!(got, brute_search(&items, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let items = pts(1000);
+        let t = RTree::bulk_load(items.clone());
+        assert_eq!(t.len(), 1000);
+        for q in [
+            Rect::raw(10.0, 10.0, 30.0, 30.0),
+            Rect::raw(0.0, 0.0, 100.0, 100.0),
+        ] {
+            let mut got = t.search(&q);
+            got.sort_unstable();
+            assert_eq!(got, brute_search(&items, &q));
+        }
+    }
+
+    #[test]
+    fn within_distance_matches_brute_force() {
+        let items = pts(400);
+        let t = RTree::bulk_load(items.clone());
+        let c = Point::new(50.0, 50.0);
+        for radius in [1.0, 10.0, 35.5] {
+            let mut got = t.within_distance(&c, radius);
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(r, _)| r.distance_to_point(&c) <= radius)
+                .map(|(_, i)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let items = pts(300);
+        let t = RTree::bulk_load(items.clone());
+        for p in [Point::new(0.0, 0.0), Point::new(42.0, 77.0), Point::new(120.0, -3.0)] {
+            let (_, got) = t.nearest(&p).unwrap();
+            let want = items
+                .iter()
+                .min_by(|a, b| {
+                    a.0.distance_to_point(&p)
+                        .partial_cmp(&b.0.distance_to_point(&p))
+                        .unwrap()
+                })
+                .unwrap()
+                .1;
+            let gd = items[got].0.distance_to_point(&p);
+            let wd = items[want].0.distance_to_point(&p);
+            assert!((gd - wd).abs() < 1e-12, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_then_insert_stays_consistent() {
+        let mut items = pts(100);
+        let t0: Vec<_> = items.drain(..50).collect();
+        let mut t = RTree::bulk_load(t0.clone());
+        for (r, i) in &items {
+            t.insert(*r, *i);
+        }
+        let q = Rect::raw(0.0, 0.0, 100.0, 100.0);
+        let mut got = t.search(&q);
+        got.sort_unstable();
+        let mut all = t0;
+        all.extend(items);
+        assert_eq!(got, brute_search(&all, &q));
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = RTree::bulk_load(pts(2000));
+        assert!(t.height() <= 4, "height {}", t.height());
+    }
+}

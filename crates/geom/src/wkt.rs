@@ -1,0 +1,180 @@
+//! Minimal WKT (Well-Known Text) reader/writer for the four Sya geometry
+//! types. Used by the language module for geometry literals and by the
+//! storage engine for text import/export.
+//!
+//! Supported forms:
+//! - `POINT(x y)`
+//! - `RECT(minx miny, maxx maxy)` (a Sya convenience form; standard WKT
+//!   has no box type)
+//! - `POLYGON((x y, x y, ...))` — single outer ring
+//! - `LINESTRING(x y, x y, ...)`
+
+use crate::{Geometry, LineString, Point, Polygon, Rect};
+
+/// Error produced by [`parse_wkt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WktError(pub String);
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid WKT: {}", self.0)
+    }
+}
+
+impl std::error::Error for WktError {}
+
+fn err(msg: impl Into<String>) -> WktError {
+    WktError(msg.into())
+}
+
+/// Parses a WKT string into a [`Geometry`].
+pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
+    let s = input.trim();
+    let upper = s.to_ascii_uppercase();
+    if let Some(body) = strip_tag(&upper, s, "POINT") {
+        let pts = parse_coord_list(body)?;
+        match pts.as_slice() {
+            [p] => Ok(Geometry::Point(*p)),
+            _ => Err(err("POINT requires exactly one coordinate pair")),
+        }
+    } else if let Some(body) = strip_tag(&upper, s, "RECT") {
+        let pts = parse_coord_list(body)?;
+        match pts.as_slice() {
+            [a, b] => Ok(Geometry::Rect(Rect::new(*a, *b))),
+            _ => Err(err("RECT requires exactly two coordinate pairs")),
+        }
+    } else if let Some(body) = strip_tag(&upper, s, "LINESTRING") {
+        let pts = parse_coord_list(body)?;
+        LineString::new(pts)
+            .map(Geometry::LineString)
+            .ok_or_else(|| err("LINESTRING requires at least two points"))
+    } else if let Some(body) = strip_tag(&upper, s, "POLYGON") {
+        let inner = body.trim();
+        let inner = inner
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| err("POLYGON requires a double-parenthesized ring"))?;
+        let pts = parse_coord_list(inner)?;
+        Polygon::new(pts)
+            .map(Geometry::Polygon)
+            .ok_or_else(|| err("POLYGON ring requires at least three distinct points"))
+    } else {
+        Err(err(format!("unknown geometry tag in {s:?}")))
+    }
+}
+
+/// Formats a [`Geometry`] as WKT (inverse of [`parse_wkt`]).
+pub fn to_wkt(g: &Geometry) -> String {
+    fn coords(pts: &[Point]) -> String {
+        pts.iter()
+            .map(|p| format!("{} {}", p.x, p.y))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+    match g {
+        Geometry::Point(p) => format!("POINT({} {})", p.x, p.y),
+        Geometry::Rect(r) => format!("RECT({} {}, {} {})", r.min_x, r.min_y, r.max_x, r.max_y),
+        Geometry::LineString(l) => format!("LINESTRING({})", coords(l.points())),
+        Geometry::Polygon(p) => {
+            // Close the ring on output per WKT convention.
+            let mut ring = p.ring().to_vec();
+            ring.push(p.ring()[0]);
+            format!("POLYGON(({}))", coords(&ring))
+        }
+    }
+}
+
+fn strip_tag<'a>(upper: &str, original: &'a str, tag: &str) -> Option<&'a str> {
+    if !upper.starts_with(tag) {
+        return None;
+    }
+    let rest = original[tag.len()..].trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+fn parse_coord_list(body: &str) -> Result<Vec<Point>, WktError> {
+    body.split(',')
+        .map(|pair| {
+            let mut it = pair.split_whitespace();
+            let x: f64 = it
+                .next()
+                .ok_or_else(|| err("missing x coordinate"))?
+                .parse()
+                .map_err(|e| err(format!("bad x coordinate: {e}")))?;
+            let y: f64 = it
+                .next()
+                .ok_or_else(|| err("missing y coordinate"))?
+                .parse()
+                .map_err(|e| err(format!("bad y coordinate: {e}")))?;
+            if it.next().is_some() {
+                return Err(err("more than two coordinates in a pair"));
+            }
+            Ok(Point::new(x, y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_point() {
+        assert_eq!(
+            parse_wkt("POINT(1.5 -2)").unwrap(),
+            Geometry::Point(Point::new(1.5, -2.0))
+        );
+        assert_eq!(
+            parse_wkt("  point( 0 0 ) ").unwrap(),
+            Geometry::Point(Point::ORIGIN)
+        );
+    }
+
+    #[test]
+    fn parse_rect() {
+        assert_eq!(
+            parse_wkt("RECT(0 0, 2 3)").unwrap(),
+            Geometry::Rect(Rect::raw(0.0, 0.0, 2.0, 3.0))
+        );
+    }
+
+    #[test]
+    fn parse_linestring_and_polygon() {
+        let ls = parse_wkt("LINESTRING(0 0, 1 1, 2 0)").unwrap();
+        assert!(matches!(&ls, Geometry::LineString(l) if l.points().len() == 3));
+        let pg = parse_wkt("POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))").unwrap();
+        match &pg {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.ring().len(), 4);
+                assert!((p.area() - 16.0).abs() < 1e-12);
+            }
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for wkt in [
+            "POINT(1 2)",
+            "RECT(0 0, 2 3)",
+            "LINESTRING(0 0, 1 1, 2 0)",
+            "POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))",
+        ] {
+            let g = parse_wkt(wkt).unwrap();
+            let g2 = parse_wkt(&to_wkt(&g)).unwrap();
+            assert_eq!(g, g2, "round trip of {wkt}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_wkt("CIRCLE(0 0, 1)").is_err());
+        assert!(parse_wkt("POINT(1)").is_err());
+        assert!(parse_wkt("POINT(1 2 3)").is_err());
+        assert!(parse_wkt("POINT(a b)").is_err());
+        assert!(parse_wkt("POLYGON((0 0, 1 1))").is_err());
+        assert!(parse_wkt("LINESTRING(0 0)").is_err());
+        assert!(parse_wkt("POINT(1 2").is_err());
+    }
+}

@@ -1,0 +1,1317 @@
+//! The grounding executor: compiled rules + input data → spatial factor
+//! graph.
+
+use crate::pruning::{allowed_domain_pairs, build_cooccurrence};
+use crate::GroundError;
+use std::collections::{BTreeSet, HashMap};
+use sya_fg::{
+    Domain, Factor, FactorKind, FactorGraph, RegionFactor, SpatialFactor, VarId, Variable,
+    WeightingFn,
+};
+use sya_geom::{haversine_miles, DistanceMetric, Point, RTree, Rect};
+use sya_lang::{CompiledProgram, CompiledRule, HeadOp, RuleKind, SlotTerm};
+use sya_store::{expr_columns, BinOp, Database, Expr, SpatialFn, Value};
+
+/// Grounding configuration.
+#[derive(Debug, Clone)]
+pub struct GroundConfig {
+    /// Distance semantics for `distance()` conditions and spatial factor
+    /// weights (Euclidean for projected data, haversine miles for
+    /// lon/lat).
+    pub metric: DistanceMetric,
+    /// Scale (weight at distance 0) of the `@spatial` weighting function.
+    pub weighting_scale: f64,
+    /// Decay bandwidth; `None` derives it from the data extent
+    /// (bbox diagonal / 10).
+    pub weighting_bandwidth: Option<f64>,
+    /// Neighbour cutoff for spatial factor generation; `None` derives the
+    /// distance at which the weighting function becomes negligible.
+    pub spatial_radius: Option<f64>,
+    /// The pruning threshold `T` of Section IV-C (categorical variables).
+    pub pruning_threshold: f64,
+    /// Generate spatial factors (`true` = Sya; `false` = DeepDive-style
+    /// baseline that treats spatial predicates as plain booleans).
+    pub generate_spatial_factors: bool,
+    /// When set, additionally generate one higher-order [`RegionFactor`]
+    /// per spatial-grid cell holding three or more atoms, scaled by this
+    /// factor (the paper's out-of-scope high-order extension; off by
+    /// default). [`RegionFactor`]: sya_fg::RegionFactor
+    pub region_factor_scale: Option<f64>,
+    /// Domain size per variable relation; absent means binary.
+    pub domains: HashMap<String, u32>,
+}
+
+impl Default for GroundConfig {
+    fn default() -> Self {
+        GroundConfig {
+            metric: DistanceMetric::Euclidean,
+            weighting_scale: 1.0,
+            weighting_bandwidth: None,
+            spatial_radius: None,
+            pruning_threshold: 0.5,
+            generate_spatial_factors: true,
+            region_factor_scale: None,
+            domains: HashMap::new(),
+        }
+    }
+}
+
+/// Counters describing a grounding run (feeds Table I and Fig. 9b/10b).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundingStats {
+    pub rules_executed: usize,
+    /// Number of evaluated (translated) queries — one per body atom, as
+    /// each atom becomes a scan/join stage.
+    pub queries_executed: usize,
+    pub variables_created: usize,
+    pub logical_factors: usize,
+    pub spatial_factors: usize,
+    /// Categorical domain pairs rejected by the threshold `T`.
+    pub pruned_domain_pairs: usize,
+}
+
+/// The grounding result: the graph plus the atom catalogue.
+#[derive(Debug, Clone)]
+pub struct Grounding {
+    pub graph: FactorGraph,
+    /// `(relation, canonical key) -> variable id`.
+    atom_ids: HashMap<(String, String), VarId>,
+    /// Per-variable `(relation, head values)` for result reporting.
+    pub atom_meta: Vec<(String, Vec<Value>)>,
+    /// Rule label of each logical factor, parallel to
+    /// `graph.factors()` — the weight-tying groups for learning.
+    pub factor_rules: Vec<String>,
+    /// Variable ids per relation, in creation order.
+    relation_atoms: HashMap<String, Vec<VarId>>,
+    pub stats: GroundingStats,
+}
+
+impl Grounding {
+    /// Canonical textual key for a tuple of values.
+    pub fn canonical_key(values: &[Value]) -> String {
+        let mut s = String::new();
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                s.push('\u{1f}');
+            }
+            s.push_str(&v.to_string());
+        }
+        s
+    }
+
+    /// Looks up the ground atom for `relation(values...)`.
+    pub fn atom_id(&self, relation: &str, values: &[Value]) -> Option<VarId> {
+        self.atom_ids
+            .get(&(relation.to_owned(), Self::canonical_key(values)))
+            .copied()
+    }
+
+    /// Logical factor indices grouped by originating rule label —
+    /// the tied-weight groups for weight learning.
+    pub fn rule_factor_groups(&self) -> Vec<(String, Vec<u32>)> {
+        let mut map: std::collections::BTreeMap<String, Vec<u32>> = Default::default();
+        for (i, label) in self.factor_rules.iter().enumerate() {
+            map.entry(label.clone()).or_default().push(i as u32);
+        }
+        map.into_iter().collect()
+    }
+
+    /// Bulk deletion: removes the given ground atoms, every factor
+    /// touching them, and all catalogue entries; ids are compacted.
+    /// Returns the old-id → new-id map.
+    pub fn remove_atoms(
+        &mut self,
+        remove: &std::collections::HashSet<VarId>,
+    ) -> Vec<Option<VarId>> {
+        // Factors surviving = all endpoints survive (same rule the graph
+        // compaction applies); keep factor_rules in lockstep.
+        let kept_rules: Vec<String> = self
+            .graph
+            .factors()
+            .iter()
+            .zip(&self.factor_rules)
+            .filter(|(f, _)| f.vars.iter().all(|v| !remove.contains(v)))
+            .map(|(_, label)| label.clone())
+            .collect();
+        let (graph, remap) = self.graph.remove_variables(remove);
+        self.graph = graph;
+        self.factor_rules = kept_rules;
+        debug_assert_eq!(self.factor_rules.len(), self.graph.num_factors());
+
+        let mut atom_meta = Vec::with_capacity(self.graph.num_variables());
+        for (old, meta) in self.atom_meta.iter().enumerate() {
+            if remap[old].is_some() {
+                atom_meta.push(meta.clone());
+            }
+        }
+        self.atom_meta = atom_meta;
+        self.atom_ids.retain(|_, id| {
+            if let Some(new) = remap[*id as usize] {
+                *id = new;
+                true
+            } else {
+                false
+            }
+        });
+        for atoms in self.relation_atoms.values_mut() {
+            atoms.retain_mut(|id| {
+                if let Some(new) = remap[*id as usize] {
+                    *id = new;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        self.stats.variables_created = self.graph.num_variables();
+        self.stats.logical_factors = self.graph.num_factors();
+        self.stats.spatial_factors = self.graph.num_spatial_factors();
+        remap
+    }
+
+    /// All ground atoms of a variable relation.
+    pub fn atoms_of(&self, relation: &str) -> &[VarId] {
+        self.relation_atoms
+            .get(relation)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// The grounding executor.
+pub struct Grounder<'p> {
+    program: &'p CompiledProgram,
+    config: GroundConfig,
+    /// Lazy hash indexes: `(relation, column) -> join key -> row ids`.
+    hash_indexes: HashMap<(String, usize), HashMap<sya_store::JoinKey, Vec<usize>>>,
+}
+
+impl<'p> Grounder<'p> {
+    pub fn new(program: &'p CompiledProgram, config: GroundConfig) -> Self {
+        Grounder { program, config, hash_indexes: HashMap::new() }
+    }
+
+    /// Grounds the program against `db`. `evidence` maps a head atom
+    /// (relation name + values) to an observed value, or `None` for query
+    /// atoms.
+    pub fn ground(
+        &mut self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+    ) -> Result<Grounding, GroundError> {
+        let mut out = Grounding {
+            graph: FactorGraph::new(),
+            atom_ids: HashMap::new(),
+            atom_meta: Vec::new(),
+            factor_rules: Vec::new(),
+            relation_atoms: HashMap::new(),
+            stats: GroundingStats::default(),
+        };
+
+        // Derivation rules first: they create the random variables.
+        for rule in &self.program.rules {
+            if rule.kind == RuleKind::Derivation {
+                self.execute_rule(rule, db, evidence, &mut out)?;
+            }
+        }
+        // Then inference rules: they emit logical factors.
+        for rule in &self.program.rules {
+            if rule.kind != RuleKind::Derivation {
+                self.execute_rule(rule, db, evidence, &mut out)?;
+            }
+        }
+        // Finally, automatic spatial factors for @spatial relations.
+        if self.config.generate_spatial_factors {
+            self.ground_spatial_factors(&mut out, None)?;
+        }
+
+        out.stats.variables_created = out.graph.num_variables();
+        out.stats.logical_factors = out.graph.num_factors();
+        out.stats.spatial_factors = out.graph.num_spatial_factors();
+        Ok(out)
+    }
+
+    /// Incrementally extends an existing grounding after new input rows
+    /// were inserted (paper Section II: the factor-graph update path).
+    ///
+    /// `new_rows` maps relation names to the row indices that were just
+    /// added to `db`. Semi-naive delta evaluation re-runs each rule once
+    /// per body atom whose relation received new rows, restricting that
+    /// atom to the new rows; bindings are deduplicated across passes so a
+    /// match touching two new rows grounds exactly once. New spatial
+    /// factors are generated only for pairs with a new endpoint.
+    ///
+    /// Returns the ids of the newly created ground atoms.
+    pub fn ground_delta(
+        &mut self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        out: &mut Grounding,
+        new_rows: &HashMap<String, Vec<usize>>,
+    ) -> Result<Vec<VarId>, GroundError> {
+        // Tables changed: drop stale per-column hash indexes.
+        self.hash_indexes.clear();
+        let first_new_var = out.graph.num_variables() as VarId;
+
+        // Rules in the same order as `ground`: derivations first.
+        let mut ordered: Vec<&CompiledRule> = self
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.kind == RuleKind::Derivation)
+            .collect();
+        ordered.extend(self.program.rules.iter().filter(|r| r.kind != RuleKind::Derivation));
+
+        for rule in ordered {
+            let delta_atoms: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| new_rows.contains_key(&a.relation))
+                .map(|(k, _)| k)
+                .collect();
+            if delta_atoms.is_empty() {
+                continue;
+            }
+            // Deduplicate bindings across the per-atom delta passes.
+            let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for k in delta_atoms {
+                let bindings = self.eval_body_delta(rule, db, out, Some((k, new_rows)))?;
+                for binding in &bindings {
+                    if seen.insert(Grounding::canonical_key(binding)) {
+                        self.apply_binding(rule, binding, evidence, out);
+                    }
+                }
+            }
+            out.stats.rules_executed += 1;
+        }
+
+        let new_vars: Vec<VarId> = (first_new_var..out.graph.num_variables() as VarId).collect();
+        if self.config.generate_spatial_factors && !new_vars.is_empty() {
+            let new_set: std::collections::HashSet<VarId> = new_vars.iter().copied().collect();
+            self.ground_spatial_factors(out, Some(&new_set))?;
+        }
+        out.stats.variables_created = out.graph.num_variables();
+        out.stats.logical_factors = out.graph.num_factors();
+        out.stats.spatial_factors = out.graph.num_spatial_factors();
+        Ok(new_vars)
+    }
+
+    fn execute_rule(
+        &mut self,
+        rule: &CompiledRule,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        out: &mut Grounding,
+    ) -> Result<(), GroundError> {
+        let bindings = self.eval_body(rule, db, out)?;
+        out.stats.rules_executed += 1;
+        for binding in &bindings {
+            self.apply_binding(rule, binding, evidence, out);
+        }
+        Ok(())
+    }
+
+    /// Instantiates head atoms (and the factor, for inference rules) for
+    /// one satisfying binding.
+    fn apply_binding(
+        &self,
+        rule: &CompiledRule,
+        binding: &[Value],
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        out: &mut Grounding,
+    ) {
+        match rule.kind {
+            RuleKind::Derivation => {
+                let atom = &rule.head[0];
+                self.materialize_atom(atom, binding, evidence, out);
+            }
+            RuleKind::Inference(op) => {
+                let mut vars = Vec::with_capacity(rule.head.len());
+                for atom in &rule.head {
+                    vars.push(self.materialize_atom(atom, binding, evidence, out));
+                }
+                let kind = match op {
+                    HeadOp::Imply => FactorKind::Imply,
+                    HeadOp::And => FactorKind::And,
+                    HeadOp::Or => FactorKind::Or,
+                    HeadOp::IsTrue => FactorKind::IsTrue,
+                };
+                out.graph.add_factor(Factor::new(kind, vars, rule.weight));
+                out.factor_rules.push(rule.label.clone());
+            }
+        }
+    }
+
+    /// Resolves (creating on first sight) the ground atom of `atom` under
+    /// `binding`.
+    fn materialize_atom(
+        &self,
+        atom: &sya_lang::CompiledAtom,
+        binding: &[Value],
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        out: &mut Grounding,
+    ) -> VarId {
+        let values: Vec<Value> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                SlotTerm::Slot(s) => binding[*s].clone(),
+                SlotTerm::Const(v) => v.clone(),
+                SlotTerm::Wildcard => Value::Null,
+            })
+            .collect();
+        let key = (atom.relation.clone(), Grounding::canonical_key(&values));
+        if let Some(&id) = out.atom_ids.get(&key) {
+            return id;
+        }
+
+        let schema = self.program.schema(&atom.relation);
+        let location = schema
+            .and_then(|s| s.first_spatial_column())
+            .and_then(|i| values.get(i))
+            .and_then(|v| v.as_geom())
+            .map(|g| g.representative_point());
+        let domain = match self.config.domains.get(&atom.relation) {
+            Some(&h) if h > 2 => Domain::Categorical(h),
+            _ => Domain::Binary,
+        };
+        let name = format!("{}({})", atom.relation, Grounding::canonical_key(&values));
+        let mut var = Variable {
+            id: 0,
+            domain,
+            location,
+            evidence: evidence(&atom.relation, &values),
+            name,
+        };
+        // Out-of-domain evidence (a data error) must not poison the
+        // graph or panic mid-grounding; drop it and leave the atom a
+        // query variable.
+        if var.evidence.is_some_and(|e| !var.domain.contains(e)) {
+            var.evidence = None;
+        }
+        let id = out.graph.add_variable(var);
+        out.atom_ids.insert(key, id);
+        out.atom_meta.push((atom.relation.clone(), values));
+        out.relation_atoms
+            .entry(atom.relation.clone())
+            .or_default()
+            .push(id);
+        id
+    }
+
+    /// Evaluates a rule body, producing one binding row per match.
+    ///
+    /// Atoms are processed left to right; each atom stage is a translated
+    /// query (scan, hash equi-join via shared slots, or R-tree spatial
+    /// join when a `distance(a, b) < r` condition links a bound slot to
+    /// this atom's spatial column). Conditions apply at the earliest
+    /// stage where all their slots are bound, cheapest class first
+    /// (Section IV-B heuristic re-ordering).
+    fn eval_body(
+        &mut self,
+        rule: &CompiledRule,
+        db: &mut Database,
+        out: &mut Grounding,
+    ) -> Result<Vec<Vec<Value>>, GroundError> {
+        self.eval_body_delta(rule, db, out, None)
+    }
+
+    /// [`Self::eval_body`] with an optional *delta restriction*: when
+    /// `delta = Some((k, new_rows))`, body atom `k`'s candidates are
+    /// limited to the given new row ids of its relation — the semi-naive
+    /// delta pass of incremental grounding.
+    fn eval_body_delta(
+        &mut self,
+        rule: &CompiledRule,
+        db: &mut Database,
+        out: &mut Grounding,
+        delta: Option<(usize, &HashMap<String, Vec<usize>>)>,
+    ) -> Result<Vec<Vec<Value>>, GroundError> {
+        let n_slots = rule.slots.len();
+
+        // Statically compute which slots are bound after each atom and
+        // where each slot is first bound.
+        let mut bound_after: Vec<BTreeSet<usize>> = Vec::with_capacity(rule.body.len());
+        let mut first_binding: HashMap<usize, (usize, usize)> = HashMap::new(); // slot -> (atom, col)
+        let mut acc: BTreeSet<usize> = BTreeSet::new();
+        for (k, atom) in rule.body.iter().enumerate() {
+            for (pos, t) in atom.terms.iter().enumerate() {
+                if let SlotTerm::Slot(s) = t {
+                    first_binding.entry(*s).or_insert((k, pos));
+                    acc.insert(*s);
+                }
+            }
+            bound_after.push(acc.clone());
+        }
+
+        // Assign each condition to the earliest atom after which it is
+        // fully bound; order within a stage by the planner's cost class.
+        let mut conds_at: Vec<Vec<usize>> = vec![Vec::new(); rule.body.len()];
+        for (ci, cond) in rule.conditions.iter().enumerate() {
+            let mut cols = BTreeSet::new();
+            expr_columns(cond, &mut cols);
+            let stage = (0..rule.body.len())
+                .find(|&k| cols.iter().all(|c| bound_after[k].contains(c)))
+                .unwrap_or(rule.body.len() - 1);
+            conds_at[stage].push(ci);
+        }
+        for stage in &mut conds_at {
+            stage.sort_by_key(|&ci| sya_store::estimate_cost(&rule.conditions[ci]));
+        }
+
+        // Iterate atoms, expanding partial bindings.
+        let mut bindings: Vec<Vec<Value>> = vec![vec![Value::Null; n_slots]];
+        for (k, atom) in rule.body.iter().enumerate() {
+            out.stats.queries_executed += 1;
+            if !db.has_table(&atom.relation) {
+                return Err(GroundError::MissingInput(atom.relation.clone()));
+            }
+
+            // Pre-extract probe strategies for this atom.
+            let bound_before: BTreeSet<usize> = if k == 0 {
+                BTreeSet::new()
+            } else {
+                bound_after[k - 1].clone()
+            };
+            let spatial_probe = self.find_spatial_probe(rule, &conds_at[k], atom, &bound_before);
+            let eq_probe: Option<(usize, usize)> = atom.terms.iter().enumerate().find_map(
+                |(pos, t)| match t {
+                    SlotTerm::Slot(s) if bound_before.contains(s) => Some((*s, pos)),
+                    _ => None,
+                },
+            );
+
+            // Ensure indexes exist before the per-binding loop.
+            if let Some(probe) = &spatial_probe {
+                let table = db.table_mut(&atom.relation)?;
+                let col_name = table.schema().columns()[probe.new_col].name.clone();
+                table.spatial_index(&col_name)?;
+            }
+            if spatial_probe.is_none() {
+                if let Some((_, pos)) = eq_probe {
+                    self.ensure_hash_index(db, &atom.relation, pos)?;
+                }
+            }
+
+            let mut next: Vec<Vec<Value>> = Vec::new();
+            for binding in &bindings {
+                let candidates: Vec<usize> = if let Some(probe) = &spatial_probe {
+                    let center = match binding[probe.bound_slot].as_geom() {
+                        Some(g) => g.representative_point(),
+                        None => continue,
+                    };
+                    let table = db.table_mut(&atom.relation)?;
+                    let col_name = table.schema().columns()[probe.new_col].name.clone();
+                    table
+                        .rows_within_distance(&col_name, &center, probe.candidate_radius)?
+                } else if let Some((slot, pos)) = eq_probe {
+                    match binding[slot].join_key() {
+                        None => Vec::new(),
+                        Some(key) => self
+                            .hash_indexes
+                            .get(&(atom.relation.clone(), pos))
+                            .and_then(|idx| idx.get(&key))
+                            .cloned()
+                            .unwrap_or_default(),
+                    }
+                } else {
+                    (0..db.table(&atom.relation)?.len()).collect()
+                };
+                // Delta restriction on this atom.
+                let candidates: Vec<usize> = match delta {
+                    Some((dk, new_rows)) if dk == k => {
+                        let allowed = new_rows
+                            .get(&atom.relation)
+                            .map(|v| v.iter().copied().collect::<BTreeSet<_>>())
+                            .unwrap_or_default();
+                        candidates.into_iter().filter(|r| allowed.contains(r)).collect()
+                    }
+                    _ => candidates,
+                };
+
+                let table = db.table(&atom.relation)?;
+                'cand: for rid in candidates {
+                    let row = &table.rows()[rid];
+                    // Check constants and already-bound slots.
+                    for (pos, t) in atom.terms.iter().enumerate() {
+                        match t {
+                            SlotTerm::Const(c) => {
+                                let matches = if c.is_null() {
+                                    row[pos].is_null()
+                                } else {
+                                    row[pos].sql_eq(c) == Some(true)
+                                };
+                                if !matches {
+                                    continue 'cand;
+                                }
+                            }
+                            SlotTerm::Slot(s) if bound_before.contains(s)
+                                && row[pos].sql_eq(&binding[*s]) != Some(true) => {
+                                    continue 'cand;
+                                }
+                            _ => {}
+                        }
+                    }
+                    // Extend binding with newly bound slots.
+                    let mut extended = binding.clone();
+                    for (pos, t) in atom.terms.iter().enumerate() {
+                        if let SlotTerm::Slot(s) = t {
+                            if !bound_before.contains(s) {
+                                extended[*s] = row[pos].clone();
+                            }
+                        }
+                    }
+                    // Apply this stage's conditions.
+                    for &ci in &conds_at[k] {
+                        if !rule.conditions[ci]
+                            .matches(&extended)
+                            .map_err(GroundError::Store)?
+                        {
+                            continue 'cand;
+                        }
+                    }
+                    next.push(extended);
+                }
+            }
+            bindings = next;
+        }
+        Ok(bindings)
+    }
+
+    fn ensure_hash_index(
+        &mut self,
+        db: &Database,
+        relation: &str,
+        col: usize,
+    ) -> Result<(), GroundError> {
+        let key = (relation.to_owned(), col);
+        if self.hash_indexes.contains_key(&key) {
+            return Ok(());
+        }
+        let table = db.table(relation)?;
+        let mut idx: HashMap<sya_store::JoinKey, Vec<usize>> = HashMap::new();
+        for (rid, row) in table.rows().iter().enumerate() {
+            if let Some(k) = row[col].join_key() {
+                idx.entry(k).or_default().push(rid);
+            }
+        }
+        self.hash_indexes.insert(key, idx);
+        Ok(())
+    }
+
+    /// Detects a `distance(bound, new) < r` (or mirrored) condition that
+    /// lets this atom be fetched via the R-tree instead of a full scan.
+    fn find_spatial_probe(
+        &self,
+        rule: &CompiledRule,
+        stage_conds: &[usize],
+        atom: &sya_lang::CompiledAtom,
+        bound_before: &BTreeSet<usize>,
+    ) -> Option<SpatialProbe> {
+        // Map slot -> column position in this atom (new bindings only).
+        let mut new_slot_cols: HashMap<usize, usize> = HashMap::new();
+        for (pos, t) in atom.terms.iter().enumerate() {
+            if let SlotTerm::Slot(s) = t {
+                if !bound_before.contains(s) {
+                    new_slot_cols.entry(*s).or_insert(pos);
+                }
+            }
+        }
+        for &ci in stage_conds {
+            if let Some((a, b, radius)) = distance_lt_pattern(&rule.conditions[ci]) {
+                let (bound_slot, new_slot) = if bound_before.contains(&a) && new_slot_cols.contains_key(&b)
+                {
+                    (a, b)
+                } else if bound_before.contains(&b) && new_slot_cols.contains_key(&a) {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                return Some(SpatialProbe {
+                    bound_slot,
+                    new_col: new_slot_cols[&new_slot],
+                    candidate_radius: candidate_radius(self.config.metric, radius),
+                });
+            }
+        }
+        None
+    }
+
+    /// Generates spatial factors for every `@spatial` variable relation
+    /// (Section IV-A), pruning categorical domain pairs below the
+    /// threshold `T` (Section IV-C). When `new_only` is given, only pairs
+    /// with at least one endpoint in that set are emitted (incremental
+    /// grounding: old–old pairs already exist).
+    fn ground_spatial_factors(
+        &mut self,
+        out: &mut Grounding,
+        new_only: Option<&std::collections::HashSet<VarId>>,
+    ) -> Result<(), GroundError> {
+        let spatial_relations: Vec<(String, String)> = self
+            .program
+            .spatial_variable_relations()
+            .map(|(s, w)| (s.name.clone(), w.to_owned()))
+            .collect();
+
+        for (relation, wname) in spatial_relations {
+            let atoms: Vec<(VarId, Point)> = out
+                .atoms_of(&relation)
+                .iter()
+                .filter_map(|&id| out.graph.variable(id).location.map(|p| (id, p)))
+                .collect();
+            if atoms.len() < 2 {
+                continue;
+            }
+
+            let bandwidth = self
+                .config
+                .weighting_bandwidth
+                .unwrap_or_else(|| default_bandwidth(&atoms, self.config.metric));
+            let wfn = WeightingFn::by_name(&wname, self.config.weighting_scale, bandwidth)
+                .ok_or_else(|| GroundError::UnknownWeighting(wname.clone()))?;
+            // Default cutoff: where the weight becomes negligible, but
+            // never beyond 3.5 bandwidths — beyond that the factors are
+            // numerous and individually irrelevant (graph-size guard).
+            let radius = self
+                .config
+                .spatial_radius
+                .unwrap_or_else(|| negligible_radius(&wfn, bandwidth).min(3.5 * bandwidth));
+
+            // Categorical pruning set.
+            let h = self
+                .config
+                .domains
+                .get(&relation)
+                .copied()
+                .filter(|&h| h > 2);
+            let allowed: Option<Vec<(u32, u32)>> = h.map(|h| {
+                let stats = build_cooccurrence(
+                    &out.graph,
+                    &atoms,
+                    radius,
+                    self.config.metric,
+                );
+                let (pairs, pruned) =
+                    allowed_domain_pairs(&stats, h, self.config.pruning_threshold);
+                out.stats.pruned_domain_pairs += pruned;
+                pairs
+            });
+
+            // Higher-order extension: one region factor per grid cell
+            // of side `radius` that holds >= 3 atoms.
+            if let Some(scale) = self.config.region_factor_scale {
+                if new_only.is_none() {
+                    self.ground_region_factors(out, &atoms, radius, &wfn, scale);
+                }
+            }
+
+            let tree = RTree::bulk_load(
+                atoms
+                    .iter()
+                    .map(|(id, p)| (Rect::from_point(*p), *id))
+                    .collect(),
+            );
+            let cand_radius = candidate_radius(self.config.metric, radius);
+            for &(id, p) in &atoms {
+                for other in tree.within_distance(&p, cand_radius) {
+                    if other <= id {
+                        continue; // each unordered pair once
+                    }
+                    if let Some(new) = new_only {
+                        if !new.contains(&id) && !new.contains(&other) {
+                            continue; // pair already grounded
+                        }
+                    }
+                    let q = out
+                        .graph
+                        .variable(other)
+                        .location
+                        .expect("indexed atoms have locations");
+                    let d = metric_distance(self.config.metric, &p, &q);
+                    if d > radius {
+                        continue;
+                    }
+                    let w = wfn.weight(d);
+                    if w < WeightingFn::NEGLIGIBLE {
+                        continue;
+                    }
+                    match &allowed {
+                        None => {
+                            out.graph.add_spatial_factor(SpatialFactor::binary(id, other, w));
+                        }
+                        Some(pairs) => {
+                            for &(ta, tb) in pairs {
+                                out.graph.add_spatial_factor(SpatialFactor::categorical(
+                                    id, other, w, ta, tb,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Grounder<'_> {
+    /// Emits one [`RegionFactor`] per grid cell (side = `radius`) with at
+    /// least three atoms; the weight is the weighting function evaluated
+    /// at the cell's mean atom-to-centroid distance, times `scale`.
+    fn ground_region_factors(
+        &self,
+        out: &mut Grounding,
+        atoms: &[(VarId, Point)],
+        radius: f64,
+        wfn: &WeightingFn,
+        scale: f64,
+    ) {
+        let bbox = atoms
+            .iter()
+            .fold(Rect::EMPTY, |acc, (_, p)| acc.union(&Rect::from_point(*p)));
+        if bbox.is_empty() || radius <= 0.0 {
+            return;
+        }
+        let cols = (bbox.width() / radius).ceil().max(1.0) as usize;
+        let rows = (bbox.height() / radius).ceil().max(1.0) as usize;
+        let mut grid = sya_geom::UniformGrid::new(bbox.expand(1e-9), cols, rows);
+        for &(id, p) in atoms {
+            grid.insert(&p, (id, p));
+        }
+        for (_, _, members) in grid.non_empty_cells() {
+            if members.len() < 3 {
+                continue;
+            }
+            let n = members.len() as f64;
+            let cx = members.iter().map(|(_, p)| p.x).sum::<f64>() / n;
+            let cy = members.iter().map(|(_, p)| p.y).sum::<f64>() / n;
+            let centroid = Point::new(cx, cy);
+            let mean_d = members
+                .iter()
+                .map(|(_, p)| metric_distance(self.config.metric, p, &centroid))
+                .sum::<f64>()
+                / n;
+            let weight = scale * wfn.weight(mean_d);
+            if weight < WeightingFn::NEGLIGIBLE {
+                continue;
+            }
+            out.graph.add_region_factor(RegionFactor::new(
+                members.iter().map(|(id, _)| *id).collect(),
+                weight,
+            ));
+        }
+    }
+}
+
+struct SpatialProbe {
+    bound_slot: usize,
+    new_col: usize,
+    candidate_radius: f64,
+}
+
+/// Distance between points under the configured metric.
+pub fn metric_distance(metric: DistanceMetric, a: &Point, b: &Point) -> f64 {
+    match metric {
+        DistanceMetric::Euclidean => a.distance(b),
+        DistanceMetric::HaversineMiles => haversine_miles(a, b),
+    }
+}
+
+/// Candidate radius in *coordinate units* that over-approximates a metric
+/// radius: identity for Euclidean; for haversine miles we convert with a
+/// conservative degrees-per-mile bound (valid to ~66° latitude), since
+/// the exact metric check re-filters candidates anyway.
+pub fn candidate_radius(metric: DistanceMetric, radius: f64) -> f64 {
+    match metric {
+        DistanceMetric::Euclidean => radius,
+        DistanceMetric::HaversineMiles => radius / 69.0 * 2.5,
+    }
+}
+
+/// Distance at which the weighting function falls below
+/// [`WeightingFn::NEGLIGIBLE`] — beyond it, factors are skipped.
+pub fn negligible_radius(wfn: &WeightingFn, bandwidth: f64) -> f64 {
+    match *wfn {
+        WeightingFn::Exponential { scale, bandwidth: bw } => {
+            bw * (scale / WeightingFn::NEGLIGIBLE).ln().max(0.0)
+        }
+        WeightingFn::Gaussian { scale, bandwidth: bw } => {
+            bw * (scale / WeightingFn::NEGLIGIBLE).ln().max(0.0).sqrt()
+        }
+        WeightingFn::InverseDistance { scale, bandwidth: bw } => {
+            bw * (scale / WeightingFn::NEGLIGIBLE - 1.0).max(0.0)
+        }
+        WeightingFn::Linear { cutoff, .. } => cutoff,
+        #[allow(unreachable_patterns)]
+        _ => bandwidth * 10.0,
+    }
+}
+
+/// Default bandwidth: a tenth of the atom cloud's diagonal extent in
+/// metric units.
+fn default_bandwidth(atoms: &[(VarId, Point)], metric: DistanceMetric) -> f64 {
+    let bbox = atoms
+        .iter()
+        .fold(Rect::EMPTY, |acc, (_, p)| acc.union(&Rect::from_point(*p)));
+    let lo = Point::new(bbox.min_x, bbox.min_y);
+    let hi = Point::new(bbox.max_x, bbox.max_y);
+    let diag = metric_distance(metric, &lo, &hi);
+    (diag / 10.0).max(f64::MIN_POSITIVE)
+}
+
+/// Matches `distance(Col(a), Col(b)) < r` (and `<=`, and the mirrored
+/// literal-first forms), returning `(a, b, r)`.
+fn distance_lt_pattern(e: &Expr) -> Option<(usize, usize, f64)> {
+    let (lhs, rhs, flipped) = match e {
+        Expr::Bin(BinOp::Lt | BinOp::Le, l, r) => (l.as_ref(), r.as_ref(), false),
+        Expr::Bin(BinOp::Gt | BinOp::Ge, l, r) => (r.as_ref(), l.as_ref(), true),
+        _ => return None,
+    };
+    let _ = flipped;
+    let (call, lit) = (lhs, rhs);
+    if let Expr::Spatial(SpatialFn::Distance, _, a, b) = call {
+        if let (Expr::Col(i), Expr::Col(j), Expr::Lit(v)) = (a.as_ref(), b.as_ref(), lit) {
+            if let Some(r) = v.as_f64() {
+                return Some((*i, *j, r));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_lang::{compile, parse_program, GeomConstants};
+    use sya_store::{Column, DataType, TableSchema};
+
+    const SRC: &str = r#"
+    Well(id bigint, location point, arsenic double).
+    @spatial(exp)
+    IsSafe?(id bigint, location point).
+    D1: IsSafe(W, L) = NULL :- Well(W, L, _).
+    R1: @weight(0.7) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, A1), Well(W2, L2, A2)
+        [distance(L1, L2) < 3, A1 < 0.2, A2 < 0.2, W1 != W2].
+    "#;
+
+    fn make_db(n: i64) -> Database {
+        let mut db = Database::new();
+        let schema = TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("location", DataType::Point),
+            Column::new("arsenic", DataType::Double),
+        ]);
+        let t = db.create_table("Well", schema).unwrap();
+        for i in 0..n {
+            t.insert(vec![
+                Value::Int(i),
+                Value::from(Point::new(i as f64, 0.0)),
+                Value::Double(if i < n / 2 { 0.1 } else { 0.5 }),
+            ])
+            .unwrap();
+        }
+        db
+    }
+
+    fn ground(n: i64, cfg: GroundConfig) -> Grounding {
+        let program = parse_program(SRC).unwrap();
+        let compiled = compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(n);
+        let mut g = Grounder::new(&compiled, cfg);
+        g.ground(&mut db, &|_, vals| {
+            // wells 0 and 1 observed safe
+            match vals[0].as_int() {
+                Some(0) | Some(1) => Some(1),
+                _ => None,
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn derivation_creates_one_var_per_well() {
+        let g = ground(10, GroundConfig::default());
+        assert_eq!(g.graph.num_variables(), 10);
+        assert_eq!(g.atoms_of("IsSafe").len(), 10);
+        // Evidence applied via the closure.
+        let v0 = g.atom_id("IsSafe", &[Value::Int(0), Value::from(Point::new(0.0, 0.0))]);
+        let v0 = v0.expect("atom exists");
+        assert_eq!(g.graph.variable(v0).evidence, Some(1));
+        // Locations picked up from the spatial column.
+        assert_eq!(g.graph.variable(v0).location, Some(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn inference_rule_emits_imply_factors_for_close_safe_pairs() {
+        let g = ground(10, GroundConfig { generate_spatial_factors: false, ..Default::default() });
+        // Wells 0..4 have arsenic 0.1 (<0.2); pairs within distance 3,
+        // excluding self pairs, ordered pairs both ways.
+        // Pairs (i,j), i,j in 0..5, i!=j, |i-j|<3  (distance < 3).
+        let mut want = 0;
+        for i in 0..5i64 {
+            for j in 0..5i64 {
+                if i != j && (i - j).abs() < 3 {
+                    want += 1;
+                }
+            }
+        }
+        assert_eq!(g.graph.num_factors(), want);
+        assert_eq!(g.graph.num_spatial_factors(), 0);
+        for f in g.graph.factors() {
+            assert_eq!(f.kind, FactorKind::Imply);
+            assert_eq!(f.weight, 0.7);
+            assert_eq!(f.vars.len(), 2);
+        }
+    }
+
+    #[test]
+    fn spatial_factors_generated_for_spatial_relation() {
+        let cfg = GroundConfig {
+            spatial_radius: Some(2.0),
+            weighting_bandwidth: Some(1.0),
+            ..Default::default()
+        };
+        let g = ground(10, cfg);
+        // Wells on a line x=0..9: pairs with distance <= 2: (i,i+1), (i,i+2).
+        let want = 9 + 8;
+        assert_eq!(g.graph.num_spatial_factors(), want);
+        // Weights decay with distance.
+        let w1 = g
+            .graph
+            .spatial_factors()
+            .iter()
+            .find(|f| {
+                let a = g.graph.variable(f.a).location.unwrap();
+                let b = g.graph.variable(f.b).location.unwrap();
+                (a.distance(&b) - 1.0).abs() < 1e-9
+            })
+            .unwrap()
+            .weight;
+        let w2 = g
+            .graph
+            .spatial_factors()
+            .iter()
+            .find(|f| {
+                let a = g.graph.variable(f.a).location.unwrap();
+                let b = g.graph.variable(f.b).location.unwrap();
+                (a.distance(&b) - 2.0).abs() < 1e-9
+            })
+            .unwrap()
+            .weight;
+        assert!(w1 > w2, "closer pairs must weigh more: {w1} vs {w2}");
+    }
+
+    #[test]
+    fn deepdive_mode_has_no_spatial_factors() {
+        let g = ground(10, GroundConfig { generate_spatial_factors: false, ..Default::default() });
+        assert_eq!(g.graph.num_spatial_factors(), 0);
+        assert!(g.graph.num_factors() > 0);
+    }
+
+    #[test]
+    fn categorical_domains_create_domain_pair_factors() {
+        let mut domains = HashMap::new();
+        domains.insert("IsSafe".to_owned(), 4u32);
+        let cfg = GroundConfig {
+            spatial_radius: Some(1.5),
+            weighting_bandwidth: Some(1.0),
+            pruning_threshold: 0.0, // keep everything
+            domains,
+            ..Default::default()
+        };
+        let g = ground(6, cfg);
+        // 5 adjacent pairs x (4x4 domain pairs) = 80 spatial factors.
+        assert_eq!(g.graph.num_spatial_factors(), 5 * 16);
+        // Variables got the categorical domain.
+        let v = g.atoms_of("IsSafe")[0];
+        assert_eq!(g.graph.variable(v).domain, Domain::Categorical(4));
+    }
+
+    #[test]
+    fn pruning_threshold_reduces_categorical_factors() {
+        let mut domains = HashMap::new();
+        domains.insert("IsSafe".to_owned(), 4u32);
+        let base = GroundConfig {
+            spatial_radius: Some(1.5),
+            weighting_bandwidth: Some(1.0),
+            domains,
+            ..Default::default()
+        };
+        let loose = ground(10, GroundConfig { pruning_threshold: 0.0, ..base.clone() });
+        let tight = ground(10, GroundConfig { pruning_threshold: 0.9, ..base });
+        assert!(tight.graph.num_spatial_factors() < loose.graph.num_spatial_factors());
+        assert!(tight.stats.pruned_domain_pairs > 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = ground(10, GroundConfig::default());
+        assert_eq!(g.stats.rules_executed, 2);
+        assert_eq!(g.stats.queries_executed, 3); // 1 body atom + 2 body atoms
+        assert_eq!(g.stats.variables_created, 10);
+        assert!(g.stats.logical_factors > 0);
+        assert!(g.stats.spatial_factors > 0);
+    }
+
+    #[test]
+    fn missing_input_table_is_reported() {
+        let program = parse_program(SRC).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = Database::new();
+        let mut g = Grounder::new(&compiled, GroundConfig::default());
+        let err = g.ground(&mut db, &|_, _| None).unwrap_err();
+        assert!(matches!(err, GroundError::MissingInput(r) if r == "Well"));
+    }
+
+    #[test]
+    fn ground_delta_matches_full_grounding() {
+        let program = parse_program(SRC).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let evidence = |_: &str, vals: &[Value]| match vals[0].as_int() {
+            Some(0) | Some(1) => Some(1u32),
+            _ => None,
+        };
+        let cfg = GroundConfig {
+            spatial_radius: Some(2.0),
+            weighting_bandwidth: Some(1.0),
+            ..Default::default()
+        };
+
+        // Full grounding over 12 wells.
+        let mut db_full = make_db(12);
+        let full = Grounder::new(&compiled, cfg.clone())
+            .ground(&mut db_full, &evidence)
+            .unwrap();
+
+        // Incremental: ground the first 9 of the same 12 wells, then add
+        // the remaining 3 via delta (values identical to make_db(12)).
+        let row = |i: i64| {
+            vec![
+                Value::Int(i),
+                Value::from(Point::new(i as f64, 0.0)),
+                Value::Double(if i < 6 { 0.1 } else { 0.5 }),
+            ]
+        };
+        let mut db = Database::new();
+        let schema = db_full.table("Well").unwrap().schema().clone();
+        let table = db.create_table("Well", schema).unwrap();
+        for i in 0..9i64 {
+            table.insert(row(i)).unwrap();
+        }
+        let mut grounder = Grounder::new(&compiled, cfg);
+        let mut out = grounder.ground(&mut db, &evidence).unwrap();
+        let table = db.table_mut("Well").unwrap();
+        let mut new_rows = Vec::new();
+        for i in 9..12i64 {
+            new_rows.push(table.len());
+            table.insert(row(i)).unwrap();
+        }
+        let mut delta_map = HashMap::new();
+        delta_map.insert("Well".to_owned(), new_rows);
+        let new_vars = grounder
+            .ground_delta(&mut db, &evidence, &mut out, &delta_map)
+            .unwrap();
+
+        assert_eq!(new_vars.len(), 3);
+        assert_eq!(out.graph.num_variables(), full.graph.num_variables());
+        assert_eq!(out.graph.num_factors(), full.graph.num_factors());
+        assert_eq!(out.graph.num_spatial_factors(), full.graph.num_spatial_factors());
+        // Factor multisets agree (kind, sorted names of vars, weight).
+        let sig = |g: &Grounding| {
+            let mut v: Vec<String> = g
+                .graph
+                .factors()
+                .iter()
+                .map(|f| {
+                    let mut names: Vec<&str> = f
+                        .vars
+                        .iter()
+                        .map(|&v| g.graph.variable(v).name.as_str())
+                        .collect();
+                    names.sort_unstable();
+                    format!("{:?}|{}|{}", f.kind, names.join(","), f.weight)
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sig(&out), sig(&full));
+        let spatial_sig = |g: &Grounding| {
+            let mut v: Vec<String> = g
+                .graph
+                .spatial_factors()
+                .iter()
+                .map(|f| {
+                    let (a, b) = (
+                        g.graph.variable(f.a).name.clone(),
+                        g.graph.variable(f.b).name.clone(),
+                    );
+                    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                    format!("{a}|{b}|{:.9}", f.weight)
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(spatial_sig(&out), spatial_sig(&full));
+    }
+
+    #[test]
+    fn remove_atoms_compacts_the_catalogue() {
+        let mut g = ground(10, GroundConfig {
+            spatial_radius: Some(2.0),
+            weighting_bandwidth: Some(1.0),
+            ..Default::default()
+        });
+        let vars_before = g.graph.num_variables();
+        let target = g.atoms_of("IsSafe")[3];
+        let remove: std::collections::HashSet<VarId> = [target].into();
+        let remap = g.remove_atoms(&remove);
+        assert_eq!(g.graph.num_variables(), vars_before - 1);
+        assert_eq!(g.atoms_of("IsSafe").len(), vars_before - 1);
+        assert_eq!(remap[target as usize], None);
+        // No factor references a stale id.
+        for f in g.graph.factors() {
+            for &v in &f.vars {
+                assert!((v as usize) < g.graph.num_variables());
+            }
+        }
+        assert_eq!(g.factor_rules.len(), g.graph.num_factors());
+        // atom_id lookups agree with the new meta table.
+        for (relation, values) in g.atom_meta.clone() {
+            let id = g.atom_id(&relation, &values).expect("atom still findable");
+            assert_eq!(&g.atom_meta[id as usize].1, &values);
+        }
+    }
+
+    #[test]
+    fn ground_delta_with_no_matching_relation_is_a_noop() {
+        let program = parse_program(SRC).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(5);
+        let mut grounder = Grounder::new(&compiled, GroundConfig::default());
+        let mut out = grounder.ground(&mut db, &|_, _| None).unwrap();
+        let before = out.graph.num_variables();
+        let delta_map: HashMap<String, Vec<usize>> =
+            HashMap::from([("Unrelated".to_owned(), vec![0])]);
+        let new_vars = grounder
+            .ground_delta(&mut db, &|_, _| None, &mut out, &delta_map)
+            .unwrap();
+        assert!(new_vars.is_empty());
+        assert_eq!(out.graph.num_variables(), before);
+    }
+
+    #[test]
+    fn region_factors_generated_when_enabled() {
+        let cfg = GroundConfig {
+            spatial_radius: Some(4.0),
+            weighting_bandwidth: Some(4.0),
+            region_factor_scale: Some(1.0),
+            ..Default::default()
+        };
+        let g = ground(12, cfg);
+        // Wells at x=0..11 on a line; 4-mile grid cells hold >= 3 atoms.
+        assert!(g.graph.num_region_factors() > 0, "expected region factors");
+        for r in g.graph.region_factors() {
+            assert!(r.vars.len() >= 3);
+            assert!(r.weight > 0.0);
+        }
+        // Off by default.
+        let plain = ground(12, GroundConfig {
+            spatial_radius: Some(4.0),
+            weighting_bandwidth: Some(4.0),
+            ..Default::default()
+        });
+        assert_eq!(plain.graph.num_region_factors(), 0);
+    }
+
+    #[test]
+    fn equi_join_probe_uses_hash_index_and_matches_semantics() {
+        // A rule whose two body atoms share the id variable: the second
+        // atom is fetched through the lazy hash index. Semantics must
+        // match a nested-loop evaluation.
+        let src = r#"
+        Well(id bigint, location point, arsenic double).
+        Reading(well bigint, level double).
+        @spatial(exp)
+        IsSafe?(id bigint, location point).
+        R: IsSafe(W, L) :- Well(W, L, _), Reading(W, V) [V < 0.5].
+        "#;
+        let program = parse_program(src).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(6);
+        let schema = TableSchema::new(vec![
+            Column::new("well", DataType::BigInt),
+            Column::new("level", DataType::Double),
+        ]);
+        let t = db.create_table("Reading", schema).unwrap();
+        // well 0: two matching readings; well 1: one filtered out;
+        // well 9: no such well (dangling reading).
+        for (w, v) in [(0i64, 0.1), (0, 0.2), (1, 0.9), (2, 0.3), (9, 0.1)] {
+            t.insert(vec![Value::Int(w), Value::Double(v)]).unwrap();
+        }
+        let g = Grounder::new(&compiled, GroundConfig {
+            generate_spatial_factors: false,
+            ..Default::default()
+        })
+        .ground(&mut db, &|_, _| None)
+        .unwrap();
+        // Bindings: (0,0.1), (0,0.2), (2,0.3) -> 3 IsTrue factors over 2 atoms.
+        assert_eq!(g.graph.num_factors(), 3);
+        assert_eq!(g.graph.num_variables(), 2);
+        assert!(g.atom_id("IsSafe", &[Value::Int(0), Value::from(Point::new(0.0, 0.0))]).is_some());
+        assert!(g.atom_id("IsSafe", &[Value::Int(9), Value::Null]).is_none());
+    }
+
+    #[test]
+    fn null_join_keys_do_not_match_in_grounding() {
+        let src = r#"
+        A(id bigint).
+        B(id bigint).
+        Y?(id bigint).
+        R: Y(X) :- A(X), B(X).
+        "#;
+        let program = parse_program(src).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = Database::new();
+        let schema = || TableSchema::new(vec![Column::new("id", DataType::BigInt)]);
+        let a = db.create_table("A", schema()).unwrap();
+        a.insert(vec![Value::Int(1)]).unwrap();
+        a.insert(vec![Value::Null]).unwrap();
+        let b = db.create_table("B", schema()).unwrap();
+        b.insert(vec![Value::Int(1)]).unwrap();
+        b.insert(vec![Value::Null]).unwrap();
+        let g = Grounder::new(&compiled, GroundConfig::default())
+            .ground(&mut db, &|_, _| None)
+            .unwrap();
+        // Only id=1 joins; Null never equals Null.
+        assert_eq!(g.graph.num_variables(), 1);
+        assert_eq!(g.graph.num_factors(), 1);
+    }
+
+    #[test]
+    fn distance_pattern_matcher() {
+        use sya_store::Expr;
+        let e = Expr::bin(
+            BinOp::Lt,
+            Expr::distance(Expr::col(1), Expr::col(3)),
+            Expr::lit(150.0),
+        );
+        assert_eq!(distance_lt_pattern(&e), Some((1, 3, 150.0)));
+        let mirrored = Expr::bin(
+            BinOp::Gt,
+            Expr::lit(150.0),
+            Expr::distance(Expr::col(1), Expr::col(3)),
+        );
+        assert_eq!(distance_lt_pattern(&mirrored), Some((1, 3, 150.0)));
+        let not_distance = Expr::bin(BinOp::Lt, Expr::col(0), Expr::lit(1.0));
+        assert_eq!(distance_lt_pattern(&not_distance), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Spatial-factor pruning for categorical variables (paper Section IV-C).
+//!
+//! With `h` domain values, every close atom pair would generate `h²`
+//! spatial factors. Sya prunes domain-value pairs whose co-occurrence
+//! probabilities in the *evidence data* fall below the threshold `T`:
+//! a pair `(i, j)` survives only when `P(i|j) ≥ T` and `P(j|i) ≥ T`,
+//! estimated from neighbouring evidence atoms.
+
+use crate::grounder::metric_distance;
+use sya_fg::{FactorGraph, VarId};
+use sya_geom::{DistanceMetric, Point, RTree, Rect};
+use sya_store::CoOccurrence;
+
+/// Builds co-occurrence statistics over the *evidence* atoms of a spatial
+/// relation: each evidence atom's value is counted, and values of every
+/// evidence pair within `radius` are counted as co-occurring.
+pub fn build_cooccurrence(
+    graph: &FactorGraph,
+    atoms: &[(VarId, Point)],
+    radius: f64,
+    metric: DistanceMetric,
+) -> CoOccurrence {
+    let mut stats = CoOccurrence::new();
+    let evidence: Vec<(VarId, Point, u32)> = atoms
+        .iter()
+        .filter_map(|&(id, p)| graph.variable(id).evidence.map(|e| (id, p, e)))
+        .collect();
+    for &(_, _, v) in &evidence {
+        stats.observe_value(v);
+    }
+    let tree = RTree::bulk_load(
+        evidence
+            .iter()
+            .map(|&(id, p, _)| (Rect::from_point(p), id))
+            .collect(),
+    );
+    let value_of = |id: VarId| {
+        graph
+            .variable(id)
+            .evidence
+            .expect("only evidence atoms indexed")
+    };
+    let cand_radius = crate::grounder::candidate_radius(metric, radius);
+    for &(id, p, v) in &evidence {
+        for other in tree.within_distance(&p, cand_radius) {
+            if other <= id {
+                continue;
+            }
+            let q = graph.variable(other).location.expect("located atom");
+            if metric_distance(metric, &p, &q) <= radius {
+                stats.observe_pair(v, value_of(other));
+            }
+        }
+    }
+    stats
+}
+
+/// Returns the ordered domain-value pairs `(t_a, t_b)` allowed under
+/// threshold `t`, plus the count of pruned pairs. Pairs are tested on the
+/// unordered co-occurrence statistics (both conditional directions, per
+/// the paper), then emitted in both orders since Eq. 4 factors are
+/// directed over instance pairs.
+pub fn allowed_domain_pairs(
+    stats: &CoOccurrence,
+    h: u32,
+    t: f64,
+) -> (Vec<(u32, u32)>, usize) {
+    let mut allowed = Vec::new();
+    let mut pruned = 0usize;
+    for i in 0..h {
+        for j in 0..h {
+            if stats.passes_threshold(i, j, t) {
+                allowed.push((i, j));
+            } else {
+                pruned += 1;
+            }
+        }
+    }
+    (allowed, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_fg::Variable;
+
+    /// A line of categorical atoms, evidence alternating 0,1,0,1...
+    fn graph_with_evidence(n: usize, h: u32) -> (FactorGraph, Vec<(VarId, Point)>) {
+        let mut g = FactorGraph::new();
+        let mut atoms = Vec::new();
+        for i in 0..n {
+            let p = Point::new(i as f64, 0.0);
+            let mut v = Variable::categorical(0, h, format!("v{i}")).at(p);
+            v.evidence = Some((i % 2) as u32);
+            let id = g.add_variable(v);
+            atoms.push((id, p));
+        }
+        (g, atoms)
+    }
+
+    #[test]
+    fn cooccurrence_counts_neighbouring_evidence() {
+        let (g, atoms) = graph_with_evidence(10, 4);
+        let stats = build_cooccurrence(&g, &atoms, 1.5, DistanceMetric::Euclidean);
+        // Every adjacent pair alternates (0,1); every distance-1 pair is
+        // within radius 1.5 — 9 pairs — and 0/1 each appear 5 times.
+        assert_eq!(stats.count(0), 5);
+        assert_eq!(stats.count(1), 5);
+        assert_eq!(stats.pair_count(0, 1), 9);
+        assert_eq!(stats.pair_count(2, 3), 0);
+    }
+
+    #[test]
+    fn non_evidence_atoms_are_ignored() {
+        let mut g = FactorGraph::new();
+        let p = Point::new(0.0, 0.0);
+        let a = g.add_variable(Variable::categorical(0, 4, "a").at(p));
+        let q = Point::new(1.0, 0.0);
+        let mut vb = Variable::categorical(0, 4, "b").at(q);
+        vb.evidence = Some(2);
+        let b = g.add_variable(vb);
+        let atoms = vec![(a, p), (b, q)];
+        let stats = build_cooccurrence(&g, &atoms, 5.0, DistanceMetric::Euclidean);
+        assert_eq!(stats.count(2), 1);
+        assert_eq!(stats.total_pairs(), 0); // only one evidence atom
+    }
+
+    #[test]
+    fn threshold_zero_keeps_only_observed_pairs_at_positive_t() {
+        let (g, atoms) = graph_with_evidence(10, 4);
+        let stats = build_cooccurrence(&g, &atoms, 1.5, DistanceMetric::Euclidean);
+        let (all, pruned_all) = allowed_domain_pairs(&stats, 4, 0.0);
+        // t = 0: every pair passes trivially (0 >= 0).
+        assert_eq!(all.len(), 16);
+        assert_eq!(pruned_all, 0);
+        let (some, pruned_some) = allowed_domain_pairs(&stats, 4, 0.5);
+        // Only (0,1) and (1,0) co-occur with high conditionals.
+        assert!(some.contains(&(0, 1)));
+        assert!(some.contains(&(1, 0)));
+        assert!(!some.contains(&(2, 3)));
+        assert_eq!(some.len() + pruned_some, 16);
+    }
+
+    #[test]
+    fn higher_threshold_monotonically_prunes() {
+        let (g, atoms) = graph_with_evidence(20, 6);
+        let stats = build_cooccurrence(&g, &atoms, 1.5, DistanceMetric::Euclidean);
+        let mut prev = usize::MAX;
+        for t in [0.0, 0.3, 0.5, 0.7, 0.9] {
+            let (allowed, _) = allowed_domain_pairs(&stats, 6, t);
+            assert!(allowed.len() <= prev, "t={t}");
+            prev = allowed.len();
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Step-function rule expansion — the DeepDive workaround the paper
+//! benchmarks in Section VI-B2.
+//!
+//! Without spatial factors, the only way to approximate distance-decayed
+//! weights in a boolean-predicate system is to replace one rule
+//! `distance(a, b) < D  @weight(w)` with a ladder of `n` rules, each
+//! covering one distance band with a fixed weight: `@weight(0.9)` for
+//! `0 ≤ d < D/n`, `@weight(0.8)` for `D/n ≤ d < 2D/n`, and so on —
+//! "large weights are associated with small distance values". Every band
+//! becomes its own grounding query, which is exactly the latency blow-up
+//! Fig. 10(b) measures.
+
+use sya_fg::WeightingFn;
+use sya_lang::CompiledRule;
+use sya_store::{BinOp, Expr, SpatialFn};
+
+/// Specification of a step-function expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepFunctionSpec {
+    /// Number of distance bands (rules) to generate.
+    pub bands: usize,
+    /// Weight assigned to the closest band.
+    pub max_weight: f64,
+    /// Weight assigned to the farthest band.
+    pub min_weight: f64,
+    /// When set, band weights follow an exponential decay with this
+    /// bandwidth (approximating Sya's weighting function); otherwise the
+    /// paper's linear ladder (0.9, 0.8, ...) is used.
+    pub shape_bandwidth: Option<f64>,
+}
+
+impl Default for StepFunctionSpec {
+    fn default() -> Self {
+        StepFunctionSpec { bands: 10, max_weight: 0.9, min_weight: 0.1, shape_bandwidth: None }
+    }
+}
+
+/// Expands every rule containing a `distance(...) < D` condition into
+/// `spec.bands` band rules; rules without such a condition pass through
+/// unchanged. Band `k` of `n` covers `[k·D/n, (k+1)·D/n)` with a weight
+/// interpolated from `max_weight` down to `min_weight` following the
+/// given weighting function's *shape* (the paper's step ladder is the
+/// piecewise-constant approximation of the smooth decay).
+pub fn expand_step_function_rules(
+    rules: &[CompiledRule],
+    spec: &StepFunctionSpec,
+    shape: Option<&WeightingFn>,
+) -> Vec<CompiledRule> {
+    let mut out = Vec::new();
+    for rule in rules {
+        let dist = rule
+            .conditions
+            .iter()
+            .enumerate()
+            .find_map(|(ci, c)| distance_cutoff(c).map(|(cols, d)| (ci, cols, d)));
+        match dist {
+            None => out.push(rule.clone()),
+            Some((ci, (a, b), cutoff)) => {
+                let n = spec.bands.max(1);
+                let step = cutoff / n as f64;
+                for k in 0..n {
+                    let lo = k as f64 * step;
+                    let hi = lo + step;
+                    let mid = (lo + hi) * 0.5;
+                    let weight = match shape {
+                        Some(w) => {
+                            // Shaped ladder: scale the original rule's
+                            // weight by the decay at the band midpoint —
+                            // finer bands approximate Sya's per-pair
+                            // weighting increasingly well.
+                            let w0 = w.weight(0.0);
+                            let frac = if w0 > 0.0 { w.weight(mid) / w0 } else { 0.0 };
+                            rule.weight * frac
+                        }
+                        None => {
+                            // Linear ladder, paper-style: 0.9, 0.8, ...
+                            let frac = 1.0 - k as f64 / n as f64;
+                            spec.min_weight + (spec.max_weight - spec.min_weight) * frac
+                        }
+                    };
+                    let mut band = rule.clone();
+                    band.label = format!("{}({})", rule.label, k + 1);
+                    band.weight = weight;
+                    let dist_expr = Expr::distance(Expr::col(a), Expr::col(b));
+                    band.conditions[ci] =
+                        Expr::bin(BinOp::Lt, dist_expr.clone(), Expr::lit(hi));
+                    if k > 0 {
+                        band.conditions
+                            .push(Expr::bin(BinOp::Ge, dist_expr, Expr::lit(lo)));
+                    }
+                    out.push(band);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Matches `distance(Col(a), Col(b)) < D`, returning `((a, b), D)`.
+fn distance_cutoff(e: &Expr) -> Option<((usize, usize), f64)> {
+    if let Expr::Bin(BinOp::Lt | BinOp::Le, l, r) = e {
+        if let (Expr::Spatial(SpatialFn::Distance, _, a, b), Expr::Lit(v)) = (l.as_ref(), r.as_ref())
+        {
+            if let (Expr::Col(i), Expr::Col(j)) = (a.as_ref(), b.as_ref()) {
+                return v.as_f64().map(|d| ((*i, *j), d));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_geom::DistanceMetric;
+    use sya_lang::{compile, parse_program, GeomConstants};
+
+    fn base_rules() -> Vec<CompiledRule> {
+        let src = r#"
+        Well(id bigint, location point, arsenic double).
+        @spatial(exp)
+        IsSafe?(id bigint, location point).
+        R1: @weight(0.7) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+            Well(W1, L1, A1), Well(W2, L2, A2)
+            [distance(L1, L2) < 50, A1 < 0.2, A2 < 0.2].
+        R2: IsSafe(W, L) :- Well(W, L, A) [A < 0.1].
+        "#;
+        let p = parse_program(src).unwrap();
+        compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean)
+            .unwrap()
+            .rules
+    }
+
+    #[test]
+    fn expands_distance_rules_only() {
+        let rules = base_rules();
+        let spec = StepFunctionSpec { bands: 5, max_weight: 0.9, min_weight: 0.1, shape_bandwidth: None };
+        let expanded = expand_step_function_rules(&rules, &spec, None);
+        // R1 -> 5 bands, R2 passes through.
+        assert_eq!(expanded.len(), 6);
+        assert_eq!(expanded[0].label, "R1(1)");
+        assert_eq!(expanded[4].label, "R1(5)");
+        assert_eq!(expanded[5].label, "R2");
+    }
+
+    #[test]
+    fn weights_decrease_with_distance() {
+        let rules = base_rules();
+        let spec = StepFunctionSpec { bands: 10, max_weight: 0.9, min_weight: 0.1, shape_bandwidth: None };
+        let expanded = expand_step_function_rules(&rules, &spec, None);
+        let weights: Vec<f64> = expanded[..10].iter().map(|r| r.weight).collect();
+        for w in weights.windows(2) {
+            assert!(w[0] > w[1], "weights must decrease: {weights:?}");
+        }
+        assert!((weights[0] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bands_partition_the_cutoff() {
+        let rules = base_rules();
+        let spec = StepFunctionSpec { bands: 5, max_weight: 0.9, min_weight: 0.1, shape_bandwidth: None };
+        let expanded = expand_step_function_rules(&rules, &spec, None);
+        // First band keeps 1 distance condition (the < hi), later bands
+        // add a >= lo condition.
+        assert_eq!(expanded[0].conditions.len(), rules[0].conditions.len());
+        assert_eq!(expanded[1].conditions.len(), rules[0].conditions.len() + 1);
+    }
+
+    #[test]
+    fn shaped_weights_follow_the_weighting_function() {
+        let rules = base_rules();
+        let spec = StepFunctionSpec { bands: 4, max_weight: 1.0, min_weight: 0.0, shape_bandwidth: None };
+        let wfn = WeightingFn::Exponential { scale: 1.0, bandwidth: 10.0 };
+        let expanded = expand_step_function_rules(&rules, &spec, Some(&wfn));
+        // Exponential decay: strictly decreasing, convex.
+        let w: Vec<f64> = expanded[..4].iter().map(|r| r.weight).collect();
+        assert!(w[0] > w[1] && w[1] > w[2] && w[2] > w[3]);
+        assert!((w[0] - w[1]) > (w[2] - w[3]), "convex decay expected: {w:?}");
+    }
+
+    #[test]
+    fn zero_band_request_clamps_to_one() {
+        let rules = base_rules();
+        let spec = StepFunctionSpec { bands: 0, max_weight: 0.9, min_weight: 0.1, shape_bandwidth: None };
+        let expanded = expand_step_function_rules(&rules, &spec, None);
+        assert_eq!(expanded.len(), 2); // 1 band + pass-through
+    }
+}

@@ -1,0 +1,227 @@
+//! The spatial rules-queries translator (paper Section IV-B, Fig. 5).
+//!
+//! Renders a compiled rule as the sequence of SQL-like queries the
+//! grounder executes: one `SELECT`/`JOIN` stage per body atom, with the
+//! condition predicates attached at the earliest stage where they are
+//! evaluable and re-ordered cheapest-class-first — the paper's example
+//! runs the `within` range query *before* the `distance` spatial join.
+//!
+//! The rendered text is used for reporting and testing; execution itself
+//! happens in [`crate::grounder`] over the embedded engine.
+
+use std::collections::BTreeSet;
+use sya_lang::{CompiledRule, SlotTerm};
+use sya_store::{estimate_cost, expr_columns, BinOp, Expr, SpatialFn};
+
+/// One translated query stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlQuery {
+    /// The relation scanned/joined at this stage.
+    pub relation: String,
+    /// `SCAN`, `HASH JOIN`, or `SPATIAL JOIN`.
+    pub operator: &'static str,
+    /// Predicates applied at this stage, in optimized order.
+    pub predicates: Vec<String>,
+    /// Rendered SQL-ish text.
+    pub sql: String,
+}
+
+/// Translates a rule into its ordered query stages.
+pub fn translate_rule(rule: &CompiledRule) -> Vec<SqlQuery> {
+    let mut bound: BTreeSet<usize> = BTreeSet::new();
+    let mut assigned: Vec<bool> = vec![false; rule.conditions.len()];
+    let mut out = Vec::with_capacity(rule.body.len());
+
+    for (k, atom) in rule.body.iter().enumerate() {
+        let before = bound.clone();
+        for t in &atom.terms {
+            if let SlotTerm::Slot(s) = t {
+                bound.insert(*s);
+            }
+        }
+        // Conditions evaluable at this stage, cheapest first.
+        let mut stage: Vec<usize> = rule
+            .conditions
+            .iter()
+            .enumerate()
+            .filter(|(ci, c)| {
+                if assigned[*ci] {
+                    return false;
+                }
+                let mut cols = BTreeSet::new();
+                expr_columns(c, &mut cols);
+                cols.iter().all(|c| bound.contains(c))
+            })
+            .map(|(ci, _)| ci)
+            .collect();
+        stage.sort_by_key(|&ci| estimate_cost(&rule.conditions[ci]));
+        for &ci in &stage {
+            assigned[ci] = true;
+        }
+
+        let operator = if stage
+            .iter()
+            .any(|&ci| is_cross_atom_distance(&rule.conditions[ci], &before))
+        {
+            "SPATIAL JOIN"
+        } else if k > 0
+            && atom
+                .terms
+                .iter()
+                .any(|t| matches!(t, SlotTerm::Slot(s) if before.contains(s)))
+        {
+            "HASH JOIN"
+        } else if k > 0 {
+            "NESTED LOOP"
+        } else {
+            "SCAN"
+        };
+
+        let predicates: Vec<String> = stage
+            .iter()
+            .map(|&ci| render_expr(&rule.conditions[ci], rule))
+            .collect();
+        let sql = if predicates.is_empty() {
+            format!("SELECT * FROM {} AS t{k}", atom.relation)
+        } else {
+            format!(
+                "SELECT * FROM {} AS t{k} WHERE {}",
+                atom.relation,
+                predicates.join(" AND ")
+            )
+        };
+        out.push(SqlQuery { relation: atom.relation.clone(), operator, predicates, sql });
+    }
+    out
+}
+
+/// True when the condition is a distance predicate between a slot bound
+/// before this stage and a slot bound at/after it — i.e. a spatial join.
+fn is_cross_atom_distance(e: &Expr, before: &BTreeSet<usize>) -> bool {
+    fn find(e: &Expr, before: &BTreeSet<usize>) -> bool {
+        match e {
+            Expr::Spatial(SpatialFn::Distance, _, a, b) => {
+                if let (Expr::Col(i), Expr::Col(j)) = (a.as_ref(), b.as_ref()) {
+                    return before.contains(i) != before.contains(j);
+                }
+                false
+            }
+            Expr::Bin(_, l, r) => find(l, before) || find(r, before),
+            Expr::Not(i) | Expr::IsNull(i) => find(i, before),
+            _ => false,
+        }
+    }
+    find(e, before)
+}
+
+/// Renders an expression with slot names instead of indices.
+fn render_expr(e: &Expr, rule: &CompiledRule) -> String {
+    match e {
+        Expr::Col(i) => rule
+            .slots
+            .get(*i)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| format!("col{i}")),
+        Expr::Lit(v) => v.to_string(),
+        Expr::Not(i) => format!("NOT ({})", render_expr(i, rule)),
+        Expr::IsNull(i) => format!("({}) IS NULL", render_expr(i, rule)),
+        Expr::Bin(op, l, r) => {
+            let o = match op {
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("{} {o} {}", render_expr(l, rule), render_expr(r, rule))
+        }
+        Expr::Spatial(f, _, l, r) => {
+            let name = match f {
+                SpatialFn::Distance => "ST_Distance",
+                SpatialFn::Within => "ST_Within",
+                SpatialFn::Overlaps => "ST_Overlaps",
+                SpatialFn::Contains => "ST_Contains",
+                SpatialFn::Intersects => "ST_Intersects",
+            };
+            format!("{name}({}, {})", render_expr(l, rule), render_expr(r, rule))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_geom::{DistanceMetric, Geometry, Polygon, Rect};
+    use sya_lang::{compile, parse_program, GeomConstants};
+
+    fn compiled_r1() -> CompiledRule {
+        // The paper's Fig. 3 rule R1: distance listed BEFORE within.
+        let src = r#"
+        County(id bigint, location point, lowSan bool).
+        @spatial(exp)
+        HasEbola?(id bigint, location point).
+        R1: @weight(0.35) HasEbola(C1, L1) => HasEbola(C2, L2) :-
+            County(C1, L1, _), County(C2, L2, S)
+            [distance(L1, L2) < 150, within(L2, liberia_geom), S = true].
+        "#;
+        let mut constants = GeomConstants::new();
+        constants.insert(
+            "liberia_geom",
+            Geometry::Polygon(Polygon::from_rect(&Rect::raw(-12.0, 4.0, -7.0, 9.0))),
+        );
+        let p = parse_program(src).unwrap();
+        compile(&p, &constants, DistanceMetric::HaversineMiles)
+            .unwrap()
+            .rules
+            .remove(0)
+    }
+
+    #[test]
+    fn one_stage_per_body_atom() {
+        let queries = translate_rule(&compiled_r1());
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].operator, "SCAN");
+        assert_eq!(queries[1].operator, "SPATIAL JOIN");
+    }
+
+    #[test]
+    fn fig5_reordering_range_and_filter_before_spatial_join() {
+        // All three conditions become evaluable at stage 2; the optimizer
+        // must order: S = true (cheap), within (range), distance (join).
+        let queries = translate_rule(&compiled_r1());
+        let preds = &queries[1].predicates;
+        assert_eq!(preds.len(), 3);
+        assert!(preds[0].contains("S = true"), "{preds:?}");
+        assert!(preds[1].contains("ST_Within"), "{preds:?}");
+        assert!(preds[2].contains("ST_Distance"), "{preds:?}");
+    }
+
+    #[test]
+    fn rendered_sql_mentions_relation_and_predicates() {
+        let queries = translate_rule(&compiled_r1());
+        assert!(queries[0].sql.contains("FROM County"));
+        assert!(queries[1].sql.contains("ST_Distance(L1, L2) < 150"));
+    }
+
+    #[test]
+    fn equi_join_detected_for_shared_slots() {
+        let src = r#"
+        Y?(s bigint).
+        A(s bigint).
+        B(s bigint, t bigint).
+        R: Y(S) :- A(S), B(S, T) [T > 0].
+        "#;
+        let p = parse_program(src).unwrap();
+        let cp = compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let queries = translate_rule(&cp.rules[0]);
+        assert_eq!(queries[1].operator, "HASH JOIN");
+        assert_eq!(queries[1].predicates, vec!["T > 0"]);
+    }
+}

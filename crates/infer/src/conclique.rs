@@ -1,0 +1,124 @@
+//! Concliques-based partitioning (paper Section V, after Kaiser et al.).
+//!
+//! A *conclique* is a set of grid cells no two of which are neighbours
+//! (8-neighbourhood). For a regular grid the 4-colouring by
+//! `(col mod 2, row mod 2)` yields exactly four concliques: any two
+//! distinct cells of the same colour differ by at least 2 in some
+//! coordinate, hence are never adjacent. Cells within one conclique can
+//! be sampled in parallel; the four concliques are processed serially.
+
+use crate::pyramid::CellKey;
+
+/// One of the four conclique colour classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Conclique(pub u8);
+
+impl Conclique {
+    pub const ALL: [Conclique; 4] =
+        [Conclique(0), Conclique(1), Conclique(2), Conclique(3)];
+}
+
+/// The conclique a grid cell belongs to: `(col mod 2) + 2·(row mod 2)`.
+pub fn conclique_of(col: u32, row: u32) -> Conclique {
+    Conclique(((col % 2) + 2 * (row % 2)) as u8)
+}
+
+/// `GetMinConcliquesCover` of Algorithm 1: given the non-empty cells at
+/// one level, returns only the concliques that own at least one of them,
+/// each paired with its member cells (serial outer order, parallel inner
+/// cells).
+pub fn min_conclique_cover(cells: &[CellKey]) -> Vec<(Conclique, Vec<CellKey>)> {
+    let mut groups: [Vec<CellKey>; 4] = Default::default();
+    for &c in cells {
+        groups[conclique_of(c.col, c.row).0 as usize].push(c);
+    }
+    Conclique::ALL
+        .into_iter()
+        .zip(groups)
+        .filter(|(_, v)| !v.is_empty())
+        .collect()
+}
+
+/// True when two cells at the same level are 8-neighbours (or equal).
+pub fn cells_adjacent(a: &CellKey, b: &CellKey) -> bool {
+    a.level == b.level
+        && a.col.abs_diff(b.col) <= 1
+        && a.row.abs_diff(b.row) <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(level: u8, col: u32, row: u32) -> CellKey {
+        CellKey { level, col, row }
+    }
+
+    #[test]
+    fn four_colour_classes() {
+        assert_eq!(conclique_of(0, 0), Conclique(0));
+        assert_eq!(conclique_of(1, 0), Conclique(1));
+        assert_eq!(conclique_of(0, 1), Conclique(2));
+        assert_eq!(conclique_of(1, 1), Conclique(3));
+        assert_eq!(conclique_of(4, 6), Conclique(0));
+    }
+
+    #[test]
+    fn same_conclique_cells_are_never_adjacent() {
+        // Exhaustive over an 8x8 grid.
+        let mut cells = Vec::new();
+        for r in 0..8 {
+            for c in 0..8 {
+                cells.push(cell(3, c, r));
+            }
+        }
+        for a in &cells {
+            for b in &cells {
+                if a != b && conclique_of(a.col, a.row) == conclique_of(b.col, b.row) {
+                    assert!(
+                        !cells_adjacent(a, b),
+                        "cells {a:?} and {b:?} share a conclique but are adjacent"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_partitions_input_cells() {
+        let cells = vec![cell(2, 0, 0), cell(2, 1, 0), cell(2, 2, 2), cell(2, 3, 3)];
+        let cover = min_conclique_cover(&cells);
+        let total: usize = cover.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 4);
+        // (0,0) and (2,2) share conclique 0.
+        let c0 = cover.iter().find(|(q, _)| *q == Conclique(0)).unwrap();
+        assert_eq!(c0.1.len(), 2);
+    }
+
+    #[test]
+    fn cover_is_minimal() {
+        // All cells in one conclique -> single group.
+        let cells = vec![cell(2, 0, 0), cell(2, 2, 0), cell(2, 0, 2)];
+        let cover = min_conclique_cover(&cells);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].0, Conclique(0));
+        // Paper example: two partial graphs at C6 and C8 -> two concliques.
+        let two = vec![cell(2, 1, 0), cell(2, 3, 0)];
+        // (1,0) -> conclique 1; (3,0) -> conclique 1 as well (3%2=1,0%2=0).
+        assert_eq!(min_conclique_cover(&two).len(), 1);
+        let mixed = vec![cell(2, 1, 0), cell(2, 2, 1)];
+        assert_eq!(min_conclique_cover(&mixed).len(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_cover() {
+        assert!(min_conclique_cover(&[]).is_empty());
+    }
+
+    #[test]
+    fn adjacency_requires_same_level() {
+        assert!(cells_adjacent(&cell(2, 1, 1), &cell(2, 2, 2)));
+        assert!(!cells_adjacent(&cell(2, 1, 1), &cell(3, 2, 2)));
+        assert!(!cells_adjacent(&cell(2, 0, 0), &cell(2, 2, 0)));
+    }
+}

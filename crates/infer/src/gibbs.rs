@@ -1,0 +1,275 @@
+//! Baseline samplers: DeepDive's sequential Gibbs sampler and the
+//! random-partition parallel Gibbs of the state of the art the paper
+//! compares against (Section V, "Main Idea").
+
+use crate::marginals::MarginalCounts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sya_fg::{binary_conditional_true, conditional_with, Assignment, FactorGraph, VarId};
+
+/// Draws an index from a normalized probability vector.
+pub(crate) fn sample_index(rng: &mut StdRng, probs: &[f64]) -> u32 {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i as u32;
+        }
+    }
+    (probs.len() - 1) as u32
+}
+
+/// Draws a value for `v` from its Gibbs conditional: binary variables
+/// take the allocation-free sigmoid path, categorical ones the general
+/// normalized-vector path.
+#[inline]
+pub(crate) fn sample_conditional(
+    graph: &FactorGraph,
+    value_source: &dyn Fn(VarId) -> u32,
+    v: VarId,
+    rng: &mut StdRng,
+) -> u32 {
+    if graph.variable(v).domain.cardinality() == 2 {
+        let p1 = binary_conditional_true(graph, value_source, v);
+        u32::from(rng.gen::<f64>() < p1)
+    } else {
+        let probs = conditional_with(graph, value_source, v);
+        sample_index(rng, &probs)
+    }
+}
+
+/// Random initial assignment: evidence clamped, query variables uniform.
+pub(crate) fn random_init(graph: &FactorGraph, rng: &mut StdRng) -> Assignment {
+    graph
+        .variables()
+        .iter()
+        .map(|v| match v.evidence {
+            Some(e) => e,
+            None => rng.gen_range(0..v.domain.cardinality()),
+        })
+        .collect()
+}
+
+/// Sequential (single-site) Gibbs sampling — the sampler inside DeepDive
+/// ("computationally-efficient, easy-to-implement, and can support
+/// incremental inference"). One epoch = one sweep over all query
+/// variables in order. Samples before `burn_in` epochs are discarded.
+pub fn sequential_gibbs(
+    graph: &FactorGraph,
+    epochs: usize,
+    burn_in: usize,
+    seed: u64,
+) -> MarginalCounts {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment = random_init(graph, &mut rng);
+    let query = graph.query_variables();
+    let mut counts = MarginalCounts::new(graph);
+
+    for epoch in 0..epochs {
+        for &v in &query {
+            let x = sample_conditional(graph, &|u| assignment[u as usize], v, &mut rng);
+            assignment[v as usize] = x;
+            if epoch >= burn_in {
+                counts.record(v, x);
+            }
+        }
+        if epoch >= burn_in {
+            for var in graph.variables() {
+                if let Some(e) = var.evidence {
+                    counts.record(var.id, e);
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Random-partition parallel Gibbs: query variables are split into `k`
+/// random buckets; within an epoch the buckets are sampled in parallel
+/// against a *stale snapshot* of the other buckets' values (a synchronous
+/// Jacobi-style update). This is the state-of-the-art parallel scheme the
+/// paper criticizes: spatially-dependent variables land in different
+/// buckets and are updated independently of each other, slowing
+/// convergence relative to conclique partitioning.
+pub fn parallel_random_gibbs(
+    graph: &FactorGraph,
+    epochs: usize,
+    burn_in: usize,
+    k: usize,
+    seed: u64,
+) -> MarginalCounts {
+    let k = k.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment = random_init(graph, &mut rng);
+    let mut query = graph.query_variables();
+    // Random bucket assignment (shuffle then stripe).
+    for i in (1..query.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        query.swap(i, j);
+    }
+    let buckets: Vec<Vec<VarId>> = (0..k)
+        .map(|b| query.iter().copied().skip(b).step_by(k).collect())
+        .collect();
+
+    let mut counts = MarginalCounts::new(graph);
+    for epoch in 0..epochs {
+        let snapshot = assignment.clone();
+        let results: Vec<Vec<(VarId, u32)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .iter()
+                .enumerate()
+                .map(|(b, bucket)| {
+                    let snapshot = &snapshot;
+                    let bucket = bucket.as_slice();
+                    let mut local_rng =
+                        StdRng::seed_from_u64(seed ^ (epoch as u64) << 20 ^ b as u64);
+                    s.spawn(move || {
+                        let mut local = snapshot.clone();
+                        let mut out = Vec::with_capacity(bucket.len());
+                        for &v in bucket {
+                            let x = sample_conditional(
+                                graph,
+                                &|u| local[u as usize],
+                                v,
+                                &mut local_rng,
+                            );
+                            local[v as usize] = x;
+                            out.push((v, x));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bucket thread")).collect()
+        });
+        for bucket_result in results {
+            for (v, x) in bucket_result {
+                assignment[v as usize] = x;
+                if epoch >= burn_in {
+                    counts.record(v, x);
+                }
+            }
+        }
+        if epoch >= burn_in {
+            for var in graph.variables() {
+                if let Some(e) = var.evidence {
+                    counts.record(var.id, e);
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_fg::{log_prob_unnormalized, Factor, FactorKind, SpatialFactor, Variable};
+
+    /// Exact marginal of each variable by enumeration (binary graphs).
+    fn exact_marginals(graph: &FactorGraph) -> Vec<f64> {
+        let n = graph.num_variables();
+        assert!(n <= 16);
+        let query = graph.query_variables();
+        let mut probs = vec![0.0; n];
+        let mut z = 0.0;
+        for bits in 0..(1u32 << query.len()) {
+            let mut assignment = graph.initial_assignment();
+            for (i, &v) in query.iter().enumerate() {
+                assignment[v as usize] = (bits >> i) & 1;
+            }
+            let w = log_prob_unnormalized(graph, &assignment).exp();
+            z += w;
+            for v in 0..n {
+                if assignment[v] == 1 {
+                    probs[v] += w;
+                }
+            }
+        }
+        probs.iter().map(|p| p / z).collect()
+    }
+
+    fn chain_graph() -> FactorGraph {
+        // e -> a -> b with spatial a~b, evidence e = 1.
+        let mut g = FactorGraph::new();
+        let e = g.add_variable(Variable::binary(0, "e").with_evidence(1));
+        let a = g.add_variable(Variable::binary(0, "a"));
+        let b = g.add_variable(Variable::binary(0, "b"));
+        g.add_factor(Factor::new(FactorKind::Imply, vec![e, a], 1.2));
+        g.add_factor(Factor::new(FactorKind::Imply, vec![a, b], 0.8));
+        g.add_spatial_factor(SpatialFactor::binary(a, b, 0.5));
+        g
+    }
+
+    #[test]
+    fn sample_index_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = [0.1, 0.6, 0.3];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_index(&mut rng, &probs) as usize] += 1;
+        }
+        for (c, p) in counts.iter().zip(probs) {
+            let freq = *c as f64 / 30_000.0;
+            assert!((freq - p).abs() < 0.02, "freq {freq} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn sequential_gibbs_matches_exact_marginals() {
+        let g = chain_graph();
+        let exact = exact_marginals(&g);
+        let counts = sequential_gibbs(&g, 6000, 500, 42);
+        for v in g.query_variables() {
+            let est = counts.factual_score(v);
+            assert!(
+                (est - exact[v as usize]).abs() < 0.03,
+                "var {v}: est {est}, exact {}",
+                exact[v as usize]
+            );
+        }
+        // Evidence stays clamped.
+        assert_eq!(counts.factual_score(0), 1.0);
+    }
+
+    #[test]
+    fn parallel_random_gibbs_converges_on_small_graph() {
+        let g = chain_graph();
+        let exact = exact_marginals(&g);
+        let counts = parallel_random_gibbs(&g, 6000, 500, 2, 7);
+        for v in g.query_variables() {
+            let est = counts.factual_score(v);
+            assert!(
+                (est - exact[v as usize]).abs() < 0.05,
+                "var {v}: est {est}, exact {}",
+                exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = chain_graph();
+        let a = sequential_gibbs(&g, 200, 20, 9);
+        let b = sequential_gibbs(&g, 200, 20, 9);
+        assert_eq!(a, b);
+        let c = sequential_gibbs(&g, 200, 20, 10);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn burn_in_discards_samples() {
+        let g = chain_graph();
+        let counts = sequential_gibbs(&g, 100, 40, 3);
+        assert_eq!(counts.total_samples(1), 60);
+    }
+
+    #[test]
+    fn no_query_variables_is_fine() {
+        let mut g = FactorGraph::new();
+        g.add_variable(Variable::binary(0, "e").with_evidence(1));
+        let counts = sequential_gibbs(&g, 10, 0, 1);
+        assert_eq!(counts.factual_score(0), 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # sya-infer — the inference module
+//!
+//! Estimates the marginal probabilities (factual scores) of the spatial
+//! factor graph's variables (paper Section V). The module provides:
+//!
+//! * [`pyramid`] — the in-memory **partial pyramid index** [Aref & Samet]
+//!   that spatially partitions the factor graph: `L` levels, `4^l` cells
+//!   at level `l`, atoms indexed at every level along their path, empty
+//!   quadrants merged into parents, capacity-based splits on update;
+//! * [`conclique`] — **concliques-based partitioning** [Kaiser et al.]:
+//!   the 4-colouring of grid cells into sets of mutually non-neighbouring
+//!   cells, and the minimum conclique cover of the non-empty cells;
+//! * [`gibbs`] — the baselines: DeepDive's sequential Gibbs sampler and
+//!   the random-partition parallel Gibbs the paper argues against;
+//! * [`spatial_gibbs`](mod@spatial_gibbs) — **Spatial Gibbs Sampling** (Algorithm 1):
+//!   `K` parallel inference instances, each sweeping pyramid levels
+//!   serially, concliques serially, and cells within a conclique in
+//!   parallel, with per-epoch count averaging;
+//! * [`incremental`] — incremental inference: after evidence updates,
+//!   only the concliques of affected variables are re-sampled;
+//! * [`marginals`] — sample counters, marginal extraction, and the KL
+//!   divergence metric of Fig. 14.
+
+pub mod conclique;
+pub mod gibbs;
+pub mod incremental;
+pub mod learn;
+pub mod marginals;
+pub mod pyramid;
+pub mod spatial_gibbs;
+pub mod work_model;
+
+pub use conclique::{conclique_of, min_conclique_cover, Conclique};
+pub use gibbs::{parallel_random_gibbs, sequential_gibbs};
+pub use incremental::{incremental_sequential_gibbs, incremental_spatial_gibbs};
+pub use learn::{learn_weights, map_assignment, pseudo_log_likelihood, LearnConfig};
+pub use marginals::{average_kl_divergence, MarginalCounts};
+pub use pyramid::{CellKey, PyramidIndex};
+pub use spatial_gibbs::{spatial_gibbs, InferConfig, SweepMode};
+pub use work_model::{epoch_work, EpochWork};

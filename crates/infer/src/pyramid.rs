@@ -1,0 +1,435 @@
+//! The in-memory partial pyramid index of the spatial factor graph
+//! (paper Section V, after Aref & Samet).
+//!
+//! The pyramid decomposes the atom cloud's bounding region into `L + 1`
+//! levels: level `l` is a `2^l × 2^l` grid (`4^l` cells), level 0 being
+//! the root. Every located atom is indexed at *every* level along its
+//! cell path. After the initial complete build, a merging pass removes
+//! cells whose quadrant is mostly empty ("merge quadrants into their
+//! parent if three of these quadrants are empty"); incremental updates
+//! split a merged region again when it exceeds the capacity threshold and
+//! its contents span at least two children.
+
+use std::collections::HashMap;
+use sya_fg::{FactorGraph, VarId};
+use sya_geom::{Point, Rect};
+
+/// Identifies one pyramid cell: `(level, col, row)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey {
+    pub level: u8,
+    pub col: u32,
+    pub row: u32,
+}
+
+impl CellKey {
+    pub fn root() -> CellKey {
+        CellKey { level: 0, col: 0, row: 0 }
+    }
+
+    /// Parent cell (the root is its own parent).
+    pub fn parent(&self) -> CellKey {
+        if self.level == 0 {
+            *self
+        } else {
+            CellKey { level: self.level - 1, col: self.col / 2, row: self.row / 2 }
+        }
+    }
+
+    /// The four children keys.
+    pub fn children(&self) -> [CellKey; 4] {
+        let l = self.level + 1;
+        let (c, r) = (self.col * 2, self.row * 2);
+        [
+            CellKey { level: l, col: c, row: r },
+            CellKey { level: l, col: c + 1, row: r },
+            CellKey { level: l, col: c, row: r + 1 },
+            CellKey { level: l, col: c + 1, row: r + 1 },
+        ]
+    }
+}
+
+/// The partial pyramid index over a factor graph's located variables.
+///
+/// ```
+/// use sya_fg::{FactorGraph, Variable};
+/// use sya_geom::Point;
+/// use sya_infer::PyramidIndex;
+///
+/// let mut g = FactorGraph::new();
+/// for i in 0..20 {
+///     g.add_variable(Variable::binary(0, format!("v{i}")).at(Point::new(i as f64, 0.0)));
+/// }
+/// let pyramid = PyramidIndex::build(&g, 4, 64);
+/// // Every atom is covered exactly once by the level-4 sampling cells.
+/// let covered: usize = pyramid
+///     .sampling_cells(4)
+///     .iter()
+///     .map(|c| pyramid.atoms_in(c).len())
+///     .sum();
+/// assert_eq!(covered, 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PyramidIndex {
+    bounds: Rect,
+    levels: u8,
+    capacity: usize,
+    /// Maintained (non-merged) cells with their atom lists. A cell key
+    /// absent from this map is either empty or merged into an ancestor.
+    cells: HashMap<CellKey, Vec<VarId>>,
+}
+
+impl PyramidIndex {
+    /// Builds the index over all located variables of `graph`.
+    ///
+    /// `levels` is the paper's `L` (the finest level index); `capacity`
+    /// is the split threshold for incremental updates.
+    pub fn build(graph: &FactorGraph, levels: u8, capacity: usize) -> Self {
+        let atoms: Vec<(VarId, Point)> = graph
+            .variables()
+            .iter()
+            .filter_map(|v| v.location.map(|p| (v.id, p)))
+            .collect();
+        let mut bounds = graph.bounding_box();
+        if bounds.is_empty() {
+            bounds = Rect::raw(0.0, 0.0, 1.0, 1.0);
+        }
+        // Guard against degenerate (zero-extent) bounds.
+        if bounds.width() == 0.0 || bounds.height() == 0.0 {
+            bounds = bounds.expand(0.5);
+        }
+        let mut idx = PyramidIndex { bounds, levels, capacity, cells: HashMap::new() };
+        // Complete build: every atom at every level.
+        for &(id, p) in &atoms {
+            for l in 0..=levels {
+                let key = idx.cell_of(l, &p);
+                idx.cells.entry(key).or_default().push(id);
+            }
+        }
+        idx.merge_sparse_quadrants();
+        idx
+    }
+
+    /// The cell containing point `p` at level `l`.
+    pub fn cell_of(&self, level: u8, p: &Point) -> CellKey {
+        let n = 1u32 << level;
+        let fx = (p.x - self.bounds.min_x) / self.bounds.width();
+        let fy = (p.y - self.bounds.min_y) / self.bounds.height();
+        let col = ((fx * n as f64) as i64).clamp(0, n as i64 - 1) as u32;
+        let row = ((fy * n as f64) as i64).clamp(0, n as i64 - 1) as u32;
+        CellKey { level, col, row }
+    }
+
+    /// Merging pass: bottom-up, a quadrant is merged into its parent when
+    /// at least three of its four children are empty (the children cells
+    /// are dropped — their contents are already indexed at the parent).
+    fn merge_sparse_quadrants(&mut self) {
+        for level in (1..=self.levels).rev() {
+            let parents: Vec<CellKey> = self
+                .cells
+                .keys()
+                .filter(|k| k.level == level)
+                .map(|k| k.parent())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            for parent in parents {
+                let children = parent.children();
+                let non_empty = children
+                    .iter()
+                    .filter(|c| self.cells.get(c).is_some_and(|v| !v.is_empty()))
+                    .count();
+                // A quadrant only merges when its children are leaves:
+                // removing a cell with maintained grandchildren would
+                // orphan them (their atoms would then be double-covered
+                // through a shallower leaf).
+                let children_are_leaves = children.iter().all(|c| {
+                    c.children().iter().all(|gc| !self.cells.contains_key(gc))
+                });
+                if non_empty <= 1 && children_are_leaves {
+                    for c in &children {
+                        self.cells.remove(c);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Atoms indexed in a maintained cell (empty slice when the cell is
+    /// merged away or empty).
+    pub fn atoms_in(&self, key: &CellKey) -> &[VarId] {
+        self.cells.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Non-empty maintained cells at a level.
+    pub fn non_empty_cells(&self, level: u8) -> Vec<CellKey> {
+        let mut v: Vec<CellKey> = self
+            .cells
+            .iter()
+            .filter(|(k, atoms)| k.level == level && !atoms.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// For sampling at `level`: the cells to process — maintained
+    /// non-empty cells at that level, **plus** leaf cells at shallower
+    /// levels whose quadrants were merged away (so their variables are
+    /// not skipped). A shallower cell qualifies when none of its
+    /// descendants at `level` is maintained.
+    pub fn sampling_cells(&self, level: u8) -> Vec<CellKey> {
+        let mut out = self.non_empty_cells(level);
+        // Leaf cells above `level`: maintained, non-empty, no maintained child.
+        for l in 0..level {
+            for key in self.non_empty_cells(l) {
+                let has_child = key
+                    .children()
+                    .iter()
+                    .any(|c| self.cells.contains_key(c));
+                if !has_child {
+                    out.push(key);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Incremental insert: adds the atom at each level along its path,
+    /// splitting merged regions that exceed capacity ("a cell is split
+    /// only if it is over a capacity threshold and splitting its contents
+    /// spans at least two children cells").
+    pub fn insert(&mut self, id: VarId, p: Point, graph: &FactorGraph) {
+        // Add the atom only to the *maintained* cells along its path:
+        // creating deeper cells here would orphan the merged leaf's other
+        // atoms (a child would exist, so the leaf stops being sampled,
+        // but only the new atom would live in that child). New depth is
+        // introduced exclusively by the split pass below, which
+        // redistributes the whole cell.
+        self.cells.entry(CellKey::root()).or_default().push(id);
+        for l in 1..=self.levels {
+            let key = self.cell_of(l, &p);
+            match self.cells.get_mut(&key) {
+                Some(cell) => cell.push(id),
+                None => break, // merged away below this level
+            }
+        }
+        // Split pass along the path.
+        for l in 0..self.levels {
+            let key = self.cell_of(l, &p);
+            let atoms = self.atoms_in(&key).to_vec();
+            if atoms.len() > self.capacity {
+                // Does the content span >= 2 children?
+                let mut seen = std::collections::BTreeSet::new();
+                for &a in &atoms {
+                    if let Some(loc) = graph.variable(a).location {
+                        seen.insert(self.cell_of(l + 1, &loc));
+                    }
+                }
+                if seen.len() >= 2 {
+                    for child in seen {
+                        let list: Vec<VarId> = atoms
+                            .iter()
+                            .copied()
+                            .filter(|&a| {
+                                graph
+                                    .variable(a)
+                                    .location
+                                    .is_some_and(|loc| self.cell_of(l + 1, &loc) == child)
+                            })
+                            .collect();
+                        let entry = self.cells.entry(child).or_default();
+                        for a in list {
+                            if !entry.contains(&a) {
+                                entry.push(a);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental delete: removes the atom from every cell on its path.
+    pub fn remove(&mut self, id: VarId, p: Point) {
+        for l in 0..=self.levels {
+            let key = self.cell_of(l, &p);
+            if let Some(cell) = self.cells.get_mut(&key) {
+                cell.retain(|&a| a != id);
+            }
+        }
+    }
+
+    /// Number of maintained cells (diagnostics).
+    pub fn maintained_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_fg::Variable;
+
+    /// A graph with atoms on a diagonal in [0, 16)².
+    fn diagonal_graph(n: usize) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        for i in 0..n {
+            let p = Point::new(i as f64 + 0.5, i as f64 + 0.5);
+            g.add_variable(Variable::binary(0, format!("v{i}")).at(p));
+        }
+        g
+    }
+
+    #[test]
+    fn cell_key_navigation() {
+        let k = CellKey { level: 2, col: 3, row: 1 };
+        assert_eq!(k.parent(), CellKey { level: 1, col: 1, row: 0 });
+        let cs = k.children();
+        assert!(cs.contains(&CellKey { level: 3, col: 6, row: 2 }));
+        assert!(cs.contains(&CellKey { level: 3, col: 7, row: 3 }));
+        assert_eq!(CellKey::root().parent(), CellKey::root());
+    }
+
+    #[test]
+    fn every_atom_indexed_at_every_level_before_merge() {
+        let g = diagonal_graph(16);
+        let idx = PyramidIndex::build(&g, 3, usize::MAX);
+        // Root holds everything.
+        assert_eq!(idx.atoms_in(&CellKey::root()).len(), 16);
+        // Each level's cells partition the diagonal atoms.
+        for l in 1..=3u8 {
+            let total: usize = idx
+                .non_empty_cells(l)
+                .iter()
+                .map(|k| idx.atoms_in(k).len())
+                .sum();
+            // Atoms may live in merged-away cells at deeper levels; the
+            // union of maintained cells at level l plus shallower leaves
+            // must cover all 16.
+            let covered: usize = idx
+                .sampling_cells(l)
+                .iter()
+                .map(|k| idx.atoms_in(k).len())
+                .sum();
+            assert_eq!(covered, 16, "level {l} covers all atoms (got {total} at level)");
+        }
+    }
+
+    #[test]
+    fn sampling_cells_cover_each_atom_exactly_once() {
+        let g = diagonal_graph(32);
+        let idx = PyramidIndex::build(&g, 4, usize::MAX);
+        for l in 1..=4u8 {
+            let mut seen = std::collections::BTreeSet::new();
+            for key in idx.sampling_cells(l) {
+                for &a in idx.atoms_in(&key) {
+                    assert!(seen.insert(a), "atom {a} covered twice at level {l}");
+                }
+            }
+            assert_eq!(seen.len(), 32, "level {l}");
+        }
+    }
+
+    #[test]
+    fn merging_drops_redundant_children() {
+        // One tight cluster: deeper levels have a single non-empty cell
+        // per quadrant, so they merge into ancestors.
+        let mut g = FactorGraph::new();
+        for i in 0..10 {
+            let p = Point::new(0.1 + 0.001 * i as f64, 0.1);
+            g.add_variable(Variable::binary(0, format!("v{i}")).at(p));
+        }
+        // Add one far atom so the bounds aren't degenerate.
+        g.add_variable(Variable::binary(0, "far").at(Point::new(10.0, 10.0)));
+        let idx = PyramidIndex::build(&g, 5, usize::MAX);
+        // Without merging there would be ~2 cells per level below root;
+        // with merging most are gone.
+        assert!(
+            idx.maintained_cells() < 6,
+            "expected aggressive merging, got {} cells",
+            idx.maintained_cells()
+        );
+        // The root still provides access to everything.
+        assert_eq!(idx.atoms_in(&CellKey::root()).len(), 11);
+    }
+
+    #[test]
+    fn insert_into_merged_region_keeps_single_coverage() {
+        // A tight cluster merges its deep cells away; inserting a new
+        // nearby atom must not orphan the cluster from deep-level sweeps.
+        let mut g = FactorGraph::new();
+        for i in 0..6 {
+            g.add_variable(
+                Variable::binary(0, format!("v{i}")).at(Point::new(0.1 + 0.001 * i as f64, 0.1)),
+            );
+        }
+        g.add_variable(Variable::binary(0, "far").at(Point::new(10.0, 10.0)));
+        let mut idx = PyramidIndex::build(&g, 5, usize::MAX);
+        let p = Point::new(0.105, 0.1);
+        let id = g.add_variable(Variable::binary(0, "new").at(p));
+        idx.insert(id, p, &g);
+        for l in 1..=5u8 {
+            let mut seen = std::collections::BTreeSet::new();
+            for key in idx.sampling_cells(l) {
+                for &a in idx.atoms_in(&key) {
+                    assert!(seen.insert(a), "atom {a} double-covered at level {l}");
+                }
+            }
+            assert_eq!(seen.len(), 8, "level {l} must cover all atoms");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_and_remove() {
+        let g = diagonal_graph(16);
+        let mut idx = PyramidIndex::build(&g, 3, 4);
+        let mut g2 = diagonal_graph(16);
+        let p = Point::new(3.3, 3.3);
+        let id = g2.add_variable(Variable::binary(0, "new").at(p));
+        idx.insert(id, p, &g2);
+        let key = idx.cell_of(3, &p);
+        assert!(idx.atoms_in(&key).contains(&id));
+        idx.remove(id, p);
+        assert!(!idx.atoms_in(&key).contains(&id));
+        assert!(!idx.atoms_in(&CellKey::root()).contains(&id));
+    }
+
+    #[test]
+    fn empty_graph_builds_unit_pyramid() {
+        let g = FactorGraph::new();
+        let idx = PyramidIndex::build(&g, 3, 8);
+        assert_eq!(idx.non_empty_cells(3).len(), 0);
+        assert!(!idx.bounds().is_empty());
+    }
+
+    #[test]
+    fn degenerate_bounds_are_expanded() {
+        let mut g = FactorGraph::new();
+        // All atoms at the same point.
+        for i in 0..3 {
+            g.add_variable(Variable::binary(0, format!("v{i}")).at(Point::new(5.0, 5.0)));
+        }
+        let idx = PyramidIndex::build(&g, 2, 8);
+        assert!(idx.bounds().width() > 0.0);
+        let covered: usize = idx
+            .sampling_cells(2)
+            .iter()
+            .map(|k| idx.atoms_in(k).len())
+            .sum();
+        assert_eq!(covered, 3);
+    }
+}

@@ -1,0 +1,485 @@
+//! Spatial Gibbs Sampling — Algorithm 1 of the paper.
+//!
+//! The sampler runs `K` inference instances in parallel, each handling
+//! `e = E / K` epochs. Within an epoch an instance sweeps the pyramid
+//! levels serially; at each level it takes the non-empty cells, computes
+//! the minimum conclique cover, processes the concliques serially, and
+//! samples the cells *within* one conclique in parallel (their variables
+//! are spatially independent by construction). Inside a cell, variables
+//! are sampled sequentially with the standard Gibbs kernel. Counts from
+//! all instances are averaged to produce the marginals.
+//!
+//! Implementation notes (documented deviations, none behavioural):
+//! * the paper averages counts after every epoch and feeds the average
+//!   back; since marginals are ratios of cumulative counts, averaging
+//!   once at the end yields the same marginals and avoids a per-epoch
+//!   barrier;
+//! * variables without locations (non-spatial ground atoms) are not in
+//!   the pyramid; each instance sweeps them sequentially after the level
+//!   sweeps so no variable is starved;
+//! * within a conclique, cells share no *spatial* factor, but may share
+//!   logical factors; cell workers therefore read the instance
+//!   assignment through relaxed atomics (the same lock-free regime
+//!   DeepDive's sampler uses).
+
+use crate::conclique::min_conclique_cover;
+use crate::gibbs::sample_conditional;
+use crate::marginals::MarginalCounts;
+use crate::pyramid::{CellKey, PyramidIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, Ordering};
+use sya_fg::{FactorGraph, VarId};
+
+/// How an epoch walks the pyramid. Algorithm 1 stores a partial graph
+/// per level; two faithful readings exist and both are provided:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// One pass over the leaf cells at the locality level (every atom
+    /// sampled exactly once per epoch) — the fast default used by the
+    /// headline experiments.
+    #[default]
+    LeafOnly,
+    /// One pass per level `2..=locality` (atoms indexed at several levels
+    /// are sampled several times per epoch — the multi-sampling the paper
+    /// explicitly allows). Used by the locality-level experiment.
+    AllLevels,
+}
+
+/// Configuration of the inference module.
+#[derive(Debug, Clone)]
+pub struct InferConfig {
+    /// Total number of inference epochs `E` (paper default: 1000).
+    pub epochs: usize,
+    /// Number of parallel inference instances `K`.
+    pub instances: usize,
+    /// Pyramid height `L` (paper default: 8).
+    pub levels: u8,
+    /// Locality level `l` — the deepest pyramid level swept
+    /// (paper default: the lowest level, i.e. `levels`).
+    pub locality_level: u8,
+    /// Pyramid cell capacity for incremental splits.
+    pub cell_capacity: usize,
+    /// Epochs (of the per-instance share) discarded before counting.
+    pub burn_in: usize,
+    /// RNG seed; every instance/worker derives its own stream.
+    pub seed: u64,
+    /// Pyramid walk per epoch (see [`SweepMode`]).
+    pub sweep_mode: SweepMode,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        InferConfig {
+            epochs: 1000,
+            instances: 4,
+            levels: 8,
+            locality_level: 8,
+            cell_capacity: 64,
+            burn_in: 50,
+            seed: 0xC0FFEE,
+            sweep_mode: SweepMode::default(),
+        }
+    }
+}
+
+impl InferConfig {
+    /// The pyramid levels one epoch sweeps: `2..=locality_level`
+    /// (Algorithm 1 line 10), clamped to the pyramid height; a locality
+    /// level below 2 sweeps just that single level.
+    pub fn sweep_levels(&self) -> Vec<u8> {
+        let top = self.locality_level.clamp(1, self.levels);
+        if top < 2 {
+            vec![top]
+        } else {
+            (2..=top).collect()
+        }
+    }
+}
+
+/// Runs Spatial Gibbs Sampling over the whole graph.
+pub fn spatial_gibbs(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    cfg: &InferConfig,
+) -> MarginalCounts {
+    run_spatial_gibbs(graph, pyramid, cfg, None)
+}
+
+/// Shared implementation: when `cell_filter` is provided, only the listed
+/// cells (and their variables) are swept — the incremental-inference path.
+pub(crate) fn run_spatial_gibbs(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    cfg: &InferConfig,
+    cell_filter: Option<&std::collections::HashSet<CellKey>>,
+) -> MarginalCounts {
+    let k = cfg.instances.max(1);
+    let e = (cfg.epochs / k).max(1);
+    let burn = cfg.burn_in.min(e.saturating_sub(1));
+
+    let counts: Vec<MarginalCounts> = if k == 1 {
+        vec![run_instance(graph, pyramid, cfg, cell_filter, 0, e, burn)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|inst| {
+                    s.spawn(move || {
+                        run_instance(graph, pyramid, cfg, cell_filter, inst as u64, e, burn)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("instance thread"))
+                .collect()
+        })
+    };
+
+    // Line 16: average instance counts. Marginals are count ratios, so
+    // summing (merging) is equivalent to averaging.
+    let mut total = MarginalCounts::new(graph);
+    for c in &counts {
+        total.merge(c);
+    }
+    total
+}
+
+fn run_instance(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    cfg: &InferConfig,
+    cell_filter: Option<&std::collections::HashSet<CellKey>>,
+    instance: u64,
+    epochs: usize,
+    burn_in: usize,
+) -> MarginalCounts {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Lock-free shared assignment for this instance.
+    let assignment: Vec<AtomicU32> = graph
+        .variables()
+        .iter()
+        .map(|v| {
+            AtomicU32::new(match v.evidence {
+                Some(e) => e,
+                None => rng.gen_range(0..v.domain.cardinality()),
+            })
+        })
+        .collect();
+
+    // Variables outside the pyramid (no location) still need sweeping —
+    // unless an incremental filter narrows the scope to specific cells.
+    let unlocated: Vec<VarId> = if cell_filter.is_some() {
+        Vec::new()
+    } else {
+        graph
+            .variables()
+            .iter()
+            .filter(|v| v.location.is_none() && !v.is_evidence())
+            .map(|v| v.id)
+            .collect()
+    };
+
+    let sweep_levels = match cfg.sweep_mode {
+        SweepMode::LeafOnly => vec![cfg.locality_level.clamp(1, pyramid.levels())],
+        SweepMode::AllLevels => cfg.sweep_levels(),
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 4);
+
+    // The pyramid is immutable during sampling: compute each level's
+    // cell list and conclique cover once, outside the epoch loop.
+    type LevelPlan = (u8, Vec<(crate::conclique::Conclique, Vec<CellKey>)>);
+    let level_plans: Vec<LevelPlan> = sweep_levels
+        .iter()
+        .map(|&level| {
+            let mut cells = pyramid.sampling_cells(level);
+            if let Some(filter) = cell_filter {
+                cells.retain(|c| filter.contains(c));
+            }
+            (level, min_conclique_cover(&cells))
+        })
+        .collect();
+
+    let mut counts = MarginalCounts::new(graph);
+    for epoch in 0..epochs {
+        let record = epoch >= burn_in;
+        for (level, cover) in &level_plans {
+            let level = *level;
+            for (conclique, group) in cover {
+                let worker_seed = |ci: usize| {
+                    cfg.seed
+                        ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (epoch as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
+                        ^ ((level as u64) << 40)
+                        ^ ((conclique.0 as u64) << 48)
+                        ^ ((ci as u64) << 52)
+                };
+                let sample_cells = |cells: &[CellKey],
+                                    wrng: &mut StdRng,
+                                    out: &mut Vec<(VarId, u32)>| {
+                    let src = |u: VarId| assignment[u as usize].load(Ordering::Relaxed);
+                    for cell in cells {
+                        for &v in pyramid.atoms_in(cell) {
+                            if graph.variable(v).is_evidence() {
+                                continue;
+                            }
+                            let x = sample_conditional(graph, &src, v, wrng);
+                            assignment[v as usize].store(x, Ordering::Relaxed);
+                            out.push((v, x));
+                        }
+                    }
+                };
+                // Parallel over the conclique's cells (chunked); inline
+                // when only one worker is available — no thread spawns or
+                // intermediate sample buffers on single-core machines.
+                if workers <= 1 || group.len() <= 1 {
+                    let mut wrng = StdRng::seed_from_u64(worker_seed(0));
+                    let src = |u: VarId| assignment[u as usize].load(Ordering::Relaxed);
+                    for cell in group {
+                        for &v in pyramid.atoms_in(cell) {
+                            if graph.variable(v).is_evidence() {
+                                continue;
+                            }
+                            let x = sample_conditional(graph, &src, v, &mut wrng);
+                            assignment[v as usize].store(x, Ordering::Relaxed);
+                            if record {
+                                counts.record(v, x);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let sampled: Vec<Vec<(VarId, u32)>> = {
+                    let chunk = group.len().div_ceil(workers).max(1);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = group
+                            .chunks(chunk)
+                            .enumerate()
+                            .map(|(ci, cells)| {
+                                let mut wrng = StdRng::seed_from_u64(worker_seed(ci));
+                                let sample_cells = &sample_cells;
+                                s.spawn(move || {
+                                    let mut out = Vec::new();
+                                    sample_cells(cells, &mut wrng, &mut out);
+                                    out
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("cell worker"))
+                            .collect()
+                    })
+                };
+                if record {
+                    for pairs in sampled {
+                        for (v, x) in pairs {
+                            counts.record(v, x);
+                        }
+                    }
+                }
+            }
+        }
+        // Sequential sweep of unlocated variables.
+        let src = |u: VarId| assignment[u as usize].load(Ordering::Relaxed);
+        for &v in &unlocated {
+            let x = sample_conditional(graph, &src, v, &mut rng);
+            assignment[v as usize].store(x, Ordering::Relaxed);
+            if record {
+                counts.record(v, x);
+            }
+        }
+        if record && cell_filter.is_none() {
+            for var in graph.variables() {
+                if let Some(ev) = var.evidence {
+                    counts.record(var.id, ev);
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_fg::{log_prob_unnormalized, Factor, FactorKind, SpatialFactor, Variable};
+    use sya_geom::Point;
+
+    /// A small spatial grid graph with evidence in one corner.
+    fn grid_graph(n: usize) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let mut ids = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let p = Point::new(c as f64 + 0.5, r as f64 + 0.5);
+                let mut v = Variable::binary(0, format!("v{r}_{c}")).at(p);
+                if r == 0 && c == 0 {
+                    v.evidence = Some(1);
+                }
+                ids.push(g.add_variable(v));
+            }
+        }
+        // Spatial factors between 4-neighbours.
+        for r in 0..n {
+            for c in 0..n {
+                if c + 1 < n {
+                    g.add_spatial_factor(SpatialFactor::binary(
+                        ids[r * n + c],
+                        ids[r * n + c + 1],
+                        0.8,
+                    ));
+                }
+                if r + 1 < n {
+                    g.add_spatial_factor(SpatialFactor::binary(
+                        ids[r * n + c],
+                        ids[(r + 1) * n + c],
+                        0.8,
+                    ));
+                }
+            }
+        }
+        g
+    }
+
+    fn exact_marginals(graph: &FactorGraph) -> Vec<f64> {
+        let query = graph.query_variables();
+        assert!(query.len() <= 16);
+        let n = graph.num_variables();
+        let mut probs = vec![0.0; n];
+        let mut z = 0.0;
+        for bits in 0..(1u32 << query.len()) {
+            let mut a = graph.initial_assignment();
+            for (i, &v) in query.iter().enumerate() {
+                a[v as usize] = (bits >> i) & 1;
+            }
+            let w = log_prob_unnormalized(graph, &a).exp();
+            z += w;
+            for v in 0..n {
+                if a[v] == 1 {
+                    probs[v] += w;
+                }
+            }
+        }
+        probs.iter().map(|p| p / z).collect()
+    }
+
+    #[test]
+    fn sweep_levels_follow_algorithm_1() {
+        let cfg = InferConfig { levels: 8, locality_level: 8, ..Default::default() };
+        assert_eq!(cfg.sweep_levels(), vec![2, 3, 4, 5, 6, 7, 8]);
+        let shallow = InferConfig { levels: 8, locality_level: 1, ..Default::default() };
+        assert_eq!(shallow.sweep_levels(), vec![1]);
+        let clamped = InferConfig { levels: 3, locality_level: 8, ..Default::default() };
+        assert_eq!(clamped.sweep_levels(), vec![2, 3]);
+    }
+
+    #[test]
+    fn spatial_gibbs_matches_exact_marginals_on_small_grid() {
+        let g = grid_graph(3); // 9 vars, 8 query
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: 8000,
+            instances: 2,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 100,
+            seed: 11,
+            ..Default::default()
+        };
+        let counts = spatial_gibbs(&g, &pyramid, &cfg);
+        let exact = exact_marginals(&g);
+        for v in g.query_variables() {
+            let est = counts.factual_score(v);
+            assert!(
+                (est - exact[v as usize]).abs() < 0.05,
+                "var {v}: est {est} vs exact {}",
+                exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_stays_clamped() {
+        let g = grid_graph(3);
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: 200,
+            instances: 2,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 10,
+            seed: 5,
+            ..Default::default()
+        };
+        let counts = spatial_gibbs(&g, &pyramid, &cfg);
+        assert_eq!(counts.factual_score(0), 1.0);
+    }
+
+    #[test]
+    fn unlocated_variables_are_sampled_too() {
+        let mut g = grid_graph(2);
+        let floating = g.add_variable(Variable::binary(0, "floating"));
+        g.add_factor(Factor::new(FactorKind::IsTrue, vec![floating], 2.0));
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: 2000,
+            instances: 2,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 50,
+            seed: 3,
+            ..Default::default()
+        };
+        let counts = spatial_gibbs(&g, &pyramid, &cfg);
+        assert!(counts.total_samples(floating) > 0);
+        // IsTrue(w=2) alone: P(true) = e^2 / (1 + e^2) ≈ 0.88.
+        let want = (2.0f64).exp() / (1.0 + (2.0f64).exp());
+        assert!((counts.factual_score(floating) - want).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_single_worker_graph() {
+        // With one instance and one cell the schedule is deterministic.
+        let g = grid_graph(2);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = InferConfig {
+            epochs: 100,
+            instances: 1,
+            levels: 2,
+            locality_level: 2,
+            burn_in: 0,
+            seed: 77,
+            ..Default::default()
+        };
+        let a = spatial_gibbs(&g, &pyramid, &cfg);
+        let b = spatial_gibbs(&g, &pyramid, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_instances_split_the_epoch_budget() {
+        let g = grid_graph(2);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let one = InferConfig {
+            epochs: 100,
+            instances: 1,
+            levels: 2,
+            locality_level: 2,
+            burn_in: 0,
+            seed: 1,
+            ..Default::default()
+        };
+        let four = InferConfig { instances: 4, ..one.clone() };
+        let c1 = spatial_gibbs(&g, &pyramid, &one);
+        let c4 = spatial_gibbs(&g, &pyramid, &four);
+        // Same total sample budget (E epochs overall): e = E/K each, but
+        // K instances record in parallel, so totals match.
+        let v = g.query_variables()[0];
+        assert_eq!(c1.total_samples(v), 100);
+        assert_eq!(c4.total_samples(v), 100);
+    }
+}

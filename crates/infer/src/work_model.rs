@@ -1,0 +1,174 @@
+//! Analytic parallel work model for Spatial Gibbs Sampling.
+//!
+//! The paper's inference-time wins (Fig. 9b, 12b, 14) come from sampling
+//! the cells of a conclique on parallel hardware. On machines without
+//! that parallelism the wall-clock cannot reproduce, but the *schedule*
+//! is fully determined by the pyramid partitioning — so its critical
+//! path can be computed exactly. This module does that: for a given
+//! pyramid level and worker count `P`, it reports how long one epoch
+//! takes under (a) sequential sampling, (b) conclique scheduling, and
+//! (c) the ideal `P`-way split, in units of variable-samples.
+//!
+//! `EXPERIMENTS.md` uses these numbers to separate "the algorithm would
+//! not speed this up" from "this machine cannot show the speedup".
+
+use crate::conclique::min_conclique_cover;
+use crate::pyramid::PyramidIndex;
+
+/// Work accounting for one epoch at one pyramid level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochWork {
+    /// Total variable-samples in one epoch (the sequential cost).
+    pub sequential: usize,
+    /// Critical-path cost under conclique scheduling with `p` workers:
+    /// concliques run serially; within one, cells are distributed over
+    /// the workers (LPT greedy).
+    pub conclique_critical_path: usize,
+    /// Lower bound: perfectly divisible work over `p` workers.
+    pub ideal: usize,
+    /// Worker count the model was evaluated for.
+    pub p: usize,
+}
+
+impl EpochWork {
+    /// Modeled speedup of conclique scheduling over sequential sampling.
+    pub fn speedup(&self) -> f64 {
+        if self.conclique_critical_path == 0 {
+            return 1.0;
+        }
+        self.sequential as f64 / self.conclique_critical_path as f64
+    }
+
+    /// Fraction of the ideal `P`-way speedup the conclique schedule
+    /// achieves (1.0 = perfect).
+    pub fn efficiency(&self) -> f64 {
+        if self.conclique_critical_path == 0 {
+            return 1.0;
+        }
+        self.ideal as f64 / self.conclique_critical_path as f64
+    }
+}
+
+/// Computes the epoch work model at `level` with `p` parallel workers.
+///
+/// Within one conclique the cells are independent; the critical path of
+/// scheduling them on `p` workers is approximated with the
+/// longest-processing-time greedy bound `max(⌈total/p⌉, largest cell)`,
+/// which is within 4/3 of optimal and exact for the common case of many
+/// similar cells.
+pub fn epoch_work(pyramid: &PyramidIndex, level: u8, p: usize) -> EpochWork {
+    let p = p.max(1);
+    let cells = pyramid.sampling_cells(level);
+    let sizes: Vec<usize> = cells.iter().map(|c| pyramid.atoms_in(c).len()).collect();
+    let sequential: usize = sizes.iter().sum();
+
+    let mut critical = 0usize;
+    for (_, group) in min_conclique_cover(&cells) {
+        let group_sizes: Vec<usize> = group
+            .iter()
+            .map(|c| pyramid.atoms_in(c).len())
+            .collect();
+        let total: usize = group_sizes.iter().sum();
+        let largest = group_sizes.iter().copied().max().unwrap_or(0);
+        critical += largest.max(total.div_ceil(p));
+    }
+
+    EpochWork {
+        sequential,
+        conclique_critical_path: critical,
+        ideal: sequential.div_ceil(p),
+        p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_fg::{FactorGraph, Variable};
+    use sya_geom::Point;
+
+    fn uniform_graph(side: usize) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        for r in 0..side {
+            for c in 0..side {
+                g.add_variable(
+                    Variable::binary(0, format!("v{r}_{c}"))
+                        .at(Point::new(c as f64 + 0.5, r as f64 + 0.5)),
+                );
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn one_worker_means_no_speedup() {
+        let g = uniform_graph(16);
+        let pyramid = PyramidIndex::build(&g, 4, usize::MAX);
+        let w = epoch_work(&pyramid, 4, 1);
+        assert_eq!(w.sequential, 256);
+        assert_eq!(w.conclique_critical_path, w.sequential);
+        assert!((w.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_workers_approach_four_way_conclique_limit() {
+        // A uniform 16x16 grid at level 4 has 256 cells of 1 atom in 4
+        // concliques of 64 cells; with p >= 64 each conclique costs 1,
+        // so the critical path is 4 and the speedup 64x.
+        let g = uniform_graph(16);
+        let pyramid = PyramidIndex::build(&g, 4, usize::MAX);
+        let w = epoch_work(&pyramid, 4, 64);
+        assert_eq!(w.conclique_critical_path, 4);
+        assert!((w.speedup() - 64.0).abs() < 1e-9);
+        // More workers cannot help once each conclique is one round.
+        let w2 = epoch_work(&pyramid, 4, 1024);
+        assert_eq!(w2.conclique_critical_path, 4);
+    }
+
+    #[test]
+    fn speedup_grows_with_workers_up_to_cell_granularity() {
+        let g = uniform_graph(16);
+        let pyramid = PyramidIndex::build(&g, 4, usize::MAX);
+        let mut prev = 0.0;
+        for p in [1usize, 2, 4, 8, 16, 32] {
+            let s = epoch_work(&pyramid, 4, p).speedup();
+            assert!(s >= prev, "speedup must be monotone in p");
+            prev = s;
+        }
+        assert!(prev > 8.0, "32 workers should give >8x on a uniform grid: {prev}");
+    }
+
+    #[test]
+    fn skewed_cells_bound_the_critical_path() {
+        // All atoms in one tight cluster: one big leaf cell dominates —
+        // no parallelism available at any p.
+        let mut g = FactorGraph::new();
+        for i in 0..50 {
+            g.add_variable(
+                Variable::binary(0, format!("v{i}"))
+                    .at(Point::new(0.001 * i as f64, 0.0)),
+            );
+        }
+        g.add_variable(Variable::binary(0, "far").at(Point::new(100.0, 100.0)));
+        let pyramid = PyramidIndex::build(&g, 5, usize::MAX);
+        let w = epoch_work(&pyramid, 5, 32);
+        assert!(
+            w.speedup() < 2.0,
+            "clustered atoms cannot parallelize: {}",
+            w.speedup()
+        );
+        assert!(w.efficiency() < 1.0);
+    }
+
+    #[test]
+    fn shallow_levels_offer_less_parallelism() {
+        let g = uniform_graph(16);
+        let pyramid = PyramidIndex::build(&g, 4, usize::MAX);
+        let deep = epoch_work(&pyramid, 4, 32).speedup();
+        let shallow = epoch_work(&pyramid, 1, 32).speedup();
+        assert!(
+            deep > shallow,
+            "deeper locality levels expose more parallel cells: {deep} vs {shallow}"
+        );
+    }
+}

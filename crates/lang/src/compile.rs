@@ -1,0 +1,366 @@
+//! Lowering from the validated AST to the rule IR executed by the
+//! grounding module.
+//!
+//! A compiled rule's body is expressed over a *binding row*: the ordered
+//! list of distinct variables the body atoms bind. Conditions compile to
+//! [`sya_store::Expr`] trees over that row; named geometry constants
+//! (e.g. `liberia_geom` in the paper's rule R1) are resolved against a
+//! [`GeomConstants`] registry and inlined as literals.
+
+use crate::ast::*;
+use crate::validate::{validate, ValidateError};
+use std::collections::HashMap;
+use sya_geom::{DistanceMetric, Geometry};
+use sya_store::{BinOp, DataType, Expr, SpatialFn, Value};
+
+/// Registry of named geometry constants available to programs.
+#[derive(Debug, Clone, Default)]
+pub struct GeomConstants {
+    map: HashMap<String, Geometry>,
+}
+
+impl GeomConstants {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, g: Geometry) -> &mut Self {
+        self.map.insert(name.into(), g);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Geometry> {
+        self.map.get(name)
+    }
+}
+
+/// How a rule contributes to the factor graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Instantiates unobserved random variables.
+    Derivation,
+    /// Emits one logical factor per satisfying body binding.
+    Inference(HeadOp),
+}
+
+/// A term of a compiled atom, referring to binding-row slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotTerm {
+    /// Binding-row slot index.
+    Slot(usize),
+    /// Constant value.
+    Const(Value),
+    /// Unused position.
+    Wildcard,
+}
+
+/// An atom with terms resolved to binding slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledAtom {
+    pub relation: String,
+    pub terms: Vec<SlotTerm>,
+}
+
+/// A rule lowered for execution.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    pub label: String,
+    /// Factor weight (`@weight`), defaulting to 1.0 for inference rules.
+    pub weight: f64,
+    pub kind: RuleKind,
+    /// Head atoms with slot-resolved terms.
+    pub head: Vec<CompiledAtom>,
+    /// Body atoms with slot-resolved terms, in source order.
+    pub body: Vec<CompiledAtom>,
+    /// Binding row schema: `(variable name, type)` per slot.
+    pub slots: Vec<(String, DataType)>,
+    /// Conditions over the binding row, in source order (the grounder
+    /// applies the Section IV-B heuristic re-ordering).
+    pub conditions: Vec<Expr>,
+}
+
+impl CompiledRule {
+    /// Slot index of a variable by name.
+    pub fn slot_of(&self, var: &str) -> Option<usize> {
+        self.slots.iter().position(|(n, _)| n == var)
+    }
+}
+
+/// A compiled program: validated schemas plus lowered rules.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    pub schemas: HashMap<String, SchemaDecl>,
+    pub rules: Vec<CompiledRule>,
+}
+
+impl CompiledProgram {
+    pub fn schema(&self, name: &str) -> Option<&SchemaDecl> {
+        self.schemas.get(name)
+    }
+
+    /// Variable relations annotated with `@spatial`, with their
+    /// weighting-function names.
+    pub fn spatial_variable_relations(&self) -> impl Iterator<Item = (&SchemaDecl, &str)> {
+        self.schemas
+            .values()
+            .filter_map(|s| s.spatial.as_deref().map(|w| (s, w)))
+    }
+}
+
+/// Compiles a validated program. `metric` selects the distance semantics
+/// of `distance()` conditions (Euclidean for projected data, haversine
+/// miles for lon/lat data like EbolaKB).
+pub fn compile(
+    program: &Program,
+    constants: &GeomConstants,
+    metric: DistanceMetric,
+) -> Result<CompiledProgram, ValidateError> {
+    let schemas = validate(program)?;
+    let mut rules = Vec::new();
+    for rule in program.rules() {
+        rules.push(compile_rule(rule, &schemas, constants, metric)?);
+    }
+    Ok(CompiledProgram { schemas, rules })
+}
+
+fn compile_rule(
+    rule: &Rule,
+    schemas: &HashMap<String, SchemaDecl>,
+    constants: &GeomConstants,
+    metric: DistanceMetric,
+) -> Result<CompiledRule, ValidateError> {
+    let ctx = rule.label.clone();
+    let mut slots: Vec<(String, DataType)> = Vec::new();
+    let mut slot_of: HashMap<String, usize> = HashMap::new();
+
+    let mut body = Vec::with_capacity(rule.body.len());
+    for atom in &rule.body {
+        let schema = &schemas[&atom.relation];
+        let mut terms = Vec::with_capacity(atom.terms.len());
+        for (i, t) in atom.terms.iter().enumerate() {
+            terms.push(match t {
+                Term::Wildcard => SlotTerm::Wildcard,
+                Term::Lit(l) => SlotTerm::Const(literal_to_value(l)),
+                Term::Var(v) => {
+                    let slot = *slot_of.entry(v.clone()).or_insert_with(|| {
+                        slots.push((v.clone(), schema.columns[i].1));
+                        slots.len() - 1
+                    });
+                    SlotTerm::Slot(slot)
+                }
+            });
+        }
+        body.push(CompiledAtom { relation: atom.relation.clone(), terms });
+    }
+
+    let (kind, head_atoms): (RuleKind, Vec<&Atom>) = match &rule.head {
+        RuleHead::Derivation(a) => (RuleKind::Derivation, vec![a]),
+        RuleHead::Inference { op, atoms } => {
+            (RuleKind::Inference(*op), atoms.iter().collect())
+        }
+    };
+
+    let mut head = Vec::with_capacity(head_atoms.len());
+    for atom in head_atoms {
+        let mut terms = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            terms.push(match t {
+                Term::Wildcard => {
+                    return Err(ValidateError {
+                        context: ctx.clone(),
+                        message: "wildcard in head".into(),
+                    })
+                }
+                Term::Lit(l) => SlotTerm::Const(literal_to_value(l)),
+                Term::Var(v) => SlotTerm::Slot(*slot_of.get(v).ok_or_else(|| ValidateError {
+                    context: ctx.clone(),
+                    message: format!("head variable {v:?} unbound"),
+                })?),
+            });
+        }
+        head.push(CompiledAtom { relation: atom.relation.clone(), terms });
+    }
+
+    let mut conditions = Vec::with_capacity(rule.conditions.len());
+    for c in &rule.conditions {
+        // Constant-fold so conditions over resolved geometry constants
+        // become literals the planner classifies as cheap filters.
+        conditions.push(compile_cexpr(&ctx, c, &slot_of, constants, metric)?.fold_constants());
+    }
+
+    Ok(CompiledRule {
+        label: rule.label.clone(),
+        weight: rule.weight.unwrap_or(1.0),
+        kind,
+        head,
+        body,
+        slots,
+        conditions,
+    })
+}
+
+fn literal_to_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Double(d) => Value::Double(*d),
+        Literal::Text(s) => Value::Text(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+fn compile_cexpr(
+    ctx: &str,
+    e: &CExpr,
+    slot_of: &HashMap<String, usize>,
+    constants: &GeomConstants,
+    metric: DistanceMetric,
+) -> Result<Expr, ValidateError> {
+    Ok(match e {
+        CExpr::Lit(l) => Expr::Lit(literal_to_value(l)),
+        CExpr::Var(v) | CExpr::NamedGeom(v) => match slot_of.get(v) {
+            Some(&s) => Expr::Col(s),
+            None => {
+                let g = constants.get(v).ok_or_else(|| ValidateError {
+                    context: ctx.to_owned(),
+                    message: format!(
+                        "name {v:?} is neither a body-bound variable nor a registered geometry constant"
+                    ),
+                })?;
+                Expr::Lit(Value::Geom(g.clone()))
+            }
+        },
+        CExpr::Not(inner) => {
+            Expr::Not(Box::new(compile_cexpr(ctx, inner, slot_of, constants, metric)?))
+        }
+        CExpr::Cmp(op, l, r) => {
+            let op = match op {
+                CmpOp::Eq => BinOp::Eq,
+                CmpOp::Ne => BinOp::Ne,
+                CmpOp::Lt => BinOp::Lt,
+                CmpOp::Le => BinOp::Le,
+                CmpOp::Gt => BinOp::Gt,
+                CmpOp::Ge => BinOp::Ge,
+            };
+            Expr::bin(
+                op,
+                compile_cexpr(ctx, l, slot_of, constants, metric)?,
+                compile_cexpr(ctx, r, slot_of, constants, metric)?,
+            )
+        }
+        CExpr::Spatial(f, args) => {
+            debug_assert_eq!(args.len(), 2, "validated arity");
+            let sf = match f {
+                SpatialFnName::Distance => SpatialFn::Distance,
+                SpatialFnName::Within => SpatialFn::Within,
+                SpatialFnName::Overlaps => SpatialFn::Overlaps,
+                SpatialFnName::Contains => SpatialFn::Contains,
+                SpatialFnName::Intersects => SpatialFn::Intersects,
+            };
+            Expr::spatial(
+                sf,
+                metric,
+                compile_cexpr(ctx, &args[0], slot_of, constants, metric)?,
+                compile_cexpr(ctx, &args[1], slot_of, constants, metric)?,
+            )
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use sya_geom::{Polygon, Rect};
+
+    const SRC: &str = r#"
+    County(id bigint, location point, lowSan bool).
+    @spatial(exp)
+    HasEbola?(id bigint, location point).
+    D1: HasEbola(C, L) = NULL :- County(C, L, _).
+    R1: @weight(0.35) HasEbola(C1, L1) => HasEbola(C2, L2) :-
+        County(C1, L1, _), County(C2, L2, S)
+        [distance(L1, L2) < 150, within(L1, liberia_geom), S = true].
+    "#;
+
+    fn constants() -> GeomConstants {
+        let mut c = GeomConstants::new();
+        c.insert(
+            "liberia_geom",
+            Geometry::Polygon(Polygon::from_rect(&Rect::raw(-12.0, 4.0, -7.0, 9.0))),
+        );
+        c
+    }
+
+    #[test]
+    fn compiles_the_ebola_program() {
+        let p = parse_program(SRC).unwrap();
+        let cp = compile(&p, &constants(), DistanceMetric::HaversineMiles).unwrap();
+        assert_eq!(cp.rules.len(), 2);
+
+        let d1 = &cp.rules[0];
+        assert_eq!(d1.kind, RuleKind::Derivation);
+        assert_eq!(d1.slots.len(), 2); // C, L
+        assert_eq!(d1.head[0].terms, vec![SlotTerm::Slot(0), SlotTerm::Slot(1)]);
+
+        let r1 = &cp.rules[1];
+        assert_eq!(r1.kind, RuleKind::Inference(HeadOp::Imply));
+        assert_eq!(r1.weight, 0.35);
+        // Slots: C1, L1, C2, L2, S in first-occurrence order.
+        assert_eq!(
+            r1.slots.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["C1", "L1", "C2", "L2", "S"]
+        );
+        assert_eq!(r1.conditions.len(), 3);
+        // within(L1, liberia_geom) resolved the constant into a literal.
+        match &r1.conditions[1] {
+            Expr::Spatial(SpatialFn::Within, _, _, rhs) => {
+                assert!(matches!(rhs.as_ref(), Expr::Lit(Value::Geom(_))));
+            }
+            other => panic!("expected within, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_constant_is_an_error() {
+        let p = parse_program(SRC).unwrap();
+        let e = compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap_err();
+        assert!(e.message.contains("liberia_geom"), "{e}");
+    }
+
+    #[test]
+    fn default_weight_is_one() {
+        let src = "Y?(s bigint).\nZ(s bigint).\nY(S) :- Z(S).";
+        let p = parse_program(src).unwrap();
+        let cp = compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        assert_eq!(cp.rules[0].weight, 1.0);
+        assert_eq!(cp.rules[0].kind, RuleKind::Inference(HeadOp::IsTrue));
+    }
+
+    #[test]
+    fn spatial_variable_relations_listed() {
+        let p = parse_program(SRC).unwrap();
+        let cp = compile(&p, &constants(), DistanceMetric::Euclidean).unwrap();
+        let spatial: Vec<_> = cp.spatial_variable_relations().collect();
+        assert_eq!(spatial.len(), 1);
+        assert_eq!(spatial[0].0.name, "HasEbola");
+        assert_eq!(spatial[0].1, "exp");
+    }
+
+    #[test]
+    fn literal_terms_compile_to_consts() {
+        let src = "Y?(s bigint, f bool).\nZ(s bigint).\nY(S, true) :- Z(S).";
+        let p = parse_program(src).unwrap();
+        let cp = compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        assert_eq!(cp.rules[0].head[0].terms[1], SlotTerm::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn slot_of_lookup() {
+        let p = parse_program(SRC).unwrap();
+        let cp = compile(&p, &constants(), DistanceMetric::Euclidean).unwrap();
+        let r1 = &cp.rules[1];
+        assert_eq!(r1.slot_of("L2"), Some(3));
+        assert_eq!(r1.slot_of("nope"), None);
+    }
+}

@@ -1,0 +1,444 @@
+//! Tokenizer for the Sya DDlog dialect.
+
+/// A lexical token with its source line (1-based) for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword: `County`, `bigint`, `true`, `NULL`, ...
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// String literal (single or double quoted).
+    Str(String),
+    /// `@spatial`, `@weight`, ... (`@` + identifier).
+    At(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    /// `:-`
+    Turnstile,
+    /// `=>`
+    Implies,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `!` (condition negation)
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `_` or a bare `-` (wildcard in atom position).
+    Underscore,
+    /// Unary minus context is resolved in the parser; lexer emits Minus
+    /// only when followed by a digit it folds into the number, so this is
+    /// the bare `-` wildcard form used in the paper (`County(C1, L1, -)`).
+    Minus,
+}
+
+/// Lexing error with line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. `#` starts a line comment (the paper's figures use
+/// `# Schema Declaration` style comments). `//` comments are accepted too.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                // A dot could start a number like `.5`; DDlog numbers are
+                // written with a leading digit, so `.` is always the
+                // statement terminator here.
+                out.push(Token { kind: TokenKind::Dot, line });
+                i += 1;
+            }
+            '?' => {
+                out.push(Token { kind: TokenKind::Question, line });
+                i += 1;
+            }
+            '&' => {
+                out.push(Token { kind: TokenKind::Amp, line });
+                i += 1;
+            }
+            '|' => {
+                out.push(Token { kind: TokenKind::Pipe, line });
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < n && bytes[i + 1] == b'-' {
+                    out.push(Token { kind: TokenKind::Turnstile, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Colon, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == b'>' {
+                    out.push(Token { kind: TokenKind::Implies, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Eq, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Ne, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Bang, line });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Le, line });
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == b'>' {
+                    out.push(Token { kind: TokenKind::Ne, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, line });
+                    i += 1;
+                }
+            }
+            '_' if i + 1 >= n || !is_ident_char(bytes[i + 1] as char) => {
+                out.push(Token { kind: TokenKind::Underscore, line });
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < n && (bytes[i + 1] as char).is_ascii_digit() {
+                    let (tok, len) = lex_number(&src[i..], line)?;
+                    out.push(tok);
+                    i += len;
+                } else {
+                    out.push(Token { kind: TokenKind::Minus, line });
+                    i += 1;
+                }
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError { line, message: "'@' must be followed by a name".into() });
+                }
+                out.push(Token { kind: TokenKind::At(src[start..j].to_owned()), line });
+                i = j;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while j < n {
+                    let cj = bytes[j] as char;
+                    if cj == quote {
+                        closed = true;
+                        j += 1;
+                        break;
+                    }
+                    if cj == '\n' {
+                        line += 1;
+                    }
+                    s.push(cj);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(LexError { line, message: "unterminated string literal".into() });
+                }
+                out.push(Token { kind: TokenKind::Str(s), line });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, len) = lex_number(&src[i..], line)?;
+                out.push(tok);
+                i += len;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < n && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                out.push(Token { kind: TokenKind::Ident(src[start..j].to_owned()), line });
+                i = j;
+            }
+            other => {
+                return Err(LexError { line, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes a number starting at the beginning of `rest` (may begin with
+/// `-`). Returns the token and its byte length.
+fn lex_number(rest: &str, line: usize) -> Result<(Token, usize), LexError> {
+    let bytes = rest.as_bytes();
+    let mut j = 0usize;
+    if bytes[j] == b'-' {
+        j += 1;
+    }
+    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+        j += 1;
+    }
+    let mut is_double = false;
+    // Fractional part: only if the dot is followed by a digit, so that
+    // `R1 < 0.2].` style still lexes and `5.` ends a statement.
+    if j + 1 < bytes.len() && bytes[j] == b'.' && (bytes[j + 1] as char).is_ascii_digit() {
+        is_double = true;
+        j += 1;
+        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+            j += 1;
+        }
+    }
+    // Exponent.
+    if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+        let mut k = j + 1;
+        if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+            k += 1;
+        }
+        if k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+            is_double = true;
+            j = k;
+            while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    let text = &rest[..j];
+    let kind = if is_double {
+        TokenKind::Double(text.parse().map_err(|e| LexError {
+            line,
+            message: format!("bad float {text:?}: {e}"),
+        })?)
+    } else {
+        TokenKind::Int(text.parse().map_err(|e| LexError {
+            line,
+            message: format!("bad integer {text:?}: {e}"),
+        })?)
+    };
+    Ok((Token { kind, line }, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("County(id bigint)."),
+            vec![
+                TokenKind::Ident("County".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("id".into()),
+                TokenKind::Ident("bigint".into()),
+                TokenKind::RParen,
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_annotations() {
+        assert_eq!(
+            kinds("@weight(0.35) A => B :- C [d < 150, e >= 2, f != g]."),
+            vec![
+                TokenKind::At("weight".into()),
+                TokenKind::LParen,
+                TokenKind::Double(0.35),
+                TokenKind::RParen,
+                TokenKind::Ident("A".into()),
+                TokenKind::Implies,
+                TokenKind::Ident("B".into()),
+                TokenKind::Turnstile,
+                TokenKind::Ident("C".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("d".into()),
+                TokenKind::Lt,
+                TokenKind::Int(150),
+                TokenKind::Comma,
+                TokenKind::Ident("e".into()),
+                TokenKind::Ge,
+                TokenKind::Int(2),
+                TokenKind::Comma,
+                TokenKind::Ident("f".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("g".into()),
+                TokenKind::RBracket,
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("5"), vec![TokenKind::Int(5)]);
+        assert_eq!(kinds("-5"), vec![TokenKind::Int(-5)]);
+        assert_eq!(kinds("0.25"), vec![TokenKind::Double(0.25)]);
+        assert_eq!(kinds("-1.5e3"), vec![TokenKind::Double(-1500.0)]);
+        // trailing dot is a terminator, not a fraction
+        assert_eq!(kinds("5."), vec![TokenKind::Int(5), TokenKind::Dot]);
+    }
+
+    #[test]
+    fn wildcards_and_strings() {
+        assert_eq!(
+            kinds("County(C1, -, _)"),
+            vec![
+                TokenKind::Ident("County".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("C1".into()),
+                TokenKind::Comma,
+                TokenKind::Minus,
+                TokenKind::Comma,
+                TokenKind::Underscore,
+                TokenKind::RParen,
+            ]
+        );
+        assert_eq!(kinds("\"abc\" 'x'"), vec![
+            TokenKind::Str("abc".into()),
+            TokenKind::Str("x".into()),
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# Schema Declaration\nA. // trailing\nB."),
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("B".into()),
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("A.\nB.\n\nC.").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[4].line, 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a $ b").is_err());
+        assert!(lex("@ (x)").is_err());
+    }
+
+    #[test]
+    fn bang_lexes_standalone() {
+        assert_eq!(kinds("!x"), vec![TokenKind::Bang, TokenKind::Ident("x".into())]);
+        assert_eq!(kinds("x != y"), vec![
+            TokenKind::Ident("x".into()),
+            TokenKind::Ne,
+            TokenKind::Ident("y".into()),
+        ]);
+    }
+
+    #[test]
+    fn underscore_prefixed_identifier_is_ident() {
+        assert_eq!(kinds("_foo"), vec![TokenKind::Ident("_foo".into())]);
+        assert_eq!(kinds("_"), vec![TokenKind::Underscore]);
+    }
+}

@@ -1,0 +1,60 @@
+//! # sya-lang — the spatial DDlog language module
+//!
+//! Sya extends DeepDive's DDlog language (paper Section III) with spatial
+//! data types, the `@spatial(w)` variable-relation annotation, spatial
+//! predicates in rule bodies, and spatial UDFs. This crate implements the
+//! complete front-end:
+//!
+//! * [`lexer`] / [`parser`] — text → [`ast::Program`];
+//! * [`ast`] — schema declarations (typical relations and `?`-suffixed
+//!   variable relations), derivation rules, weighted inference rules with
+//!   condition lists;
+//! * [`validate`] — the checks the paper's language module performs
+//!   ("checks the syntax correctness and the validity of used spatial
+//!   constructs"): `@spatial` only on variable relations with a spatial
+//!   attribute, arity and type agreement, bound variables in conditions;
+//! * [`compile`] — lowering to a typed rule IR the grounding module
+//!   executes, with named-geometry constant resolution;
+//! * [`udf`] — the spatial named-entity-recognition UDF (a deterministic
+//!   gazetteer matcher standing in for the GeoTxt library);
+//! * [`printer`] — a pretty-printer whose output re-parses to the same
+//!   AST (used for round-trip property tests).
+//!
+//! # Example
+//!
+//! ```
+//! use sya_lang::parse_program;
+//!
+//! let src = r#"
+//! County(id bigint, location point, hasLowSanitation bool).
+//! @spatial(exp)
+//! HasEbola?(id bigint, location point).
+//! D1: HasEbola(C1, L1) = NULL :- County(C1, L1, _).
+//! R1: @weight(0.35)
+//!     HasEbola(C1, L1) => HasEbola(C2, L2) :-
+//!     County(C1, L1, _), County(C2, L2, S2)
+//!     [distance(L1, L2) < 150, S2 = true].
+//! "#;
+//! let program = parse_program(src).unwrap();
+//! assert_eq!(program.schemas().count(), 2);
+//! assert_eq!(program.rules().count(), 2);
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod udf;
+pub mod validate;
+
+pub use ast::{
+    Annotation, Atom, BodyAtom, CExpr, CmpOp, HeadOp, Literal, Program, Rule, RuleHead,
+    SchemaDecl, SpatialFnName, Term,
+};
+pub use compile::{compile, CompiledAtom, CompiledProgram, CompiledRule, GeomConstants,
+    RuleKind, SlotTerm};
+pub use parser::{parse_program, ParseError};
+pub use printer::print_program;
+pub use udf::{Gazetteer, SpatialMention};
+pub use validate::{validate, ValidateError};

@@ -1,0 +1,561 @@
+//! Recursive-descent parser producing [`Program`] ASTs.
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+use sya_store::DataType;
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a Sya DDlog program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError { line: e.line, message: e.message })?;
+    Parser { tokens, pos: 0, auto_label: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    auto_label: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: msg.into() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(k) => {
+                let k = k.clone();
+                self.err(format!("expected {what}, found {k:?}"))
+            }
+            None => self.err(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        let mut annotations = self.annotations()?;
+        // Optional label: `Ident ':'` where the next token is not `-`
+        // (the `:-` turnstile lexes as one token, so a bare Colon here is
+        // unambiguous).
+        let label = if matches!(self.peek(), Some(TokenKind::Ident(_)))
+            && matches!(self.peek2(), Some(TokenKind::Colon))
+        {
+            let l = self.expect_ident("label")?;
+            self.expect(&TokenKind::Colon, "':' after label")?;
+            Some(l)
+        } else {
+            None
+        };
+        // Annotations may also follow the label (paper writes both
+        // `@weight(0.7) R1: ...` and `R1: @weight(0.35) ...`).
+        annotations.extend(self.annotations()?);
+
+        let name = self.expect_ident("relation name")?;
+        let is_variable = if matches!(self.peek(), Some(TokenKind::Question)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        self.expect(&TokenKind::LParen, "'('")?;
+
+        // Schema declarations have `name type` column pairs; rule atoms
+        // have single terms. A variable-relation marker (`?`) also forces
+        // a schema.
+        let looks_like_schema = is_variable
+            || (matches!(self.peek(), Some(TokenKind::Ident(_)))
+                && matches!(self.peek2(), Some(TokenKind::Ident(_))));
+
+        if looks_like_schema {
+            let decl = self.schema_tail(label, name, is_variable, &annotations)?;
+            Ok(Item::Schema(decl))
+        } else {
+            let rule = self.rule_tail(label, name, &annotations)?;
+            Ok(Item::Rule(rule))
+        }
+    }
+
+    fn annotations(&mut self) -> Result<Vec<Annotation>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(TokenKind::At(name)) = self.peek().cloned() {
+            self.pos += 1;
+            self.expect(&TokenKind::LParen, "'(' after annotation")?;
+            match name.as_str() {
+                "spatial" => {
+                    let w = self.expect_ident("weighting function name")?;
+                    out.push(Annotation::Spatial(w));
+                }
+                "weight" => {
+                    let w = match self.bump() {
+                        Some(TokenKind::Double(d)) => d,
+                        Some(TokenKind::Int(i)) => i as f64,
+                        other => return self.err(format!("expected weight value, found {other:?}")),
+                    };
+                    out.push(Annotation::Weight(w));
+                }
+                other => return self.err(format!("unknown annotation @{other}")),
+            }
+            self.expect(&TokenKind::RParen, "')' after annotation")?;
+        }
+        Ok(out)
+    }
+
+    /// Parses a schema declaration after `Name(` has been consumed.
+    fn schema_tail(
+        &mut self,
+        label: Option<String>,
+        name: String,
+        is_variable: bool,
+        annotations: &[Annotation],
+    ) -> Result<SchemaDecl, ParseError> {
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident("column name")?;
+            let ty_name = self.expect_ident("column type")?;
+            let ty = DataType::from_ddlog_name(&ty_name)
+                .ok_or_else(|| ParseError {
+                    line: self.line(),
+                    message: format!("unknown type {ty_name:?} for column {col:?}"),
+                })?;
+            columns.push((col, ty));
+            match self.bump() {
+                Some(TokenKind::Comma) => continue,
+                Some(TokenKind::RParen) => break,
+                other => return self.err(format!("expected ',' or ')', found {other:?}")),
+            }
+        }
+        self.expect(&TokenKind::Dot, "'.' after schema declaration")?;
+
+        let spatial = annotations.iter().find_map(|a| match a {
+            Annotation::Spatial(w) => Some(w.clone()),
+            _ => None,
+        });
+        Ok(SchemaDecl {
+            label: label.unwrap_or_else(|| format!("S_{name}")),
+            name,
+            is_variable,
+            columns,
+            spatial,
+        })
+    }
+
+    /// Parses a rule after the first head atom's `Name(` has been
+    /// consumed.
+    fn rule_tail(
+        &mut self,
+        label: Option<String>,
+        first_name: String,
+        annotations: &[Annotation],
+    ) -> Result<Rule, ParseError> {
+        let first = self.atom_terms(first_name)?;
+        let head = self.head_tail(first)?;
+        self.expect(&TokenKind::Turnstile, "':-' before rule body")?;
+
+        let mut body = Vec::new();
+        loop {
+            let name = self.expect_ident("body atom name")?;
+            self.expect(&TokenKind::LParen, "'(' after body atom name")?;
+            body.push(self.atom_terms(name)?);
+            match self.peek() {
+                Some(TokenKind::Comma) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+
+        let mut conditions = Vec::new();
+        if matches!(self.peek(), Some(TokenKind::LBracket)) {
+            self.pos += 1;
+            loop {
+                conditions.push(self.condition()?);
+                match self.bump() {
+                    Some(TokenKind::Comma) => continue,
+                    Some(TokenKind::RBracket) => break,
+                    other => return self.err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+        self.expect(&TokenKind::Dot, "'.' after rule")?;
+
+        let weight = annotations.iter().find_map(|a| match a {
+            Annotation::Weight(w) => Some(*w),
+            _ => None,
+        });
+        let label = label.unwrap_or_else(|| {
+            self.auto_label += 1;
+            format!("R_auto{}", self.auto_label)
+        });
+        Ok(Rule { label, weight, head, body, conditions })
+    }
+
+    /// Parses the remainder of the head after its first atom.
+    fn head_tail(&mut self, first: Atom) -> Result<RuleHead, ParseError> {
+        match self.peek() {
+            // `Atom = NULL :- ...` — derivation rule.
+            Some(TokenKind::Eq) => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("null") => {
+                        Ok(RuleHead::Derivation(first))
+                    }
+                    other => self.err(format!("expected NULL in derivation head, found {other:?}")),
+                }
+            }
+            Some(TokenKind::Implies) => {
+                self.pos += 1;
+                let rhs = self.head_atom()?;
+                Ok(RuleHead::Inference { op: HeadOp::Imply, atoms: vec![first, rhs] })
+            }
+            Some(TokenKind::Amp) | Some(TokenKind::Pipe) => {
+                let op_tok = self.bump().expect("peeked");
+                let op = if op_tok == TokenKind::Amp { HeadOp::And } else { HeadOp::Or };
+                let mut atoms = vec![first, self.head_atom()?];
+                while self.peek() == Some(&op_tok) {
+                    self.pos += 1;
+                    atoms.push(self.head_atom()?);
+                }
+                Ok(RuleHead::Inference { op, atoms })
+            }
+            _ => Ok(RuleHead::Inference { op: HeadOp::IsTrue, atoms: vec![first] }),
+        }
+    }
+
+    fn head_atom(&mut self) -> Result<Atom, ParseError> {
+        let name = self.expect_ident("head atom name")?;
+        self.expect(&TokenKind::LParen, "'(' after head atom name")?;
+        self.atom_terms(name)
+    }
+
+    /// Parses `term, term, ... )` for an atom whose `Name(` was consumed.
+    fn atom_terms(&mut self, relation: String) -> Result<Atom, ParseError> {
+        let mut terms = Vec::new();
+        if matches!(self.peek(), Some(TokenKind::RParen)) {
+            self.pos += 1;
+            return Ok(Atom { relation, terms });
+        }
+        loop {
+            let term = match self.bump() {
+                Some(TokenKind::Ident(s)) => match s.as_str() {
+                    "true" => Term::Lit(Literal::Bool(true)),
+                    "false" => Term::Lit(Literal::Bool(false)),
+                    _ if s.eq_ignore_ascii_case("null") => Term::Lit(Literal::Null),
+                    _ => Term::Var(s),
+                },
+                Some(TokenKind::Int(i)) => Term::Lit(Literal::Int(i)),
+                Some(TokenKind::Double(d)) => Term::Lit(Literal::Double(d)),
+                Some(TokenKind::Str(s)) => Term::Lit(Literal::Text(s)),
+                Some(TokenKind::Underscore) | Some(TokenKind::Minus) => Term::Wildcard,
+                other => return self.err(format!("expected term, found {other:?}")),
+            };
+            terms.push(term);
+            match self.bump() {
+                Some(TokenKind::Comma) => continue,
+                Some(TokenKind::RParen) => break,
+                other => return self.err(format!("expected ',' or ')', found {other:?}")),
+            }
+        }
+        Ok(Atom { relation, terms })
+    }
+
+    /// Parses one condition: `cexpr [cmp cexpr]`.
+    fn condition(&mut self) -> Result<CExpr, ParseError> {
+        let left = self.cexpr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => Some(CmpOp::Eq),
+            Some(TokenKind::Ne) => Some(CmpOp::Ne),
+            Some(TokenKind::Lt) => Some(CmpOp::Lt),
+            Some(TokenKind::Le) => Some(CmpOp::Le),
+            Some(TokenKind::Gt) => Some(CmpOp::Gt),
+            Some(TokenKind::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.cexpr()?;
+                Ok(CExpr::Cmp(op, Box::new(left), Box::new(right)))
+            }
+        }
+    }
+
+    /// Parses a condition primary expression.
+    fn cexpr(&mut self) -> Result<CExpr, ParseError> {
+        if matches!(self.peek(), Some(TokenKind::Bang)) {
+            self.pos += 1;
+            return Ok(CExpr::Not(Box::new(self.cexpr()?)));
+        }
+        match self.bump() {
+            Some(TokenKind::Int(i)) => Ok(CExpr::Lit(Literal::Int(i))),
+            Some(TokenKind::Double(d)) => Ok(CExpr::Lit(Literal::Double(d))),
+            Some(TokenKind::Str(s)) => Ok(CExpr::Lit(Literal::Text(s))),
+            Some(TokenKind::Ident(s)) => {
+                if s == "true" {
+                    return Ok(CExpr::Lit(Literal::Bool(true)));
+                }
+                if s == "false" {
+                    return Ok(CExpr::Lit(Literal::Bool(false)));
+                }
+                if s.eq_ignore_ascii_case("null") {
+                    return Ok(CExpr::Lit(Literal::Null));
+                }
+                if let Some(f) = SpatialFnName::parse(&s) {
+                    if matches!(self.peek(), Some(TokenKind::LParen)) {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        loop {
+                            args.push(self.cexpr()?);
+                            match self.bump() {
+                                Some(TokenKind::Comma) => continue,
+                                Some(TokenKind::RParen) => break,
+                                other => {
+                                    return self
+                                        .err(format!("expected ',' or ')', found {other:?}"))
+                                }
+                            }
+                        }
+                        return Ok(CExpr::Spatial(f, args));
+                    }
+                }
+                // Bound rule variable or named geometry constant; the
+                // compiler decides which (based on body bindings).
+                Ok(CExpr::Var(s))
+            }
+            other => self.err(format!("expected condition expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EBOLA: &str = r#"
+    # Schema Declaration
+    S1: County (id bigint, location point, hasLowSanitation bool).
+    @spatial(exp)
+    S2: HasEbola? (id bigint, location point).
+    # Derivation Rule
+    D1: HasEbola(C1, L1) = NULL :- County(C1, L1, -).
+    # Inference Rule
+    R1: @weight(0.35)
+        HasEbola(C1, L1) => HasEbola(C2, L2) :-
+        County(C1, L1, -), County(C2, L2, S2)
+        [distance(L1, L2) < 150, within(L1, liberia_geom), S2 = true].
+    "#;
+
+    #[test]
+    fn parses_the_paper_fig3_program() {
+        let p = parse_program(EBOLA).unwrap();
+        assert_eq!(p.items.len(), 4);
+
+        let county = p.schema("County").unwrap();
+        assert!(!county.is_variable);
+        assert_eq!(county.arity(), 3);
+        assert_eq!(county.spatial, None);
+
+        let ebola = p.schema("HasEbola").unwrap();
+        assert!(ebola.is_variable);
+        assert_eq!(ebola.spatial.as_deref(), Some("exp"));
+        assert_eq!(ebola.first_spatial_column(), Some(1));
+
+        let rules: Vec<_> = p.rules().collect();
+        assert_eq!(rules.len(), 2);
+        assert!(rules[0].is_derivation());
+        assert_eq!(rules[0].label, "D1");
+        let r1 = rules[1];
+        assert_eq!(r1.label, "R1");
+        assert_eq!(r1.weight, Some(0.35));
+        match &r1.head {
+            RuleHead::Inference { op: HeadOp::Imply, atoms } => {
+                assert_eq!(atoms.len(), 2);
+                assert_eq!(atoms[0].relation, "HasEbola");
+            }
+            other => panic!("expected imply head, got {other:?}"),
+        }
+        assert_eq!(r1.body.len(), 2);
+        assert_eq!(r1.conditions.len(), 3);
+        match &r1.conditions[0] {
+            CExpr::Cmp(CmpOp::Lt, l, r) => {
+                assert!(matches!(l.as_ref(), CExpr::Spatial(SpatialFnName::Distance, _)));
+                assert!(matches!(r.as_ref(), CExpr::Lit(Literal::Int(150))));
+            }
+            other => panic!("bad condition {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weight_before_label_also_parses() {
+        // Paper Fig. 7 writes `@weight(0.7) R1: IsSafe(...) => ...`.
+        let src = r#"
+        Well(id bigint, location point, arsenic_ratio double).
+        @spatial(exp)
+        IsSafe?(id bigint, location point).
+        @weight(0.7)
+        R1: IsSafe(W1, L1) => IsSafe(W2, L2) :-
+            Well(W1, L1, R1x), Well(W2, L2, R2x)
+            [distance(L1, L2) < 50, R1x < 0.2, R2x < 0.2].
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = p.rules().next().unwrap();
+        assert_eq!(r.weight, Some(0.7));
+        assert_eq!(r.label, "R1");
+        assert_eq!(r.conditions.len(), 3);
+    }
+
+    #[test]
+    fn single_atom_and_conjunction_heads() {
+        let src = r#"
+        Y?(s bigint).
+        X?(r bigint, s bigint).
+        Z(r bigint, s bigint).
+        A1: Y(S) :- Z(R, S).
+        A2: @weight(0.7) X(R, S) & Y(S) :- Z(R, S) [R = 5].
+        A3: X(R, S) | Y(S) :- Z(R, S).
+        "#;
+        let p = parse_program(src).unwrap();
+        let rules: Vec<_> = p.rules().collect();
+        assert!(matches!(
+            &rules[0].head,
+            RuleHead::Inference { op: HeadOp::IsTrue, atoms } if atoms.len() == 1
+        ));
+        assert!(matches!(
+            &rules[1].head,
+            RuleHead::Inference { op: HeadOp::And, atoms } if atoms.len() == 2
+        ));
+        assert!(matches!(
+            &rules[2].head,
+            RuleHead::Inference { op: HeadOp::Or, atoms } if atoms.len() == 2
+        ));
+    }
+
+    #[test]
+    fn rules_without_labels_get_auto_labels() {
+        let src = r#"
+        Y?(s bigint).
+        Z(s bigint).
+        Y(S) :- Z(S).
+        Y(S) :- Z(S) [S > 3].
+        "#;
+        let p = parse_program(src).unwrap();
+        let labels: Vec<_> = p.rules().map(|r| r.label.clone()).collect();
+        assert_eq!(labels.len(), 2);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn literal_terms_in_atoms() {
+        let src = r#"
+        Y?(s bigint, flag bool).
+        Z(s bigint, t text).
+        Y(S, true) :- Z(S, "label") [S != 0].
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = p.rules().next().unwrap();
+        match &r.head {
+            RuleHead::Inference { atoms, .. } => {
+                assert_eq!(atoms[0].terms[1], Term::Lit(Literal::Bool(true)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.body[0].terms[1], Term::Lit(Literal::Text("label".into())));
+    }
+
+    #[test]
+    fn negated_conditions_parse() {
+        let src = r#"
+        Region(id bigint, geom polygon).
+        Y?(s bigint, l point).
+        Z(s bigint, l point).
+        R: Y(S, L) :- Z(S, L) [!within(L, danger_zone), !(S = 3)].
+        "#;
+        // `!(S = 3)` is not supported (no parenthesized conditions); use
+        // the simple prefix form instead.
+        assert!(parse_program(src).is_err());
+        let simple = r#"
+        Y?(s bigint, l point).
+        Z(s bigint, l point).
+        R: Y(S, L) :- Z(S, L) [!within(L, danger_zone)].
+        "#;
+        let p = parse_program(simple).unwrap();
+        let r = p.rules().next().unwrap();
+        assert!(matches!(&r.conditions[0], CExpr::Not(inner)
+            if matches!(inner.as_ref(), CExpr::Spatial(SpatialFnName::Within, _))));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_program("County(id bigint")
+            .unwrap_err()
+            .message
+            .contains("expected"));
+        assert!(parse_program("County(id blob).").is_err()); // unknown type
+        assert!(parse_program("R1: A(X) => B(X).").is_err()); // missing body
+        assert!(parse_program("A(X) = 5 :- B(X).").is_err()); // bad derivation
+        assert!(parse_program("@bogus(x) A(id bigint).").is_err()); // bad annotation
+        assert!(parse_program("A(X) :- B(X) [X <].").is_err()); // bad condition
+    }
+
+    #[test]
+    fn empty_program_is_ok() {
+        let p = parse_program("# just a comment\n").unwrap();
+        assert!(p.items.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Pretty-printer for programs. `parse_program(print_program(p)) == p`
+//! modulo auto-generated labels — verified by round-trip tests.
+
+use crate::ast::*;
+
+/// Renders a program in Sya DDlog syntax.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        match item {
+            Item::Schema(s) => print_schema(s, &mut out),
+            Item::Rule(r) => print_rule(r, &mut out),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn print_schema(s: &SchemaDecl, out: &mut String) {
+    if let Some(w) = &s.spatial {
+        out.push_str(&format!("@spatial({w})\n"));
+    }
+    let cols = s
+        .columns
+        .iter()
+        .map(|(n, t)| format!("{n} {}", t.ddlog_name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let q = if s.is_variable { "?" } else { "" };
+    out.push_str(&format!("{}: {}{q}({cols}).", s.label, s.name));
+}
+
+fn print_rule(r: &Rule, out: &mut String) {
+    out.push_str(&format!("{}: ", r.label));
+    if let Some(w) = r.weight {
+        out.push_str(&format!("@weight({w}) "));
+    }
+    match &r.head {
+        RuleHead::Derivation(a) => {
+            out.push_str(&print_atom(a));
+            out.push_str(" = NULL");
+        }
+        RuleHead::Inference { op, atoms } => {
+            let sep = match op {
+                HeadOp::Imply => " => ",
+                HeadOp::And => " & ",
+                HeadOp::Or => " | ",
+                HeadOp::IsTrue => "",
+            };
+            let parts: Vec<String> = atoms.iter().map(print_atom).collect();
+            out.push_str(&parts.join(sep));
+        }
+    }
+    out.push_str(" :- ");
+    let body: Vec<String> = r.body.iter().map(print_atom).collect();
+    out.push_str(&body.join(", "));
+    if !r.conditions.is_empty() {
+        let conds: Vec<String> = r.conditions.iter().map(print_cexpr).collect();
+        out.push_str(&format!(" [{}]", conds.join(", ")));
+    }
+    out.push('.');
+}
+
+fn print_atom(a: &Atom) -> String {
+    let terms: Vec<String> = a.terms.iter().map(print_term).collect();
+    format!("{}({})", a.relation, terms.join(", "))
+}
+
+fn print_term(t: &Term) -> String {
+    match t {
+        Term::Var(v) => v.clone(),
+        Term::Wildcard => "_".into(),
+        Term::Lit(l) => print_literal(l),
+    }
+}
+
+fn print_literal(l: &Literal) -> String {
+    match l {
+        Literal::Int(i) => i.to_string(),
+        Literal::Double(d) => {
+            // Ensure re-lexing as a double.
+            if d.fract() == 0.0 && d.is_finite() {
+                format!("{d:.1}")
+            } else {
+                d.to_string()
+            }
+        }
+        Literal::Text(s) => format!("\"{s}\""),
+        Literal::Bool(b) => b.to_string(),
+        Literal::Null => "NULL".into(),
+    }
+}
+
+fn print_cexpr(e: &CExpr) -> String {
+    match e {
+        CExpr::Var(v) | CExpr::NamedGeom(v) => v.clone(),
+        CExpr::Lit(l) => print_literal(l),
+        CExpr::Spatial(f, args) => {
+            let a: Vec<String> = args.iter().map(print_cexpr).collect();
+            format!("{}({})", f.name(), a.join(", "))
+        }
+        CExpr::Not(inner) => format!("!{}", print_cexpr(inner)),
+        CExpr::Cmp(op, l, r) => {
+            let o = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {o} {}", print_cexpr(l), print_cexpr(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SRC: &str = r#"
+    S1: County (id bigint, location point, hasLowSanitation bool).
+    @spatial(exp)
+    S2: HasEbola? (id bigint, location point).
+    D1: HasEbola(C1, L1) = NULL :- County(C1, L1, _).
+    R1: @weight(0.35)
+        HasEbola(C1, L1) => HasEbola(C2, L2) :-
+        County(C1, L1, _), County(C2, L2, S2v)
+        [distance(L1, L2) < 150, within(L1, liberia_geom), S2v = true].
+    R2: HasEbola(C1, L1) & HasEbola(C2, L2) :- County(C1, L1, _), County(C2, L2, _).
+    R3: HasEbola(C1, L1) | HasEbola(C2, L2) :- County(C1, L1, _), County(C2, L2, _) [C1 != C2].
+    "#;
+
+    #[test]
+    fn round_trip_preserves_ast() {
+        let p1 = parse_program(SRC).unwrap();
+        let text = print_program(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(p1, p2, "printed form:\n{text}");
+    }
+
+    #[test]
+    fn double_literals_re_lex_as_doubles() {
+        let src = "Y?(s bigint).\nZ(s bigint, v double).\nR: @weight(2) Y(S) :- Z(S, V) [V < 3.0].";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&print_program(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn negation_round_trips() {
+        let src = "Y?(s bigint, l point).\nZ(s bigint, l point).\n\
+                   R: Y(S, L) :- Z(S, L) [!within(L, zone_geom)].";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&print_program(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn prints_wildcards_as_underscore() {
+        let p = parse_program("Y?(s bigint).\nZ(s bigint, t bigint).\nY(S) :- Z(S, -).").unwrap();
+        let text = print_program(&p);
+        assert!(text.contains("Z(S, _)"), "{text}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Spatial user-defined functions (paper Section III, "Spatial UDFs").
+//!
+//! The paper ships ready-to-use UDFs for spatial named entity recognition
+//! (NER) and object extraction from unstructured text, backed by the
+//! GeoTxt library. GeoTxt is an online service; the offline substitute
+//! here is a deterministic **gazetteer matcher**: place names (with
+//! aliases) map to typed point locations, and extraction scans text for
+//! the longest gazetteer matches at word boundaries. This exercises the
+//! same architectural hook — feature extraction feeding relations during
+//! grounding — without network access.
+
+use std::collections::HashMap;
+use sya_geom::Point;
+
+/// A recognized spatial mention in a text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialMention {
+    /// Canonical gazetteer name (not the surface form).
+    pub name: String,
+    /// Byte offset of the match start in the input text.
+    pub offset: usize,
+    /// The matched surface text.
+    pub surface: String,
+    /// Location of the entity.
+    pub location: Point,
+}
+
+/// A gazetteer: canonical place names with locations and aliases.
+///
+/// ```
+/// use sya_lang::Gazetteer;
+/// use sya_geom::Point;
+///
+/// let mut g = Gazetteer::new();
+/// g.add("Montserrado", Point::new(-10.53, 6.55));
+/// let mentions = g.extract("Cases reported in Montserrado county.");
+/// assert_eq!(mentions[0].name, "Montserrado");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    /// lowercase alias -> (canonical name, location)
+    entries: HashMap<String, (String, Point)>,
+    /// Longest alias length in words, bounding the match window.
+    max_words: usize,
+}
+
+impl Gazetteer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a place with its canonical name and location.
+    pub fn add(&mut self, name: impl Into<String>, location: Point) -> &mut Self {
+        let name = name.into();
+        self.add_alias(name.clone(), name, location)
+    }
+
+    /// Registers an alias resolving to a canonical name.
+    pub fn add_alias(
+        &mut self,
+        alias: impl Into<String>,
+        canonical: impl Into<String>,
+        location: Point,
+    ) -> &mut Self {
+        let alias = alias.into().to_lowercase();
+        self.max_words = self.max_words.max(alias.split_whitespace().count());
+        self.entries.insert(alias, (canonical.into(), location));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a name or alias (case-insensitive).
+    pub fn lookup(&self, name: &str) -> Option<(&str, Point)> {
+        self.entries
+            .get(&name.to_lowercase())
+            .map(|(n, p)| (n.as_str(), *p))
+    }
+
+    /// Extracts spatial mentions from free text: greedy longest-match
+    /// over word windows, case-insensitive, at word boundaries.
+    pub fn extract(&self, text: &str) -> Vec<SpatialMention> {
+        // Tokenize into words with byte offsets.
+        let mut words: Vec<(usize, &str)> = Vec::new();
+        let mut start = None;
+        for (i, c) in text.char_indices() {
+            if c.is_alphanumeric() || c == '_' {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            } else if let Some(s) = start.take() {
+                words.push((s, &text[s..i]));
+            }
+        }
+        if let Some(s) = start {
+            words.push((s, &text[s..]));
+        }
+
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < words.len() {
+            let mut matched = None;
+            // Longest window first.
+            let max_w = self.max_words.min(words.len() - i);
+            for w in (1..=max_w).rev() {
+                let (s0, _) = words[i];
+                let (s_last, w_last) = words[i + w - 1];
+                let end = s_last + w_last.len();
+                let surface = &text[s0..end];
+                let key = surface
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+                    .to_lowercase();
+                if let Some((canonical, loc)) = self.entries.get(&key) {
+                    matched = Some((w, SpatialMention {
+                        name: canonical.clone(),
+                        offset: s0,
+                        surface: surface.to_owned(),
+                        location: *loc,
+                    }));
+                    break;
+                }
+            }
+            match matched {
+                Some((w, m)) => {
+                    out.push(m);
+                    i += w;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn liberia() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.add("Montserrado", Point::new(-10.53, 6.55));
+        g.add("Margibi", Point::new(-10.30, 6.52));
+        g.add("Bong", Point::new(-9.37, 6.83));
+        g.add("Gbarpolu", Point::new(-10.08, 7.50));
+        g.add_alias("new york city", "New York", Point::new(-74.0, 40.7));
+        g
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let g = liberia();
+        assert_eq!(g.lookup("montserrado").map(|(n, _)| n), Some("Montserrado"));
+        assert_eq!(g.lookup("MARGIBI").map(|(n, _)| n), Some("Margibi"));
+        assert!(g.lookup("atlantis").is_none());
+    }
+
+    #[test]
+    fn extracts_single_word_mentions() {
+        let g = liberia();
+        let text = "Ebola cases rose in Montserrado and Bong counties.";
+        let ms = g.extract(text);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "Montserrado");
+        assert_eq!(ms[0].surface, "Montserrado");
+        assert_eq!(&text[ms[0].offset..ms[0].offset + 11], "Montserrado");
+        assert_eq!(ms[1].name, "Bong");
+    }
+
+    #[test]
+    fn extracts_multi_word_alias_longest_match() {
+        let g = liberia();
+        let ms = g.extract("Air pollution in New York City is monitored.");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].name, "New York");
+        assert_eq!(ms[0].surface, "New York City");
+    }
+
+    #[test]
+    fn no_partial_word_matches() {
+        let g = liberia();
+        // "Bongland" must not match "Bong".
+        let ms = g.extract("Welcome to Bongland.");
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn empty_text_and_empty_gazetteer() {
+        let g = liberia();
+        assert!(g.extract("").is_empty());
+        let empty = Gazetteer::new();
+        assert!(empty.extract("Montserrado").is_empty());
+        assert!(empty.is_empty());
+        assert_eq!(liberia().len(), 5);
+    }
+}

@@ -1,0 +1,349 @@
+//! Program validation — the semantic checks of the paper's language
+//! module: declared relations, arity/type agreement, variable binding,
+//! and the `@spatial` placement rules ("it is not allowed to annotate a
+//! variable relation with `@spatial(w)` unless it has a spatial
+//! attribute").
+
+use crate::ast::*;
+use std::collections::HashMap;
+use sya_store::DataType;
+
+/// A validation failure with the offending rule/relation named.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateError {
+    pub context: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "validation error in {}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err(ctx: &str, msg: impl Into<String>) -> ValidateError {
+    ValidateError { context: ctx.to_owned(), message: msg.into() }
+}
+
+/// Validates a parsed program. Returns the map of relation name → schema
+/// for downstream use.
+pub fn validate(program: &Program) -> Result<HashMap<String, SchemaDecl>, ValidateError> {
+    let mut schemas: HashMap<String, SchemaDecl> = HashMap::new();
+    for s in program.schemas() {
+        if schemas.contains_key(&s.name) {
+            return Err(err(&s.name, "relation declared more than once"));
+        }
+        if s.columns.is_empty() {
+            return Err(err(&s.name, "relation must have at least one column"));
+        }
+        if let Some(w) = &s.spatial {
+            if !s.is_variable {
+                return Err(err(
+                    &s.name,
+                    "@spatial is only allowed on variable relations (declared with '?')",
+                ));
+            }
+            if s.first_spatial_column().is_none() {
+                return Err(err(
+                    &s.name,
+                    "@spatial requires the relation to have a spatial attribute",
+                ));
+            }
+            if w.is_empty() {
+                return Err(err(&s.name, "@spatial requires a weighting function name"));
+            }
+        }
+        schemas.insert(s.name.clone(), s.clone());
+    }
+
+    for rule in program.rules() {
+        validate_rule(rule, &schemas)?;
+    }
+    Ok(schemas)
+}
+
+fn validate_rule(
+    rule: &Rule,
+    schemas: &HashMap<String, SchemaDecl>,
+) -> Result<(), ValidateError> {
+    let ctx = &rule.label;
+    if rule.body.is_empty() {
+        return Err(err(ctx, "rule must have a non-empty body"));
+    }
+
+    // Types bound to each variable (var -> type), built from body atoms.
+    let mut var_types: HashMap<&str, DataType> = HashMap::new();
+    for atom in &rule.body {
+        let schema = schemas
+            .get(&atom.relation)
+            .ok_or_else(|| err(ctx, format!("undeclared relation {:?} in body", atom.relation)))?;
+        check_atom_arity(ctx, atom, schema)?;
+        for (i, term) in atom.terms.iter().enumerate() {
+            let col_ty = schema.columns[i].1;
+            match term {
+                Term::Var(v) => {
+                    if let Some(prev) = var_types.get(v.as_str()) {
+                        if !types_compatible(*prev, col_ty) {
+                            return Err(err(
+                                ctx,
+                                format!(
+                                    "variable {v:?} bound with incompatible types {prev:?} and {col_ty:?}"
+                                ),
+                            ));
+                        }
+                    } else {
+                        var_types.insert(v, col_ty);
+                    }
+                }
+                Term::Lit(l) => check_literal_fits(ctx, l, col_ty)?,
+                Term::Wildcard => {}
+            }
+        }
+    }
+
+    // Head checks.
+    let head_atoms: Vec<&Atom> = match &rule.head {
+        RuleHead::Derivation(a) => {
+            if rule.weight.is_some() {
+                return Err(err(ctx, "derivation rules cannot carry @weight"));
+            }
+            vec![a]
+        }
+        RuleHead::Inference { atoms, op } => {
+            if matches!(op, HeadOp::Imply) && atoms.len() != 2 {
+                return Err(err(ctx, "'=>' heads require exactly two atoms"));
+            }
+            atoms.iter().collect()
+        }
+    };
+    for atom in head_atoms {
+        let schema = schemas
+            .get(&atom.relation)
+            .ok_or_else(|| err(ctx, format!("undeclared relation {:?} in head", atom.relation)))?;
+        if !schema.is_variable {
+            return Err(err(
+                ctx,
+                format!("head relation {:?} must be a variable relation", atom.relation),
+            ));
+        }
+        check_atom_arity(ctx, atom, schema)?;
+        for (i, term) in atom.terms.iter().enumerate() {
+            let col_ty = schema.columns[i].1;
+            match term {
+                Term::Var(v) => {
+                    let ty = var_types.get(v.as_str()).ok_or_else(|| {
+                        err(ctx, format!("head variable {v:?} is not bound by the body"))
+                    })?;
+                    if !types_compatible(*ty, col_ty) {
+                        return Err(err(
+                            ctx,
+                            format!("head variable {v:?} has type {ty:?}, column needs {col_ty:?}"),
+                        ));
+                    }
+                }
+                Term::Lit(l) => check_literal_fits(ctx, l, col_ty)?,
+                Term::Wildcard => {
+                    return Err(err(ctx, "wildcards are not allowed in rule heads"))
+                }
+            }
+        }
+    }
+
+    // Condition checks: spatial arities; spatial args must be geometric.
+    for c in &rule.conditions {
+        validate_cexpr(ctx, c, &var_types)?;
+    }
+    Ok(())
+}
+
+fn check_atom_arity(ctx: &str, atom: &Atom, schema: &SchemaDecl) -> Result<(), ValidateError> {
+    if atom.terms.len() != schema.arity() {
+        return Err(err(
+            ctx,
+            format!(
+                "atom {}(..) has {} terms, relation declares {} columns",
+                atom.relation,
+                atom.terms.len(),
+                schema.arity()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn check_literal_fits(ctx: &str, l: &Literal, ty: DataType) -> Result<(), ValidateError> {
+    let ok = matches!(
+        (l, ty),
+        (Literal::Null, _)
+            | (Literal::Int(_), DataType::BigInt | DataType::Double)
+            | (Literal::Double(_), DataType::Double)
+            | (Literal::Text(_), DataType::Text)
+            | (Literal::Bool(_), DataType::Bool)
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err(err(ctx, format!("literal {l:?} does not fit column type {ty:?}")))
+    }
+}
+
+fn types_compatible(a: DataType, b: DataType) -> bool {
+    a == b
+        || matches!(
+            (a, b),
+            (DataType::BigInt, DataType::Double) | (DataType::Double, DataType::BigInt)
+        )
+}
+
+fn validate_cexpr(
+    ctx: &str,
+    e: &CExpr,
+    var_types: &HashMap<&str, DataType>,
+) -> Result<(), ValidateError> {
+    match e {
+        CExpr::Var(_) | CExpr::NamedGeom(_) | CExpr::Lit(_) => Ok(()),
+        CExpr::Not(inner) => validate_cexpr(ctx, inner, var_types),
+        CExpr::Cmp(_, l, r) => {
+            validate_cexpr(ctx, l, var_types)?;
+            validate_cexpr(ctx, r, var_types)
+        }
+        CExpr::Spatial(f, args) => {
+            if args.len() != 2 {
+                return Err(err(
+                    ctx,
+                    format!("{}() takes exactly 2 arguments, got {}", f.name(), args.len()),
+                ));
+            }
+            for a in args {
+                // Bound variables used spatially must have geometric type.
+                if let CExpr::Var(v) = a {
+                    if let Some(ty) = var_types.get(v.as_str()) {
+                        if !ty.is_spatial() {
+                            return Err(err(
+                                ctx,
+                                format!(
+                                    "variable {v:?} of type {ty:?} used as a geometry in {}()",
+                                    f.name()
+                                ),
+                            ));
+                        }
+                    }
+                    // Unbound names are geometry constants, resolved at
+                    // compile time.
+                }
+                validate_cexpr(ctx, a, var_types)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), ValidateError> {
+        validate(&parse_program(src).unwrap()).map(|_| ())
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let src = r#"
+        County(id bigint, location point, lowSan bool).
+        @spatial(exp)
+        HasEbola?(id bigint, location point).
+        D1: HasEbola(C, L) = NULL :- County(C, L, _).
+        R1: @weight(0.35) HasEbola(C1, L1) => HasEbola(C2, L2) :-
+            County(C1, L1, _), County(C2, L2, S)
+            [distance(L1, L2) < 150, S = true].
+        "#;
+        check(src).unwrap();
+    }
+
+    #[test]
+    fn spatial_on_input_relation_rejected() {
+        let src = "@spatial(exp)\nCounty(id bigint, location point).";
+        let e = check(src).unwrap_err();
+        assert!(e.message.contains("variable relations"), "{e}");
+    }
+
+    #[test]
+    fn spatial_without_spatial_attribute_rejected() {
+        let src = "@spatial(exp)\nHasEbola?(id bigint).";
+        let e = check(src).unwrap_err();
+        assert!(e.message.contains("spatial attribute"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let src = "A(id bigint).\nA(id bigint).";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn undeclared_relations_rejected() {
+        assert!(check("Y?(s bigint).\nY(S) :- Missing(S).").is_err());
+        assert!(check("Z(s bigint).\nMissing(S) :- Z(S).").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let src = "Y?(s bigint).\nZ(s bigint, t bigint).\nY(S) :- Z(S).";
+        let e = check(src).unwrap_err();
+        assert!(e.message.contains("terms"), "{e}");
+    }
+
+    #[test]
+    fn head_must_be_variable_relation() {
+        let src = "Y(s bigint).\nZ(s bigint).\nY(S) :- Z(S).";
+        let e = check(src).unwrap_err();
+        assert!(e.message.contains("variable relation"), "{e}");
+    }
+
+    #[test]
+    fn unbound_head_variable_rejected() {
+        let src = "Y?(s bigint).\nZ(s bigint).\nY(T) :- Z(S).";
+        let e = check(src).unwrap_err();
+        assert!(e.message.contains("not bound"), "{e}");
+    }
+
+    #[test]
+    fn incompatible_variable_types_rejected() {
+        let src = "Y?(s bigint).\nZ(s bigint, t text).\nY(S) :- Z(S, S).";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn non_geometry_in_spatial_fn_rejected() {
+        let src = "Y?(s bigint).\nZ(s bigint).\nY(S) :- Z(S) [distance(S, S) < 5].";
+        let e = check(src).unwrap_err();
+        assert!(e.message.contains("geometry"), "{e}");
+    }
+
+    #[test]
+    fn weight_on_derivation_rejected() {
+        let src = "Y?(s bigint).\nZ(s bigint).\nR: @weight(1.0) Y(S) = NULL :- Z(S).";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn wildcard_in_head_rejected() {
+        let src = "Y?(s bigint, t bigint).\nZ(s bigint).\nY(S, _) :- Z(S).";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn wrong_spatial_arity_rejected() {
+        let src = "Y?(s bigint, l point).\nZ(s bigint, l point).\nY(S, L) :- Z(S, L) [within(L) = true].";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn literal_type_mismatch_rejected() {
+        let src = "Y?(s bigint).\nZ(s bigint, t text).\nY(S) :- Z(S, 5).";
+        assert!(check(src).is_err());
+    }
+}

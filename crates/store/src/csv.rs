@@ -1,0 +1,264 @@
+//! Minimal CSV import/export for tables — the input path of the `sya`
+//! command-line tool. Quoting follows RFC 4180 (double quotes, doubled
+//! escapes); geometry cells are WKT.
+
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use crate::StoreError;
+use std::io::{BufRead, Write};
+
+/// CSV-layer errors, wrapping storage errors with row context.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    /// `(line number, message)` — 1-based, header is line 1.
+    Parse(usize, String),
+    Store(StoreError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv I/O error: {e}"),
+            CsvError::Parse(line, msg) => write!(f, "csv parse error at line {line}: {msg}"),
+            CsvError::Store(e) => write!(f, "csv row rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<StoreError> for CsvError {
+    fn from(e: StoreError) -> Self {
+        CsvError::Store(e)
+    }
+}
+
+/// Splits one CSV record into fields (RFC 4180 quoting).
+pub fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Renders one field with quoting when needed.
+fn render_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parses a cell into a [`Value`] of the given type. Empty cells are
+/// `Null`; geometry cells are WKT (bare `x y` pairs are also accepted
+/// for point columns).
+pub fn parse_cell(cell: &str, ty: DataType) -> Result<Value, String> {
+    let s = cell.trim();
+    if s.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        DataType::Bool => match s.to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" | "yes" => Value::Bool(true),
+            "false" | "f" | "0" | "no" => Value::Bool(false),
+            other => return Err(format!("invalid bool {other:?}")),
+        },
+        DataType::BigInt => Value::Int(s.parse().map_err(|e| format!("invalid int: {e}"))?),
+        DataType::Double => {
+            Value::Double(s.parse().map_err(|e| format!("invalid double: {e}"))?)
+        }
+        DataType::Text => Value::Text(s.to_owned()),
+        DataType::Point | DataType::Rect | DataType::Polygon | DataType::LineString => {
+            // Accept WKT, or a bare "x y" pair for points.
+            match sya_geom::parse_wkt(s) {
+                Ok(g) => Value::Geom(g),
+                Err(e) => {
+                    if ty == DataType::Point {
+                        let parts: Vec<&str> = s.split_whitespace().collect();
+                        if let [x, y] = parts.as_slice() {
+                            if let (Ok(x), Ok(y)) = (x.parse(), y.parse()) {
+                                return Ok(Value::from(sya_geom::Point::new(x, y)));
+                            }
+                        }
+                    }
+                    return Err(e.to_string());
+                }
+            }
+        }
+    })
+}
+
+/// Reads CSV rows into `table`. The header must name the schema's columns
+/// (any order); extra columns are ignored.
+pub fn read_csv_into(table: &mut Table, reader: impl BufRead) -> Result<usize, CsvError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse(1, "missing header".into()))??;
+    let names = split_csv_line(&header);
+    let schema = table.schema().clone();
+    // Map each schema column to its CSV position.
+    let mut positions = Vec::with_capacity(schema.arity());
+    for col in schema.columns() {
+        let pos = names
+            .iter()
+            .position(|n| n.trim() == col.name)
+            .ok_or_else(|| CsvError::Parse(1, format!("missing column {:?}", col.name)))?;
+        positions.push(pos);
+    }
+
+    let mut inserted = 0usize;
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(&line);
+        let mut row = Vec::with_capacity(schema.arity());
+        for (c, &pos) in positions.iter().enumerate() {
+            let cell = fields
+                .get(pos)
+                .ok_or_else(|| CsvError::Parse(line_no, format!("row has {} fields", fields.len())))?;
+            let ty = schema.columns()[c].ty;
+            row.push(
+                parse_cell(cell, ty)
+                    .map_err(|msg| CsvError::Parse(line_no, msg))?,
+            );
+        }
+        table.insert(row)?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Writes `rows` of `(header, record)` data as CSV.
+pub fn write_csv(
+    mut writer: impl Write,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> Result<(), CsvError> {
+    let head: Vec<String> = header.iter().map(|h| render_field(h)).collect();
+    writeln!(writer, "{}", head.join(","))?;
+    for row in rows {
+        let fields: Vec<String> = row.iter().map(|f| render_field(f)).collect();
+        writeln!(writer, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use sya_geom::Point;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("location", DataType::Point),
+            Column::new("arsenic", DataType::Double),
+            Column::new("name", DataType::Text),
+            Column::new("active", DataType::Bool),
+        ])
+    }
+
+    #[test]
+    fn reads_typed_rows_with_reordered_header() {
+        let csv = "\
+name,id,arsenic,location,active,extra
+\"well, one\",1,0.25,POINT(1 2),true,ignored
+two,2,,\"3 4\",no,x
+";
+        let mut t = Table::new("Well", schema());
+        let n = read_csv_into(&mut t, csv.as_bytes()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.value(0, "name").unwrap(), &Value::from("well, one"));
+        assert_eq!(t.value(0, "id").unwrap(), &Value::Int(1));
+        assert_eq!(t.value(0, "location").unwrap(), &Value::from(Point::new(1.0, 2.0)));
+        assert_eq!(t.value(0, "active").unwrap(), &Value::Bool(true));
+        // Empty cell -> Null; bare "x y" point form; "no" -> false.
+        assert_eq!(t.value(1, "arsenic").unwrap(), &Value::Null);
+        assert_eq!(t.value(1, "location").unwrap(), &Value::from(Point::new(3.0, 4.0)));
+        assert_eq!(t.value(1, "active").unwrap(), &Value::Bool(false));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let csv = "id,location,arsenic,name,active\n1,POINT(0 0),bad,\u{78},true\n";
+        let mut t = Table::new("Well", schema());
+        match read_csv_into(&mut t, csv.as_bytes()) {
+            Err(CsvError::Parse(2, msg)) => assert!(msg.contains("double"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_schema_column_is_reported() {
+        let csv = "id,location\n";
+        let mut t = Table::new("Well", schema());
+        match read_csv_into(&mut t, csv.as_bytes()) {
+            Err(CsvError::Parse(1, msg)) => assert!(msg.contains("arsenic"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoting_round_trips() {
+        assert_eq!(
+            split_csv_line("a,\"b,c\",\"d\"\"e\",f"),
+            vec!["a", "b,c", "d\"e", "f"]
+        );
+        let mut out = Vec::new();
+        write_csv(
+            &mut out,
+            &["x", "y"],
+            vec![vec!["plain".into(), "with,comma".into()], vec!["q\"q".into(), "".into()]],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "x,y\nplain,\"with,comma\"\n\"q\"\"q\",\n");
+        // And the written form re-parses.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(split_csv_line(lines[1]), vec!["plain", "with,comma"]);
+        assert_eq!(split_csv_line(lines[2]), vec!["q\"q", ""]);
+    }
+
+    #[test]
+    fn parse_cell_geometry_forms() {
+        assert!(matches!(
+            parse_cell("POLYGON((0 0, 1 0, 1 1, 0 0))", DataType::Polygon),
+            Ok(Value::Geom(_))
+        ));
+        assert!(parse_cell("not wkt", DataType::Polygon).is_err());
+        assert!(parse_cell("1 2 3", DataType::Point).is_err());
+        assert_eq!(parse_cell("  ", DataType::Point).unwrap(), Value::Null);
+    }
+}

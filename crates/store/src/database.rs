@@ -1,0 +1,181 @@
+//! The database catalog: a named collection of tables. This is the
+//! "abstract database driver" surface of the paper's Section IV-B — the
+//! grounding module talks to storage only through this type, so swapping
+//! in another engine means re-implementing this interface.
+
+use crate::schema::TableSchema;
+use crate::table::{Row, Table};
+use crate::StoreError;
+use std::collections::BTreeMap;
+
+/// An in-memory database: a catalog of named tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table; errors if the name is taken.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: TableSchema,
+    ) -> Result<&mut Table, StoreError> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::DuplicateTable(name));
+        }
+        let t = Table::new(name.clone(), schema);
+        Ok(self.tables.entry(name).or_insert(t))
+    }
+
+    /// Creates the table if absent, otherwise returns the existing one
+    /// (schema must match).
+    pub fn create_or_get(
+        &mut self,
+        name: impl Into<String>,
+        schema: TableSchema,
+    ) -> Result<&mut Table, StoreError> {
+        let name = name.into();
+        if let Some(existing) = self.tables.get(&name) {
+            if existing.schema() != &schema {
+                return Err(StoreError::TypeMismatch {
+                    expected: format!("existing schema of {name}"),
+                    got: "different schema".into(),
+                });
+            }
+        }
+        Ok(self
+            .tables
+            .entry(name.clone())
+            .or_insert_with(|| Table::new(name, schema)))
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+    }
+
+    /// Two tables mutably at once (for join operators); names must differ.
+    pub fn two_tables_mut(
+        &mut self,
+        a: &str,
+        b: &str,
+    ) -> Result<(&mut Table, &mut Table), StoreError> {
+        assert_ne!(a, b, "two_tables_mut requires distinct tables");
+        // BTreeMap has no get_many_mut; do it with a split borrow.
+        let a_exists = self.tables.contains_key(a);
+        let b_exists = self.tables.contains_key(b);
+        if !a_exists {
+            return Err(StoreError::UnknownTable(a.to_owned()));
+        }
+        if !b_exists {
+            return Err(StoreError::UnknownTable(b.to_owned()));
+        }
+        let ptr: *mut BTreeMap<String, Table> = &mut self.tables;
+        // SAFETY: a != b (asserted), so the two mutable references alias
+        // distinct map values; the map itself is not resized while the
+        // references live.
+        unsafe {
+            let ta = (*ptr).get_mut(a).expect("checked");
+            let tb = (*ptr).get_mut(b).expect("checked");
+            Ok((ta, tb))
+        }
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<(), StoreError> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Inserts rows into an existing table.
+    pub fn insert(&mut self, name: &str, rows: Vec<Row>) -> Result<(), StoreError> {
+        self.table_mut(name)?.insert_all(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(vec![Column::new("id", DataType::BigInt)])
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_table("A", schema()).unwrap();
+        assert!(db.has_table("A"));
+        assert!(db.table("A").is_ok());
+        assert!(db.table("B").is_err());
+        assert!(matches!(
+            db.create_table("A", schema()),
+            Err(StoreError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn create_or_get_checks_schema() {
+        let mut db = Database::new();
+        db.create_or_get("A", schema()).unwrap();
+        assert!(db.create_or_get("A", schema()).is_ok());
+        let other = TableSchema::new(vec![Column::new("x", DataType::Text)]);
+        assert!(db.create_or_get("A", other).is_err());
+    }
+
+    #[test]
+    fn insert_and_drop() {
+        let mut db = Database::new();
+        db.create_table("A", schema()).unwrap();
+        db.insert("A", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        assert_eq!(db.table("A").unwrap().len(), 2);
+        db.drop_table("A").unwrap();
+        assert!(!db.has_table("A"));
+        assert!(db.drop_table("A").is_err());
+    }
+
+    #[test]
+    fn two_tables_mut_gives_disjoint_borrows() {
+        let mut db = Database::new();
+        db.create_table("A", schema()).unwrap();
+        db.create_table("B", schema()).unwrap();
+        let (a, b) = db.two_tables_mut("A", "B").unwrap();
+        a.insert(vec![Value::Int(1)]).unwrap();
+        b.insert(vec![Value::Int(2)]).unwrap();
+        assert_eq!(db.table("A").unwrap().len(), 1);
+        assert_eq!(db.table("B").unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_tables_mut_same_name_panics() {
+        let mut db = Database::new();
+        db.create_table("A", schema()).unwrap();
+        let _ = db.two_tables_mut("A", "A");
+    }
+}

@@ -1,0 +1,490 @@
+//! Scalar expression language used by rule bodies after translation:
+//! column references, literals, comparisons, boolean connectives,
+//! arithmetic, and the Sya spatial functions.
+
+use crate::value::Value;
+use crate::StoreError;
+use sya_geom::DistanceMetric;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Spatial functions available in rule bodies (paper Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialFn {
+    /// `distance(a, b)` — numeric.
+    Distance,
+    /// `within(a, b)` — boolean, `a` inside `b`.
+    Within,
+    /// `overlaps(a, b)` — boolean.
+    Overlaps,
+    /// `contains(a, b)` — boolean, `a` contains `b`.
+    Contains,
+    /// `intersects(a, b)` — boolean.
+    Intersects,
+}
+
+/// A scalar expression evaluated against a row (a slice of values).
+///
+/// ```
+/// use sya_store::{BinOp, Expr, Value};
+///
+/// // arsenic < 0.25 over a row [id, arsenic]
+/// let pred = Expr::bin(BinOp::Lt, Expr::col(1), Expr::lit(0.25));
+/// assert!(pred.matches(&[Value::Int(7), Value::Double(0.1)]).unwrap());
+/// assert!(!pred.matches(&[Value::Int(8), Value::Double(0.9)]).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position in the evaluation row.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Spatial function call with the metric to use for `Distance`.
+    Spatial(SpatialFn, DistanceMetric, Box<Expr>, Box<Expr>),
+    /// `IS NULL` check.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    pub fn distance(l: Expr, r: Expr) -> Expr {
+        Expr::Spatial(SpatialFn::Distance, DistanceMetric::Euclidean, Box::new(l), Box::new(r))
+    }
+
+    pub fn spatial(f: SpatialFn, metric: DistanceMetric, l: Expr, r: Expr) -> Expr {
+        Expr::Spatial(f, metric, Box::new(l), Box::new(r))
+    }
+
+    /// Evaluates against `row`. SQL three-valued logic: comparisons with
+    /// `Null` produce `Null`; `And`/`Or` short-circuit around `Null` per
+    /// Kleene logic.
+    pub fn eval(&self, row: &[Value]) -> Result<Value, StoreError> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| StoreError::Eval(format!("column index {i} out of range"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
+            Expr::Not(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(StoreError::Eval(format!("NOT applied to {other}"))),
+            },
+            Expr::Bin(op, l, r) => eval_bin(*op, l, r, row),
+            Expr::Spatial(f, metric, l, r) => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                let lg = lv
+                    .as_geom()
+                    .ok_or_else(|| StoreError::Eval(format!("{f:?} on non-geometry {lv}")))?;
+                let rg = rv
+                    .as_geom()
+                    .ok_or_else(|| StoreError::Eval(format!("{f:?} on non-geometry {rv}")))?;
+                Ok(match f {
+                    SpatialFn::Distance => Value::Double(lg.distance_with(rg, *metric)),
+                    SpatialFn::Within => Value::Bool(lg.within(rg)),
+                    SpatialFn::Overlaps => Value::Bool(lg.overlaps(rg)),
+                    SpatialFn::Contains => Value::Bool(lg.contains(rg)),
+                    SpatialFn::Intersects => Value::Bool(lg.intersects(rg)),
+                })
+            }
+        }
+    }
+
+    /// Evaluates as a predicate: `Null` counts as *not satisfied* (SQL
+    /// WHERE semantics).
+    pub fn matches(&self, row: &[Value]) -> Result<bool, StoreError> {
+        Ok(matches!(self.eval(row)?, Value::Bool(true)))
+    }
+
+    /// True when the expression references any column (non-constant).
+    pub fn references_columns(&self) -> bool {
+        match self {
+            Expr::Col(_) => true,
+            Expr::Lit(_) => false,
+            Expr::Not(e) | Expr::IsNull(e) => e.references_columns(),
+            Expr::Bin(_, l, r) | Expr::Spatial(_, _, l, r) => {
+                l.references_columns() || r.references_columns()
+            }
+        }
+    }
+
+    /// Highest column index referenced, if any — used to decide which join
+    /// side an expression can be pushed to.
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            Expr::Lit(_) => None,
+            Expr::Not(e) | Expr::IsNull(e) => e.max_column(),
+            Expr::Bin(_, l, r) | Expr::Spatial(_, _, l, r) => {
+                match (l.max_column(), r.max_column()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+        }
+    }
+
+    /// True when the expression calls a spatial function anywhere.
+    pub fn is_spatial(&self) -> bool {
+        match self {
+            Expr::Spatial(..) => true,
+            Expr::Col(_) | Expr::Lit(_) => false,
+            Expr::Not(e) | Expr::IsNull(e) => e.is_spatial(),
+            Expr::Bin(_, l, r) => l.is_spatial() || r.is_spatial(),
+        }
+    }
+
+    /// Folds constant subexpressions: any subtree that references no
+    /// columns and evaluates without error is replaced by its literal
+    /// value. Rule conditions over named geometry constants (e.g.
+    /// `distance(liberia_a, liberia_b) < 150`) thus become plain boolean
+    /// literals before grounding.
+    pub fn fold_constants(&self) -> Expr {
+        // Fold children first, then try to collapse this node.
+        let folded = match self {
+            Expr::Col(_) | Expr::Lit(_) => self.clone(),
+            Expr::Not(e) => Expr::Not(Box::new(e.fold_constants())),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.fold_constants())),
+            Expr::Bin(op, l, r) => Expr::Bin(
+                *op,
+                Box::new(l.fold_constants()),
+                Box::new(r.fold_constants()),
+            ),
+            Expr::Spatial(f, m, l, r) => Expr::Spatial(
+                *f,
+                *m,
+                Box::new(l.fold_constants()),
+                Box::new(r.fold_constants()),
+            ),
+        };
+        if matches!(folded, Expr::Lit(_)) || folded.references_columns() {
+            return folded;
+        }
+        match folded.eval(&[]) {
+            Ok(v) => Expr::Lit(v),
+            Err(_) => folded, // leave type errors to surface at runtime
+        }
+    }
+
+    /// Rewrites column indices through `map` (old index → new index);
+    /// returns `None` if a referenced column is not in the map.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>) -> Option<Expr> {
+        Some(match self {
+            Expr::Col(i) => Expr::Col(map(*i)?),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(map)?)),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_columns(map)?)),
+            Expr::Bin(op, l, r) => Expr::Bin(
+                *op,
+                Box::new(l.remap_columns(map)?),
+                Box::new(r.remap_columns(map)?),
+            ),
+            Expr::Spatial(f, m, l, r) => Expr::Spatial(
+                *f,
+                *m,
+                Box::new(l.remap_columns(map)?),
+                Box::new(r.remap_columns(map)?),
+            ),
+        })
+    }
+}
+
+/// Collects every column index referenced by `e` into `out`.
+pub fn expr_columns(e: &Expr, out: &mut std::collections::BTreeSet<usize>) {
+    match e {
+        Expr::Col(i) => {
+            out.insert(*i);
+        }
+        Expr::Lit(_) => {}
+        Expr::Not(inner) | Expr::IsNull(inner) => expr_columns(inner, out),
+        Expr::Bin(_, l, r) | Expr::Spatial(_, _, l, r) => {
+            expr_columns(l, out);
+            expr_columns(r, out);
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: &Expr, r: &Expr, row: &[Value]) -> Result<Value, StoreError> {
+    // Kleene logic for AND/OR.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let lv = l.eval(row)?;
+        let rv = r.eval(row)?;
+        let lb = lv.as_bool();
+        let rb = rv.as_bool();
+        if !lv.is_null() && lb.is_none() {
+            return Err(StoreError::Eval(format!("{op:?} applied to {lv}")));
+        }
+        if !rv.is_null() && rb.is_none() {
+            return Err(StoreError::Eval(format!("{op:?} applied to {rv}")));
+        }
+        return Ok(match op {
+            BinOp::And => match (lb, rb) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
+            BinOp::Or => match (lb, rb) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
+            _ => unreachable!(),
+        });
+    }
+
+    let lv = l.eval(row)?;
+    let rv = r.eval(row)?;
+    if lv.is_null() || rv.is_null() {
+        return Ok(Value::Null);
+    }
+    use std::cmp::Ordering;
+    let cmp = |want: &[Ordering]| -> Result<Value, StoreError> {
+        lv.sql_cmp(&rv)
+            .map(|o| Value::Bool(want.contains(&o)))
+            .ok_or_else(|| StoreError::Eval(format!("cannot compare {lv} and {rv}")))
+    };
+    match op {
+        BinOp::Eq => lv
+            .sql_eq(&rv)
+            .map(Value::Bool)
+            .ok_or_else(|| StoreError::Eval("null in eq".into())),
+        BinOp::Ne => lv
+            .sql_eq(&rv)
+            .map(|b| Value::Bool(!b))
+            .ok_or_else(|| StoreError::Eval("null in ne".into())),
+        BinOp::Lt => cmp(&[Ordering::Less]),
+        BinOp::Le => cmp(&[Ordering::Less, Ordering::Equal]),
+        BinOp::Gt => cmp(&[Ordering::Greater]),
+        BinOp::Ge => cmp(&[Ordering::Greater, Ordering::Equal]),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let (a, b) = (
+                lv.as_f64()
+                    .ok_or_else(|| StoreError::Eval(format!("arith on {lv}")))?,
+                rv.as_f64()
+                    .ok_or_else(|| StoreError::Eval(format!("arith on {rv}")))?,
+            );
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                _ => unreachable!(),
+            };
+            // Preserve integer typing for int-int arithmetic except division.
+            if lv.as_int().is_some() && rv.as_int().is_some() && !matches!(op, BinOp::Div) {
+                Ok(Value::Int(out as i64))
+            } else {
+                Ok(Value::Double(out))
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_geom::{Geometry, Point, Polygon, Rect};
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Int(5),
+            Value::Double(2.5),
+            Value::from(Point::new(0.0, 0.0)),
+            Value::from(Point::new(3.0, 4.0)),
+            Value::Null,
+            Value::Geom(Geometry::Polygon(Polygon::from_rect(&Rect::raw(
+                -1.0, -1.0, 10.0, 10.0,
+            )))),
+        ]
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row();
+        assert_eq!(
+            Expr::bin(BinOp::Lt, Expr::col(1), Expr::lit(3.0)).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Eq, Expr::col(0), Expr::lit(5.0)).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Ge, Expr::col(0), Expr::lit(6i64)).eval(&r).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn null_propagates_and_fails_match() {
+        let r = row();
+        let e = Expr::bin(BinOp::Lt, Expr::col(4), Expr::lit(3.0));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        assert!(!e.matches(&r).unwrap());
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::col(4))).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let r = row();
+        let null = Expr::bin(BinOp::Lt, Expr::col(4), Expr::lit(1.0));
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        assert_eq!(
+            Expr::bin(BinOp::And, f.clone(), null.clone()).eval(&r).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::And, t.clone(), null.clone()).eval(&r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Or, t, null.clone()).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(Expr::bin(BinOp::Or, f, null).eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn spatial_distance_and_within() {
+        let r = row();
+        assert_eq!(
+            Expr::distance(Expr::col(2), Expr::col(3)).eval(&r).unwrap(),
+            Value::Double(5.0)
+        );
+        let within = Expr::spatial(
+            SpatialFn::Within,
+            DistanceMetric::Euclidean,
+            Expr::col(2),
+            Expr::col(5),
+        );
+        assert_eq!(within.eval(&r).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn spatial_on_null_is_null() {
+        let r = row();
+        let e = Expr::distance(Expr::col(2), Expr::col(4));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn spatial_on_non_geometry_errors() {
+        let r = row();
+        assert!(Expr::distance(Expr::col(0), Expr::col(2)).eval(&r).is_err());
+    }
+
+    #[test]
+    fn arithmetic_typing() {
+        let r = row();
+        assert_eq!(
+            Expr::bin(BinOp::Add, Expr::col(0), Expr::lit(2i64)).eval(&r).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Div, Expr::col(0), Expr::lit(2i64)).eval(&r).unwrap(),
+            Value::Double(2.5)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Mul, Expr::col(1), Expr::lit(2i64)).eval(&r).unwrap(),
+            Value::Double(5.0)
+        );
+    }
+
+    #[test]
+    fn introspection_helpers() {
+        let e = Expr::bin(
+            BinOp::Lt,
+            Expr::distance(Expr::col(2), Expr::col(3)),
+            Expr::lit(50.0),
+        );
+        assert!(e.is_spatial());
+        assert!(e.references_columns());
+        assert_eq!(e.max_column(), Some(3));
+        assert!(!Expr::lit(1i64).references_columns());
+    }
+
+    #[test]
+    fn fold_constants_collapses_literal_subtrees() {
+        // distance(P(0,0), P(3,4)) < 6  ->  true
+        let e = Expr::bin(
+            BinOp::Lt,
+            Expr::distance(
+                Expr::Lit(Value::from(Point::new(0.0, 0.0))),
+                Expr::Lit(Value::from(Point::new(3.0, 4.0))),
+            ),
+            Expr::lit(6.0),
+        );
+        assert_eq!(e.fold_constants(), Expr::Lit(Value::Bool(true)));
+        // Column-referencing parts stay; the literal distance folds.
+        let partial = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Lt, Expr::col(0), Expr::lit(1.0)),
+            Expr::bin(
+                BinOp::Gt,
+                Expr::distance(
+                    Expr::Lit(Value::from(Point::new(0.0, 0.0))),
+                    Expr::Lit(Value::from(Point::new(3.0, 4.0))),
+                ),
+                Expr::lit(1.0),
+            ),
+        );
+        match partial.fold_constants() {
+            Expr::Bin(BinOp::And, l, r) => {
+                assert!(l.references_columns());
+                assert_eq!(*r, Expr::Lit(Value::Bool(true)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Erroring constants are left unfolded.
+        let bad = Expr::distance(Expr::lit(1i64), Expr::lit(2i64));
+        assert!(matches!(bad.fold_constants(), Expr::Spatial(..)));
+    }
+
+    #[test]
+    fn remap_columns() {
+        let e = Expr::bin(BinOp::Eq, Expr::col(2), Expr::col(5));
+        let shifted = e.remap_columns(&|i| Some(i + 10)).unwrap();
+        assert_eq!(shifted.max_column(), Some(15));
+        assert!(e.remap_columns(&|i| if i == 2 { Some(0) } else { None }).is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! # sya-store — embedded in-memory spatial relational engine
+//!
+//! Sya evaluates grounding rules as (spatial) SQL queries against a
+//! relational database with spatial support; the paper uses PostgreSQL +
+//! PostGIS (Section IV-B). This crate is the offline substitute: an
+//! embedded engine providing exactly the operator set the translated rules
+//! need —
+//!
+//! * typed tables with schemas ([`Table`], [`TableSchema`], [`Value`]),
+//! * a scalar expression language with the Sya spatial functions
+//!   (`distance`, `within`, `overlaps`, `contains`, `intersects`)
+//!   ([`Expr`]),
+//! * filtered scans, hash equi-joins, R-tree backed **spatial distance
+//!   joins** and **range queries** ([`query`]),
+//! * the heuristic optimizer that re-orders spatial predicates so cheap
+//!   selective filters run before expensive joins (paper Fig. 5 example)
+//!   ([`planner`]),
+//! * co-occurrence statistics over evidence columns, feeding the spatial
+//!   factor pruning of Section IV-C ([`stats`]).
+//!
+//! The engine is deliberately small but real: every operator is exercised
+//! by the grounding module and covered by correctness tests against
+//! brute-force evaluation.
+
+pub mod csv;
+pub mod database;
+pub mod expr;
+pub mod planner;
+pub mod query;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use csv::{parse_cell, read_csv_into, split_csv_line, write_csv, CsvError};
+pub use database::Database;
+pub use expr::{expr_columns, BinOp, Expr, SpatialFn};
+pub use planner::{estimate_cost, order_predicates};
+pub use query::{hash_join, range_query, spatial_distance_join, JoinSide};
+pub use schema::{Column, TableSchema};
+pub use stats::CoOccurrence;
+pub use table::{Row, Table};
+pub use value::{DataType, JoinKey, Value};
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Row arity or value type does not match the schema.
+    TypeMismatch { expected: String, got: String },
+    /// Expression evaluation failed (e.g. spatial fn on non-geometry).
+    Eval(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StoreError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StoreError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            StoreError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            StoreError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

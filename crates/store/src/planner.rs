@@ -1,0 +1,162 @@
+//! Heuristic query optimizer (paper Section IV-B, optimization 2).
+//!
+//! When a rule has multiple (spatial) predicates, Sya re-orders the
+//! translated queries so that cheap, selective predicates run before
+//! expensive spatial joins — the paper's Fig. 5 example runs the `within`
+//! range query before the `distance` spatial join "to reduce the number
+//! of tuples to be joined".
+//!
+//! The cost model is intentionally simple and mirrors the paper's
+//! "simple heuristic query optimizer": each predicate is assigned a cost
+//! class, and predicates are sorted ascending by class (stable, so
+//! user-written order breaks ties).
+
+use crate::expr::{BinOp, Expr, SpatialFn};
+
+/// Cost classes, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CostClass {
+    /// Constant-only or single-column comparison against a literal —
+    /// evaluable during the scan.
+    CheapFilter = 0,
+    /// Point-in-region / containment predicates — range query with an
+    /// index, touches one relation.
+    RangePredicate = 1,
+    /// Equality between columns of different atoms — hash join.
+    EquiJoin = 2,
+    /// Distance predicate between two atoms — spatial join.
+    SpatialJoin = 3,
+    /// Anything else (complex residuals) — evaluated last.
+    Residual = 4,
+}
+
+/// Estimates the cost class of a predicate expression.
+pub fn estimate_cost(e: &Expr) -> CostClass {
+    match e {
+        Expr::Bin(op, l, r) => {
+            let lc = l.references_columns();
+            let rc = r.references_columns();
+            match (lc, rc) {
+                (false, false) => CostClass::CheapFilter,
+                (true, false) | (false, true) => {
+                    let col_side = if lc { l } else { r };
+                    match col_side.as_ref() {
+                        // comparison of a raw column with a literal
+                        Expr::Col(_) => CostClass::CheapFilter,
+                        // distance(a,b) <op> literal — spatial join shape
+                        Expr::Spatial(SpatialFn::Distance, ..) => CostClass::SpatialJoin,
+                        Expr::Spatial(..) => CostClass::RangePredicate,
+                        _ => CostClass::Residual,
+                    }
+                }
+                (true, true) => match op {
+                    BinOp::Eq if matches!((l.as_ref(), r.as_ref()), (Expr::Col(_), Expr::Col(_))) => {
+                        CostClass::EquiJoin
+                    }
+                    _ => CostClass::Residual,
+                },
+            }
+        }
+        Expr::Spatial(SpatialFn::Distance, ..) => CostClass::SpatialJoin,
+        // within/overlaps/contains/intersects with one side a literal
+        // geometry is a range predicate; between two atoms it is a join.
+        Expr::Spatial(_, _, l, r) => {
+            if l.references_columns() && r.references_columns() {
+                CostClass::SpatialJoin
+            } else {
+                CostClass::RangePredicate
+            }
+        }
+        Expr::Not(inner) | Expr::IsNull(inner) => estimate_cost(inner),
+        Expr::Col(_) => CostClass::CheapFilter,
+        Expr::Lit(_) => CostClass::CheapFilter,
+    }
+}
+
+/// Stably orders predicates by ascending cost class and returns the
+/// permutation (indices into the input slice).
+pub fn order_predicates(preds: &[Expr]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..preds.len()).collect();
+    idx.sort_by_key(|&i| estimate_cost(&preds[i]));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use sya_geom::{DistanceMetric, Geometry, Point, Polygon, Rect};
+
+    fn distance_pred() -> Expr {
+        // distance(col0, col1) < 150
+        Expr::bin(
+            BinOp::Lt,
+            Expr::distance(Expr::col(0), Expr::col(1)),
+            Expr::lit(150.0),
+        )
+    }
+
+    fn within_pred() -> Expr {
+        // within(col0, liberia_geom)
+        let poly = Geometry::Polygon(Polygon::from_rect(&Rect::raw(0.0, 0.0, 1.0, 1.0)));
+        Expr::spatial(
+            SpatialFn::Within,
+            DistanceMetric::Euclidean,
+            Expr::col(0),
+            Expr::Lit(Value::Geom(poly)),
+        )
+    }
+
+    fn cheap_pred() -> Expr {
+        // col2 = true
+        Expr::bin(BinOp::Eq, Expr::col(2), Expr::lit(true))
+    }
+
+    #[test]
+    fn cost_classes() {
+        assert_eq!(estimate_cost(&cheap_pred()), CostClass::CheapFilter);
+        assert_eq!(estimate_cost(&within_pred()), CostClass::RangePredicate);
+        assert_eq!(estimate_cost(&distance_pred()), CostClass::SpatialJoin);
+        let equi = Expr::bin(BinOp::Eq, Expr::col(0), Expr::col(3));
+        assert_eq!(estimate_cost(&equi), CostClass::EquiJoin);
+    }
+
+    #[test]
+    fn fig5_reordering_range_before_spatial_join() {
+        // Paper Fig. 5: rule lists distance first, within second; the
+        // optimizer must run within (range) before distance (join).
+        let preds = vec![distance_pred(), within_pred(), cheap_pred()];
+        let order = order_predicates(&preds);
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn stable_for_equal_classes() {
+        let preds = vec![cheap_pred(), cheap_pred(), cheap_pred()];
+        assert_eq!(order_predicates(&preds), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn spatial_predicate_between_two_atoms_is_join() {
+        let e = Expr::spatial(
+            SpatialFn::Overlaps,
+            DistanceMetric::Euclidean,
+            Expr::col(0),
+            Expr::col(1),
+        );
+        assert_eq!(estimate_cost(&e), CostClass::SpatialJoin);
+    }
+
+    #[test]
+    fn distance_between_literal_points_is_cheap() {
+        let e = Expr::bin(
+            BinOp::Lt,
+            Expr::distance(
+                Expr::Lit(Value::from(Point::new(0.0, 0.0))),
+                Expr::Lit(Value::from(Point::new(1.0, 1.0))),
+            ),
+            Expr::lit(5.0),
+        );
+        assert_eq!(estimate_cost(&e), CostClass::CheapFilter);
+    }
+}

@@ -1,0 +1,347 @@
+//! Physical query operators: filtered scan, hash equi-join, spatial
+//! distance join, and spatial range query.
+//!
+//! These are the operators the rules-queries translator emits (paper
+//! Section IV-B): non-spatial rule bodies become scans + equi-joins;
+//! spatial predicates become spatial joins and range queries.
+
+use crate::expr::Expr;
+use crate::table::{Row, Table};
+use crate::StoreError;
+use std::collections::HashMap;
+
+/// Which side of a join a column comes from when building join keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    Left,
+    Right,
+}
+
+/// Scans `table`, returning ids of rows matching `filter` (all rows when
+/// `filter` is `None`).
+pub fn scan_filter(table: &Table, filter: Option<&Expr>) -> Result<Vec<usize>, StoreError> {
+    let mut out = Vec::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        match filter {
+            None => out.push(i),
+            Some(f) => {
+                if f.matches(row)? {
+                    out.push(i);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Hash equi-join of two row-id sets on `left.col == right.col` pairs,
+/// with an optional residual predicate over the concatenated row
+/// (left columns first, then right columns).
+///
+/// Returns pairs of row ids `(left, right)`.
+pub fn hash_join(
+    left: &Table,
+    left_rows: &[usize],
+    right: &Table,
+    right_rows: &[usize],
+    key_cols: &[(usize, usize)],
+    residual: Option<&Expr>,
+) -> Result<Vec<(usize, usize)>, StoreError> {
+    // Build on the smaller side.
+    let build_left = left_rows.len() <= right_rows.len();
+    let mut table_map: HashMap<Vec<crate::value::JoinKey>, Vec<usize>> = HashMap::new();
+
+    let (build_tab, build_rows, probe_tab, probe_rows) = if build_left {
+        (left, left_rows, right, right_rows)
+    } else {
+        (right, right_rows, left, left_rows)
+    };
+    let build_cols: Vec<usize> = key_cols
+        .iter()
+        .map(|&(l, r)| if build_left { l } else { r })
+        .collect();
+    let probe_cols: Vec<usize> = key_cols
+        .iter()
+        .map(|&(l, r)| if build_left { r } else { l })
+        .collect();
+
+    'rows: for &rid in build_rows {
+        let row = &build_tab.rows()[rid];
+        let mut key = Vec::with_capacity(build_cols.len());
+        for &c in &build_cols {
+            match row
+                .get(c)
+                .ok_or_else(|| StoreError::Eval(format!("join key column {c} out of range")))?
+                .join_key()
+            {
+                Some(k) => key.push(k),
+                None => continue 'rows, // nulls never join
+            }
+        }
+        table_map.entry(key).or_default().push(rid);
+    }
+
+    let mut out = Vec::new();
+    let mut concat: Row = Vec::with_capacity(left.schema().arity() + right.schema().arity());
+    'probe: for &rid in probe_rows {
+        let row = &probe_tab.rows()[rid];
+        let mut key = Vec::with_capacity(probe_cols.len());
+        for &c in &probe_cols {
+            match row
+                .get(c)
+                .ok_or_else(|| StoreError::Eval(format!("join key column {c} out of range")))?
+                .join_key()
+            {
+                Some(k) => key.push(k),
+                None => continue 'probe,
+            }
+        }
+        if let Some(matches) = table_map.get(&key) {
+            for &bid in matches {
+                let (l, r) = if build_left { (bid, rid) } else { (rid, bid) };
+                if let Some(res) = residual {
+                    concat.clear();
+                    concat.extend_from_slice(&left.rows()[l]);
+                    concat.extend_from_slice(&right.rows()[r]);
+                    if !res.matches(&concat)? {
+                        continue;
+                    }
+                }
+                out.push((l, r));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Spatial distance join: pairs `(l, r)` where the geometry in
+/// `left_col` of `left` is within `radius` of the geometry in `right_col`
+/// of `right`, with an optional residual predicate over the concatenated
+/// row. Uses the right table's R-tree (index nested loop join).
+///
+/// Distance is Euclidean between representative points, matching the
+/// translation of `distance(L1, L2) < radius`.
+pub fn spatial_distance_join(
+    left: &Table,
+    left_rows: &[usize],
+    right: &mut Table,
+    right_col: &str,
+    left_col: usize,
+    radius: f64,
+    residual: Option<&Expr>,
+) -> Result<Vec<(usize, usize)>, StoreError> {
+    // Build/reuse the index first (needs &mut), then probe immutably.
+    right.spatial_index(right_col)?;
+    let mut out = Vec::new();
+    let mut concat: Row = Vec::with_capacity(left.schema().arity() + right.schema().arity());
+    for &l in left_rows {
+        let g = match left.rows()[l]
+            .get(left_col)
+            .ok_or_else(|| StoreError::Eval(format!("column {left_col} out of range")))?
+            .as_geom()
+        {
+            Some(g) => g,
+            None => continue, // null/absent geometry never joins
+        };
+        let center = g.representative_point();
+        let candidates = right.spatial_index(right_col)?.within_distance(&center, radius);
+        for r in candidates {
+            if let Some(res) = residual {
+                concat.clear();
+                concat.extend_from_slice(&left.rows()[l]);
+                concat.extend_from_slice(&right.rows()[r]);
+                if !res.matches(&concat)? {
+                    continue;
+                }
+            }
+            out.push((l, r));
+        }
+    }
+    Ok(out)
+}
+
+/// Spatial range query: rows of `table` whose geometry in `col` lies
+/// within the given query geometry (`within` predicate), filtered from
+/// R-tree candidates by the exact test.
+pub fn range_query(
+    table: &mut Table,
+    col: &str,
+    query: &sya_geom::Geometry,
+) -> Result<Vec<usize>, StoreError> {
+    let bbox = query.bbox();
+    let col_idx = table
+        .schema()
+        .index_of(col)
+        .ok_or_else(|| StoreError::UnknownColumn(col.to_owned()))?;
+    let candidates: Vec<usize> = {
+        let idx = table.spatial_index(col)?;
+        let mut v = Vec::new();
+        idx.for_each_in(&bbox, |_, id| v.push(*id));
+        v
+    };
+    let mut out = Vec::new();
+    for id in candidates {
+        if let Some(g) = table.rows()[id][col_idx].as_geom() {
+            if g.within(query) {
+                out.push(id);
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Materializes the projection of selected rows into a new row vector —
+/// helper for derived relations.
+pub fn project(table: &Table, rows: &[usize], cols: &[usize]) -> Vec<Row> {
+    rows.iter()
+        .map(|&r| cols.iter().map(|&c| table.rows()[r][c].clone()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::{DataType, Value};
+    use sya_geom::{Geometry, Point, Polygon, Rect};
+
+    fn wells(n: i64) -> Table {
+        let schema = TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("location", DataType::Point),
+            Column::new("arsenic", DataType::Double),
+        ]);
+        let mut t = Table::new("Well", schema);
+        for i in 0..n {
+            t.insert(vec![
+                Value::Int(i),
+                Value::from(Point::new(i as f64, (i % 3) as f64)),
+                Value::Double(0.05 * i as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn readings() -> Table {
+        let schema = TableSchema::new(vec![
+            Column::new("well_id", DataType::BigInt),
+            Column::new("level", DataType::Double),
+        ]);
+        let mut t = Table::new("Reading", schema);
+        for (w, l) in [(0i64, 1.0), (1, 2.0), (1, 3.0), (4, 4.0), (9, 9.0)] {
+            t.insert(vec![Value::Int(w), Value::Double(l)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn scan_filter_selects_matching_rows() {
+        let t = wells(10);
+        let f = Expr::bin(BinOp::Lt, Expr::col(2), Expr::lit(0.2));
+        let ids = scan_filter(&t, Some(&f)).unwrap();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(scan_filter(&t, None).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let w = wells(10);
+        let r = readings();
+        let wl: Vec<usize> = (0..w.len()).collect();
+        let rl: Vec<usize> = (0..r.len()).collect();
+        let mut got = hash_join(&w, &wl, &r, &rl, &[(0, 0)], None).unwrap();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (i, wr) in w.rows().iter().enumerate() {
+            for (j, rr) in r.rows().iter().enumerate() {
+                if wr[0].sql_eq(&rr[0]) == Some(true) {
+                    want.push((i, j));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn hash_join_residual_filters() {
+        let w = wells(10);
+        let r = readings();
+        let wl: Vec<usize> = (0..w.len()).collect();
+        let rl: Vec<usize> = (0..r.len()).collect();
+        // residual: reading.level > 2.5 (column 3+1 = index 4 in concat)
+        let res = Expr::bin(BinOp::Gt, Expr::col(4), Expr::lit(2.5));
+        let got = hash_join(&w, &wl, &r, &rl, &[(0, 0)], Some(&res)).unwrap();
+        assert_eq!(got.len(), 3); // (1,3.0), (4,4.0), (9,9.0)
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut w = wells(2);
+        w.insert(vec![Value::Null, Value::from(Point::ORIGIN), Value::Double(0.0)])
+            .unwrap();
+        let mut r = readings();
+        r.insert(vec![Value::Null, Value::Double(0.0)]).unwrap();
+        let wl: Vec<usize> = (0..w.len()).collect();
+        let rl: Vec<usize> = (0..r.len()).collect();
+        let got = hash_join(&w, &wl, &r, &rl, &[(0, 0)], None).unwrap();
+        assert!(got.iter().all(|&(l, r)| l != 2 && r != 5));
+    }
+
+    #[test]
+    fn spatial_join_matches_brute_force() {
+        let left = wells(30);
+        let mut right = wells(30);
+        let ll: Vec<usize> = (0..left.len()).collect();
+        let got = spatial_distance_join(&left, &ll, &mut right, "location", 1, 2.0, None).unwrap();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        let mut want = Vec::new();
+        for (i, a) in left.rows().iter().enumerate() {
+            for (j, b) in right.rows().iter().enumerate() {
+                let pa = a[1].as_geom().unwrap().representative_point();
+                let pb = b[1].as_geom().unwrap().representative_point();
+                if pa.distance(&pb) <= 2.0 {
+                    want.push((i, j));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got_sorted, want);
+    }
+
+    #[test]
+    fn spatial_join_residual_excludes_self_pairs() {
+        let left = wells(10);
+        let mut right = wells(10);
+        let ll: Vec<usize> = (0..left.len()).collect();
+        // residual: left.id != right.id (concat col 0 vs 3)
+        let res = Expr::bin(BinOp::Ne, Expr::col(0), Expr::col(3));
+        let got =
+            spatial_distance_join(&left, &ll, &mut right, "location", 1, 1.5, Some(&res)).unwrap();
+        assert!(got.iter().all(|&(l, r)| l != r));
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn range_query_within_polygon() {
+        let mut t = wells(10);
+        let poly = Geometry::Polygon(Polygon::from_rect(&Rect::raw(2.5, -1.0, 6.5, 3.0)));
+        let ids = range_query(&mut t, "location", &poly).unwrap();
+        assert_eq!(ids, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn project_extracts_columns() {
+        let t = wells(3);
+        let rows = project(&t, &[0, 2], &[0, 2]);
+        assert_eq!(rows, vec![
+            vec![Value::Int(0), Value::Double(0.0)],
+            vec![Value::Int(2), Value::Double(0.1)],
+        ]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Table schemas: named, typed columns with spatial-attribute awareness.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Builds a schema; column names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names (schemas are constructed from
+    /// validated DDlog declarations, so duplicates are a programmer bug).
+    pub fn new(columns: Vec<Column>) -> Self {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate column name {:?}", a.name);
+            }
+        }
+        TableSchema { columns }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Type of the column at `idx`.
+    pub fn type_at(&self, idx: usize) -> Option<DataType> {
+        self.columns.get(idx).map(|c| c.ty)
+    }
+
+    /// Index of the first spatial column, if any — the attribute the
+    /// `@spatial` annotation binds to.
+    pub fn first_spatial_column(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.ty.is_spatial())
+    }
+
+    /// True when at least one column is spatial.
+    pub fn has_spatial_column(&self) -> bool {
+        self.first_spatial_column().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("location", DataType::Point),
+            Column::new("arsenic_ratio", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("location"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.type_at(2), Some(DataType::Double));
+        assert_eq!(s.type_at(9), None);
+    }
+
+    #[test]
+    fn spatial_column_detection() {
+        let s = schema();
+        assert!(s.has_spatial_column());
+        assert_eq!(s.first_spatial_column(), Some(1));
+        let plain = TableSchema::new(vec![Column::new("id", DataType::BigInt)]);
+        assert!(!plain.has_spatial_column());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_columns_panic() {
+        TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("id", DataType::Text),
+        ]);
+    }
+}

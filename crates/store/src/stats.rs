@@ -1,0 +1,157 @@
+//! Co-occurrence statistics over evidence data (paper Section IV-C).
+//!
+//! For a categorical spatial variable with domain values `0..h`, Sya
+//! prunes spatial factors over a value pair `(i, j)` unless the pair
+//! co-occurs in the evidence data with conditional probabilities
+//! `P(i|j)` **and** `P(j|i)` above a threshold `T`. This module computes
+//! those probabilities from observed neighbouring evidence pairs.
+
+use std::collections::HashMap;
+
+/// Accumulates counts of domain values and co-occurring value pairs, then
+/// answers the Bayesian pruning test of Section IV-C.
+#[derive(Debug, Clone, Default)]
+pub struct CoOccurrence {
+    /// `count[i]` — occurrences of value `i` in the evidence data.
+    value_counts: HashMap<u32, u64>,
+    /// `pair[(min,max)]` — co-occurrences of the unordered pair.
+    pair_counts: HashMap<(u32, u32), u64>,
+    /// `involved[i]` — co-occurrence events involving value `i`.
+    pair_involvement: HashMap<u32, u64>,
+    total_pairs: u64,
+}
+
+impl CoOccurrence {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evidence observation of value `v`.
+    pub fn observe_value(&mut self, v: u32) {
+        *self.value_counts.entry(v).or_insert(0) += 1;
+    }
+
+    /// Records a co-occurrence of values `i` and `j` (e.g. at two
+    /// neighbouring evidence locations). Order-insensitive.
+    pub fn observe_pair(&mut self, i: u32, j: u32) {
+        let key = (i.min(j), i.max(j));
+        *self.pair_counts.entry(key).or_insert(0) += 1;
+        *self.pair_involvement.entry(i).or_insert(0) += 1;
+        if i != j {
+            *self.pair_involvement.entry(j).or_insert(0) += 1;
+        }
+        self.total_pairs += 1;
+    }
+
+    /// Occurrences of value `i`.
+    pub fn count(&self, i: u32) -> u64 {
+        self.value_counts.get(&i).copied().unwrap_or(0)
+    }
+
+    /// Co-occurrences of the unordered pair `(i, j)`.
+    pub fn pair_count(&self, i: u32, j: u32) -> u64 {
+        self.pair_counts
+            .get(&(i.min(j), i.max(j)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `P(i|j)` — the probability that a co-occurrence involving `j` has
+    /// `i` on the other side: (co-occurrences of i and j) / (co-occurrence
+    /// events involving j). Returns 0 when `j` never co-occurs.
+    ///
+    /// The paper's formula divides by "no. of j appears in evidence
+    /// data"; normalizing over j's *co-occurrence appearances* keeps the
+    /// statistic independent of how many isolated (pair-less) evidence
+    /// entries exist, which matters at low evidence density.
+    pub fn conditional(&self, i: u32, j: u32) -> f64 {
+        let denom = self.pair_involvement.get(&j).copied().unwrap_or(0);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.pair_count(i, j) as f64 / denom as f64
+    }
+
+    /// The pruning test: keep spatial factors over the pair `(i, j)` only
+    /// when both `P(i|j) >= t` and `P(j|i) >= t`.
+    pub fn passes_threshold(&self, i: u32, j: u32, t: f64) -> bool {
+        self.conditional(i, j) >= t && self.conditional(j, i) >= t
+    }
+
+    /// All distinct values observed.
+    pub fn values(&self) -> impl Iterator<Item = u32> + '_ {
+        self.value_counts.keys().copied()
+    }
+
+    /// Number of recorded pairs.
+    pub fn total_pairs(&self) -> u64 {
+        self.total_pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoOccurrence {
+        let mut c = CoOccurrence::new();
+        // values: 0 appears 4x, 1 appears 2x, 2 appears 1x
+        for v in [0, 0, 0, 0, 1, 1, 2] {
+            c.observe_value(v);
+        }
+        // pairs: (0,0) 3x, (0,1) 2x, (1,2) 1x
+        for (i, j) in [(0, 0), (0, 0), (0, 0), (0, 1), (1, 0), (1, 2)] {
+            c.observe_pair(i, j);
+        }
+        c
+    }
+
+    #[test]
+    fn counts() {
+        let c = sample();
+        assert_eq!(c.count(0), 4);
+        assert_eq!(c.count(3), 0);
+        assert_eq!(c.pair_count(0, 1), 2);
+        assert_eq!(c.pair_count(1, 0), 2); // symmetric
+        assert_eq!(c.total_pairs(), 6);
+    }
+
+    #[test]
+    fn conditionals() {
+        let c = sample();
+        // Co-occurrence events involving 1: two (0,1) pairs + one (1,2)
+        // pair = 3; P(0|1) = 2/3.
+        assert!((c.conditional(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        // Events involving 0: three (0,0) + two (0,1) = 5; P(1|0) = 2/5.
+        assert!((c.conditional(1, 0) - 0.4).abs() < 1e-12);
+        // unseen value
+        assert_eq!(c.conditional(0, 9), 0.0);
+    }
+
+    #[test]
+    fn threshold_requires_both_directions() {
+        let c = sample();
+        assert!(c.passes_threshold(0, 1, 0.4)); // 2/3 and 2/5
+        assert!(!c.passes_threshold(0, 1, 0.5)); // P(1|0)=0.4 < 0.5
+        assert!(!c.passes_threshold(0, 9, 0.1)); // unseen pair
+    }
+
+    #[test]
+    fn higher_threshold_prunes_more() {
+        let c = sample();
+        let kept = |t: f64| -> usize {
+            let vals: Vec<u32> = (0..3).collect();
+            let mut n = 0;
+            for &i in &vals {
+                for &j in &vals {
+                    if i <= j && c.passes_threshold(i, j, t) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        assert!(kept(0.3) >= kept(0.5));
+        assert!(kept(0.5) >= kept(0.9));
+    }
+}

@@ -1,0 +1,213 @@
+//! In-memory tables with optional on-the-fly R-tree spatial indexes
+//! (paper Section IV-B, optimization 1).
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+use crate::StoreError;
+use sya_geom::{Point, RTree, Rect};
+
+/// A row is a boxed slice of values matching the table schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: schema + rows + lazily built spatial index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: TableSchema,
+    rows: Vec<Row>,
+    /// R-tree over one spatial column: `(column index, index over row ids)`.
+    /// Invalidated (dropped) on mutation.
+    spatial_index: Option<(usize, RTree<usize>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
+        Table { name: name.into(), schema, rows: Vec::new(), spatial_index: None }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row after checking arity and per-column type fit.
+    pub fn insert(&mut self, row: Row) -> Result<(), StoreError> {
+        if row.len() != self.schema.arity() {
+            return Err(StoreError::TypeMismatch {
+                expected: format!("{} columns", self.schema.arity()),
+                got: format!("{} values", row.len()),
+            });
+        }
+        for (v, c) in row.iter().zip(self.schema.columns()) {
+            if !v.fits(c.ty) {
+                return Err(StoreError::TypeMismatch {
+                    expected: format!("{} for column {:?}", c.ty.ddlog_name(), c.name),
+                    got: format!("{v}"),
+                });
+            }
+        }
+        self.spatial_index = None;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk insert; stops at the first bad row.
+    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<(), StoreError> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Value at `(row, column name)`.
+    pub fn value(&self, row: usize, column: &str) -> Result<&Value, StoreError> {
+        let c = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| StoreError::UnknownColumn(column.to_owned()))?;
+        Ok(&self.rows[row][c])
+    }
+
+    /// Builds (or returns the cached) R-tree over the given spatial
+    /// column. Rows whose value is `Null` or non-geometry are skipped.
+    pub fn spatial_index(&mut self, column: &str) -> Result<&RTree<usize>, StoreError> {
+        let col = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| StoreError::UnknownColumn(column.to_owned()))?;
+        let stale = match &self.spatial_index {
+            Some((c, _)) => *c != col,
+            None => true,
+        };
+        if stale {
+            let items: Vec<(Rect, usize)> = self
+                .rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, row)| row[col].as_geom().map(|g| (g.bbox(), i)))
+                .collect();
+            self.spatial_index = Some((col, RTree::bulk_load(items)));
+        }
+        Ok(&self.spatial_index.as_ref().expect("just built").1)
+    }
+
+    /// Row ids whose geometry in `column` lies within `radius` of `center`
+    /// (uses the spatial index).
+    pub fn rows_within_distance(
+        &mut self,
+        column: &str,
+        center: &Point,
+        radius: f64,
+    ) -> Result<Vec<usize>, StoreError> {
+        Ok(self.spatial_index(column)?.within_distance(center, radius))
+    }
+
+    /// The point value of the first spatial column for `row`, if present.
+    pub fn point_of(&self, row: usize) -> Option<Point> {
+        let col = self.schema.first_spatial_column()?;
+        self.rows[row][col].as_geom().map(|g| g.representative_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+    use sya_geom::Point;
+
+    fn well_table() -> Table {
+        let schema = TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("location", DataType::Point),
+            Column::new("arsenic_ratio", DataType::Double),
+        ]);
+        let mut t = Table::new("Well", schema);
+        for i in 0..10i64 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::from(Point::new(i as f64, 0.0)),
+                Value::Double(0.1 * i as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_checks_arity_and_types() {
+        let mut t = well_table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .insert(vec![Value::Int(1), Value::from("oops"), Value::Double(0.0)])
+            .is_err());
+        // Int fits a double column.
+        assert!(t
+            .insert(vec![Value::Int(99), Value::from(Point::ORIGIN), Value::Int(1)])
+            .is_ok());
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = well_table();
+        assert_eq!(t.value(3, "id").unwrap(), &Value::Int(3));
+        assert!(t.value(0, "nope").is_err());
+    }
+
+    #[test]
+    fn spatial_index_finds_neighbours() {
+        let mut t = well_table();
+        let mut ids = t
+            .rows_within_distance("location", &Point::new(5.0, 0.0), 1.5)
+            .unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn spatial_index_invalidated_on_insert() {
+        let mut t = well_table();
+        let _ = t.spatial_index("location").unwrap();
+        t.insert(vec![
+            Value::Int(100),
+            Value::from(Point::new(5.0, 0.1)),
+            Value::Double(0.0),
+        ])
+        .unwrap();
+        let ids = t
+            .rows_within_distance("location", &Point::new(5.0, 0.0), 0.5)
+            .unwrap();
+        assert!(ids.contains(&10), "new row must be visible: {ids:?}");
+    }
+
+    #[test]
+    fn null_geometries_are_skipped_by_index() {
+        let mut t = well_table();
+        t.insert(vec![Value::Int(11), Value::Null, Value::Double(0.0)])
+            .unwrap();
+        let idx = t.spatial_index("location").unwrap();
+        assert_eq!(idx.len(), 10); // null row not indexed
+    }
+
+    #[test]
+    fn point_of_uses_first_spatial_column() {
+        let t = well_table();
+        assert_eq!(t.point_of(2), Some(Point::new(2.0, 0.0)));
+    }
+}

@@ -1,0 +1,313 @@
+//! Cell values and column data types, including the four spatial types.
+
+use serde::{Deserialize, Serialize};
+use sya_geom::Geometry;
+
+/// Column data type. The spatial types mirror the paper's Section III
+/// extension of the DDlog schema declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    Bool,
+    BigInt,
+    Double,
+    Text,
+    Point,
+    Rect,
+    Polygon,
+    LineString,
+}
+
+impl DataType {
+    /// True for the four spatial types.
+    pub fn is_spatial(&self) -> bool {
+        matches!(
+            self,
+            DataType::Point | DataType::Rect | DataType::Polygon | DataType::LineString
+        )
+    }
+
+    /// The type name as written in Sya DDlog schema declarations.
+    pub fn ddlog_name(&self) -> &'static str {
+        match self {
+            DataType::Bool => "bool",
+            DataType::BigInt => "bigint",
+            DataType::Double => "double",
+            DataType::Text => "text",
+            DataType::Point => "point",
+            DataType::Rect => "rectangle",
+            DataType::Polygon => "polygon",
+            DataType::LineString => "linestring",
+        }
+    }
+
+    /// Parses a DDlog type name.
+    pub fn from_ddlog_name(name: &str) -> Option<DataType> {
+        Some(match name {
+            "bool" | "boolean" => DataType::Bool,
+            "bigint" | "int" | "integer" => DataType::BigInt,
+            "double" | "float" | "real" => DataType::Double,
+            "text" | "varchar" | "string" => DataType::Text,
+            "point" => DataType::Point,
+            "rectangle" | "rect" => DataType::Rect,
+            "polygon" => DataType::Polygon,
+            "linestring" => DataType::LineString,
+            _ => return None,
+        })
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Text(String),
+    Geom(Geometry),
+}
+
+impl Value {
+    /// The value's data type, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        Some(match self {
+            Value::Null => return None,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::BigInt,
+            Value::Double(_) => DataType::Double,
+            Value::Text(_) => DataType::Text,
+            Value::Geom(Geometry::Point(_)) => DataType::Point,
+            Value::Geom(Geometry::Rect(_)) => DataType::Rect,
+            Value::Geom(Geometry::Polygon(_)) => DataType::Polygon,
+            Value::Geom(Geometry::LineString(_)) => DataType::LineString,
+        })
+    }
+
+    /// True when the value is storable in a column of type `ty`
+    /// (ints coerce into double columns; `Null` fits anywhere).
+    pub fn fits(&self, ty: DataType) -> bool {
+        match (self.data_type(), ty) {
+            (None, _) => true,
+            (Some(DataType::BigInt), DataType::Double) => true,
+            (Some(t), u) => t == u,
+        }
+    }
+
+    /// Numeric view (ints and doubles), used by comparison predicates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_geom(&self) -> Option<&Geometry> {
+        match self {
+            Value::Geom(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style three-valued equality: `Null` compares equal to nothing
+    /// (returns `None`); numbers compare across int/double.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+            return Some(a == b);
+        }
+        Some(self == other)
+    }
+
+    /// SQL-style ordering over comparable values (numbers, text, bools).
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+            return a.partial_cmp(&b);
+        }
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+        .map(|o: Ordering| o)
+    }
+
+    /// A hash key usable by the equi-join (total over non-geometry values;
+    /// doubles are keyed by their bit pattern).
+    pub fn join_key(&self) -> Option<JoinKey> {
+        Some(match self {
+            Value::Null => return None,
+            Value::Bool(b) => JoinKey::Bool(*b),
+            Value::Int(i) => JoinKey::Int(*i),
+            // Key int-valued doubles as ints so Int(2) joins Double(2.0).
+            Value::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < i64::MAX as f64 {
+                    JoinKey::Int(*d as i64)
+                } else {
+                    JoinKey::DoubleBits(d.to_bits())
+                }
+            }
+            Value::Text(s) => JoinKey::Text(s.clone()),
+            Value::Geom(_) => return None,
+        })
+    }
+}
+
+/// Hashable key for equi-joins.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinKey {
+    Bool(bool),
+    Int(i64),
+    DoubleBits(u64),
+    Text(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Geom(g) => write!(f, "{}", sya_geom::to_wkt(g)),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<Geometry> for Value {
+    fn from(g: Geometry) -> Self {
+        Value::Geom(g)
+    }
+}
+impl From<sya_geom::Point> for Value {
+    fn from(p: sya_geom::Point) -> Self {
+        Value::Geom(Geometry::Point(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_geom::Point;
+
+    #[test]
+    fn type_round_trip() {
+        for ty in [
+            DataType::Bool,
+            DataType::BigInt,
+            DataType::Double,
+            DataType::Text,
+            DataType::Point,
+            DataType::Rect,
+            DataType::Polygon,
+            DataType::LineString,
+        ] {
+            assert_eq!(DataType::from_ddlog_name(ty.ddlog_name()), Some(ty));
+        }
+        assert_eq!(DataType::from_ddlog_name("blob"), None);
+    }
+
+    #[test]
+    fn spatial_flag() {
+        assert!(DataType::Point.is_spatial());
+        assert!(DataType::Polygon.is_spatial());
+        assert!(!DataType::BigInt.is_spatial());
+    }
+
+    #[test]
+    fn fits_allows_int_in_double_column() {
+        assert!(Value::Int(3).fits(DataType::Double));
+        assert!(!Value::Double(3.0).fits(DataType::BigInt));
+        assert!(Value::Null.fits(DataType::Point));
+        assert!(Value::from(Point::new(0.0, 0.0)).fits(DataType::Point));
+        assert!(!Value::from(Point::new(0.0, 0.0)).fits(DataType::Polygon));
+    }
+
+    #[test]
+    fn sql_eq_three_valued() {
+        assert_eq!(Value::Int(2).sql_eq(&Value::Double(2.0)), Some(true));
+        assert_eq!(Value::Null.sql_eq(&Value::Int(2)), None);
+        assert_eq!(Value::from("a").sql_eq(&Value::from("b")), Some(false));
+    }
+
+    #[test]
+    fn sql_cmp_numbers_and_text() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Double(1.5)), Some(Less));
+        assert_eq!(Value::from("b").sql_cmp(&Value::from("a")), Some(Greater));
+        assert_eq!(Value::from("b").sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn join_keys_unify_int_valued_doubles() {
+        assert_eq!(Value::Int(2).join_key(), Value::Double(2.0).join_key());
+        assert_ne!(Value::Int(2).join_key(), Value::Double(2.5).join_key());
+        assert_eq!(Value::Null.join_key(), None);
+        assert_eq!(Value::from(Point::ORIGIN).join_key(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from("x").to_string(), "'x'");
+        assert_eq!(Value::from(Point::new(1.0, 2.0)).to_string(), "POINT(1 2)");
+    }
+}

@@ -1,0 +1,85 @@
+//! Air quality (NYCCAS scenario): the paper's second evaluation dataset.
+//!
+//! Builds the IsPolluted knowledge base over a synthetic NYC-like raster.
+//! NYCCAS is the dataset where a sizeable fraction of the evidence is
+//! randomly assigned — the paper observes this caps Sya's recall
+//! advantage at ~9% (Fig. 8b) while precision still improves strongly.
+//! The example sweeps the random-evidence fraction to make that effect
+//! visible.
+//!
+//! Run with: `cargo run --release --example air_quality [grid]`
+
+use std::collections::HashSet;
+use sya::data::nyccas::{NYCCAS_BANDWIDTH, NYCCAS_RADIUS};
+use sya::data::{nyccas_dataset, supported_ids, NyccasConfig, QualityEval};
+use sya::{KnowledgeBase, SyaConfig, SyaSession};
+use sya_store::Value;
+
+fn build(dataset: &sya::data::Dataset, config: SyaConfig) -> KnowledgeBase {
+    let mut db = dataset.db.clone();
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .expect("program compiles");
+    let evidence = dataset.evidence.clone();
+    session
+        .construct(&mut db, &move |_, vals| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        })
+        .expect("construction succeeds")
+}
+
+fn main() {
+    let grid: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+
+    println!("NYCCAS — {grid}x{grid} raster, 4 rules\n");
+    println!(
+        "{:<22} {:<10} {:>6} {:>6} {:>6}",
+        "random evidence", "engine", "prec", "rec", "F1"
+    );
+    for random_fraction in [0.0, 0.35, 0.6] {
+        let dataset = nyccas_dataset(&NyccasConfig {
+            grid,
+            random_evidence_fraction: random_fraction,
+            ..Default::default()
+        });
+        let query = dataset.query_ids();
+        let supported: HashSet<i64> = supported_ids(
+            &dataset.locations,
+            dataset.evidence.keys().copied(),
+            &query,
+            dataset.support_radius,
+            dataset.metric,
+        );
+        for (label, config) in [
+            (
+                "Sya",
+                SyaConfig::sya()
+                    .with_epochs(1000)
+                    .with_seed(2)
+                    .with_bandwidth(NYCCAS_BANDWIDTH)
+                    .with_spatial_radius(NYCCAS_RADIUS),
+            ),
+            ("DeepDive", SyaConfig::deepdive().with_epochs(1000).with_seed(2)),
+        ] {
+            let kb = build(&dataset, config);
+            let scores = kb.query_scores_by_id("IsPolluted");
+            let eval = QualityEval::evaluate(&scores, &dataset.truth, &supported);
+            println!(
+                "{:<22.2} {:<10} {:>6.3} {:>6.3} {:>6.3}",
+                random_fraction,
+                label,
+                eval.precision(),
+                eval.recall(),
+                eval.f1(),
+            );
+        }
+    }
+    println!("\nPaper Fig. 8/9 on NYCCAS: precision improves >53%, but the");
+    println!("random evidence entries cap the recall improvement at ~9%");
+    println!("(and the F1 improvement at ~27%).");
+}

@@ -1,0 +1,82 @@
+//! Incremental inference (paper Fig. 13a): after new evidence arrives,
+//! Sya re-samples only the concliques containing the affected variables
+//! instead of re-running inference over the whole factor graph.
+//!
+//! The example builds a GWDB knowledge base, then streams in new evidence
+//! one well at a time, comparing the incremental update cost against a
+//! full re-run.
+//!
+//! Run with: `cargo run --release --example incremental [n_wells]`
+
+use sya::data::gwdb::{GWDB_BANDWIDTH, GWDB_RADIUS};
+use sya::data::{gwdb_dataset, GwdbConfig};
+use sya::{SyaConfig, SyaSession};
+use sya_store::Value;
+
+fn main() {
+    let n_wells: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells, ..Default::default() });
+    let config = SyaConfig::sya()
+        .with_epochs(500)
+        .with_seed(11)
+        .with_bandwidth(GWDB_BANDWIDTH)
+        .with_spatial_radius(GWDB_RADIUS);
+
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .expect("program compiles");
+    let evidence = dataset.evidence.clone();
+    let mut db = dataset.db.clone();
+    let t0 = std::time::Instant::now();
+    let mut kb = session
+        .construct(&mut db, &move |_, vals| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        })
+        .expect("construction succeeds");
+    let full_time = t0.elapsed();
+
+    println!(
+        "GWDB — {n_wells} wells; initial construction {:.1} ms \
+         (grounding {:.1} ms, inference {:.1} ms)\n",
+        full_time.as_secs_f64() * 1e3,
+        kb.timings.grounding.as_secs_f64() * 1e3,
+        kb.timings.inference.as_secs_f64() * 1e3,
+    );
+
+    // Stream new evidence into previously unobserved wells.
+    let unobserved: Vec<_> = kb
+        .grounding
+        .atoms_of("IsSafe")
+        .iter()
+        .copied()
+        .filter(|&v| !kb.grounding.graph.variable(v).is_evidence())
+        .take(10)
+        .collect();
+
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "update", "incr (ms)", "resampled vars", "of total"
+    );
+    for (i, &var) in unobserved.iter().enumerate() {
+        let before = kb.score_of(var);
+        let new_value = u32::from(before >= 0.5);
+        let (elapsed, resampled) = kb.update_evidence_incremental(&[(var, Some(new_value))]);
+        println!(
+            "{:>8} {:>16.2} {:>16} {:>9.1}%",
+            i + 1,
+            elapsed.as_secs_f64() * 1e3,
+            resampled,
+            100.0 * resampled as f64 / n_wells as f64,
+        );
+    }
+    println!(
+        "\nEach update touched a small spatial neighbourhood instead of \
+         re-sampling all {n_wells} variables (full inference: {:.1} ms).",
+        kb.timings.inference.as_secs_f64() * 1e3
+    );
+}

@@ -1,0 +1,101 @@
+//! Knowledge base construction from unstructured text: the spatial-UDF
+//! path of the paper's Section III ("Spatial User-defined Functions").
+//!
+//! Field reports about an Ebola outbreak are run through the spatial NER
+//! UDF (the offline gazetteer matcher standing in for GeoTxt), producing
+//! a `County` relation with mention counts; the EbolaKB-style program
+//! then infers infection scores, letting counties mentioned together in
+//! reports and counties that are spatially close reinforce each other.
+//!
+//! Run with: `cargo run --release --example text_extraction`
+
+use sya::data::ebola::{county_locations, COUNTY_NAMES};
+use sya::{to_geojson, SyaConfig, SyaSession};
+use sya_geom::{DistanceMetric, Geometry, Polygon, Rect};
+use sya_lang::{Gazetteer, GeomConstants};
+use sya_store::{Column, DataType, Database, TableSchema, Value};
+
+const FIELD_REPORTS: &[&str] = &[
+    "WHO situation report: confirmed cases rising sharply in Montserrado; \
+     treatment units at capacity.",
+    "Health workers in Margibi report new suspected cases near the \
+     Montserrado border.",
+    "Community transmission suspected in Margibi after market closures.",
+    "Surveillance teams deployed to Bong following two probable cases.",
+    "No new cases reported from Gbarpolu this week; monitoring continues.",
+    "Montserrado burial teams overwhelmed; Margibi sends support staff.",
+];
+
+fn main() {
+    // 1. Build the gazetteer (the offline GeoTxt substitute).
+    let mut gazetteer = Gazetteer::new();
+    for (i, name) in COUNTY_NAMES.iter().enumerate() {
+        gazetteer.add(*name, county_locations()[i]);
+    }
+
+    // 2. Run spatial NER over the reports and count mentions per county.
+    let mut mention_counts = vec![0i64; COUNTY_NAMES.len()];
+    println!("Extracted spatial mentions:");
+    for report in FIELD_REPORTS {
+        for m in gazetteer.extract(report) {
+            let idx = COUNTY_NAMES.iter().position(|n| *n == m.name).unwrap();
+            mention_counts[idx] += 1;
+            println!("  {:<12} @ byte {:>3}  \"{}...\"", m.name, m.offset, &report[..38]);
+        }
+    }
+
+    // 3. Materialize the extracted relation.
+    let schema = TableSchema::new(vec![
+        Column::new("id", DataType::BigInt),
+        Column::new("location", DataType::Point),
+        Column::new("mentions", DataType::BigInt),
+    ]);
+    let mut db = Database::new();
+    let table = db.create_table("County", schema).expect("fresh database");
+    for (i, p) in county_locations().iter().enumerate() {
+        table
+            .insert(vec![Value::Int(i as i64), Value::from(*p), Value::Int(mention_counts[i])])
+            .expect("schema-conformant row");
+    }
+
+    // 4. Infer outbreak scores: repeated mentions are direct signal,
+    //    spatial factors propagate to under-reported neighbours.
+    let program = r#"
+    County(id bigint, location point, mentions bigint).
+    @spatial(exp)
+    HasOutbreak?(id bigint, location point).
+
+    D1: HasOutbreak(C, L) = NULL :- County(C, L, _).
+    R1: @weight(1.2)  HasOutbreak(C, L) :- County(C, L, M) [M >= 3].
+    R2: @weight(0.6)  HasOutbreak(C, L) :- County(C, L, M) [M >= 1].
+    R3: @weight(-0.9) HasOutbreak(C, L) :- County(C, L, M) [M = 0].
+    R4: @weight(0.4) HasOutbreak(C1, L1) => HasOutbreak(C2, L2) :-
+        County(C1, L1, _), County(C2, L2, _)
+        [distance(L1, L2) < 150, within(L2, liberia_geom), C1 != C2].
+    "#;
+    let mut constants = GeomConstants::new();
+    constants.insert(
+        "liberia_geom",
+        Geometry::Polygon(Polygon::from_rect(&Rect::raw(-12.0, 4.0, -7.0, 9.5))),
+    );
+    let config = SyaConfig::sya()
+        .with_epochs(4000)
+        .with_seed(5)
+        .with_bandwidth(60.0)
+        .with_spatial_radius(250.0);
+    let session = SyaSession::new(program, constants, DistanceMetric::HaversineMiles, config)
+        .expect("program compiles");
+    let kb = session.construct(&mut db, &|_, _| None).expect("construction succeeds");
+
+    println!("\n{:<14} {:>9} {:>18}", "county", "mentions", "P(outbreak)");
+    for (i, (id, score)) in kb.scores_by_id("HasOutbreak").iter().enumerate() {
+        println!("{:<14} {:>9} {:>18.2}", COUNTY_NAMES[i], mention_counts[*id as usize], score);
+    }
+
+    // 5. Export the result for map visualization.
+    let facts = kb.query("HasOutbreak").min_score(0.4).run();
+    println!(
+        "\nGeoJSON of counties with P(outbreak) >= 0.4:\n{}",
+        to_geojson(&facts)
+    );
+}

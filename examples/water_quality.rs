@@ -1,0 +1,84 @@
+//! Water quality (GWDB scenario): the paper's primary evaluation dataset.
+//!
+//! Generates a synthetic Texas-like well dataset, builds the IsSafe
+//! knowledge base with both Sya and the DeepDive comparator, and reports
+//! the paper's quality metrics (precision / recall / F1 with the
+//! within-0.1 correctness rule) plus phase timings.
+//!
+//! Run with: `cargo run --release --example water_quality [n_wells]`
+
+use std::collections::HashSet;
+use sya::data::gwdb::{GWDB_BANDWIDTH, GWDB_RADIUS};
+use sya::data::{gwdb_dataset, supported_ids, GwdbConfig, QualityEval};
+use sya::{KnowledgeBase, SyaConfig, SyaSession};
+use sya_store::Value;
+
+fn build(dataset: &sya::data::Dataset, config: SyaConfig) -> KnowledgeBase {
+    let mut db = dataset.db.clone();
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .expect("program compiles");
+    let evidence = dataset.evidence.clone();
+    session
+        .construct(&mut db, &move |_, vals| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        })
+        .expect("construction succeeds")
+}
+
+fn main() {
+    let n_wells: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells, ..Default::default() });
+    println!(
+        "GWDB — {n_wells} wells, {} evidence, 11 rules\n",
+        dataset.evidence.len()
+    );
+
+    let query = dataset.query_ids();
+    let supported: HashSet<i64> = supported_ids(
+        &dataset.locations,
+        dataset.evidence.keys().copied(),
+        &query,
+        dataset.support_radius,
+        dataset.metric,
+    );
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>12} {:>12} {:>8} {:>10}",
+        "engine", "prec", "rec", "F1", "ground (ms)", "infer (ms)", "vars", "factors"
+    );
+    for (label, config) in [
+        (
+            "Sya",
+            SyaConfig::sya()
+                .with_epochs(1000)
+                .with_seed(1)
+                .with_bandwidth(GWDB_BANDWIDTH)
+                .with_spatial_radius(GWDB_RADIUS),
+        ),
+        ("DeepDive", SyaConfig::deepdive().with_epochs(1000).with_seed(1)),
+    ] {
+        let kb = build(&dataset, config);
+        let scores = kb.query_scores_by_id("IsSafe");
+        let eval = QualityEval::evaluate(&scores, &dataset.truth, &supported);
+        println!(
+            "{:<10} {:>6.3} {:>6.3} {:>6.3} {:>12.1} {:>12.1} {:>8} {:>10}",
+            label,
+            eval.precision(),
+            eval.recall(),
+            eval.f1(),
+            kb.timings.grounding.as_secs_f64() * 1e3,
+            kb.timings.inference.as_secs_f64() * 1e3,
+            kb.grounding.stats.variables_created,
+            kb.grounding.graph.total_factors(),
+        );
+    }
+    println!("\nThe paper's Fig. 9(a) reports a 120% F1 improvement of Sya");
+    println!("over DeepDive on GWDB; the spatial factors let unobserved");
+    println!("wells borrow strength from nearby evidence.");
+}

@@ -1,0 +1,579 @@
+//! The `sya` command-line tool: validate, translate, and run spatial
+//! DDlog programs against CSV data — the domain-expert entry point of
+//! the paper's Fig. 2 architecture, packaged as a binary.
+//!
+//! ```text
+//! sya validate  <program.ddlog>
+//! sya translate <program.ddlog> [--constant name=WKT ...]
+//! sya stats     <program.ddlog> --table NAME=FILE.csv ... [options]
+//! sya run       <program.ddlog> --table NAME=FILE.csv ... [options]
+//!
+//! options:
+//!   --table NAME=FILE.csv     input relation data (repeatable)
+//!   --evidence FILE.csv       evidence rows: header `relation,id,value`
+//!   --constant NAME=WKT       named geometry constant (repeatable)
+//!   --engine sya|deepdive     engine mode            [default: sya]
+//!   --metric euclidean|haversine-miles               [default: euclidean]
+//!   --epochs N                inference epochs       [default: 1000]
+//!   --seed N                  RNG seed               [default: 42]
+//!   --bandwidth B             spatial weighting bandwidth
+//!   --radius R                spatial factor cutoff
+//!   --output FILE.csv         factual scores as CSV  [default: stdout]
+//!   --geojson FILE.json       located scores as GeoJSON
+//!   --min-score S             only emit scores >= S  [default: 0]
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use sya_core::{to_geojson, EngineMode, SyaConfig, SyaSession};
+use sya_geom::DistanceMetric;
+use sya_lang::{parse_program, validate, GeomConstants};
+use sya_store::{read_csv_into, write_csv, Column, Database, TableSchema, Value};
+
+/// Runs the CLI; returns the process exit code. All output goes to the
+/// provided writers so tests can capture it.
+pub fn run_cli(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> i32 {
+    match dispatch(args, out) {
+        Ok(()) => 0,
+        // A closed stdout (e.g. `sya translate | head`) is the reader's
+        // choice, not a failure — follow the Unix convention and exit 0.
+        Err(msg) if msg.to_ascii_lowercase().contains("broken pipe") => 0,
+        Err(msg) => {
+            let _ = writeln!(err, "error: {msg}");
+            1
+        }
+    }
+}
+
+fn dispatch(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.trim().to_owned());
+    };
+    match cmd.as_str() {
+        "validate" => cmd_validate(&args[1..], out),
+        "translate" => cmd_translate(&args[1..], out),
+        "stats" => cmd_run(&args[1..], out, true),
+        "run" => cmd_run(&args[1..], out, false),
+        "--help" | "-h" | "help" => {
+            writeln!(out, "{}", USAGE.trim()).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", USAGE.trim())),
+    }
+}
+
+const USAGE: &str = r#"
+usage: sya <validate|translate|stats|run> <program.ddlog> [options]
+run `sya help` for the option list
+"#;
+
+/// Parsed common options.
+struct Options {
+    program_path: String,
+    tables: Vec<(String, String)>,
+    evidence_path: Option<String>,
+    constants: GeomConstants,
+    engine: EngineMode,
+    metric: DistanceMetric,
+    epochs: usize,
+    seed: u64,
+    bandwidth: Option<f64>,
+    radius: Option<f64>,
+    output: Option<String>,
+    geojson: Option<String>,
+    min_score: f64,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        program_path: String::new(),
+        tables: Vec::new(),
+        evidence_path: None,
+        constants: GeomConstants::new(),
+        engine: EngineMode::Sya,
+        metric: DistanceMetric::Euclidean,
+        epochs: 1000,
+        seed: 42,
+        bandwidth: None,
+        radius: None,
+        output: None,
+        geojson: None,
+        min_score: 0.0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--table" => {
+                let v = value("--table")?;
+                let (name, path) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--table expects NAME=FILE, got {v:?}"))?;
+                opts.tables.push((name.to_owned(), path.to_owned()));
+            }
+            "--evidence" => opts.evidence_path = Some(value("--evidence")?),
+            "--constant" => {
+                let v = value("--constant")?;
+                let (name, wkt) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--constant expects NAME=WKT, got {v:?}"))?;
+                let g = sya_geom::parse_wkt(wkt).map_err(|e| e.to_string())?;
+                opts.constants.insert(name, g);
+            }
+            "--engine" => {
+                opts.engine = match value("--engine")?.as_str() {
+                    "sya" => EngineMode::Sya,
+                    "deepdive" => EngineMode::DeepDive,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--metric" => {
+                opts.metric = match value("--metric")?.as_str() {
+                    "euclidean" => DistanceMetric::Euclidean,
+                    "haversine-miles" | "haversine" => DistanceMetric::HaversineMiles,
+                    other => return Err(format!("unknown metric {other:?}")),
+                }
+            }
+            "--epochs" => {
+                opts.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("bad --epochs: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--bandwidth" => {
+                opts.bandwidth = Some(
+                    value("--bandwidth")?
+                        .parse()
+                        .map_err(|e| format!("bad --bandwidth: {e}"))?,
+                )
+            }
+            "--radius" => {
+                opts.radius = Some(
+                    value("--radius")?
+                        .parse()
+                        .map_err(|e| format!("bad --radius: {e}"))?,
+                )
+            }
+            "--output" => opts.output = Some(value("--output")?),
+            "--geojson" => opts.geojson = Some(value("--geojson")?),
+            "--min-score" => {
+                opts.min_score = value("--min-score")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-score: {e}"))?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag:?}")),
+            path if opts.program_path.is_empty() => opts.program_path = path.to_owned(),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    if opts.program_path.is_empty() {
+        return Err("missing program file".to_owned());
+    }
+    Ok(opts)
+}
+
+fn read_program(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+}
+
+fn cmd_validate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let src = read_program(&opts.program_path)?;
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    validate(&program).map_err(|e| e.to_string())?;
+    let schemas = program.schemas().count();
+    let rules = program.rules().count();
+    writeln!(out, "ok: {schemas} relations, {rules} rules").map_err(|e| e.to_string())
+}
+
+fn cmd_translate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let src = read_program(&opts.program_path)?;
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let compiled =
+        sya_lang::compile(&program, &opts.constants, opts.metric).map_err(|e| e.to_string())?;
+    for rule in &compiled.rules {
+        writeln!(out, "-- rule {}", rule.label).map_err(|e| e.to_string())?;
+        for (i, q) in sya_ground::translate_rule(rule).iter().enumerate() {
+            writeln!(out, "  stage {i} [{}]: {}", q.operator, q.sql).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads input tables declared by the program's non-variable relations.
+fn load_database(
+    compiled: &sya_lang::CompiledProgram,
+    tables: &[(String, String)],
+) -> Result<Database, String> {
+    let mut db = Database::new();
+    for (name, path) in tables {
+        let schema_decl = compiled
+            .schema(name)
+            .ok_or_else(|| format!("program declares no relation {name:?}"))?;
+        if schema_decl.is_variable {
+            return Err(format!("{name:?} is a variable relation; it takes no input data"));
+        }
+        let columns: Vec<Column> = schema_decl
+            .columns
+            .iter()
+            .map(|(n, t)| Column::new(n.clone(), *t))
+            .collect();
+        let table = db
+            .create_table(name.clone(), TableSchema::new(columns))
+            .map_err(|e| e.to_string())?;
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+        let n = read_csv_into(table, std::io::BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        if n == 0 {
+            return Err(format!("{path}: no data rows"));
+        }
+    }
+    Ok(db)
+}
+
+/// Loads evidence rows (`relation,id,value` header).
+fn load_evidence(path: &str) -> Result<HashMap<(String, i64), u32>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| format!("{path}: empty file"))?;
+    let names = sya_store::split_csv_line(header);
+    let pos = |want: &str| -> Result<usize, String> {
+        names
+            .iter()
+            .position(|n| n.trim() == want)
+            .ok_or_else(|| format!("{path}: missing column {want:?}"))
+    };
+    let (rp, ip, vp) = (pos("relation")?, pos("id")?, pos("value")?);
+    let mut out = HashMap::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = sya_store::split_csv_line(line);
+        let get = |p: usize| {
+            fields
+                .get(p)
+                .map(|s| s.trim().to_owned())
+                .ok_or_else(|| format!("{path}: row {} too short", i + 2))
+        };
+        let relation = get(rp)?;
+        let id: i64 = get(ip)?
+            .parse()
+            .map_err(|e| format!("{path}: row {}: bad id: {e}", i + 2))?;
+        let value: u32 = get(vp)?
+            .parse()
+            .map_err(|e| format!("{path}: row {}: bad value: {e}", i + 2))?;
+        out.insert((relation, id), value);
+    }
+    Ok(out)
+}
+
+fn cmd_run(args: &[String], out: &mut dyn Write, stats_only: bool) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let src = read_program(&opts.program_path)?;
+
+    let mut config = match opts.engine {
+        EngineMode::Sya => SyaConfig::sya(),
+        EngineMode::DeepDive => SyaConfig::deepdive(),
+        EngineMode::DeepDiveStepFn(_) => unreachable!("not constructible from CLI"),
+    };
+    config = config.with_epochs(opts.epochs).with_seed(opts.seed);
+    if let Some(b) = opts.bandwidth {
+        config = config.with_bandwidth(b);
+    }
+    if let Some(r) = opts.radius {
+        config = config.with_spatial_radius(r);
+    }
+
+    let session = SyaSession::new(&src, opts.constants.clone(), opts.metric, config)
+        .map_err(|e| e.to_string())?;
+    let mut db = load_database(session.compiled(), &opts.tables)?;
+    let evidence = match &opts.evidence_path {
+        Some(p) => load_evidence(p)?,
+        None => HashMap::new(),
+    };
+    let ev_fn = move |relation: &str, values: &[Value]| -> Option<u32> {
+        values
+            .first()
+            .and_then(Value::as_int)
+            .and_then(|id| evidence.get(&(relation.to_owned(), id)).copied())
+    };
+    let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
+
+    if stats_only {
+        writeln!(
+            out,
+            "variables: {}\nlogical factors: {}\nspatial factors: {}\n\
+             grounding: {:.1} ms\ninference: {:.1} ms",
+            kb.grounding.graph.num_variables(),
+            kb.grounding.graph.num_factors(),
+            kb.grounding.graph.num_spatial_factors(),
+            kb.timings.grounding.as_secs_f64() * 1e3,
+            kb.timings.inference.as_secs_f64() * 1e3,
+        )
+        .map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+
+    // Factual scores for every variable relation.
+    let variable_relations: Vec<String> = session
+        .compiled()
+        .schemas
+        .values()
+        .filter(|s| s.is_variable)
+        .map(|s| s.name.clone())
+        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut facts = Vec::new();
+    for relation in &variable_relations {
+        for fact in kb.query(relation).min_score(opts.min_score).run() {
+            let id = fact
+                .values
+                .first()
+                .and_then(Value::as_int)
+                .map(|i| i.to_string())
+                .unwrap_or_default();
+            rows.push(vec![relation.clone(), id, format!("{:.4}", fact.score)]);
+            facts.push(fact);
+        }
+    }
+    rows.sort();
+
+    match &opts.output {
+        None => write_csv(&mut *out, &["relation", "id", "score"], rows)
+            .map_err(|e| e.to_string())?,
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {path:?}: {e}"))?;
+            write_csv(std::io::BufWriter::new(file), &["relation", "id", "score"], rows)
+                .map_err(|e| e.to_string())?;
+            writeln!(out, "wrote {path}").map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(path) = &opts.geojson {
+        std::fs::write(path, to_geojson(&facts))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        writeln!(out, "wrote {path}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sya_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_file(dir: &std::path::Path, name: &str, content: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run(args: &[&str]) -> (i32, String, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run_cli(&args, &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
+    }
+
+    const PROGRAM: &str = "\
+Well(id bigint, location point, arsenic double).\n\
+@spatial(exp)\n\
+IsSafe?(id bigint, location point).\n\
+D1: IsSafe(W, L) = NULL :- Well(W, L, _).\n\
+R1: @weight(0.8) IsSafe(W1, L1) => IsSafe(W2, L2) :- \
+Well(W1, L1, A1), Well(W2, L2, A2) \
+[distance(L1, L2) < 3, A1 < 0.3, A2 < 0.3, W1 != W2].\n";
+
+    const WELLS: &str = "\
+id,location,arsenic\n\
+0,POINT(0 0),0.1\n\
+1,POINT(1 0),0.1\n\
+2,POINT(2 0),0.2\n\
+3,POINT(9 0),0.9\n";
+
+    #[test]
+    fn validate_ok_and_errors() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "ok.ddlog", PROGRAM);
+        let (code, out, _) = run(&["validate", &program]);
+        assert_eq!(code, 0);
+        assert!(out.contains("2 relations, 2 rules"), "{out}");
+
+        let broken = write_file(&dir, "broken.ddlog", "Well(id bigint");
+        let (code, _, err) = run(&["validate", &broken]);
+        assert_eq!(code, 1);
+        assert!(err.contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn translate_prints_stages() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "t.ddlog", PROGRAM);
+        let (code, out, _) = run(&["translate", &program]);
+        assert_eq!(code, 0);
+        assert!(out.contains("SPATIAL JOIN"), "{out}");
+        assert!(out.contains("ST_Distance"), "{out}");
+    }
+
+    #[test]
+    fn run_produces_scores_csv() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "run.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells.csv", WELLS);
+        let evidence = write_file(&dir, "ev.csv", "relation,id,value\nIsSafe,0,1\n");
+        let (code, out, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--evidence",
+            &evidence,
+            "--epochs",
+            "300",
+            "--bandwidth",
+            "2",
+            "--radius",
+            "4",
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        assert!(out.starts_with("relation,id,score"), "{out}");
+        // 4 wells -> 4 scored atoms; evidence well reports 1.0.
+        assert_eq!(out.lines().count(), 5, "{out}");
+        assert!(out.contains("IsSafe,0,1.0000"), "{out}");
+    }
+
+    #[test]
+    fn run_writes_geojson_and_output_files() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "g.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells2.csv", WELLS);
+        let out_csv = dir.join("scores.csv");
+        let out_gj = dir.join("scores.json");
+        let (code, _, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "100",
+            "--output",
+            out_csv.to_str().unwrap(),
+            "--geojson",
+            out_gj.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        let csv = std::fs::read_to_string(&out_csv).unwrap();
+        assert!(csv.starts_with("relation,id,score"));
+        let gj: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_gj).unwrap()).unwrap();
+        assert_eq!(gj["type"], "FeatureCollection");
+    }
+
+    #[test]
+    fn stats_reports_graph_shape() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "s.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells3.csv", WELLS);
+        let (code, out, _) = run(&[
+            "stats",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "10",
+            "--radius",
+            "4",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("variables: 4"), "{out}");
+        assert!(out.contains("spatial factors:"), "{out}");
+    }
+
+    #[test]
+    fn broken_pipe_exits_cleanly() {
+        struct Closed;
+        impl std::io::Write for Closed {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let dir = tmpdir();
+        let program = write_file(&dir, "bp.ddlog", PROGRAM);
+        let mut err = Vec::new();
+        let code = run_cli(
+            &["translate".into(), program],
+            &mut Closed,
+            &mut err,
+        );
+        assert_eq!(code, 0, "stderr: {}", String::from_utf8_lossy(&err));
+        assert!(err.is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_evidence_is_dropped_not_fatal() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "ood.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_ood.csv", WELLS);
+        // Value 7 is outside the binary domain; the run must succeed and
+        // treat the atom as unobserved.
+        let evidence = write_file(&dir, "ev_ood.csv", "relation,id,value
+IsSafe,0,7
+");
+        let (code, out, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--evidence",
+            &evidence,
+            "--epochs",
+            "50",
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        assert!(!out.contains("IsSafe,0,1.0000"), "atom must not be clamped to 7/true");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let (code, _, err) = run(&["bogus"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown command"));
+        let (code, _, err) = run(&["run"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("missing program"));
+        let dir = tmpdir();
+        let program = write_file(&dir, "e.ddlog", PROGRAM);
+        let (code, _, err) = run(&["run", &program, "--table", "Nope=missing.csv"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("no relation"), "{err}");
+        let (code, _, err) = run(&["run", &program, "--engine", "magic"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown engine"), "{err}");
+    }
+}

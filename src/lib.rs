@@ -1,0 +1,18 @@
+//! # sya — Spatial Probabilistic Knowledge Base Construction
+//!
+//! Umbrella crate re-exporting the public API of the Sya system — a Rust
+//! reproduction of *"Sya: Enabling Spatial Awareness inside Probabilistic
+//! Knowledge Base Construction"* (ICDE 2020).
+//!
+//! See [`sya_core`] for the pipeline entry points and [`sya_data`] for
+//! the dataset generators used by the examples and experiments.
+
+pub mod cli;
+
+pub use sya_core::*;
+
+/// Dataset generators (GWDB wells, NYCCAS raster, EbolaKB counties) and
+/// evaluation metrics.
+pub mod data {
+    pub use sya_data::*;
+}

@@ -1,0 +1,7 @@
+//! The `sya` binary: see [`sya::cli`] for commands and options.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = sya::cli::run_cli(&args, &mut std::io::stdout(), &mut std::io::stderr());
+    std::process::exit(code);
+}

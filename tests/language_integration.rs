@@ -1,0 +1,212 @@
+//! Integration tests of the full language surface: parse → validate →
+//! compile → translate → ground, including error paths, on realistic
+//! programs.
+
+use sya_geom::{DistanceMetric, Geometry, Point, Polygon, Rect};
+use sya_ground::{translate_rule, GroundConfig, Grounder};
+use sya_lang::{compile, parse_program, print_program, GeomConstants};
+use sya_store::{Column, DataType, Database, TableSchema, Value};
+
+/// A program exercising every language feature at once: both relation
+/// kinds, all spatial types in schemas, all head connectives, wildcards,
+/// literals, all comparison operators, spatial predicates, negation, and
+/// named geometry constants.
+const KITCHEN_SINK: &str = r#"
+# Inputs
+Sensor(id bigint, location point, zone polygon, kind text, reading double,
+       active bool).
+Road(id bigint, path linestring, cell rectangle).
+
+# Variables
+@spatial(gauss)
+IsHot?(id bigint, location point).
+IsCovered?(id bigint, location point).
+
+# Derivations
+D1: IsHot(S, L) = NULL :- Sensor(S, L, _, _, _, _).
+D2: IsCovered(S, L) = NULL :- Sensor(S, L, _, _, _, _).
+
+# Inference rules covering every head connective
+R1: @weight(0.9) IsHot(S1, L1) => IsHot(S2, L2) :-
+    Sensor(S1, L1, _, _, R1v, _), Sensor(S2, L2, _, _, R2v, _)
+    [distance(L1, L2) <= 5, R1v >= 0.8, R2v > 0.5, S1 != S2].
+R2: @weight(0.4) IsHot(S, L) & IsCovered(S, L) :-
+    Sensor(S, L, Z, K, _, A)
+    [K = "thermal", A = true, within(L, city_geom), !overlaps(Z, water_geom)].
+R3: IsHot(S, L) | IsCovered(S, L) :- Sensor(S, L, _, _, R, _) [R < 0.2].
+R4: @weight(-0.5) IsHot(S, L) :- Sensor(S, L, _, "broken", _, _).
+"#;
+
+fn constants() -> GeomConstants {
+    let mut c = GeomConstants::new();
+    c.insert(
+        "city_geom",
+        Geometry::Polygon(Polygon::from_rect(&Rect::raw(-50.0, -50.0, 50.0, 50.0))),
+    );
+    c.insert(
+        "water_geom",
+        Geometry::Polygon(Polygon::from_rect(&Rect::raw(100.0, 100.0, 120.0, 120.0))),
+    );
+    c
+}
+
+#[test]
+fn kitchen_sink_program_compiles_and_round_trips() {
+    let p1 = parse_program(KITCHEN_SINK).expect("parses");
+    assert_eq!(p1.schemas().count(), 4);
+    assert_eq!(p1.rules().count(), 6);
+    // Printer round trip.
+    let p2 = parse_program(&print_program(&p1)).expect("printed form parses");
+    assert_eq!(p1, p2);
+    // Compiles with constants resolved.
+    let compiled = compile(&p1, &constants(), DistanceMetric::Euclidean).expect("compiles");
+    assert_eq!(compiled.rules.len(), 6);
+    assert_eq!(compiled.spatial_variable_relations().count(), 1);
+}
+
+#[test]
+fn kitchen_sink_translates_to_ordered_queries() {
+    let p = parse_program(KITCHEN_SINK).unwrap();
+    let compiled = compile(&p, &constants(), DistanceMetric::Euclidean).unwrap();
+    // R1 (index 2 after the two derivations) is the two-atom spatial rule.
+    let r1 = &compiled.rules[2];
+    let queries = translate_rule(r1);
+    assert_eq!(queries.len(), 2);
+    assert_eq!(queries[1].operator, "SPATIAL JOIN");
+    // Cheap numeric filters run before the distance join; the residual
+    // inequality (two-column `<>`) runs after it.
+    let preds = &queries[1].predicates;
+    let dist = preds.iter().position(|p| p.contains("ST_Distance")).unwrap();
+    let cheap = preds.iter().position(|p| p.contains("R2v > 0.5")).unwrap();
+    let residual = preds.iter().position(|p| p.contains("S1 <> S2")).unwrap();
+    assert!(cheap < dist && dist < residual, "{preds:?}");
+}
+
+#[test]
+fn kitchen_sink_grounds_end_to_end() {
+    let p = parse_program(KITCHEN_SINK).unwrap();
+    let compiled = compile(&p, &constants(), DistanceMetric::Euclidean).unwrap();
+
+    let mut db = Database::new();
+    let sensor_schema = TableSchema::new(vec![
+        Column::new("id", DataType::BigInt),
+        Column::new("location", DataType::Point),
+        Column::new("zone", DataType::Polygon),
+        Column::new("kind", DataType::Text),
+        Column::new("reading", DataType::Double),
+        Column::new("active", DataType::Bool),
+    ]);
+    let t = db.create_table("Sensor", sensor_schema).unwrap();
+    for i in 0..8i64 {
+        let p = Point::new(i as f64 * 2.0, 0.0);
+        let zone = Polygon::from_rect(&Rect::raw(p.x - 1.0, -1.0, p.x + 1.0, 1.0));
+        t.insert(vec![
+            Value::Int(i),
+            Value::from(p),
+            Value::Geom(Geometry::Polygon(zone)),
+            Value::from(if i == 7 { "broken" } else { "thermal" }),
+            Value::Double(0.1 + 0.12 * i as f64),
+            Value::Bool(i % 2 == 0),
+        ])
+        .unwrap();
+    }
+    let road_schema = TableSchema::new(vec![
+        Column::new("id", DataType::BigInt),
+        Column::new("path", DataType::LineString),
+        Column::new("cell", DataType::Rect),
+    ]);
+    db.create_table("Road", road_schema).unwrap();
+
+    let mut grounder = Grounder::new(&compiled, GroundConfig::default());
+    let grounding = grounder.ground(&mut db, &|_, _| None).expect("grounds");
+
+    // D1 + D2: 8 IsHot + 8 IsCovered variables.
+    assert_eq!(grounding.graph.num_variables(), 16);
+    assert_eq!(grounding.atoms_of("IsHot").len(), 8);
+    assert_eq!(grounding.atoms_of("IsCovered").len(), 8);
+    // Every head connective produced factors.
+    use sya_fg::FactorKind;
+    let kinds: std::collections::HashSet<_> =
+        grounding.graph.factors().iter().map(|f| f.kind).collect();
+    assert!(kinds.contains(&FactorKind::Imply), "{kinds:?}");
+    assert!(kinds.contains(&FactorKind::And), "{kinds:?}");
+    assert!(kinds.contains(&FactorKind::Or), "{kinds:?}");
+    assert!(kinds.contains(&FactorKind::IsTrue), "{kinds:?}");
+    // The @spatial(gauss) relation got spatial factors.
+    assert!(grounding.graph.num_spatial_factors() > 0);
+    // R4 matched only the broken sensor.
+    let negs: Vec<_> = grounding
+        .graph
+        .factors()
+        .iter()
+        .filter(|f| f.weight < 0.0)
+        .collect();
+    assert_eq!(negs.len(), 1);
+}
+
+#[test]
+fn validation_errors_carry_context() {
+    // Every error should name the offending rule or relation.
+    let cases = [
+        ("A(id bigint).\nA(id bigint).", "A"),
+        ("@spatial(exp)\nX?(id bigint).", "X"),
+        ("Y?(s bigint).\nBad: Y(S) :- Missing(S).", "Bad"),
+        ("Y?(s bigint).\nZ(s bigint).\nR9: Y(T) :- Z(S).", "R9"),
+    ];
+    for (src, expected_ctx) in cases {
+        let p = parse_program(src).unwrap();
+        let err = sya_lang::validate(&p).unwrap_err();
+        assert_eq!(err.context, expected_ctx, "for {src:?}: {err}");
+    }
+}
+
+#[test]
+fn compile_error_for_unknown_constant_names_the_rule() {
+    let src = "Y?(s bigint, l point).\nZ(s bigint, l point).\n\
+               Rx: Y(S, L) :- Z(S, L) [within(L, nowhere_geom)].";
+    let p = parse_program(src).unwrap();
+    let err = compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap_err();
+    assert_eq!(err.context, "Rx");
+    assert!(err.message.contains("nowhere_geom"));
+}
+
+#[test]
+fn haversine_metric_flows_into_conditions() {
+    // Two points ~69 miles apart in degrees; with the haversine metric a
+    // 100-mile cutoff matches, with Euclidean (1 coordinate unit) the
+    // same program matches everything under 100 "units" too — so use a
+    // cutoff that distinguishes: 2 units vs ~138 miles.
+    let src = "P(id bigint, l point).\nN?(id bigint, l point).\n\
+               R: N(A, LA) => N(B, LB) :- P(A, LA), P(B, LB) \
+               [distance(LA, LB) < 100, A != B].";
+    let p = parse_program(src).unwrap();
+    let make_db = || {
+        let mut db = Database::new();
+        let schema = TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("l", DataType::Point),
+        ]);
+        let t = db.create_table("P", schema).unwrap();
+        t.insert(vec![Value::Int(0), Value::from(Point::new(0.0, 0.0))]).unwrap();
+        t.insert(vec![Value::Int(1), Value::from(Point::new(0.0, 2.0))]).unwrap();
+        db
+    };
+    // Euclidean: distance 2 < 100 -> factors exist.
+    let c = compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+    let mut db = make_db();
+    let g = Grounder::new(&c, GroundConfig { generate_spatial_factors: false, ..Default::default() })
+        .ground(&mut db, &|_, _| None)
+        .unwrap();
+    assert_eq!(g.graph.num_factors(), 2);
+    // Haversine: 2 degrees latitude ~ 138 miles > 100 -> no factors.
+    let c = compile(&p, &GeomConstants::new(), DistanceMetric::HaversineMiles).unwrap();
+    let mut db = make_db();
+    let g = Grounder::new(&c, GroundConfig {
+        generate_spatial_factors: false,
+        metric: DistanceMetric::HaversineMiles,
+        ..Default::default()
+    })
+    .ground(&mut db, &|_, _| None)
+    .unwrap();
+    assert_eq!(g.graph.num_factors(), 0);
+}

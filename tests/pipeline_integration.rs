@@ -1,0 +1,217 @@
+//! End-to-end integration tests spanning all crates: program text →
+//! grounding → inference → evaluation, on all three datasets.
+
+use std::collections::HashSet;
+use sya::data::{
+    ebola_dataset, gwdb_dataset, nyccas_dataset, supported_ids, Dataset, GwdbConfig,
+    NyccasConfig, QualityEval,
+};
+use sya::{EngineMode, KnowledgeBase, SamplerKind, SyaConfig, SyaSession};
+use sya_store::Value;
+
+fn build(dataset: &Dataset, config: SyaConfig) -> KnowledgeBase {
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .expect("program compiles");
+    let mut db = dataset.db.clone();
+    let evidence = dataset.evidence.clone();
+    session
+        .construct(&mut db, &move |_, vals| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        })
+        .expect("construction succeeds")
+}
+
+fn quality(dataset: &Dataset, kb: &KnowledgeBase, relation: &str) -> QualityEval {
+    let scores = kb.query_scores_by_id(relation);
+    let query = dataset.query_ids();
+    let supported: HashSet<i64> = supported_ids(
+        &dataset.locations,
+        dataset.evidence.keys().copied(),
+        &query,
+        dataset.support_radius,
+        dataset.metric,
+    );
+    QualityEval::evaluate(&scores, &dataset.truth, &supported)
+}
+
+fn gwdb_config(sya: bool) -> SyaConfig {
+    let base = if sya { SyaConfig::sya() } else { SyaConfig::deepdive() };
+    base.with_epochs(600)
+        .with_seed(5)
+        .with_bandwidth(sya_data::gwdb::GWDB_BANDWIDTH)
+        .with_spatial_radius(sya_data::gwdb::GWDB_RADIUS)
+}
+
+#[test]
+fn sya_beats_deepdive_on_gwdb() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 600, ..Default::default() });
+    let sya = quality(&dataset, &build(&dataset, gwdb_config(true)), "IsSafe");
+    let dd = quality(&dataset, &build(&dataset, gwdb_config(false)), "IsSafe");
+    assert!(
+        sya.f1() > dd.f1() * 1.5,
+        "paper reports +120% F1 on GWDB; got Sya {} vs DeepDive {}",
+        sya.f1(),
+        dd.f1()
+    );
+    assert!(sya.precision() > dd.precision(), "precision must improve");
+    assert!(sya.recall() > dd.recall(), "recall must improve");
+}
+
+#[test]
+fn sya_beats_deepdive_on_nyccas_with_smaller_margin() {
+    let dataset = nyccas_dataset(&NyccasConfig { grid: 20, ..Default::default() });
+    let cfg = |sya: bool| {
+        let base = if sya { SyaConfig::sya() } else { SyaConfig::deepdive() };
+        base.with_epochs(600)
+            .with_seed(5)
+            .with_bandwidth(sya_data::nyccas::NYCCAS_BANDWIDTH)
+            .with_spatial_radius(sya_data::nyccas::NYCCAS_RADIUS)
+    };
+    let sya = quality(&dataset, &build(&dataset, cfg(true)), "IsPolluted");
+    let dd = quality(&dataset, &build(&dataset, cfg(false)), "IsPolluted");
+    assert!(
+        sya.f1() > dd.f1(),
+        "Sya {} must beat DeepDive {}",
+        sya.f1(),
+        dd.f1()
+    );
+}
+
+#[test]
+fn ebola_scores_grade_with_distance() {
+    let dataset = ebola_dataset();
+    let cfg = SyaConfig::sya()
+        .with_epochs(2000)
+        .with_seed(9)
+        .with_bandwidth(sya_data::ebola::EBOLA_BANDWIDTH_MILES)
+        .with_spatial_radius(sya_data::ebola::EBOLA_RADIUS_MILES);
+    let kb = build(&dataset, cfg);
+    let scores = kb.scores_by_id("HasEbola");
+    assert!(scores[1].1 > scores[2].1, "Margibi > Bong");
+    assert!(scores[2].1 > scores[3].1, "Bong > Gbarpolu");
+}
+
+#[test]
+fn grounding_overhead_of_spatial_factors_is_bounded() {
+    // Paper Fig. 9(b): Sya grounding at most ~15% slower than DeepDive.
+    // Structural check (robust to machine noise): Sya's grounding emits
+    // the same logical factors plus spatial factors.
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 400, ..Default::default() });
+    let sya_kb = build(&dataset, gwdb_config(true).with_epochs(10));
+    let dd_kb = build(&dataset, gwdb_config(false).with_epochs(10));
+    assert_eq!(
+        sya_kb.grounding.stats.logical_factors,
+        dd_kb.grounding.stats.logical_factors,
+        "logical grounding must be identical"
+    );
+    assert!(sya_kb.grounding.stats.spatial_factors > 0);
+    assert_eq!(dd_kb.grounding.stats.spatial_factors, 0);
+}
+
+#[test]
+fn all_samplers_produce_consistent_scores() {
+    // Three samplers over the same grounded graph must roughly agree on
+    // well-determined variables.
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 200, ..Default::default() });
+    let mut kbs = Vec::new();
+    for sampler in [
+        SamplerKind::Spatial,
+        SamplerKind::Sequential,
+        SamplerKind::ParallelRandom(4),
+    ] {
+        let mut cfg = gwdb_config(true).with_epochs(2000);
+        cfg.sampler = sampler;
+        kbs.push(build(&dataset, cfg));
+    }
+    let scores: Vec<Vec<(i64, f64)>> = kbs.iter().map(|kb| kb.query_scores_by_id("IsSafe")).collect();
+    let mut disagreements = 0;
+    for i in 0..scores[0].len() {
+        let s: Vec<f64> = scores.iter().map(|v| v[i].1).collect();
+        let spread = s.iter().cloned().fold(f64::MIN, f64::max)
+            - s.iter().cloned().fold(f64::MAX, f64::min);
+        if spread > 0.25 {
+            disagreements += 1;
+        }
+    }
+    let frac = disagreements as f64 / scores[0].len() as f64;
+    assert!(frac < 0.2, "{:.0}% of variables disagree across samplers", frac * 100.0);
+}
+
+#[test]
+fn incremental_inference_is_cheaper_than_full() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 800, ..Default::default() });
+    let mut kb = build(&dataset, gwdb_config(true).with_epochs(400));
+    let full_ms = kb.timings.inference.as_secs_f64() * 1e3;
+    let target = kb
+        .grounding
+        .atoms_of("IsSafe")
+        .iter()
+        .copied()
+        .find(|&v| !kb.grounding.graph.variable(v).is_evidence())
+        .expect("query var exists");
+    let (elapsed, resampled) = kb.update_evidence_incremental(&[(target, Some(1))]);
+    assert!(resampled < 800 / 4, "incremental touched {resampled} of 800");
+    assert!(
+        elapsed.as_secs_f64() * 1e3 < full_ms,
+        "incremental {:?} must beat full {full_ms} ms",
+        elapsed
+    );
+}
+
+#[test]
+fn step_function_rules_scale_grounding_cost() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 250, ..Default::default() });
+    let mut last_queries = 0;
+    for bands in [2usize, 10, 40] {
+        let cfg = SyaConfig::deepdive_stepfn(bands).with_epochs(10);
+        let kb = build(&dataset, cfg);
+        let queries = kb.grounding.stats.queries_executed;
+        assert!(queries > last_queries, "bands {bands}: {queries} queries");
+        last_queries = queries;
+        match &kb.config.mode {
+            EngineMode::DeepDiveStepFn(spec) => assert_eq!(spec.bands, bands),
+            other => panic!("unexpected mode {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn categorical_domains_run_end_to_end() {
+    let dataset = gwdb_dataset(&GwdbConfig {
+        n_wells: 200,
+        domain_h: Some(10),
+        ..Default::default()
+    });
+    let domains = std::collections::HashMap::from([("IsSafe".to_owned(), 10u32)]);
+    let cfg = gwdb_config(true).with_epochs(200).with_domains(domains);
+    let kb = build(&dataset, cfg);
+    // Scores are upper-half probability mass, still in [0, 1].
+    for (_, s) in kb.query_scores_by_id("IsSafe") {
+        assert!((0.0..=1.0).contains(&s));
+    }
+    assert!(kb.grounding.stats.spatial_factors > 0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 150, ..Default::default() });
+    let mut cfg = gwdb_config(true).with_epochs(100);
+    cfg.infer.instances = 1; // single instance: fully deterministic
+    let a = build(&dataset, cfg.clone());
+    let b = build(&dataset, cfg);
+    assert_eq!(a.query_scores_by_id("IsSafe"), b.query_scores_by_id("IsSafe"));
+}
+
+#[test]
+fn evidence_atoms_report_observed_scores() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 100, ..Default::default() });
+    let kb = build(&dataset, gwdb_config(true).with_epochs(50));
+    for (id, &v) in &dataset.evidence {
+        let scores = kb.scores_by_id("IsSafe");
+        let (_, score) = scores.iter().find(|(i, _)| i == id).expect("evidence atom exists");
+        assert_eq!(*score, v as f64);
+    }
+}

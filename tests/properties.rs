@@ -1,0 +1,402 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use sya_fg::{
+    conditional_distribution, log_prob_unnormalized, Factor, FactorGraph, FactorKind,
+    SpatialFactor, Variable,
+};
+use sya_geom::{parse_wkt, to_wkt, Geometry, Point, RTree, Rect};
+use sya_infer::{conclique_of, min_conclique_cover, CellKey, PyramidIndex};
+use sya_store::CoOccurrence;
+
+// ------------------------------------------------------------- geometry
+
+proptest! {
+    #[test]
+    fn rtree_search_equals_linear_scan(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..120),
+        qx in 0.0f64..100.0,
+        qy in 0.0f64..100.0,
+        w in 0.0f64..50.0,
+        h in 0.0f64..50.0,
+    ) {
+        let items: Vec<(Rect, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::from_point(Point::new(x, y)), i))
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        let query = Rect::raw(qx, qy, qx + w, qy + h);
+        let mut got = tree.search(&query);
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(&query))
+            .map(|(_, i)| *i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_within_distance_equals_linear_scan(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..100),
+        cx in 0.0f64..100.0,
+        cy in 0.0f64..100.0,
+        radius in 0.0f64..60.0,
+    ) {
+        let items: Vec<(Rect, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::from_point(Point::new(x, y)), i))
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        let center = Point::new(cx, cy);
+        let mut got = tree.within_distance(&center, radius);
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(r, _)| r.distance_to_point(&center) <= radius)
+            .map(|(_, i)| *i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rect_union_contains_both(
+        a in (0.0f64..50.0, 0.0f64..50.0, 0.1f64..20.0, 0.1f64..20.0),
+        b in (0.0f64..50.0, 0.0f64..50.0, 0.1f64..20.0, 0.1f64..20.0),
+    ) {
+        let ra = Rect::raw(a.0, a.1, a.0 + a.2, a.1 + a.3);
+        let rb = Rect::raw(b.0, b.1, b.0 + b.2, b.1 + b.3);
+        let u = ra.union(&rb);
+        prop_assert!(u.contains_rect(&ra));
+        prop_assert!(u.contains_rect(&rb));
+        prop_assert!(u.area() + 1e-12 >= ra.area().max(rb.area()));
+    }
+
+    #[test]
+    fn wkt_round_trips_points_and_rects(
+        x in -1000.0f64..1000.0,
+        y in -1000.0f64..1000.0,
+        w in 0.0f64..100.0,
+        h in 0.0f64..100.0,
+    ) {
+        let p = Geometry::Point(Point::new(x, y));
+        prop_assert_eq!(parse_wkt(&to_wkt(&p)).unwrap(), p);
+        let r = Geometry::Rect(Rect::raw(x, y, x + w, y + h));
+        prop_assert_eq!(parse_wkt(&to_wkt(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_points(
+        a in (-100.0f64..100.0, -100.0f64..100.0),
+        b in (-100.0f64..100.0, -100.0f64..100.0),
+        c in (-100.0f64..100.0, -100.0f64..100.0),
+    ) {
+        let (pa, pb, pc) = (
+            Point::new(a.0, a.1),
+            Point::new(b.0, b.1),
+            Point::new(c.0, c.1),
+        );
+        prop_assert!((pa.distance(&pb) - pb.distance(&pa)).abs() < 1e-9);
+        prop_assert!(pa.distance(&pb) + pb.distance(&pc) + 1e-9 >= pa.distance(&pc));
+        prop_assert!(pa.distance(&pa) == 0.0);
+    }
+}
+
+// -------------------------------------------------------------- pyramid
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pyramid_sampling_cells_cover_each_atom_exactly_once(
+        points in prop::collection::vec((0.0f64..64.0, 0.0f64..64.0), 1..150),
+        levels in 1u8..6,
+    ) {
+        let mut g = FactorGraph::new();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.add_variable(Variable::binary(0, format!("v{i}")).at(Point::new(x, y)));
+        }
+        let idx = PyramidIndex::build(&g, levels, 64);
+        for l in 1..=levels {
+            let mut seen = BTreeSet::new();
+            for key in idx.sampling_cells(l) {
+                for &a in idx.atoms_in(&key) {
+                    prop_assert!(seen.insert(a), "atom {} covered twice at level {}", a, l);
+                }
+            }
+            prop_assert_eq!(seen.len(), points.len());
+        }
+    }
+
+    #[test]
+    fn conclique_cover_partitions_and_separates(
+        cells in prop::collection::btree_set((0u32..16, 0u32..16), 1..80),
+    ) {
+        let keys: Vec<CellKey> = cells
+            .iter()
+            .map(|&(c, r)| CellKey { level: 4, col: c, row: r })
+            .collect();
+        let cover = min_conclique_cover(&keys);
+        // Partition: every input cell appears exactly once.
+        let total: usize = cover.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(total, keys.len());
+        // Separation: no two cells in a conclique are 8-neighbours.
+        for (_, group) in &cover {
+            for a in group {
+                for b in group {
+                    if a != b {
+                        prop_assert!(
+                            a.col.abs_diff(b.col) > 1 || a.row.abs_diff(b.row) > 1,
+                            "adjacent cells {:?} and {:?} share a conclique", a, b
+                        );
+                    }
+                }
+            }
+        }
+        // Colouring consistency.
+        for (q, group) in &cover {
+            for cell in group {
+                prop_assert_eq!(conclique_of(cell.col, cell.row), *q);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- factor graphs
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn conditional_distribution_matches_exact_enumeration(
+        w_imply in -2.0f64..2.0,
+        w_spatial in 0.0f64..2.0,
+        w_prior in -2.0f64..2.0,
+        evidence in prop::bool::ANY,
+    ) {
+        // Three-variable chain: e -> a (imply), a ~ b (spatial), prior(b).
+        let mut g = FactorGraph::new();
+        let e = g.add_variable(Variable::binary(0, "e").with_evidence(u32::from(evidence)));
+        let a = g.add_variable(Variable::binary(0, "a"));
+        let b = g.add_variable(Variable::binary(0, "b"));
+        g.add_factor(Factor::new(FactorKind::Imply, vec![e, a], w_imply));
+        g.add_spatial_factor(SpatialFactor::binary(a, b, w_spatial));
+        g.add_factor(Factor::new(FactorKind::IsTrue, vec![b], w_prior));
+
+        // Conditional of a given (e fixed, b = 0) must equal the exact
+        // Boltzmann conditional.
+        let assignment = vec![u32::from(evidence), 0, 0];
+        let probs = conditional_distribution(&g, &assignment, a);
+        let mut e1 = assignment.clone();
+        e1[a as usize] = 1;
+        let mut e0 = assignment.clone();
+        e0[a as usize] = 0;
+        let (l1, l0) = (
+            log_prob_unnormalized(&g, &e1),
+            log_prob_unnormalized(&g, &e0),
+        );
+        let want1 = (l1 - l0).exp() / (1.0 + (l1 - l0).exp());
+        prop_assert!((probs[1] - want1).abs() < 1e-9);
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_factor_energy_is_symmetric_for_binary(
+        w in 0.0f64..5.0,
+        va in 0u32..2,
+        vb in 0u32..2,
+    ) {
+        let f = SpatialFactor::binary(0, 1, w);
+        let g = SpatialFactor::binary(1, 0, w);
+        prop_assert_eq!(f.energy(va, vb), g.energy(vb, va));
+        // Agreement always at least as good as disagreement.
+        prop_assert!(f.energy(va, va) >= f.energy(va, 1 - va));
+    }
+}
+
+// ------------------------------------------------------------- pruning
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pruning_is_monotone_in_threshold(
+        pairs in prop::collection::vec((0u32..6, 0u32..6), 1..60),
+        t1 in 0.0f64..1.0,
+        t2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let mut stats = CoOccurrence::new();
+        for &(i, j) in &pairs {
+            stats.observe_value(i);
+            stats.observe_value(j);
+            stats.observe_pair(i, j);
+        }
+        let count = |t: f64| -> usize {
+            let mut n = 0;
+            for i in 0..6u32 {
+                for j in 0..6u32 {
+                    if stats.passes_threshold(i, j, t) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        prop_assert!(count(lo) >= count(hi));
+    }
+}
+
+// ----------------------------------------------------------- grounding
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Grounding through the full engine (joins, probes, predicate
+    /// re-ordering) must agree with a direct nested-loop evaluation of
+    /// the rule semantics.
+    #[test]
+    fn grounding_matches_naive_evaluation(
+        wells in prop::collection::vec(
+            ((0.0f64..100.0, 0.0f64..100.0), 0.0f64..1.0),
+            1..40,
+        ),
+        cutoff in 1.0f64..60.0,
+        threshold in 0.05f64..0.95,
+    ) {
+        use sya_ground::{GroundConfig, Grounder};
+        use sya_lang::{compile, parse_program, GeomConstants};
+        use sya_store::{Column, DataType, Database, TableSchema, Value};
+
+        let src = format!(
+            "Well(id bigint, location point, arsenic double).\n\
+             @spatial(exp)\n\
+             IsSafe?(id bigint, location point).\n\
+             D1: IsSafe(W, L) = NULL :- Well(W, L, _).\n\
+             R1: @weight(0.5) IsSafe(W1, L1) => IsSafe(W2, L2) :- \
+             Well(W1, L1, A1), Well(W2, L2, A2) \
+             [distance(L1, L2) < {cutoff}, A1 < {threshold}, A2 < {threshold}, W1 != W2]."
+        );
+        let program = parse_program(&src).unwrap();
+        let compiled = compile(
+            &program,
+            &GeomConstants::new(),
+            sya_geom::DistanceMetric::Euclidean,
+        )
+        .unwrap();
+
+        let schema = TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("location", DataType::Point),
+            Column::new("arsenic", DataType::Double),
+        ]);
+        let mut db = Database::new();
+        let table = db.create_table("Well", schema).unwrap();
+        for (i, &((x, y), a)) in wells.iter().enumerate() {
+            table
+                .insert(vec![
+                    Value::Int(i as i64),
+                    Value::from(Point::new(x, y)),
+                    Value::Double(a),
+                ])
+                .unwrap();
+        }
+
+        let radius = 20.0f64;
+        let cfg = GroundConfig {
+            spatial_radius: Some(radius),
+            weighting_bandwidth: Some(10.0),
+            ..Default::default()
+        };
+        let grounding = Grounder::new(&compiled, cfg)
+            .ground(&mut db, &|_, _| None)
+            .unwrap();
+
+        // Naive reference: rule semantics evaluated by nested loops.
+        let n = wells.len();
+        prop_assert_eq!(grounding.graph.num_variables(), n);
+        let mut want_factors = 0usize;
+        let mut want_spatial = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let ((xi, yi), ai) = wells[i];
+                let ((xj, yj), aj) = wells[j];
+                let d = Point::new(xi, yi).distance(&Point::new(xj, yj));
+                if i != j && d < cutoff && ai < threshold && aj < threshold {
+                    want_factors += 1;
+                }
+                if i < j && d <= radius {
+                    // exp(-d/10) at d<=20 is always >= the negligible
+                    // threshold, so every in-radius pair gets a factor.
+                    want_spatial += 1;
+                }
+            }
+        }
+        prop_assert_eq!(grounding.graph.num_factors(), want_factors);
+        prop_assert_eq!(grounding.graph.num_spatial_factors(), want_spatial);
+    }
+}
+
+// ---------------------------------------------------------- robustness
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// The parser must never panic — arbitrary input yields Ok or Err.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = sya_lang::parse_program(&input);
+    }
+
+    /// Arbitrary token soup built from the language's own vocabulary —
+    /// denser coverage of parser branches than raw characters.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "County", "?", "(", ")", "[", "]", ",", ".", ":-", "=>", "&",
+                "|", "=", "!=", "<", "<=", "_", "-", "!", "@weight", "@spatial",
+                "0.5", "150", "\"txt\"", "true", "NULL", "distance", "within",
+                "bigint", "point", ":",
+            ]),
+            0..40,
+        ),
+    ) {
+        let src = tokens.join(" ");
+        let _ = sya_lang::parse_program(&src);
+    }
+
+    /// WKT parsing must never panic either.
+    #[test]
+    fn wkt_parser_never_panics(input in ".{0,120}") {
+        let _ = parse_wkt(&input);
+    }
+}
+
+// ------------------------------------------------------------ language
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn printed_programs_reparse_identically(
+        weight in 0.01f64..5.0,
+        cutoff in 1i64..500,
+        threshold in 0.01f64..0.99,
+        label_n in 1u32..99,
+    ) {
+        let src = format!(
+            "Well(id bigint, location point, arsenic double).\n\
+             @spatial(exp)\n\
+             IsSafe?(id bigint, location point).\n\
+             D1: IsSafe(W, L) = NULL :- Well(W, L, _).\n\
+             R{label_n}: @weight({weight}) IsSafe(W1, L1) => IsSafe(W2, L2) :- \
+             Well(W1, L1, A1), Well(W2, L2, A2) \
+             [distance(L1, L2) < {cutoff}, A1 < {threshold}, W1 != W2]."
+        );
+        let p1 = sya_lang::parse_program(&src).unwrap();
+        let printed = sya_lang::print_program(&p1);
+        let p2 = sya_lang::parse_program(&printed).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+}
