@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, and lint the whole workspace.
+#
+# Run from the repo root. Fails on the first error; clippy warnings are
+# promoted to errors so lint drift cannot accumulate. The `vendor/`
+# directory holds offline dependency stubs and is excluded from the
+# workspace, so it is not linted here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings

@@ -2,8 +2,10 @@
 //! the paper's experiments vary.
 
 use std::collections::HashMap;
+use std::time::Duration;
 use sya_ground::{GroundConfig, StepFunctionSpec};
 use sya_infer::InferConfig;
+use sya_runtime::RunBudget;
 
 /// Which system is being run.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +40,10 @@ pub struct SyaConfig {
     pub sampler: SamplerKind,
     pub ground: GroundConfig,
     pub infer: InferConfig,
+    /// Resource limits for the whole run (unlimited by default). The
+    /// deadline stops the run gracefully with partial marginals; the
+    /// count/memory limits abort grounding before a factor blow-up.
+    pub budget: RunBudget,
 }
 
 impl SyaConfig {
@@ -49,6 +55,7 @@ impl SyaConfig {
             sampler: SamplerKind::Spatial,
             ground: GroundConfig::default(),
             infer: InferConfig::default(),
+            budget: RunBudget::unlimited(),
         }
     }
 
@@ -60,6 +67,7 @@ impl SyaConfig {
             sampler: SamplerKind::Sequential,
             ground: GroundConfig { generate_spatial_factors: false, ..Default::default() },
             infer: InferConfig::default(),
+            budget: RunBudget::unlimited(),
         }
     }
 
@@ -133,6 +141,33 @@ impl SyaConfig {
         self.ground.region_factor_scale = Some(scale);
         self
     }
+
+    /// Sets a wall-clock deadline for the whole run. When it fires the
+    /// pipeline stops at the next checkpoint and returns partial
+    /// marginals tagged [`RunOutcome::TimedOut`](sya_runtime::RunOutcome).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.budget.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the number of ground factors; grounding fails fast with a
+    /// budget error instead of materialising a factor blow-up.
+    pub fn with_max_factors(mut self, n: u64) -> Self {
+        self.budget.max_factors = Some(n);
+        self
+    }
+
+    /// Caps the number of ground variables (atoms).
+    pub fn with_max_variables(mut self, n: u64) -> Self {
+        self.budget.max_variables = Some(n);
+        self
+    }
+
+    /// Caps the estimated factor-graph memory, in bytes.
+    pub fn with_max_memory_bytes(mut self, n: u64) -> Self {
+        self.budget.max_memory_bytes = Some(n);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +201,20 @@ mod tests {
         assert_eq!(c.infer.seed, 9);
         assert_eq!(c.ground.pruning_threshold, 0.7);
         assert_eq!(c.infer.locality_level, 5);
+    }
+
+    #[test]
+    fn budget_builders_set_limits() {
+        let c = SyaConfig::sya()
+            .with_deadline(Duration::from_secs(5))
+            .with_max_factors(1000)
+            .with_max_variables(500)
+            .with_max_memory_bytes(1 << 20);
+        assert_eq!(c.budget.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(c.budget.max_factors, Some(1000));
+        assert_eq!(c.budget.max_variables, Some(500));
+        assert_eq!(c.budget.max_memory_bytes, Some(1 << 20));
+        assert!(SyaConfig::sya().budget.is_unlimited());
     }
 
     #[test]

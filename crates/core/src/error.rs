@@ -1,7 +1,9 @@
 //! Unified error type of the pipeline.
 
 use sya_ground::GroundError;
+use sya_infer::InferError;
 use sya_lang::{ParseError, ValidateError};
+use sya_runtime::BudgetExceeded;
 
 /// Anything that can go wrong between program text and factual scores.
 #[derive(Debug)]
@@ -12,6 +14,12 @@ pub enum SyaError {
     Validate(ValidateError),
     /// Grounding failed (missing tables, bad types, unknown weighting).
     Ground(GroundError),
+    /// Inference failed beyond repair (every parallel instance died).
+    Infer(InferError),
+    /// A hard resource limit of the run budget was hit.
+    BudgetExceeded(BudgetExceeded),
+    /// Reading a program/dataset or writing results failed.
+    Io(std::io::Error),
     /// Requested relation/atom does not exist in the knowledge base.
     UnknownAtom(String),
 }
@@ -22,6 +30,9 @@ impl std::fmt::Display for SyaError {
             SyaError::Parse(e) => write!(f, "{e}"),
             SyaError::Validate(e) => write!(f, "{e}"),
             SyaError::Ground(e) => write!(f, "{e}"),
+            SyaError::Infer(e) => write!(f, "{e}"),
+            SyaError::BudgetExceeded(e) => write!(f, "{e}"),
+            SyaError::Io(e) => write!(f, "{e}"),
             SyaError::UnknownAtom(a) => write!(f, "unknown atom: {a}"),
         }
     }
@@ -33,6 +44,9 @@ impl std::error::Error for SyaError {
             SyaError::Parse(e) => Some(e),
             SyaError::Validate(e) => Some(e),
             SyaError::Ground(e) => Some(e),
+            SyaError::Infer(e) => Some(e),
+            SyaError::BudgetExceeded(e) => Some(e),
+            SyaError::Io(e) => Some(e),
             SyaError::UnknownAtom(_) => None,
         }
     }
@@ -52,7 +66,30 @@ impl From<ValidateError> for SyaError {
 
 impl From<GroundError> for SyaError {
     fn from(e: GroundError) -> Self {
-        SyaError::Ground(e)
+        // Budget violations keep their own variant so callers can match
+        // on them without digging through the grounding error.
+        match e {
+            GroundError::Budget(b) => SyaError::BudgetExceeded(b),
+            other => SyaError::Ground(other),
+        }
+    }
+}
+
+impl From<InferError> for SyaError {
+    fn from(e: InferError) -> Self {
+        SyaError::Infer(e)
+    }
+}
+
+impl From<BudgetExceeded> for SyaError {
+    fn from(e: BudgetExceeded) -> Self {
+        SyaError::BudgetExceeded(e)
+    }
+}
+
+impl From<std::io::Error> for SyaError {
+    fn from(e: std::io::Error) -> Self {
+        SyaError::Io(e)
     }
 }
 
@@ -68,5 +105,35 @@ mod tests {
         let u = SyaError::UnknownAtom("X(1)".into());
         assert!(u.to_string().contains("X(1)"));
         assert!(std::error::Error::source(&u).is_none());
+    }
+
+    #[test]
+    fn ground_budget_errors_surface_as_budget_exceeded() {
+        use sya_runtime::{Phase, Resource};
+        let b = BudgetExceeded {
+            phase: Phase::Grounding,
+            resource: Resource::Factors,
+            limit: 10,
+            observed: 11,
+        };
+        let e = SyaError::from(GroundError::Budget(b.clone()));
+        match &e {
+            SyaError::BudgetExceeded(inner) => assert_eq!(*inner, b),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(e.to_string().contains("budget exceeded"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn infer_and_io_errors_convert() {
+        let e = SyaError::from(InferError::AllInstancesFailed {
+            instances: 4,
+            first_cause: "boom".into(),
+        });
+        assert!(e.to_string().contains("all 4 inference instance(s) failed"));
+        let io = SyaError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        assert!(std::error::Error::source(&io).is_some());
     }
 }

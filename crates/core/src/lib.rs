@@ -31,6 +31,11 @@
 //! * [`EngineMode::DeepDive`] — the comparator: spatial predicates as
 //!   plain boolean conditions, no spatial factors, sequential Gibbs;
 //!   optionally with step-function rule expansion (Section VI-B2).
+//!
+//! Construction runs are *governed*: [`SyaConfig`] carries a
+//! [`RunBudget`] (deadline, factor/variable/memory caps), callers can
+//! cancel via a [`CancellationToken`], and every [`KnowledgeBase`] is
+//! tagged with a [`RunOutcome`] describing how its run ended.
 
 pub mod config;
 pub mod error;
@@ -43,3 +48,7 @@ pub use error::SyaError;
 pub use pipeline::{ExtendStats, SyaSession};
 pub use query::{hull_of, to_geojson, KbFact, KbQuery};
 pub use result::{KnowledgeBase, Timings};
+pub use sya_runtime::{
+    BudgetExceeded, CancellationToken, ExecContext, FaultPlan, Phase, Resource, RunBudget,
+    RunOutcome,
+};

@@ -7,8 +7,11 @@ use crate::result::{KnowledgeBase, Timings};
 use std::time::Instant;
 use sya_geom::DistanceMetric;
 use sya_ground::{expand_step_function_rules, Grounder};
-use sya_infer::{parallel_random_gibbs, sequential_gibbs, spatial_gibbs, PyramidIndex};
+use sya_infer::{
+    parallel_random_gibbs_with, sequential_gibbs_with, spatial_gibbs_with, PyramidIndex,
+};
 use sya_lang::{compile, parse_program, CompiledProgram, GeomConstants};
+use sya_runtime::ExecContext;
 use sya_store::{Database, Value};
 
 /// A compiled program ready to construct knowledge bases.
@@ -53,50 +56,88 @@ impl SyaSession {
     /// Grounds and infers: the full knowledge base construction run.
     ///
     /// `evidence` maps `(relation, head values)` to an observed value.
+    /// Runs under an [`ExecContext`] built from the config's budget; use
+    /// [`construct_with`](Self::construct_with) to supply your own
+    /// context (external cancellation token, fault plan).
     pub fn construct(
         &self,
         db: &mut Database,
         evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
     ) -> Result<KnowledgeBase, SyaError> {
+        self.construct_with(db, evidence, &ExecContext::new(self.config.budget.clone()))
+    }
+
+    /// [`construct`](Self::construct) under a caller-owned execution
+    /// context. The deadline/cancellation stop the run at the next
+    /// checkpoint with partial marginals (see [`KnowledgeBase::outcome`]);
+    /// hard factor/variable/memory limits abort grounding with
+    /// [`SyaError::BudgetExceeded`].
+    pub fn construct_with(
+        &self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        ctx: &ExecContext,
+    ) -> Result<KnowledgeBase, SyaError> {
         // Phase 1: grounding.
         let t0 = Instant::now();
         let mut grounder = Grounder::new(&self.compiled, self.config.ground.clone());
-        let grounding = grounder.ground(db, evidence)?;
+        let grounding = grounder.ground_with(db, evidence, ctx)?;
         let grounding_time = t0.elapsed();
 
-        // Phase 2: inference.
+        // Phase 2: inference. Even when grounding was interrupted, the
+        // graph is a valid prefix: run inference (the same context stops
+        // it after its first epoch) so every atom gets a finite score.
+        let mut outcome = grounding.outcome;
+        let mut warnings = Vec::new();
+        if outcome.is_partial() {
+            warnings.push(format!(
+                "grounding stopped early ({outcome}); the factor graph is a valid \
+                 prefix and marginals cover only the grounded atoms"
+            ));
+        }
         let t1 = Instant::now();
         let infer = &self.config.infer;
-        let (counts, pyramid) = match self.config.sampler {
+        let (run, pyramid) = match self.config.sampler {
             SamplerKind::Spatial => {
                 let pyramid =
                     PyramidIndex::build(&grounding.graph, infer.levels, infer.cell_capacity);
-                let counts = spatial_gibbs(&grounding.graph, &pyramid, infer);
-                (counts, Some(pyramid))
+                let run = spatial_gibbs_with(&grounding.graph, &pyramid, infer, ctx)?;
+                (run, Some(pyramid))
             }
             SamplerKind::Sequential => (
-                sequential_gibbs(&grounding.graph, infer.epochs, infer.burn_in, infer.seed),
+                sequential_gibbs_with(
+                    &grounding.graph,
+                    infer.epochs,
+                    infer.burn_in,
+                    infer.seed,
+                    ctx,
+                ),
                 None,
             ),
             SamplerKind::ParallelRandom(k) => (
-                parallel_random_gibbs(
+                parallel_random_gibbs_with(
                     &grounding.graph,
                     infer.epochs,
                     infer.burn_in,
                     k,
                     infer.seed,
+                    ctx,
                 ),
                 None,
             ),
         };
         let inference_time = t1.elapsed();
+        outcome = outcome.combine(run.outcome);
+        warnings.extend(run.warnings);
 
         Ok(KnowledgeBase {
             grounding,
-            counts,
+            counts: run.counts,
             pyramid,
             timings: Timings { grounding: grounding_time, inference: inference_time },
             config: self.config.clone(),
+            outcome,
+            warnings,
         })
     }
 

@@ -7,6 +7,7 @@ use std::time::Duration;
 use sya_fg::VarId;
 use sya_ground::Grounding;
 use sya_infer::{incremental_spatial_gibbs, MarginalCounts, PyramidIndex};
+use sya_runtime::RunOutcome;
 use sya_store::Value;
 
 /// Wall-clock timings of the two phases (Fig. 9b, 10b, 11b, 12b).
@@ -26,6 +27,13 @@ pub struct KnowledgeBase {
     pub pyramid: Option<PyramidIndex>,
     pub timings: Timings,
     pub config: SyaConfig,
+    /// How the construction run ended. `Completed` is a clean run;
+    /// `Degraded` means some workers were lost but the marginals are
+    /// usable; `TimedOut`/`Cancelled` mean the run stopped early and the
+    /// marginals are partial (fewer samples, still valid ratios).
+    pub outcome: RunOutcome,
+    /// Degradation notes accumulated across grounding and inference.
+    pub warnings: Vec<String>,
 }
 
 impl KnowledgeBase {

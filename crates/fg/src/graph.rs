@@ -236,6 +236,37 @@ impl FactorGraph {
         (out, remap)
     }
 
+    /// Estimated heap footprint of the graph in bytes: struct sizes plus
+    /// the owned allocations (variable names, factor scopes, adjacency
+    /// lists). An estimate, not an accounting — it feeds the memory
+    /// budget checks of the execution layer, where "within a few percent"
+    /// is plenty to catch a grounding blow-up.
+    pub fn approx_memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let vars: usize = self
+            .variables
+            .iter()
+            .map(|v| size_of::<Variable>() + v.name.capacity())
+            .sum();
+        let factors: usize = self
+            .factors
+            .iter()
+            .map(|f| size_of::<Factor>() + f.vars.capacity() * size_of::<VarId>())
+            .sum();
+        let spatial = self.spatial_factors.capacity() * size_of::<SpatialFactor>();
+        let region: usize = self
+            .region_factors
+            .iter()
+            .map(|r| size_of::<RegionFactor>() + r.vars.capacity() * size_of::<VarId>())
+            .sum();
+        let adjacency: usize = [&self.var_factors, &self.var_spatial, &self.var_region]
+            .iter()
+            .flat_map(|adj| adj.iter())
+            .map(|list| size_of::<Vec<u32>>() + list.capacity() * size_of::<u32>())
+            .sum();
+        (vars + factors + spatial + region + adjacency) as u64
+    }
+
     /// Variables that share a logical or spatial factor with `v`
     /// (deduplicated, `v` excluded) — the Markov blanket neighbourhood.
     pub fn neighbours(&self, v: VarId) -> Vec<VarId> {
@@ -364,6 +395,18 @@ mod tests {
                 assert!(g2.factors_of(v).contains(&(i as u32)));
             }
         }
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_the_graph() {
+        let small = tiny().approx_memory_bytes();
+        assert!(small > 0);
+        let mut g = tiny();
+        for i in 0..100 {
+            let v = g.add_variable(Variable::binary(0, format!("extra{i}")));
+            g.add_factor(Factor::new(FactorKind::IsTrue, vec![v], 0.1));
+        }
+        assert!(g.approx_memory_bytes() > small);
     }
 
     #[test]

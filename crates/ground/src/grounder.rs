@@ -10,7 +10,13 @@ use sya_fg::{
 };
 use sya_geom::{haversine_miles, DistanceMetric, Point, RTree, Rect};
 use sya_lang::{CompiledProgram, CompiledRule, HeadOp, RuleKind, SlotTerm};
+use sya_runtime::{ExecContext, Phase, ResourceUsage, RunOutcome};
 use sya_store::{expr_columns, BinOp, Database, Expr, SpatialFn, Value};
+
+/// How many spatial-factor emissions pass between interruption / budget
+/// checkpoints inside the R-tree pair loop. Count checks are O(1); the
+/// O(n) memory estimate only runs at the coarser per-rule checkpoints.
+const SPATIAL_CHECKPOINT_INTERVAL: usize = 4096;
 
 /// Grounding configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +90,11 @@ pub struct Grounding {
     /// Variable ids per relation, in creation order.
     relation_atoms: HashMap<String, Vec<VarId>>,
     pub stats: GroundingStats,
+    /// How the grounding run ended. [`RunOutcome::Completed`] unless a
+    /// deadline or cancellation stopped it early — in which case the
+    /// graph is a valid prefix (all variables exist; some factors may be
+    /// missing) and downstream phases should propagate the outcome.
+    pub outcome: RunOutcome,
 }
 
 impl Grounding {
@@ -199,6 +210,25 @@ impl<'p> Grounder<'p> {
         db: &mut Database,
         evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
     ) -> Result<Grounding, GroundError> {
+        self.ground_with(db, evidence, &ExecContext::unbounded())
+    }
+
+    /// [`Self::ground`] under an execution context: hard resource budgets
+    /// abort with [`GroundError::Budget`]; a deadline or cancellation
+    /// stops gracefully at the next checkpoint, returning the partial
+    /// grounding with its [`Grounding::outcome`] set.
+    ///
+    /// Checkpoint placement: derivation rules always run to completion
+    /// (inference needs every variable to exist), so interruption is
+    /// honoured between inference rules and inside the spatial-factor
+    /// pair loop. Budget checks run after every rule and every
+    /// [`SPATIAL_CHECKPOINT_INTERVAL`] spatial factors.
+    pub fn ground_with(
+        &mut self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        ctx: &ExecContext,
+    ) -> Result<Grounding, GroundError> {
         let mut out = Grounding {
             graph: FactorGraph::new(),
             atom_ids: HashMap::new(),
@@ -206,23 +236,32 @@ impl<'p> Grounder<'p> {
             factor_rules: Vec::new(),
             relation_atoms: HashMap::new(),
             stats: GroundingStats::default(),
+            outcome: RunOutcome::Completed,
         };
 
         // Derivation rules first: they create the random variables.
         for rule in &self.program.rules {
             if rule.kind == RuleKind::Derivation {
-                self.execute_rule(rule, db, evidence, &mut out)?;
+                ctx.maybe_slow(Phase::Grounding);
+                self.execute_rule_with(rule, db, evidence, &mut out, ctx)?;
+                check_graph_budget(ctx, &out.graph)?;
             }
         }
         // Then inference rules: they emit logical factors.
         for rule in &self.program.rules {
             if rule.kind != RuleKind::Derivation {
-                self.execute_rule(rule, db, evidence, &mut out)?;
+                if let Some(outcome) = ctx.interrupted() {
+                    out.outcome = outcome;
+                    break;
+                }
+                ctx.maybe_slow(Phase::Grounding);
+                self.execute_rule_with(rule, db, evidence, &mut out, ctx)?;
+                check_graph_budget(ctx, &out.graph)?;
             }
         }
         // Finally, automatic spatial factors for @spatial relations.
-        if self.config.generate_spatial_factors {
-            self.ground_spatial_factors(&mut out, None)?;
+        if self.config.generate_spatial_factors && !out.outcome.is_partial() {
+            self.ground_spatial_factors_with(&mut out, None, ctx)?;
         }
 
         out.stats.variables_created = out.graph.num_variables();
@@ -297,16 +336,22 @@ impl<'p> Grounder<'p> {
         Ok(new_vars)
     }
 
-    fn execute_rule(
+    fn execute_rule_with(
         &mut self,
         rule: &CompiledRule,
         db: &mut Database,
         evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
         out: &mut Grounding,
+        ctx: &ExecContext,
     ) -> Result<(), GroundError> {
         let bindings = self.eval_body(rule, db, out)?;
         out.stats.rules_executed += 1;
-        for binding in &bindings {
+        for (i, binding) in bindings.iter().enumerate() {
+            // A single wide join can blow the budget mid-rule; count-only
+            // checks are O(1) so run them periodically inside the loop.
+            if i > 0 && i.is_multiple_of(1024) {
+                check_graph_counts(ctx, &out.graph)?;
+            }
             self.apply_binding(rule, binding, evidence, out);
         }
         Ok(())
@@ -648,6 +693,19 @@ impl<'p> Grounder<'p> {
         out: &mut Grounding,
         new_only: Option<&std::collections::HashSet<VarId>>,
     ) -> Result<(), GroundError> {
+        self.ground_spatial_factors_with(out, new_only, &ExecContext::unbounded())
+    }
+
+    /// [`Self::ground_spatial_factors`] with budget / interruption
+    /// checkpoints every [`SPATIAL_CHECKPOINT_INTERVAL`] candidate pairs —
+    /// the pair loop is where a bad radius produces the quadratic factor
+    /// blow-up, so waiting for the end of the relation is too late.
+    fn ground_spatial_factors_with(
+        &mut self,
+        out: &mut Grounding,
+        new_only: Option<&std::collections::HashSet<VarId>>,
+        ctx: &ExecContext,
+    ) -> Result<(), GroundError> {
         let spatial_relations: Vec<(String, String)> = self
             .program
             .spatial_variable_relations()
@@ -713,7 +771,22 @@ impl<'p> Grounder<'p> {
                     .collect(),
             );
             let cand_radius = candidate_radius(self.config.metric, radius);
-            for &(id, p) in &atoms {
+            let mut atoms_seen = 0usize;
+            let mut next_factor_check =
+                out.graph.num_spatial_factors() + SPATIAL_CHECKPOINT_INTERVAL;
+            'atoms: for &(id, p) in &atoms {
+                atoms_seen += 1;
+                if atoms_seen.is_multiple_of(1024)
+                    || out.graph.num_spatial_factors() >= next_factor_check
+                {
+                    next_factor_check =
+                        out.graph.num_spatial_factors() + SPATIAL_CHECKPOINT_INTERVAL;
+                    if let Some(outcome) = ctx.interrupted() {
+                        out.outcome = out.outcome.combine(outcome);
+                        break 'atoms;
+                    }
+                    check_graph_counts(ctx, &out.graph)?;
+                }
                 for other in tree.within_distance(&p, cand_radius) {
                     if other <= id {
                         continue; // each unordered pair once
@@ -723,11 +796,11 @@ impl<'p> Grounder<'p> {
                             continue; // pair already grounded
                         }
                     }
-                    let q = out
-                        .graph
-                        .variable(other)
-                        .location
-                        .expect("indexed atoms have locations");
+                    // Only located atoms are indexed; a missing location
+                    // would be an index bug — skip rather than panic.
+                    let Some(q) = out.graph.variable(other).location else {
+                        continue;
+                    };
                     let d = metric_distance(self.config.metric, &p, &q);
                     if d > radius {
                         continue;
@@ -808,6 +881,34 @@ struct SpatialProbe {
     bound_slot: usize,
     new_col: usize,
     candidate_radius: f64,
+}
+
+/// Full budget checkpoint: counts plus the O(n) memory estimate. Run at
+/// rule granularity, where the estimate's cost is amortized.
+fn check_graph_budget(ctx: &ExecContext, graph: &FactorGraph) -> Result<(), GroundError> {
+    let usage = ResourceUsage {
+        factors: graph.total_factors() as u64,
+        variables: graph.num_variables() as u64,
+        memory_bytes: if ctx.budget().max_memory_bytes.is_some() {
+            graph.approx_memory_bytes()
+        } else {
+            0
+        },
+    };
+    ctx.check_resources(Phase::Grounding, usage)?;
+    Ok(())
+}
+
+/// Count-only budget checkpoint (O(1)): factor and variable limits, no
+/// memory estimate. Safe to run inside tight emission loops.
+fn check_graph_counts(ctx: &ExecContext, graph: &FactorGraph) -> Result<(), GroundError> {
+    let usage = ResourceUsage {
+        factors: graph.total_factors() as u64,
+        variables: graph.num_variables() as u64,
+        memory_bytes: 0,
+    };
+    ctx.check_resources(Phase::Grounding, usage)?;
+    Ok(())
 }
 
 /// Distance between points under the configured metric.

@@ -38,6 +38,9 @@ pub enum GroundError {
     MissingInput(String),
     /// `@spatial` weighting function name not recognized.
     UnknownWeighting(String),
+    /// A hard resource budget (factors, variables, memory) was exceeded;
+    /// the run is aborted before the blow-up materializes.
+    Budget(sya_runtime::BudgetExceeded),
 }
 
 impl std::fmt::Display for GroundError {
@@ -50,14 +53,29 @@ impl std::fmt::Display for GroundError {
             GroundError::UnknownWeighting(w) => {
                 write!(f, "unknown @spatial weighting function {w:?}")
             }
+            GroundError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 
-impl std::error::Error for GroundError {}
+impl std::error::Error for GroundError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GroundError::Store(e) => Some(e),
+            GroundError::Budget(b) => Some(b),
+            _ => None,
+        }
+    }
+}
 
 impl From<sya_store::StoreError> for GroundError {
     fn from(e: sya_store::StoreError) -> Self {
         GroundError::Store(e)
+    }
+}
+
+impl From<sya_runtime::BudgetExceeded> for GroundError {
+    fn from(e: sya_runtime::BudgetExceeded) -> Self {
+        GroundError::Budget(e)
     }
 }

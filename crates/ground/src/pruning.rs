@@ -34,21 +34,20 @@ pub fn build_cooccurrence(
             .map(|&(id, p, _)| (Rect::from_point(p), id))
             .collect(),
     );
-    let value_of = |id: VarId| {
-        graph
-            .variable(id)
-            .evidence
-            .expect("only evidence atoms indexed")
-    };
     let cand_radius = crate::grounder::candidate_radius(metric, radius);
     for &(id, p, v) in &evidence {
         for other in tree.within_distance(&p, cand_radius) {
             if other <= id {
                 continue;
             }
-            let q = graph.variable(other).location.expect("located atom");
+            // Only located evidence atoms were indexed; anything else
+            // here is an index inconsistency — skip it, don't panic.
+            let var = graph.variable(other);
+            let (Some(q), Some(ov)) = (var.location, var.evidence) else {
+                continue;
+            };
             if metric_distance(metric, &p, &q) <= radius {
-                stats.observe_pair(v, value_of(other));
+                stats.observe_pair(v, ov);
             }
         }
     }

@@ -3,9 +3,11 @@
 //! compares against (Section V, "Main Idea").
 
 use crate::marginals::MarginalCounts;
+use crate::run::{panic_message, SamplerRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sya_fg::{binary_conditional_true, conditional_with, Assignment, FactorGraph, VarId};
+use sya_runtime::{ExecContext, Phase, RunOutcome};
 
 /// Draws an index from a normalized probability vector.
 pub(crate) fn sample_index(rng: &mut StdRng, probs: &[f64]) -> u32 {
@@ -51,6 +53,19 @@ pub(crate) fn random_init(graph: &FactorGraph, rng: &mut StdRng) -> Assignment {
         .collect()
 }
 
+/// Records one snapshot of the current chain state into `counts` — the
+/// fallback when a governed run is stopped before burn-in finished, so
+/// callers still receive finite, non-empty marginals.
+fn record_snapshot(graph: &FactorGraph, assignment: &Assignment, counts: &mut MarginalCounts) {
+    for var in graph.variables() {
+        let x = match var.evidence {
+            Some(e) => e,
+            None => assignment[var.id as usize],
+        };
+        counts.record(var.id, x);
+    }
+}
+
 /// Sequential (single-site) Gibbs sampling — the sampler inside DeepDive
 /// ("computationally-efficient, easy-to-implement, and can support
 /// incremental inference"). One epoch = one sweep over all query
@@ -61,12 +76,38 @@ pub fn sequential_gibbs(
     burn_in: usize,
     seed: u64,
 ) -> MarginalCounts {
+    sequential_gibbs_with(graph, epochs, burn_in, seed, &ExecContext::unbounded()).counts
+}
+
+/// Governed variant of [`sequential_gibbs`]: stops at the next epoch
+/// barrier when the context's deadline fires or its token is cancelled.
+/// Single-threaded, so it cannot degrade — the outcome is `Completed`,
+/// `TimedOut`, or `Cancelled`.
+pub fn sequential_gibbs_with(
+    graph: &FactorGraph,
+    epochs: usize,
+    burn_in: usize,
+    seed: u64,
+    ctx: &ExecContext,
+) -> SamplerRun {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut assignment = random_init(graph, &mut rng);
     let query = graph.query_variables();
     let mut counts = MarginalCounts::new(graph);
+    let mut outcome = RunOutcome::Completed;
+    let mut warnings = Vec::new();
+    let mut recorded = false;
 
     for epoch in 0..epochs {
+        // Epoch barrier: checked from the second epoch on, so an
+        // interrupted run still carries at least one full sweep.
+        if epoch > 0 {
+            if let Some(stop) = ctx.interrupted() {
+                outcome = outcome.combine(stop);
+                break;
+            }
+        }
+        ctx.maybe_slow(Phase::Inference);
         for &v in &query {
             let x = sample_conditional(graph, &|u| assignment[u as usize], v, &mut rng);
             assignment[v as usize] = x;
@@ -75,6 +116,7 @@ pub fn sequential_gibbs(
             }
         }
         if epoch >= burn_in {
+            recorded = true;
             for var in graph.variables() {
                 if let Some(e) = var.evidence {
                     counts.record(var.id, e);
@@ -82,7 +124,15 @@ pub fn sequential_gibbs(
             }
         }
     }
-    counts
+    if !recorded {
+        record_snapshot(graph, &assignment, &mut counts);
+        warnings.push(
+            "sequential gibbs stopped before burn-in finished; marginals fall back \
+             to a single-state snapshot"
+                .to_owned(),
+        );
+    }
+    SamplerRun { counts, outcome, warnings }
 }
 
 /// Random-partition parallel Gibbs: query variables are split into `k`
@@ -99,6 +149,21 @@ pub fn parallel_random_gibbs(
     k: usize,
     seed: u64,
 ) -> MarginalCounts {
+    parallel_random_gibbs_with(graph, epochs, burn_in, k, seed, &ExecContext::unbounded()).counts
+}
+
+/// Governed variant of [`parallel_random_gibbs`]: honours deadline and
+/// cancellation at epoch barriers, and survives a panicked bucket worker
+/// by re-sampling its bucket sequentially against the same snapshot
+/// (outcome `Degraded`).
+pub fn parallel_random_gibbs_with(
+    graph: &FactorGraph,
+    epochs: usize,
+    burn_in: usize,
+    k: usize,
+    seed: u64,
+    ctx: &ExecContext,
+) -> SamplerRun {
     let k = k.max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut assignment = random_init(graph, &mut rng);
@@ -113,9 +178,19 @@ pub fn parallel_random_gibbs(
         .collect();
 
     let mut counts = MarginalCounts::new(graph);
+    let mut outcome = RunOutcome::Completed;
+    let mut warnings = Vec::new();
+    let mut recorded = false;
     for epoch in 0..epochs {
+        if epoch > 0 {
+            if let Some(stop) = ctx.interrupted() {
+                outcome = outcome.combine(stop);
+                break;
+            }
+        }
+        ctx.maybe_slow(Phase::Inference);
         let snapshot = assignment.clone();
-        let results: Vec<Vec<(VarId, u32)>> = std::thread::scope(|s| {
+        let results: Vec<std::thread::Result<Vec<(VarId, u32)>>> = std::thread::scope(|s| {
             let handles: Vec<_> = buckets
                 .iter()
                 .enumerate()
@@ -125,6 +200,9 @@ pub fn parallel_random_gibbs(
                     let mut local_rng =
                         StdRng::seed_from_u64(seed ^ (epoch as u64) << 20 ^ b as u64);
                     s.spawn(move || {
+                        if ctx.take_worker_panic(b, epoch) {
+                            panic!("injected fault: bucket worker {b} panicked at epoch {epoch}");
+                        }
                         let mut local = snapshot.clone();
                         let mut out = Vec::with_capacity(bucket.len());
                         for &v in bucket {
@@ -141,9 +219,41 @@ pub fn parallel_random_gibbs(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("bucket thread")).collect()
+            // Keep the Err rather than unwrapping: a dead bucket worker
+            // degrades the epoch instead of re-panicking at scope exit.
+            handles.into_iter().map(|h| h.join()).collect()
         });
-        for bucket_result in results {
+        for (b, res) in results.into_iter().enumerate() {
+            let bucket_result = match res {
+                Ok(out) => out,
+                Err(payload) => {
+                    // Jacobi-style updates read only the epoch snapshot,
+                    // so re-sampling the dead worker's bucket here (with
+                    // a fresh RNG stream) reproduces exactly the work it
+                    // would have done.
+                    let msg = panic_message(payload);
+                    warnings.push(format!(
+                        "bucket worker {b} panicked at epoch {epoch} ({msg}); its \
+                         bucket was re-sampled sequentially"
+                    ));
+                    outcome = outcome.combine(RunOutcome::Degraded);
+                    let mut local_rng =
+                        StdRng::seed_from_u64(seed ^ (epoch as u64) << 20 ^ b as u64 ^ 0xDEAD);
+                    let mut local = snapshot.clone();
+                    let mut out = Vec::with_capacity(buckets[b].len());
+                    for &v in &buckets[b] {
+                        let x = sample_conditional(
+                            graph,
+                            &|u| local[u as usize],
+                            v,
+                            &mut local_rng,
+                        );
+                        local[v as usize] = x;
+                        out.push((v, x));
+                    }
+                    out
+                }
+            };
             for (v, x) in bucket_result {
                 assignment[v as usize] = x;
                 if epoch >= burn_in {
@@ -152,6 +262,7 @@ pub fn parallel_random_gibbs(
             }
         }
         if epoch >= burn_in {
+            recorded = true;
             for var in graph.variables() {
                 if let Some(e) = var.evidence {
                     counts.record(var.id, e);
@@ -159,7 +270,15 @@ pub fn parallel_random_gibbs(
             }
         }
     }
-    counts
+    if !recorded {
+        record_snapshot(graph, &assignment, &mut counts);
+        warnings.push(
+            "parallel random gibbs stopped before burn-in finished; marginals fall \
+             back to a single-state snapshot"
+                .to_owned(),
+        );
+    }
+    SamplerRun { counts, outcome, warnings }
 }
 
 #[cfg(test)]
@@ -263,6 +382,72 @@ mod tests {
         let g = chain_graph();
         let counts = sequential_gibbs(&g, 100, 40, 3);
         assert_eq!(counts.total_samples(1), 60);
+    }
+
+    #[test]
+    fn sequential_deadline_returns_timed_out_snapshot() {
+        let g = chain_graph();
+        let ctx = ExecContext::new(
+            sya_runtime::RunBudget::unlimited().with_deadline(std::time::Duration::ZERO),
+        );
+        // Huge epoch count with a zero deadline: stops after one epoch,
+        // before burn-in, so the snapshot fallback kicks in.
+        let run = sequential_gibbs_with(&g, usize::MAX / 2, 500, 42, &ctx);
+        assert_eq!(run.outcome, RunOutcome::TimedOut);
+        assert!(!run.warnings.is_empty());
+        for v in g.query_variables() {
+            assert!(run.counts.total_samples(v) > 0);
+            assert!(run.counts.factual_score(v).is_finite());
+        }
+    }
+
+    #[test]
+    fn sequential_cancellation_is_reported() {
+        let g = chain_graph();
+        let ctx = ExecContext::unbounded();
+        ctx.token().cancel();
+        let run = sequential_gibbs_with(&g, usize::MAX / 2, 0, 42, &ctx);
+        assert_eq!(run.outcome, RunOutcome::Cancelled);
+    }
+
+    #[test]
+    fn governed_sequential_matches_legacy_without_faults() {
+        let g = chain_graph();
+        let legacy = sequential_gibbs(&g, 200, 20, 9);
+        let run = sequential_gibbs_with(&g, 200, 20, 9, &ExecContext::unbounded());
+        assert_eq!(run.outcome, RunOutcome::Completed);
+        assert!(run.warnings.is_empty());
+        assert_eq!(legacy, run.counts);
+    }
+
+    #[test]
+    fn injected_bucket_panic_degrades_parallel_gibbs() {
+        use sya_runtime::FaultPlan;
+        let g = chain_graph();
+        let exact = exact_marginals(&g);
+        let plan = FaultPlan {
+            panic_worker_in_instance: Some(1), // bucket index 1
+            panic_at_epoch: 600,               // after burn-in, mid-run
+            ..FaultPlan::none()
+        };
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        let run = parallel_random_gibbs_with(&g, 6000, 500, 2, 7, &ctx);
+        assert_eq!(run.outcome, RunOutcome::Degraded);
+        assert!(
+            run.warnings.iter().any(|w| w.contains("bucket worker 1")),
+            "{:?}",
+            run.warnings
+        );
+        // The sequential re-run kept the chain intact: marginals still
+        // converge to the exact values.
+        for v in g.query_variables() {
+            let est = run.counts.factual_score(v);
+            assert!(
+                (est - exact[v as usize]).abs() < 0.05,
+                "var {v}: est {est}, exact {}",
+                exact[v as usize]
+            );
+        }
     }
 
     #[test]

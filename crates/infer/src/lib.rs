@@ -19,7 +19,11 @@
 //! * [`incremental`] — incremental inference: after evidence updates,
 //!   only the concliques of affected variables are re-sampled;
 //! * [`marginals`] — sample counters, marginal extraction, and the KL
-//!   divergence metric of Fig. 14.
+//!   divergence metric of Fig. 14;
+//! * [`run`] — governed execution: every sampler has a `*_with` variant
+//!   taking an [`ExecContext`](sya_runtime::ExecContext) that honours
+//!   deadlines/cancellation at epoch barriers, isolates worker panics,
+//!   and reports a [`RunOutcome`](sya_runtime::RunOutcome).
 
 pub mod conclique;
 pub mod gibbs;
@@ -27,14 +31,18 @@ pub mod incremental;
 pub mod learn;
 pub mod marginals;
 pub mod pyramid;
+pub mod run;
 pub mod spatial_gibbs;
 pub mod work_model;
 
 pub use conclique::{conclique_of, min_conclique_cover, Conclique};
-pub use gibbs::{parallel_random_gibbs, sequential_gibbs};
+pub use gibbs::{
+    parallel_random_gibbs, parallel_random_gibbs_with, sequential_gibbs, sequential_gibbs_with,
+};
 pub use incremental::{incremental_sequential_gibbs, incremental_spatial_gibbs};
 pub use learn::{learn_weights, map_assignment, pseudo_log_likelihood, LearnConfig};
 pub use marginals::{average_kl_divergence, MarginalCounts};
 pub use pyramid::{CellKey, PyramidIndex};
-pub use spatial_gibbs::{spatial_gibbs, InferConfig, SweepMode};
+pub use run::{InferError, SamplerRun};
+pub use spatial_gibbs::{spatial_gibbs, spatial_gibbs_with, InferConfig, SweepMode};
 pub use work_model::{epoch_work, EpochWork};

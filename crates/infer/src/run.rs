@@ -1,0 +1,61 @@
+//! Governed sampler runs: outcome reporting and inference errors.
+//!
+//! Every sampler has a `*_with` variant taking an
+//! [`ExecContext`](sya_runtime::ExecContext); it honours deadlines and
+//! cancellation at epoch barriers, isolates worker panics, and reports
+//! how the run ended instead of aborting the process.
+
+use crate::marginals::MarginalCounts;
+use std::fmt;
+use sya_runtime::RunOutcome;
+
+/// The result of a governed sampler run: the counts plus how the run
+/// ended and any degradation notes.
+#[derive(Debug)]
+pub struct SamplerRun {
+    pub counts: MarginalCounts,
+    /// `Completed` for a clean run; `Degraded` when workers were lost
+    /// but the marginals are still usable; `TimedOut` / `Cancelled` when
+    /// the run stopped early (the counts are partial but valid).
+    pub outcome: RunOutcome,
+    /// Human-readable notes about what degraded (dropped instances,
+    /// sequentially re-run cells).
+    pub warnings: Vec<String>,
+}
+
+/// Inference failures that cannot be degraded around.
+#[derive(Debug)]
+pub enum InferError {
+    /// Every parallel inference instance panicked; there are no counts
+    /// to average.
+    AllInstancesFailed {
+        instances: usize,
+        /// Panic message of the first failed instance.
+        first_cause: String,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::AllInstancesFailed { instances, first_cause } => write!(
+                f,
+                "all {instances} inference instance(s) failed; first cause: {first_cause}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// Renders a panic payload (from `catch_unwind` / `JoinHandle::join`)
+/// into a displayable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

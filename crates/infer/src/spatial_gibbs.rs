@@ -26,10 +26,13 @@ use crate::conclique::min_conclique_cover;
 use crate::gibbs::sample_conditional;
 use crate::marginals::MarginalCounts;
 use crate::pyramid::{CellKey, PyramidIndex};
+use crate::run::{panic_message, InferError, SamplerRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
 use sya_fg::{FactorGraph, VarId};
+use sya_runtime::{ExecContext, Phase, RunOutcome};
 
 /// How an epoch walks the pyramid. Algorithm 1 stores a partial graph
 /// per level; two faithful readings exist and both are provided:
@@ -66,6 +69,9 @@ pub struct InferConfig {
     pub seed: u64,
     /// Pyramid walk per epoch (see [`SweepMode`]).
     pub sweep_mode: SweepMode,
+    /// Cell-worker threads per conclique group; `None` (the default)
+    /// uses the machine's available parallelism, clamped to 4.
+    pub workers: Option<usize>,
 }
 
 impl Default for InferConfig {
@@ -79,6 +85,7 @@ impl Default for InferConfig {
             burn_in: 50,
             seed: 0xC0FFEE,
             sweep_mode: SweepMode::default(),
+            workers: None,
         }
     }
 }
@@ -106,45 +113,106 @@ pub fn spatial_gibbs(
     run_spatial_gibbs(graph, pyramid, cfg, None)
 }
 
-/// Shared implementation: when `cell_filter` is provided, only the listed
-/// cells (and their variables) are swept — the incremental-inference path.
+/// Governed variant of [`spatial_gibbs`]: honours the context's deadline,
+/// cancellation token, and fault plan at epoch barriers, isolates worker
+/// panics, and reports how the run ended instead of aborting the process.
+pub fn spatial_gibbs_with(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    cfg: &InferConfig,
+    ctx: &ExecContext,
+) -> Result<SamplerRun, InferError> {
+    run_spatial_gibbs_governed(graph, pyramid, cfg, None, ctx)
+}
+
+/// Legacy entry point: unbounded context, panics on the (impossible
+/// without fault injection) all-instances-failed error.
 pub(crate) fn run_spatial_gibbs(
     graph: &FactorGraph,
     pyramid: &PyramidIndex,
     cfg: &InferConfig,
     cell_filter: Option<&std::collections::HashSet<CellKey>>,
 ) -> MarginalCounts {
+    match run_spatial_gibbs_governed(graph, pyramid, cfg, cell_filter, &ExecContext::unbounded()) {
+        Ok(run) => run.counts,
+        // With no fault plan an instance only dies on a real bug, which
+        // should surface loudly on the legacy path.
+        Err(e) => panic!("spatial gibbs failed under an unbounded context: {e}"),
+    }
+}
+
+/// Shared implementation: when `cell_filter` is provided, only the listed
+/// cells (and their variables) are swept — the incremental-inference path.
+pub(crate) fn run_spatial_gibbs_governed(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    cfg: &InferConfig,
+    cell_filter: Option<&std::collections::HashSet<CellKey>>,
+    ctx: &ExecContext,
+) -> Result<SamplerRun, InferError> {
     let k = cfg.instances.max(1);
     let e = (cfg.epochs / k).max(1);
     let burn = cfg.burn_in.min(e.saturating_sub(1));
 
-    let counts: Vec<MarginalCounts> = if k == 1 {
-        vec![run_instance(graph, pyramid, cfg, cell_filter, 0, e, burn)]
+    type InstanceResult = std::thread::Result<(MarginalCounts, RunOutcome, Vec<String>)>;
+    let results: Vec<InstanceResult> = if k == 1 {
+        vec![catch_unwind(AssertUnwindSafe(|| {
+            run_instance(graph, pyramid, cfg, cell_filter, 0, e, burn, ctx)
+        }))]
     } else {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..k)
                 .map(|inst| {
                     s.spawn(move || {
-                        run_instance(graph, pyramid, cfg, cell_filter, inst as u64, e, burn)
+                        run_instance(graph, pyramid, cfg, cell_filter, inst as u64, e, burn, ctx)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("instance thread"))
-                .collect()
+            // Joining every handle and keeping the Err stops the scope
+            // from re-raising a panicked instance at scope exit.
+            handles.into_iter().map(|h| h.join()).collect()
         })
     };
 
     // Line 16: average instance counts. Marginals are count ratios, so
-    // summing (merging) is equivalent to averaging.
+    // summing (merging) is equivalent to averaging — and a dropped
+    // instance just shrinks the sample pool without biasing the average.
     let mut total = MarginalCounts::new(graph);
-    for c in &counts {
-        total.merge(c);
+    let mut outcome = RunOutcome::Completed;
+    let mut warnings = Vec::new();
+    let mut survivors = 0usize;
+    let mut first_cause: Option<String> = None;
+    for (inst, res) in results.into_iter().enumerate() {
+        match res {
+            Ok((counts, inst_outcome, inst_warnings)) => {
+                survivors += 1;
+                total.merge(&counts);
+                outcome = outcome.combine(inst_outcome);
+                warnings.extend(inst_warnings);
+            }
+            Err(payload) => {
+                let msg = panic_message(payload);
+                if first_cause.is_none() {
+                    first_cause = Some(msg.clone());
+                }
+                warnings.push(format!(
+                    "inference instance {inst} panicked and was dropped ({msg}); \
+                     marginals are averaged over the surviving instances"
+                ));
+                outcome = outcome.combine(RunOutcome::Degraded);
+            }
+        }
     }
-    total
+    if survivors == 0 {
+        return Err(InferError::AllInstancesFailed {
+            instances: k,
+            first_cause: first_cause.unwrap_or_else(|| "unknown".to_owned()),
+        });
+    }
+    Ok(SamplerRun { counts: total, outcome, warnings })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_instance(
     graph: &FactorGraph,
     pyramid: &PyramidIndex,
@@ -153,7 +221,8 @@ fn run_instance(
     instance: u64,
     epochs: usize,
     burn_in: usize,
-) -> MarginalCounts {
+    ctx: &ExecContext,
+) -> (MarginalCounts, RunOutcome, Vec<String>) {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Lock-free shared assignment for this instance.
     let assignment: Vec<AtomicU32> = graph
@@ -184,10 +253,15 @@ fn run_instance(
         SweepMode::LeafOnly => vec![cfg.locality_level.clamp(1, pyramid.levels())],
         SweepMode::AllLevels => cfg.sweep_levels(),
     };
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 4);
+    let workers = cfg
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 4)
+        })
+        .max(1);
 
     // The pyramid is immutable during sampling: compute each level's
     // cell list and conclique cover once, outside the epoch loop.
@@ -204,8 +278,27 @@ fn run_instance(
         .collect();
 
     let mut counts = MarginalCounts::new(graph);
+    let mut outcome = RunOutcome::Completed;
+    let mut warnings = Vec::new();
+    let mut recorded = false;
     for epoch in 0..epochs {
+        // Epoch barrier: deadline/cancellation checks happen here, and
+        // only from the second epoch on, so an interrupted run still
+        // carries at least one full sweep of (noisy but finite) samples.
+        if epoch > 0 {
+            if let Some(stop) = ctx.interrupted() {
+                outcome = outcome.combine(stop);
+                break;
+            }
+        }
+        ctx.maybe_slow(Phase::Inference);
+        if ctx.should_panic_instance(instance as usize, epoch) {
+            panic!("injected fault: instance {instance} panicked at epoch {epoch}");
+        }
         let record = epoch >= burn_in;
+        if record {
+            recorded = true;
+        }
         for (level, cover) in &level_plans {
             let level = *level;
             for (conclique, group) in cover {
@@ -252,28 +345,61 @@ fn run_instance(
                     }
                     continue;
                 }
-                let sampled: Vec<Vec<(VarId, u32)>> = {
-                    let chunk = group.len().div_ceil(workers).max(1);
+                let chunk = group.len().div_ceil(workers).max(1);
+                let chunk_list: Vec<&[CellKey]> = group.chunks(chunk).collect();
+                let results: Vec<std::thread::Result<Vec<(VarId, u32)>>> =
                     std::thread::scope(|s| {
-                        let handles: Vec<_> = group
-                            .chunks(chunk)
+                        let handles: Vec<_> = chunk_list
+                            .iter()
                             .enumerate()
                             .map(|(ci, cells)| {
+                                let cells = *cells;
                                 let mut wrng = StdRng::seed_from_u64(worker_seed(ci));
                                 let sample_cells = &sample_cells;
                                 s.spawn(move || {
+                                    if ci == 0
+                                        && ctx.take_worker_panic(instance as usize, epoch)
+                                    {
+                                        panic!(
+                                            "injected fault: cell worker of instance \
+                                             {instance} panicked at epoch {epoch}"
+                                        );
+                                    }
                                     let mut out = Vec::new();
                                     sample_cells(cells, &mut wrng, &mut out);
                                     out
                                 })
                             })
                             .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("cell worker"))
-                            .collect()
-                    })
-                };
+                        // Keep the Err instead of unwrapping so a dead
+                        // worker degrades the epoch rather than tearing
+                        // down the whole instance at scope exit.
+                        handles.into_iter().map(|h| h.join()).collect()
+                    });
+                let mut sampled: Vec<Vec<(VarId, u32)>> = Vec::with_capacity(results.len());
+                for (ci, res) in results.into_iter().enumerate() {
+                    match res {
+                        Ok(out) => sampled.push(out),
+                        Err(payload) => {
+                            // Re-sample the dead worker's cells on this
+                            // thread with a fresh RNG stream, so a
+                            // value-dependent fault cannot recur the same
+                            // way. Concliques make this safe: the cells
+                            // share no spatial factor with each other.
+                            let msg = panic_message(payload);
+                            warnings.push(format!(
+                                "cell worker {ci} of instance {instance} panicked at \
+                                 epoch {epoch} ({msg}); its cells were re-sampled \
+                                 sequentially"
+                            ));
+                            outcome = outcome.combine(RunOutcome::Degraded);
+                            let mut wrng = StdRng::seed_from_u64(worker_seed(ci) ^ 0xDEAD);
+                            let mut out = Vec::new();
+                            sample_cells(chunk_list[ci], &mut wrng, &mut out);
+                            sampled.push(out);
+                        }
+                    }
+                }
                 if record {
                     for pairs in sampled {
                         for (v, x) in pairs {
@@ -300,7 +426,23 @@ fn run_instance(
             }
         }
     }
-    counts
+    if !recorded && cell_filter.is_none() {
+        // Stopped before any post-burn-in epoch ran: fall back to a
+        // single snapshot of the current chain state so callers still
+        // receive finite, non-empty marginals.
+        for var in graph.variables() {
+            let x = match var.evidence {
+                Some(e) => e,
+                None => assignment[var.id as usize].load(Ordering::Relaxed),
+            };
+            counts.record(var.id, x);
+        }
+        warnings.push(format!(
+            "instance {instance} stopped before burn-in finished; its marginals \
+             fall back to a single-state snapshot"
+        ));
+    }
+    (counts, outcome, warnings)
 }
 
 #[cfg(test)]
@@ -458,6 +600,170 @@ mod tests {
         let a = spatial_gibbs(&g, &pyramid, &cfg);
         let b = spatial_gibbs(&g, &pyramid, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_instance_panic_degrades_gracefully() {
+        use sya_runtime::FaultPlan;
+        let g = grid_graph(3);
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: 8000,
+            instances: 2,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 100,
+            seed: 11,
+            ..Default::default()
+        };
+        let clean = spatial_gibbs(&g, &pyramid, &cfg);
+        let plan = FaultPlan {
+            panic_instances: vec![1],
+            panic_at_epoch: 10,
+            ..FaultPlan::none()
+        };
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Degraded);
+        assert!(run.warnings.iter().any(|w| w.contains("instance 1")), "{:?}", run.warnings);
+        // Dropping one of two instances halves the samples but keeps the
+        // count-ratio marginals close to the clean run.
+        for v in g.query_variables() {
+            let diff = (run.counts.factual_score(v) - clean.factual_score(v)).abs();
+            assert!(diff < 0.1, "var {v}: degraded {} vs clean {}",
+                run.counts.factual_score(v), clean.factual_score(v));
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_is_resampled_sequentially() {
+        use sya_runtime::FaultPlan;
+        // 8x8 grid, shallow pyramid: level-2 concliques hold multiple
+        // cells, and two forced workers make the parallel path run even
+        // on a single-core machine.
+        let g = grid_graph(8);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = InferConfig {
+            epochs: 400,
+            instances: 1,
+            levels: 2,
+            locality_level: 2,
+            burn_in: 20,
+            seed: 9,
+            workers: Some(2),
+            ..Default::default()
+        };
+        let plan = FaultPlan {
+            panic_worker_in_instance: Some(0),
+            panic_at_epoch: 5,
+            ..FaultPlan::none()
+        };
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Degraded);
+        assert!(
+            run.warnings.iter().any(|w| w.contains("re-sampled sequentially")),
+            "{:?}",
+            run.warnings
+        );
+        // The re-sampled epoch still recorded every variable.
+        for v in g.query_variables() {
+            assert!(run.counts.total_samples(v) > 0);
+        }
+    }
+
+    #[test]
+    fn deadline_yields_timed_out_with_partial_marginals() {
+        let g = grid_graph(3);
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: usize::MAX / 2, // only the deadline can stop this
+            instances: 2,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 100,
+            seed: 11,
+            ..Default::default()
+        };
+        let ctx = ExecContext::new(
+            sya_runtime::RunBudget::unlimited().with_deadline(std::time::Duration::ZERO),
+        );
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap();
+        assert_eq!(run.outcome, RunOutcome::TimedOut);
+        // The first-epoch guarantee plus the snapshot fallback keep the
+        // marginals non-empty and finite.
+        for v in g.query_variables() {
+            assert!(run.counts.total_samples(v) > 0, "var {v} has no samples");
+            assert!(run.counts.factual_score(v).is_finite());
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_at_the_next_epoch_barrier() {
+        let g = grid_graph(3);
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: usize::MAX / 2,
+            instances: 1,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 0,
+            seed: 2,
+            ..Default::default()
+        };
+        let ctx = ExecContext::unbounded();
+        ctx.token().cancel();
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Cancelled);
+        for v in g.query_variables() {
+            assert!(run.counts.total_samples(v) > 0);
+        }
+    }
+
+    #[test]
+    fn all_instances_failing_is_an_error() {
+        use sya_runtime::FaultPlan;
+        let g = grid_graph(2);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = InferConfig {
+            epochs: 100,
+            instances: 2,
+            levels: 2,
+            locality_level: 2,
+            burn_in: 0,
+            seed: 3,
+            ..Default::default()
+        };
+        let plan = FaultPlan {
+            panic_instances: vec![0, 1],
+            panic_at_epoch: 0,
+            ..FaultPlan::none()
+        };
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        let err = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap_err();
+        let InferError::AllInstancesFailed { instances, first_cause } = err;
+        assert_eq!(instances, 2);
+        assert!(first_cause.contains("injected fault"), "{first_cause}");
+    }
+
+    #[test]
+    fn governed_run_without_faults_matches_legacy() {
+        let g = grid_graph(2);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = InferConfig {
+            epochs: 100,
+            instances: 1,
+            levels: 2,
+            locality_level: 2,
+            burn_in: 0,
+            seed: 77,
+            ..Default::default()
+        };
+        let legacy = spatial_gibbs(&g, &pyramid, &cfg);
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ExecContext::unbounded()).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Completed);
+        assert!(run.warnings.is_empty());
+        assert_eq!(legacy, run.counts);
     }
 
     #[test]

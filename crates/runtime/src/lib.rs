@@ -1,0 +1,526 @@
+//! Resilient execution layer for the Sya pipeline.
+//!
+//! Knowledge-base construction is a long-running job: a bad rule set
+//! can ground an unbounded number of factors (the paper's Fig. 10
+//! step-function blow-up), and inference spins worker threads for
+//! minutes. Production KBC systems (DeepDive, Tuffy) therefore treat
+//! *resource governance* as a first-class concern: bounded memory,
+//! bounded time, and degraded-but-correct answers instead of aborts.
+//!
+//! This crate is the bottom layer of that posture, shared by
+//! `sya-ground` and `sya-infer` and re-exported by `sya-core`:
+//!
+//! - [`RunBudget`] — declarative limits (wall-clock deadline, max
+//!   ground factors / variables, max estimated memory).
+//! - [`CancellationToken`] — cooperative cancellation; samplers stop at
+//!   the next epoch barrier, the grounder at the next rule checkpoint.
+//! - [`RunOutcome`] — how a run ended (`Completed`, `Degraded`,
+//!   `TimedOut`, `Cancelled`); partial results carry the outcome
+//!   instead of being thrown away.
+//! - [`BudgetExceeded`] — structured hard-limit violation.
+//! - [`FaultPlan`] / [`ExecContext`] — a deterministic fault-injection
+//!   harness (worker panics, slowdowns, budget pressure) used by the
+//!   robustness test-suite to prove each degradation path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ------------------------------------------------------------- phase
+
+/// Pipeline phase, for error attribution and targeted fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Grounding,
+    Inference,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Grounding => f.write_str("grounding"),
+            Phase::Inference => f.write_str("inference"),
+        }
+    }
+}
+
+// ------------------------------------------------------------ budget
+
+/// Declarative resource limits for one construction run.
+///
+/// `None` means unlimited. The deadline is *graceful*: the run stops at
+/// the next checkpoint and returns partial results tagged
+/// [`RunOutcome::TimedOut`]. The count/memory limits are *hard*: they
+/// abort grounding with [`BudgetExceeded`] before the blow-up happens.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunBudget {
+    /// Wall-clock limit for the whole run (grounding + inference).
+    pub deadline: Option<Duration>,
+    /// Maximum ground factors (logical + spatial) the grounder may emit.
+    pub max_factors: Option<u64>,
+    /// Maximum ground variables (atoms) the grounder may instantiate.
+    pub max_variables: Option<u64>,
+    /// Maximum estimated factor-graph memory, in bytes.
+    pub max_memory_bytes: Option<u64>,
+}
+
+impl RunBudget {
+    /// No limits — the default for library callers.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn with_max_factors(mut self, n: u64) -> Self {
+        self.max_factors = Some(n);
+        self
+    }
+
+    pub fn with_max_variables(mut self, n: u64) -> Self {
+        self.max_variables = Some(n);
+        self
+    }
+
+    pub fn with_max_memory_bytes(mut self, n: u64) -> Self {
+        self.max_memory_bytes = Some(n);
+        self
+    }
+
+    pub fn is_unlimited(&self) -> bool {
+        *self == RunBudget::default()
+    }
+}
+
+/// Which budgeted resource a [`BudgetExceeded`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    Factors,
+    Variables,
+    MemoryBytes,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Factors => f.write_str("ground factors"),
+            Resource::Variables => f.write_str("ground variables"),
+            Resource::MemoryBytes => f.write_str("estimated memory bytes"),
+        }
+    }
+}
+
+/// A hard budget violation: the run is aborted, not degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    pub phase: Phase,
+    pub resource: Resource,
+    pub limit: u64,
+    pub observed: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} budget exceeded during {}: observed {} > limit {}",
+            self.resource, self.phase, self.observed, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Point-in-time resource usage checked against a [`RunBudget`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceUsage {
+    pub factors: u64,
+    pub variables: u64,
+    pub memory_bytes: u64,
+}
+
+// ------------------------------------------------------ cancellation
+
+/// A cooperative cancellation flag shared between a run and its caller.
+///
+/// Cloning is cheap (an `Arc<AtomicBool>`); all clones observe the same
+/// flag. Workers poll [`is_cancelled`](Self::is_cancelled) at epoch
+/// barriers / rule checkpoints, so cancellation latency is one
+/// checkpoint interval, not instantaneous.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    pub fn new() -> Self {
+        CancellationToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+// ----------------------------------------------------------- outcome
+
+/// How a construction run ended. Ordered by severity: combining
+/// outcomes (e.g. grounding's with inference's) keeps the worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum RunOutcome {
+    /// Everything ran to completion.
+    #[default]
+    Completed,
+    /// Completed, but with degraded fidelity — e.g. a panicked sampler
+    /// instance was dropped from the count average.
+    Degraded,
+    /// The wall-clock deadline fired; results are partial.
+    TimedOut,
+    /// The caller cancelled; results are partial.
+    Cancelled,
+}
+
+impl RunOutcome {
+    /// The more severe of two outcomes.
+    #[must_use]
+    pub fn combine(self, other: RunOutcome) -> RunOutcome {
+        self.max(other)
+    }
+
+    /// True when the run stopped before its configured work was done
+    /// (deadline or cancellation — not mere degradation).
+    pub fn is_partial(&self) -> bool {
+        matches!(self, RunOutcome::TimedOut | RunOutcome::Cancelled)
+    }
+
+    pub fn is_completed(&self) -> bool {
+        *self == RunOutcome::Completed
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed => f.write_str("completed"),
+            RunOutcome::Degraded => f.write_str("degraded"),
+            RunOutcome::TimedOut => f.write_str("timed-out"),
+            RunOutcome::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+// ------------------------------------------------------------ faults
+
+/// Deterministic fault-injection plan. Empty (the default) injects
+/// nothing; tests construct targeted plans to force each degradation
+/// path without any timing dependence.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Sampler instances (by index) that panic on reaching
+    /// [`panic_at_epoch`](Self::panic_at_epoch).
+    pub panic_instances: Vec<usize>,
+    /// Epoch at which `panic_instances` fire.
+    pub panic_at_epoch: usize,
+    /// Panic one parallel cell-worker chunk of this instance (at
+    /// `panic_at_epoch`). Fires once per context — the sequential
+    /// re-run of the failed cells is allowed to succeed.
+    pub panic_worker_in_instance: Option<usize>,
+    /// Sleep this long at every checkpoint of the given phase —
+    /// simulates stragglers / overload so deadline paths can be tested
+    /// with realistic-looking slowness.
+    pub slowdown: Option<(Phase, Duration)>,
+    /// Inflates the observed factor count at grounding checkpoints —
+    /// simulates budget pressure without materialising factors.
+    pub factor_pressure: u64,
+}
+
+impl FaultPlan {
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.panic_instances.is_empty()
+            && self.panic_worker_in_instance.is_none()
+            && self.slowdown.is_none()
+            && self.factor_pressure == 0
+    }
+}
+
+// ----------------------------------------------------------- context
+
+/// Execution context threaded through grounding and inference: budget,
+/// start time, cancellation token, and the fault plan. Shared by
+/// reference across worker threads (`Sync`).
+#[derive(Debug)]
+pub struct ExecContext {
+    budget: RunBudget,
+    start: Instant,
+    token: CancellationToken,
+    faults: FaultPlan,
+    /// Once-latch for [`FaultPlan::panic_worker_in_instance`].
+    worker_panic_fired: AtomicBool,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::new(RunBudget::unlimited())
+    }
+}
+
+impl ExecContext {
+    pub fn new(budget: RunBudget) -> Self {
+        ExecContext {
+            budget,
+            start: Instant::now(),
+            token: CancellationToken::new(),
+            faults: FaultPlan::none(),
+            worker_panic_fired: AtomicBool::new(false),
+        }
+    }
+
+    /// A context with no limits, no token, no faults.
+    pub fn unbounded() -> Self {
+        ExecContext::default()
+    }
+
+    /// Uses an externally owned token (e.g. handed to another thread
+    /// that may cancel this run).
+    #[must_use]
+    pub fn with_token(mut self, token: CancellationToken) -> Self {
+        self.token = token;
+        self
+    }
+
+    /// Installs a fault-injection plan (tests only, but safe anywhere —
+    /// an empty plan injects nothing).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    pub fn token(&self) -> &CancellationToken {
+        &self.token
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Remaining wall-clock budget; `None` when no deadline is set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.budget.deadline.map(|d| d.saturating_sub(self.elapsed()))
+    }
+
+    /// Checks the graceful interruption conditions (cancellation wins
+    /// over deadline when both hold). Workers call this at epoch
+    /// barriers / rule checkpoints and stop cleanly on `Some`.
+    pub fn interrupted(&self) -> Option<RunOutcome> {
+        if self.token.is_cancelled() {
+            return Some(RunOutcome::Cancelled);
+        }
+        match self.budget.deadline {
+            Some(d) if self.start.elapsed() >= d => Some(RunOutcome::TimedOut),
+            _ => None,
+        }
+    }
+
+    /// Checks hard resource limits; called from grounding checkpoints.
+    /// Budget-pressure faults inflate the observed factor count.
+    pub fn check_resources(
+        &self,
+        phase: Phase,
+        usage: ResourceUsage,
+    ) -> Result<(), BudgetExceeded> {
+        let observed_factors = usage.factors + self.faults.factor_pressure;
+        if let Some(limit) = self.budget.max_factors {
+            if observed_factors > limit {
+                return Err(BudgetExceeded {
+                    phase,
+                    resource: Resource::Factors,
+                    limit,
+                    observed: observed_factors,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.max_variables {
+            if usage.variables > limit {
+                return Err(BudgetExceeded {
+                    phase,
+                    resource: Resource::Variables,
+                    limit,
+                    observed: usage.variables,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.max_memory_bytes {
+            if usage.memory_bytes > limit {
+                return Err(BudgetExceeded {
+                    phase,
+                    resource: Resource::MemoryBytes,
+                    limit,
+                    observed: usage.memory_bytes,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an injected slowdown for `phase`, if planned.
+    pub fn maybe_slow(&self, phase: Phase) {
+        if let Some((p, pause)) = self.faults.slowdown {
+            if p == phase {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+
+    /// True when the fault plan panics sampler instance `instance` at
+    /// `epoch`.
+    pub fn should_panic_instance(&self, instance: usize, epoch: usize) -> bool {
+        epoch == self.faults.panic_at_epoch && self.faults.panic_instances.contains(&instance)
+    }
+
+    /// Once-latch for the planned cell-worker panic: returns true
+    /// exactly once for the planned instance at the planned epoch.
+    pub fn take_worker_panic(&self, instance: usize, epoch: usize) -> bool {
+        if self.faults.panic_worker_in_instance != Some(instance)
+            || epoch != self.faults.panic_at_epoch
+        {
+            return false;
+        }
+        !self.worker_panic_fired.swap(true, Ordering::AcqRel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_combine_keeps_worst() {
+        use RunOutcome::*;
+        assert_eq!(Completed.combine(Degraded), Degraded);
+        assert_eq!(Degraded.combine(Completed), Degraded);
+        assert_eq!(Degraded.combine(TimedOut), TimedOut);
+        assert_eq!(TimedOut.combine(Cancelled), Cancelled);
+        assert_eq!(Completed.combine(Completed), Completed);
+        assert!(TimedOut.is_partial());
+        assert!(Cancelled.is_partial());
+        assert!(!Degraded.is_partial());
+        assert!(Completed.is_completed());
+    }
+
+    #[test]
+    fn token_is_shared_between_clones() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn interrupted_prefers_cancellation() {
+        let ctx = ExecContext::new(RunBudget::unlimited().with_deadline(Duration::ZERO));
+        assert_eq!(ctx.interrupted(), Some(RunOutcome::TimedOut));
+        ctx.token().cancel();
+        assert_eq!(ctx.interrupted(), Some(RunOutcome::Cancelled));
+    }
+
+    #[test]
+    fn no_deadline_never_interrupts() {
+        let ctx = ExecContext::unbounded();
+        assert_eq!(ctx.interrupted(), None);
+        assert_eq!(ctx.remaining(), None);
+    }
+
+    #[test]
+    fn resource_checks_trip_the_right_limit() {
+        let ctx = ExecContext::new(
+            RunBudget::unlimited()
+                .with_max_factors(100)
+                .with_max_variables(50)
+                .with_max_memory_bytes(1 << 20),
+        );
+        let ok = ResourceUsage { factors: 100, variables: 50, memory_bytes: 1 << 20 };
+        assert!(ctx.check_resources(Phase::Grounding, ok).is_ok());
+
+        let too_many = ResourceUsage { factors: 101, ..ok };
+        let err = ctx.check_resources(Phase::Grounding, too_many).unwrap_err();
+        assert_eq!(err.resource, Resource::Factors);
+        assert_eq!(err.limit, 100);
+        assert_eq!(err.observed, 101);
+        assert_eq!(err.phase, Phase::Grounding);
+        assert!(err.to_string().contains("ground factors"));
+
+        let too_wide = ResourceUsage { variables: 51, ..ok };
+        let err = ctx.check_resources(Phase::Grounding, too_wide).unwrap_err();
+        assert_eq!(err.resource, Resource::Variables);
+
+        let too_big = ResourceUsage { memory_bytes: (1 << 20) + 1, ..ok };
+        let err = ctx.check_resources(Phase::Grounding, too_big).unwrap_err();
+        assert_eq!(err.resource, Resource::MemoryBytes);
+    }
+
+    #[test]
+    fn factor_pressure_inflates_observed_count() {
+        let plan = FaultPlan { factor_pressure: 90, ..FaultPlan::none() };
+        let ctx = ExecContext::new(RunBudget::unlimited().with_max_factors(100)).with_faults(plan);
+        let usage = ResourceUsage { factors: 20, ..ResourceUsage::default() };
+        let err = ctx.check_resources(Phase::Grounding, usage).unwrap_err();
+        assert_eq!(err.observed, 110);
+    }
+
+    #[test]
+    fn instance_panic_plan_matches_only_planned_epoch() {
+        let plan = FaultPlan {
+            panic_instances: vec![2],
+            panic_at_epoch: 5,
+            ..FaultPlan::none()
+        };
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        assert!(ctx.should_panic_instance(2, 5));
+        assert!(!ctx.should_panic_instance(2, 4));
+        assert!(!ctx.should_panic_instance(1, 5));
+    }
+
+    #[test]
+    fn worker_panic_latch_fires_once() {
+        let plan = FaultPlan {
+            panic_worker_in_instance: Some(0),
+            panic_at_epoch: 3,
+            ..FaultPlan::none()
+        };
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        assert!(!ctx.take_worker_panic(0, 2));
+        assert!(ctx.take_worker_panic(0, 3));
+        assert!(!ctx.take_worker_panic(0, 3), "latch must fire exactly once");
+        assert!(!ctx.take_worker_panic(1, 3));
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let b = RunBudget::unlimited()
+            .with_deadline(Duration::from_secs(30))
+            .with_max_factors(1_000_000);
+        assert_eq!(b.deadline, Some(Duration::from_secs(30)));
+        assert_eq!(b.max_factors, Some(1_000_000));
+        assert!(!b.is_unlimited());
+        assert!(RunBudget::unlimited().is_unlimited());
+    }
+}

@@ -21,6 +21,12 @@
 //!   --output FILE.csv         factual scores as CSV  [default: stdout]
 //!   --geojson FILE.json       located scores as GeoJSON
 //!   --min-score S             only emit scores >= S  [default: 0]
+//!   --timeout SECS            wall-clock deadline; on expiry the run
+//!                             stops at the next checkpoint and emits
+//!                             partial scores (outcome on stderr)
+//!   --max-factors N           abort grounding past N ground factors
+//!   --max-vars N              abort grounding past N ground variables
+//!   --max-memory-mb N         abort grounding past N MiB (estimated)
 //! ```
 
 use std::collections::HashMap;
@@ -37,7 +43,7 @@ pub fn run_cli(
     out: &mut dyn Write,
     err: &mut dyn Write,
 ) -> i32 {
-    match dispatch(args, out) {
+    match dispatch(args, out, err) {
         Ok(()) => 0,
         // A closed stdout (e.g. `sya translate | head`) is the reader's
         // choice, not a failure — follow the Unix convention and exit 0.
@@ -49,15 +55,15 @@ pub fn run_cli(
     }
 }
 
-fn dispatch(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+fn dispatch(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(USAGE.trim().to_owned());
     };
     match cmd.as_str() {
         "validate" => cmd_validate(&args[1..], out),
         "translate" => cmd_translate(&args[1..], out),
-        "stats" => cmd_run(&args[1..], out, true),
-        "run" => cmd_run(&args[1..], out, false),
+        "stats" => cmd_run(&args[1..], out, err, true),
+        "run" => cmd_run(&args[1..], out, err, false),
         "--help" | "-h" | "help" => {
             writeln!(out, "{}", USAGE.trim()).map_err(|e| e.to_string())
         }
@@ -85,6 +91,10 @@ struct Options {
     output: Option<String>,
     geojson: Option<String>,
     min_score: f64,
+    timeout: Option<f64>,
+    max_factors: Option<u64>,
+    max_vars: Option<u64>,
+    max_memory_mb: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -102,6 +112,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         output: None,
         geojson: None,
         min_score: 0.0,
+        timeout: None,
+        max_factors: None,
+        max_vars: None,
+        max_memory_mb: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -171,6 +185,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.min_score = value("--min-score")?
                     .parse()
                     .map_err(|e| format!("bad --min-score: {e}"))?
+            }
+            "--timeout" => {
+                let secs: f64 = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad --timeout: {secs} (want seconds >= 0)"));
+                }
+                opts.timeout = Some(secs);
+            }
+            "--max-factors" => {
+                opts.max_factors = Some(
+                    value("--max-factors")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-factors: {e}"))?,
+                )
+            }
+            "--max-vars" => {
+                opts.max_vars = Some(
+                    value("--max-vars")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-vars: {e}"))?,
+                )
+            }
+            "--max-memory-mb" => {
+                opts.max_memory_mb = Some(
+                    value("--max-memory-mb")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-memory-mb: {e}"))?,
+                )
             }
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag:?}")),
             path if opts.program_path.is_empty() => opts.program_path = path.to_owned(),
@@ -280,7 +324,12 @@ fn load_evidence(path: &str) -> Result<HashMap<(String, i64), u32>, String> {
     Ok(out)
 }
 
-fn cmd_run(args: &[String], out: &mut dyn Write, stats_only: bool) -> Result<(), String> {
+fn cmd_run(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+    stats_only: bool,
+) -> Result<(), String> {
     let opts = parse_options(args)?;
     let src = read_program(&opts.program_path)?;
 
@@ -295,6 +344,18 @@ fn cmd_run(args: &[String], out: &mut dyn Write, stats_only: bool) -> Result<(),
     }
     if let Some(r) = opts.radius {
         config = config.with_spatial_radius(r);
+    }
+    if let Some(secs) = opts.timeout {
+        config = config.with_deadline(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = opts.max_factors {
+        config = config.with_max_factors(n);
+    }
+    if let Some(n) = opts.max_vars {
+        config = config.with_max_variables(n);
+    }
+    if let Some(mb) = opts.max_memory_mb {
+        config = config.with_max_memory_bytes(mb.saturating_mul(1024 * 1024));
     }
 
     let session = SyaSession::new(&src, opts.constants.clone(), opts.metric, config)
@@ -312,16 +373,26 @@ fn cmd_run(args: &[String], out: &mut dyn Write, stats_only: bool) -> Result<(),
     };
     let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
 
+    // Degradation report: partial/degraded runs still emit scores, but
+    // the operator learns how the run ended and what was lost.
+    for w in &kb.warnings {
+        writeln!(err, "warning: {w}").map_err(|e| e.to_string())?;
+    }
+    if !kb.outcome.is_completed() {
+        writeln!(err, "run outcome: {}", kb.outcome).map_err(|e| e.to_string())?;
+    }
+
     if stats_only {
         writeln!(
             out,
             "variables: {}\nlogical factors: {}\nspatial factors: {}\n\
-             grounding: {:.1} ms\ninference: {:.1} ms",
+             grounding: {:.1} ms\ninference: {:.1} ms\noutcome: {}",
             kb.grounding.graph.num_variables(),
             kb.grounding.graph.num_factors(),
             kb.grounding.graph.num_spatial_factors(),
             kb.timings.grounding.as_secs_f64() * 1e3,
             kb.timings.inference.as_secs_f64() * 1e3,
+            kb.outcome,
         )
         .map_err(|e| e.to_string())?;
         return Ok(());
@@ -557,6 +628,69 @@ IsSafe,0,7
         ]);
         assert_eq!(code, 0, "stderr: {err}");
         assert!(!out.contains("IsSafe,0,1.0000"), "atom must not be clamped to 7/true");
+    }
+
+    #[test]
+    fn timeout_yields_partial_scores_and_reports_outcome() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "to.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_to.csv", WELLS);
+        // A zero deadline with a huge epoch budget: the run must still
+        // succeed, emit a score for every well, and report timed-out.
+        let (code, out, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "100000000",
+            "--timeout",
+            "0",
+            "--radius",
+            "4",
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        assert!(out.starts_with("relation,id,score"), "{out}");
+        assert_eq!(out.lines().count(), 5, "{out}");
+        assert!(err.contains("run outcome: timed-out"), "{err}");
+    }
+
+    #[test]
+    fn max_factors_budget_fails_fast() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "mf.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_mf.csv", WELLS);
+        let (code, _, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "50",
+            "--radius",
+            "4",
+            "--max-factors",
+            "1",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("budget exceeded"), "{err}");
+    }
+
+    #[test]
+    fn stats_reports_outcome() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "so.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_so.csv", WELLS);
+        let (code, out, _) = run(&[
+            "stats",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "10",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("outcome: completed"), "{out}");
     }
 
     #[test]

@@ -6,7 +6,10 @@ use sya::data::{
     ebola_dataset, gwdb_dataset, nyccas_dataset, supported_ids, Dataset, GwdbConfig,
     NyccasConfig, QualityEval,
 };
-use sya::{EngineMode, KnowledgeBase, SamplerKind, SyaConfig, SyaSession};
+use sya::{
+    EngineMode, ExecContext, FaultPlan, KnowledgeBase, RunOutcome, SamplerKind, SyaConfig,
+    SyaError, SyaSession,
+};
 use sya_store::Value;
 
 fn build(dataset: &Dataset, config: SyaConfig) -> KnowledgeBase {
@@ -22,6 +25,25 @@ fn build(dataset: &Dataset, config: SyaConfig) -> KnowledgeBase {
                 .and_then(|id| evidence.get(&id).copied())
         })
         .expect("construction succeeds")
+}
+
+/// Like [`build`], but under a caller-owned execution context, returning
+/// the error instead of unwrapping.
+fn build_with(
+    dataset: &Dataset,
+    config: SyaConfig,
+    ctx: &ExecContext,
+) -> Result<KnowledgeBase, SyaError> {
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .expect("program compiles");
+    let mut db = dataset.db.clone();
+    let evidence = dataset.evidence.clone();
+    session.construct_with(&mut db, &move |_, vals| {
+        vals.first()
+            .and_then(Value::as_int)
+            .and_then(|id| evidence.get(&id).copied())
+    }, ctx)
 }
 
 fn quality(dataset: &Dataset, kb: &KnowledgeBase, relation: &str) -> QualityEval {
@@ -214,4 +236,152 @@ fn evidence_atoms_report_observed_scores() {
         let (_, score) = scores.iter().find(|(i, _)| i == id).expect("evidence atom exists");
         assert_eq!(*score, v as f64);
     }
+}
+
+// --------------------------------------------- robustness / governance
+
+#[test]
+fn clean_runs_complete_with_no_warnings() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 100, ..Default::default() });
+    let kb = build(&dataset, gwdb_config(true).with_epochs(50));
+    assert_eq!(kb.outcome, RunOutcome::Completed);
+    assert!(kb.warnings.is_empty(), "{:?}", kb.warnings);
+}
+
+#[test]
+fn deadline_returns_partial_marginals_within_twice_the_budget() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 200, ..Default::default() });
+    let deadline = std::time::Duration::from_millis(400);
+    // An epoch budget that would run for minutes: only the deadline can
+    // end this run.
+    let cfg = gwdb_config(true).with_epochs(50_000_000).with_deadline(deadline);
+    let t0 = std::time::Instant::now();
+    let kb = build(&dataset, cfg);
+    let elapsed = t0.elapsed();
+    assert_eq!(kb.outcome, RunOutcome::TimedOut);
+    // Graceful stop at the next epoch barrier: well within 2x deadline
+    // (epochs on 200 wells are sub-millisecond).
+    assert!(
+        elapsed < deadline * 2,
+        "run took {elapsed:?} against a {deadline:?} deadline"
+    );
+    // Partial but usable: every query atom has finite samples.
+    let scores = kb.query_scores_by_id("IsSafe");
+    assert!(!scores.is_empty());
+    for (id, s) in scores {
+        assert!(s.is_finite() && (0.0..=1.0).contains(&s), "well {id}: score {s}");
+    }
+}
+
+#[test]
+fn factor_budget_fails_fast_on_step_function_blowup() {
+    // The paper's Fig. 10 blow-up: a step-function ladder of thousands
+    // of rules. The bands partition the distance radius, so the factor
+    // count stays pair-bound while grounding cost scales with the rule
+    // count — a factor cap below the pair count must abort the rule
+    // sweep early with a structured budget error instead of executing
+    // all 11k rules.
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 150, ..Default::default() });
+    let session = SyaSession::new(
+        &dataset.program,
+        dataset.constants.clone(),
+        dataset.metric,
+        SyaConfig::deepdive_stepfn(11_000).with_epochs(10).with_max_factors(8),
+    )
+    .expect("program compiles");
+    let mut db = dataset.db.clone();
+    let evidence = dataset.evidence.clone();
+    let t0 = std::time::Instant::now();
+    let result = session.construct(&mut db, &move |_, vals| {
+        vals.first()
+            .and_then(Value::as_int)
+            .and_then(|id| evidence.get(&id).copied())
+    });
+    let elapsed = t0.elapsed();
+    match result {
+        Err(SyaError::BudgetExceeded(b)) => {
+            assert!(b.observed > b.limit);
+            assert_eq!(b.limit, 8);
+        }
+        Err(other) => panic!("expected BudgetExceeded, got {other}"),
+        Ok(_) => panic!("11k-rule blow-up must trip the factor budget"),
+    }
+    // Fail-fast: nowhere near the cost of grounding all 11k rules.
+    assert!(elapsed.as_secs() < 30, "budget abort took {elapsed:?}");
+}
+
+#[test]
+fn injected_instance_panic_degrades_with_marginals_near_clean_run() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 200, ..Default::default() });
+    let mut cfg = gwdb_config(true).with_epochs(1200);
+    cfg.infer.instances = 2;
+    let clean = build(&dataset, cfg.clone());
+    assert_eq!(clean.outcome, RunOutcome::Completed);
+
+    let plan = FaultPlan {
+        panic_instances: vec![1],
+        panic_at_epoch: 3,
+        ..FaultPlan::none()
+    };
+    let ctx = ExecContext::unbounded().with_faults(plan);
+    let kb = build_with(&dataset, cfg, &ctx).expect("one surviving instance suffices");
+    assert_eq!(kb.outcome, RunOutcome::Degraded);
+    assert!(
+        kb.warnings.iter().any(|w| w.contains("instance 1")),
+        "{:?}",
+        kb.warnings
+    );
+
+    // Count-average over the surviving instance: same marginals, half
+    // the samples. Allow sampling noise, but the runs must agree.
+    let a = clean.query_scores_by_id("IsSafe");
+    let b = kb.query_scores_by_id("IsSafe");
+    assert_eq!(a.len(), b.len());
+    let mut disagreements = 0usize;
+    for ((id_a, sa), (id_b, sb)) in a.iter().zip(&b) {
+        assert_eq!(id_a, id_b);
+        if (sa - sb).abs() > 0.25 {
+            disagreements += 1;
+        }
+    }
+    let frac = disagreements as f64 / a.len() as f64;
+    assert!(
+        frac < 0.15,
+        "{:.0}% of scores drifted beyond 0.25 after dropping an instance",
+        frac * 100.0
+    );
+}
+
+#[test]
+fn cancellation_stops_the_pipeline_with_partial_results() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 150, ..Default::default() });
+    let cfg = gwdb_config(true).with_epochs(50_000_000);
+    let ctx = ExecContext::unbounded();
+    ctx.token().cancel();
+    let kb = build_with(&dataset, cfg, &ctx).expect("cancellation is graceful");
+    assert_eq!(kb.outcome, RunOutcome::Cancelled);
+    // Inference's first-epoch guarantee still scores every atom.
+    for (id, s) in kb.query_scores_by_id("IsSafe") {
+        assert!(s.is_finite() && (0.0..=1.0).contains(&s), "well {id}: score {s}");
+    }
+}
+
+#[test]
+fn injected_slowdown_makes_the_deadline_fire_in_grounding() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 100, ..Default::default() });
+    let cfg = gwdb_config(true).with_epochs(200);
+    let plan = FaultPlan {
+        slowdown: Some((sya::Phase::Grounding, std::time::Duration::from_millis(30))),
+        ..FaultPlan::none()
+    };
+    let mut ctx_budget = sya::RunBudget::unlimited();
+    ctx_budget.deadline = Some(std::time::Duration::from_millis(50));
+    let ctx = ExecContext::new(ctx_budget).with_faults(plan);
+    let kb = build_with(&dataset, cfg, &ctx).expect("slow grounding degrades, not fails");
+    assert_eq!(kb.outcome, RunOutcome::TimedOut);
+    assert!(
+        kb.warnings.iter().any(|w| w.contains("grounding stopped early")),
+        "{:?}",
+        kb.warnings
+    );
 }

@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the bench-definition API this workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`) backed by a simple wall-clock
+//! harness: each benchmark runs `sample_size` timed iterations after a
+//! warm-up run and prints min / mean / max. No statistics, plots, or
+//! baseline comparisons — just enough to keep `cargo bench` useful and
+//! the bench targets compiling offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also forces lazy initialisation out of the timings).
+        std::hint::black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        self.report(&id.name, &bencher.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples (iter never called)", self.group_name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        println!(
+            "{}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+            self.group_name,
+            samples.len()
+        );
+        let _ = &self.criterion; // group lifetime ties reports to the runner
+    }
+}
+
+/// The benchmark runner handle passed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group_name = name.into();
+        println!("== bench group: {group_name}");
+        BenchmarkGroup { criterion: self, group_name, sample_size: 20 }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; this harness has no options.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |acc, x| acc ^ x.wrapping_mul(2654435761))
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("work", 1000), &1000u64, |b, &n| {
+            b.iter(|| work(n))
+        });
+        group.bench_function("plain", |b| b.iter(|| work(10)));
+        group.finish();
+    }
+
+    criterion_group!(test_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop").sample_size(1).bench_function("nothing", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn criterion_group_macro_compiles() {
+        test_group();
+    }
+}

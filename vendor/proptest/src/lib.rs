@@ -1,0 +1,452 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the property-testing surface this workspace uses: the
+//! [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`, numeric
+//! range strategies, tuple strategies, `prop::collection::{vec,
+//! btree_set}`, `prop::sample::select`, `prop::bool::ANY`, and a
+//! simple-pattern string strategy for `".{A,B}"`-style regexes.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case
+//! panics with the case number and message. Input streams are
+//! deterministic per test (seeded from the test name), so failures
+//! reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+// ------------------------------------------------------------ runner
+
+/// Configuration for a `proptest!` block (subset of real proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test random source.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from the test name so every test gets a stable but
+    /// distinct input stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(h) }
+    }
+
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+// --------------------------------------------------------- strategy
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String strategy from a `&str` pattern. Supports the `.{A,B}` regex
+/// shape (A..=B arbitrary non-newline chars); any other pattern yields
+/// itself literally.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Mostly printable ASCII plus a few multibyte chars — dense
+        // coverage for parser-robustness properties.
+        const EXTRA: [char; 8] = ['\t', 'é', 'ß', '→', '☃', '𝄞', '"', '\\'];
+        if let Some((min, max)) = parse_dot_repeat(self) {
+            let len = rng.rng.gen_range(min..=max);
+            (0..len)
+                .map(|_| {
+                    if rng.rng.gen_bool(0.9) {
+                        (rng.rng.gen_range(0x20u32..0x7F) as u8) as char
+                    } else {
+                        EXTRA[rng.rng.gen_range(0..EXTRA.len())]
+                    }
+                })
+                .collect()
+        } else {
+            (*self).to_owned()
+        }
+    }
+}
+
+/// Parses a `.{A,B}` pattern into `(A, B)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?;
+    let rest = rest.strip_suffix('}')?;
+    let (a, b) = rest.split_once(',')?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.inner().gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with a target size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.inner().gen_range(self.size.start..self.size.end);
+            let mut set = std::collections::BTreeSet::new();
+            // Collisions shrink the set below target; bounded retries
+            // keep small element domains from looping forever.
+            let mut attempts = 0usize;
+            let max_attempts = 20 * (target + 1);
+            while set.len() < target && attempts < max_attempts {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            if set.is_empty() && self.size.start > 0 {
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.inner().gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+#[allow(non_upper_case_globals)]
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform `bool` strategy (proptest's `prop::bool::ANY`).
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.inner().gen_bool(0.5)
+        }
+    }
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod test_runner {
+    pub use crate::{ProptestConfig, TestCaseError, TestRng};
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ------------------------------------------------------------ macros
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{} (left: {:?}, right: {:?})",
+                ::std::format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}` (both {:?})",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a plain test running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(::std::stringify!($name));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest `{}` failed on case {}/{}: {}",
+                            ::std::stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u32..10,
+            f in -1.0f64..1.0,
+            pair in (0u32..4, 0usize..6),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f), "f out of range: {}", f);
+            prop_assert!(pair.0 < 4 && pair.1 < 6);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(
+            v in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..20),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+        }
+
+        #[test]
+        fn btree_set_within_bounds(
+            s in prop::collection::btree_set((0u32..16, 0u32..16), 1..80),
+        ) {
+            prop_assert!(!s.is_empty() && s.len() < 80);
+        }
+
+        #[test]
+        fn select_picks_from_options(
+            t in prop::sample::select(vec!["a", "b", "c"]),
+            b in prop::bool::ANY,
+        ) {
+            prop_assert!(["a", "b", "c"].contains(&t));
+            let _ = b;
+        }
+
+        #[test]
+        fn string_pattern_generates_bounded(input in ".{0,30}") {
+            prop_assert!(input.chars().count() <= 30);
+        }
+    }
+
+    // `RangeInclusive<usize>` strategy is exercised above indirectly;
+    // check determinism of the rng seeding here.
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let a = crate::TestRng::for_test("x").inner().gen::<u64>();
+        let b = crate::TestRng::for_test("x").inner().gen::<u64>();
+        let c = crate::TestRng::for_test("y").inner().gen::<u64>();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde's simplified `Serialize` /
+//! `Deserialize` traits (an owned-`Value` data model, see
+//! `vendor/serde`). Because the generated code only ever *names* fields
+//! and calls trait methods on them — letting type inference do the rest
+//! — the derive does not need `syn`: a small hand-rolled token walker
+//! extracts the struct/enum shape and the code is emitted as a string.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields (incl. private fields, `#[serde(default)]`)
+//! - tuple structs
+//! - enums with unit, newtype, tuple, and struct variants
+//!
+//! Not supported (fails with `compile_error!`): generics, unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------ model
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------- parsing
+
+/// Splits a token slice on top-level commas. Groups are opaque single
+/// tokens, so only `<`/`>` angle-bracket depth needs tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Consumes a leading run of attributes (`#[...]`), returning whether
+/// any was `#[serde(... default ...)]`.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while *pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*pos + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let is_serde =
+                    matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+                if is_serde {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if matches!(&t, TokenTree::Ident(i) if i.to_string() == "default") {
+                                has_default = true;
+                            }
+                        }
+                    }
+                }
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    has_default
+}
+
+/// Skips `pub` / `pub(...)` visibility tokens.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(&tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses the fields of a named-field body `{ a: T, b: U }`.
+fn parse_named_fields(body: &TokenTree) -> Result<Vec<Field>, String> {
+    let TokenTree::Group(g) = body else {
+        return Err("expected field block".into());
+    };
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    for piece in split_top_level_commas(&tokens) {
+        if piece.is_empty() {
+            continue;
+        }
+        let mut pos = 0usize;
+        let default = take_attrs(&piece, &mut pos);
+        skip_visibility(&piece, &mut pos);
+        let Some(TokenTree::Ident(name)) = piece.get(pos) else {
+            return Err("expected field name".into());
+        };
+        fields.push(Field { name: name.to_string(), default });
+    }
+    Ok(fields)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    take_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type `{name}`"));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(&tokens[pos])?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Input {
+                    name,
+                    shape: Shape::TupleStruct(split_top_level_commas(&inner).len()),
+                })
+            }
+            _ => Err(format!("unsupported struct shape for `{name}`")),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(pos) else {
+                return Err("expected enum body".into());
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for piece in split_top_level_commas(&body) {
+                if piece.is_empty() {
+                    continue;
+                }
+                let mut vpos = 0usize;
+                take_attrs(&piece, &mut vpos);
+                let Some(TokenTree::Ident(vname)) = piece.get(vpos) else {
+                    return Err("expected variant name".into());
+                };
+                let kind = match piece.get(vpos + 1) {
+                    None => VariantKind::Unit,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Tuple(split_top_level_commas(&inner).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        VariantKind::Struct(parse_named_fields(&piece[vpos + 1])?)
+                    }
+                    _ => return Err(format!("unsupported variant `{vname}`")),
+                };
+                variants.push(Variant { name: vname.to_string(), kind });
+            }
+            Ok(Input { name, shape: Shape::Enum(variants) })
+        }
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------- codegen
+
+fn bindings(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("f{i}")).collect()
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::serialize_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            if *n == 1 {
+                items.into_iter().next().unwrap()
+            } else {
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds = bindings(*n);
+                        let payload = if *n == 1 {
+                            format!("::serde::Serialize::serialize_value({})", binds[0])
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let fnames: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in &fnames {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            pat = fnames.join(", "),
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_field_reads(ty: &str, fields: &[Field], map_var: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.default {
+            s.push_str(&format!(
+                "{fname}: match {map_var}.get(\"{fname}\") {{\n\
+                 ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n}},\n"
+            ));
+        } else {
+            s.push_str(&format!(
+                "{fname}: match {map_var}.get(\"{fname}\") {{\n\
+                 ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::DeError::missing_field(\"{ty}\", \"{fname}\")),\n}},\n"
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            format!(
+                "let m = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::unexpected(\"{name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{reads}}})",
+                reads = gen_named_field_reads(name, fields, "m"),
+            )
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(v)?))"
+                )
+            } else {
+                let reads: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize_value(&arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let arr = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::unexpected(\"{name}\", v))?;\n\
+                     if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                     ::std::result::Result::Ok({name}({reads}))",
+                    reads = reads.join(", "),
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(n) if *n == 1 => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&arr[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let arr = val.as_array().ok_or_else(|| \
+                             ::serde::DeError::unexpected(\"{name}::{vn}\", val))?;\n\
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({reads}))\n}}\n",
+                            reads = reads.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let fm = val.as_object().ok_or_else(|| \
+                         ::serde::DeError::unexpected(\"{name}::{vn}\", val))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n{reads}}})\n}}\n",
+                        reads = gen_named_field_reads(&format!("{name}::{vn}"), fields, "fm"),
+                    )),
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown {name} variant `{{s}}`\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, val) = m.iter().next().unwrap();\n\
+                 match k.as_str() {{\n{data_arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown {name} variant `{{k}}`\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::unexpected(\"{name}\", other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .unwrap_or_else(|e| panic!("serde_derive stub generated invalid code: {e}")),
+        Err(msg) => format!("::std::compile_error!(\"serde_derive stub: {msg}\");")
+            .parse()
+            .unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

@@ -1,0 +1,519 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text parsing and printing over the vendored serde's [`Value`]
+//! data model, exposing the API subset this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_writer`], [`to_vec`],
+//! [`from_str`], [`from_reader`], [`from_slice`], [`to_value`],
+//! [`from_value`], the [`json!`] macro, and the [`Error`] type.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+pub use serde::{Map, Number, Value};
+
+/// Values that can appear on the right-hand side of `json!` entries and
+/// as the result of the free functions.
+#[derive(Debug)]
+pub enum Error {
+    /// I/O failure while reading or writing.
+    Io(std::io::Error),
+    /// Malformed JSON text: message and byte offset.
+    Syntax { msg: String, offset: usize },
+    /// Structurally valid JSON that does not match the target type.
+    Data(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "JSON I/O error: {e}"),
+            Error::Syntax { msg, offset } => {
+                write!(f, "JSON syntax error at byte {offset}: {msg}")
+            }
+            Error::Data(msg) => write!(f, "JSON data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::Data(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ----------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(Error::Syntax { msg: msg.into(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 192 {
+            return self.err("recursion limit exceeded");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => self.err(format!("unexpected byte `{}`", other as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::Syntax {
+                        msg: "unterminated escape".into(),
+                        offset: self.pos,
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("invalid \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogate pairs.
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                if !self.eat_literal("\\u") {
+                                    return self.err("unpaired surrogate");
+                                }
+                                let low = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok());
+                                let Some(low) = low else {
+                                    return self.err("invalid low surrogate");
+                                };
+                                self.pos += 4;
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                Some(b) if b < 0x20 => return self.err("control character in string"),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b & 0xC0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(i)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Number(Number::Float(f))),
+            Err(_) => self.err(format!("invalid number `{text}`")),
+        }
+    }
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+pub fn parse_value(text: &str) -> Result<Value> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after JSON value");
+    }
+    Ok(v)
+}
+
+// -------------------------------------------------------------- api
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Converts a [`Value`] tree into a concrete type.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    Ok(T::deserialize_value(&value)?)
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().to_json_string())
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().to_json_string_pretty())
+}
+
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+pub fn to_writer_pretty<W: Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let v = parse_value(text)?;
+    Ok(T::deserialize_value(&v)?)
+}
+
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| Error::Syntax { msg: "invalid UTF-8".into(), offset: 0 })?;
+    from_str(text)
+}
+
+pub fn from_reader<R: Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    from_slice(&buf)
+}
+
+// ------------------------------------------------------------ json!
+
+/// Builds a [`Value`] with JSON-like syntax (serde_json's `json!`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({} $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal TT muncher for `json!` arrays. Accumulates completed
+/// element expressions inside the leading `[...]` group.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    // Done.
+    ([ $($done:expr,)* ]) => { $crate::Value::Array(::std::vec![ $($done),* ]) };
+    // Next element is a nested array.
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ]) => {
+        $crate::json_array!([ $($done,)* $crate::json!([ $($inner)* ]), ])
+    };
+    // Next element is a nested object.
+    ([ $($done:expr,)* ] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!({ $($inner)* }), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* }) => {
+        $crate::json_array!([ $($done,)* $crate::json!({ $($inner)* }), ])
+    };
+    // Next element is a plain expression.
+    ([ $($done:expr,)* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] $next:expr) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next), ])
+    };
+}
+
+/// Internal TT muncher for `json!` objects. Accumulates completed
+/// `key => value-expr` pairs inside the leading `{...}` group.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    // Done.
+    ({ $($key:literal => $val:expr,)* }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert(::std::string::String::from($key), $val); )*
+        $crate::Value::Object(m)
+    }};
+    // Value is a nested object.
+    ({ $($done:tt)* } $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!({ $($done)* $key => $crate::json!({ $($inner)* }), } $($rest)*)
+    };
+    ({ $($done:tt)* } $key:literal : { $($inner:tt)* }) => {
+        $crate::json_object!({ $($done)* $key => $crate::json!({ $($inner)* }), })
+    };
+    // Value is a nested array.
+    ({ $($done:tt)* } $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!({ $($done)* $key => $crate::json!([ $($inner)* ]), } $($rest)*)
+    };
+    ({ $($done:tt)* } $key:literal : [ $($inner:tt)* ]) => {
+        $crate::json_object!({ $($done)* $key => $crate::json!([ $($inner)* ]), })
+    };
+    // Value is a plain expression.
+    ({ $($done:tt)* } $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!({ $($done)* $key => $crate::json!($val), } $($rest)*)
+    };
+    ({ $($done:tt)* } $key:literal : $val:expr) => {
+        $crate::json_object!({ $($done)* $key => $crate::json!($val), })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_prints_round_trip() {
+        let text = r#"{"a": [1, -2, 3.5, null, true], "b": {"c": "x\ny"}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][2].as_f64(), Some(3.5));
+        assert_eq!(v["a"][1].as_i64(), Some(-2));
+        assert!(v["a"][3].is_null());
+        assert_eq!(v["b"]["c"].as_str(), Some("x\ny"));
+        let reparsed: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let x = 0.123456789012345678f64;
+        let text = to_string(&x).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn json_macro_builds_nested_structures() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        let x = 2.5f64;
+        let v = json!({
+            "type": "FeatureCollection",
+            "features": [
+                {"geometry": {"type": "Point", "coordinates": [x, 4.0]},
+                 "properties": {"names": names, "score": 0.9}},
+                {"geometry": null}
+            ],
+            "count": 2
+        });
+        assert!(v["type"] == "FeatureCollection");
+        let features = v["features"].as_array().unwrap();
+        assert_eq!(features.len(), 2);
+        assert_eq!(features[0]["geometry"]["coordinates"][0].as_f64(), Some(2.5));
+        assert!(features[0]["properties"]["score"].is_number());
+        assert_eq!(features[0]["properties"]["names"][1].as_str(), Some("b"));
+        assert!(v["count"] == 2u32);
+        let empty = json!({});
+        assert_eq!(empty.as_object().unwrap().len(), 0);
+        let list = json!([1, 2, 3]);
+        assert_eq!(list.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn reader_writer_round_trip() {
+        let v = json!({"k": [1.5, "s"]});
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &v).unwrap();
+        let back: Value = from_reader(buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+}
