@@ -11,3 +11,14 @@ cd "$(dirname "$0")"
 cargo build --workspace --release
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
+
+# Observability smoke: a demo run must produce a valid metrics dump
+# (schema, per-phase timings, grounding cardinalities, convergence
+# series) and a JSON-lines trace. `metrics_smoke` validates the keys.
+./target/release/sya run demo/gwdb.ddlog \
+    --table Well=demo/wells.csv --evidence demo/evidence.csv \
+    --epochs 200 \
+    --metrics-out /tmp/sya_ci_metrics.json \
+    --trace-out /tmp/sya_ci_trace.jsonl > /dev/null
+./target/release/metrics_smoke /tmp/sya_ci_metrics.json
+test -s /tmp/sya_ci_trace.jsonl

@@ -1,0 +1,31 @@
+//! CI smoke validator for `sya run --metrics-out` dumps.
+//!
+//! ```text
+//! metrics_smoke METRICS.json
+//! ```
+//!
+//! Exits 0 when the file is a valid `sya.metrics.v1` document carrying
+//! the per-phase timings, grounding cardinalities, and convergence
+//! series that downstream tooling (benchmark tables, dashboards)
+//! parses; prints the first missing key and exits 1 otherwise.
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: metrics_smoke METRICS.json");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("metrics_smoke: cannot read {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match sya_bench::validate_metrics_json(&text) {
+        Ok(()) => println!("metrics_smoke: {path} ok"),
+        Err(msg) => {
+            eprintln!("metrics_smoke: {path}: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

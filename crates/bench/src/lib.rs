@@ -60,6 +60,76 @@ pub fn target_relation(dataset: &Dataset) -> &'static str {
     }
 }
 
+/// [`build_kb`] with observability on: the run is traced and measured,
+/// and the returned handle's registry renders to the same
+/// `sya.metrics.v1` JSON that `sya run --metrics-out` emits — the
+/// substrate for `BENCH_*.json`-compatible records.
+pub fn build_kb_observed(dataset: &Dataset, config: SyaConfig) -> (KnowledgeBase, sya_core::Obs) {
+    let config = calibrate(dataset, config);
+    let obs = sya_core::Obs::enabled();
+    let session = SyaSession::new_with_obs(
+        &dataset.program,
+        dataset.constants.clone(),
+        dataset.metric,
+        config,
+        obs.clone(),
+    )
+    .expect("program compiles");
+    let mut db = dataset.db.clone();
+    let evidence = dataset.evidence.clone();
+    let kb = session
+        .construct(&mut db, &move |_, vals| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        })
+        .expect("construction succeeds");
+    (kb, obs)
+}
+
+/// Renders an observed run's metrics registry as the JSON document
+/// `sya run --metrics-out` writes (schema `sya.metrics.v1`).
+pub fn metrics_record(obs: &sya_core::Obs) -> String {
+    sya_obs::export::render_metrics_json(&obs.metrics_snapshot())
+}
+
+/// Validates a `sya.metrics.v1` JSON dump: it must parse, carry the
+/// schema tag, and contain the phase/grounding/convergence keys that
+/// the benchmark tables and the CI smoke check depend on. Assumes a
+/// spatial-engine run (the `sya` default) for the convergence series.
+pub fn validate_metrics_json(text: &str) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if v["schema"] != sya_obs::export::METRICS_SCHEMA {
+        return Err(format!("bad schema tag: {}", v["schema"]));
+    }
+    let gauges = ["phase.grounding_seconds", "phase.inference_seconds"];
+    for key in gauges {
+        if !v["gauges"][key].is_number() {
+            return Err(format!("missing gauge {key:?}"));
+        }
+    }
+    let counters = [
+        "ground.variables_total",
+        "ground.logical_factors_total",
+        "ground.spatial_factors_total",
+        "ground.pruned_pairs_total",
+    ];
+    for key in counters {
+        if !v["counters"][key].is_number() {
+            return Err(format!("missing counter {key:?}"));
+        }
+    }
+    let series = ["infer.spatial.flip_rate", "infer.spatial.marginal_delta"];
+    for key in series {
+        match v["series"][key].as_array() {
+            Some(points) if !points.is_empty() => {}
+            _ => return Err(format!("missing or empty series {key:?}")),
+        }
+    }
+    Ok(())
+}
+
 /// Evaluates a knowledge base with the paper's quality metrics.
 pub fn evaluate(dataset: &Dataset, kb: &KnowledgeBase) -> QualityEval {
     let relation = target_relation(dataset);
@@ -143,6 +213,22 @@ mod tests {
         let eval = evaluate(&d, &kb);
         assert!(eval.predicted > 0);
         assert!(eval.f1() > 0.0);
+    }
+
+    #[test]
+    fn observed_build_emits_valid_metrics_record() {
+        let d = gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() });
+        let (kb, obs) = build_kb_observed(&d, SyaConfig::sya().with_epochs(40));
+        assert!(!kb.telemetry.is_empty());
+        validate_metrics_json(&metrics_record(&obs)).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_metrics_json("not json").is_err());
+        assert!(validate_metrics_json("{\"schema\": \"other\"}").is_err());
+        let empty = sya_obs::export::render_metrics_json(&Default::default());
+        assert!(validate_metrics_json(&empty).is_err());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use error::SyaError;
 pub use pipeline::{ExtendStats, SyaSession};
 pub use query::{hull_of, to_geojson, KbFact, KbQuery};
 pub use result::{KnowledgeBase, Timings};
+pub use sya_obs::{ConvergenceSeries, MetricsSnapshot, Obs, TracerSnapshot};
 pub use sya_runtime::{
     BudgetExceeded, CancellationToken, ExecContext, FaultPlan, Phase, Resource, RunBudget,
     RunOutcome,

@@ -10,14 +10,21 @@ use sya_ground::{expand_step_function_rules, Grounder};
 use sya_infer::{
     parallel_random_gibbs_with, sequential_gibbs_with, spatial_gibbs_with, PyramidIndex,
 };
-use sya_lang::{compile, parse_program, CompiledProgram, GeomConstants};
+use sya_lang::{compile_with, parse_program_with, CompiledProgram, GeomConstants};
+use sya_obs::Obs;
 use sya_runtime::ExecContext;
 use sya_store::{Database, Value};
+
+/// Step-function expansion beyond this rule multiple is the blow-up the
+/// paper warns about (Section III): the grounding workload grows with
+/// the step count, so an observed session flags it as a warning event.
+const STEPFN_BLOWUP_FACTOR: usize = 8;
 
 /// A compiled program ready to construct knowledge bases.
 pub struct SyaSession {
     compiled: CompiledProgram,
     config: SyaConfig,
+    obs: Obs,
 }
 
 impl SyaSession {
@@ -28,20 +35,49 @@ impl SyaSession {
         metric: DistanceMetric,
         config: SyaConfig,
     ) -> Result<Self, SyaError> {
-        let ast = parse_program(program)?;
-        let mut compiled = compile(&ast, &constants, metric)?;
+        Self::new_with_obs(program, constants, metric, config, Obs::disabled())
+    }
+
+    /// [`new`](Self::new) with an observability handle: parse/compile run
+    /// under `lang.*` spans, the step-function expansion is measured, and
+    /// every later [`construct`](Self::construct) call without an explicit
+    /// context inherits the handle.
+    pub fn new_with_obs(
+        program: &str,
+        constants: GeomConstants,
+        metric: DistanceMetric,
+        config: SyaConfig,
+        obs: Obs,
+    ) -> Result<Self, SyaError> {
+        let ast = parse_program_with(program, &obs)?;
+        let mut compiled = compile_with(&ast, &constants, metric, &obs)?;
 
         // Step-function mode rewrites the rule set before grounding.
         if let EngineMode::DeepDiveStepFn(spec) = &config.mode {
+            let rules_before = compiled.rules.len();
             let shape = spec
                 .shape_bandwidth
                 .map(|bw| sya_fg::WeightingFn::Exponential { scale: 1.0, bandwidth: bw });
             compiled.rules = expand_step_function_rules(&compiled.rules, spec, shape.as_ref());
+            obs.gauge_set("lang.stepfn_expanded_rules", compiled.rules.len() as f64);
+            if compiled.rules.len() >= rules_before.max(1) * STEPFN_BLOWUP_FACTOR {
+                obs.warn(format!(
+                    "step-function expansion blew the rule set up from {rules_before} to \
+                     {} rules; grounding cost scales with the step count",
+                    compiled.rules.len()
+                ));
+            }
         }
 
         let mut config = config;
         config.ground.metric = metric;
-        Ok(SyaSession { compiled, config })
+        Ok(SyaSession { compiled, config, obs })
+    }
+
+    /// The session's observability handle (disabled unless the session
+    /// was created via [`new_with_obs`](Self::new_with_obs)).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The compiled rule set (after any step-function expansion).
@@ -64,7 +100,9 @@ impl SyaSession {
         db: &mut Database,
         evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
     ) -> Result<KnowledgeBase, SyaError> {
-        self.construct_with(db, evidence, &ExecContext::new(self.config.budget.clone()))
+        let ctx =
+            ExecContext::new(self.config.budget.clone()).with_obs(self.obs.clone());
+        self.construct_with(db, evidence, &ctx)
     }
 
     /// [`construct`](Self::construct) under a caller-owned execution
@@ -78,11 +116,22 @@ impl SyaSession {
         evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
         ctx: &ExecContext,
     ) -> Result<KnowledgeBase, SyaError> {
+        let obs = ctx.obs();
         // Phase 1: grounding.
         let t0 = Instant::now();
-        let mut grounder = Grounder::new(&self.compiled, self.config.ground.clone());
-        let grounding = grounder.ground_with(db, evidence, ctx)?;
+        let grounding = {
+            let mut span = obs.span("pipeline.ground");
+            let mut grounder = Grounder::new(&self.compiled, self.config.ground.clone());
+            let grounding = grounder.ground_with(db, evidence, ctx)?;
+            span.set_attr("variables", grounding.graph.num_variables());
+            span.set_attr(
+                "factors",
+                grounding.graph.num_factors() + grounding.graph.num_spatial_factors(),
+            );
+            grounding
+        };
         let grounding_time = t0.elapsed();
+        obs.gauge_set("phase.grounding_seconds", grounding_time.as_secs_f64());
 
         // Phase 2: inference. Even when grounding was interrupted, the
         // graph is a valid prefix: run inference (the same context stops
@@ -97,10 +146,18 @@ impl SyaSession {
         }
         let t1 = Instant::now();
         let infer = &self.config.infer;
+        let infer_span = obs.span("pipeline.infer");
         let (run, pyramid) = match self.config.sampler {
             SamplerKind::Spatial => {
-                let pyramid =
-                    PyramidIndex::build(&grounding.graph, infer.levels, infer.cell_capacity);
+                let tp = Instant::now();
+                let pyramid = {
+                    let mut span = obs.span("infer.pyramid_build");
+                    let pyramid =
+                        PyramidIndex::build(&grounding.graph, infer.levels, infer.cell_capacity);
+                    span.set_attr("levels", infer.levels);
+                    pyramid
+                };
+                obs.gauge_set("infer.pyramid_build_seconds", tp.elapsed().as_secs_f64());
                 let run = spatial_gibbs_with(&grounding.graph, &pyramid, infer, ctx)?;
                 (run, Some(pyramid))
             }
@@ -126,7 +183,9 @@ impl SyaSession {
                 None,
             ),
         };
+        drop(infer_span);
         let inference_time = t1.elapsed();
+        obs.gauge_set("phase.inference_seconds", inference_time.as_secs_f64());
         outcome = outcome.combine(run.outcome);
         warnings.extend(run.warnings);
 
@@ -138,6 +197,7 @@ impl SyaSession {
             config: self.config.clone(),
             outcome,
             warnings,
+            telemetry: run.telemetry,
         })
     }
 
@@ -202,10 +262,17 @@ impl SyaSession {
                 kb.counts.replace_from(&new_counts, touched);
             }
         }
+        // Saturating: delta grounding only adds today, but a future
+        // compacting pass may shrink the graph mid-extend, and a usize
+        // underflow here would panic instead of reporting zero growth.
         Ok(ExtendStats {
-            new_variables: kb.grounding.graph.num_variables() - vars_before,
-            new_logical_factors: kb.grounding.graph.num_factors() - factors_before,
-            new_spatial_factors: kb.grounding.graph.num_spatial_factors() - spatial_before,
+            new_variables: kb.grounding.graph.num_variables().saturating_sub(vars_before),
+            new_logical_factors: kb.grounding.graph.num_factors().saturating_sub(factors_before),
+            new_spatial_factors: kb
+                .grounding
+                .graph
+                .num_spatial_factors()
+                .saturating_sub(spatial_before),
             resampled,
             grounding: grounding_time,
             inference: t1.elapsed(),
@@ -513,6 +580,79 @@ mod tests {
         assert!(resampled > 0);
         // Retracting unknown/out-of-range ids is a no-op.
         assert_eq!(kb.retract_atoms(&[9999]), 0);
+    }
+
+    #[test]
+    fn observed_construct_records_phase_metrics_and_nested_spans() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() });
+        let obs = Obs::enabled();
+        let session = SyaSession::new_with_obs(
+            &d.program,
+            d.constants.clone(),
+            d.metric,
+            SyaConfig::sya().with_epochs(40),
+            obs.clone(),
+        )
+        .unwrap();
+        let evidence = d.evidence.clone();
+        let kb = session
+            .construct(&mut d.db, &move |_, vals| {
+                vals.first()
+                    .and_then(Value::as_int)
+                    .and_then(|id| evidence.get(&id).copied())
+            })
+            .unwrap();
+
+        let m = obs.metrics().unwrap();
+        assert!(m.gauge_value("phase.grounding_seconds").unwrap() > 0.0);
+        assert!(m.gauge_value("phase.inference_seconds").unwrap() > 0.0);
+        assert!(m.gauge_value("infer.pyramid_build_seconds").is_some());
+        assert!(m.counter_value("ground.rules_total").unwrap() > 0);
+        assert!(m.counter_value("store.spatial_queries_total").unwrap() > 0);
+        // Convergence series cover the per-instance epoch share.
+        let delta = m.series("infer.spatial.marginal_delta").unwrap();
+        assert!(delta.len() >= 40 / 4, "marginal delta series too short: {}", delta.len());
+        assert!(!kb.telemetry.is_empty());
+        assert_eq!(kb.telemetry.marginal_delta.len(), delta.len());
+
+        let spans = obs.trace_snapshot().spans;
+        for name in
+            ["lang.parse", "lang.compile", "pipeline.ground", "infer.pyramid_build",
+             "pipeline.infer"]
+        {
+            assert!(spans.iter().any(|s| s.name == name), "{name} span missing");
+        }
+        // Grounding spans nest under the pipeline.ground phase span.
+        let ground = spans.iter().find(|s| s.name == "pipeline.ground").unwrap();
+        assert!(
+            spans
+                .iter()
+                .filter(|s| s.name == "ground.rule")
+                .all(|s| s.parent == Some(ground.id)),
+            "ground.rule spans must be children of pipeline.ground"
+        );
+    }
+
+    #[test]
+    fn extend_with_no_new_rows_reports_zero_growth() {
+        // Boundary of the saturating stats arithmetic: an extend call
+        // that grounds nothing must report zeros, never underflow.
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 50, ..Default::default() });
+        let cfg = SyaConfig::sya().with_epochs(50);
+        let session =
+            SyaSession::new(&d.program, d.constants.clone(), d.metric, cfg).unwrap();
+        let evidence = d.evidence.clone();
+        let ev = move |_: &str, vals: &[Value]| {
+            vals.first()
+                .and_then(Value::as_int)
+                .and_then(|id| evidence.get(&id).copied())
+        };
+        let mut kb = session.construct(&mut d.db, &ev).unwrap();
+        let stats = session.extend(&mut kb, &mut d.db, &[], &ev).unwrap();
+        assert_eq!(stats.new_variables, 0);
+        assert_eq!(stats.new_logical_factors, 0);
+        assert_eq!(stats.new_spatial_factors, 0);
+        assert_eq!(stats.resampled, 0);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct KnowledgeBase {
     pub outcome: RunOutcome,
     /// Degradation notes accumulated across grounding and inference.
     pub warnings: Vec<String>,
+    /// Per-epoch convergence trajectory of the inference run (flip rate,
+    /// marginal delta, pseudo-log-likelihood when observed).
+    pub telemetry: sya_obs::ConvergenceSeries,
 }
 
 impl KnowledgeBase {

@@ -10,13 +10,19 @@ use sya_fg::{
 };
 use sya_geom::{haversine_miles, DistanceMetric, Point, RTree, Rect};
 use sya_lang::{CompiledProgram, CompiledRule, HeadOp, RuleKind, SlotTerm};
-use sya_runtime::{ExecContext, Phase, ResourceUsage, RunOutcome};
+use sya_runtime::{ExecContext, Obs, Phase, ResourceUsage, RunOutcome};
 use sya_store::{expr_columns, BinOp, Database, Expr, SpatialFn, Value};
 
 /// How many spatial-factor emissions pass between interruption / budget
 /// checkpoints inside the R-tree pair loop. Count checks are O(1); the
 /// O(n) memory estimate only runs at the coarser per-rule checkpoints.
 const SPATIAL_CHECKPOINT_INTERVAL: usize = 4096;
+
+/// How many binding applications pass between count-only budget checks
+/// inside a rule's binding loop. A single wide join can blow the budget
+/// mid-rule, so waiting for the per-rule checkpoint is too late; each
+/// check is O(1) and surfaced as `ground.budget_checks_total`.
+const BINDING_CHECKPOINT_INTERVAL: usize = 1024;
 
 /// Grounding configuration.
 #[derive(Debug, Clone)]
@@ -195,11 +201,14 @@ pub struct Grounder<'p> {
     config: GroundConfig,
     /// Lazy hash indexes: `(relation, column) -> join key -> row ids`.
     hash_indexes: HashMap<(String, usize), HashMap<sya_store::JoinKey, Vec<usize>>>,
+    /// Observability handle, adopted from the [`ExecContext`] at the
+    /// start of each governed run (delta grounding reuses the last one).
+    obs: Obs,
 }
 
 impl<'p> Grounder<'p> {
     pub fn new(program: &'p CompiledProgram, config: GroundConfig) -> Self {
-        Grounder { program, config, hash_indexes: HashMap::new() }
+        Grounder { program, config, hash_indexes: HashMap::new(), obs: Obs::disabled() }
     }
 
     /// Grounds the program against `db`. `evidence` maps a head atom
@@ -229,6 +238,10 @@ impl<'p> Grounder<'p> {
         evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
         ctx: &ExecContext,
     ) -> Result<Grounding, GroundError> {
+        self.obs = ctx.obs().clone();
+        if self.obs.is_enabled() {
+            db.attach_obs(self.obs.clone());
+        }
         let mut out = Grounding {
             graph: FactorGraph::new(),
             atom_ids: HashMap::new(),
@@ -267,7 +280,22 @@ impl<'p> Grounder<'p> {
         out.stats.variables_created = out.graph.num_variables();
         out.stats.logical_factors = out.graph.num_factors();
         out.stats.spatial_factors = out.graph.num_spatial_factors();
+        self.publish_stats(&out.stats);
         Ok(out)
+    }
+
+    /// Records the grounding cardinalities (Table I / Fig. 9b feeders)
+    /// as `ground.*` counters.
+    fn publish_stats(&self, stats: &GroundingStats) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.counter_add("ground.rules_total", stats.rules_executed as u64);
+        self.obs.counter_add("ground.queries_total", stats.queries_executed as u64);
+        self.obs.counter_add("ground.variables_total", stats.variables_created as u64);
+        self.obs.counter_add("ground.logical_factors_total", stats.logical_factors as u64);
+        self.obs.counter_add("ground.spatial_factors_total", stats.spatial_factors as u64);
+        self.obs.counter_add("ground.pruned_pairs_total", stats.pruned_domain_pairs as u64);
     }
 
     /// Incrementally extends an existing grounding after new input rows
@@ -344,12 +372,17 @@ impl<'p> Grounder<'p> {
         out: &mut Grounding,
         ctx: &ExecContext,
     ) -> Result<(), GroundError> {
+        let mut span = self
+            .obs
+            .span_with("ground.rule", vec![("rule".to_string(), rule.label.clone())]);
         let bindings = self.eval_body(rule, db, out)?;
+        span.set_attr("bindings", bindings.len());
+        self.obs.counter_add("ground.bindings_total", bindings.len() as u64);
         out.stats.rules_executed += 1;
         for (i, binding) in bindings.iter().enumerate() {
             // A single wide join can blow the budget mid-rule; count-only
             // checks are O(1) so run them periodically inside the loop.
-            if i > 0 && i.is_multiple_of(1024) {
+            if i > 0 && i.is_multiple_of(BINDING_CHECKPOINT_INTERVAL) {
                 check_graph_counts(ctx, &out.graph)?;
             }
             self.apply_binding(rule, binding, evidence, out);
@@ -525,6 +558,17 @@ impl<'p> Grounder<'p> {
                     SlotTerm::Slot(s) if bound_before.contains(s) => Some((*s, pos)),
                     _ => None,
                 },
+            );
+            // Planner choice for this atom stage, by access path.
+            self.obs.counter_add(
+                if spatial_probe.is_some() {
+                    "store.planner_spatial_probe_total"
+                } else if eq_probe.is_some() {
+                    "store.planner_hash_probe_total"
+                } else {
+                    "store.planner_full_scan_total"
+                },
+                1,
             );
 
             // Ensure indexes exist before the per-binding loop.
@@ -721,6 +765,10 @@ impl<'p> Grounder<'p> {
             if atoms.len() < 2 {
                 continue;
             }
+            let factors_before = out.graph.num_spatial_factors();
+            let mut span = self
+                .obs
+                .span_with("ground.spatial", vec![("relation".to_string(), relation.clone())]);
 
             let bandwidth = self
                 .config
@@ -776,7 +824,7 @@ impl<'p> Grounder<'p> {
                 out.graph.num_spatial_factors() + SPATIAL_CHECKPOINT_INTERVAL;
             'atoms: for &(id, p) in &atoms {
                 atoms_seen += 1;
-                if atoms_seen.is_multiple_of(1024)
+                if atoms_seen.is_multiple_of(BINDING_CHECKPOINT_INTERVAL)
                     || out.graph.num_spatial_factors() >= next_factor_check
                 {
                     next_factor_check =
@@ -823,6 +871,8 @@ impl<'p> Grounder<'p> {
                     }
                 }
             }
+            span.set_attr("radius", format!("{radius:.4}"));
+            span.set_attr("factors", out.graph.num_spatial_factors() - factors_before);
         }
         Ok(())
     }
@@ -886,6 +936,7 @@ struct SpatialProbe {
 /// Full budget checkpoint: counts plus the O(n) memory estimate. Run at
 /// rule granularity, where the estimate's cost is amortized.
 fn check_graph_budget(ctx: &ExecContext, graph: &FactorGraph) -> Result<(), GroundError> {
+    ctx.obs().counter_add("ground.budget_checks_total", 1);
     let usage = ResourceUsage {
         factors: graph.total_factors() as u64,
         variables: graph.num_variables() as u64,
@@ -902,6 +953,7 @@ fn check_graph_budget(ctx: &ExecContext, graph: &FactorGraph) -> Result<(), Grou
 /// Count-only budget checkpoint (O(1)): factor and variable limits, no
 /// memory estimate. Safe to run inside tight emission loops.
 fn check_graph_counts(ctx: &ExecContext, graph: &FactorGraph) -> Result<(), GroundError> {
+    ctx.obs().counter_add("ground.budget_checks_total", 1);
     let usage = ResourceUsage {
         factors: graph.total_factors() as u64,
         variables: graph.num_variables() as u64,
@@ -1395,6 +1447,72 @@ mod tests {
         // Only id=1 joins; Null never equals Null.
         assert_eq!(g.graph.num_variables(), 1);
         assert_eq!(g.graph.num_factors(), 1);
+    }
+
+    #[test]
+    fn obs_records_grounding_metrics_and_rule_spans() {
+        let program = parse_program(SRC).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(10);
+        let obs = Obs::enabled();
+        let ctx = ExecContext::unbounded().with_obs(obs.clone());
+        let g = Grounder::new(&compiled, GroundConfig::default())
+            .ground_with(&mut db, &|_, _| None, &ctx)
+            .unwrap();
+
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.counter_value("ground.rules_total"), Some(g.stats.rules_executed as u64));
+        assert_eq!(
+            m.counter_value("ground.variables_total"),
+            Some(g.stats.variables_created as u64)
+        );
+        assert_eq!(
+            m.counter_value("ground.logical_factors_total"),
+            Some(g.stats.logical_factors as u64)
+        );
+        assert_eq!(
+            m.counter_value("ground.spatial_factors_total"),
+            Some(g.stats.spatial_factors as u64)
+        );
+        // Budget checkpoints ran (one full check per rule at minimum).
+        assert!(m.counter_value("ground.budget_checks_total").unwrap() >= 2);
+        // The R-tree probe of R1's second body atom was chosen and the
+        // store recorded the index build + fetches.
+        assert!(m.counter_value("store.planner_spatial_probe_total").unwrap() >= 1);
+        assert!(m.counter_value("store.spatial_index_builds_total").unwrap() >= 1);
+        assert!(m.counter_value("store.rows_fetched_total").unwrap() > 0);
+
+        let spans = obs.trace_snapshot().spans;
+        let rule_spans: Vec<_> = spans.iter().filter(|s| s.name == "ground.rule").collect();
+        assert_eq!(rule_spans.len(), 2, "one span per rule: {spans:?}");
+        assert!(rule_spans
+            .iter()
+            .any(|s| s.attrs.iter().any(|(k, v)| k == "rule" && v == "R1")));
+        assert!(spans.iter().any(|s| s.name == "ground.spatial"));
+    }
+
+    #[test]
+    fn budget_trip_emits_trace_event_and_trip_counter() {
+        let program = parse_program(SRC).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(10);
+        let obs = Obs::enabled();
+        let ctx = ExecContext::new(sya_runtime::RunBudget::unlimited().with_max_factors(1))
+            .with_obs(obs.clone());
+        let err = Grounder::new(&compiled, GroundConfig::default())
+            .ground_with(&mut db, &|_, _| None, &ctx)
+            .unwrap_err();
+        assert!(matches!(err, GroundError::Budget(_)));
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.counter_value("runtime.budget_trips_total"), Some(1));
+        assert!(obs
+            .trace_snapshot()
+            .events
+            .iter()
+            .any(|e| e.severity == sya_runtime::Severity::Warn
+                && e.message.contains("budget trip")));
     }
 
     #[test]

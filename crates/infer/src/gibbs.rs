@@ -2,11 +2,13 @@
 //! random-partition parallel Gibbs of the state of the art the paper
 //! compares against (Section V, "Main Idea").
 
+use crate::learn::pseudo_log_likelihood;
 use crate::marginals::MarginalCounts;
 use crate::run::{panic_message, SamplerRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sya_fg::{binary_conditional_true, conditional_with, Assignment, FactorGraph, VarId};
+use sya_obs::{pll_stride, EpochTelemetry};
 use sya_runtime::{ExecContext, Phase, RunOutcome};
 
 /// Draws an index from a normalized probability vector.
@@ -53,6 +55,16 @@ pub(crate) fn random_init(graph: &FactorGraph, rng: &mut StdRng) -> Assignment {
         .collect()
 }
 
+/// Convergence-telemetry indicator over the current chain state: true
+/// when the variable holds a non-default value (for binary variables
+/// exactly `x == 1`, the factual-score convention). The running mean of
+/// this indicator is the marginal estimate whose per-epoch max change
+/// becomes the `marginal_delta` series.
+#[inline]
+pub(crate) fn telemetry_indicator(x: u32) -> bool {
+    x != 0
+}
+
 /// Records one snapshot of the current chain state into `counts` — the
 /// fallback when a governed run is stopped before burn-in finished, so
 /// callers still receive finite, non-empty marginals.
@@ -90,6 +102,7 @@ pub fn sequential_gibbs_with(
     seed: u64,
     ctx: &ExecContext,
 ) -> SamplerRun {
+    let obs = ctx.obs();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut assignment = random_init(graph, &mut rng);
     let query = graph.query_variables();
@@ -97,6 +110,8 @@ pub fn sequential_gibbs_with(
     let mut outcome = RunOutcome::Completed;
     let mut warnings = Vec::new();
     let mut recorded = false;
+    let mut telemetry = EpochTelemetry::new(graph.num_variables());
+    let stride = pll_stride(epochs);
 
     for epoch in 0..epochs {
         // Epoch barrier: checked from the second epoch on, so an
@@ -108,8 +123,14 @@ pub fn sequential_gibbs_with(
             }
         }
         ctx.maybe_slow(Phase::Inference);
+        let epoch_start = obs.is_enabled().then(std::time::Instant::now);
+        let mut flips = 0u64;
         for &v in &query {
+            let old = assignment[v as usize];
             let x = sample_conditional(graph, &|u| assignment[u as usize], v, &mut rng);
+            if x != old {
+                flips += 1;
+            }
             assignment[v as usize] = x;
             if epoch >= burn_in {
                 counts.record(v, x);
@@ -123,6 +144,19 @@ pub fn sequential_gibbs_with(
                 }
             }
         }
+        telemetry.end_epoch(
+            flips,
+            query.len() as u64,
+            assignment.iter().map(|&x| telemetry_indicator(x)),
+        );
+        // Pseudo-log-likelihood costs about one sweep per evaluation:
+        // sampled at a fixed cadence, and only when someone is watching.
+        if obs.is_enabled() && epoch.is_multiple_of(stride) {
+            telemetry.record_pll(epoch, pseudo_log_likelihood(graph, &assignment));
+        }
+        if let Some(t0) = epoch_start {
+            obs.histogram_record("infer.epoch_seconds", t0.elapsed().as_secs_f64());
+        }
     }
     if !recorded {
         record_snapshot(graph, &assignment, &mut counts);
@@ -132,7 +166,9 @@ pub fn sequential_gibbs_with(
                 .to_owned(),
         );
     }
-    SamplerRun { counts, outcome, warnings }
+    let telemetry = telemetry.finish();
+    telemetry.publish(obs, "infer.sequential");
+    SamplerRun { counts, outcome, warnings, telemetry }
 }
 
 /// Random-partition parallel Gibbs: query variables are split into `k`
@@ -177,10 +213,13 @@ pub fn parallel_random_gibbs_with(
         .map(|b| query.iter().copied().skip(b).step_by(k).collect())
         .collect();
 
+    let obs = ctx.obs();
     let mut counts = MarginalCounts::new(graph);
     let mut outcome = RunOutcome::Completed;
     let mut warnings = Vec::new();
     let mut recorded = false;
+    let mut telemetry = EpochTelemetry::new(graph.num_variables());
+    let stride = pll_stride(epochs);
     for epoch in 0..epochs {
         if epoch > 0 {
             if let Some(stop) = ctx.interrupted() {
@@ -189,6 +228,8 @@ pub fn parallel_random_gibbs_with(
             }
         }
         ctx.maybe_slow(Phase::Inference);
+        let epoch_start = obs.is_enabled().then(std::time::Instant::now);
+        let mut flips = 0u64;
         let snapshot = assignment.clone();
         let results: Vec<std::thread::Result<Vec<(VarId, u32)>>> = std::thread::scope(|s| {
             let handles: Vec<_> = buckets
@@ -255,6 +296,12 @@ pub fn parallel_random_gibbs_with(
                 }
             };
             for (v, x) in bucket_result {
+                // Buckets are disjoint, so each variable is overwritten
+                // exactly once: comparing against the pre-write value
+                // counts flips relative to the epoch snapshot.
+                if assignment[v as usize] != x {
+                    flips += 1;
+                }
                 assignment[v as usize] = x;
                 if epoch >= burn_in {
                     counts.record(v, x);
@@ -269,6 +316,17 @@ pub fn parallel_random_gibbs_with(
                 }
             }
         }
+        telemetry.end_epoch(
+            flips,
+            query.len() as u64,
+            assignment.iter().map(|&x| telemetry_indicator(x)),
+        );
+        if obs.is_enabled() && epoch.is_multiple_of(stride) {
+            telemetry.record_pll(epoch, pseudo_log_likelihood(graph, &assignment));
+        }
+        if let Some(t0) = epoch_start {
+            obs.histogram_record("infer.epoch_seconds", t0.elapsed().as_secs_f64());
+        }
     }
     if !recorded {
         record_snapshot(graph, &assignment, &mut counts);
@@ -278,7 +336,9 @@ pub fn parallel_random_gibbs_with(
                 .to_owned(),
         );
     }
-    SamplerRun { counts, outcome, warnings }
+    let telemetry = telemetry.finish();
+    telemetry.publish(obs, "infer.parallel");
+    SamplerRun { counts, outcome, warnings, telemetry }
 }
 
 #[cfg(test)]
@@ -448,6 +508,56 @@ mod tests {
                 exact[v as usize]
             );
         }
+    }
+
+    #[test]
+    fn sequential_telemetry_tracks_epochs() {
+        let g = chain_graph();
+        let run = sequential_gibbs_with(&g, 50, 10, 42, &ExecContext::unbounded());
+        assert_eq!(run.telemetry.epochs, 50);
+        assert_eq!(run.telemetry.flip_rate.len(), 50);
+        assert_eq!(run.telemetry.marginal_delta.len(), 50);
+        assert_eq!(
+            run.telemetry.samples_total,
+            50 * g.query_variables().len() as u64
+        );
+        assert!(run.telemetry.flip_rate.iter().all(|r| (0.0..=1.0).contains(r)));
+        // Running-mean deltas shrink like 1/t as the estimate stabilises.
+        assert!(run.telemetry.marginal_delta[49] <= 0.05);
+        // No observer attached: the costly pseudo-log-likelihood is skipped.
+        assert!(run.telemetry.pll.is_empty());
+    }
+
+    #[test]
+    fn sequential_publishes_series_when_observed() {
+        use sya_obs::Obs;
+        let g = chain_graph();
+        let obs = Obs::enabled();
+        let ctx = ExecContext::unbounded().with_obs(obs.clone());
+        let run = sequential_gibbs_with(&g, 64, 0, 42, &ctx);
+        // pll_stride(64) == 1: one evaluation per epoch.
+        assert_eq!(run.telemetry.pll.len(), 64);
+        assert!(run.telemetry.pll.iter().all(|(_, v)| v.is_finite()));
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.series("infer.sequential.flip_rate").unwrap().len(), 64);
+        assert_eq!(m.series("infer.sequential.marginal_delta").unwrap().len(), 64);
+        assert_eq!(
+            m.counter_value("infer.sequential.samples_total"),
+            Some(run.telemetry.samples_total)
+        );
+        assert_eq!(m.gauge_value("infer.sequential.epochs"), Some(64.0));
+    }
+
+    #[test]
+    fn parallel_telemetry_tracks_epochs() {
+        let g = chain_graph();
+        let run = parallel_random_gibbs_with(&g, 30, 5, 2, 7, &ExecContext::unbounded());
+        assert_eq!(run.telemetry.flip_rate.len(), 30);
+        assert_eq!(run.telemetry.marginal_delta.len(), 30);
+        assert_eq!(
+            run.telemetry.samples_total,
+            30 * g.query_variables().len() as u64
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::marginals::MarginalCounts;
 use std::fmt;
+use sya_obs::ConvergenceSeries;
 use sya_runtime::RunOutcome;
 
 /// The result of a governed sampler run: the counts plus how the run
@@ -21,6 +22,10 @@ pub struct SamplerRun {
     /// Human-readable notes about what degraded (dropped instances,
     /// sequentially re-run cells).
     pub warnings: Vec<String>,
+    /// Per-epoch convergence trajectory (flip rate, marginal delta,
+    /// pseudo-log-likelihood at a fixed cadence). Multi-instance runs
+    /// average the series over surviving instances.
+    pub telemetry: ConvergenceSeries,
 }
 
 /// Inference failures that cannot be degraded around.

@@ -23,7 +23,8 @@
 //!   DeepDive's sampler uses).
 
 use crate::conclique::min_conclique_cover;
-use crate::gibbs::sample_conditional;
+use crate::gibbs::{sample_conditional, telemetry_indicator};
+use crate::learn::pseudo_log_likelihood;
 use crate::marginals::MarginalCounts;
 use crate::pyramid::{CellKey, PyramidIndex};
 use crate::run::{panic_message, InferError, SamplerRun};
@@ -31,7 +32,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
-use sya_fg::{FactorGraph, VarId};
+use sya_fg::{Assignment, FactorGraph, VarId};
+use sya_obs::{pll_stride, ConvergenceSeries, EpochTelemetry};
 use sya_runtime::{ExecContext, Phase, RunOutcome};
 
 /// How an epoch walks the pyramid. Algorithm 1 stores a partial graph
@@ -154,7 +156,24 @@ pub(crate) fn run_spatial_gibbs_governed(
     let e = (cfg.epochs / k).max(1);
     let burn = cfg.burn_in.min(e.saturating_sub(1));
 
-    type InstanceResult = std::thread::Result<(MarginalCounts, RunOutcome, Vec<String>)>;
+    // Conclique-structure gauges (satellite of the sampler telemetry):
+    // how many concliques the minimum cover has at the locality level and
+    // how many cells the largest one holds — the available parallelism.
+    let obs = ctx.obs();
+    if obs.is_enabled() {
+        let level = cfg.locality_level.clamp(1, pyramid.levels());
+        let cover = min_conclique_cover(&pyramid.sampling_cells(level));
+        obs.gauge_set("infer.concliques", cover.len() as f64);
+        obs.gauge_set(
+            "infer.conclique_max_size",
+            cover.iter().map(|(_, cells)| cells.len()).max().unwrap_or(0) as f64,
+        );
+        obs.gauge_set("infer.instances", k as f64);
+        obs.gauge_set("infer.epochs_per_instance", e as f64);
+    }
+
+    type InstanceResult =
+        std::thread::Result<(MarginalCounts, RunOutcome, Vec<String>, ConvergenceSeries)>;
     let results: Vec<InstanceResult> = if k == 1 {
         vec![catch_unwind(AssertUnwindSafe(|| {
             run_instance(graph, pyramid, cfg, cell_filter, 0, e, burn, ctx)
@@ -182,13 +201,15 @@ pub(crate) fn run_spatial_gibbs_governed(
     let mut warnings = Vec::new();
     let mut survivors = 0usize;
     let mut first_cause: Option<String> = None;
+    let mut series = Vec::new();
     for (inst, res) in results.into_iter().enumerate() {
         match res {
-            Ok((counts, inst_outcome, inst_warnings)) => {
+            Ok((counts, inst_outcome, inst_warnings, inst_series)) => {
                 survivors += 1;
                 total.merge(&counts);
                 outcome = outcome.combine(inst_outcome);
                 warnings.extend(inst_warnings);
+                series.push(inst_series);
             }
             Err(payload) => {
                 let msg = panic_message(payload);
@@ -209,7 +230,11 @@ pub(crate) fn run_spatial_gibbs_governed(
             first_cause: first_cause.unwrap_or_else(|| "unknown".to_owned()),
         });
     }
-    Ok(SamplerRun { counts: total, outcome, warnings })
+    // Average the per-epoch trajectories over surviving instances,
+    // mirroring how the marginal counts themselves are merged.
+    let telemetry = ConvergenceSeries::merge_mean(&series);
+    telemetry.publish(obs, "infer.spatial");
+    Ok(SamplerRun { counts: total, outcome, warnings, telemetry })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -222,7 +247,8 @@ fn run_instance(
     epochs: usize,
     burn_in: usize,
     ctx: &ExecContext,
-) -> (MarginalCounts, RunOutcome, Vec<String>) {
+) -> (MarginalCounts, RunOutcome, Vec<String>, ConvergenceSeries) {
+    let obs = ctx.obs();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Lock-free shared assignment for this instance.
     let assignment: Vec<AtomicU32> = graph
@@ -281,6 +307,8 @@ fn run_instance(
     let mut outcome = RunOutcome::Completed;
     let mut warnings = Vec::new();
     let mut recorded = false;
+    let mut telemetry = EpochTelemetry::new(graph.num_variables());
+    let stride = pll_stride(epochs);
     for epoch in 0..epochs {
         // Epoch barrier: deadline/cancellation checks happen here, and
         // only from the second epoch on, so an interrupted run still
@@ -299,6 +327,9 @@ fn run_instance(
         if record {
             recorded = true;
         }
+        let epoch_start = obs.is_enabled().then(std::time::Instant::now);
+        let mut epoch_flips = 0u64;
+        let mut epoch_samples = 0u64;
         for (level, cover) in &level_plans {
             let level = *level;
             for (conclique, group) in cover {
@@ -312,18 +343,25 @@ fn run_instance(
                 };
                 let sample_cells = |cells: &[CellKey],
                                     wrng: &mut StdRng,
-                                    out: &mut Vec<(VarId, u32)>| {
+                                    out: &mut Vec<(VarId, u32)>|
+                 -> u64 {
                     let src = |u: VarId| assignment[u as usize].load(Ordering::Relaxed);
+                    let mut flips = 0u64;
                     for cell in cells {
                         for &v in pyramid.atoms_in(cell) {
                             if graph.variable(v).is_evidence() {
                                 continue;
                             }
+                            let old = assignment[v as usize].load(Ordering::Relaxed);
                             let x = sample_conditional(graph, &src, v, wrng);
+                            if x != old {
+                                flips += 1;
+                            }
                             assignment[v as usize].store(x, Ordering::Relaxed);
                             out.push((v, x));
                         }
                     }
+                    flips
                 };
                 // Parallel over the conclique's cells (chunked); inline
                 // when only one worker is available — no thread spawns or
@@ -331,23 +369,34 @@ fn run_instance(
                 if workers <= 1 || group.len() <= 1 {
                     let mut wrng = StdRng::seed_from_u64(worker_seed(0));
                     let src = |u: VarId| assignment[u as usize].load(Ordering::Relaxed);
+                    let mut drawn = 0u64;
                     for cell in group {
                         for &v in pyramid.atoms_in(cell) {
                             if graph.variable(v).is_evidence() {
                                 continue;
                             }
+                            let old = assignment[v as usize].load(Ordering::Relaxed);
                             let x = sample_conditional(graph, &src, v, &mut wrng);
+                            if x != old {
+                                epoch_flips += 1;
+                            }
                             assignment[v as usize].store(x, Ordering::Relaxed);
+                            drawn += 1;
                             if record {
                                 counts.record(v, x);
                             }
                         }
                     }
+                    epoch_samples += drawn;
+                    telemetry.add_conclique_samples(conclique.0 as usize, drawn);
                     continue;
                 }
                 let chunk = group.len().div_ceil(workers).max(1);
                 let chunk_list: Vec<&[CellKey]> = group.chunks(chunk).collect();
-                let results: Vec<std::thread::Result<Vec<(VarId, u32)>>> =
+                // Each worker returns its sampled `(var, value)` pairs
+                // plus how many of them flipped the variable's value.
+                type WorkerResult = std::thread::Result<(Vec<(VarId, u32)>, u64)>;
+                let results: Vec<WorkerResult> =
                     std::thread::scope(|s| {
                         let handles: Vec<_> = chunk_list
                             .iter()
@@ -366,8 +415,8 @@ fn run_instance(
                                         );
                                     }
                                     let mut out = Vec::new();
-                                    sample_cells(cells, &mut wrng, &mut out);
-                                    out
+                                    let flips = sample_cells(cells, &mut wrng, &mut out);
+                                    (out, flips)
                                 })
                             })
                             .collect();
@@ -379,7 +428,10 @@ fn run_instance(
                 let mut sampled: Vec<Vec<(VarId, u32)>> = Vec::with_capacity(results.len());
                 for (ci, res) in results.into_iter().enumerate() {
                     match res {
-                        Ok(out) => sampled.push(out),
+                        Ok((out, flips)) => {
+                            epoch_flips += flips;
+                            sampled.push(out);
+                        }
                         Err(payload) => {
                             // Re-sample the dead worker's cells on this
                             // thread with a fresh RNG stream, so a
@@ -395,11 +447,14 @@ fn run_instance(
                             outcome = outcome.combine(RunOutcome::Degraded);
                             let mut wrng = StdRng::seed_from_u64(worker_seed(ci) ^ 0xDEAD);
                             let mut out = Vec::new();
-                            sample_cells(chunk_list[ci], &mut wrng, &mut out);
+                            epoch_flips += sample_cells(chunk_list[ci], &mut wrng, &mut out);
                             sampled.push(out);
                         }
                     }
                 }
+                let drawn: u64 = sampled.iter().map(|p| p.len() as u64).sum();
+                epoch_samples += drawn;
+                telemetry.add_conclique_samples(conclique.0 as usize, drawn);
                 if record {
                     for pairs in sampled {
                         for (v, x) in pairs {
@@ -412,8 +467,13 @@ fn run_instance(
         // Sequential sweep of unlocated variables.
         let src = |u: VarId| assignment[u as usize].load(Ordering::Relaxed);
         for &v in &unlocated {
+            let old = assignment[v as usize].load(Ordering::Relaxed);
             let x = sample_conditional(graph, &src, v, &mut rng);
+            if x != old {
+                epoch_flips += 1;
+            }
             assignment[v as usize].store(x, Ordering::Relaxed);
+            epoch_samples += 1;
             if record {
                 counts.record(v, x);
             }
@@ -424,6 +484,20 @@ fn run_instance(
                     counts.record(var.id, ev);
                 }
             }
+        }
+        telemetry.end_epoch(
+            epoch_flips,
+            epoch_samples,
+            (0..graph.num_variables())
+                .map(|v| telemetry_indicator(assignment[v].load(Ordering::Relaxed))),
+        );
+        if obs.is_enabled() && epoch.is_multiple_of(stride) {
+            let snapshot: Assignment =
+                assignment.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+            telemetry.record_pll(epoch, pseudo_log_likelihood(graph, &snapshot));
+        }
+        if let Some(t0) = epoch_start {
+            obs.histogram_record("infer.epoch_seconds", t0.elapsed().as_secs_f64());
         }
     }
     if !recorded && cell_filter.is_none() {
@@ -442,7 +516,7 @@ fn run_instance(
              fall back to a single-state snapshot"
         ));
     }
-    (counts, outcome, warnings)
+    (counts, outcome, warnings, telemetry.finish())
 }
 
 #[cfg(test)]
@@ -764,6 +838,107 @@ mod tests {
         assert_eq!(run.outcome, RunOutcome::Completed);
         assert!(run.warnings.is_empty());
         assert_eq!(legacy, run.counts);
+    }
+
+    #[test]
+    fn conclique_gauges_match_cover_ground_truth() {
+        use sya_obs::Obs;
+        let g = grid_graph(4);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = InferConfig {
+            epochs: 20,
+            instances: 1,
+            levels: 2,
+            locality_level: 2,
+            burn_in: 0,
+            seed: 1,
+            ..Default::default()
+        };
+        let obs = Obs::enabled();
+        let ctx = ExecContext::unbounded().with_obs(obs.clone());
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap();
+        // Ground truth straight from conclique.rs over the same cells the
+        // sampler sweeps at the locality level.
+        let cover = min_conclique_cover(&pyramid.sampling_cells(2));
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.gauge_value("infer.concliques"), Some(cover.len() as f64));
+        let max_cells = cover.iter().map(|(_, c)| c.len()).max().unwrap();
+        assert_eq!(
+            m.gauge_value("infer.conclique_max_size"),
+            Some(max_cells as f64)
+        );
+        assert_eq!(m.gauge_value("infer.instances"), Some(1.0));
+        // Samples are credited only to concliques present in the cover.
+        let in_cover: Vec<usize> = cover.iter().map(|(q, _)| q.0 as usize).collect();
+        for c in 0..4 {
+            let n = run.telemetry.conclique_samples[c];
+            if in_cover.contains(&c) {
+                assert!(n > 0, "conclique {c} in cover but credited 0 samples");
+            } else {
+                assert_eq!(n, 0, "conclique {c} outside cover but credited {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_records_per_epoch_series() {
+        let g = grid_graph(3);
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: 40,
+            instances: 2,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 0,
+            seed: 7,
+            ..Default::default()
+        };
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ExecContext::unbounded()).unwrap();
+        let e = cfg.epochs / cfg.instances;
+        assert_eq!(run.telemetry.epochs, e);
+        assert_eq!(run.telemetry.flip_rate.len(), e);
+        assert_eq!(run.telemetry.marginal_delta.len(), e);
+        assert!(run.telemetry.samples_total > 0);
+        assert!(run.telemetry.flip_rate.iter().all(|r| (0.0..=1.0).contains(r)));
+        // No observer: no pseudo-log-likelihood evaluations.
+        assert!(run.telemetry.pll.is_empty());
+        let located: u64 = run.telemetry.conclique_samples.iter().sum();
+        assert_eq!(located, run.telemetry.samples_total, "all grid vars are located");
+    }
+
+    #[test]
+    fn observed_run_publishes_spatial_series_and_pll() {
+        use sya_obs::Obs;
+        let g = grid_graph(3);
+        let pyramid = PyramidIndex::build(&g, 3, 64);
+        let cfg = InferConfig {
+            epochs: 16,
+            instances: 1,
+            levels: 3,
+            locality_level: 3,
+            burn_in: 0,
+            seed: 3,
+            ..Default::default()
+        };
+        let obs = Obs::enabled();
+        let ctx = ExecContext::unbounded().with_obs(obs.clone());
+        let run = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap();
+        // pll_stride(16) == 1: evaluated every epoch, all finite.
+        assert_eq!(run.telemetry.pll.len(), 16);
+        assert!(run.telemetry.pll.iter().all(|(_, v)| v.is_finite()));
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.series("infer.spatial.flip_rate").unwrap().len(), 16);
+        assert_eq!(m.series("infer.spatial.marginal_delta").unwrap().len(), 16);
+        assert_eq!(m.series("infer.spatial.pll").unwrap().len(), 16);
+        assert_eq!(
+            m.counter_value("infer.spatial.samples_total"),
+            Some(run.telemetry.samples_total)
+        );
+        let snap = m.snapshot();
+        assert!(
+            snap.histograms.contains_key("infer.epoch_seconds"),
+            "epoch timing histogram missing"
+        );
     }
 
     #[test]

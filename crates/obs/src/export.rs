@@ -1,0 +1,388 @@
+//! Exporters: Prometheus-style text, a JSON metrics dump, JSON-lines
+//! traces, and an indented human-readable trace.
+//!
+//! The JSON is hand-rolled (this crate is dependency-free); the dump
+//! carries a `schema` tag (`sya.metrics.v1`) so downstream tooling —
+//! `crates/bench`'s `BENCH_*.json` records, the ci.sh smoke check —
+//! can validate what it parsed.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{EventRecord, SpanRecord, TracerSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every JSON metrics dump.
+pub const METRICS_SCHEMA: &str = "sya.metrics.v1";
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_json(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the metrics snapshot as a JSON document:
+///
+/// ```json
+/// {
+///   "schema": "sya.metrics.v1",
+///   "counters": {"ground.factors_total": 123},
+///   "gauges": {"phase.grounding_seconds": 0.41},
+///   "histograms": {"infer.epoch_seconds": {"bounds": [...], "buckets": [...], "count": 9, "sum": 1.2}},
+///   "series": {"infer.spatial.flip_rate": [[0, 0.93], [1, 0.55]]}
+/// }
+/// ```
+pub fn render_metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_str(METRICS_SCHEMA));
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        let _ = write!(out, "{}\n    {}: {}", comma(i), json_str(name), value);
+    }
+    out.push_str(end_block(snap.counters.is_empty()));
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        let _ = write!(out, "{}\n    {}: {}", comma(i), json_str(name), json_f64(*value));
+    }
+    out.push_str(end_block(snap.gauges.is_empty()));
+
+    out.push_str("  \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        let bounds: Vec<String> = h.bounds.iter().map(|&b| json_f64(b)).collect();
+        let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            "{}\n    {}: {{\"bounds\": [{}], \"buckets\": [{}], \"count\": {}, \"sum\": {}}}",
+            comma(i),
+            json_str(name),
+            bounds.join(", "),
+            buckets.join(", "),
+            h.count,
+            json_f64(h.sum),
+        );
+    }
+    out.push_str(end_block(snap.histograms.is_empty()));
+
+    out.push_str("  \"series\": {");
+    for (i, (name, points)) in snap.series.iter().enumerate() {
+        let pts: Vec<String> =
+            points.iter().map(|&(x, y)| format!("[{}, {}]", json_f64(x), json_f64(y))).collect();
+        let _ = write!(out, "{}\n    {}: [{}]", comma(i), json_str(name), pts.join(", "));
+    }
+    if snap.series.is_empty() {
+        out.push_str("}\n");
+    } else {
+        out.push_str("\n  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn comma(i: usize) -> &'static str {
+    if i == 0 {
+        ""
+    } else {
+        ","
+    }
+}
+
+fn end_block(empty: bool) -> &'static str {
+    if empty {
+        "},\n"
+    } else {
+        "\n  },\n"
+    }
+}
+
+/// Mangle a `phase.noun_unit` metric name into a Prometheus identifier
+/// (`sya_phase_noun_unit`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("sya_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render the snapshot in the Prometheus text exposition format.
+/// Series are exported as a gauge holding their last value.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+            cumulative += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    for (name, points) in &snap.series {
+        if let Some(&(_, last)) = points.last() {
+            let n = format!("{}_last", prom_name(name));
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {last}");
+        }
+    }
+    out
+}
+
+fn span_json(s: &SpanRecord) -> String {
+    let mut attrs = String::from("{");
+    for (i, (k, v)) in s.attrs.iter().enumerate() {
+        let _ = write!(attrs, "{}{}: {}", comma(i), json_str(k), json_str(v));
+    }
+    attrs.push('}');
+    format!(
+        "{{\"type\": \"span\", \"id\": {}, \"parent\": {}, \"name\": {}, \"start_us\": {}, \"duration_us\": {}, \"attrs\": {}}}",
+        s.id,
+        s.parent.map_or("null".to_string(), |p| p.to_string()),
+        json_str(&s.name),
+        s.start_us,
+        s.duration_us,
+        attrs,
+    )
+}
+
+fn event_json(e: &EventRecord) -> String {
+    format!(
+        "{{\"type\": \"event\", \"severity\": {}, \"message\": {}, \"span\": {}, \"at_us\": {}}}",
+        json_str(e.severity.as_str()),
+        json_str(&e.message),
+        e.span.map_or("null".to_string(), |s| s.to_string()),
+        e.at_us,
+    )
+}
+
+/// Render the trace as JSON lines, interleaved in timestamp order
+/// (spans keyed by start time).
+pub fn render_trace_jsonl(snap: &TracerSnapshot) -> String {
+    let mut lines: Vec<(u64, u8, String)> = Vec::with_capacity(snap.spans.len() + snap.events.len());
+    for s in &snap.spans {
+        lines.push((s.start_us, 0, span_json(s)));
+    }
+    for e in &snap.events {
+        lines.push((e.at_us, 1, event_json(e)));
+    }
+    lines.sort_by_key(|&(t, kind, _)| (t, kind));
+    let mut out = String::new();
+    for (_, _, line) in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_duration_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// Render the trace as an indented tree (for `--trace` / `SYA_TRACE=1`):
+///
+/// ```text
+/// pipeline.construct 41.20ms
+///   pipeline.ground 12.05ms
+///     ground.rule 3.11ms rule=R1 bindings=96
+///       warn: grounding budget trip: factors ...
+/// ```
+pub fn render_trace_text(snap: &TracerSnapshot) -> String {
+    // Children sorted by start time; roots are spans whose parent is
+    // absent from the snapshot (None, or evicted from the ring).
+    let ids: std::collections::BTreeSet<u64> = snap.spans.iter().map(|s| s.id).collect();
+    let mut children: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in &snap.spans {
+        let parent = s.parent.filter(|p| ids.contains(p));
+        children.entry(parent).or_default().push(s);
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|s| (s.start_us, s.id));
+    }
+    let mut by_span_events: BTreeMap<Option<u64>, Vec<&EventRecord>> = BTreeMap::new();
+    for e in &snap.events {
+        let span = e.span.filter(|s| ids.contains(s));
+        by_span_events.entry(span).or_default().push(e);
+    }
+
+    let mut out = String::new();
+    fn emit(
+        out: &mut String,
+        span: &SpanRecord,
+        depth: usize,
+        children: &BTreeMap<Option<u64>, Vec<&SpanRecord>>,
+        events: &BTreeMap<Option<u64>, Vec<&EventRecord>>,
+    ) {
+        let indent = "  ".repeat(depth);
+        let _ = write!(out, "{indent}{} {}", span.name, fmt_duration_us(span.duration_us));
+        for (k, v) in &span.attrs {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        if let Some(evts) = events.get(&Some(span.id)) {
+            for e in evts {
+                let _ = writeln!(out, "{indent}  {}: {}", e.severity.as_str(), e.message);
+            }
+        }
+        if let Some(kids) = children.get(&Some(span.id)) {
+            for kid in kids {
+                emit(out, kid, depth + 1, children, events);
+            }
+        }
+    }
+    if let Some(evts) = by_span_events.get(&None) {
+        for e in evts {
+            let _ = writeln!(out, "{}: {}", e.severity.as_str(), e.message);
+        }
+    }
+    if let Some(roots) = children.get(&None) {
+        for root in roots {
+            emit(&mut out, root, 0, &children, &by_span_events);
+        }
+    }
+    if snap.dropped > 0 {
+        let _ = writeln!(out, "({} older records dropped from the ring buffer)", snap.dropped);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample_obs() -> Obs {
+        let obs = Obs::enabled();
+        obs.counter_add("ground.factors_total", 12);
+        obs.gauge_set("phase.grounding_seconds", 0.25);
+        obs.metrics().unwrap().histogram("infer.epoch_seconds", &[0.1, 1.0]).record(0.4);
+        obs.series_push("infer.spatial.flip_rate", 0.0, 0.9);
+        obs.series_push("infer.spatial.flip_rate", 1.0, 0.5);
+        {
+            let _root = obs.span("pipeline.construct");
+            let mut g = obs.span_with("ground.rule", vec![("rule".into(), "R1".into())]);
+            g.set_attr("bindings", 7);
+            obs.warn("budget trip");
+        }
+        obs
+    }
+
+    #[test]
+    fn metrics_json_has_schema_and_sections() {
+        let json = render_metrics_json(&sample_obs().metrics_snapshot());
+        assert!(json.contains("\"schema\": \"sya.metrics.v1\""));
+        assert!(json.contains("\"ground.factors_total\": 12"));
+        assert!(json.contains("\"phase.grounding_seconds\": 0.25"));
+        assert!(json.contains("\"infer.spatial.flip_rate\": [[0, 0.9], [1, 0.5]]"));
+        assert!(json.contains("\"count\": 1"));
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn metrics_json_empty_snapshot_is_valid() {
+        let json = render_metrics_json(&MetricsSnapshot::default());
+        assert!(json.contains("\"counters\": {}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn prometheus_dump_mangles_names() {
+        let text = render_prometheus(&sample_obs().metrics_snapshot());
+        assert!(text.contains("# TYPE sya_ground_factors_total counter"));
+        assert!(text.contains("sya_ground_factors_total 12"));
+        assert!(text.contains("sya_phase_grounding_seconds 0.25"));
+        assert!(text.contains("sya_infer_epoch_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("sya_infer_spatial_flip_rate_last 0.5"));
+    }
+
+    #[test]
+    fn trace_jsonl_interleaves_and_links_parents() {
+        let obs = sample_obs();
+        let jsonl = render_trace_jsonl(&obs.trace_snapshot());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3); // two spans + one event
+        assert!(lines.iter().any(|l| l.contains("\"type\": \"event\"")));
+        let nested = lines
+            .iter()
+            .filter(|l| l.contains("\"type\": \"span\""))
+            .filter(|l| !l.contains("\"parent\": null"))
+            .count();
+        assert_eq!(nested, 1);
+        for l in &lines {
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn trace_text_indents_children_and_events() {
+        let obs = sample_obs();
+        let text = render_trace_text(&obs.trace_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("pipeline.construct "));
+        assert!(lines[1].starts_with("  ground.rule "));
+        assert!(lines[1].contains("rule=R1"));
+        assert!(lines[1].contains("bindings=7"));
+        assert!(lines[2].starts_with("    warn: budget trip"));
+    }
+}

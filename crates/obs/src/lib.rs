@@ -1,0 +1,256 @@
+//! # sya-obs — observability for the Sya pipeline
+//!
+//! A lightweight, dependency-free instrumentation layer shared by every
+//! crate in the workspace. It provides:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, fixed-bucket
+//!   histograms, and time series. Counters and histogram buckets are
+//!   plain atomics so hot paths (conclique workers, the grounder's
+//!   binding loop) pay one relaxed atomic add per update.
+//! * hierarchical **spans** ([`Obs::span`], the [`span!`] macro) with
+//!   monotonic wall-clock timing and parent/child nesting, plus a
+//!   severity-tagged **event log**, both stored in a bounded ring
+//!   buffer ([`Tracer`]).
+//! * **convergence telemetry** ([`EpochTelemetry`] /
+//!   [`ConvergenceSeries`]) — per-epoch flip rate, running marginal
+//!   delta, pseudo-log-likelihood curve, per-conclique sample counts —
+//!   filled in by the samplers and snapshotted into their run results.
+//! * **exporters** ([`export`]) — a Prometheus-style text dump, a JSON
+//!   metrics dump (`sya run --metrics-out`), JSON-lines traces
+//!   (`--trace-out`), and an indented human-readable trace (`--trace`).
+//!
+//! The entry point is the [`Obs`] handle: a cheap-to-clone,
+//! thread-safe reference that is either *enabled* (backed by a shared
+//! registry + tracer) or *disabled* (every call is a no-op). Pipeline
+//! code threads an `Obs` through `ExecContext` and never needs to
+//! branch on whether observability is on.
+//!
+//! Metric names follow the `phase.noun_unit` scheme documented in
+//! DESIGN.md §9 (`ground.factors_total`, `infer.epoch_seconds`, …).
+
+pub mod export;
+pub mod metrics;
+pub mod telemetry;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use telemetry::{pll_stride, ConvergenceSeries, EpochTelemetry, NUM_CONCLIQUES};
+pub use trace::{EventRecord, Severity, SpanGuard, SpanRecord, Tracer, TracerSnapshot};
+
+use std::sync::Arc;
+
+/// Shared backing state for an enabled [`Obs`] handle.
+#[derive(Debug)]
+pub struct ObsInner {
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+}
+
+/// A handle to the observability layer.
+///
+/// `Obs::default()` / [`Obs::disabled`] is a no-op handle: every
+/// recording call returns immediately (one `Option` check). An
+/// [`Obs::enabled`] handle records into a shared [`MetricsRegistry`]
+/// and [`Tracer`]. Clones share the same backing state.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A live handle backed by a fresh registry and tracer.
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                metrics: MetricsRegistry::new(),
+                tracer: Tracer::new(Tracer::DEFAULT_CAPACITY),
+            })),
+        }
+    }
+
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry, if enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &i.metrics)
+    }
+
+    /// The tracer, if enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.inner.as_deref().map(|i| &i.tracer)
+    }
+
+    // ---- metrics shorthands -------------------------------------------
+
+    /// Add `n` to the named counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(i) = self.inner.as_deref() {
+            i.metrics.counter_add(name, n);
+        }
+    }
+
+    /// A reusable counter handle for hot loops (one registry lookup,
+    /// then relaxed atomic adds). Disabled handles return a dummy
+    /// counter whose adds go nowhere shared.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.inner.as_deref() {
+            Some(i) => i.metrics.counter(name),
+            None => Counter::detached(),
+        }
+    }
+
+    /// Set the named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(i) = self.inner.as_deref() {
+            i.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Record an observation into the named histogram (default buckets).
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        if let Some(i) = self.inner.as_deref() {
+            i.metrics.histogram_record(name, value);
+        }
+    }
+
+    /// Append an `(x, y)` point to the named series.
+    pub fn series_push(&self, name: &str, x: f64, y: f64) {
+        if let Some(i) = self.inner.as_deref() {
+            i.metrics.series_push(name, x, y);
+        }
+    }
+
+    // ---- spans and events ---------------------------------------------
+
+    /// Open a span. Timing stops and the record is committed when the
+    /// returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, Vec::new())
+    }
+
+    /// Open a span with attributes. Prefer the [`span!`] macro.
+    pub fn span_with(&self, name: &str, attrs: Vec<(String, String)>) -> SpanGuard {
+        SpanGuard::begin(self.inner.clone(), name, attrs)
+    }
+
+    /// Record an event at the given severity, attached to the current span.
+    pub fn event(&self, severity: Severity, message: impl Into<String>) {
+        if let Some(i) = self.inner.as_deref() {
+            i.tracer.event(severity, message.into());
+        }
+    }
+
+    /// Record a `warn` event.
+    pub fn warn(&self, message: impl Into<String>) {
+        self.event(Severity::Warn, message);
+    }
+
+    /// Record an `info` event.
+    pub fn info(&self, message: impl Into<String>) {
+        self.event(Severity::Info, message);
+    }
+
+    /// Record a `debug` event.
+    pub fn debug(&self, message: impl Into<String>) {
+        self.event(Severity::Debug, message);
+    }
+
+    // ---- snapshots -----------------------------------------------------
+
+    /// Snapshot of all metrics (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match self.inner.as_deref() {
+            Some(i) => i.metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Snapshot of the trace ring buffer (empty when disabled).
+    pub fn trace_snapshot(&self) -> TracerSnapshot {
+        match self.inner.as_deref() {
+            Some(i) => i.tracer.snapshot(),
+            None => TracerSnapshot::default(),
+        }
+    }
+}
+
+/// Open a hierarchical span on an [`Obs`] handle.
+///
+/// ```
+/// # use sya_obs::{span, Obs};
+/// let obs = Obs::enabled();
+/// {
+///     let _g = span!(obs, "ground.rule", rule = "R1", bindings = 42);
+/// }
+/// assert_eq!(obs.trace_snapshot().spans.len(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr) => {
+        $obs.span($name)
+    };
+    ($obs:expr, $name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $obs.span_with(
+            $name,
+            vec![$((stringify!($key).to_string(), $value.to_string())),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_noop() {
+        let obs = Obs::disabled();
+        obs.counter_add("x_total", 3);
+        obs.gauge_set("g", 1.0);
+        obs.warn("nothing");
+        let _g = obs.span("s");
+        drop(_g);
+        assert!(!obs.is_enabled());
+        assert!(obs.metrics_snapshot().counters.is_empty());
+        assert!(obs.trace_snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let other = obs.clone();
+        other.counter_add("shared_total", 2);
+        obs.counter_add("shared_total", 1);
+        assert_eq!(obs.metrics_snapshot().counters["shared_total"], 3);
+    }
+
+    #[test]
+    fn span_macro_records_attrs() {
+        let obs = Obs::enabled();
+        {
+            let _g = span!(obs, "ground.rule", rule = "R1");
+        }
+        let snap = obs.trace_snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "ground.rule");
+        assert_eq!(snap.spans[0].attrs[0], ("rule".to_string(), "R1".to_string()));
+    }
+
+    #[test]
+    fn events_carry_severity() {
+        let obs = Obs::enabled();
+        obs.warn("w");
+        obs.info("i");
+        obs.debug("d");
+        let snap = obs.trace_snapshot();
+        let sevs: Vec<Severity> = snap.events.iter().map(|e| e.severity).collect();
+        assert_eq!(sevs, vec![Severity::Warn, Severity::Info, Severity::Debug]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Named counters, gauges, fixed-bucket histograms, and series.
+//!
+//! Registration (name → instrument) takes a mutex, but the instruments
+//! themselves are atomics, so hot paths grab a handle once (e.g.
+//! [`MetricsRegistry::counter`]) and update lock-free afterwards.
+//! Registries export deterministically: snapshots are `BTreeMap`s, so
+//! every dump lists instruments in sorted name order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cheap to clone; clones share the
+/// same cell. A [`Counter::detached`] counter updates private storage
+/// that is never exported (used by disabled [`crate::Obs`] handles).
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add `n` (relaxed; counters are only read at snapshot time).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-style export, atomic buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets; an implicit `+Inf` bucket
+    /// catches the rest.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` bucket counts.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64` bits (CAS loop on update).
+    sum_bits: AtomicU64,
+}
+
+/// Default bucket bounds, tuned for seconds-scale phase timings.
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+];
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("histogram bounds must not be NaN"));
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds: sorted, buckets, count: AtomicU64::new(0), sum_bits: AtomicU64::new(0) }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    /// One count per bound, plus the trailing `+Inf` bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+type SeriesCell = Arc<Mutex<Vec<(f64, f64)>>>;
+
+/// The registry: name → instrument, with deterministic export order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<String, SeriesCell>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create a counter handle for lock-free updates.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_insert_with(Counter::detached).clone()
+    }
+
+    /// One-shot add (registry lookup per call; fine off the hot path).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Current value of a counter, or `None` if never touched.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.lock().unwrap().get(name).map(Counter::value)
+    }
+
+    /// Set a gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let cell = {
+            let mut map = self.gauges.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))))
+        };
+        cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current gauge value, or `None` if never set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+
+    /// Get-or-create a histogram with explicit bucket bounds. Bounds
+    /// are fixed at first registration; later calls reuse the existing
+    /// instrument regardless of the bounds argument.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Record into a histogram with [`DEFAULT_BUCKETS`].
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        self.histogram(name, DEFAULT_BUCKETS).record(value);
+    }
+
+    /// Append a point to a named series.
+    pub fn series_push(&self, name: &str, x: f64, y: f64) {
+        let cell = {
+            let mut map = self.series.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Mutex::new(Vec::new()))))
+        };
+        cell.lock().unwrap().push((x, y));
+    }
+
+    /// Replace a named series wholesale (used when samplers publish a
+    /// finished per-epoch trajectory).
+    pub fn series_set(&self, name: &str, points: Vec<(f64, f64)>) {
+        let cell = {
+            let mut map = self.series.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Mutex::new(Vec::new()))))
+        };
+        *cell.lock().unwrap() = points;
+    }
+
+    /// Copy of a named series, or `None` if never touched.
+    pub fn series(&self, name: &str) -> Option<Vec<(f64, f64)>> {
+        self.series.lock().unwrap().get(name).map(|s| s.lock().unwrap().clone())
+    }
+
+    /// Point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            series: self
+                .series
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.lock().unwrap().clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Deterministically ordered copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_accumulates_across_handles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.counter("infer.samples_total");
+        h.add(5);
+        reg.counter_add("infer.samples_total", 2);
+        assert_eq!(reg.counter_value("infer.samples_total"), Some(7));
+        assert_eq!(reg.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let reg = MetricsRegistry::new();
+        let h = reg.counter("hot_total");
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value("hot_total"), Some(4000));
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("phase.grounding_seconds", 1.5);
+        reg.gauge_set("phase.grounding_seconds", 2.25);
+        assert_eq!(reg.gauge_value("phase.grounding_seconds"), Some(2.25));
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_seconds", &[0.1, 1.0]);
+        h.record(0.05); // bucket 0 (<= 0.1)
+        h.record(0.5); // bucket 1 (<= 1.0)
+        h.record(3.0); // +Inf bucket
+        h.record(0.1); // boundary lands in bucket 0
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![2, 1, 1]);
+        assert_eq!(snap.count, 4);
+        assert!((snap.sum - 3.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_push_and_set() {
+        let reg = MetricsRegistry::new();
+        reg.series_push("infer.flip_rate", 0.0, 0.9);
+        reg.series_push("infer.flip_rate", 1.0, 0.4);
+        assert_eq!(reg.series("infer.flip_rate").unwrap().len(), 2);
+        reg.series_set("infer.flip_rate", vec![(0.0, 1.0)]);
+        assert_eq!(reg.series("infer.flip_rate").unwrap(), vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("z_total", 1);
+        reg.counter_add("a_total", 1);
+        let snap = reg.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, vec!["a_total", "z_total"]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Hierarchical spans and a severity-tagged event log.
+//!
+//! Spans time a region of code: a [`SpanGuard`] notes the monotonic
+//! start instant when opened and commits a [`SpanRecord`] (with
+//! duration) when dropped. Nesting is tracked per thread: a span opened
+//! while another is active on the same thread records it as its parent,
+//! so traces reconstruct the call tree (`pipeline.construct` →
+//! `pipeline.ground` → `ground.rule` …).
+//!
+//! Records live in bounded ring buffers; when full the oldest record is
+//! evicted and counted in `dropped`, so tracing never grows without
+//! bound on long runs.
+
+use crate::ObsInner;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Event severity, ordered `Debug < Info < Warn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Debug,
+    Info,
+    Warn,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// A completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub id: u64,
+    /// Id of the span that was active on the same thread when this one
+    /// opened, if any.
+    pub parent: Option<u64>,
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    /// Microseconds since the tracer was created (monotonic clock).
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+}
+
+/// A point-in-time log event.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    pub severity: Severity,
+    pub message: String,
+    /// The span active on the emitting thread, if any.
+    pub span: Option<u64>,
+    /// Microseconds since the tracer was created.
+    pub at_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct Rings {
+    spans: VecDeque<SpanRecord>,
+    events: VecDeque<EventRecord>,
+}
+
+/// Bounded store of spans and events with a monotonic time base.
+#[derive(Debug)]
+pub struct Tracer {
+    origin: Instant,
+    next_id: AtomicU64,
+    capacity: usize,
+    rings: Mutex<Rings>,
+    dropped: AtomicU64,
+}
+
+thread_local! {
+    /// Innermost open span on this thread (for parent linking).
+    static CURRENT_SPAN: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+impl Tracer {
+    /// Default per-ring capacity; enough for every pipeline span plus a
+    /// long tail of per-rule records without unbounded growth.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            origin: Instant::now(),
+            next_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            rings: Mutex::new(Rings::default()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn push_span(&self, record: SpanRecord) {
+        let mut rings = self.rings.lock().unwrap();
+        if rings.spans.len() == self.capacity {
+            rings.spans.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        rings.spans.push_back(record);
+    }
+
+    /// Record an event attached to the current thread's open span.
+    pub fn event(&self, severity: Severity, message: String) {
+        let record = EventRecord {
+            severity,
+            message,
+            span: CURRENT_SPAN.with(Cell::get),
+            at_us: self.now_us(),
+        };
+        let mut rings = self.rings.lock().unwrap();
+        if rings.events.len() == self.capacity {
+            rings.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        rings.events.push_back(record);
+    }
+
+    /// Copy of both ring buffers.
+    pub fn snapshot(&self) -> TracerSnapshot {
+        let rings = self.rings.lock().unwrap();
+        TracerSnapshot {
+            spans: rings.spans.iter().cloned().collect(),
+            events: rings.events.iter().cloned().collect(),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Copy of the trace state. Spans appear in completion order (a child
+/// closes before its parent); exporters re-sort by `start_us`.
+#[derive(Clone, Debug, Default)]
+pub struct TracerSnapshot {
+    pub spans: Vec<SpanRecord>,
+    pub events: Vec<EventRecord>,
+    /// Records evicted from the ring buffers.
+    pub dropped: u64,
+}
+
+/// RAII guard for an open span. Commits the [`SpanRecord`] on drop and
+/// restores the thread's previous span as current.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<Arc<ObsInner>>,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    attrs: Vec<(String, String)>,
+    start: Instant,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn begin(
+        inner: Option<Arc<ObsInner>>,
+        name: &str,
+        attrs: Vec<(String, String)>,
+    ) -> Self {
+        let (id, parent, start_us) = match inner.as_deref() {
+            Some(i) => {
+                let tracer = i.tracer();
+                let id = tracer.alloc_id();
+                let parent = CURRENT_SPAN.with(|c| c.replace(Some(id)));
+                (id, parent, tracer.now_us())
+            }
+            None => (0, None, 0),
+        };
+        SpanGuard { inner, id, parent, name: name.to_string(), attrs, start: Instant::now(), start_us }
+    }
+
+    /// Attach or update an attribute after the span opened (e.g. a
+    /// binding count known only once the work is done).
+    pub fn set_attr(&mut self, key: &str, value: impl ToString) {
+        if self.inner.is_none() {
+            return;
+        }
+        let value = value.to_string();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key.to_string(), value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        CURRENT_SPAN.with(|c| c.set(self.parent));
+        inner.tracer().push_span(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            attrs: std::mem::take(&mut self.attrs),
+            start_us: self.start_us,
+            duration_us: self.start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+impl ObsInner {
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("pipeline.construct");
+            {
+                let _inner = obs.span("pipeline.ground");
+            }
+        }
+        let snap = obs.trace_snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Children complete first.
+        let inner = &snap.spans[0];
+        let outer = &snap.spans[1];
+        assert_eq!(inner.name, "pipeline.ground");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+    }
+
+    #[test]
+    fn sibling_spans_share_parent() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("root");
+            drop(obs.span("a"));
+            drop(obs.span("b"));
+        }
+        let snap = obs.trace_snapshot();
+        let root = snap.spans.iter().find(|s| s.name == "root").unwrap();
+        for name in ["a", "b"] {
+            let s = snap.spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.parent, Some(root.id));
+        }
+    }
+
+    #[test]
+    fn events_attach_to_open_span() {
+        let obs = Obs::enabled();
+        obs.info("outside");
+        {
+            let _g = obs.span("phase");
+            obs.warn("inside");
+        }
+        let snap = obs.trace_snapshot();
+        assert_eq!(snap.events[0].span, None);
+        assert_eq!(snap.events[1].span, Some(snap.spans[0].id));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let tracer = Tracer::new(2);
+        for i in 0..5 {
+            tracer.event(Severity::Debug, format!("e{i}"));
+        }
+        let snap = tracer.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].message, "e3");
+        assert_eq!(snap.events[1].message, "e4");
+        assert_eq!(snap.dropped, 3);
+    }
+
+    #[test]
+    fn set_attr_updates_in_place() {
+        let obs = Obs::enabled();
+        {
+            let mut g = obs.span_with("ground.rule", vec![("rule".into(), "R1".into())]);
+            g.set_attr("bindings", 10);
+            g.set_attr("bindings", 20);
+        }
+        let span = &obs.trace_snapshot().spans[0];
+        assert_eq!(span.attrs.len(), 2);
+        assert_eq!(span.attrs[1], ("bindings".to_string(), "20".to_string()));
+    }
+}

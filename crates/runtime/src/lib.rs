@@ -27,6 +27,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub use sya_obs::{Obs, Severity};
+
 // ------------------------------------------------------------- phase
 
 /// Pipeline phase, for error attribution and targeted fault injection.
@@ -259,13 +261,14 @@ impl FaultPlan {
 // ----------------------------------------------------------- context
 
 /// Execution context threaded through grounding and inference: budget,
-/// start time, cancellation token, and the fault plan. Shared by
-/// reference across worker threads (`Sync`).
+/// start time, cancellation token, observability handle, and the fault
+/// plan. Shared by reference across worker threads (`Sync`).
 #[derive(Debug)]
 pub struct ExecContext {
     budget: RunBudget,
     start: Instant,
     token: CancellationToken,
+    obs: Obs,
     faults: FaultPlan,
     /// Once-latch for [`FaultPlan::panic_worker_in_instance`].
     worker_panic_fired: AtomicBool,
@@ -283,6 +286,7 @@ impl ExecContext {
             budget,
             start: Instant::now(),
             token: CancellationToken::new(),
+            obs: Obs::disabled(),
             faults: FaultPlan::none(),
             worker_panic_fired: AtomicBool::new(false),
         }
@@ -307,6 +311,20 @@ impl ExecContext {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Attaches an observability handle; grounding and inference record
+    /// metrics, spans, and events through it. The default is the
+    /// disabled (no-op) handle.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle (disabled unless one was attached).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     pub fn budget(&self) -> &RunBudget {
@@ -340,8 +358,23 @@ impl ExecContext {
     }
 
     /// Checks hard resource limits; called from grounding checkpoints.
-    /// Budget-pressure faults inflate the observed factor count.
+    /// Budget-pressure faults inflate the observed factor count. Every
+    /// check increments `runtime.budget_checks_total`; a trip emits a
+    /// `warn` trace event and bumps `runtime.budget_trips_total`.
     pub fn check_resources(
+        &self,
+        phase: Phase,
+        usage: ResourceUsage,
+    ) -> Result<(), BudgetExceeded> {
+        self.obs.counter_add("runtime.budget_checks_total", 1);
+        self.check_resources_inner(phase, usage).map_err(|err| {
+            self.obs.counter_add("runtime.budget_trips_total", 1);
+            self.obs.warn(format!("budget trip: {err}"));
+            err
+        })
+    }
+
+    fn check_resources_inner(
         &self,
         phase: Phase,
         usage: ResourceUsage,
@@ -384,6 +417,7 @@ impl ExecContext {
     pub fn maybe_slow(&self, phase: Phase) {
         if let Some((p, pause)) = self.faults.slowdown {
             if p == phase {
+                self.obs.debug(format!("fault injection: {pause:?} slowdown during {phase}"));
                 std::thread::sleep(pause);
             }
         }
@@ -392,7 +426,14 @@ impl ExecContext {
     /// True when the fault plan panics sampler instance `instance` at
     /// `epoch`.
     pub fn should_panic_instance(&self, instance: usize, epoch: usize) -> bool {
-        epoch == self.faults.panic_at_epoch && self.faults.panic_instances.contains(&instance)
+        let fire =
+            epoch == self.faults.panic_at_epoch && self.faults.panic_instances.contains(&instance);
+        if fire {
+            self.obs.warn(format!(
+                "fault injection: panicking sampler instance {instance} at epoch {epoch}"
+            ));
+        }
+        fire
     }
 
     /// Once-latch for the planned cell-worker panic: returns true
@@ -403,7 +444,13 @@ impl ExecContext {
         {
             return false;
         }
-        !self.worker_panic_fired.swap(true, Ordering::AcqRel)
+        let fire = !self.worker_panic_fired.swap(true, Ordering::AcqRel);
+        if fire {
+            self.obs.warn(format!(
+                "fault injection: panicking cell worker of instance {instance} at epoch {epoch}"
+            ));
+        }
+        fire
     }
 }
 
@@ -511,6 +558,23 @@ mod tests {
         assert!(ctx.take_worker_panic(0, 3));
         assert!(!ctx.take_worker_panic(0, 3), "latch must fire exactly once");
         assert!(!ctx.take_worker_panic(1, 3));
+    }
+
+    #[test]
+    fn budget_trip_records_metrics_and_event() {
+        let obs = Obs::enabled();
+        let ctx =
+            ExecContext::new(RunBudget::unlimited().with_max_factors(1)).with_obs(obs.clone());
+        let usage = ResourceUsage { factors: 5, ..ResourceUsage::default() };
+        assert!(ctx.check_resources(Phase::Grounding, usage).is_err());
+        assert!(ctx.check_resources(Phase::Grounding, ResourceUsage::default()).is_ok());
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.counter_value("runtime.budget_checks_total"), Some(2));
+        assert_eq!(m.counter_value("runtime.budget_trips_total"), Some(1));
+        let events = obs.trace_snapshot().events;
+        assert!(events
+            .iter()
+            .any(|e| e.severity == Severity::Warn && e.message.contains("budget trip")));
     }
 
     #[test]

@@ -7,16 +7,29 @@ use crate::schema::TableSchema;
 use crate::table::{Row, Table};
 use crate::StoreError;
 use std::collections::BTreeMap;
+use sya_obs::Obs;
 
 /// An in-memory database: a catalog of named tables.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Observability handle propagated to every table (disabled by
+    /// default; attach via [`Database::attach_obs`]).
+    obs: Obs,
 }
 
 impl Database {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an observability handle to the catalog and every table
+    /// (existing and future), so `store.*` metrics are recorded.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        for t in self.tables.values_mut() {
+            t.attach_obs(obs.clone());
+        }
+        self.obs = obs;
     }
 
     /// Creates a table; errors if the name is taken.
@@ -29,7 +42,8 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(StoreError::DuplicateTable(name));
         }
-        let t = Table::new(name.clone(), schema);
+        let mut t = Table::new(name.clone(), schema);
+        t.attach_obs(self.obs.clone());
         Ok(self.tables.entry(name).or_insert(t))
     }
 
@@ -49,10 +63,12 @@ impl Database {
                 });
             }
         }
-        Ok(self
-            .tables
-            .entry(name.clone())
-            .or_insert_with(|| Table::new(name, schema)))
+        let obs = &self.obs;
+        Ok(self.tables.entry(name.clone()).or_insert_with(|| {
+            let mut t = Table::new(name, schema);
+            t.attach_obs(obs.clone());
+            t
+        }))
     }
 
     pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
@@ -169,6 +185,19 @@ mod tests {
         b.insert(vec![Value::Int(2)]).unwrap();
         assert_eq!(db.table("A").unwrap().len(), 1);
         assert_eq!(db.table("B").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn attach_obs_propagates_to_existing_and_new_tables() {
+        let obs = Obs::enabled();
+        let mut db = Database::new();
+        db.create_table("A", schema()).unwrap();
+        db.attach_obs(obs.clone());
+        assert!(db.table("A").unwrap().obs().is_enabled());
+        db.create_table("B", schema()).unwrap();
+        assert!(db.table("B").unwrap().obs().is_enabled());
+        db.create_or_get("C", schema()).unwrap();
+        assert!(db.table("C").unwrap().obs().is_enabled());
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub fn scan_filter(table: &Table, filter: Option<&Expr>) -> Result<Vec<usize>, S
             }
         }
     }
+    table.obs().counter_add("store.scans_total", 1);
+    table.obs().counter_add("store.rows_scanned_total", table.len() as u64);
     Ok(out)
 }
 

@@ -5,6 +5,7 @@ use crate::schema::TableSchema;
 use crate::value::Value;
 use crate::StoreError;
 use sya_geom::{Point, RTree, Rect};
+use sya_obs::{Counter, Obs};
 
 /// A row is a boxed slice of values matching the table schema.
 pub type Row = Vec<Value>;
@@ -18,12 +19,43 @@ pub struct Table {
     /// R-tree over one spatial column: `(column index, index over row ids)`.
     /// Invalidated (dropped) on mutation.
     spatial_index: Option<(usize, RTree<usize>)>,
+    /// Observability handle (disabled unless attached via the database).
+    obs: Obs,
+    /// Counter handles resolved at attach time so the per-probe hot path
+    /// (`rows_within_distance` inside the grounder's binding loop) pays
+    /// one relaxed atomic add, never a registry lock.
+    ctr_spatial_queries: Counter,
+    ctr_rows_fetched: Counter,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
-        Table { name: name.into(), schema, rows: Vec::new(), spatial_index: None }
+        let obs = Obs::disabled();
+        let ctr_spatial_queries = obs.counter("store.spatial_queries_total");
+        let ctr_rows_fetched = obs.counter("store.rows_fetched_total");
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            spatial_index: None,
+            obs,
+            ctr_spatial_queries,
+            ctr_rows_fetched,
+        }
+    }
+
+    /// Attaches an observability handle; index builds and queries on
+    /// this table record `store.*` metrics through it.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.ctr_spatial_queries = obs.counter("store.spatial_queries_total");
+        self.ctr_rows_fetched = obs.counter("store.rows_fetched_total");
+        self.obs = obs;
+    }
+
+    /// The table's observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     pub fn name(&self) -> &str {
@@ -96,12 +128,19 @@ impl Table {
             None => true,
         };
         if stale {
+            let mut span = self.obs.span_with(
+                "store.spatial_index_build",
+                vec![("table".to_string(), self.name.clone())],
+            );
             let items: Vec<(Rect, usize)> = self
                 .rows
                 .iter()
                 .enumerate()
                 .filter_map(|(i, row)| row[col].as_geom().map(|g| (g.bbox(), i)))
                 .collect();
+            span.set_attr("rows", items.len());
+            self.obs.counter_add("store.spatial_index_builds_total", 1);
+            self.obs.counter_add("store.spatial_index_rows_total", items.len() as u64);
             self.spatial_index = Some((col, RTree::bulk_load(items)));
         }
         Ok(&self.spatial_index.as_ref().expect("just built").1)
@@ -115,7 +154,10 @@ impl Table {
         center: &Point,
         radius: f64,
     ) -> Result<Vec<usize>, StoreError> {
-        Ok(self.spatial_index(column)?.within_distance(center, radius))
+        let rows = self.spatial_index(column)?.within_distance(center, radius);
+        self.ctr_spatial_queries.inc();
+        self.ctr_rows_fetched.add(rows.len() as u64);
+        Ok(rows)
     }
 
     /// The point value of the first spatial column for `row`, if present.
@@ -209,5 +251,26 @@ mod tests {
     fn point_of_uses_first_spatial_column() {
         let t = well_table();
         assert_eq!(t.point_of(2), Some(Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn attached_obs_records_store_metrics() {
+        let obs = Obs::enabled();
+        let mut t = well_table();
+        t.attach_obs(obs.clone());
+        let ids = t.rows_within_distance("location", &Point::new(5.0, 0.0), 1.5).unwrap();
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.counter_value("store.spatial_index_builds_total"), Some(1));
+        assert_eq!(m.counter_value("store.spatial_index_rows_total"), Some(10));
+        assert_eq!(m.counter_value("store.spatial_queries_total"), Some(1));
+        assert_eq!(m.counter_value("store.rows_fetched_total"), Some(ids.len() as u64));
+        assert!(obs
+            .trace_snapshot()
+            .spans
+            .iter()
+            .any(|s| s.name == "store.spatial_index_build"));
+        // Cached index: a second query builds no new index.
+        let _ = t.rows_within_distance("location", &Point::new(5.0, 0.0), 1.5).unwrap();
+        assert_eq!(m.counter_value("store.spatial_index_builds_total"), Some(1));
     }
 }

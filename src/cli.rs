@@ -27,11 +27,17 @@
 //!   --max-factors N           abort grounding past N ground factors
 //!   --max-vars N              abort grounding past N ground variables
 //!   --max-memory-mb N         abort grounding past N MiB (estimated)
+//!   --metrics-out FILE        write the metrics registry after the run:
+//!                             JSON dump, or Prometheus text exposition
+//!                             when FILE ends in `.prom`
+//!   --trace                   print the span trace as an indented tree
+//!                             on stderr (also enabled by SYA_TRACE=1)
+//!   --trace-out FILE          write spans and events as JSON lines
 //! ```
 
 use std::collections::HashMap;
 use std::io::Write;
-use sya_core::{to_geojson, EngineMode, SyaConfig, SyaSession};
+use sya_core::{to_geojson, EngineMode, Obs, SyaConfig, SyaSession};
 use sya_geom::DistanceMetric;
 use sya_lang::{parse_program, validate, GeomConstants};
 use sya_store::{read_csv_into, write_csv, Column, Database, TableSchema, Value};
@@ -95,6 +101,9 @@ struct Options {
     max_factors: Option<u64>,
     max_vars: Option<u64>,
     max_memory_mb: Option<u64>,
+    metrics_out: Option<String>,
+    trace: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -116,6 +125,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_factors: None,
         max_vars: None,
         max_memory_mb: None,
+        metrics_out: None,
+        trace: false,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -216,6 +228,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("bad --max-memory-mb: {e}"))?,
                 )
             }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--trace" => opts.trace = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag:?}")),
             path if opts.program_path.is_empty() => opts.program_path = path.to_owned(),
             extra => return Err(format!("unexpected argument {extra:?}")),
@@ -324,6 +339,66 @@ fn load_evidence(path: &str) -> Result<HashMap<(String, i64), u32>, String> {
     Ok(out)
 }
 
+/// CLI diagnostics, routed through the observability event layer: every
+/// message is recorded as a severity-tagged event (so it shows up in
+/// `--trace` / `--trace-out` output in run order), and `warn`/`info`
+/// additionally render on stderr in the historical format that
+/// operators and the existing tests rely on. `debug` messages are
+/// trace-only.
+struct Diag<'a> {
+    err: &'a mut dyn Write,
+    obs: Obs,
+}
+
+impl Diag<'_> {
+    fn warn(&mut self, msg: &str) -> Result<(), String> {
+        self.obs.warn(msg.to_owned());
+        writeln!(self.err, "warning: {msg}").map_err(|e| e.to_string())
+    }
+
+    fn info(&mut self, msg: &str) -> Result<(), String> {
+        self.obs.info(msg.to_owned());
+        writeln!(self.err, "{msg}").map_err(|e| e.to_string())
+    }
+
+    fn debug(&mut self, msg: String) {
+        self.obs.debug(msg);
+    }
+}
+
+/// Writes the post-run observability artifacts requested on the command
+/// line: the metrics registry dump (JSON, or Prometheus text for a
+/// `.prom` path), the JSON-lines trace, and the indented trace tree on
+/// stderr.
+fn write_observability(
+    opts: &Options,
+    obs: &Obs,
+    trace_stderr: bool,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), String> {
+    if let Some(path) = &opts.metrics_out {
+        let snap = obs.metrics_snapshot();
+        let text = if path.ends_with(".prom") {
+            sya_obs::export::render_prometheus(&snap)
+        } else {
+            sya_obs::export::render_metrics_json(&snap)
+        };
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        writeln!(out, "wrote {path}").map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, sya_obs::export::render_trace_jsonl(&obs.trace_snapshot()))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        writeln!(out, "wrote {path}").map_err(|e| e.to_string())?;
+    }
+    if trace_stderr {
+        write!(err, "{}", sya_obs::export::render_trace_text(&obs.trace_snapshot()))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
 fn cmd_run(
     args: &[String],
     out: &mut dyn Write,
@@ -332,6 +407,9 @@ fn cmd_run(
 ) -> Result<(), String> {
     let opts = parse_options(args)?;
     let src = read_program(&opts.program_path)?;
+    let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
+    let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
+    let obs = if observed { Obs::enabled() } else { Obs::disabled() };
 
     let mut config = match opts.engine {
         EngineMode::Sya => SyaConfig::sya(),
@@ -358,13 +436,20 @@ fn cmd_run(
         config = config.with_max_memory_bytes(mb.saturating_mul(1024 * 1024));
     }
 
-    let session = SyaSession::new(&src, opts.constants.clone(), opts.metric, config)
-        .map_err(|e| e.to_string())?;
+    let session =
+        SyaSession::new_with_obs(&src, opts.constants.clone(), opts.metric, config, obs.clone())
+            .map_err(|e| e.to_string())?;
     let mut db = load_database(session.compiled(), &opts.tables)?;
     let evidence = match &opts.evidence_path {
         Some(p) => load_evidence(p)?,
         None => HashMap::new(),
     };
+    let mut diag = Diag { err, obs: obs.clone() };
+    diag.debug(format!(
+        "loaded {} input table(s), {} evidence row(s)",
+        opts.tables.len(),
+        evidence.len()
+    ));
     let ev_fn = move |relation: &str, values: &[Value]| -> Option<u32> {
         values
             .first()
@@ -376,11 +461,12 @@ fn cmd_run(
     // Degradation report: partial/degraded runs still emit scores, but
     // the operator learns how the run ended and what was lost.
     for w in &kb.warnings {
-        writeln!(err, "warning: {w}").map_err(|e| e.to_string())?;
+        diag.warn(w)?;
     }
     if !kb.outcome.is_completed() {
-        writeln!(err, "run outcome: {}", kb.outcome).map_err(|e| e.to_string())?;
+        diag.info(&format!("run outcome: {}", kb.outcome))?;
     }
+    write_observability(&opts, &obs, trace_stderr, out, diag.err)?;
 
     if stats_only {
         writeln!(
@@ -691,6 +777,125 @@ IsSafe,0,7
         ]);
         assert_eq!(code, 0);
         assert!(out.contains("outcome: completed"), "{out}");
+    }
+
+    #[test]
+    fn run_emits_metrics_json_and_jsonl_trace() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "obs.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_obs.csv", WELLS);
+        let metrics = dir.join("m.json");
+        let trace = dir.join("t.jsonl");
+        let (code, out, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "60",
+            "--radius",
+            "4",
+            "--trace",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        assert!(out.contains("wrote "), "{out}");
+
+        let m: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(m["schema"], "sya.metrics.v1");
+        assert!(m["gauges"]["phase.grounding_seconds"].is_number(), "{m:?}");
+        assert!(m["gauges"]["phase.inference_seconds"].is_number(), "{m:?}");
+        assert!(m["gauges"]["infer.concliques"].is_number(), "{m:?}");
+        assert!(m["counters"]["ground.logical_factors_total"].is_number(), "{m:?}");
+        assert!(m["counters"]["ground.spatial_factors_total"].is_number(), "{m:?}");
+        assert!(m["counters"]["ground.pruned_pairs_total"].is_number(), "{m:?}");
+        // Per-epoch convergence series from the spatial sampler.
+        assert!(m["series"]["infer.spatial.flip_rate"].is_array(), "{m:?}");
+        assert!(m["series"]["infer.spatial.marginal_delta"].is_array(), "{m:?}");
+
+        // Every trace line is a JSON record; rule spans nest under the
+        // grounding phase span.
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        let mut saw_nested_rule = false;
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            if v["name"] == "ground.rule" {
+                saw_nested_rule = v["parent"].is_number();
+            }
+        }
+        assert!(saw_nested_rule, "{jsonl}");
+
+        // --trace renders the indented tree on stderr.
+        assert!(err.contains("pipeline.ground "), "{err}");
+        assert!(err.contains("  ground.rule "), "{err}");
+    }
+
+    #[test]
+    fn metrics_out_prom_writes_prometheus_text() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "prom.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_prom.csv", WELLS);
+        let prom = dir.join("m.prom");
+        let (code, _, err) = run(&[
+            "stats",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "20",
+            "--metrics-out",
+            prom.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE sya_phase_grounding_seconds gauge"), "{text}");
+        assert!(text.contains("sya_ground_logical_factors_total"), "{text}");
+    }
+
+    #[test]
+    fn diagnostics_keep_stderr_format_and_become_events() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "ev.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_ev.csv", WELLS);
+        let trace = dir.join("t2.jsonl");
+        let (code, _, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--epochs",
+            "100000000",
+            "--timeout",
+            "0",
+            "--radius",
+            "4",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        // The stderr contract is unchanged...
+        assert!(err.contains("run outcome: timed-out"), "{err}");
+        // ...and the same diagnostics are severity-tagged trace events.
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        let mut severities = Vec::new();
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            if v["type"] == "event" {
+                severities.push(v["severity"].as_str().unwrap_or_default().to_owned());
+                if v["severity"] == "info" {
+                    assert!(
+                        v["message"].as_str().unwrap_or_default().starts_with("run outcome"),
+                        "{v:?}"
+                    );
+                }
+            }
+        }
+        assert!(severities.iter().any(|s| s == "info"), "{jsonl}");
+        assert!(severities.iter().any(|s| s == "debug"), "{jsonl}");
     }
 
     #[test]

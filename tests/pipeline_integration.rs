@@ -68,6 +68,33 @@ fn gwdb_config(sya: bool) -> SyaConfig {
 }
 
 #[test]
+fn convergence_telemetry_recorded_for_both_samplers() {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells: 80, ..Default::default() });
+
+    // Spatial Gibbs: a single instance runs every configured epoch
+    // itself (K instances each run epochs/K), so the merged series must
+    // cover at least the configured epoch count.
+    let epochs = 50;
+    let mut cfg = gwdb_config(true).with_epochs(epochs);
+    cfg.infer.instances = 1;
+    let kb = build(&dataset, cfg);
+    assert!(
+        kb.telemetry.marginal_delta.len() >= epochs,
+        "spatial marginal-delta series covers {} of {epochs} epochs",
+        kb.telemetry.marginal_delta.len()
+    );
+    assert_eq!(kb.telemetry.flip_rate.len(), kb.telemetry.marginal_delta.len());
+    assert!(kb.telemetry.epochs >= epochs);
+    assert!(kb.telemetry.samples_total > 0);
+
+    // Sequential Gibbs (the DeepDive comparator) records the same
+    // per-epoch series.
+    let kb = build(&dataset, gwdb_config(false).with_epochs(30));
+    assert!(kb.telemetry.marginal_delta.len() >= 30, "{}", kb.telemetry.marginal_delta.len());
+    assert_eq!(kb.telemetry.flip_rate.len(), kb.telemetry.marginal_delta.len());
+}
+
+#[test]
 fn sya_beats_deepdive_on_gwdb() {
     let dataset = gwdb_dataset(&GwdbConfig { n_wells: 600, ..Default::default() });
     let sya = quality(&dataset, &build(&dataset, gwdb_config(true)), "IsSafe");
