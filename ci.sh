@@ -22,3 +22,34 @@ cargo clippy --workspace -- -D warnings
     --trace-out /tmp/sya_ci_trace.jsonl > /dev/null
 ./target/release/metrics_smoke /tmp/sya_ci_metrics.json
 test -s /tmp/sya_ci_trace.jsonl
+
+# Crash-recovery smoke: SIGKILL a checkpointed demo run mid-inference,
+# resume it from the surviving checkpoint, and require the final scores
+# to match an uninterrupted reference run byte for byte. Deepdive mode
+# (sequential Gibbs) is deterministic for a fixed seed regardless of
+# thread count, so any divergence means the resume path replayed the
+# chain incorrectly.
+ckpt_dir=/tmp/sya_ci_ckpt
+rm -rf "$ckpt_dir" /tmp/sya_ci_ref.csv /tmp/sya_ci_resumed.csv
+demo_run=(./target/release/sya run demo/gwdb.ddlog
+    --table Well=demo/wells.csv --evidence demo/evidence.csv
+    --engine deepdive --epochs 4000 --seed 7)
+"${demo_run[@]}" --output /tmp/sya_ci_ref.csv > /dev/null
+"${demo_run[@]}" --checkpoint-dir "$ckpt_dir" --checkpoint-every 1 \
+    --output /tmp/sya_ci_resumed.csv > /dev/null &
+victim=$!
+for _ in $(seq 1 3000); do
+    if ls "$ckpt_dir"/ckpt-*.syackpt > /dev/null 2>&1; then break; fi
+    if ! kill -0 "$victim" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+kill -9 "$victim" 2> /dev/null || {
+    echo "crash smoke: run finished before it could be killed" >&2
+    exit 1
+}
+wait "$victim" 2> /dev/null || true
+ls "$ckpt_dir"/ckpt-*.syackpt > /dev/null
+"${demo_run[@]}" --checkpoint-dir "$ckpt_dir" --checkpoint-every 1 --resume \
+    --output /tmp/sya_ci_resumed.csv > /dev/null
+diff /tmp/sya_ci_ref.csv /tmp/sya_ci_resumed.csv
+echo "crash-recovery smoke: resumed scores match the reference"

@@ -2,10 +2,32 @@
 //! the paper's experiments vary.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::Duration;
 use sya_ground::{GroundConfig, StepFunctionSpec};
 use sya_infer::InferConfig;
 use sya_runtime::RunBudget;
+
+/// Durability settings for a run (DESIGN.md §10). Disabled by default:
+/// no checkpoint directory means the samplers never touch the disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory for checkpoint files and the persisted factor graph.
+    /// `None` disables checkpointing entirely.
+    pub dir: Option<PathBuf>,
+    /// Save a checkpoint every `every` epochs (epoch barriers only).
+    /// Ignored when `dir` is `None`; `0` saves only on interruption.
+    pub every: usize,
+    /// Resume from the newest valid checkpoint in `dir` instead of
+    /// starting the chains fresh.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+}
 
 /// Which system is being run.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +66,8 @@ pub struct SyaConfig {
     /// deadline stops the run gracefully with partial marginals; the
     /// count/memory limits abort grounding before a factor blow-up.
     pub budget: RunBudget,
+    /// Checkpoint durability (disabled by default).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl SyaConfig {
@@ -56,6 +80,7 @@ impl SyaConfig {
             ground: GroundConfig::default(),
             infer: InferConfig::default(),
             budget: RunBudget::unlimited(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -68,6 +93,7 @@ impl SyaConfig {
             ground: GroundConfig { generate_spatial_factors: false, ..Default::default() },
             infer: InferConfig::default(),
             budget: RunBudget::unlimited(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -168,6 +194,22 @@ impl SyaConfig {
         self.budget.max_memory_bytes = Some(n);
         self
     }
+
+    /// Enables checkpointing into `dir`, saving every `every` epochs
+    /// (plus always on interruption and at the final epoch).
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint.dir = Some(dir.into());
+        self.checkpoint.every = every;
+        self
+    }
+
+    /// Resumes from the newest valid checkpoint in the checkpoint
+    /// directory (no-op when checkpointing is disabled or the directory
+    /// holds no usable checkpoint — the run then starts fresh).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.checkpoint.resume = resume;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +257,17 @@ mod tests {
         assert_eq!(c.budget.max_variables, Some(500));
         assert_eq!(c.budget.max_memory_bytes, Some(1 << 20));
         assert!(SyaConfig::sya().budget.is_unlimited());
+    }
+
+    #[test]
+    fn checkpoint_builders_enable_durability() {
+        let c = SyaConfig::sya();
+        assert!(!c.checkpoint.is_enabled());
+        let c = c.with_checkpoints("/tmp/ckpts", 25).with_resume(true);
+        assert!(c.checkpoint.is_enabled());
+        assert_eq!(c.checkpoint.dir.as_deref(), Some(std::path::Path::new("/tmp/ckpts")));
+        assert_eq!(c.checkpoint.every, 25);
+        assert!(c.checkpoint.resume);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Unified error type of the pipeline.
 
+use sya_ckpt::CkptError;
+use sya_fg::PersistError;
 use sya_ground::GroundError;
 use sya_infer::InferError;
 use sya_lang::{ParseError, ValidateError};
@@ -18,6 +20,13 @@ pub enum SyaError {
     Infer(InferError),
     /// A hard resource limit of the run budget was hit.
     BudgetExceeded(BudgetExceeded),
+    /// The checkpoint store failed in a way the run cannot work around
+    /// (e.g. the checkpoint directory cannot be created). Note that a
+    /// *corrupt checkpoint* is not fatal — recovery skips it — so this
+    /// variant only surfaces hard I/O or setup failures.
+    Checkpoint(CkptError),
+    /// Persisting or reloading the factor graph failed.
+    Persist(PersistError),
     /// Reading a program/dataset or writing results failed.
     Io(std::io::Error),
     /// Requested relation/atom does not exist in the knowledge base.
@@ -32,6 +41,8 @@ impl std::fmt::Display for SyaError {
             SyaError::Ground(e) => write!(f, "{e}"),
             SyaError::Infer(e) => write!(f, "{e}"),
             SyaError::BudgetExceeded(e) => write!(f, "{e}"),
+            SyaError::Checkpoint(e) => write!(f, "{e}"),
+            SyaError::Persist(e) => write!(f, "{e}"),
             SyaError::Io(e) => write!(f, "{e}"),
             SyaError::UnknownAtom(a) => write!(f, "unknown atom: {a}"),
         }
@@ -46,6 +57,8 @@ impl std::error::Error for SyaError {
             SyaError::Ground(e) => Some(e),
             SyaError::Infer(e) => Some(e),
             SyaError::BudgetExceeded(e) => Some(e),
+            SyaError::Checkpoint(e) => Some(e),
+            SyaError::Persist(e) => Some(e),
             SyaError::Io(e) => Some(e),
             SyaError::UnknownAtom(_) => None,
         }
@@ -90,6 +103,18 @@ impl From<BudgetExceeded> for SyaError {
 impl From<std::io::Error> for SyaError {
     fn from(e: std::io::Error) -> Self {
         SyaError::Io(e)
+    }
+}
+
+impl From<CkptError> for SyaError {
+    fn from(e: CkptError) -> Self {
+        SyaError::Checkpoint(e)
+    }
+}
+
+impl From<PersistError> for SyaError {
+    fn from(e: PersistError) -> Self {
+        SyaError::Persist(e)
     }
 }
 

@@ -43,8 +43,9 @@ pub mod pipeline;
 pub mod query;
 pub mod result;
 
-pub use config::{EngineMode, SamplerKind, SyaConfig};
+pub use config::{CheckpointConfig, EngineMode, SamplerKind, SyaConfig};
 pub use error::SyaError;
+pub use sya_ckpt::{CheckpointStore, CkptError, Recovery};
 pub use pipeline::{ExtendStats, SyaSession};
 pub use query::{hull_of, to_geojson, KbFact, KbQuery};
 pub use result::{KnowledgeBase, Timings};

@@ -5,10 +5,12 @@ use crate::config::{EngineMode, SamplerKind, SyaConfig};
 use crate::error::SyaError;
 use crate::result::{KnowledgeBase, Timings};
 use std::time::Instant;
+use sya_ckpt::CheckpointStore;
 use sya_geom::DistanceMetric;
 use sya_ground::{expand_step_function_rules, Grounder};
 use sya_infer::{
-    parallel_random_gibbs_with, sequential_gibbs_with, spatial_gibbs_with, PyramidIndex,
+    parallel_random_gibbs_ckpt, sequential_gibbs_ckpt, spatial_gibbs_ckpt, CheckpointOptions,
+    CheckpointState, PyramidIndex,
 };
 use sya_lang::{compile_with, parse_program_with, CompiledProgram, GeomConstants};
 use sya_obs::Obs;
@@ -144,6 +146,18 @@ impl SyaSession {
                  prefix and marginals cover only the grounded atoms"
             ));
         }
+        // Phase 1.5: durability. Bind a checkpoint store to the grounded
+        // graph's fingerprint and, on resume, recover the newest valid
+        // checkpoint (damaged or mismatched files are skipped with an
+        // `error` event each; the run then falls back to an older good
+        // checkpoint or a clean restart — never a panic).
+        let (store, resume_state) =
+            self.prepare_checkpoints(&grounding.graph, &mut warnings, obs)?;
+        let ckpt = match &store {
+            Some(s) => CheckpointOptions::to_sink(s, self.config.checkpoint.every),
+            None => CheckpointOptions::none(),
+        };
+
         let t1 = Instant::now();
         let infer = &self.config.infer;
         let infer_span = obs.span("pipeline.infer");
@@ -158,30 +172,46 @@ impl SyaSession {
                     pyramid
                 };
                 obs.gauge_set("infer.pyramid_build_seconds", tp.elapsed().as_secs_f64());
-                let run = spatial_gibbs_with(&grounding.graph, &pyramid, infer, ctx)?;
+                let chains = match resume_state {
+                    Some(CheckpointState::Spatial { instances }) => Some(instances),
+                    _ => None,
+                };
+                let run = spatial_gibbs_ckpt(&grounding.graph, &pyramid, infer, ctx, ckpt, chains)?;
                 (run, Some(pyramid))
             }
-            SamplerKind::Sequential => (
-                sequential_gibbs_with(
+            SamplerKind::Sequential => {
+                let chain = match resume_state {
+                    Some(CheckpointState::Sequential(c)) => Some(c),
+                    _ => None,
+                };
+                let run = sequential_gibbs_ckpt(
                     &grounding.graph,
                     infer.epochs,
                     infer.burn_in,
                     infer.seed,
                     ctx,
-                ),
-                None,
-            ),
-            SamplerKind::ParallelRandom(k) => (
-                parallel_random_gibbs_with(
+                    ckpt,
+                    chain,
+                )?;
+                (run, None)
+            }
+            SamplerKind::ParallelRandom(k) => {
+                let chain = match resume_state {
+                    Some(CheckpointState::Parallel(c)) => Some(c),
+                    _ => None,
+                };
+                let run = parallel_random_gibbs_ckpt(
                     &grounding.graph,
                     infer.epochs,
                     infer.burn_in,
                     k,
                     infer.seed,
                     ctx,
-                ),
-                None,
-            ),
+                    ckpt,
+                    chain,
+                )?;
+                (run, None)
+            }
         };
         drop(infer_span);
         let inference_time = t1.elapsed();
@@ -199,6 +229,99 @@ impl SyaSession {
             warnings,
             telemetry: run.telemetry,
         })
+    }
+
+    /// Phase 1.5 of [`construct_with`](Self::construct_with): binds a
+    /// [`CheckpointStore`] to the grounded graph's fingerprint, persists
+    /// the graph beside the checkpoints as an integrity witness, and —
+    /// when resuming — scans for the newest checkpoint that passes
+    /// header, CRC, fingerprint, and shape validation. Unusable files
+    /// are reported (severity `error`) and skipped, so a corrupted
+    /// latest checkpoint degrades to an older good one, and a directory
+    /// with nothing usable degrades to a clean restart.
+    fn prepare_checkpoints(
+        &self,
+        graph: &sya_fg::FactorGraph,
+        warnings: &mut Vec<String>,
+        obs: &Obs,
+    ) -> Result<(Option<CheckpointStore>, Option<CheckpointState>), SyaError> {
+        let cfg = &self.config.checkpoint;
+        let Some(dir) = &cfg.dir else { return Ok((None, None)) };
+        let fingerprint = graph.fingerprint();
+        let store = CheckpointStore::create(dir, fingerprint)?;
+        let witness = dir.join("factor-graph.json");
+        if cfg.resume && witness.exists() {
+            match sya_fg::FactorGraph::load_from_path(&witness) {
+                Ok(persisted) if persisted.fingerprint() == fingerprint => {
+                    obs.info(format!(
+                        "resume: persisted factor graph matches this run \
+                         (fingerprint {fingerprint:#018x})"
+                    ));
+                }
+                Ok(persisted) => {
+                    let msg = format!(
+                        "persisted factor graph (fingerprint {:#018x}) does not match this \
+                         run's graph ({fingerprint:#018x}); its checkpoints will be skipped",
+                        persisted.fingerprint()
+                    );
+                    obs.error(msg.clone());
+                    warnings.push(msg);
+                    graph.save_to_path(&witness)?;
+                }
+                Err(e) => {
+                    let msg =
+                        format!("persisted factor graph is unreadable ({e}); rewriting it");
+                    obs.error(msg.clone());
+                    warnings.push(msg);
+                    graph.save_to_path(&witness)?;
+                }
+            }
+        } else {
+            graph.save_to_path(&witness)?;
+        }
+        if !cfg.resume {
+            return Ok((Some(store), None));
+        }
+        let (expected_kind, instances) = match self.config.sampler {
+            SamplerKind::Spatial => ("spatial", self.config.infer.instances.max(1)),
+            SamplerKind::Sequential => ("sequential", 1),
+            SamplerKind::ParallelRandom(_) => ("parallel", 1),
+        };
+        let recovery = store.recover(|state| {
+            if state.kind() != expected_kind {
+                return Err(format!(
+                    "checkpoint was written by the {} sampler, this run uses {expected_kind}",
+                    state.kind()
+                ));
+            }
+            state.validate_for(graph, instances)
+        })?;
+        for (path, reason) in &recovery.skipped {
+            // Load errors (CkptError) already name the file; validator
+            // reasons are bare and need the path added here.
+            let msg = if reason.starts_with("checkpoint ") {
+                format!("{reason}; skipped")
+            } else {
+                format!("checkpoint {} is unusable ({reason}); skipped", path.display())
+            };
+            obs.error(msg.clone());
+            warnings.push(msg);
+        }
+        let state = match recovery.state {
+            Some((path, state)) => {
+                obs.info(format!(
+                    "resuming from checkpoint {} at epoch {}",
+                    path.display(),
+                    state.epoch()
+                ));
+                Some(state)
+            }
+            None => {
+                obs.info("no usable checkpoint found; starting the chains fresh");
+                None
+            }
+        };
+        Ok((Some(store), state))
     }
 
     /// Incrementally extends a knowledge base after new input tuples
@@ -653,6 +776,34 @@ mod tests {
         assert_eq!(stats.new_logical_factors, 0);
         assert_eq!(stats.new_spatial_factors, 0);
         assert_eq!(stats.resampled, 0);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_from_disk_with_identical_scores() {
+        let dir = std::env::temp_dir().join(format!("sya_core_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SyaConfig::deepdive().with_epochs(80).with_seed(7).with_checkpoints(&dir, 10);
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() });
+        let kb1 = build(&mut d, cfg.clone());
+        assert!(dir.join("factor-graph.json").exists(), "graph witness must be persisted");
+        let ckpts = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(".syackpt"))
+            })
+            .count();
+        assert!(ckpts >= 1, "periodic + final checkpoints must exist");
+
+        // Resuming a finished run finds the final checkpoint, replays
+        // zero epochs, and reproduces the exact same scores.
+        let mut d2 = gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() });
+        let kb2 = build(&mut d2, cfg.with_resume(true));
+        assert_eq!(kb1.scores_by_id("IsSafe"), kb2.scores_by_id("IsSafe"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

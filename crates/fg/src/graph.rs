@@ -267,6 +267,69 @@ impl FactorGraph {
         (vars + factors + spatial + region + adjacency) as u64
     }
 
+    /// Structural fingerprint of the graph (FNV-1a, 64-bit): variable
+    /// domains/evidence/locations, factor kinds/scopes/weights, spatial
+    /// and region factors. Checkpoints record it so that a resume
+    /// against a *different* grounding (changed program, data, or
+    /// weights) is rejected instead of silently producing garbage
+    /// marginals. Names are deliberately excluded — they do not affect
+    /// sampling.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.variables.len() as u64);
+        for v in &self.variables {
+            mix(v.domain.cardinality() as u64);
+            mix(match v.evidence {
+                Some(e) => 1 + e as u64,
+                None => 0,
+            });
+            match v.location {
+                Some(p) => {
+                    mix(1);
+                    mix(p.x.to_bits());
+                    mix(p.y.to_bits());
+                }
+                None => mix(0),
+            }
+        }
+        mix(self.factors.len() as u64);
+        for f in &self.factors {
+            mix(f.kind as u64);
+            mix(f.vars.len() as u64);
+            for &v in &f.vars {
+                mix(v as u64);
+            }
+            mix(f.weight.to_bits());
+        }
+        mix(self.spatial_factors.len() as u64);
+        for s in &self.spatial_factors {
+            mix(s.a as u64);
+            mix(s.b as u64);
+            mix(s.weight.to_bits());
+            mix(match s.domain_pair {
+                Some((ta, tb)) => 1 + (((ta as u64) << 32) | tb as u64),
+                None => 0,
+            });
+        }
+        mix(self.region_factors.len() as u64);
+        for r in &self.region_factors {
+            mix(r.vars.len() as u64);
+            for &v in &r.vars {
+                mix(v as u64);
+            }
+            mix(r.weight.to_bits());
+        }
+        h
+    }
+
     /// Variables that share a logical or spatial factor with `v`
     /// (deduplicated, `v` excluded) — the Markov blanket neighbourhood.
     pub fn neighbours(&self, v: VarId) -> Vec<VarId> {
@@ -407,6 +470,36 @@ mod tests {
             g.add_factor(Factor::new(FactorKind::IsTrue, vec![v], 0.1));
         }
         assert!(g.approx_memory_bytes() > small);
+    }
+
+    #[test]
+    fn fingerprint_tracks_sampling_relevant_structure() {
+        let g = tiny();
+        assert_eq!(g.fingerprint(), tiny().fingerprint(), "deterministic");
+        // Weight changes, evidence changes, and new factors all matter.
+        let mut w = tiny();
+        w.set_factor_weight(0, 2.0);
+        assert_ne!(g.fingerprint(), w.fingerprint());
+        let mut e = tiny();
+        e.set_evidence(0, Some(1));
+        assert_ne!(g.fingerprint(), e.fingerprint());
+        let mut f = tiny();
+        f.add_factor(Factor::new(FactorKind::IsTrue, vec![0], 0.1));
+        assert_ne!(g.fingerprint(), f.fingerprint());
+        let mut s = tiny();
+        s.add_spatial_factor(SpatialFactor::binary(0, 2, 0.1));
+        assert_ne!(g.fingerprint(), s.fingerprint());
+        // Names do not: two graphs differing only in names fingerprint
+        // the same (the serialized graph carries names, sampling ignores
+        // them).
+        let mut renamed = tiny();
+        renamed.variable_mut(0).name = "renamed".to_owned();
+        assert_eq!(g.fingerprint(), renamed.fingerprint());
+        // Survives a serialize/deserialize round trip.
+        let mut buf = Vec::new();
+        g.save(&mut buf).unwrap();
+        let g2 = FactorGraph::load(buf.as_slice()).unwrap();
+        assert_eq!(g.fingerprint(), g2.fingerprint());
     }
 
     #[test]

@@ -11,7 +11,16 @@ use std::path::Path;
 #[derive(Debug)]
 pub enum PersistError {
     Io(std::io::Error),
+    /// Save-side encoding failure.
     Encode(serde_json::Error),
+    /// Load-side failure: the file is not a valid serialized graph —
+    /// truncated, bit-flipped, or plain garbage. Carries the byte
+    /// offset at which decoding gave up, so operators can tell a
+    /// truncation (offset ≈ file size) from corruption in the middle.
+    Corrupt {
+        offset: usize,
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -19,6 +28,10 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "factor graph I/O error: {e}"),
             PersistError::Encode(e) => write!(f, "factor graph encoding error: {e}"),
+            PersistError::Corrupt { offset, detail } => write!(
+                f,
+                "factor graph file is corrupt at byte offset {offset}: {detail}"
+            ),
         }
     }
 }
@@ -37,6 +50,21 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+/// Classifies a load-side decode failure as corruption, preserving the
+/// parser's byte offset.
+fn corrupt(e: serde_json::Error) -> PersistError {
+    match e {
+        serde_json::Error::Syntax { msg, offset } => {
+            PersistError::Corrupt { offset, detail: msg }
+        }
+        // Well-formed JSON that is not a factor graph — still a damaged
+        // or foreign file from the loader's point of view, with no
+        // meaningful offset.
+        serde_json::Error::Data(msg) => PersistError::Corrupt { offset: 0, detail: msg },
+        serde_json::Error::Io(e) => PersistError::Io(e),
+    }
+}
+
 impl FactorGraph {
     /// Serializes the graph as JSON to a writer.
     pub fn save<W: Write>(&self, writer: W) -> Result<(), PersistError> {
@@ -44,9 +72,12 @@ impl FactorGraph {
         Ok(())
     }
 
-    /// Deserializes a graph from a JSON reader.
+    /// Deserializes a graph from a JSON reader. Decode failures are
+    /// reported as [`PersistError::Corrupt`] with byte-offset context —
+    /// on the load side a malformed stream means a damaged file, not an
+    /// encoding bug.
     pub fn load<R: Read>(reader: R) -> Result<FactorGraph, PersistError> {
-        Ok(serde_json::from_reader(reader)?)
+        serde_json::from_reader(reader).map_err(corrupt)
     }
 
     /// Saves to a file path (buffered).
@@ -111,6 +142,56 @@ mod tests {
     fn load_rejects_garbage() {
         assert!(FactorGraph::load(&b"not json"[..]).is_err());
         assert!(FactorGraph::load_from_path("/nonexistent/graph.json").is_err());
+    }
+
+    #[test]
+    fn garbage_is_reported_as_corrupt_not_encode() {
+        match FactorGraph::load(&b"not json"[..]) {
+            Err(PersistError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // A missing file is an I/O problem, not corruption.
+        match FactorGraph::load_from_path("/nonexistent/graph.json") {
+            Err(PersistError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_with_offset_near_the_cut() {
+        let g = graph();
+        let mut buf = Vec::new();
+        g.save(&mut buf).unwrap();
+        // Cut the serialized graph mid-stream: every prefix must fail as
+        // Corrupt, never panic, and point at (or before) the cut.
+        for cut in [1, buf.len() / 3, buf.len() / 2, buf.len() - 1] {
+            match FactorGraph::load(&buf[..cut]) {
+                Err(PersistError::Corrupt { offset, detail }) => {
+                    assert!(
+                        offset <= cut,
+                        "offset {offset} past the {cut}-byte truncation ({detail})"
+                    );
+                }
+                other => panic!("truncation at {cut} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flipped_file_fails_to_load_cleanly() {
+        let g = graph();
+        let mut buf = Vec::new();
+        g.save(&mut buf).unwrap();
+        // Structural characters flipped to garbage: decode errors, no
+        // panics. (Flips inside numbers can survive as different valid
+        // values — that is what the checkpoint layer's CRC is for.)
+        let brace = buf.iter().position(|&b| b == b'{').unwrap();
+        let mut broken = buf.clone();
+        broken[brace] = 0xFF;
+        assert!(matches!(
+            FactorGraph::load(broken.as_slice()),
+            Err(PersistError::Corrupt { .. })
+        ));
     }
 
     #[test]

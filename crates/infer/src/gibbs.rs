@@ -2,9 +2,10 @@
 //! random-partition parallel Gibbs of the state of the art the paper
 //! compares against (Section V, "Main Idea").
 
+use crate::ckpt::{ChainState, CheckpointOptions, CheckpointSink, CheckpointState};
 use crate::learn::pseudo_log_likelihood;
 use crate::marginals::MarginalCounts;
-use crate::run::{panic_message, SamplerRun};
+use crate::run::{panic_message, InferError, SamplerRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sya_fg::{binary_conditional_true, conditional_with, Assignment, FactorGraph, VarId};
@@ -65,6 +66,49 @@ pub(crate) fn telemetry_indicator(x: u32) -> bool {
     x != 0
 }
 
+/// Hands a completed barrier state to the sink, honouring the injected
+/// `fail_checkpoint_saves` fault. A failed save never aborts the run: it
+/// degrades the outcome and leaves a warning, because losing durability
+/// is strictly better than losing the samples already drawn.
+pub(crate) fn save_checkpoint(
+    ctx: &ExecContext,
+    sink: &dyn CheckpointSink,
+    state: &CheckpointState,
+    warnings: &mut Vec<String>,
+    outcome: &mut RunOutcome,
+) {
+    let res = if ctx.take_checkpoint_save_failure() {
+        Err("injected fault: checkpoint save failed".to_owned())
+    } else {
+        sink.save(state)
+    };
+    if let Err(e) = res {
+        warnings.push(format!(
+            "checkpoint at epoch {} could not be saved ({e}); the run continues \
+             without durability for this barrier",
+            state.epoch()
+        ));
+        *outcome = outcome.combine(RunOutcome::Degraded);
+    }
+}
+
+/// Packages one chain's barrier state for persistence.
+fn chain_state(
+    next_epoch: usize,
+    assignment: &Assignment,
+    rng: &StdRng,
+    counts: &MarginalCounts,
+    recorded: bool,
+) -> ChainState {
+    ChainState {
+        epoch: next_epoch as u64,
+        assignment: assignment.clone(),
+        rng: rng.state().to_vec(),
+        counts: counts.to_rows(),
+        recorded,
+    }
+}
+
 /// Records one snapshot of the current chain state into `counts` — the
 /// fallback when a governed run is stopped before burn-in finished, so
 /// callers still receive finite, non-empty marginals.
@@ -102,23 +146,64 @@ pub fn sequential_gibbs_with(
     seed: u64,
     ctx: &ExecContext,
 ) -> SamplerRun {
+    sequential_gibbs_ckpt(graph, epochs, burn_in, seed, ctx, CheckpointOptions::none(), None)
+        .expect("no resume state, cannot fail")
+}
+
+/// Checkpointing/resumable variant of [`sequential_gibbs_with`].
+///
+/// With a sink configured, the sampler emits the chain state (next
+/// epoch, assignment, RNG stream position, counts) at periodic epoch
+/// barriers, at the barrier where an interruption (deadline, cancel,
+/// budget trip) stops the run, and at natural completion. With `resume`,
+/// the chain continues from the checkpointed position and — because the
+/// RNG stream position is part of the state — reproduces an
+/// uninterrupted run bit-for-bit. `Err` only when the resume state does
+/// not fit this graph.
+pub fn sequential_gibbs_ckpt(
+    graph: &FactorGraph,
+    epochs: usize,
+    burn_in: usize,
+    seed: u64,
+    ctx: &ExecContext,
+    ckpt: CheckpointOptions<'_>,
+    resume: Option<ChainState>,
+) -> Result<SamplerRun, InferError> {
     let obs = ctx.obs();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut assignment = random_init(graph, &mut rng);
-    let query = graph.query_variables();
-    let mut counts = MarginalCounts::new(graph);
     let mut outcome = RunOutcome::Completed;
     let mut warnings = Vec::new();
-    let mut recorded = false;
+    let (start_epoch, mut assignment, mut rng, mut counts, mut recorded) = match resume {
+        Some(chain) => {
+            let (e, a, r, c, rec) = chain
+                .restore(graph)
+                .map_err(|detail| InferError::BadResume { detail })?;
+            (e.min(epochs), a, StdRng::from_state(r), c, rec)
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let assignment = random_init(graph, &mut rng);
+            (0, assignment, rng, MarginalCounts::new(graph), false)
+        }
+    };
+    let query = graph.query_variables();
     let mut telemetry = EpochTelemetry::new(graph.num_variables());
     let stride = pll_stride(epochs);
+    let mut next_epoch = start_epoch;
 
-    for epoch in 0..epochs {
+    for epoch in start_epoch..epochs {
         // Epoch barrier: checked from the second epoch on, so an
         // interrupted run still carries at least one full sweep.
-        if epoch > 0 {
+        if epoch > start_epoch {
             if let Some(stop) = ctx.interrupted() {
                 outcome = outcome.combine(stop);
+                // Checkpoint-before-exit: a budget trip or cancellation
+                // must not cost the epochs already sampled.
+                if let Some(sink) = ckpt.sink {
+                    let state = CheckpointState::Sequential(chain_state(
+                        epoch, &assignment, &rng, &counts, recorded,
+                    ));
+                    save_checkpoint(ctx, sink, &state, &mut warnings, &mut outcome);
+                }
                 break;
             }
         }
@@ -157,6 +242,23 @@ pub fn sequential_gibbs_with(
         if let Some(t0) = epoch_start {
             obs.histogram_record("infer.epoch_seconds", t0.elapsed().as_secs_f64());
         }
+        next_epoch = epoch + 1;
+        if let (Some(sink), true) = (ckpt.sink, ckpt.due(next_epoch, epochs)) {
+            let state = CheckpointState::Sequential(chain_state(
+                next_epoch, &assignment, &rng, &counts, recorded,
+            ));
+            save_checkpoint(ctx, sink, &state, &mut warnings, &mut outcome);
+        }
+    }
+    // Final barrier: persists the completed run, so a later `--resume`
+    // against the same configuration is a cheap no-op replay.
+    if next_epoch == epochs {
+        if let Some(sink) = ckpt.sink {
+            let state = CheckpointState::Sequential(chain_state(
+                epochs, &assignment, &rng, &counts, recorded,
+            ));
+            save_checkpoint(ctx, sink, &state, &mut warnings, &mut outcome);
+        }
     }
     if !recorded {
         record_snapshot(graph, &assignment, &mut counts);
@@ -168,7 +270,7 @@ pub fn sequential_gibbs_with(
     }
     let telemetry = telemetry.finish();
     telemetry.publish(obs, "infer.sequential");
-    SamplerRun { counts, outcome, warnings, telemetry }
+    Ok(SamplerRun { counts, outcome, warnings, telemetry })
 }
 
 /// Random-partition parallel Gibbs: query variables are split into `k`
@@ -200,6 +302,39 @@ pub fn parallel_random_gibbs_with(
     seed: u64,
     ctx: &ExecContext,
 ) -> SamplerRun {
+    parallel_random_gibbs_ckpt(
+        graph,
+        epochs,
+        burn_in,
+        k,
+        seed,
+        ctx,
+        CheckpointOptions::none(),
+        None,
+    )
+    .expect("no resume state, cannot fail")
+}
+
+/// Checkpointing/resumable variant of [`parallel_random_gibbs_with`].
+///
+/// The bucket partition and the per-epoch worker RNG streams are all
+/// derived from `(seed, epoch, bucket)`, so the only live state is the
+/// shared chain itself: on resume the setup (init draw + shuffle) is
+/// re-derived from the seed, the checkpointed assignment/counts replace
+/// the chain, and every later epoch reproduces the uninterrupted run
+/// bit-for-bit. `Err` only when the resume state does not fit this
+/// graph.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_random_gibbs_ckpt(
+    graph: &FactorGraph,
+    epochs: usize,
+    burn_in: usize,
+    k: usize,
+    seed: u64,
+    ctx: &ExecContext,
+    ckpt: CheckpointOptions<'_>,
+    resume: Option<ChainState>,
+) -> Result<SamplerRun, InferError> {
     let k = k.max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut assignment = random_init(graph, &mut rng);
@@ -218,12 +353,33 @@ pub fn parallel_random_gibbs_with(
     let mut outcome = RunOutcome::Completed;
     let mut warnings = Vec::new();
     let mut recorded = false;
+    let start_epoch = match resume {
+        Some(chain) => {
+            // The setup above re-derived the initial draw and the bucket
+            // shuffle from the seed; only the chain state is restored.
+            let (e, a, _rng, c, rec) = chain
+                .restore(graph)
+                .map_err(|detail| InferError::BadResume { detail })?;
+            assignment = a;
+            counts = c;
+            recorded = rec;
+            e.min(epochs)
+        }
+        None => 0,
+    };
     let mut telemetry = EpochTelemetry::new(graph.num_variables());
     let stride = pll_stride(epochs);
-    for epoch in 0..epochs {
-        if epoch > 0 {
+    let mut next_epoch = start_epoch;
+    for epoch in start_epoch..epochs {
+        if epoch > start_epoch {
             if let Some(stop) = ctx.interrupted() {
                 outcome = outcome.combine(stop);
+                if let Some(sink) = ckpt.sink {
+                    let state = CheckpointState::Parallel(chain_state(
+                        epoch, &assignment, &rng, &counts, recorded,
+                    ));
+                    save_checkpoint(ctx, sink, &state, &mut warnings, &mut outcome);
+                }
                 break;
             }
         }
@@ -327,6 +483,21 @@ pub fn parallel_random_gibbs_with(
         if let Some(t0) = epoch_start {
             obs.histogram_record("infer.epoch_seconds", t0.elapsed().as_secs_f64());
         }
+        next_epoch = epoch + 1;
+        if let (Some(sink), true) = (ckpt.sink, ckpt.due(next_epoch, epochs)) {
+            let state = CheckpointState::Parallel(chain_state(
+                next_epoch, &assignment, &rng, &counts, recorded,
+            ));
+            save_checkpoint(ctx, sink, &state, &mut warnings, &mut outcome);
+        }
+    }
+    if next_epoch == epochs {
+        if let Some(sink) = ckpt.sink {
+            let state = CheckpointState::Parallel(chain_state(
+                epochs, &assignment, &rng, &counts, recorded,
+            ));
+            save_checkpoint(ctx, sink, &state, &mut warnings, &mut outcome);
+        }
     }
     if !recorded {
         record_snapshot(graph, &assignment, &mut counts);
@@ -338,7 +509,7 @@ pub fn parallel_random_gibbs_with(
     }
     let telemetry = telemetry.finish();
     telemetry.publish(obs, "infer.parallel");
-    SamplerRun { counts, outcome, warnings, telemetry }
+    Ok(SamplerRun { counts, outcome, warnings, telemetry })
 }
 
 #[cfg(test)]

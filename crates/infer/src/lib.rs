@@ -25,6 +25,7 @@
 //!   deadlines/cancellation at epoch barriers, isolates worker panics,
 //!   and reports a [`RunOutcome`](sya_runtime::RunOutcome).
 
+pub mod ckpt;
 pub mod conclique;
 pub mod gibbs;
 pub mod incremental;
@@ -35,14 +36,16 @@ pub mod run;
 pub mod spatial_gibbs;
 pub mod work_model;
 
+pub use ckpt::{ChainState, CheckpointOptions, CheckpointSink, CheckpointState};
 pub use conclique::{conclique_of, min_conclique_cover, Conclique};
 pub use gibbs::{
-    parallel_random_gibbs, parallel_random_gibbs_with, sequential_gibbs, sequential_gibbs_with,
+    parallel_random_gibbs, parallel_random_gibbs_ckpt, parallel_random_gibbs_with,
+    sequential_gibbs, sequential_gibbs_ckpt, sequential_gibbs_with,
 };
 pub use incremental::{incremental_sequential_gibbs, incremental_spatial_gibbs};
 pub use learn::{learn_weights, map_assignment, pseudo_log_likelihood, LearnConfig};
 pub use marginals::{average_kl_divergence, MarginalCounts};
 pub use pyramid::{CellKey, PyramidIndex};
 pub use run::{InferError, SamplerRun};
-pub use spatial_gibbs::{spatial_gibbs, spatial_gibbs_with, InferConfig, SweepMode};
+pub use spatial_gibbs::{spatial_gibbs, spatial_gibbs_ckpt, spatial_gibbs_with, InferConfig, SweepMode};
 pub use work_model::{epoch_work, EpochWork};

@@ -106,6 +106,38 @@ impl MarginalCounts {
         out
     }
 
+    /// Raw per-variable count rows (`rows[v][x]`), for checkpoint
+    /// serialization. Totals are derived, not exported: recomputing them
+    /// on restore doubles as a consistency check.
+    pub fn to_rows(&self) -> Vec<Vec<u64>> {
+        self.counts.clone()
+    }
+
+    /// Rebuilds a counter from checkpointed rows, validating the shape
+    /// against the graph (row per variable, slot per domain value).
+    /// Returns `Err` with a description when the rows do not fit — the
+    /// caller treats that as a corrupt/mismatched checkpoint.
+    pub fn from_rows(graph: &FactorGraph, rows: Vec<Vec<u64>>) -> Result<Self, String> {
+        if rows.len() != graph.num_variables() {
+            return Err(format!(
+                "count rows cover {} variables, graph has {}",
+                rows.len(),
+                graph.num_variables()
+            ));
+        }
+        for (v, row) in rows.iter().enumerate() {
+            let want = graph.variables()[v].domain.cardinality() as usize;
+            if row.len() != want {
+                return Err(format!(
+                    "variable {v}: {} count slots, domain cardinality {want}",
+                    row.len()
+                ));
+            }
+        }
+        let totals = rows.iter().map(|r| r.iter().sum()).collect();
+        Ok(MarginalCounts { counts: rows, totals })
+    }
+
     pub fn total_samples(&self, v: VarId) -> u64 {
         self.totals[v as usize]
     }

@@ -38,6 +38,13 @@ pub enum InferError {
         /// Panic message of the first failed instance.
         first_cause: String,
     },
+    /// A resume state did not fit the run (wrong sampler kind, graph
+    /// shape, or instance count). Callers are expected to validate
+    /// recovered checkpoints first, so hitting this means the validation
+    /// was skipped or the graph changed in between.
+    BadResume {
+        detail: String,
+    },
 }
 
 impl fmt::Display for InferError {
@@ -47,6 +54,9 @@ impl fmt::Display for InferError {
                 f,
                 "all {instances} inference instance(s) failed; first cause: {first_cause}"
             ),
+            InferError::BadResume { detail } => {
+                write!(f, "resume state does not fit this run: {detail}")
+            }
         }
     }
 }

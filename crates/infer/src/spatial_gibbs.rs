@@ -22,16 +22,19 @@
 //!   assignment through relaxed atomics (the same lock-free regime
 //!   DeepDive's sampler uses).
 
+use crate::ckpt::{ChainState, CheckpointOptions, CheckpointSink, CheckpointState};
 use crate::conclique::min_conclique_cover;
-use crate::gibbs::{sample_conditional, telemetry_indicator};
+use crate::gibbs::{sample_conditional, save_checkpoint, telemetry_indicator};
 use crate::learn::pseudo_log_likelihood;
 use crate::marginals::MarginalCounts;
 use crate::pyramid::{CellKey, PyramidIndex};
 use crate::run::{panic_message, InferError, SamplerRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 use sya_fg::{Assignment, FactorGraph, VarId};
 use sya_obs::{pll_stride, ConvergenceSeries, EpochTelemetry};
 use sya_runtime::{ExecContext, Phase, RunOutcome};
@@ -127,6 +130,114 @@ pub fn spatial_gibbs_with(
     run_spatial_gibbs_governed(graph, pyramid, cfg, None, ctx)
 }
 
+/// Checkpointing/resumable variant of [`spatial_gibbs_with`].
+///
+/// Each of the `K` inference instances reports its chain state at its
+/// own epoch barriers; a shared aggregator assembles complete states. A
+/// *periodic* checkpoint is written when every instance has reported the
+/// same barrier epoch (instances share one cadence, so the sets always
+/// complete unless an instance dies — a dropped instance therefore also
+/// stops periodic checkpointing). The *final* checkpoint, written when
+/// all instances have finished or been interrupted, allows heterogeneous
+/// per-instance epochs: on resume every instance continues from its own
+/// recorded position, which keeps the merged counts bit-identical to an
+/// uninterrupted run. `resume` must carry exactly `cfg.instances` chains.
+pub fn spatial_gibbs_ckpt(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    cfg: &InferConfig,
+    ctx: &ExecContext,
+    ckpt: CheckpointOptions<'_>,
+    resume: Option<Vec<ChainState>>,
+) -> Result<SamplerRun, InferError> {
+    if let Some(chains) = &resume {
+        CheckpointState::Spatial { instances: chains.clone() }
+            .validate_for(graph, cfg.instances.max(1))
+            .map_err(|detail| InferError::BadResume { detail })?;
+    }
+    run_spatial_gibbs_ckpt(graph, pyramid, cfg, None, ctx, ckpt, resume)
+}
+
+/// Assembles per-instance barrier states into complete spatial
+/// checkpoints. Instances run on independent threads and hit barriers at
+/// their own pace; the instance whose report completes a set performs
+/// the save (and absorbs any save failure into its own warnings).
+pub(crate) struct CheckpointAggregator<'a> {
+    k: usize,
+    sink: &'a dyn CheckpointSink,
+    /// Periodic cadence in epochs; `0` = final checkpoints only.
+    every: usize,
+    inner: Mutex<AggregatorInner>,
+}
+
+struct AggregatorInner {
+    /// Partial same-epoch sets keyed by barrier epoch.
+    pending: BTreeMap<u64, Vec<Option<ChainState>>>,
+    /// One slot per instance for its end-of-run state.
+    finals: Vec<Option<ChainState>>,
+}
+
+impl<'a> CheckpointAggregator<'a> {
+    fn new(sink: &'a dyn CheckpointSink, k: usize, every: usize) -> Self {
+        CheckpointAggregator {
+            k,
+            sink,
+            every,
+            inner: Mutex::new(AggregatorInner {
+                pending: BTreeMap::new(),
+                finals: vec![None; k],
+            }),
+        }
+    }
+
+    fn due(&self, next_epoch: usize, total: usize) -> bool {
+        self.every > 0 && next_epoch < total && next_epoch.is_multiple_of(self.every)
+    }
+
+    /// Records one instance's periodic barrier state; returns the
+    /// complete checkpoint when this report was the last one missing.
+    fn report_periodic(&self, instance: usize, chain: ChainState) -> Option<CheckpointState> {
+        let mut inner = self.inner.lock().unwrap();
+        let epoch = chain.epoch;
+        let set = inner
+            .pending
+            .entry(epoch)
+            .or_insert_with(|| vec![None; self.k]);
+        set[instance] = Some(chain);
+        if set.iter().any(Option::is_none) {
+            return None;
+        }
+        let chains = inner
+            .pending
+            .remove(&epoch)
+            .expect("entry just filled")
+            .into_iter()
+            .map(|c| c.expect("set complete"))
+            .collect();
+        // Every instance has passed this barrier, so older partial sets
+        // can never complete; drop them instead of leaking.
+        inner.pending.retain(|&e, _| e > epoch);
+        Some(CheckpointState::Spatial { instances: chains })
+    }
+
+    /// Records one instance's end-of-run state (natural completion or
+    /// interruption); returns the complete checkpoint once all `k`
+    /// instances have reported.
+    fn report_final(&self, instance: usize, chain: ChainState) -> Option<CheckpointState> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.finals[instance] = Some(chain);
+        if inner.finals.iter().any(Option::is_none) {
+            return None;
+        }
+        let chains = inner
+            .finals
+            .iter()
+            .map(|c| c.clone().expect("all finals present"))
+            .collect();
+        Some(CheckpointState::Spatial { instances: chains })
+    }
+}
+
 /// Legacy entry point: unbounded context, panics on the (impossible
 /// without fault injection) all-instances-failed error.
 pub(crate) fn run_spatial_gibbs(
@@ -152,9 +263,40 @@ pub(crate) fn run_spatial_gibbs_governed(
     cell_filter: Option<&std::collections::HashSet<CellKey>>,
     ctx: &ExecContext,
 ) -> Result<SamplerRun, InferError> {
+    run_spatial_gibbs_ckpt(
+        graph,
+        pyramid,
+        cfg,
+        cell_filter,
+        ctx,
+        CheckpointOptions::none(),
+        None,
+    )
+}
+
+/// Full implementation: governed execution plus checkpoint/resume.
+/// `resume` is assumed pre-validated (see [`spatial_gibbs_ckpt`]).
+#[allow(clippy::too_many_arguments)]
+fn run_spatial_gibbs_ckpt(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    cfg: &InferConfig,
+    cell_filter: Option<&std::collections::HashSet<CellKey>>,
+    ctx: &ExecContext,
+    ckpt: CheckpointOptions<'_>,
+    resume: Option<Vec<ChainState>>,
+) -> Result<SamplerRun, InferError> {
     let k = cfg.instances.max(1);
     let e = (cfg.epochs / k).max(1);
     let burn = cfg.burn_in.min(e.saturating_sub(1));
+    let aggregator = ckpt
+        .sink
+        .map(|sink| CheckpointAggregator::new(sink, k, ckpt.every));
+    let agg = aggregator.as_ref();
+    let resumes: Vec<Option<ChainState>> = match resume {
+        Some(chains) => chains.into_iter().map(Some).collect(),
+        None => vec![None; k],
+    };
 
     // Conclique-structure gauges (satellite of the sampler telemetry):
     // how many concliques the minimum cover has at the locality level and
@@ -175,15 +317,30 @@ pub(crate) fn run_spatial_gibbs_governed(
     type InstanceResult =
         std::thread::Result<(MarginalCounts, RunOutcome, Vec<String>, ConvergenceSeries)>;
     let results: Vec<InstanceResult> = if k == 1 {
+        let mut resumes = resumes;
+        let resume0 = resumes.pop().expect("k >= 1");
         vec![catch_unwind(AssertUnwindSafe(|| {
-            run_instance(graph, pyramid, cfg, cell_filter, 0, e, burn, ctx)
+            run_instance(graph, pyramid, cfg, cell_filter, 0, e, burn, ctx, agg, resume0)
         }))]
     } else {
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..k)
-                .map(|inst| {
+            let handles: Vec<_> = resumes
+                .into_iter()
+                .enumerate()
+                .map(|(inst, inst_resume)| {
                     s.spawn(move || {
-                        run_instance(graph, pyramid, cfg, cell_filter, inst as u64, e, burn, ctx)
+                        run_instance(
+                            graph,
+                            pyramid,
+                            cfg,
+                            cell_filter,
+                            inst as u64,
+                            e,
+                            burn,
+                            ctx,
+                            agg,
+                            inst_resume,
+                        )
                     })
                 })
                 .collect();
@@ -247,20 +404,34 @@ fn run_instance(
     epochs: usize,
     burn_in: usize,
     ctx: &ExecContext,
+    agg: Option<&CheckpointAggregator<'_>>,
+    resume: Option<ChainState>,
 ) -> (MarginalCounts, RunOutcome, Vec<String>, ConvergenceSeries) {
     let obs = ctx.obs();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // The chain's persistent parts: restored from the checkpoint on
+    // resume (the entry point pre-validated it), freshly drawn otherwise.
+    // The instance RNG is a live stream (it draws the init values and
+    // sweeps the unlocated variables), so its position is restored too.
+    let restored = resume.map(|chain| {
+        chain
+            .restore(graph)
+            .expect("spatial resume state pre-validated by spatial_gibbs_ckpt")
+    });
     // Lock-free shared assignment for this instance.
-    let assignment: Vec<AtomicU32> = graph
-        .variables()
-        .iter()
-        .map(|v| {
-            AtomicU32::new(match v.evidence {
-                Some(e) => e,
-                None => rng.gen_range(0..v.domain.cardinality()),
+    let assignment: Vec<AtomicU32> = match &restored {
+        Some((_, values, ..)) => values.iter().map(|&x| AtomicU32::new(x)).collect(),
+        None => graph
+            .variables()
+            .iter()
+            .map(|v| {
+                AtomicU32::new(match v.evidence {
+                    Some(e) => e,
+                    None => rng.gen_range(0..v.domain.cardinality()),
+                })
             })
-        })
-        .collect();
+            .collect(),
+    };
 
     // Variables outside the pyramid (no location) still need sweeping —
     // unless an incremental filter narrows the scope to specific cells.
@@ -303,17 +474,38 @@ fn run_instance(
         })
         .collect();
 
-    let mut counts = MarginalCounts::new(graph);
+    let (start_epoch, mut counts, mut recorded) = match restored {
+        Some((e0, _, rng_state, c, rec)) => {
+            rng = StdRng::from_state(rng_state);
+            (e0.min(epochs), c, rec)
+        }
+        None => (0, MarginalCounts::new(graph), false),
+    };
     let mut outcome = RunOutcome::Completed;
     let mut warnings = Vec::new();
-    let mut recorded = false;
     let mut telemetry = EpochTelemetry::new(graph.num_variables());
     let stride = pll_stride(epochs);
-    for epoch in 0..epochs {
+    // Barrier state for the aggregator: assignment snapshot, RNG stream
+    // position, counts — everything a resumed instance needs.
+    let barrier_state = |next_epoch: usize,
+                         rng: &StdRng,
+                         counts: &MarginalCounts,
+                         recorded: bool|
+     -> ChainState {
+        ChainState {
+            epoch: next_epoch as u64,
+            assignment: assignment.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            rng: rng.state().to_vec(),
+            counts: counts.to_rows(),
+            recorded,
+        }
+    };
+    let mut next_epoch = start_epoch;
+    for epoch in start_epoch..epochs {
         // Epoch barrier: deadline/cancellation checks happen here, and
         // only from the second epoch on, so an interrupted run still
         // carries at least one full sweep of (noisy but finite) samples.
-        if epoch > 0 {
+        if epoch > start_epoch {
             if let Some(stop) = ctx.interrupted() {
                 outcome = outcome.combine(stop);
                 break;
@@ -498,6 +690,25 @@ fn run_instance(
         }
         if let Some(t0) = epoch_start {
             obs.histogram_record("infer.epoch_seconds", t0.elapsed().as_secs_f64());
+        }
+        next_epoch = epoch + 1;
+        if let Some(agg) = agg {
+            if agg.due(next_epoch, epochs) {
+                let chain = barrier_state(next_epoch, &rng, &counts, recorded);
+                if let Some(state) = agg.report_periodic(instance as usize, chain) {
+                    save_checkpoint(ctx, agg.sink, &state, &mut warnings, &mut outcome);
+                }
+            }
+        }
+    }
+    // End-of-run report: natural completion and interruption both land
+    // here with `next_epoch` at the barrier where this instance stopped.
+    // The final checkpoint completes once all instances report, even at
+    // different epochs — each resumes from its own position.
+    if let Some(agg) = agg {
+        let chain = barrier_state(next_epoch, &rng, &counts, recorded);
+        if let Some(state) = agg.report_final(instance as usize, chain) {
+            save_checkpoint(ctx, agg.sink, &state, &mut warnings, &mut outcome);
         }
     }
     if !recorded && cell_filter.is_none() {
@@ -815,7 +1026,9 @@ mod tests {
         };
         let ctx = ExecContext::unbounded().with_faults(plan);
         let err = spatial_gibbs_with(&g, &pyramid, &cfg, &ctx).unwrap_err();
-        let InferError::AllInstancesFailed { instances, first_cause } = err;
+        let InferError::AllInstancesFailed { instances, first_cause } = err else {
+            panic!("expected AllInstancesFailed, got {err}");
+        };
         assert_eq!(instances, 2);
         assert!(first_cause.contains("injected fault"), "{first_cause}");
     }

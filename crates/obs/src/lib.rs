@@ -148,6 +148,13 @@ impl Obs {
         }
     }
 
+    /// Record an `error` event: something was lost or rejected but the
+    /// run recovered (e.g. a corrupt checkpoint skipped for an older
+    /// valid one).
+    pub fn error(&self, message: impl Into<String>) {
+        self.event(Severity::Error, message);
+    }
+
     /// Record a `warn` event.
     pub fn warn(&self, message: impl Into<String>) {
         self.event(Severity::Warn, message);

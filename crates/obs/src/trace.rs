@@ -18,12 +18,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Event severity, ordered `Debug < Info < Warn`.
+/// Event severity, ordered `Debug < Info < Warn < Error`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     Debug,
     Info,
     Warn,
+    /// Something was lost or rejected (a corrupt checkpoint, an invalid
+    /// artifact) but the run found a fallback and continued.
+    Error,
 }
 
 impl Severity {
@@ -32,6 +35,7 @@ impl Severity {
             Severity::Debug => "debug",
             Severity::Info => "info",
             Severity::Warn => "warn",
+            Severity::Error => "error",
         }
     }
 }

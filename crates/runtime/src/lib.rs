@@ -23,7 +23,7 @@
 //!   robustness test-suite to prove each degradation path.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -243,6 +243,10 @@ pub struct FaultPlan {
     /// Inflates the observed factor count at grounding checkpoints —
     /// simulates budget pressure without materialising factors.
     pub factor_pressure: u64,
+    /// Makes the first `n` checkpoint saves fail — simulates a full or
+    /// read-only checkpoint directory so the degrade-don't-abort path
+    /// can be tested without touching the filesystem.
+    pub fail_checkpoint_saves: usize,
 }
 
 impl FaultPlan {
@@ -255,6 +259,7 @@ impl FaultPlan {
             && self.panic_worker_in_instance.is_none()
             && self.slowdown.is_none()
             && self.factor_pressure == 0
+            && self.fail_checkpoint_saves == 0
     }
 }
 
@@ -272,6 +277,8 @@ pub struct ExecContext {
     faults: FaultPlan,
     /// Once-latch for [`FaultPlan::panic_worker_in_instance`].
     worker_panic_fired: AtomicBool,
+    /// Count-down for [`FaultPlan::fail_checkpoint_saves`].
+    ckpt_failures_fired: AtomicUsize,
 }
 
 impl Default for ExecContext {
@@ -289,6 +296,7 @@ impl ExecContext {
             obs: Obs::disabled(),
             faults: FaultPlan::none(),
             worker_panic_fired: AtomicBool::new(false),
+            ckpt_failures_fired: AtomicUsize::new(0),
         }
     }
 
@@ -452,6 +460,26 @@ impl ExecContext {
         }
         fire
     }
+
+    /// Count-down latch for the planned checkpoint-save failures:
+    /// returns true for the first [`FaultPlan::fail_checkpoint_saves`]
+    /// calls, then false forever. Samplers consult this right before
+    /// handing a state to the checkpoint sink.
+    pub fn take_checkpoint_save_failure(&self) -> bool {
+        if self.faults.fail_checkpoint_saves == 0 {
+            return false;
+        }
+        let n = self.ckpt_failures_fired.fetch_add(1, Ordering::AcqRel);
+        let fire = n < self.faults.fail_checkpoint_saves;
+        if fire {
+            self.obs.warn(format!(
+                "fault injection: failing checkpoint save {} of {}",
+                n + 1,
+                self.faults.fail_checkpoint_saves
+            ));
+        }
+        fire
+    }
 }
 
 #[cfg(test)]
@@ -558,6 +586,18 @@ mod tests {
         assert!(ctx.take_worker_panic(0, 3));
         assert!(!ctx.take_worker_panic(0, 3), "latch must fire exactly once");
         assert!(!ctx.take_worker_panic(1, 3));
+    }
+
+    #[test]
+    fn checkpoint_failure_latch_counts_down() {
+        let plan = FaultPlan { fail_checkpoint_saves: 2, ..FaultPlan::none() };
+        assert!(!plan.is_empty());
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        assert!(ctx.take_checkpoint_save_failure());
+        assert!(ctx.take_checkpoint_save_failure());
+        assert!(!ctx.take_checkpoint_save_failure(), "only the first n saves fail");
+        let clean = ExecContext::unbounded();
+        assert!(!clean.take_checkpoint_save_failure());
     }
 
     #[test]

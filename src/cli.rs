@@ -22,8 +22,16 @@
 //!   --geojson FILE.json       located scores as GeoJSON
 //!   --min-score S             only emit scores >= S  [default: 0]
 //!   --timeout SECS            wall-clock deadline; on expiry the run
-//!                             stops at the next checkpoint and emits
+//!                             stops at the next epoch barrier and emits
 //!                             partial scores (outcome on stderr)
+//!   --checkpoint-dir DIR      persist CRC-checked sampler checkpoints
+//!                             (plus the factor graph) into DIR
+//!   --checkpoint-every N      checkpoint every N epochs [default: 25]
+//!   --resume                  resume from the newest valid checkpoint
+//!                             in --checkpoint-dir; damaged checkpoints
+//!                             are skipped for older good ones
+//!   --workers N               cell-worker threads per conclique group
+//!                             (1 makes the sya engine deterministic)
 //!   --max-factors N           abort grounding past N ground factors
 //!   --max-vars N              abort grounding past N ground variables
 //!   --max-memory-mb N         abort grounding past N MiB (estimated)
@@ -104,6 +112,10 @@ struct Options {
     metrics_out: Option<String>,
     trace: bool,
     trace_out: Option<String>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
+    resume: bool,
+    workers: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -128,6 +140,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         metrics_out: None,
         trace: false,
         trace_out: None,
+        checkpoint_dir: None,
+        checkpoint_every: 25,
+        resume: false,
+        workers: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -231,6 +247,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--trace" => opts.trace = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?
+            }
+            "--resume" => opts.resume = true,
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if n == 0 {
+                    return Err("bad --workers: 0 (want at least 1 thread)".to_owned());
+                }
+                opts.workers = Some(n);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag:?}")),
             path if opts.program_path.is_empty() => opts.program_path = path.to_owned(),
             extra => return Err(format!("unexpected argument {extra:?}")),
@@ -238,6 +270,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.program_path.is_empty() {
         return Err("missing program file".to_owned());
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".to_owned());
     }
     Ok(opts)
 }
@@ -277,7 +312,13 @@ fn load_database(
     tables: &[(String, String)],
 ) -> Result<Database, String> {
     let mut db = Database::new();
+    let mut seen = std::collections::HashSet::new();
     for (name, path) in tables {
+        if !seen.insert(name.as_str()) {
+            return Err(format!(
+                "duplicate --table {name:?}; each relation takes exactly one file"
+            ));
+        }
         let schema_decl = compiled
             .schema(name)
             .ok_or_else(|| format!("program declares no relation {name:?}"))?;
@@ -302,8 +343,17 @@ fn load_database(
     Ok(db)
 }
 
-/// Loads evidence rows (`relation,id,value` header).
-fn load_evidence(path: &str) -> Result<HashMap<(String, i64), u32>, String> {
+/// Loads evidence rows (`relation,id,value` header) and validates them
+/// against the program: the relation must be a declared variable
+/// relation, the value must fit its domain, and a `(relation, id)` pair
+/// may appear only once. Bad evidence is rejected up front — silently
+/// dropping a row would let a typo'd observation vanish into a run that
+/// then reports wrong scores with full confidence.
+fn load_evidence(
+    path: &str,
+    compiled: &sya_lang::CompiledProgram,
+    domains: &HashMap<String, u32>,
+) -> Result<HashMap<(String, i64), u32>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let mut lines = text.lines();
     let header = lines.next().ok_or_else(|| format!("{path}: empty file"))?;
@@ -334,7 +384,33 @@ fn load_evidence(path: &str) -> Result<HashMap<(String, i64), u32>, String> {
         let value: u32 = get(vp)?
             .parse()
             .map_err(|e| format!("{path}: row {}: bad value: {e}", i + 2))?;
-        out.insert((relation, id), value);
+        let schema = compiled.schema(&relation).ok_or_else(|| {
+            format!(
+                "{path}: row {}: evidence references undeclared relation {relation:?}",
+                i + 2
+            )
+        })?;
+        if !schema.is_variable {
+            return Err(format!(
+                "{path}: row {}: {relation:?} is an input relation; evidence applies only \
+                 to variable relations",
+                i + 2
+            ));
+        }
+        let cardinality = domains.get(&relation).copied().unwrap_or(2);
+        if value >= cardinality {
+            return Err(format!(
+                "{path}: row {}: value {value} is out of range for {relation:?} \
+                 (domain 0..{cardinality})",
+                i + 2
+            ));
+        }
+        if out.insert((relation.clone(), id), value).is_some() {
+            return Err(format!(
+                "{path}: row {}: duplicate evidence for {relation:?} id {id}",
+                i + 2
+            ));
+        }
     }
     Ok(out)
 }
@@ -435,13 +511,21 @@ fn cmd_run(
     if let Some(mb) = opts.max_memory_mb {
         config = config.with_max_memory_bytes(mb.saturating_mul(1024 * 1024));
     }
+    if let Some(n) = opts.workers {
+        config.infer.workers = Some(n);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        config = config
+            .with_checkpoints(dir.as_str(), opts.checkpoint_every)
+            .with_resume(opts.resume);
+    }
 
     let session =
         SyaSession::new_with_obs(&src, opts.constants.clone(), opts.metric, config, obs.clone())
             .map_err(|e| e.to_string())?;
     let mut db = load_database(session.compiled(), &opts.tables)?;
     let evidence = match &opts.evidence_path {
-        Some(p) => load_evidence(p)?,
+        Some(p) => load_evidence(p, session.compiled(), &session.config().ground.domains)?,
         None => HashMap::new(),
     };
     let mut diag = Diag { err, obs: obs.clone() };
@@ -693,16 +777,16 @@ id,location,arsenic\n\
     }
 
     #[test]
-    fn out_of_domain_evidence_is_dropped_not_fatal() {
+    fn out_of_domain_evidence_is_rejected_up_front() {
         let dir = tmpdir();
         let program = write_file(&dir, "ood.ddlog", PROGRAM);
         let wells = write_file(&dir, "wells_ood.csv", WELLS);
-        // Value 7 is outside the binary domain; the run must succeed and
-        // treat the atom as unobserved.
+        // Value 7 is outside the binary domain: the run must refuse to
+        // start rather than silently drop the observation.
         let evidence = write_file(&dir, "ev_ood.csv", "relation,id,value
 IsSafe,0,7
 ");
-        let (code, out, err) = run(&[
+        let (code, _, err) = run(&[
             "run",
             &program,
             "--table",
@@ -712,8 +796,99 @@ IsSafe,0,7
             "--epochs",
             "50",
         ]);
+        assert_eq!(code, 1, "stderr: {err}");
+        assert!(err.contains("out of range"), "{err}");
+        assert!(err.contains("row 2"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_and_undeclared_evidence_are_rejected() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "dup.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_dup.csv", WELLS);
+        let run_with = |evidence: &str| {
+            run(&[
+                "run",
+                &program,
+                "--table",
+                &format!("Well={wells}"),
+                "--evidence",
+                evidence,
+                "--epochs",
+                "50",
+            ])
+        };
+        // The same atom observed twice (even consistently) is a data bug.
+        let dup = write_file(&dir, "ev_dup.csv", "relation,id,value\nIsSafe,0,1\nIsSafe,0,1\n");
+        let (code, _, err) = run_with(&dup);
+        assert_eq!(code, 1);
+        assert!(err.contains("duplicate evidence"), "{err}");
+        // Evidence for a relation the program never declares.
+        let unk = write_file(&dir, "ev_unk.csv", "relation,id,value\nNope,0,1\n");
+        let (code, _, err) = run_with(&unk);
+        assert_eq!(code, 1);
+        assert!(err.contains("undeclared relation"), "{err}");
+        // Evidence for an input (non-variable) relation.
+        let inp = write_file(&dir, "ev_inp.csv", "relation,id,value\nWell,0,1\n");
+        let (code, _, err) = run_with(&inp);
+        assert_eq!(code, 1);
+        assert!(err.contains("input relation"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_table_flag_is_rejected() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "dt.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_dt.csv", WELLS);
+        let spec = format!("Well={wells}");
+        let (code, _, err) =
+            run(&["run", &program, "--table", &spec, "--table", &spec, "--epochs", "10"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("duplicate --table"), "{err}");
+    }
+
+    #[test]
+    fn resume_requires_a_checkpoint_dir() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "rr.ddlog", PROGRAM);
+        let (code, _, err) = run(&["run", &program, "--resume"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("--resume requires --checkpoint-dir"), "{err}");
+    }
+
+    #[test]
+    fn checkpointed_cli_run_resumes_with_identical_scores() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "ck.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_ck.csv", WELLS);
+        let ckpt_dir = dir.join("cli_ckpts");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let base = [
+            "run".to_owned(),
+            program.clone(),
+            "--table".to_owned(),
+            format!("Well={wells}"),
+            "--engine".to_owned(),
+            "deepdive".to_owned(),
+            "--epochs".to_owned(),
+            "60".to_owned(),
+            "--checkpoint-dir".to_owned(),
+            ckpt_dir.to_string_lossy().into_owned(),
+            "--checkpoint-every".to_owned(),
+            "10".to_owned(),
+        ];
+        let base: Vec<&str> = base.iter().map(String::as_str).collect();
+        let (code, out1, err) = run(&base);
         assert_eq!(code, 0, "stderr: {err}");
-        assert!(!out.contains("IsSafe,0,1.0000"), "atom must not be clamped to 7/true");
+        assert!(ckpt_dir.join("factor-graph.json").exists());
+        // A resumed run of the finished job replays nothing and prints
+        // the exact same scores.
+        let mut resumed = base.clone();
+        resumed.push("--resume");
+        let (code, out2, err) = run(&resumed);
+        assert_eq!(code, 0, "stderr: {err}");
+        assert_eq!(out1, out2);
+        std::fs::remove_dir_all(&ckpt_dir).ok();
     }
 
     #[test]

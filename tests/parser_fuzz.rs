@@ -1,0 +1,99 @@
+//! Fuzz-style robustness tests: the text front ends (WKT geometry
+//! parser, DDlog lexer and parser) must reject arbitrary input with an
+//! error value — never a panic. These complement the basic never-panic
+//! properties in `properties.rs` with the nastier surfaces: the lexer
+//! on its own, *near-valid* input that starts on the happy path and
+//! degrades mid-production, and prefix truncation (what half-written
+//! files and killed editors produce).
+
+use proptest::prelude::*;
+use sya_geom::parse_wkt;
+use sya_lang::{lexer::lex, parse_program};
+
+fn chars_of(alphabet: &str) -> Vec<char> {
+    alphabet.chars().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ddlog_lexer_never_panics(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// Lexer soup over the characters the lexer special-cases: operator
+    /// starts, digits, quotes, underscores — denser than uniform bytes.
+    #[test]
+    fn ddlog_lexer_never_panics_on_operator_soup(
+        soup in prop::collection::vec(
+            prop::sample::select(chars_of("():,.[]<>=!&|@?_-\"0123456789eE. \n\tABab")),
+            0..120,
+        ),
+    ) {
+        let src: String = soup.into_iter().collect();
+        let _ = lex(&src);
+    }
+
+    /// Near-valid WKT: a recognized geometry keyword followed by a
+    /// mangled coordinate body exercises the number/paren handling, not
+    /// just the keyword dispatch.
+    #[test]
+    fn wkt_parser_survives_mangled_geometry_bodies(
+        kind in prop::sample::select(vec![
+            "POINT", "LINESTRING", "POLYGON", "MULTIPOINT", "MULTIPOLYGON", "point", "Polygon",
+        ]),
+        body in prop::collection::vec(
+            prop::sample::select(chars_of("0123456789 .,()eE+-")),
+            0..60,
+        ),
+    ) {
+        let body: String = body.into_iter().collect();
+        let _ = parse_wkt(&format!("{kind}({body})"));
+        let _ = parse_wkt(&format!("{kind} {body}"));
+        let _ = parse_wkt(&format!("{kind}(({body}"));
+    }
+
+    /// Near-valid programs: a well-formed declaration followed by a rule
+    /// that degrades into junk.
+    #[test]
+    fn ddlog_parser_survives_mangled_rule_bodies(
+        junk in prop::collection::vec(
+            prop::sample::select(chars_of("(),.:@[]<>=?!| ABCWLab019_\"-")),
+            0..80,
+        ),
+    ) {
+        let junk: String = junk.into_iter().collect();
+        let _ = parse_program(&format!("Well(id bigint).\n{junk}"));
+        let _ = parse_program(&format!(
+            "@spatial(exp)\nIsSafe?(id bigint, loc point).\nR1: {junk}"
+        ));
+        let _ = parse_program(&format!(
+            "Well(id bigint, location point).\nD1: IsSafe(W, L) = NULL :- {junk}"
+        ));
+    }
+}
+
+/// Every prefix of a known-good program must fail (or parse) cleanly.
+#[test]
+fn every_prefix_of_a_valid_program_is_handled_without_panic() {
+    let program = "\
+Well(id bigint, location point, arsenic double).\n\
+@spatial(exp)\n\
+IsSafe?(id bigint, location point).\n\
+D1: IsSafe(W, L) = NULL :- Well(W, L, _).\n\
+R1: @weight(0.8) IsSafe(W1, L1) => IsSafe(W2, L2) :- \
+Well(W1, L1, A1), Well(W2, L2, A2) \
+[distance(L1, L2) < 3, A1 < 0.3, A2 < 0.3, W1 != W2].\n";
+    for cut in 0..=program.len() {
+        if !program.is_char_boundary(cut) {
+            continue;
+        }
+        let _ = parse_program(&program[..cut]);
+        let _ = lex(&program[..cut]);
+    }
+    let wkt = "POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))";
+    for cut in 0..=wkt.len() {
+        let _ = parse_wkt(&wkt[..cut]);
+    }
+}

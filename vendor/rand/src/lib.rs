@@ -85,6 +85,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot of the generator's internal state — enough to
+        /// reconstruct the exact stream position later with
+        /// [`from_state`](Self::from_state). Used by checkpoint/resume:
+        /// a resumed sampler must continue the *same* random stream to
+        /// reproduce an uninterrupted run bit-for-bit.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`state`](Self::state) snapshot.
+        /// An all-zero state (xoshiro's absorbing fixed point, never
+        /// produced by a healthy generator) is re-seeded defensively.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return <Self as SeedableRng>::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
