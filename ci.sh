@@ -53,3 +53,34 @@ ls "$ckpt_dir"/ckpt-*.syackpt > /dev/null
     --output /tmp/sya_ci_resumed.csv > /dev/null
 diff /tmp/sya_ci_ref.csv /tmp/sya_ci_resumed.csv
 echo "crash-recovery smoke: resumed scores match the reference"
+
+# Serving smoke: boot `sya serve` on the demo KB (ephemeral port), drive
+# it with the bench HTTP client — health, a marginal read, a batch
+# query, an evidence POST that must re-sample something and bump the KB
+# epoch, and a /metrics scrape that must parse as Prometheus text —
+# then check SIGTERM produces a clean (exit 0) shutdown.
+serve_log=/tmp/sya_ci_serve.log
+rm -f "$serve_log"
+./target/release/sya serve demo/gwdb.ddlog \
+    --table Well=demo/wells.csv --evidence demo/evidence.csv \
+    --epochs 200 --listen 127.0.0.1:0 --serve-workers 2 > "$serve_log" &
+server=$!
+addr=""
+for _ in $(seq 1 3000); do
+    addr=$(sed -n 's|^serving on http://||p' "$serve_log")
+    if [ -n "$addr" ]; then break; fi
+    if ! kill -0 "$server" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke: server never reported its address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+./target/release/serve_smoke "$addr" IsSafe 0
+kill -TERM "$server"
+if ! wait "$server"; then
+    echo "serve smoke: server did not shut down cleanly on SIGTERM" >&2
+    exit 1
+fi
+echo "serve smoke: queries, evidence, metrics, and shutdown all clean"

@@ -1,0 +1,140 @@
+//! End-to-end smoke of a running `sya serve` instance, driven by the
+//! CI script: health check, point and batch marginal queries, an
+//! evidence POST that must trigger incremental re-inference (non-empty
+//! resample set, epoch bump), and a Prometheus parse of `/metrics`.
+//!
+//! ```text
+//! serve_smoke HOST:PORT [RELATION] [ID]
+//! ```
+//!
+//! Exits non-zero with a message on the first failed expectation.
+
+use serde_json::Value as Json;
+use sya_bench::http::{http_get, http_post_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!("usage: serve_smoke HOST:PORT [RELATION] [ID]");
+        std::process::exit(2);
+    };
+    let relation = args.get(1).map(String::as_str).unwrap_or("IsSafe");
+    let id: i64 = args
+        .get(2)
+        .map(|s| s.parse().expect("ID must be an integer"))
+        .unwrap_or(0);
+    if let Err(msg) = smoke(addr, relation, id) {
+        eprintln!("serve smoke FAILED: {msg}");
+        std::process::exit(1);
+    }
+    println!("serve smoke OK");
+}
+
+fn get_json(addr: &str, path: &str) -> Result<Json, String> {
+    let r = http_get(addr, path)?;
+    if r.status != 200 {
+        return Err(format!("GET {path}: status {} body {}", r.status, r.body));
+    }
+    serde_json::from_str(&r.body).map_err(|e| format!("GET {path}: bad JSON {:?}: {e}", r.body))
+}
+
+fn post_json(addr: &str, path: &str, body: &str) -> Result<Json, String> {
+    let r = http_post_json(addr, path, body)?;
+    if r.status != 200 {
+        return Err(format!("POST {path}: status {} body {}", r.status, r.body));
+    }
+    serde_json::from_str(&r.body).map_err(|e| format!("POST {path}: bad JSON {:?}: {e}", r.body))
+}
+
+fn smoke(addr: &str, relation: &str, id: i64) -> Result<(), String> {
+    // 1. Readiness.
+    let health = get_json(addr, "/healthz")?;
+    if health["status"].as_str() != Some("ok") {
+        return Err(format!("healthz not ok: {health}"));
+    }
+    let epoch0 = health["epoch"].as_u64().ok_or("healthz has no epoch")?;
+
+    // 2. Point marginal.
+    let path = format!("/v1/marginal/{relation}?args={id}");
+    let m = get_json(addr, &path)?;
+    let score = m["score"].as_f64().ok_or_else(|| format!("no score in {m}"))?;
+    if !(0.0..=1.0).contains(&score) {
+        return Err(format!("score {score} outside [0, 1]"));
+    }
+
+    // 3. Batch query.
+    let batch = post_json(
+        addr,
+        "/v1/query",
+        &format!("{{\"queries\":[{{\"relation\":\"{relation}\",\"id\":{id}}}]}}"),
+    )?;
+    let results = batch["results"].as_array().ok_or("batch reply has no results")?;
+    if results.len() != 1 {
+        return Err(format!("want 1 batch result, got {}", results.len()));
+    }
+
+    // 4. Evidence: observe the atom, expect incremental re-inference.
+    let ev = post_json(
+        addr,
+        "/v1/evidence",
+        &format!("{{\"rows\":[{{\"relation\":\"{relation}\",\"id\":{id},\"value\":1}}]}}"),
+    )?;
+    let resampled = ev["resampled"].as_u64().ok_or("evidence reply has no resampled")?;
+    let epoch1 = ev["epoch"].as_u64().ok_or("evidence reply has no epoch")?;
+    if resampled == 0 {
+        return Err("evidence POST resampled 0 variables".to_owned());
+    }
+    if epoch1 <= epoch0 {
+        return Err(format!("epoch did not advance: {epoch0} -> {epoch1}"));
+    }
+
+    // 5. The marginal now reports the evidence and the new epoch.
+    let m2 = get_json(addr, &path)?;
+    if m2["evidence"].as_u64() != Some(1) {
+        return Err(format!("marginal does not reflect posted evidence: {m2}"));
+    }
+    if m2["epoch"].as_u64() != Some(epoch1) {
+        return Err(format!("marginal epoch {} != evidence epoch {epoch1}", m2["epoch"]));
+    }
+
+    // 6. /metrics parses as Prometheus text and carries the serve and
+    //    incremental-inference counters.
+    let metrics = http_get(addr, "/metrics")?;
+    if metrics.status != 200 {
+        return Err(format!("/metrics status {}", metrics.status));
+    }
+    check_prometheus(&metrics.body)?;
+    for needle in [
+        "serve_requests_total",
+        "infer_incremental_resampled_vars",
+        "infer_incremental_cells_touched",
+    ] {
+        if !metrics.body.contains(needle) {
+            return Err(format!("/metrics is missing {needle}"));
+        }
+    }
+    Ok(())
+}
+
+/// Every non-comment, non-blank line must be `name[{labels}] value`
+/// with a parseable float value.
+fn check_prometheus(text: &str) -> Result<(), String> {
+    let mut samples = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("bad Prometheus sample {line:?}"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("bad Prometheus value in {line:?}"))?;
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no Prometheus samples in /metrics".to_owned());
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! A minimal blocking HTTP/1.1 client on `std::net::TcpStream` — just
+//! enough to exercise the `sya-serve` endpoints from integration tests
+//! and the CI smoke binary. The server closes every connection after
+//! one response (`Connection: close`), so the client reads to EOF and
+//! splits head from body; no keep-alive, no chunked decoding, no TLS.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One response from the server.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// `GET {path}` against `addr` (`host:port`).
+pub fn http_get(addr: &str, path: &str) -> Result<HttpResponse, String> {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"))
+}
+
+/// `POST {path}` with a JSON body against `addr`.
+pub fn http_post_json(addr: &str, path: &str, body: &str) -> Result<HttpResponse, String> {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn request(addr: &str, raw: &str) -> Result<HttpResponse, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    stream.write_all(raw.as_bytes()).map_err(|e| format!("write to {addr} failed: {e}"))?;
+    let mut buf = Vec::new();
+    stream
+        .read_to_end(&mut buf)
+        .map_err(|e| format!("read from {addr} failed: {e}"))?;
+    parse_response(&buf)
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("response has no header/body separator: {text:?}"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    Ok(HttpResponse { status, body: body.to_owned() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\r\n{\"x\":1}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"x\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -3,6 +3,8 @@
 //! Shared plumbing for the `experiments` binary (one subcommand per table
 //! / figure of the paper's Section VI) and the Criterion micro-benches.
 
+pub mod http;
+
 use std::collections::HashSet;
 use sya_core::{KnowledgeBase, SyaConfig, SyaSession};
 use sya_data::{supported_ids, Dataset, QualityEval};

@@ -119,6 +119,12 @@ impl SyaSession {
         ctx: &ExecContext,
     ) -> Result<KnowledgeBase, SyaError> {
         let obs = ctx.obs();
+        // The incremental path's counters exist from the start of every
+        // observed run: dashboards and `--metrics-out` dumps then show an
+        // explicit zero instead of a missing key before the first
+        // evidence/extend update arrives.
+        obs.counter_add("infer.incremental.resampled_vars", 0);
+        obs.counter_add("infer.incremental.cells_touched", 0);
         // Phase 1: grounding.
         let t0 = Instant::now();
         let grounding = {
@@ -365,6 +371,10 @@ impl SyaSession {
         // 3. Bulk-insert the new atoms into the pyramid and grow the
         //    sample counters.
         kb.counts.extend_for(&kb.grounding.graph);
+        // Warm start for the restricted re-sample: existing variables at
+        // their converged argmax, new ones at 0 (they are re-sampled
+        // anyway — only the frozen surroundings' values matter).
+        let init = kb.map_assignment();
         let t1 = Instant::now();
         let mut resampled = 0usize;
         if let Some(pyramid) = kb.pyramid.as_mut() {
@@ -375,14 +385,16 @@ impl SyaSession {
             }
             // 4. Re-sample only the new variables' concliques.
             if !new_vars.is_empty() {
-                let (new_counts, touched) = sya_infer::incremental_spatial_gibbs(
+                let (fresh, touched) = sya_infer::incremental_spatial_gibbs_warm(
                     &kb.grounding.graph,
                     pyramid,
                     &new_vars,
                     &self.config.infer,
+                    Some(&init),
+                    &self.obs,
                 );
                 resampled = touched.len();
-                kb.counts.replace_from(&new_counts, touched);
+                kb.counts.merge_affected(&fresh, touched);
             }
         }
         // Saturating: delta grounding only adds today, but a future
@@ -697,10 +709,39 @@ mod tests {
         assert_eq!(kb.grounding.graph.num_variables(), 115);
         assert_eq!(kb.scores_by_id("IsSafe").len(), 115);
         assert_eq!(kb.query("IsSafe").run().len(), 115);
-        // Scores still valid and incremental updates still work.
-        let target = kb.grounding.atoms_of("IsSafe")[0];
+        // Scores still valid and incremental updates still work. Pick a
+        // target with a *free* spatial neighbour through the retraction:
+        // the affected region of a variable whose whole Markov blanket is
+        // evidence collapses once the variable itself turns into
+        // evidence, so nothing would need re-sampling.
+        let target = kb
+            .grounding
+            .atoms_of("IsSafe")
+            .iter()
+            .copied()
+            .find(|&v| {
+                kb.grounding
+                    .graph
+                    .neighbours(v)
+                    .iter()
+                    .any(|&u| !kb.grounding.graph.variable(u).is_evidence())
+            })
+            .expect("some well keeps a free spatial neighbour");
         let (_, resampled) = kb.update_evidence_incremental(&[(target, Some(1))]);
         assert!(resampled > 0);
+        // An isolated variable's update re-samples nothing beyond itself.
+        let lone = kb
+            .grounding
+            .atoms_of("IsSafe")
+            .iter()
+            .copied()
+            .find(|&v| {
+                kb.grounding.graph.neighbours(v).is_empty()
+                    && !kb.grounding.graph.variable(v).is_evidence()
+            })
+            .expect("some well is spatially isolated");
+        let (_, lone_resampled) = kb.update_evidence_incremental(&[(lone, Some(0))]);
+        assert_eq!(lone_resampled, 0);
         // Retracting unknown/out-of-range ids is a no-op.
         assert_eq!(kb.retract_atoms(&[9999]), 0);
     }

@@ -6,7 +6,8 @@ use std::collections::HashSet;
 use std::time::Duration;
 use sya_fg::VarId;
 use sya_ground::Grounding;
-use sya_infer::{incremental_spatial_gibbs, MarginalCounts, PyramidIndex};
+use sya_infer::{incremental_spatial_gibbs_warm, MarginalCounts, PyramidIndex};
+use sya_obs::Obs;
 use sya_runtime::RunOutcome;
 use sya_store::Value;
 
@@ -95,6 +96,29 @@ impl KnowledgeBase {
         out
     }
 
+    /// The maximum-marginal assignment: each evidence variable at its
+    /// observed value, each query variable at the argmax of its counts.
+    /// This is the warm-start state for incremental re-inference and the
+    /// per-chain assignment of serve-time checkpoint synthesis.
+    pub fn map_assignment(&self) -> Vec<u32> {
+        let rows = self.counts.to_rows();
+        self.grounding
+            .graph
+            .variables()
+            .iter()
+            .enumerate()
+            .map(|(i, var)| match var.evidence {
+                Some(e) => e,
+                None => rows[i]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &n)| n)
+                    .map(|(x, _)| x as u32)
+                    .unwrap_or(0),
+            })
+            .collect()
+    }
+
     /// Retracts ground atoms (the bulk-deletion half of the paper's
     /// update path): removes them with every touching factor, compacts
     /// the graph, remaps the sample counters, and rebuilds the pyramid
@@ -130,18 +154,43 @@ impl KnowledgeBase {
         &mut self,
         changes: &[(VarId, Option<u32>)],
     ) -> (Duration, usize) {
-        let Some(pyramid) = &self.pyramid else {
+        self.update_evidence_incremental_observed(changes, &Obs::disabled())
+    }
+
+    /// [`update_evidence_incremental`](Self::update_evidence_incremental)
+    /// under an observability handle: the conclique-restricted re-run
+    /// records the `infer.incremental.*` counters and an
+    /// `infer.incremental` span on `obs`.
+    pub fn update_evidence_incremental_observed(
+        &mut self,
+        changes: &[(VarId, Option<u32>)],
+        obs: &Obs,
+    ) -> (Duration, usize) {
+        if self.pyramid.is_none() {
             return (Duration::ZERO, 0);
         };
+        // Warm start from the pre-update marginals: the restricted sweep
+        // conditions on the frozen surroundings, which must sit at their
+        // converged values, not at random draws. Computed before the
+        // evidence lands so retractions still see the old argmax.
+        let init = self.map_assignment();
         for &(v, value) in changes {
             self.grounding.graph.set_evidence(v, value);
         }
+        let pyramid = self.pyramid.as_ref().expect("checked above");
         let changed: Vec<VarId> = changes.iter().map(|&(v, _)| v).collect();
         let start = std::time::Instant::now();
-        let (new_counts, resampled): (MarginalCounts, HashSet<VarId>) =
-            incremental_spatial_gibbs(&self.grounding.graph, pyramid, &changed, &self.config.infer);
+        let (fresh, resampled): (MarginalCounts, HashSet<VarId>) =
+            incremental_spatial_gibbs_warm(
+                &self.grounding.graph,
+                pyramid,
+                &changed,
+                &self.config.infer,
+                Some(&init),
+                obs,
+            );
         let elapsed = start.elapsed();
-        self.counts.replace_from(&new_counts, resampled.iter().copied());
+        self.counts.merge_affected(&fresh, resampled.iter().copied());
         (elapsed, resampled.len())
     }
 }

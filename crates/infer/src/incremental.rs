@@ -7,18 +7,55 @@ use crate::pyramid::{CellKey, PyramidIndex};
 use crate::spatial_gibbs::{run_spatial_gibbs, InferConfig};
 use std::collections::HashSet;
 use sya_fg::{FactorGraph, VarId};
+use sya_obs::Obs;
 
 /// Re-runs Spatial Gibbs Sampling restricted to the pyramid cells that
 /// contain the `changed` variables or their Markov-blanket neighbours.
 ///
 /// Returns the new counts (marginals are meaningful for the affected
 /// variables) plus the set of variables that were actually re-sampled.
+/// Merge the counts into the full counters with
+/// [`MarginalCounts::merge_affected`], passing the returned set.
 pub fn incremental_spatial_gibbs(
     graph: &FactorGraph,
     pyramid: &PyramidIndex,
     changed: &[VarId],
     cfg: &InferConfig,
 ) -> (MarginalCounts, HashSet<VarId>) {
+    incremental_spatial_gibbs_observed(graph, pyramid, changed, cfg, &Obs::disabled())
+}
+
+/// [`incremental_spatial_gibbs`] under an observability handle: the run
+/// executes inside an `infer.incremental` span and bumps the
+/// `infer.incremental.resampled_vars` / `infer.incremental.cells_touched`
+/// counters, so a long-lived process (the serving layer, repeated
+/// `extend` calls) accumulates how much re-sampling its updates cost.
+pub fn incremental_spatial_gibbs_observed(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    changed: &[VarId],
+    cfg: &InferConfig,
+    obs: &Obs,
+) -> (MarginalCounts, HashSet<VarId>) {
+    incremental_spatial_gibbs_warm(graph, pyramid, changed, cfg, None, obs)
+}
+
+/// [`incremental_spatial_gibbs_observed`] from a warm starting
+/// assignment (one value per variable, e.g. the current marginal
+/// argmax). The restricted sweep conditions on the values of every
+/// variable *outside* the affected cells, so callers that hold converged
+/// marginals should always pass them: starting the frozen surroundings
+/// at random values biases the affected region toward states the
+/// converged chain never visits.
+pub fn incremental_spatial_gibbs_warm(
+    graph: &FactorGraph,
+    pyramid: &PyramidIndex,
+    changed: &[VarId],
+    cfg: &InferConfig,
+    init: Option<&[u32]>,
+    obs: &Obs,
+) -> (MarginalCounts, HashSet<VarId>) {
+    let mut span = obs.span("infer.incremental");
     // Affected set: the changed variables plus everything sharing a
     // factor with them.
     let mut affected: HashSet<VarId> = changed.iter().copied().collect();
@@ -26,9 +63,12 @@ pub fn incremental_spatial_gibbs(
         affected.extend(graph.neighbours(v));
     }
 
-    // Cells (at every sweep level) containing an affected variable.
+    // Cells containing an affected variable, at exactly the levels the
+    // sampler's sweep mode visits: a cell outside the sweep contributes
+    // no samples, so counting its variables as re-sampled would replace
+    // their marginals with empty rows on merge.
     let mut cells: HashSet<CellKey> = HashSet::new();
-    for &level in &cfg.sweep_levels() {
+    for &level in &cfg.active_sweep_levels(pyramid.levels()) {
         for key in pyramid.sampling_cells(level) {
             if pyramid.atoms_in(&key).iter().any(|v| affected.contains(v)) {
                 cells.insert(key);
@@ -42,7 +82,13 @@ pub fn incremental_spatial_gibbs(
         .filter(|&v| !graph.variable(v).is_evidence())
         .collect();
 
-    let counts = run_spatial_gibbs(graph, pyramid, cfg, Some(&cells));
+    span.set_attr("changed", changed.len());
+    span.set_attr("cells", cells.len());
+    span.set_attr("resampled", resampled.len());
+    obs.counter_add("infer.incremental.cells_touched", cells.len() as u64);
+    obs.counter_add("infer.incremental.resampled_vars", resampled.len() as u64);
+
+    let counts = run_spatial_gibbs(graph, pyramid, cfg, Some(&cells), init);
     (counts, resampled)
 }
 
@@ -183,6 +229,23 @@ mod tests {
         let (_, few) = incremental_spatial_gibbs(&g, &pyramid, &[8], &cfg(50));
         let (_, many) = incremental_spatial_gibbs(&g, &pyramid, &[2, 8, 14], &cfg(50));
         assert!(many.len() >= few.len());
+    }
+
+    #[test]
+    fn observed_run_records_incremental_counters() {
+        let g = line_graph(16);
+        let pyramid = PyramidIndex::build(&g, 4, 64);
+        let obs = Obs::enabled();
+        let (_, resampled) =
+            incremental_spatial_gibbs_observed(&g, &pyramid, &[15], &cfg(50), &obs);
+        let m = obs.metrics().unwrap();
+        assert_eq!(
+            m.counter_value("infer.incremental.resampled_vars"),
+            Some(resampled.len() as u64)
+        );
+        assert!(m.counter_value("infer.incremental.cells_touched").unwrap() > 0);
+        let spans = obs.trace_snapshot().spans;
+        assert!(spans.iter().any(|s| s.name == "infer.incremental"));
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub use gibbs::{
     parallel_random_gibbs, parallel_random_gibbs_ckpt, parallel_random_gibbs_with,
     sequential_gibbs, sequential_gibbs_ckpt, sequential_gibbs_with,
 };
-pub use incremental::{incremental_sequential_gibbs, incremental_spatial_gibbs};
+pub use incremental::{
+    incremental_sequential_gibbs, incremental_spatial_gibbs, incremental_spatial_gibbs_observed,
+    incremental_spatial_gibbs_warm,
+};
 pub use learn::{learn_weights, map_assignment, pseudo_log_likelihood, LearnConfig};
 pub use marginals::{average_kl_divergence, MarginalCounts};
 pub use pyramid::{CellKey, PyramidIndex};

@@ -82,14 +82,25 @@ impl MarginalCounts {
         }
     }
 
-    /// Replaces this counter's rows for `vars` with `other`'s rows —
-    /// used by incremental inference to overwrite the affected
-    /// variables' statistics with freshly sampled ones.
-    pub fn replace_from(&mut self, other: &MarginalCounts, vars: impl IntoIterator<Item = VarId>) {
-        for v in vars {
+    /// Merges an incremental re-run into the full counters — the
+    /// incremental-inference contract (paper Fig. 13a): the rows of the
+    /// `affected` variables are *replaced* by `fresh`'s rows, because the
+    /// update that triggered the re-run invalidated their old statistics;
+    /// every other variable keeps its previous (now possibly stale)
+    /// counts untouched.
+    ///
+    /// `affected` must be exactly the set the incremental run re-sampled:
+    /// a superset would zero out marginals the run never touched, a
+    /// subset would leave contradicted history in place.
+    pub fn merge_affected(
+        &mut self,
+        fresh: &MarginalCounts,
+        affected: impl IntoIterator<Item = VarId>,
+    ) {
+        for v in affected {
             let i = v as usize;
-            self.counts[i].clone_from(&other.counts[i]);
-            self.totals[i] = other.totals[i];
+            self.counts[i].clone_from(&fresh.counts[i]);
+            self.totals[i] = fresh.totals[i];
         }
     }
 
@@ -210,6 +221,26 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_samples(0), 3);
         assert!((a.marginal(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_affected_replaces_only_the_affected_rows() {
+        let g = graph();
+        let mut stale = MarginalCounts::new(&g);
+        stale.record(0, 0);
+        stale.record(0, 0);
+        stale.record(1, 3);
+        // A fresh incremental run that only re-sampled variable 0.
+        let mut fresh = MarginalCounts::new(&g);
+        fresh.record(0, 1);
+        stale.merge_affected(&fresh, [0]);
+        // Affected row replaced, not summed: the stale history is gone.
+        assert_eq!(stale.total_samples(0), 1);
+        assert_eq!(stale.marginal(0, 1), 1.0);
+        // Unaffected variable keeps its stale statistics, even though
+        // `fresh` holds an (empty) row for it.
+        assert_eq!(stale.total_samples(1), 1);
+        assert_eq!(stale.marginal(1, 3), 1.0);
     }
 
     #[test]

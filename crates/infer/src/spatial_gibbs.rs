@@ -107,6 +107,19 @@ impl InferConfig {
             (2..=top).collect()
         }
     }
+
+    /// The levels an epoch *actually* visits under this config's
+    /// [`SweepMode`], clamped to a concrete pyramid's height. Incremental
+    /// inference must derive its affected-cell set from exactly these
+    /// levels: a cell the sampler never sweeps contributes no samples,
+    /// and counting its variables as re-sampled would wipe their
+    /// marginals on merge.
+    pub fn active_sweep_levels(&self, pyramid_levels: u8) -> Vec<u8> {
+        match self.sweep_mode {
+            SweepMode::LeafOnly => vec![self.locality_level.clamp(1, pyramid_levels)],
+            SweepMode::AllLevels => self.sweep_levels(),
+        }
+    }
 }
 
 /// Runs Spatial Gibbs Sampling over the whole graph.
@@ -115,7 +128,7 @@ pub fn spatial_gibbs(
     pyramid: &PyramidIndex,
     cfg: &InferConfig,
 ) -> MarginalCounts {
-    run_spatial_gibbs(graph, pyramid, cfg, None)
+    run_spatial_gibbs(graph, pyramid, cfg, None, None)
 }
 
 /// Governed variant of [`spatial_gibbs`]: honours the context's deadline,
@@ -127,7 +140,7 @@ pub fn spatial_gibbs_with(
     cfg: &InferConfig,
     ctx: &ExecContext,
 ) -> Result<SamplerRun, InferError> {
-    run_spatial_gibbs_governed(graph, pyramid, cfg, None, ctx)
+    run_spatial_gibbs_governed(graph, pyramid, cfg, None, None, ctx)
 }
 
 /// Checkpointing/resumable variant of [`spatial_gibbs_with`].
@@ -155,7 +168,7 @@ pub fn spatial_gibbs_ckpt(
             .validate_for(graph, cfg.instances.max(1))
             .map_err(|detail| InferError::BadResume { detail })?;
     }
-    run_spatial_gibbs_ckpt(graph, pyramid, cfg, None, ctx, ckpt, resume)
+    run_spatial_gibbs_ckpt(graph, pyramid, cfg, None, None, ctx, ckpt, resume)
 }
 
 /// Assembles per-instance barrier states into complete spatial
@@ -245,8 +258,10 @@ pub(crate) fn run_spatial_gibbs(
     pyramid: &PyramidIndex,
     cfg: &InferConfig,
     cell_filter: Option<&std::collections::HashSet<CellKey>>,
+    init: Option<&[u32]>,
 ) -> MarginalCounts {
-    match run_spatial_gibbs_governed(graph, pyramid, cfg, cell_filter, &ExecContext::unbounded()) {
+    match run_spatial_gibbs_governed(graph, pyramid, cfg, cell_filter, init, &ExecContext::unbounded())
+    {
         Ok(run) => run.counts,
         // With no fault plan an instance only dies on a real bug, which
         // should surface loudly on the legacy path.
@@ -255,12 +270,19 @@ pub(crate) fn run_spatial_gibbs(
 }
 
 /// Shared implementation: when `cell_filter` is provided, only the listed
-/// cells (and their variables) are swept — the incremental-inference path.
+/// cells (and their variables) are swept — the incremental-inference
+/// path. `init` seeds the starting assignment (evidence still wins);
+/// without it every free variable starts at a random draw. A restricted
+/// sweep conditions on the *frozen* variables' starting values, so the
+/// incremental path passes the current marginal argmax here — random
+/// surroundings would bias the affected cells toward a state the full
+/// run never visits.
 pub(crate) fn run_spatial_gibbs_governed(
     graph: &FactorGraph,
     pyramid: &PyramidIndex,
     cfg: &InferConfig,
     cell_filter: Option<&std::collections::HashSet<CellKey>>,
+    init: Option<&[u32]>,
     ctx: &ExecContext,
 ) -> Result<SamplerRun, InferError> {
     run_spatial_gibbs_ckpt(
@@ -268,6 +290,7 @@ pub(crate) fn run_spatial_gibbs_governed(
         pyramid,
         cfg,
         cell_filter,
+        init,
         ctx,
         CheckpointOptions::none(),
         None,
@@ -282,6 +305,7 @@ fn run_spatial_gibbs_ckpt(
     pyramid: &PyramidIndex,
     cfg: &InferConfig,
     cell_filter: Option<&std::collections::HashSet<CellKey>>,
+    init: Option<&[u32]>,
     ctx: &ExecContext,
     ckpt: CheckpointOptions<'_>,
     resume: Option<Vec<ChainState>>,
@@ -320,7 +344,7 @@ fn run_spatial_gibbs_ckpt(
         let mut resumes = resumes;
         let resume0 = resumes.pop().expect("k >= 1");
         vec![catch_unwind(AssertUnwindSafe(|| {
-            run_instance(graph, pyramid, cfg, cell_filter, 0, e, burn, ctx, agg, resume0)
+            run_instance(graph, pyramid, cfg, cell_filter, init, 0, e, burn, ctx, agg, resume0)
         }))]
     } else {
         std::thread::scope(|s| {
@@ -334,6 +358,7 @@ fn run_spatial_gibbs_ckpt(
                             pyramid,
                             cfg,
                             cell_filter,
+                            init,
                             inst as u64,
                             e,
                             burn,
@@ -400,6 +425,7 @@ fn run_instance(
     pyramid: &PyramidIndex,
     cfg: &InferConfig,
     cell_filter: Option<&std::collections::HashSet<CellKey>>,
+    init: Option<&[u32]>,
     instance: u64,
     epochs: usize,
     burn_in: usize,
@@ -424,10 +450,18 @@ fn run_instance(
         None => graph
             .variables()
             .iter()
-            .map(|v| {
-                AtomicU32::new(match v.evidence {
-                    Some(e) => e,
-                    None => rng.gen_range(0..v.domain.cardinality()),
+            .enumerate()
+            .map(|(i, v)| {
+                AtomicU32::new(match (v.evidence, init) {
+                    (Some(e), _) => e,
+                    // Warm start (incremental path): clamp a stale value
+                    // in case the variable's domain shrank since.
+                    (None, Some(a)) => a
+                        .get(i)
+                        .copied()
+                        .unwrap_or(0)
+                        .min(v.domain.cardinality() - 1),
+                    (None, None) => rng.gen_range(0..v.domain.cardinality()),
                 })
             })
             .collect(),
@@ -446,10 +480,7 @@ fn run_instance(
             .collect()
     };
 
-    let sweep_levels = match cfg.sweep_mode {
-        SweepMode::LeafOnly => vec![cfg.locality_level.clamp(1, pyramid.levels())],
-        SweepMode::AllLevels => cfg.sweep_levels(),
-    };
+    let sweep_levels = cfg.active_sweep_levels(pyramid.levels());
     let workers = cfg
         .workers
         .unwrap_or_else(|| {

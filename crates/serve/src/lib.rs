@@ -1,0 +1,134 @@
+//! `sya-serve`: the online knowledge-base serving layer.
+//!
+//! The batch pipeline constructs a [`sya_core::KnowledgeBase`] once;
+//! this crate keeps it *live*: a dependency-free HTTP/1.1 server on
+//! `std::net::TcpListener` with a fixed worker-thread pool, serving
+//! point and batch marginal queries, absorbing evidence updates through
+//! the paper's conclique-restricted incremental sampler (Fig. 13a), and
+//! periodically snapshotting the refreshed marginals as `sya-ckpt`
+//! checkpoints the next process can warm-start from.
+//!
+//! | endpoint                        | method | purpose                                  |
+//! |---------------------------------|--------|------------------------------------------|
+//! | `/v1/marginal/{relation}?args=` | GET    | point marginal lookup                    |
+//! | `/v1/query`                     | POST   | batch marginal queries (JSON body)       |
+//! | `/v1/evidence`                  | POST   | append evidence → incremental re-infer   |
+//! | `/metrics`                      | GET    | Prometheus text exposition               |
+//! | `/healthz`                      | GET    | readiness + KB epoch + checkpoint age    |
+//!
+//! Graceful shutdown and per-request deadlines reuse the `sya-runtime`
+//! primitives ([`sya_runtime::CancellationToken`] /
+//! [`sya_runtime::RunBudget`]); request counters, latency histograms,
+//! and per-endpoint spans land in the server's [`sya_obs::Obs`] handle,
+//! which `/metrics` renders.
+
+mod http;
+mod server;
+mod state;
+
+pub use http::{json_string, read_request, HttpError, Request, Response};
+pub use server::SyaServer;
+pub use state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer, ServingKb};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Server tunables, mirrored by the `sya serve` CLI flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// `host:port` to bind; port 0 picks an ephemeral port.
+    pub listen: String,
+    /// Fixed worker-thread pool size.
+    pub workers: usize,
+    /// Per-request deadline (socket timeouts + handler budget).
+    pub request_timeout: Duration,
+    /// Background checkpoint cadence; `None` disables the thread.
+    pub checkpoint_refresh: Option<Duration>,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:7171".into(),
+            workers: 4,
+            request_timeout: Duration::from_millis(10_000),
+            checkpoint_refresh: None,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Serving-layer failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind or configure the listener.
+    Bind(std::io::Error),
+    /// The KB was built without the spatial sampler: no pyramid index,
+    /// no incremental updates, nothing to serve.
+    NotSpatial,
+    /// An evidence batch failed schema validation (client error).
+    BadEvidence(String),
+    /// Saving or opening the checkpoint store failed.
+    Checkpoint(String),
+    /// Threads still alive after the shutdown deadline — a leak.
+    ShutdownTimeout { alive: Vec<String> },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "cannot bind listener: {e}"),
+            ServeError::NotSpatial => write!(
+                f,
+                "serving requires the spatial engine: incremental re-inference \
+                 needs the pyramid index"
+            ),
+            ServeError::BadEvidence(msg) => write!(f, "bad evidence: {msg}"),
+            ServeError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            ServeError::ShutdownTimeout { alive } => write!(
+                f,
+                "shutdown deadline expired with {} thread(s) still alive: {}",
+                alive.len(),
+                alive.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_termination_signal(_signum: i32) {
+    // Only async-signal-safe work here: set the flag, nothing else.
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGTERM/SIGINT handler that flips the flag behind
+/// [`termination_requested`]. The serve loop polls it and starts a
+/// graceful shutdown — this is the `kill -TERM` path of process
+/// managers and the CI smoke. No-op on non-Unix targets.
+pub fn install_termination_handler() {
+    #[cfg(unix)]
+    {
+        // libc's signal(2), declared directly: the container vendors no
+        // libc crate, and the two constants are ABI-stable on Linux.
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_termination_signal);
+            signal(SIGINT, on_termination_signal);
+        }
+    }
+}
+
+/// Whether a termination signal arrived since
+/// [`install_termination_handler`] was called.
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}

@@ -1,0 +1,386 @@
+//! The HTTP server: a nonblocking acceptor polling the cancellation
+//! token, a fixed worker-thread pool draining accepted connections from
+//! a channel, an optional background checkpointer — all joined under a
+//! deadline on shutdown so a leaked worker is an error, not a mystery.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::state::{EvidenceUpdate, ServingKb};
+use crate::{ServeConfig, ServeError};
+use serde_json::Value as Json;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use sya_runtime::{CancellationToken, ExecContext, RunBudget};
+
+/// How often the acceptor re-checks the cancellation token while no
+/// connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A running server. Dropping it without calling
+/// [`shutdown`](SyaServer::shutdown) leaves the threads running until
+/// the process exits — always shut down explicitly.
+pub struct SyaServer {
+    addr: SocketAddr,
+    token: CancellationToken,
+    threads: Vec<(String, JoinHandle<()>)>,
+    state: Arc<ServingKb>,
+}
+
+impl SyaServer {
+    /// Binds `cfg.listen` (port 0 picks an ephemeral port) and starts
+    /// the acceptor, `cfg.workers` request workers, and — when
+    /// `cfg.checkpoint_refresh` is set — the background checkpointer.
+    pub fn start(state: ServingKb, cfg: ServeConfig) -> Result<SyaServer, ServeError> {
+        Self::start_with_token(state, cfg, CancellationToken::new())
+    }
+
+    /// [`start`](Self::start) under a caller-owned token, so embedders
+    /// (tests, the CLI's signal handler) can request shutdown.
+    pub fn start_with_token(
+        state: ServingKb,
+        cfg: ServeConfig,
+        token: CancellationToken,
+    ) -> Result<SyaServer, ServeError> {
+        let listener = TcpListener::bind(&cfg.listen).map_err(ServeError::Bind)?;
+        listener.set_nonblocking(true).map_err(ServeError::Bind)?;
+        let addr = listener.local_addr().map_err(ServeError::Bind)?;
+        let state = Arc::new(state);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::new();
+
+        for i in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sya-serve-worker-{i}"))
+                .spawn(move || {
+                    // The loop ends when every sender is gone: the
+                    // acceptor drops its channel on cancellation.
+                    while let Ok(stream) = {
+                        let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    } {
+                        handle_connection(&state, &cfg, stream);
+                    }
+                })
+                .expect("spawn worker thread");
+            threads.push((format!("worker-{i}"), handle));
+        }
+
+        {
+            let token = token.clone();
+            let obs = state.obs().clone();
+            let handle = std::thread::Builder::new()
+                .name("sya-serve-acceptor".into())
+                .spawn(move || {
+                    while !token.is_cancelled() {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                obs.counter_add("serve.connections_total", 1);
+                                if tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(ACCEPT_POLL);
+                            }
+                            Err(_) => std::thread::sleep(ACCEPT_POLL),
+                        }
+                    }
+                    // Dropping `tx` here lets the workers drain the
+                    // queue and exit their recv loops.
+                })
+                .expect("spawn acceptor thread");
+            threads.push(("acceptor".into(), handle));
+        }
+
+        if let Some(period) = cfg.checkpoint_refresh {
+            let token = token.clone();
+            let state_bg = Arc::clone(&state);
+            let handle = std::thread::Builder::new()
+                .name("sya-serve-ckpt".into())
+                .spawn(move || {
+                    let mut last = Instant::now();
+                    while !token.is_cancelled() {
+                        std::thread::sleep(ACCEPT_POLL.min(period));
+                        if last.elapsed() < period {
+                            continue;
+                        }
+                        last = Instant::now();
+                        if let Err(e) = state_bg.checkpoint_now() {
+                            state_bg.obs().error(format!("background checkpoint failed: {e}"));
+                        }
+                    }
+                    // Final save on the way out, so a graceful stop
+                    // never loses the last evidence updates.
+                    if let Err(e) = state_bg.checkpoint_now() {
+                        state_bg.obs().error(format!("shutdown checkpoint failed: {e}"));
+                    }
+                })
+                .expect("spawn checkpoint thread");
+            threads.push(("checkpointer".into(), handle));
+        }
+
+        Ok(SyaServer { addr, token, threads, state })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the server's cancellation token; cancelling it starts
+    /// a graceful shutdown.
+    pub fn token(&self) -> CancellationToken {
+        self.token.clone()
+    }
+
+    pub fn state(&self) -> &Arc<ServingKb> {
+        &self.state
+    }
+
+    /// Cancels the token and joins every thread under `deadline`. An
+    /// error names the threads still alive — the worker-leak assertion
+    /// the acceptance criteria demand.
+    pub fn shutdown(self, deadline: Duration) -> Result<(), ServeError> {
+        self.token.cancel();
+        let start = Instant::now();
+        let mut pending = self.threads;
+        while !pending.is_empty() && start.elapsed() < deadline {
+            pending.retain(|(_, h)| !h.is_finished());
+            if pending.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if !pending.is_empty() {
+            return Err(ServeError::ShutdownTimeout {
+                alive: pending.into_iter().map(|(name, _)| name).collect(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: one request, one response, close.
+fn handle_connection(state: &Arc<ServingKb>, cfg: &ServeConfig, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(cfg.request_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.request_timeout));
+    let started = Instant::now();
+    let obs = state.obs().clone();
+    let (endpoint, response) = match read_request(&mut stream, cfg.max_body_bytes) {
+        Ok(req) => {
+            // Per-request deadline via the runtime's budget machinery:
+            // the handler checks the context between stages and turns an
+            // expired deadline into a 503 instead of a hung socket.
+            let ctx = ExecContext::new(
+                RunBudget::unlimited().with_deadline(cfg.request_timeout),
+            )
+            .with_obs(obs.clone());
+            let endpoint = endpoint_of(&req);
+            let mut span = obs.span_with(
+                "serve.request",
+                vec![("endpoint".into(), endpoint.to_owned())],
+            );
+            let response = route(state, &ctx, &req);
+            span.set_attr("status", response.status);
+            (endpoint, response)
+        }
+        Err(HttpError::TooLarge(n)) => {
+            ("bad", Response::error(413, &format!("request body of {n} bytes is too large")))
+        }
+        Err(HttpError::BadRequest(msg)) => ("bad", Response::error(400, &msg)),
+        // Socket errors (incl. read timeouts): nothing sensible to send.
+        Err(HttpError::Io(_)) => {
+            obs.counter_add("serve.socket_errors_total", 1);
+            return;
+        }
+    };
+    obs.counter_add("serve.requests_total", 1);
+    obs.counter_add(&format!("serve.{endpoint}_requests_total"), 1);
+    if response.status >= 400 {
+        obs.counter_add("serve.errors_total", 1);
+    }
+    obs.histogram_record("serve.request_seconds", started.elapsed().as_secs_f64());
+    let _ = response.write_to(&mut stream);
+}
+
+/// Metric/span label for the request's endpoint family.
+fn endpoint_of(req: &Request) -> &'static str {
+    match (req.method.as_str(), req.path.as_str()) {
+        (_, p) if p.starts_with("/v1/marginal/") => "marginal",
+        (_, "/v1/query") => "query",
+        (_, "/v1/evidence") => "evidence",
+        (_, "/metrics") => "metrics",
+        (_, "/healthz") => "healthz",
+        _ => "other",
+    }
+}
+
+fn route(state: &Arc<ServingKb>, ctx: &ExecContext, req: &Request) -> Response {
+    if let Some(outcome) = ctx.interrupted() {
+        return Response::error(503, &format!("request aborted: {outcome}"));
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => Response::text(
+            200,
+            sya_obs::export::render_prometheus(&state.obs().metrics_snapshot()),
+        ),
+        ("GET", p) if p.starts_with("/v1/marginal/") => {
+            marginal(state, &p["/v1/marginal/".len()..], req)
+        }
+        ("POST", "/v1/query") => query(state, ctx, req),
+        ("POST", "/v1/evidence") => evidence(state, req),
+        (_, "/healthz" | "/metrics" | "/v1/query" | "/v1/evidence") => {
+            Response::error(405, "method not allowed")
+        }
+        (_, p) if p.starts_with("/v1/marginal/") => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn healthz(state: &Arc<ServingKb>) -> Response {
+    let (variables, outcome) = state.with_kb(|kb| {
+        (kb.grounding.graph.num_variables(), kb.outcome.to_string())
+    });
+    let age = match state.checkpoint_age() {
+        Some(age) => format!("{:.3}", age.as_secs_f64()),
+        None => "null".to_owned(),
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"epoch\":{},\"variables\":{},\"outcome\":{},\
+             \"uptime_seconds\":{:.3},\"checkpoint_age_seconds\":{}}}",
+            state.epoch(),
+            variables,
+            crate::http::json_string(&outcome),
+            state.uptime().as_secs_f64(),
+            age,
+        ),
+    )
+}
+
+/// Renders one marginal answer as a JSON object.
+fn marginal_json(m: &crate::state::MarginalAnswer) -> String {
+    let evidence = match m.evidence {
+        Some(e) => e.to_string(),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"relation\":{},\"id\":{},\"score\":{:.6},\"evidence\":{},\"epoch\":{}}}",
+        crate::http::json_string(&m.relation),
+        m.id,
+        m.score,
+        evidence,
+        m.epoch,
+    )
+}
+
+/// `GET /v1/marginal/{relation}?args=ID` (also accepts `id=ID`).
+fn marginal(state: &Arc<ServingKb>, relation: &str, req: &Request) -> Response {
+    let Some(raw) = req.query_value("args").or_else(|| req.query_value("id")) else {
+        return Response::error(400, "missing ?args=<id> (the atom's id column)");
+    };
+    let Ok(id) = raw.trim().parse::<i64>() else {
+        return Response::error(400, &format!("bad id {raw:?}: want an integer"));
+    };
+    match state.marginal(relation, id) {
+        Some(m) => Response::json(200, marginal_json(&m)),
+        None => Response::error(404, &format!("no ground atom {relation}({id})")),
+    }
+}
+
+/// `POST /v1/query` — batch marginal lookup. Body:
+/// `{"queries": [{"relation": "IsSafe", "id": 7}, ...]}`.
+fn query(state: &Arc<ServingKb>, ctx: &ExecContext, req: &Request) -> Response {
+    let parsed: Json = match serde_json::from_slice(&req.body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+    };
+    let Some(queries) = parsed.get("queries").and_then(Json::as_array) else {
+        return Response::error(400, "body must be {\"queries\": [{\"relation\",\"id\"}, ...]}");
+    };
+    let mut results = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        if let Some(outcome) = ctx.interrupted() {
+            return Response::error(503, &format!("request aborted: {outcome}"));
+        }
+        let (Some(relation), Some(id)) =
+            (q.get("relation").and_then(Json::as_str), q.get("id").and_then(Json::as_i64))
+        else {
+            return Response::error(
+                400,
+                &format!("query {i}: want {{\"relation\": string, \"id\": integer}}"),
+            );
+        };
+        match state.marginal(relation, id) {
+            Some(m) => results.push(marginal_json(&m)),
+            None => {
+                return Response::error(404, &format!("query {i}: no ground atom {relation}({id})"))
+            }
+        }
+    }
+    Response::json(
+        200,
+        format!("{{\"epoch\":{},\"results\":[{}]}}", state.epoch(), results.join(",")),
+    )
+}
+
+/// `POST /v1/evidence` — append evidence rows. Body:
+/// `{"rows": [{"relation": "IsSafe", "id": 7, "value": 1}, ...]}`;
+/// `"value": null` retracts the observation.
+fn evidence(state: &Arc<ServingKb>, req: &Request) -> Response {
+    let parsed: Json = match serde_json::from_slice(&req.body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+    };
+    let Some(rows) = parsed.get("rows").and_then(Json::as_array) else {
+        return Response::error(
+            400,
+            "body must be {\"rows\": [{\"relation\",\"id\",\"value\"}, ...]}",
+        );
+    };
+    let mut updates = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let (Some(relation), Some(id)) =
+            (row.get("relation").and_then(Json::as_str), row.get("id").and_then(Json::as_i64))
+        else {
+            return Response::error(
+                400,
+                &format!("row {i}: want {{\"relation\": string, \"id\": integer, \"value\": 0..|null}}"),
+            );
+        };
+        let value = match row.get("value") {
+            None | Some(Json::Null) => None,
+            Some(v) => match v.as_u64().and_then(|n| u32::try_from(n).ok()) {
+                Some(n) => Some(n),
+                None => {
+                    return Response::error(
+                        400,
+                        &format!("row {i}: bad value {v}: want a small non-negative integer or null"),
+                    )
+                }
+            },
+        };
+        updates.push(EvidenceUpdate { relation: relation.to_owned(), id, value });
+    }
+    match state.apply_evidence(&updates) {
+        Ok(outcome) => Response::json(
+            200,
+            format!(
+                "{{\"epoch\":{},\"resampled\":{},\"elapsed_seconds\":{:.6}}}",
+                outcome.epoch,
+                outcome.resampled,
+                outcome.elapsed.as_secs_f64()
+            ),
+        ),
+        Err(ServeError::BadEvidence(msg)) => Response::error(400, &msg),
+        Err(e) => Response::error(503, &e.to_string()),
+    }
+}

@@ -1,0 +1,267 @@
+//! The live knowledge base behind the endpoints: an `RwLock`-guarded,
+//! epoch-versioned handle. Reads (marginal lookups, health) take the
+//! read lock; evidence updates take the write lock, run the
+//! conclique-restricted incremental sampler, merge the refreshed
+//! marginals in place, and bump the epoch — one atomic swap from the
+//! clients' point of view, since no reader can observe the KB between
+//! the merge and the epoch increment.
+
+use crate::ServeError;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+use sya_core::{KnowledgeBase, SyaSession};
+use sya_infer::{ChainState, CheckpointState};
+use sya_obs::Obs;
+use sya_store::Value;
+
+/// One evidence change submitted over the wire. `value: None` retracts
+/// the observation (the atom becomes a query variable again).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceUpdate {
+    pub relation: String,
+    pub id: i64,
+    pub value: Option<u32>,
+}
+
+/// What an applied evidence batch did.
+#[derive(Debug, Clone, Copy)]
+pub struct EvidenceOutcome {
+    /// The KB epoch after the update.
+    pub epoch: u64,
+    /// Variables the conclique-restricted re-run re-sampled.
+    pub resampled: usize,
+    pub elapsed: Duration,
+}
+
+/// A point marginal answer.
+#[derive(Debug, Clone)]
+pub struct MarginalAnswer {
+    pub relation: String,
+    pub id: i64,
+    pub score: f64,
+    /// The observed value when the atom is evidence.
+    pub evidence: Option<u32>,
+    /// KB epoch the score was read at.
+    pub epoch: u64,
+}
+
+/// The serving state shared by all worker threads.
+pub struct ServingKb {
+    session: SyaSession,
+    kb: RwLock<KnowledgeBase>,
+    epoch: AtomicU64,
+    /// `(relation, id column) -> variable`, built once at startup; the
+    /// id keys every endpoint the same way `scores_by_id` does.
+    atoms: HashMap<(String, i64), u32>,
+    obs: Obs,
+    started: Instant,
+    ckpt: Option<sya_ckpt::CheckpointStore>,
+    last_checkpoint: Mutex<Option<Instant>>,
+    last_saved_epoch: AtomicU64,
+}
+
+impl ServingKb {
+    /// Wraps a constructed knowledge base for serving. Requires the
+    /// spatial sampler (the pyramid index is the incremental-update
+    /// structure). When the KB was built with a checkpoint directory,
+    /// the same directory receives the serve-time background snapshots.
+    pub fn new(session: SyaSession, kb: KnowledgeBase, obs: Obs) -> Result<Self, ServeError> {
+        if kb.pyramid.is_none() {
+            return Err(ServeError::NotSpatial);
+        }
+        let mut atoms = HashMap::new();
+        for (v, (relation, values)) in kb.grounding.atom_meta.iter().enumerate() {
+            if let Some(id) = values.first().and_then(Value::as_int) {
+                atoms.insert((relation.clone(), id), v as u32);
+            }
+        }
+        let ckpt = match &kb.config.checkpoint.dir {
+            Some(dir) => Some(
+                sya_ckpt::CheckpointStore::create(dir.clone(), kb.grounding.graph.fingerprint())
+                    .map_err(|e| ServeError::Checkpoint(e.to_string()))?,
+            ),
+            None => None,
+        };
+        Ok(ServingKb {
+            session,
+            kb: RwLock::new(kb),
+            epoch: AtomicU64::new(0),
+            atoms,
+            obs,
+            started: Instant::now(),
+            ckpt,
+            last_checkpoint: Mutex::new(None),
+            last_saved_epoch: AtomicU64::new(u64::MAX),
+        })
+    }
+
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    pub fn session(&self) -> &SyaSession {
+        &self.session
+    }
+
+    /// Current KB epoch: 0 at startup, +1 per applied evidence batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Point marginal lookup; `None` when the atom was never grounded.
+    pub fn marginal(&self, relation: &str, id: i64) -> Option<MarginalAnswer> {
+        let &v = self.atoms.get(&(relation.to_owned(), id))?;
+        let kb = self.kb.read().unwrap_or_else(|e| e.into_inner());
+        let score = kb.score_of(v);
+        let evidence = kb.grounding.graph.variable(v).evidence;
+        Some(MarginalAnswer {
+            relation: relation.to_owned(),
+            id,
+            score,
+            evidence,
+            epoch: self.epoch(),
+        })
+    }
+
+    /// Validates an evidence batch against the program schema with the
+    /// same hardening rules as the CLI's `--evidence` loader: the
+    /// relation must be a declared *variable* relation, the value must
+    /// fit its domain, each `(relation, id)` may appear once per batch,
+    /// and the atom must exist in the grounded KB.
+    fn validate(&self, rows: &[EvidenceUpdate]) -> Result<Vec<(u32, Option<u32>)>, ServeError> {
+        if rows.is_empty() {
+            return Err(ServeError::BadEvidence("empty evidence batch".into()));
+        }
+        let compiled = self.session.compiled();
+        let domains = &self.session.config().ground.domains;
+        let mut seen = HashSet::new();
+        let mut changes = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let at = |msg: String| ServeError::BadEvidence(format!("row {i}: {msg}"));
+            let schema = compiled.schema(&row.relation).ok_or_else(|| {
+                at(format!("evidence references undeclared relation {:?}", row.relation))
+            })?;
+            if !schema.is_variable {
+                return Err(at(format!(
+                    "{:?} is an input relation; evidence applies only to variable relations",
+                    row.relation
+                )));
+            }
+            let cardinality = domains.get(&row.relation).copied().unwrap_or(2);
+            if let Some(value) = row.value {
+                if value >= cardinality {
+                    return Err(at(format!(
+                        "value {value} is out of range for {:?} (domain 0..{cardinality})",
+                        row.relation
+                    )));
+                }
+            }
+            if !seen.insert((row.relation.clone(), row.id)) {
+                return Err(at(format!(
+                    "duplicate evidence for {:?} id {}",
+                    row.relation, row.id
+                )));
+            }
+            let &v = self
+                .atoms
+                .get(&(row.relation.clone(), row.id))
+                .ok_or_else(|| {
+                    at(format!("no ground atom {}({})", row.relation, row.id))
+                })?;
+            changes.push((v, row.value));
+        }
+        Ok(changes)
+    }
+
+    /// Applies an evidence batch: validate, write-lock, incremental
+    /// re-inference over the affected concliques, epoch bump.
+    pub fn apply_evidence(&self, rows: &[EvidenceUpdate]) -> Result<EvidenceOutcome, ServeError> {
+        let changes = self.validate(rows)?;
+        let mut kb = self.kb.write().unwrap_or_else(|e| e.into_inner());
+        let (elapsed, resampled) =
+            kb.update_evidence_incremental_observed(&changes, &self.obs);
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        drop(kb);
+        self.obs.gauge_set("serve.kb_epoch", epoch as f64);
+        self.obs.counter_add("serve.evidence_rows_total", rows.len() as u64);
+        Ok(EvidenceOutcome { epoch, resampled, elapsed })
+    }
+
+    /// Runs queries and evidence against the KB via a caller-provided
+    /// closure under the read lock (health details, batch queries).
+    pub fn with_kb<T>(&self, f: impl FnOnce(&KnowledgeBase) -> T) -> T {
+        let kb = self.kb.read().unwrap_or_else(|e| e.into_inner());
+        f(&kb)
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Age of the newest serve-time checkpoint, `None` before the first
+    /// save (or when checkpointing is off).
+    pub fn checkpoint_age(&self) -> Option<Duration> {
+        self.last_checkpoint
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|at| at.elapsed())
+    }
+
+    /// Persists the live marginals as a spatial checkpoint the batch
+    /// pipeline can warm-start from (`sya run/serve --resume`). Returns
+    /// the file path, or `None` when checkpointing is disabled or the
+    /// KB epoch has not moved since the last save.
+    pub fn checkpoint_now(&self) -> Result<Option<PathBuf>, ServeError> {
+        let Some(store) = &self.ckpt else { return Ok(None) };
+        let epoch = self.epoch();
+        if self.last_saved_epoch.load(Ordering::SeqCst) == epoch {
+            return Ok(None);
+        }
+        let state = {
+            let kb = self.kb.read().unwrap_or_else(|e| e.into_inner());
+            live_checkpoint_state(&kb, epoch)
+        };
+        let path = store
+            .save_state(&state)
+            .map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+        self.last_saved_epoch.store(epoch, Ordering::SeqCst);
+        *self.last_checkpoint.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
+        self.obs.counter_add("serve.checkpoints_total", 1);
+        Ok(Some(path))
+    }
+}
+
+/// Synthesizes a `CheckpointState::Spatial` snapshot of the live KB.
+///
+/// The chains are *not* a paused sampler: each of the `k` configured
+/// instances gets the same assignment (evidence value, else the count
+/// argmax) and the same accumulated count rows, with its next-epoch set
+/// past the per-instance share so a resume replays zero epochs and goes
+/// straight to merging. Merging `k` identical count tables scales every
+/// row uniformly, and marginals are count *ratios* — the warm-started
+/// scores equal the live ones. `serve_epoch` is folded into the chain
+/// epoch so successive saves get monotonically increasing file names.
+fn live_checkpoint_state(kb: &KnowledgeBase, serve_epoch: u64) -> CheckpointState {
+    let cfg = &kb.config.infer;
+    let k = cfg.instances.max(1);
+    let share = (cfg.epochs / k).max(1) as u64;
+    let assignment = kb.map_assignment();
+    let chain = ChainState {
+        epoch: share + serve_epoch,
+        assignment,
+        // Any well-formed (non-zero) xoshiro state: the resume replays
+        // zero epochs, so the stream is never advanced.
+        rng: vec![
+            cfg.seed ^ 0x9E37_79B9_7F4A_7C15,
+            cfg.seed.rotate_left(21) | 1,
+            0xD1B5_4A32_D192_ED03,
+            serve_epoch.wrapping_add(1),
+        ],
+        counts: kb.counts.to_rows(),
+        recorded: true,
+    };
+    CheckpointState::Spatial { instances: vec![chain; k] }
+}

@@ -7,13 +7,32 @@ use crate::value::{DataType, Value};
 use crate::StoreError;
 use std::io::{BufRead, Write};
 
-/// CSV-layer errors, wrapping storage errors with row context.
+/// CSV-layer errors, wrapping storage errors with row context. Every
+/// malformed data row is a hard error carrying its 1-based line number
+/// (the header is line 1) — a bad row never silently disappears into a
+/// run that then reports scores with full confidence.
 #[derive(Debug)]
 pub enum CsvError {
     Io(std::io::Error),
-    /// `(line number, message)` — 1-based, header is line 1.
+    /// `(line number, message)` — header/structure problems.
     Parse(usize, String),
+    /// A data row whose field count differs from the header's.
+    Arity { line: usize, expected: usize, got: usize },
+    /// A cell that does not parse as its column's declared type.
+    BadValue { line: usize, column: String, message: String },
     Store(StoreError),
+}
+
+impl CsvError {
+    /// The 1-based line the error points at, when it has one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            CsvError::Parse(line, _)
+            | CsvError::Arity { line, .. }
+            | CsvError::BadValue { line, .. } => Some(*line),
+            CsvError::Io(_) | CsvError::Store(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for CsvError {
@@ -21,6 +40,14 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "csv I/O error: {e}"),
             CsvError::Parse(line, msg) => write!(f, "csv parse error at line {line}: {msg}"),
+            CsvError::Arity { line, expected, got } => write!(
+                f,
+                "csv arity error at line {line}: row has {got} fields, header declares {expected}"
+            ),
+            CsvError::BadValue { line, column, message } => write!(
+                f,
+                "csv value error at line {line}: column {column:?}: {message}"
+            ),
             CsvError::Store(e) => write!(f, "csv row rejected: {e}"),
         }
     }
@@ -116,7 +143,10 @@ pub fn parse_cell(cell: &str, ty: DataType) -> Result<Value, String> {
 }
 
 /// Reads CSV rows into `table`. The header must name the schema's columns
-/// (any order); extra columns are ignored.
+/// (any order); extra header columns are ignored, but every data row must
+/// carry exactly the header's field count — a short or long row is an
+/// [`CsvError::Arity`] error, a cell that does not parse as its column's
+/// declared type a [`CsvError::BadValue`], both with the 1-based line.
 pub fn read_csv_into(table: &mut Table, reader: impl BufRead) -> Result<usize, CsvError> {
     let mut lines = reader.lines();
     let header = lines
@@ -142,16 +172,19 @@ pub fn read_csv_into(table: &mut Table, reader: impl BufRead) -> Result<usize, C
             continue;
         }
         let fields = split_csv_line(&line);
+        if fields.len() != names.len() {
+            return Err(CsvError::Arity {
+                line: line_no,
+                expected: names.len(),
+                got: fields.len(),
+            });
+        }
         let mut row = Vec::with_capacity(schema.arity());
         for (c, &pos) in positions.iter().enumerate() {
-            let cell = fields
-                .get(pos)
-                .ok_or_else(|| CsvError::Parse(line_no, format!("row has {} fields", fields.len())))?;
-            let ty = schema.columns()[c].ty;
-            row.push(
-                parse_cell(cell, ty)
-                    .map_err(|msg| CsvError::Parse(line_no, msg))?,
-            );
+            let col = &schema.columns()[c];
+            row.push(parse_cell(&fields[pos], col.ty).map_err(|message| {
+                CsvError::BadValue { line: line_no, column: col.name.clone(), message }
+            })?);
         }
         table.insert(row)?;
         inserted += 1;
@@ -211,11 +244,42 @@ two,2,,\"3 4\",no,x
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
-        let csv = "id,location,arsenic,name,active\n1,POINT(0 0),bad,\u{78},true\n";
+    fn bad_typed_value_is_a_typed_error_with_line_and_column() {
+        let csv = "id,location,arsenic,name,active\n\
+                   1,POINT(0 0),0.5,ok,true\n\
+                   2,POINT(1 1),bad,\u{78},true\n";
         let mut t = Table::new("Well", schema());
         match read_csv_into(&mut t, csv.as_bytes()) {
-            Err(CsvError::Parse(2, msg)) => assert!(msg.contains("double"), "{msg}"),
+            Err(ref e @ CsvError::BadValue { line: 3, ref column, ref message }) => {
+                assert_eq!(column, "arsenic");
+                assert!(message.contains("double"), "{message}");
+                assert_eq!(e.line(), Some(3));
+                assert!(e.to_string().contains("line 3"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rows_are_typed_errors_never_skipped() {
+        let mut t = Table::new("Well", schema());
+        // Short row: fewer fields than the header declares.
+        let short = "id,location,arsenic,name,active\n1,POINT(0 0),0.1\n";
+        match read_csv_into(&mut t, short.as_bytes()) {
+            Err(e @ CsvError::Arity { line: 2, expected: 5, got: 3 }) => {
+                assert_eq!(e.line(), Some(2));
+                assert!(e.to_string().contains("line 2"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.len(), 0, "the bad row must not be half-inserted");
+        // Long row, after a valid one: the line number points at it.
+        let long = "id,location,arsenic,name,active\n\
+                    1,POINT(0 0),0.1,a,true\n\
+                    2,POINT(1 1),0.2,b,false,surprise\n";
+        let mut t = Table::new("Well", schema());
+        match read_csv_into(&mut t, long.as_bytes()) {
+            Err(CsvError::Arity { line: 3, expected: 5, got: 6 }) => {}
             other => panic!("{other:?}"),
         }
     }

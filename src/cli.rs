@@ -7,6 +7,7 @@
 //! sya translate <program.ddlog> [--constant name=WKT ...]
 //! sya stats     <program.ddlog> --table NAME=FILE.csv ... [options]
 //! sya run       <program.ddlog> --table NAME=FILE.csv ... [options]
+//! sya serve     <program.ddlog> --table NAME=FILE.csv ... [options]
 //!
 //! options:
 //!   --table NAME=FILE.csv     input relation data (repeatable)
@@ -41,6 +42,15 @@
 //!   --trace                   print the span trace as an indented tree
 //!                             on stderr (also enabled by SYA_TRACE=1)
 //!   --trace-out FILE          write spans and events as JSON lines
+//!
+//! serve-only options:
+//!   --listen HOST:PORT        bind address [default: 127.0.0.1:7171];
+//!                             port 0 picks an ephemeral port
+//!   --serve-workers N         request worker threads [default: 4]
+//!   --request-timeout-ms N    per-request deadline   [default: 10000]
+//!   --refresh-checkpoint-every SECS
+//!                             background-checkpoint the live marginals
+//!                             every SECS seconds (needs --checkpoint-dir)
 //! ```
 
 use std::collections::HashMap;
@@ -78,6 +88,7 @@ fn dispatch(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result
         "translate" => cmd_translate(&args[1..], out),
         "stats" => cmd_run(&args[1..], out, err, true),
         "run" => cmd_run(&args[1..], out, err, false),
+        "serve" => cmd_serve(&args[1..], out, err),
         "--help" | "-h" | "help" => {
             writeln!(out, "{}", USAGE.trim()).map_err(|e| e.to_string())
         }
@@ -86,7 +97,7 @@ fn dispatch(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result
 }
 
 const USAGE: &str = r#"
-usage: sya <validate|translate|stats|run> <program.ddlog> [options]
+usage: sya <validate|translate|stats|run|serve> <program.ddlog> [options]
 run `sya help` for the option list
 "#;
 
@@ -116,6 +127,10 @@ struct Options {
     checkpoint_every: usize,
     resume: bool,
     workers: Option<usize>,
+    listen: String,
+    serve_workers: usize,
+    request_timeout_ms: u64,
+    refresh_checkpoint_every: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -144,6 +159,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         checkpoint_every: 25,
         resume: false,
         workers: None,
+        listen: "127.0.0.1:7171".to_owned(),
+        serve_workers: 4,
+        request_timeout_ms: 10_000,
+        refresh_checkpoint_every: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -254,6 +273,32 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad --checkpoint-every: {e}"))?
             }
             "--resume" => opts.resume = true,
+            "--listen" => opts.listen = value("--listen")?,
+            "--serve-workers" => {
+                let n: usize = value("--serve-workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --serve-workers: {e}"))?;
+                if n == 0 {
+                    return Err("bad --serve-workers: 0 (want at least 1 thread)".to_owned());
+                }
+                opts.serve_workers = n;
+            }
+            "--request-timeout-ms" => {
+                let ms: u64 = value("--request-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --request-timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("bad --request-timeout-ms: 0 (want milliseconds >= 1)".to_owned());
+                }
+                opts.request_timeout_ms = ms;
+            }
+            "--refresh-checkpoint-every" => {
+                opts.refresh_checkpoint_every = Some(
+                    value("--refresh-checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("bad --refresh-checkpoint-every: {e}"))?,
+                )
+            }
             "--workers" => {
                 let n: usize = value("--workers")?
                     .parse()
@@ -273,6 +318,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.resume && opts.checkpoint_dir.is_none() {
         return Err("--resume requires --checkpoint-dir".to_owned());
+    }
+    if opts.refresh_checkpoint_every.is_some() && opts.checkpoint_dir.is_none() {
+        return Err("--refresh-checkpoint-every requires --checkpoint-dir".to_owned());
     }
     Ok(opts)
 }
@@ -475,18 +523,10 @@ fn write_observability(
     Ok(())
 }
 
-fn cmd_run(
-    args: &[String],
-    out: &mut dyn Write,
-    err: &mut dyn Write,
-    stats_only: bool,
-) -> Result<(), String> {
-    let opts = parse_options(args)?;
-    let src = read_program(&opts.program_path)?;
-    let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
-    let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
-    let obs = if observed { Obs::enabled() } else { Obs::disabled() };
-
+/// Builds the engine configuration from the parsed common options —
+/// shared by `run`/`stats` and `serve` so both construct the KB the
+/// same way.
+fn config_from_opts(opts: &Options) -> SyaConfig {
     let mut config = match opts.engine {
         EngineMode::Sya => SyaConfig::sya(),
         EngineMode::DeepDive => SyaConfig::deepdive(),
@@ -519,6 +559,21 @@ fn cmd_run(
             .with_checkpoints(dir.as_str(), opts.checkpoint_every)
             .with_resume(opts.resume);
     }
+    config
+}
+
+fn cmd_run(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+    stats_only: bool,
+) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let src = read_program(&opts.program_path)?;
+    let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
+    let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
+    let obs = if observed { Obs::enabled() } else { Obs::disabled() };
+    let config = config_from_opts(&opts);
 
     let session =
         SyaSession::new_with_obs(&src, opts.constants.clone(), opts.metric, config, obs.clone())
@@ -608,6 +663,81 @@ fn cmd_run(
             .map_err(|e| format!("cannot write {path:?}: {e}"))?;
         writeln!(out, "wrote {path}").map_err(|e| e.to_string())?;
     }
+    Ok(())
+}
+
+/// `sya serve`: construct the KB once (optionally warm-started via
+/// `--checkpoint-dir --resume`), then keep it live behind the HTTP
+/// serving layer until SIGTERM/SIGINT or a cancelled token.
+fn cmd_serve(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    if matches!(opts.engine, EngineMode::DeepDive) {
+        return Err(
+            "serve requires the sya engine: incremental re-inference needs the pyramid index"
+                .to_owned(),
+        );
+    }
+    let src = read_program(&opts.program_path)?;
+    // Serving is always observed: /metrics is an endpoint, not an
+    // opt-in artifact.
+    let obs = Obs::enabled();
+    let config = config_from_opts(&opts);
+    let session =
+        SyaSession::new_with_obs(&src, opts.constants.clone(), opts.metric, config, obs.clone())
+            .map_err(|e| e.to_string())?;
+    let mut db = load_database(session.compiled(), &opts.tables)?;
+    let evidence = match &opts.evidence_path {
+        Some(p) => load_evidence(p, session.compiled(), &session.config().ground.domains)?,
+        None => HashMap::new(),
+    };
+    let mut diag = Diag { err, obs: obs.clone() };
+    diag.debug(format!(
+        "loaded {} input table(s), {} evidence row(s)",
+        opts.tables.len(),
+        evidence.len()
+    ));
+    let ev_fn = move |relation: &str, values: &[Value]| -> Option<u32> {
+        values
+            .first()
+            .and_then(Value::as_int)
+            .and_then(|id| evidence.get(&(relation.to_owned(), id)).copied())
+    };
+    let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
+    for w in &kb.warnings {
+        diag.warn(w)?;
+    }
+    if !kb.outcome.is_completed() {
+        diag.info(&format!("run outcome: {}", kb.outcome))?;
+    }
+
+    let state = sya_serve::ServingKb::new(session, kb, obs).map_err(|e| e.to_string())?;
+    let cfg = sya_serve::ServeConfig {
+        listen: opts.listen.clone(),
+        workers: opts.serve_workers,
+        request_timeout: std::time::Duration::from_millis(opts.request_timeout_ms),
+        checkpoint_refresh: opts
+            .refresh_checkpoint_every
+            .map(std::time::Duration::from_secs),
+        ..Default::default()
+    };
+    sya_serve::install_termination_handler();
+    let server = sya_serve::SyaServer::start(state, cfg).map_err(|e| e.to_string())?;
+    // The smoke scripts parse this line for the bound (ephemeral) port.
+    writeln!(out, "serving on http://{}", server.local_addr()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+
+    let token = server.token();
+    while !sya_serve::termination_requested() && !token.is_cancelled() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    diag.info("shutting down")?;
+    server
+        .shutdown(std::time::Duration::from_secs(10))
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 
