@@ -84,3 +84,21 @@ if ! wait "$server"; then
     exit 1
 fi
 echo "serve smoke: queries, evidence, metrics, and shutdown all clean"
+
+# Shard smoke: the demo KB constructed at --shards 2 must reproduce the
+# 1-shard scores byte for byte (the sharded executor's halo exchange is
+# exact, not approximate), and the run must leave per-shard checkpoint
+# stores tied together by a shard manifest.
+shard_dir=/tmp/sya_ci_shard_ckpt
+rm -rf "$shard_dir" /tmp/sya_ci_shard1.csv /tmp/sya_ci_shard2.csv
+shard_run=(./target/release/sya run demo/gwdb.ddlog
+    --table Well=demo/wells.csv --evidence demo/evidence.csv
+    --epochs 300 --seed 7)
+"${shard_run[@]}" --shards 1 --output /tmp/sya_ci_shard1.csv > /dev/null
+"${shard_run[@]}" --shards 2 --checkpoint-dir "$shard_dir" --checkpoint-every 50 \
+    --output /tmp/sya_ci_shard2.csv > /dev/null
+diff /tmp/sya_ci_shard1.csv /tmp/sya_ci_shard2.csv
+test -f "$shard_dir/shard-manifest.json"
+ls "$shard_dir"/shard-00/ckpt-*.syackpt > /dev/null
+ls "$shard_dir"/shard-01/ckpt-*.syackpt > /dev/null
+echo "shard smoke: 2-shard scores match 1-shard; per-shard checkpoints + manifest present"

@@ -1,0 +1,238 @@
+//! `shard_scaling`: the shard-scaling benchmark behind `BENCH_shard.json`.
+//!
+//! Grounds the demo groundwater KB once, then runs the sharded Spatial
+//! Gibbs executor at 1, 2, 4, and 8 shards with convergence-based
+//! retirement enabled. Each run records wall time, the epochs actually
+//! executed before every shard retired, and the maximum absolute
+//! marginal delta against the 1-shard reference. Wall time should fall
+//! from 1 to 4 shards even on one CPU: smaller shards converge (and
+//! retire) earlier, so later epochs sample ever fewer variables.
+//!
+//! Usage: `shard_scaling [program.ddlog] [wells.csv] [evidence.csv] [out.json]`
+//! (defaults: the `demo/` files, writing `BENCH_shard.json` in the
+//! current directory).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use sya_ground::{pyramid_cell_map, GroundConfig, Grounder, Grounding};
+use sya_infer::{InferConfig, MarginalCounts, PyramidIndex};
+use sya_lang::{compile, parse_program, CompiledProgram, GeomConstants};
+use sya_runtime::ExecContext;
+use sya_shard::{run_sharded, RetirePolicy, ShardCkptOptions, ShardPlan, ShardRunReport};
+use sya_store::{read_csv_into, split_csv_line, Column, Database, TableSchema, Value};
+
+/// Shard counts swept by the benchmark; 1 doubles as the reference.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PARTITION_LEVEL: u8 = 4;
+const EPOCHS: usize = 1500;
+const SEED: u64 = 7;
+
+/// Retirement for the sweep. The epoch floor keeps every shard sampling
+/// for at least 150 counted epochs past burn-in: tiny shards otherwise
+/// retire moments after counting starts, and marginals estimated from a
+/// handful of samples drift far from the 1-shard reference.
+const RETIRE: RetirePolicy = RetirePolicy { tol: 2e-3, window: 8, min_epoch: 200 };
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize, default: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| default.to_owned())
+    };
+    let program_path = arg(0, "demo/gwdb.ddlog");
+    let wells_path = arg(1, "demo/wells.csv");
+    let evidence_path = arg(2, "demo/evidence.csv");
+    let out_path = arg(3, "BENCH_shard.json");
+
+    match run(&program_path, &wells_path, &evidence_path, &out_path) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("shard_scaling: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(program: &str, wells: &str, evidence: &str, out: &str) -> Result<(), String> {
+    let grounding = ground_demo(program, wells, evidence)?;
+    let graph = &grounding.graph;
+    let cfg = InferConfig { epochs: EPOCHS, seed: SEED, ..InferConfig::default() };
+    let pyramid = PyramidIndex::build(graph, cfg.levels, cfg.cell_capacity);
+    let cells = pyramid_cell_map(graph, PARTITION_LEVEL);
+    let ctx = ExecContext::unbounded();
+
+    eprintln!(
+        "workload: {} variables, {} logical + {} spatial factors, {} epochs max",
+        graph.num_variables(),
+        graph.num_factors(),
+        graph.num_spatial_factors(),
+        EPOCHS
+    );
+
+    let mut reference: Option<MarginalCounts> = None;
+    let mut runs = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let plan = ShardPlan::build(graph, &cells, shards, PARTITION_LEVEL);
+        let t0 = Instant::now();
+        let report = run_sharded(
+            graph,
+            &pyramid,
+            &plan,
+            &cfg,
+            Some(RETIRE),
+            &ShardCkptOptions::default(),
+            &ctx,
+        )
+        .map_err(|e| format!("sharded run ({shards} shards): {e}"))?;
+        let wall = t0.elapsed().as_secs_f64();
+
+        let max_delta = match &reference {
+            Some(reference) => max_abs_delta(graph.num_variables(), reference, &report.counts),
+            None => 0.0,
+        };
+        if reference.is_none() {
+            reference = Some(report.counts.clone());
+        }
+        eprintln!(
+            "shards={shards}: {wall:.3}s wall, {} epochs to converge, \
+             max |Δmarginal| vs 1-shard = {max_delta:.2e}",
+            report.epochs_run
+        );
+        runs.push(run_json(shards, wall, max_delta, &report));
+    }
+
+    let text = render_report(&grounding, &runs);
+    std::fs::write(out, &text).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    eprintln!("wrote {out}");
+
+    // The acceptance bar this benchmark exists to witness: sharding the
+    // demo workload must not make it slower.
+    let wall = |i: usize| runs[i].wall_seconds;
+    if wall(2) >= wall(0) {
+        return Err(format!(
+            "4-shard run ({:.3}s) is not faster than 1-shard ({:.3}s)",
+            wall(2),
+            wall(0)
+        ));
+    }
+    Ok(())
+}
+
+/// Parses, compiles, loads, and grounds the demo KB — the programmatic
+/// twin of `sya run demo/gwdb.ddlog --table Well=… --evidence …`.
+fn ground_demo(program: &str, wells: &str, evidence: &str) -> Result<Grounding, String> {
+    let src = std::fs::read_to_string(program)
+        .map_err(|e| format!("cannot read {program:?}: {e}"))?;
+    let ast = parse_program(&src).map_err(|e| e.to_string())?;
+    let compiled =
+        compile(&ast, &GeomConstants::new(), sya_geom::DistanceMetric::Euclidean)
+            .map_err(|e| e.to_string())?;
+
+    let mut db = Database::new();
+    for schema in compiled.schemas.values().filter(|s| !s.is_variable) {
+        let columns: Vec<Column> =
+            schema.columns.iter().map(|(n, t)| Column::new(n.clone(), *t)).collect();
+        let table = db
+            .create_table(schema.name.clone(), TableSchema::new(columns))
+            .map_err(|e| e.to_string())?;
+        let file =
+            std::fs::File::open(wells).map_err(|e| format!("cannot open {wells:?}: {e}"))?;
+        read_csv_into(table, std::io::BufReader::new(file))
+            .map_err(|e| format!("{wells}: {e}"))?;
+    }
+
+    let observed = load_evidence(evidence, &compiled)?;
+    let ev_fn = move |relation: &str, values: &[Value]| -> Option<u32> {
+        values
+            .first()
+            .and_then(Value::as_int)
+            .and_then(|id| observed.get(&(relation.to_owned(), id)).copied())
+    };
+    let mut grounder = Grounder::new(&compiled, GroundConfig::default());
+    grounder.ground(&mut db, &ev_fn).map_err(|e| e.to_string())
+}
+
+fn load_evidence(
+    path: &str,
+    compiled: &CompiledProgram,
+) -> Result<HashMap<(String, i64), u32>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| format!("{path}: empty file"))?;
+    let names = split_csv_line(header);
+    let pos = |want: &str| -> Result<usize, String> {
+        names
+            .iter()
+            .position(|n| n.trim() == want)
+            .ok_or_else(|| format!("{path}: missing column {want:?}"))
+    };
+    let (rp, ip, vp) = (pos("relation")?, pos("id")?, pos("value")?);
+    let mut out = HashMap::new();
+    for line in lines.filter(|l| !l.trim().is_empty()) {
+        let fields = split_csv_line(line);
+        let field = |p: usize| fields.get(p).map(|s| s.trim()).unwrap_or("");
+        let relation = field(rp).to_owned();
+        if compiled.schema(&relation).is_none() {
+            return Err(format!("{path}: evidence for undeclared relation {relation:?}"));
+        }
+        let id: i64 = field(ip).parse().map_err(|e| format!("{path}: bad id: {e}"))?;
+        let value: u32 = field(vp).parse().map_err(|e| format!("{path}: bad value: {e}"))?;
+        out.insert((relation, id), value);
+    }
+    Ok(out)
+}
+
+fn max_abs_delta(num_vars: usize, reference: &MarginalCounts, counts: &MarginalCounts) -> f64 {
+    (0..num_vars as u32)
+        .map(|v| (reference.factual_score(v) - counts.factual_score(v)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// One run's row of the JSON report.
+struct RunJson {
+    shards: usize,
+    wall_seconds: f64,
+    epochs_to_converge: usize,
+    max_delta_vs_single: f64,
+    per_shard: String,
+}
+
+fn run_json(shards: usize, wall: f64, max_delta: f64, report: &ShardRunReport) -> RunJson {
+    let per_shard = serde_json::to_string(&report.per_shard).expect("ShardStats serializes");
+    RunJson {
+        shards,
+        wall_seconds: wall,
+        epochs_to_converge: report.epochs_run,
+        max_delta_vs_single: max_delta,
+        per_shard,
+    }
+}
+
+fn render_report(grounding: &Grounding, runs: &[RunJson]) -> String {
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"shards\": {},\n      \"wall_seconds\": {:.6},\n      \
+                 \"epochs_to_converge\": {},\n      \"max_delta_vs_single\": {:.6e},\n      \
+                 \"per_shard\": {}\n    }}",
+                r.shards, r.wall_seconds, r.epochs_to_converge, r.max_delta_vs_single, r.per_shard
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"sya.bench.shard.v1\",\n  \"workload\": {{\n    \
+         \"variables\": {},\n    \"logical_factors\": {},\n    \"spatial_factors\": {},\n    \
+         \"epochs_max\": {},\n    \"partition_level\": {},\n    \"seed\": {},\n    \
+         \"retirement\": {{ \"tol\": {}, \"window\": {} }}\n  }},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        grounding.graph.num_variables(),
+        grounding.graph.num_factors(),
+        grounding.graph.num_spatial_factors(),
+        EPOCHS,
+        PARTITION_LEVEL,
+        SEED,
+        RETIRE.tol,
+        RETIRE.window,
+        rows.join(",\n")
+    )
+}

@@ -29,6 +29,30 @@ impl CheckpointConfig {
     }
 }
 
+/// Spatial sharding of the inference run (DESIGN.md §12). Disabled by
+/// default (`shards == 0`): the classic samplers run unsharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardingConfig {
+    /// Number of shards the partitioner cuts the KB into. `0` disables
+    /// sharding; `1` routes through the shard executor with one shard
+    /// (useful as the parity reference).
+    pub shards: usize,
+    /// Pyramid level of the cut (`2^l × 2^l` candidate cells).
+    pub partition_level: u8,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        ShardingConfig { shards: 0, partition_level: 4 }
+    }
+}
+
+impl ShardingConfig {
+    pub fn is_enabled(&self) -> bool {
+        self.shards >= 1
+    }
+}
+
 /// Which system is being run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineMode {
@@ -68,6 +92,8 @@ pub struct SyaConfig {
     pub budget: RunBudget,
     /// Checkpoint durability (disabled by default).
     pub checkpoint: CheckpointConfig,
+    /// Spatial sharding of inference and serving (disabled by default).
+    pub sharding: ShardingConfig,
 }
 
 impl SyaConfig {
@@ -81,6 +107,7 @@ impl SyaConfig {
             infer: InferConfig::default(),
             budget: RunBudget::unlimited(),
             checkpoint: CheckpointConfig::default(),
+            sharding: ShardingConfig::default(),
         }
     }
 
@@ -94,6 +121,7 @@ impl SyaConfig {
             infer: InferConfig::default(),
             budget: RunBudget::unlimited(),
             checkpoint: CheckpointConfig::default(),
+            sharding: ShardingConfig::default(),
         }
     }
 
@@ -203,6 +231,19 @@ impl SyaConfig {
         self
     }
 
+    /// Shards the inference run spatially into `n` partitions
+    /// (DESIGN.md §12). Requires the spatial sampler; `0` disables.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.sharding.shards = n;
+        self
+    }
+
+    /// Pyramid level the shard partitioner cuts at.
+    pub fn with_partition_level(mut self, level: u8) -> Self {
+        self.sharding.partition_level = level;
+        self
+    }
+
     /// Resumes from the newest valid checkpoint in the checkpoint
     /// directory (no-op when checkpointing is disabled or the directory
     /// holds no usable checkpoint — the run then starts fresh).
@@ -268,6 +309,16 @@ mod tests {
         assert_eq!(c.checkpoint.dir.as_deref(), Some(std::path::Path::new("/tmp/ckpts")));
         assert_eq!(c.checkpoint.every, 25);
         assert!(c.checkpoint.resume);
+    }
+
+    #[test]
+    fn sharding_builders_enable_the_shard_executor() {
+        let c = SyaConfig::sya();
+        assert!(!c.sharding.is_enabled());
+        let c = c.with_shards(4).with_partition_level(3);
+        assert!(c.sharding.is_enabled());
+        assert_eq!(c.sharding.shards, 4);
+        assert_eq!(c.sharding.partition_level, 3);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum SyaError {
     Io(std::io::Error),
     /// Requested relation/atom does not exist in the knowledge base.
     UnknownAtom(String),
+    /// The configuration is internally inconsistent (e.g. sharding with
+    /// a non-spatial sampler).
+    Config(String),
 }
 
 impl std::fmt::Display for SyaError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for SyaError {
             SyaError::Persist(e) => write!(f, "{e}"),
             SyaError::Io(e) => write!(f, "{e}"),
             SyaError::UnknownAtom(a) => write!(f, "unknown atom: {a}"),
+            SyaError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }
@@ -60,7 +64,7 @@ impl std::error::Error for SyaError {
             SyaError::Checkpoint(e) => Some(e),
             SyaError::Persist(e) => Some(e),
             SyaError::Io(e) => Some(e),
-            SyaError::UnknownAtom(_) => None,
+            SyaError::UnknownAtom(_) | SyaError::Config(_) => None,
         }
     }
 }

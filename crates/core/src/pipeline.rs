@@ -10,7 +10,7 @@ use sya_geom::DistanceMetric;
 use sya_ground::{expand_step_function_rules, Grounder};
 use sya_infer::{
     parallel_random_gibbs_ckpt, sequential_gibbs_ckpt, spatial_gibbs_ckpt, CheckpointOptions,
-    CheckpointState, PyramidIndex,
+    CheckpointState, PyramidIndex, SamplerRun,
 };
 use sya_lang::{compile_with, parse_program_with, CompiledProgram, GeomConstants};
 use sya_obs::Obs;
@@ -22,7 +22,10 @@ use sya_store::{Database, Value};
 /// the step count, so an observed session flags it as a warning event.
 const STEPFN_BLOWUP_FACTOR: usize = 8;
 
-/// A compiled program ready to construct knowledge bases.
+/// A compiled program ready to construct knowledge bases. Cloning is
+/// cheap relative to construction (rule set + config + obs handle) and
+/// lets the serving layer hand each shard replica its own session.
+#[derive(Clone)]
 pub struct SyaSession {
     compiled: CompiledProgram,
     config: SyaConfig,
@@ -164,6 +167,16 @@ impl SyaSession {
             None => CheckpointOptions::none(),
         };
 
+        // Sharding routes through the shard executor, which only speaks
+        // the spatial sampler's sweep schedule.
+        if self.config.sharding.is_enabled() && self.config.sampler != SamplerKind::Spatial {
+            return Err(SyaError::Config(format!(
+                "sharding (--shards {}) requires the spatial sampler; the {:?} sampler \
+                 has no pyramid partition to cut",
+                self.config.sharding.shards, self.config.sampler
+            )));
+        }
+
         let t1 = Instant::now();
         let infer = &self.config.infer;
         let infer_span = obs.span("pipeline.infer");
@@ -178,12 +191,18 @@ impl SyaSession {
                     pyramid
                 };
                 obs.gauge_set("infer.pyramid_build_seconds", tp.elapsed().as_secs_f64());
-                let chains = match resume_state {
-                    Some(CheckpointState::Spatial { instances }) => Some(instances),
-                    _ => None,
-                };
-                let run = spatial_gibbs_ckpt(&grounding.graph, &pyramid, infer, ctx, ckpt, chains)?;
-                (run, Some(pyramid))
+                if self.config.sharding.is_enabled() {
+                    let run = self.run_sharded_inference(&grounding.graph, &pyramid, ctx)?;
+                    (run, Some(pyramid))
+                } else {
+                    let chains = match resume_state {
+                        Some(CheckpointState::Spatial { instances }) => Some(instances),
+                        _ => None,
+                    };
+                    let run =
+                        spatial_gibbs_ckpt(&grounding.graph, &pyramid, infer, ctx, ckpt, chains)?;
+                    (run, Some(pyramid))
+                }
             }
             SamplerKind::Sequential => {
                 let chain = match resume_state {
@@ -234,6 +253,49 @@ impl SyaSession {
             outcome,
             warnings,
             telemetry: run.telemetry,
+        })
+    }
+
+    /// The sharded spatial path (DESIGN.md §12): cuts the grounded
+    /// graph along pyramid cells at the configured partition level,
+    /// runs one sampler chain per shard on its own thread, and merges
+    /// the per-shard marginals. Without a retirement policy (the `sya
+    /// run` path) the merged counts are bit-identical to `--shards 1`.
+    /// Per-shard checkpoints live in `shard-NN/` subdirectories of the
+    /// checkpoint dir, tied together by a manifest; the flat-directory
+    /// recovery of [`prepare_checkpoints`] finds nothing there, so the
+    /// two layouts never shadow each other.
+    fn run_sharded_inference(
+        &self,
+        graph: &sya_fg::FactorGraph,
+        pyramid: &PyramidIndex,
+        ctx: &ExecContext,
+    ) -> Result<SamplerRun, SyaError> {
+        let obs = ctx.obs();
+        let sharding = &self.config.sharding;
+        // `1u32 << level` cell coordinates stay in range at level <= 12;
+        // finer cuts than 4096×4096 cells buy nothing on real extents.
+        let level = sharding.partition_level.min(12);
+        let cells = sya_ground::pyramid_cell_map(graph, level);
+        let plan = sya_shard::ShardPlan::build(graph, &cells, sharding.shards, level);
+        for s in plan.summaries() {
+            obs.info(format!(
+                "shard {}: {} owned vars, {} halo vars, {} boundary factors",
+                s.shard, s.owned_vars, s.halo_vars, s.boundary_factors
+            ));
+        }
+        let ckpt = sya_shard::ShardCkptOptions {
+            dir: self.config.checkpoint.dir.clone(),
+            every: self.config.checkpoint.every,
+            resume: self.config.checkpoint.resume,
+        };
+        let report =
+            sya_shard::run_sharded(graph, pyramid, &plan, &self.config.infer, None, &ckpt, ctx)?;
+        Ok(SamplerRun {
+            counts: report.counts,
+            outcome: report.outcome,
+            warnings: report.warnings,
+            telemetry: report.telemetry,
         })
     }
 
@@ -845,6 +907,68 @@ mod tests {
         let kb2 = build(&mut d2, cfg.with_resume(true));
         assert_eq!(kb1.scores_by_id("IsSafe"), kb2.scores_by_id("IsSafe"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_construct_reproduces_the_single_shard_scores_exactly() {
+        let cfg = SyaConfig::sya().with_epochs(120).with_seed(11).with_partition_level(3);
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 90, ..Default::default() });
+        let reference = build(&mut d, cfg.clone().with_shards(1));
+        for shards in [2, 4] {
+            let mut d = gwdb_dataset(&GwdbConfig { n_wells: 90, ..Default::default() });
+            let kb = build(&mut d, cfg.clone().with_shards(shards));
+            assert_eq!(
+                reference.scores_by_id("IsSafe"),
+                kb.scores_by_id("IsSafe"),
+                "--shards {shards} must reproduce --shards 1 exactly"
+            );
+            assert!(kb.pyramid.is_some());
+            assert!(kb.outcome.is_completed());
+        }
+    }
+
+    #[test]
+    fn sharded_construct_writes_per_shard_checkpoints_and_manifest() {
+        let dir = std::env::temp_dir().join(format!("sya_core_shard_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SyaConfig::sya()
+            .with_epochs(60)
+            .with_shards(2)
+            .with_partition_level(3)
+            .with_checkpoints(&dir, 10);
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() });
+        let kb = build(&mut d, cfg);
+        assert!(kb.outcome.is_completed());
+        assert!(dir.join("factor-graph.json").exists(), "graph witness persists");
+        let manifest = sya_shard::ShardManifest::read(&dir).expect("shard manifest");
+        assert_eq!(manifest.shards, 2);
+        for name in &manifest.stores {
+            let ckpts = std::fs::read_dir(dir.join(name))
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_str()
+                        .is_some_and(|n| n.ends_with(".syackpt"))
+                })
+                .count();
+            assert!(ckpts >= 1, "store {name} holds checkpoints");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharding_rejects_non_spatial_samplers() {
+        let mut d = gwdb_dataset(&GwdbConfig { n_wells: 30, ..Default::default() });
+        let cfg = SyaConfig::deepdive().with_epochs(20).with_shards(2);
+        let session =
+            SyaSession::new(&d.program, d.constants.clone(), d.metric, cfg).unwrap();
+        match session.construct(&mut d.db, &|_, _| None) {
+            Err(SyaError::Config(msg)) => assert!(msg.contains("spatial"), "{msg}"),
+            Err(other) => panic!("expected a config error, got {other}"),
+            Ok(_) => panic!("expected a config error"),
+        }
     }
 
     #[test]

@@ -18,8 +18,10 @@ pub struct Timings {
     pub inference: Duration,
 }
 
-/// A constructed probabilistic knowledge base.
-#[derive(Debug)]
+/// A constructed probabilistic knowledge base. `Clone` duplicates the
+/// whole graph and counts — the shard router uses it to give each
+/// serving shard an independently lockable replica.
+#[derive(Debug, Clone)]
 pub struct KnowledgeBase {
     pub grounding: Grounding,
     pub counts: MarginalCounts,

@@ -25,6 +25,7 @@
 pub mod energy;
 pub mod factor;
 pub mod graph;
+pub mod partition;
 pub mod region_factor;
 pub mod serialize;
 pub mod spatial_factor;
@@ -35,6 +36,7 @@ pub use energy::{binary_conditional_true, conditional_distribution, conditional_
     local_energy, local_energy_with, log_prob_unnormalized};
 pub use factor::{Factor, FactorKind};
 pub use graph::{Assignment, FactorGraph};
+pub use partition::ShardInterface;
 pub use region_factor::RegionFactor;
 pub use serialize::PersistError;
 pub use spatial_factor::SpatialFactor;

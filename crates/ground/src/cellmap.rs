@@ -1,0 +1,99 @@
+//! Pyramid-cell → variable map of a grounded graph.
+//!
+//! The spatial sharding layer (`sya-shard`) cuts a grounded knowledge
+//! base along pyramid cells at a configurable level. The grounder owns
+//! the graph, so it also emits the cell map the partitioner consumes —
+//! the same `2^l × 2^l` tessellation of the atom cloud's bounding box
+//! that `sya_infer::PyramidIndex` builds (a consistency test in
+//! `sya-shard` holds the two formulas together; `sya-ground` cannot
+//! depend on `sya-infer` without a cycle).
+
+use std::collections::BTreeMap;
+use sya_fg::{FactorGraph, VarId};
+use sya_geom::Rect;
+
+/// `(col, row)` → located variables, at one pyramid level. Unlocated
+/// variables never appear; the partitioner assigns them round-robin.
+pub type CellVariableMap = BTreeMap<(u32, u32), Vec<VarId>>;
+
+/// The grid bounds the pyramid uses: the graph's bounding box, with the
+/// same degenerate-extent guards as `PyramidIndex::build`.
+pub fn pyramid_bounds(graph: &FactorGraph) -> Rect {
+    let mut bounds = graph.bounding_box();
+    if bounds.is_empty() {
+        bounds = Rect::raw(0.0, 0.0, 1.0, 1.0);
+    }
+    if bounds.width() == 0.0 || bounds.height() == 0.0 {
+        bounds = bounds.expand(0.5);
+    }
+    bounds
+}
+
+/// Maps every located variable of `graph` to its pyramid cell at
+/// `level`, mirroring `PyramidIndex::cell_of`.
+pub fn pyramid_cell_map(graph: &FactorGraph, level: u8) -> CellVariableMap {
+    let bounds = pyramid_bounds(graph);
+    let n = 1u32 << level;
+    let mut map = CellVariableMap::new();
+    for v in graph.variables() {
+        let Some(p) = v.location else { continue };
+        let fx = (p.x - bounds.min_x) / bounds.width();
+        let fy = (p.y - bounds.min_y) / bounds.height();
+        let col = ((fx * n as f64) as i64).clamp(0, n as i64 - 1) as u32;
+        let row = ((fy * n as f64) as i64).clamp(0, n as i64 - 1) as u32;
+        map.entry((col, row)).or_default().push(v.id);
+    }
+    map
+}
+
+impl super::Grounding {
+    /// The pyramid-cell → variable map of this grounding's graph at
+    /// `level` — what `sya-shard`'s partitioner consumes.
+    pub fn pyramid_cell_map(&self, level: u8) -> CellVariableMap {
+        pyramid_cell_map(&self.graph, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_fg::Variable;
+    use sya_geom::Point;
+
+    fn graph_with_points(points: &[(f64, f64)]) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.add_variable(Variable::binary(0, format!("v{i}")).at(Point::new(x, y)));
+        }
+        g
+    }
+
+    #[test]
+    fn quadrants_split_at_level_one() {
+        let g = graph_with_points(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]);
+        let map = pyramid_cell_map(&g, 1);
+        assert_eq!(map.len(), 4);
+        assert_eq!(map[&(0, 0)], vec![0]);
+        assert_eq!(map[&(1, 0)], vec![1]);
+        assert_eq!(map[&(0, 1)], vec![2]);
+        assert_eq!(map[&(1, 1)], vec![3]);
+    }
+
+    #[test]
+    fn level_zero_is_one_cell_and_unlocated_vars_are_absent() {
+        let mut g = graph_with_points(&[(1.0, 2.0), (3.0, 4.0)]);
+        g.add_variable(Variable::binary(0, "floating"));
+        let map = pyramid_cell_map(&g, 0);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&(0, 0)], vec![0, 1]);
+    }
+
+    #[test]
+    fn degenerate_extent_does_not_divide_by_zero() {
+        // All points on one horizontal line: the y extent is zero.
+        let g = graph_with_points(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        let map = pyramid_cell_map(&g, 2);
+        let covered: usize = map.values().map(Vec::len).sum();
+        assert_eq!(covered, 3);
+    }
+}

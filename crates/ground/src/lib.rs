@@ -19,11 +19,13 @@
 //! Section VI-B2: approximating one spatial weighting function with a
 //! ladder of fixed-weight distance-band rules.
 
+pub mod cellmap;
 pub mod grounder;
 pub mod pruning;
 pub mod stepfn;
 pub mod translator;
 
+pub use cellmap::{pyramid_bounds, pyramid_cell_map, CellVariableMap};
 pub use grounder::{GroundConfig, Grounder, Grounding, GroundingStats};
 pub use pruning::{allowed_domain_pairs, build_cooccurrence};
 pub use stepfn::{expand_step_function_rules, StepFunctionSpec};

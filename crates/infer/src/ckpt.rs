@@ -93,6 +93,11 @@ pub enum CheckpointState {
     /// checkpoint at their own barriers, so after an interruption their
     /// epochs may differ — each resumes from its own position.
     Spatial { instances: Vec<ChainState> },
+    /// One shard of a spatially sharded run (`sya-shard`): the shard's
+    /// counts plus a full board snapshot. Shards run in lockstep and
+    /// save into per-shard stores; a manifest beside the stores ties the
+    /// set together.
+    Shard { shard: u64, of: u64, chain: ChainState },
 }
 
 impl CheckpointState {
@@ -104,6 +109,7 @@ impl CheckpointState {
             CheckpointState::Spatial { instances } => {
                 instances.iter().map(|c| c.epoch).min().unwrap_or(0)
             }
+            CheckpointState::Shard { chain, .. } => chain.epoch,
         }
     }
 
@@ -113,6 +119,7 @@ impl CheckpointState {
             CheckpointState::Sequential(_) => "sequential",
             CheckpointState::Parallel(_) => "parallel",
             CheckpointState::Spatial { .. } => "spatial",
+            CheckpointState::Shard { .. } => "shard",
         }
     }
 
@@ -132,6 +139,12 @@ impl CheckpointState {
                     ));
                 }
                 chains.iter().try_for_each(check)
+            }
+            CheckpointState::Shard { shard, of, chain } => {
+                if shard >= of {
+                    return Err(format!("shard index {shard} out of range for {of} shards"));
+                }
+                check(chain)
             }
         }
     }

@@ -33,6 +33,7 @@ pub mod learn;
 pub mod marginals;
 pub mod pyramid;
 pub mod run;
+pub mod shard_sweep;
 pub mod spatial_gibbs;
 pub mod work_model;
 
@@ -50,5 +51,6 @@ pub use learn::{learn_weights, map_assignment, pseudo_log_likelihood, LearnConfi
 pub use marginals::{average_kl_divergence, MarginalCounts};
 pub use pyramid::{CellKey, PyramidIndex};
 pub use run::{InferError, SamplerRun};
+pub use shard_sweep::{init_board, var_epoch_rng, ShardChain, ShardSchedule, SweepPhase};
 pub use spatial_gibbs::{spatial_gibbs, spatial_gibbs_ckpt, spatial_gibbs_with, InferConfig, SweepMode};
 pub use work_model::{epoch_work, EpochWork};

@@ -1,0 +1,492 @@
+//! Shard-aware Spatial Gibbs machinery (the `sya-shard` execution
+//! layer's sampler entry point).
+//!
+//! A sharded run partitions the variables into `N` ownership classes
+//! and runs one [`ShardChain`] per shard, all sharing a lock-free
+//! **board** of current variable states (`Vec<AtomicU32>`). From a
+//! shard's point of view the board holds its *owned* variables plus the
+//! read-only *halo* replicas of every neighbour it conditions on — the
+//! halo-aware conditional simply reads neighbour states through the
+//! board.
+//!
+//! The sweep is organised so that the merged result is **bit-identical
+//! for every shard count**, which is what lets `sya run --shards 4` be
+//! compared against `--shards 1` at machine precision:
+//!
+//! * the epoch is divided into a global *phase schedule*
+//!   ([`ShardSchedule`]) — one phase per `(level, conclique)` of the
+//!   minimum cover, plus one phase for unlocated variables — identical
+//!   for every shard regardless of ownership;
+//! * within a phase each shard samples only the variables it owns,
+//!   *reading* the board but *buffering* its writes; the executor
+//!   publishes all writes at a phase barrier (halo exchange). Every
+//!   conditional therefore sees exactly the state frozen at the start
+//!   of the phase, no matter which shard computes it;
+//! * every draw uses an RNG stream derived from `(seed, epoch,
+//!   variable)`, so the random numbers a variable consumes do not
+//!   depend on which shard owns it or on sweep order within the phase.
+//!
+//! Within a conclique phase, cells share no spatial factor by
+//! construction, so the frozen-board (Jacobi-style) update inside a
+//! phase coincides with the sequential update except across residual
+//! same-conclique *logical* couplings — the same couplings the
+//! non-sharded sampler already races on through relaxed atomics.
+
+use crate::ckpt::ChainState;
+use crate::conclique::min_conclique_cover;
+use crate::gibbs::{sample_conditional, telemetry_indicator};
+use crate::marginals::MarginalCounts;
+use crate::pyramid::PyramidIndex;
+use crate::spatial_gibbs::InferConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, Ordering};
+use sya_fg::{FactorGraph, VarId};
+use sya_obs::ConvergenceSeries;
+
+/// Tag mixed into the per-variable stream that draws initial values, so
+/// the init draw never collides with an epoch stream.
+const INIT_EPOCH_TAG: u64 = u64::MAX;
+
+/// The derived RNG stream for one `(seed, epoch, variable)` draw. Owner
+/// independence of the sharded sweep rests on this: any shard sampling
+/// `v` at `epoch` consumes the same stream.
+#[inline]
+pub fn var_epoch_rng(seed: u64, epoch: u64, v: VarId) -> StdRng {
+    StdRng::seed_from_u64(
+        seed ^ epoch.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            ^ (v as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// The shared assignment board: evidence clamped, free variables at a
+/// per-variable derived draw (identical for every shard count).
+pub fn init_board(graph: &FactorGraph, seed: u64) -> Vec<AtomicU32> {
+    graph
+        .variables()
+        .iter()
+        .map(|v| {
+            AtomicU32::new(match v.evidence {
+                Some(e) => e,
+                None => var_epoch_rng(seed, INIT_EPOCH_TAG, v.id)
+                    .gen_range(0..v.domain.cardinality()),
+            })
+        })
+        .collect()
+}
+
+/// One phase of the global epoch schedule.
+#[derive(Debug, Clone)]
+pub struct SweepPhase {
+    /// Pyramid level, or `None` for the unlocated-variable phase.
+    pub level: Option<u8>,
+    /// Conclique of the minimum cover (`None` for unlocated).
+    pub conclique: Option<u8>,
+    /// Free variables the phase sweeps, in canonical (cell, index)
+    /// order. Every free variable of the graph appears in at least one
+    /// phase.
+    pub vars: Vec<VarId>,
+}
+
+/// The global phase schedule of one epoch — identical for every shard,
+/// so all shards cross the same barriers in the same order.
+#[derive(Debug, Clone)]
+pub struct ShardSchedule {
+    pub phases: Vec<SweepPhase>,
+}
+
+impl ShardSchedule {
+    /// Builds the schedule the non-sharded sampler's sweep implies:
+    /// levels serially, concliques of the minimum cover serially, then
+    /// the unlocated variables.
+    pub fn new(graph: &FactorGraph, pyramid: &PyramidIndex, cfg: &InferConfig) -> Self {
+        let mut phases = Vec::new();
+        for level in cfg.active_sweep_levels(pyramid.levels()) {
+            let cover = min_conclique_cover(&pyramid.sampling_cells(level));
+            for (conclique, cells) in cover {
+                let vars: Vec<VarId> = cells
+                    .iter()
+                    .flat_map(|c| pyramid.atoms_in(c).iter().copied())
+                    .filter(|&v| !graph.variable(v).is_evidence())
+                    .collect();
+                if !vars.is_empty() {
+                    phases.push(SweepPhase {
+                        level: Some(level),
+                        conclique: Some(conclique.0),
+                        vars,
+                    });
+                }
+            }
+        }
+        let unlocated: Vec<VarId> = graph
+            .variables()
+            .iter()
+            .filter(|v| v.location.is_none() && !v.is_evidence())
+            .map(|v| v.id)
+            .collect();
+        if !unlocated.is_empty() {
+            phases.push(SweepPhase { level: None, conclique: None, vars: unlocated });
+        }
+        ShardSchedule { phases }
+    }
+
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+/// One shard's sampler state: its slice of each phase, its counts, and
+/// its convergence trajectory over owned variables.
+pub struct ShardChain<'g> {
+    graph: &'g FactorGraph,
+    seed: u64,
+    /// All variables this shard owns (evidence included), sorted.
+    owned: Vec<VarId>,
+    /// Owned free variables per schedule phase, in schedule order.
+    phase_vars: Vec<Vec<VarId>>,
+    /// Owned evidence variables with their clamped values.
+    evidence_owned: Vec<(VarId, u32)>,
+    /// Buffered writes of the current phase, published at the barrier.
+    writes: Vec<(VarId, u32)>,
+    counts: MarginalCounts,
+    recorded: bool,
+    // Convergence tracking over owned variables.
+    ones: Vec<u64>,
+    prev_p: Vec<f64>,
+    epochs_seen: u64,
+    series: ConvergenceSeries,
+    epoch_flips: u64,
+    epoch_samples: u64,
+}
+
+impl<'g> ShardChain<'g> {
+    /// `owned` must be the shard's full ownership class (evidence
+    /// included); it is sorted and deduplicated here.
+    pub fn new(
+        graph: &'g FactorGraph,
+        schedule: &ShardSchedule,
+        cfg: &InferConfig,
+        mut owned: Vec<VarId>,
+    ) -> Self {
+        owned.sort_unstable();
+        owned.dedup();
+        let mut is_owned = vec![false; graph.num_variables()];
+        for &v in &owned {
+            is_owned[v as usize] = true;
+        }
+        let phase_vars: Vec<Vec<VarId>> = schedule
+            .phases
+            .iter()
+            .map(|p| p.vars.iter().copied().filter(|&v| is_owned[v as usize]).collect())
+            .collect();
+        let evidence_owned: Vec<(VarId, u32)> = owned
+            .iter()
+            .filter_map(|&v| graph.variable(v).evidence.map(|e| (v, e)))
+            .collect();
+        let n_owned = owned.len();
+        ShardChain {
+            graph,
+            seed: cfg.seed,
+            owned,
+            phase_vars,
+            evidence_owned,
+            writes: Vec::new(),
+            counts: MarginalCounts::new(graph),
+            recorded: false,
+            ones: vec![0; n_owned],
+            prev_p: vec![0.0; n_owned],
+            epochs_seen: 0,
+            series: ConvergenceSeries::default(),
+            epoch_flips: 0,
+            epoch_samples: 0,
+        }
+    }
+
+    pub fn owned(&self) -> &[VarId] {
+        &self.owned
+    }
+
+    pub fn owned_vars(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Free variables this shard samples in `phase`.
+    pub fn phase_len(&self, phase: usize) -> usize {
+        self.phase_vars.get(phase).map_or(0, Vec::len)
+    }
+
+    /// Samples the shard's variables of one phase against the frozen
+    /// board, buffering the writes. The executor must call
+    /// [`publish`](Self::publish) after the phase barrier.
+    pub fn sample_phase(
+        &mut self,
+        board: &[AtomicU32],
+        schedule: &ShardSchedule,
+        phase: usize,
+        epoch: usize,
+        record: bool,
+    ) {
+        let graph = self.graph;
+        let src = |u: VarId| board[u as usize].load(Ordering::Relaxed);
+        let conclique = schedule.phases[phase].conclique;
+        for &v in &self.phase_vars[phase] {
+            let mut rng = var_epoch_rng(self.seed, epoch as u64, v);
+            let x = sample_conditional(graph, &src, v, &mut rng);
+            self.writes.push((v, x));
+            self.epoch_samples += 1;
+            if record {
+                self.counts.record(v, x);
+            }
+        }
+        if let Some(c) = conclique {
+            if let Some(slot) = self.series.conclique_samples.get_mut(c as usize) {
+                *slot += self.writes.len() as u64;
+            }
+        }
+    }
+
+    /// Publishes the buffered phase writes to the board (the halo
+    /// exchange: after the barrier every shard sees these values).
+    pub fn publish(&mut self, board: &[AtomicU32]) {
+        for (v, x) in self.writes.drain(..) {
+            let old = board[v as usize].load(Ordering::Relaxed);
+            if x != old {
+                self.epoch_flips += 1;
+            }
+            board[v as usize].store(x, Ordering::Relaxed);
+        }
+    }
+
+    /// Closes an epoch: records owned evidence rows, folds the board
+    /// into the shard's running marginals, and returns the epoch's
+    /// `max |p_t − p_{t−1}|` over owned variables (the retirement
+    /// signal).
+    pub fn end_epoch(&mut self, board: &[AtomicU32], record: bool) -> f64 {
+        if record {
+            self.recorded = true;
+            for &(v, e) in &self.evidence_owned {
+                self.counts.record(v, e);
+            }
+        }
+        self.epochs_seen += 1;
+        self.series.epochs = self.epochs_seen as usize;
+        self.series.flips_total += self.epoch_flips;
+        self.series.samples_total += self.epoch_samples;
+        self.series
+            .flip_rate
+            .push(self.epoch_flips as f64 / self.epoch_samples.max(1) as f64);
+        self.epoch_flips = 0;
+        self.epoch_samples = 0;
+        let t = self.epochs_seen as f64;
+        let mut delta: f64 = 0.0;
+        for (i, &v) in self.owned.iter().enumerate() {
+            if telemetry_indicator(board[v as usize].load(Ordering::Relaxed)) {
+                self.ones[i] += 1;
+            }
+            let p = self.ones[i] as f64 / t;
+            delta = delta.max((p - self.prev_p[i]).abs());
+            self.prev_p[i] = p;
+        }
+        self.series.marginal_delta.push(delta);
+        delta
+    }
+
+    /// Records a pseudo-log-likelihood observation (the executor samples
+    /// it on one shard over the full board).
+    pub fn record_pll(&mut self, epoch: usize, value: f64) {
+        self.series.pll.push((epoch as f64, value));
+    }
+
+    /// Packages the shard's durable state at the barrier entering
+    /// `next_epoch`. The assignment is the full board snapshot (shards
+    /// run in lockstep, so all shards of a set persist the same board);
+    /// the RNG words are placeholders — every stream is derived from
+    /// `(seed, epoch, variable)`.
+    pub fn chain_state(&self, next_epoch: usize, board: &[AtomicU32]) -> ChainState {
+        ChainState {
+            epoch: next_epoch as u64,
+            assignment: board.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            rng: vec![self.seed, 0, 0, 0],
+            counts: self.counts.to_rows(),
+            recorded: self.recorded,
+        }
+    }
+
+    /// Restores counts and the recorded flag from a resumed chain (the
+    /// caller restores the board and epoch).
+    pub fn resume_counts(&mut self, counts: MarginalCounts, recorded: bool) {
+        self.counts = counts;
+        self.recorded = recorded;
+    }
+
+    /// Whether any post-burn-in epoch recorded samples.
+    pub fn has_recorded(&self) -> bool {
+        self.recorded
+    }
+
+    /// Fallback for runs stopped before burn-in: record one snapshot of
+    /// the board restricted to owned variables.
+    pub fn record_board_snapshot(&mut self, board: &[AtomicU32]) {
+        for &v in &self.owned {
+            let x = match self.graph.variable(v).evidence {
+                Some(e) => e,
+                None => board[v as usize].load(Ordering::Relaxed),
+            };
+            self.counts.record(v, x);
+        }
+    }
+
+    /// Consumes the chain into its counts and convergence series.
+    pub fn finish(self) -> (MarginalCounts, ConvergenceSeries) {
+        (self.counts, self.series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sya_fg::{SpatialFactor, Variable};
+    use sya_geom::Point;
+
+    fn grid(n: usize) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        for r in 0..n {
+            for c in 0..n {
+                let mut v = Variable::binary(0, format!("v{r}_{c}"))
+                    .at(Point::new(c as f64 + 0.5, r as f64 + 0.5));
+                if r == 0 && c == 0 {
+                    v.evidence = Some(1);
+                }
+                g.add_variable(v);
+            }
+        }
+        for r in 0..n {
+            for c in 0..n {
+                let i = (r * n + c) as VarId;
+                if c + 1 < n {
+                    g.add_spatial_factor(SpatialFactor::binary(i, i + 1, 0.8));
+                }
+                if r + 1 < n {
+                    g.add_spatial_factor(SpatialFactor::binary(i, i + n as VarId, 0.8));
+                }
+            }
+        }
+        g
+    }
+
+    fn cfg() -> InferConfig {
+        InferConfig {
+            levels: 2,
+            locality_level: 2,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn schedule_covers_every_free_variable_exactly_once_leaf_mode() {
+        let mut g = grid(4);
+        g.add_variable(Variable::binary(0, "floating"));
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let schedule = ShardSchedule::new(&g, &pyramid, &cfg());
+        let mut seen: Vec<VarId> = schedule.phases.iter().flat_map(|p| p.vars.clone()).collect();
+        seen.sort_unstable();
+        let free: Vec<VarId> = g.query_variables();
+        assert_eq!(seen, free);
+        // The unlocated phase is last and has no conclique.
+        let last = schedule.phases.last().unwrap();
+        assert_eq!(last.level, None);
+        assert!(last.vars.contains(&16));
+    }
+
+    #[test]
+    fn init_board_is_seed_deterministic_and_clamps_evidence() {
+        let g = grid(3);
+        let a = init_board(&g, 7);
+        let b = init_board(&g, 7);
+        let other = init_board(&g, 8);
+        assert_eq!(a[0].load(Ordering::Relaxed), 1, "evidence clamped");
+        let av: Vec<u32> = a.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        let bv: Vec<u32> = b.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        let ov: Vec<u32> = other.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, ov, "different seeds draw different boards");
+    }
+
+    /// The parity property the sharded executor builds on: splitting the
+    /// ownership across chains changes nothing about the sampled values.
+    #[test]
+    fn two_chain_split_reproduces_single_chain_exactly() {
+        let g = grid(4);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = cfg();
+        let schedule = ShardSchedule::new(&g, &pyramid, &cfg);
+        let epochs = 40;
+        let burn = 5;
+
+        let run = |ownerships: Vec<Vec<VarId>>| -> MarginalCounts {
+            let board = init_board(&g, cfg.seed);
+            let mut chains: Vec<ShardChain> = ownerships
+                .into_iter()
+                .map(|o| ShardChain::new(&g, &schedule, &cfg, o))
+                .collect();
+            for epoch in 0..epochs {
+                let record = epoch >= burn;
+                for phase in 0..schedule.len() {
+                    for chain in &mut chains {
+                        chain.sample_phase(&board, &schedule, phase, epoch, record);
+                    }
+                    for chain in &mut chains {
+                        chain.publish(&board);
+                    }
+                }
+                for chain in &mut chains {
+                    chain.end_epoch(&board, record);
+                }
+            }
+            let mut total = MarginalCounts::new(&g);
+            for chain in chains {
+                total.merge(&chain.finish().0);
+            }
+            total
+        };
+
+        let all: Vec<VarId> = (0..g.num_variables() as VarId).collect();
+        let single = run(vec![all.clone()]);
+        let (left, right) = all.split_at(7);
+        let split = run(vec![left.to_vec(), right.to_vec()]);
+        assert_eq!(single, split);
+    }
+
+    #[test]
+    fn retirement_signal_shrinks_over_epochs() {
+        let g = grid(3);
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = cfg();
+        let schedule = ShardSchedule::new(&g, &pyramid, &cfg);
+        let board = init_board(&g, cfg.seed);
+        let all: Vec<VarId> = (0..g.num_variables() as VarId).collect();
+        let mut chain = ShardChain::new(&g, &schedule, &cfg, all);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..100 {
+            for phase in 0..schedule.len() {
+                chain.sample_phase(&board, &schedule, phase, epoch, true);
+                chain.publish(&board);
+            }
+            let d = chain.end_epoch(&board, true);
+            if epoch == 0 {
+                first = d;
+            }
+            last = d;
+        }
+        assert!(last < first, "running-marginal delta must shrink: {first} -> {last}");
+        let (_, series) = chain.finish();
+        assert_eq!(series.epochs, 100);
+        assert_eq!(series.marginal_delta.len(), 100);
+    }
+}

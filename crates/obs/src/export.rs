@@ -139,6 +139,24 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and line feed must be written as `\\`,
+/// `\"`, and `\n` respectively. Without this, a label value containing
+/// any of them splits the sample line and the whole scrape fails to
+/// parse.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render the snapshot in the Prometheus text exposition format.
 /// Series are exported as a gauge holding their last value.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
@@ -159,7 +177,8 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
         let mut cumulative = 0u64;
         for (bound, count) in h.bounds.iter().zip(&h.buckets) {
             cumulative += count;
-            let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let le = escape_label_value(&bound.to_string());
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
         }
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", h.sum);
@@ -344,6 +363,20 @@ mod tests {
         let mut s = String::new();
         escape_json("a\"b\\c\nd\u{1}", &mut s);
         assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped_per_exposition_format() {
+        // Backslash, quote, and newline are the three characters the
+        // exposition format requires escaping inside a label value; raw,
+        // any of them corrupts the sample line and fails the scrape.
+        assert_eq!(
+            escape_label_value("quantile=\"0.99\"\npath=C:\\tmp"),
+            "quantile=\\\"0.99\\\"\\npath=C:\\\\tmp"
+        );
+        // Ordinary numeric bounds (the `le` label) pass through intact.
+        assert_eq!(escape_label_value("0.25"), "0.25");
+        assert_eq!(escape_label_value("+Inf"), "+Inf");
     }
 
     #[test]

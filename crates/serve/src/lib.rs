@@ -23,10 +23,12 @@
 //! which `/metrics` renders.
 
 mod http;
+mod router;
 mod server;
 mod state;
 
 pub use http::{json_string, read_request, HttpError, Request, Response};
+pub use router::{ServeState, ShardRouter};
 pub use server::SyaServer;
 pub use state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer, ServingKb};
 

@@ -1,0 +1,264 @@
+//! The shard router: serving a spatially sharded knowledge base
+//! (DESIGN.md §12).
+//!
+//! The router cuts the KB with the same partitioner the batch executor
+//! uses ([`sya_shard::ShardPlan`]) and gives every shard its own
+//! [`ServingKb`] replica — its own `RwLock`, its own epoch counter, its
+//! own serve-time checkpoint store (`serve-shard-NN/` under the
+//! checkpoint dir). Requests route by spatial key: the atom's owning
+//! shard (from the partitioner's owner map) answers its marginals and
+//! absorbs its evidence. A `/v1/evidence` POST therefore write-locks and
+//! incrementally re-infers *one* shard while every other shard keeps
+//! serving reads — the scaling property the sharded serve path exists
+//! for.
+//!
+//! Consistency: each shard is the single writer for the atoms it owns,
+//! so a query always reflects every update to the atom it asks about.
+//! Foreign replicas keep the constructed (pre-update) values of atoms
+//! they do not own as their boundary conditioning — the serve-time
+//! equivalent of the batch executor's halo staleness between epoch
+//! barriers, and the price of not write-locking every shard per update.
+
+use crate::state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer, ServingKb};
+use crate::ServeError;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+use sya_core::{KnowledgeBase, SyaSession};
+use sya_obs::Obs;
+use sya_store::Value;
+
+/// Routes requests to per-shard [`ServingKb`] replicas by spatial key.
+pub struct ShardRouter {
+    shards: Vec<ServingKb>,
+    /// Variable → owning shard, from the partitioner.
+    owner: Vec<u32>,
+    /// `(relation, id column)` → variable: the routing key every
+    /// endpoint uses, built once at startup.
+    atoms: HashMap<(String, i64), u32>,
+    obs: Obs,
+}
+
+impl ShardRouter {
+    /// Cuts the KB per its [`sya_core::ShardingConfig`] and builds one
+    /// serving replica per shard. Requires the spatial sampler (each
+    /// replica needs the pyramid index for incremental re-inference).
+    pub fn new(session: SyaSession, kb: KnowledgeBase, obs: Obs) -> Result<Self, ServeError> {
+        let sharding = kb.config.sharding;
+        let shards = sharding.shards.max(1);
+        let level = sharding.partition_level.min(12);
+        let cells = sya_ground::pyramid_cell_map(&kb.grounding.graph, level);
+        let plan = sya_shard::ShardPlan::build(&kb.grounding.graph, &cells, shards, level);
+
+        let mut atoms = HashMap::new();
+        for (v, (relation, values)) in kb.grounding.atom_meta.iter().enumerate() {
+            if let Some(id) = values.first().and_then(Value::as_int) {
+                atoms.insert((relation.clone(), id), v as u32);
+            }
+        }
+
+        let mut replicas = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let mut shard_kb = kb.clone();
+            if let Some(dir) = shard_kb.config.checkpoint.dir.take() {
+                shard_kb.config.checkpoint.dir = Some(dir.join(format!("serve-shard-{s:02}")));
+            }
+            replicas.push(ServingKb::new(session.clone(), shard_kb, obs.clone())?);
+        }
+
+        obs.gauge_set("serve.shards", shards as f64);
+        for s in plan.summaries() {
+            obs.gauge_set(&format!("serve.shard.{}.vars", s.shard), s.owned_vars as f64);
+            obs.gauge_set(
+                &format!("serve.shard.{}.boundary_factors", s.shard),
+                s.boundary_factors as f64,
+            );
+        }
+        Ok(ShardRouter { shards: replicas, owner: plan.owner, atoms, obs })
+    }
+
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `(relation, id)`, or `None` for unknown atoms.
+    pub fn shard_of(&self, relation: &str, id: i64) -> Option<usize> {
+        let &v = self.atoms.get(&(relation.to_owned(), id))?;
+        Some(self.owner[v as usize] as usize)
+    }
+
+    /// Global epoch: the sum of per-shard epochs, so every applied
+    /// evidence batch moves it by at least one.
+    pub fn epoch(&self) -> u64 {
+        self.shards.iter().map(ServingKb::epoch).sum()
+    }
+
+    /// Per-shard epochs, in shard order.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(ServingKb::epoch).collect()
+    }
+
+    /// Point marginal, answered by the owning shard and tagged with it.
+    pub fn marginal(&self, relation: &str, id: i64) -> Option<MarginalAnswer> {
+        let shard = self.shard_of(relation, id)?;
+        let mut m = self.shards[shard].marginal(relation, id)?;
+        m.shard = Some(shard as u32);
+        m.epoch = self.epoch();
+        Some(m)
+    }
+
+    /// Applies an evidence batch: validates the whole batch up front
+    /// (against shard 0's replica — every replica carries the full atom
+    /// catalogue), then groups the rows by owning shard and lets each
+    /// owner run its conclique-restricted incremental re-inference
+    /// independently. Shards that own no row of the batch are never
+    /// locked.
+    pub fn apply_evidence(&self, rows: &[EvidenceUpdate]) -> Result<EvidenceOutcome, ServeError> {
+        self.shards[0].validate(rows)?;
+        let mut by_shard: Vec<Vec<EvidenceUpdate>> = vec![Vec::new(); self.shards.len()];
+        for row in rows {
+            // validate() guarantees the atom exists.
+            let shard = self.shard_of(&row.relation, row.id).expect("validated atom");
+            by_shard[shard].push(row.clone());
+        }
+        let mut resampled = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut touched = 0u32;
+        for (shard, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let outcome = self.shards[shard].apply_evidence(group)?;
+            resampled += outcome.resampled;
+            elapsed += outcome.elapsed;
+            touched += 1;
+            self.obs
+                .gauge_set(&format!("serve.shard.{shard}.epoch"), outcome.epoch as f64);
+        }
+        self.obs.counter_add("serve.shards_touched_total", u64::from(touched));
+        Ok(EvidenceOutcome { epoch: self.epoch(), resampled, elapsed })
+    }
+
+    /// Read access to a full-KB replica (shard 0): graph shape and
+    /// outcome are identical across replicas; only owned-atom marginals
+    /// diverge after updates, and those are read via [`marginal`].
+    ///
+    /// [`marginal`]: Self::marginal
+    pub fn with_kb<T>(&self, f: impl FnOnce(&KnowledgeBase) -> T) -> T {
+        self.shards[0].with_kb(f)
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.shards[0].uptime()
+    }
+
+    /// Age of the newest serve-time checkpoint across shards.
+    pub fn checkpoint_age(&self) -> Option<Duration> {
+        self.shards.iter().filter_map(ServingKb::checkpoint_age).min()
+    }
+
+    /// Checkpoints every shard whose epoch moved since its last save;
+    /// returns the last written path, `None` when nothing needed saving.
+    pub fn checkpoint_now(&self) -> Result<Option<PathBuf>, ServeError> {
+        let mut last = None;
+        for shard in &self.shards {
+            if let Some(path) = shard.checkpoint_now()? {
+                last = Some(path);
+            }
+        }
+        Ok(last)
+    }
+}
+
+/// What the server actually serves: a single live KB, or the shard
+/// router in front of per-shard replicas. Every endpoint goes through
+/// this enum, so `sya serve` and `sya serve --shards N` expose the
+/// exact same HTTP surface.
+pub enum ServeState {
+    /// Boxed: a `ServingKb` is an order of magnitude larger than the
+    /// router handle, and the state is built once per server.
+    Single(Box<ServingKb>),
+    Sharded(ShardRouter),
+}
+
+impl From<ServingKb> for ServeState {
+    fn from(kb: ServingKb) -> Self {
+        ServeState::Single(Box::new(kb))
+    }
+}
+
+impl From<ShardRouter> for ServeState {
+    fn from(router: ShardRouter) -> Self {
+        ServeState::Sharded(router)
+    }
+}
+
+impl ServeState {
+    pub fn obs(&self) -> &Obs {
+        match self {
+            ServeState::Single(kb) => kb.obs(),
+            ServeState::Sharded(r) => r.obs(),
+        }
+    }
+
+    /// Shards behind this state: 1 for the single path.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ServeState::Single(_) => 1,
+            ServeState::Sharded(r) => r.shard_count(),
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        match self {
+            ServeState::Single(kb) => kb.epoch(),
+            ServeState::Sharded(r) => r.epoch(),
+        }
+    }
+
+    pub fn marginal(&self, relation: &str, id: i64) -> Option<MarginalAnswer> {
+        match self {
+            ServeState::Single(kb) => kb.marginal(relation, id),
+            ServeState::Sharded(r) => r.marginal(relation, id),
+        }
+    }
+
+    pub fn apply_evidence(&self, rows: &[EvidenceUpdate]) -> Result<EvidenceOutcome, ServeError> {
+        match self {
+            ServeState::Single(kb) => kb.apply_evidence(rows),
+            ServeState::Sharded(r) => r.apply_evidence(rows),
+        }
+    }
+
+    pub fn with_kb<T>(&self, f: impl FnOnce(&KnowledgeBase) -> T) -> T {
+        match self {
+            ServeState::Single(kb) => kb.with_kb(f),
+            ServeState::Sharded(r) => r.with_kb(f),
+        }
+    }
+
+    pub fn uptime(&self) -> Duration {
+        match self {
+            ServeState::Single(kb) => kb.uptime(),
+            ServeState::Sharded(r) => r.uptime(),
+        }
+    }
+
+    pub fn checkpoint_age(&self) -> Option<Duration> {
+        match self {
+            ServeState::Single(kb) => kb.checkpoint_age(),
+            ServeState::Sharded(r) => r.checkpoint_age(),
+        }
+    }
+
+    pub fn checkpoint_now(&self) -> Result<Option<PathBuf>, ServeError> {
+        match self {
+            ServeState::Single(kb) => kb.checkpoint_now(),
+            ServeState::Sharded(r) => r.checkpoint_now(),
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //! deadline on shutdown so a leaked worker is an error, not a mystery.
 
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::state::{EvidenceUpdate, ServingKb};
+use crate::router::ServeState;
+use crate::state::EvidenceUpdate;
 use crate::{ServeConfig, ServeError};
 use serde_json::Value as Json;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,28 +26,31 @@ pub struct SyaServer {
     addr: SocketAddr,
     token: CancellationToken,
     threads: Vec<(String, JoinHandle<()>)>,
-    state: Arc<ServingKb>,
+    state: Arc<ServeState>,
 }
 
 impl SyaServer {
     /// Binds `cfg.listen` (port 0 picks an ephemeral port) and starts
     /// the acceptor, `cfg.workers` request workers, and — when
     /// `cfg.checkpoint_refresh` is set — the background checkpointer.
-    pub fn start(state: ServingKb, cfg: ServeConfig) -> Result<SyaServer, ServeError> {
+    pub fn start(
+        state: impl Into<ServeState>,
+        cfg: ServeConfig,
+    ) -> Result<SyaServer, ServeError> {
         Self::start_with_token(state, cfg, CancellationToken::new())
     }
 
     /// [`start`](Self::start) under a caller-owned token, so embedders
     /// (tests, the CLI's signal handler) can request shutdown.
     pub fn start_with_token(
-        state: ServingKb,
+        state: impl Into<ServeState>,
         cfg: ServeConfig,
         token: CancellationToken,
     ) -> Result<SyaServer, ServeError> {
         let listener = TcpListener::bind(&cfg.listen).map_err(ServeError::Bind)?;
         listener.set_nonblocking(true).map_err(ServeError::Bind)?;
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
-        let state = Arc::new(state);
+        let state = Arc::new(state.into());
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let mut threads = Vec::new();
@@ -139,7 +143,7 @@ impl SyaServer {
         self.token.clone()
     }
 
-    pub fn state(&self) -> &Arc<ServingKb> {
+    pub fn state(&self) -> &Arc<ServeState> {
         &self.state
     }
 
@@ -167,7 +171,7 @@ impl SyaServer {
 }
 
 /// Serves one connection: one request, one response, close.
-fn handle_connection(state: &Arc<ServingKb>, cfg: &ServeConfig, mut stream: TcpStream) {
+fn handle_connection(state: &Arc<ServeState>, cfg: &ServeConfig, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(cfg.request_timeout));
     let _ = stream.set_write_timeout(Some(cfg.request_timeout));
     let started = Instant::now();
@@ -221,7 +225,7 @@ fn endpoint_of(req: &Request) -> &'static str {
     }
 }
 
-fn route(state: &Arc<ServingKb>, ctx: &ExecContext, req: &Request) -> Response {
+fn route(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response {
     if let Some(outcome) = ctx.interrupted() {
         return Response::error(503, &format!("request aborted: {outcome}"));
     }
@@ -244,7 +248,7 @@ fn route(state: &Arc<ServingKb>, ctx: &ExecContext, req: &Request) -> Response {
     }
 }
 
-fn healthz(state: &Arc<ServingKb>) -> Response {
+fn healthz(state: &Arc<ServeState>) -> Response {
     let (variables, outcome) = state.with_kb(|kb| {
         (kb.grounding.graph.num_variables(), kb.outcome.to_string())
     });
@@ -256,10 +260,11 @@ fn healthz(state: &Arc<ServingKb>) -> Response {
         200,
         format!(
             "{{\"status\":\"ok\",\"epoch\":{},\"variables\":{},\"outcome\":{},\
-             \"uptime_seconds\":{:.3},\"checkpoint_age_seconds\":{}}}",
+             \"shards\":{},\"uptime_seconds\":{:.3},\"checkpoint_age_seconds\":{}}}",
             state.epoch(),
             variables,
             crate::http::json_string(&outcome),
+            state.shard_count(),
             state.uptime().as_secs_f64(),
             age,
         ),
@@ -272,18 +277,24 @@ fn marginal_json(m: &crate::state::MarginalAnswer) -> String {
         Some(e) => e.to_string(),
         None => "null".to_owned(),
     };
+    let shard = match m.shard {
+        Some(s) => s.to_string(),
+        None => "null".to_owned(),
+    };
     format!(
-        "{{\"relation\":{},\"id\":{},\"score\":{:.6},\"evidence\":{},\"epoch\":{}}}",
+        "{{\"relation\":{},\"id\":{},\"score\":{:.6},\"evidence\":{},\"epoch\":{},\
+         \"shard\":{}}}",
         crate::http::json_string(&m.relation),
         m.id,
         m.score,
         evidence,
         m.epoch,
+        shard,
     )
 }
 
 /// `GET /v1/marginal/{relation}?args=ID` (also accepts `id=ID`).
-fn marginal(state: &Arc<ServingKb>, relation: &str, req: &Request) -> Response {
+fn marginal(state: &Arc<ServeState>, relation: &str, req: &Request) -> Response {
     let Some(raw) = req.query_value("args").or_else(|| req.query_value("id")) else {
         return Response::error(400, "missing ?args=<id> (the atom's id column)");
     };
@@ -298,7 +309,7 @@ fn marginal(state: &Arc<ServingKb>, relation: &str, req: &Request) -> Response {
 
 /// `POST /v1/query` — batch marginal lookup. Body:
 /// `{"queries": [{"relation": "IsSafe", "id": 7}, ...]}`.
-fn query(state: &Arc<ServingKb>, ctx: &ExecContext, req: &Request) -> Response {
+fn query(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response {
     let parsed: Json = match serde_json::from_slice(&req.body) {
         Ok(v) => v,
         Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
@@ -335,7 +346,7 @@ fn query(state: &Arc<ServingKb>, ctx: &ExecContext, req: &Request) -> Response {
 /// `POST /v1/evidence` — append evidence rows. Body:
 /// `{"rows": [{"relation": "IsSafe", "id": 7, "value": 1}, ...]}`;
 /// `"value": null` retracts the observation.
-fn evidence(state: &Arc<ServingKb>, req: &Request) -> Response {
+fn evidence(state: &Arc<ServeState>, req: &Request) -> Response {
     let parsed: Json = match serde_json::from_slice(&req.body) {
         Ok(v) => v,
         Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),

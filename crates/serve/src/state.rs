@@ -46,6 +46,8 @@ pub struct MarginalAnswer {
     pub evidence: Option<u32>,
     /// KB epoch the score was read at.
     pub epoch: u64,
+    /// The shard that answered, when serving through the shard router.
+    pub shard: Option<u32>,
 }
 
 /// The serving state shared by all worker threads.
@@ -123,6 +125,7 @@ impl ServingKb {
             score,
             evidence,
             epoch: self.epoch(),
+            shard: None,
         })
     }
 
@@ -131,7 +134,10 @@ impl ServingKb {
     /// relation must be a declared *variable* relation, the value must
     /// fit its domain, each `(relation, id)` may appear once per batch,
     /// and the atom must exist in the grounded KB.
-    fn validate(&self, rows: &[EvidenceUpdate]) -> Result<Vec<(u32, Option<u32>)>, ServeError> {
+    pub(crate) fn validate(
+        &self,
+        rows: &[EvidenceUpdate],
+    ) -> Result<Vec<(u32, Option<u32>)>, ServeError> {
         if rows.is_empty() {
             return Err(ServeError::BadEvidence("empty evidence batch".into()));
         }

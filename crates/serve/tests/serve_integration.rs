@@ -10,7 +10,7 @@ use sya_bench::http::{http_get, http_post_json};
 use sya_core::{KnowledgeBase, SyaConfig, SyaSession};
 use sya_data::{gwdb_dataset, Dataset, GwdbConfig};
 use sya_obs::Obs;
-use sya_serve::{ServeConfig, ServingKb, SyaServer};
+use sya_serve::{ServeConfig, ServingKb, ShardRouter, SyaServer};
 
 fn dataset() -> Dataset {
     gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() })
@@ -166,6 +166,65 @@ fn rejects_malformed_requests_with_typed_statuses() {
     }
     assert_eq!(get_ok(&addr, "/healthz")["epoch"].as_u64(), Some(0));
 
+    server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
+}
+
+#[test]
+fn shard_router_routes_by_owner_and_updates_one_shard_only() {
+    let dataset = dataset();
+    let cfg = config().with_shards(2).with_partition_level(3);
+    let (session, kb) = build(&dataset, cfg);
+    let router = ShardRouter::new(session, kb, Obs::enabled()).expect("router builds");
+    assert_eq!(router.shard_count(), 2);
+
+    // Find query atoms owned by different shards.
+    let ids = dataset.query_ids();
+    let owned_by = |shard: usize| {
+        ids.iter()
+            .copied()
+            .find(|&id| router.shard_of("IsSafe", id) == Some(shard))
+            .expect("both shards own query atoms")
+    };
+    let (a, b) = (owned_by(0), owned_by(1));
+
+    // Marginals are tagged with the answering shard.
+    assert_eq!(router.marginal("IsSafe", a).unwrap().shard, Some(0));
+    assert_eq!(router.marginal("IsSafe", b).unwrap().shard, Some(1));
+
+    // Evidence for shard 0's atom touches shard 0 only.
+    let outcome = router
+        .apply_evidence(&[sya_serve::EvidenceUpdate {
+            relation: "IsSafe".into(),
+            id: a,
+            value: Some(0),
+        }])
+        .expect("evidence applies");
+    assert!(outcome.resampled > 0);
+    assert_eq!(router.shard_epochs(), vec![1, 0], "only the owner re-infers");
+    assert_eq!(router.epoch(), 1);
+    // The owner serves the update; the other shard is untouched.
+    assert_eq!(router.marginal("IsSafe", a).unwrap().evidence, Some(0));
+    assert_eq!(router.marginal("IsSafe", b).unwrap().evidence, None);
+
+    // The same router behind the HTTP surface: healthz reports the
+    // shard count, marginal answers carry the shard tag.
+    let server = SyaServer::start(
+        router,
+        ServeConfig { listen: "127.0.0.1:0".into(), workers: 2, ..ServeConfig::default() },
+    )
+    .expect("server starts on the router");
+    let addr = server.local_addr().to_string();
+    let health = get_ok(&addr, "/healthz");
+    assert_eq!(health["shards"].as_u64(), Some(2));
+    assert_eq!(health["epoch"].as_u64(), Some(1));
+    let m = get_ok(&addr, &format!("/v1/marginal/IsSafe?args={b}"));
+    assert_eq!(m["shard"].as_u64(), Some(1));
+    let ev = post_ok(
+        &addr,
+        "/v1/evidence",
+        &format!("{{\"rows\":[{{\"relation\":\"IsSafe\",\"id\":{b},\"value\":1}}]}}"),
+    );
+    assert_eq!(ev["epoch"].as_u64(), Some(2), "{ev}");
     server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
 }
 

@@ -33,6 +33,11 @@
 //!                             are skipped for older good ones
 //!   --workers N               cell-worker threads per conclique group
 //!                             (1 makes the sya engine deterministic)
+//!   --shards N                cut the KB into N spatial shards, one
+//!                             sampler thread each (sya engine only);
+//!                             merged scores match --shards 1 exactly
+//!   --partition-level L       pyramid level of the shard cut
+//!                             [default: 4]
 //!   --max-factors N           abort grounding past N ground factors
 //!   --max-vars N              abort grounding past N ground variables
 //!   --max-memory-mb N         abort grounding past N MiB (estimated)
@@ -127,6 +132,8 @@ struct Options {
     checkpoint_every: usize,
     resume: bool,
     workers: Option<usize>,
+    shards: usize,
+    partition_level: Option<u8>,
     listen: String,
     serve_workers: usize,
     request_timeout_ms: u64,
@@ -159,6 +166,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         checkpoint_every: 25,
         resume: false,
         workers: None,
+        shards: 0,
+        partition_level: None,
         listen: "127.0.0.1:7171".to_owned(),
         serve_workers: 4,
         request_timeout_ms: 10_000,
@@ -297,6 +306,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     value("--refresh-checkpoint-every")?
                         .parse()
                         .map_err(|e| format!("bad --refresh-checkpoint-every: {e}"))?,
+                )
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?
+            }
+            "--partition-level" => {
+                opts.partition_level = Some(
+                    value("--partition-level")?
+                        .parse()
+                        .map_err(|e| format!("bad --partition-level: {e}"))?,
                 )
             }
             "--workers" => {
@@ -559,6 +580,12 @@ fn config_from_opts(opts: &Options) -> SyaConfig {
             .with_checkpoints(dir.as_str(), opts.checkpoint_every)
             .with_resume(opts.resume);
     }
+    if opts.shards > 0 {
+        config = config.with_shards(opts.shards);
+    }
+    if let Some(level) = opts.partition_level {
+        config = config.with_partition_level(level);
+    }
     config
 }
 
@@ -714,7 +741,17 @@ fn cmd_serve(
         diag.info(&format!("run outcome: {}", kb.outcome))?;
     }
 
-    let state = sya_serve::ServingKb::new(session, kb, obs).map_err(|e| e.to_string())?;
+    let sharded = session.config().sharding.is_enabled();
+    let state: sya_serve::ServeState = if sharded {
+        diag.info(&format!(
+            "routing across {} spatial shards (partition level {})",
+            session.config().sharding.shards,
+            session.config().sharding.partition_level
+        ))?;
+        sya_serve::ShardRouter::new(session, kb, obs).map_err(|e| e.to_string())?.into()
+    } else {
+        sya_serve::ServingKb::new(session, kb, obs).map_err(|e| e.to_string())?.into()
+    };
     let cfg = sya_serve::ServeConfig {
         listen: opts.listen.clone(),
         workers: opts.serve_workers,
@@ -1201,6 +1238,52 @@ IsSafe,0,7
         }
         assert!(severities.iter().any(|s| s == "info"), "{jsonl}");
         assert!(severities.iter().any(|s| s == "debug"), "{jsonl}");
+    }
+
+    #[test]
+    fn sharded_run_reproduces_the_unsharded_scores_exactly() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "sh.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_sh.csv", WELLS);
+        let base = |shards: &str| {
+            run(&[
+                "run",
+                &program,
+                "--table",
+                &format!("Well={wells}"),
+                "--epochs",
+                "200",
+                "--bandwidth",
+                "2",
+                "--radius",
+                "4",
+                "--shards",
+                shards,
+                "--partition-level",
+                "2",
+            ])
+        };
+        let (code, reference, err) = base("1");
+        assert_eq!(code, 0, "stderr: {err}");
+        let (code, sharded, err) = base("2");
+        assert_eq!(code, 0, "stderr: {err}");
+        assert_eq!(reference, sharded, "--shards 2 must match --shards 1");
+
+        // Sharding is a spatial-sampler feature.
+        let (code, _, err) = run(&[
+            "run",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--engine",
+            "deepdive",
+            "--epochs",
+            "20",
+            "--shards",
+            "2",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("configuration error"), "{err}");
     }
 
     #[test]
