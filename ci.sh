@@ -12,6 +12,12 @@ cargo build --workspace --release
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
 
+# The demo dataset is generated, not committed (`demo/` is gitignored);
+# materialise it on a fresh checkout so the smokes below can run.
+if [ ! -f demo/gwdb.ddlog ]; then
+    ./target/release/experiments export-demo > /dev/null
+fi
+
 # Observability smoke: a demo run must produce a valid metrics dump
 # (schema, per-phase timings, grounding cardinalities, convergence
 # series) and a JSON-lines trace. `metrics_smoke` validates the keys.
@@ -102,3 +108,105 @@ test -f "$shard_dir/shard-manifest.json"
 ls "$shard_dir"/shard-00/ckpt-*.syackpt > /dev/null
 ls "$shard_dir"/shard-01/ckpt-*.syackpt > /dev/null
 echo "shard smoke: 2-shard scores match 1-shard; per-shard checkpoints + manifest present"
+
+# One-line HTTP GET over bash's /dev/tcp (no curl in the image): used to
+# read the cluster status board below. The body runs in an explicit
+# subshell: a refused connect or a SIGPIPE'd write then kills only that
+# fork and surfaces as a non-zero status the caller can retry on,
+# instead of terminating the whole script under `set -e`.
+http_get() {
+    local host=${1%:*} port=${1##*:} path=$2 hostport=$1
+    (
+        exec 3<> "/dev/tcp/$host/$port"
+        printf 'GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n' \
+            "$path" "$hostport" >&3
+        cat <&3
+    ) 2> /dev/null
+}
+
+# Cluster chaos smoke (DESIGN.md §13): a 2-worker multi-process cluster
+# on ephemeral ports. SIGKILL one worker mid-run; the coordinator must
+# restart it from its newest checkpoint and the final merged scores must
+# byte-match an uninterrupted in-process reference — recovery is replay,
+# not approximation.
+cluster_dir=/tmp/sya_ci_cluster_ckpt
+rm -rf "$cluster_dir" /tmp/sya_ci_cluster_ref.csv /tmp/sya_ci_cluster.csv
+cluster_common=(demo/gwdb.ddlog
+    --table Well=demo/wells.csv --evidence demo/evidence.csv
+    --epochs 600 --seed 7 --shards 2)
+./target/release/sya run "${cluster_common[@]}" \
+    --output /tmp/sya_ci_cluster_ref.csv > /dev/null
+./target/release/sya shard-coordinator "${cluster_common[@]}" \
+    --heartbeat-ms 10000 --backoff-ms 50 \
+    --checkpoint-dir "$cluster_dir" --checkpoint-every 5 \
+    --output /tmp/sya_ci_cluster.csv > /dev/null &
+coord=$!
+for _ in $(seq 1 3000); do
+    if ls "$cluster_dir"/shard-01/ckpt-*.syackpt > /dev/null 2>&1; then break; fi
+    if ! kill -0 "$coord" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+pkill -9 -f 'shard-worker.*--shard 1 --connect' || {
+    echo "cluster chaos smoke: run finished before a worker could be killed" >&2
+    exit 1
+}
+if ! wait "$coord"; then
+    echo "cluster chaos smoke: coordinator failed after the worker kill" >&2
+    exit 1
+fi
+diff /tmp/sya_ci_cluster_ref.csv /tmp/sya_ci_cluster.csv
+echo "cluster chaos smoke: killed worker restarted from checkpoint; scores match the reference"
+
+# Degraded-not-failed: with a zero restart budget the killed shard is
+# lost, but the coordinator must still exit 0, emit scores for every
+# atom (the lost shard's marginals recovered from its checkpoint), and
+# the lingering status board must name the lost shard.
+degraded_dir=/tmp/sya_ci_cluster_degraded_ckpt
+degraded_log=/tmp/sya_ci_cluster_degraded.log
+rm -rf "$degraded_dir" /tmp/sya_ci_cluster_degraded.csv "$degraded_log"
+./target/release/sya shard-coordinator "${cluster_common[@]}" \
+    --heartbeat-ms 10000 --backoff-ms 50 --restart-budget 0 \
+    --checkpoint-dir "$degraded_dir" --checkpoint-every 5 \
+    --status-listen 127.0.0.1:0 --status-linger \
+    --output /tmp/sya_ci_cluster_degraded.csv > "$degraded_log" &
+coord=$!
+status_addr=""
+for _ in $(seq 1 3000); do
+    status_addr=$(sed -n 's|^status on http://||p' "$degraded_log")
+    if [ -n "$status_addr" ]; then break; fi
+    if ! kill -0 "$coord" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+test -n "$status_addr"
+for _ in $(seq 1 3000); do
+    if ls "$degraded_dir"/shard-01/ckpt-*.syackpt > /dev/null 2>&1; then break; fi
+    if ! kill -0 "$coord" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+pkill -9 -f 'shard-worker.*--shard 1 --connect' || {
+    echo "cluster degraded smoke: run finished before a worker could be killed" >&2
+    exit 1
+}
+board=""
+for _ in $(seq 1 6000); do
+    board=$(http_get "$status_addr" / 2> /dev/null || true)
+    case "$board" in *'"done":true'*) break ;; esac
+    sleep 0.01
+done
+case "$board" in
+*'"status":"degraded"'*) : ;;
+*)  echo "cluster degraded smoke: status board never reported degradation: $board" >&2
+    exit 1 ;;
+esac
+case "$board" in
+*'"health":"lost"'*) : ;;
+*)  echo "cluster degraded smoke: status board does not name the lost shard: $board" >&2
+    exit 1 ;;
+esac
+kill -TERM "$coord"
+if ! wait "$coord"; then
+    echo "cluster degraded smoke: coordinator did not exit cleanly" >&2
+    exit 1
+fi
+test -s /tmp/sya_ci_cluster_degraded.csv
+echo "cluster degraded smoke: lost shard reported, run degraded instead of failing"

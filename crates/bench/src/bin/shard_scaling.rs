@@ -32,7 +32,7 @@ const SEED: u64 = 7;
 /// for at least 150 counted epochs past burn-in: tiny shards otherwise
 /// retire moments after counting starts, and marginals estimated from a
 /// handful of samples drift far from the 1-shard reference.
-const RETIRE: RetirePolicy = RetirePolicy { tol: 2e-3, window: 8, min_epoch: 200 };
+const RETIRE: RetirePolicy = RetirePolicy { tol: 2e-3, window: 8, min_epoch: 200, strict: false };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -224,7 +224,8 @@ fn render_report(grounding: &Grounding, runs: &[RunJson]) -> String {
         "{{\n  \"schema\": \"sya.bench.shard.v1\",\n  \"workload\": {{\n    \
          \"variables\": {},\n    \"logical_factors\": {},\n    \"spatial_factors\": {},\n    \
          \"epochs_max\": {},\n    \"partition_level\": {},\n    \"seed\": {},\n    \
-         \"retirement\": {{ \"tol\": {}, \"window\": {} }}\n  }},\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"retirement\": {{ \"tol\": {}, \"window\": {}, \"strict\": {} }}\n  }},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
         grounding.graph.num_variables(),
         grounding.graph.num_factors(),
         grounding.graph.num_spatial_factors(),
@@ -233,6 +234,7 @@ fn render_report(grounding: &Grounding, runs: &[RunJson]) -> String {
         SEED,
         RETIRE.tol,
         RETIRE.window,
+        RETIRE.strict,
         rows.join(",\n")
     )
 }

@@ -12,7 +12,19 @@ use std::time::Duration;
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
     pub status: u16,
+    /// Raw header lines (after the status line), `Name: value`.
+    pub headers: Vec<String>,
     pub body: String,
+}
+
+impl HttpResponse {
+    /// First header value for `name` (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            n.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+    }
 }
 
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
@@ -58,7 +70,8 @@ fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
-    Ok(HttpResponse { status, body: body.to_owned() })
+    let headers = head.lines().skip(1).map(str::to_owned).collect();
+    Ok(HttpResponse { status, headers, body: body.to_owned() })
 }
 
 #[cfg(test)]

@@ -296,6 +296,39 @@ impl CheckpointStore {
         Ok(state)
     }
 
+    /// The path a checkpoint for `epoch` lives at (whether or not one
+    /// exists yet).
+    pub fn path_for(&self, epoch: u64) -> PathBuf {
+        self.dir.join(Self::file_name(epoch))
+    }
+
+    /// Loads the checkpoint saved at exactly `epoch`.
+    pub fn load_epoch(&self, epoch: u64) -> Result<CheckpointState, CkptError> {
+        self.load_file(&self.path_for(epoch))
+    }
+
+    /// Epochs of every checkpoint that passes full validation (header,
+    /// CRC, fingerprint, payload decode) plus the caller's structural
+    /// check, ascending. Unreadable or invalid files are skipped — this
+    /// feeds the cluster rendezvous, where an unusable file is the same
+    /// as no file. Only a directory-scan failure is an error.
+    pub fn valid_epochs(
+        &self,
+        validate: impl Fn(&CheckpointState) -> Result<(), String>,
+    ) -> Result<Vec<u64>, CkptError> {
+        let mut out = Vec::new();
+        for path in self.list()? {
+            if let Ok(state) = self.load_file(&path) {
+                if validate(&state).is_ok() {
+                    out.push(state.epoch());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
     /// Scans newest-first for the latest checkpoint that passes header,
     /// CRC, fingerprint, *and* the caller's structural validation
     /// (graph shape, sampler kind, instance count). Invalid files are
@@ -504,6 +537,27 @@ mod tests {
             !dir.join("ckpt-0000000001.syackpt.tmp").exists(),
             "tmp orphan should be cleared"
         );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn valid_epochs_and_load_epoch_serve_the_cluster_rendezvous() {
+        let dir = tmp_dir("epochs");
+        let store = CheckpointStore::create(&dir, 1).unwrap();
+        for e in [10, 20, 30] {
+            store.save_state(&state(e)).unwrap();
+        }
+        // Corrupt the newest file: it drops out of the valid set.
+        let bytes = fs::read(store.path_for(30)).unwrap();
+        fs::write(store.path_for(30), &bytes[..bytes.len() - 4]).unwrap();
+        assert_eq!(store.valid_epochs(|_| Ok(())).unwrap(), vec![10, 20]);
+        // The caller's structural validation filters too.
+        let only_20 = store
+            .valid_epochs(|s| if s.epoch() == 20 { Ok(()) } else { Err("no".into()) })
+            .unwrap();
+        assert_eq!(only_20, vec![20]);
+        assert_eq!(store.load_epoch(20).unwrap(), state(20));
+        assert!(store.load_epoch(99).is_err(), "absent epoch is an error");
         fs::remove_dir_all(&dir).ok();
     }
 

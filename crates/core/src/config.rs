@@ -31,7 +31,7 @@ impl CheckpointConfig {
 
 /// Spatial sharding of the inference run (DESIGN.md §12). Disabled by
 /// default (`shards == 0`): the classic samplers run unsharded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardingConfig {
     /// Number of shards the partitioner cuts the KB into. `0` disables
     /// sharding; `1` routes through the shard executor with one shard
@@ -39,11 +39,19 @@ pub struct ShardingConfig {
     pub shards: usize,
     /// Pyramid level of the cut (`2^l × 2^l` candidate cells).
     pub partition_level: u8,
+    /// Shard-retirement tolerance (DESIGN.md §12): a shard may stop
+    /// sampling once its epoch delta stays under this. `None` (the
+    /// default) disables retirement, keeping the merged marginals
+    /// bit-identical to the unsharded run.
+    pub retire_tol: Option<f64>,
+    /// Refuse retirement while the boundary-exposed marginals have
+    /// drifted past the tolerance since the quiet streak began.
+    pub retire_strict: bool,
 }
 
 impl Default for ShardingConfig {
     fn default() -> Self {
-        ShardingConfig { shards: 0, partition_level: 4 }
+        ShardingConfig { shards: 0, partition_level: 4, retire_tol: None, retire_strict: false }
     }
 }
 
@@ -241,6 +249,19 @@ impl SyaConfig {
     /// Pyramid level the shard partitioner cuts at.
     pub fn with_partition_level(mut self, level: u8) -> Self {
         self.sharding.partition_level = level;
+        self
+    }
+
+    /// Enables shard retirement at this boundary-delta tolerance.
+    pub fn with_retire_tol(mut self, tol: f64) -> Self {
+        self.sharding.retire_tol = Some(tol);
+        self
+    }
+
+    /// Strict retirement: refuse to retire above the tolerance instead
+    /// of warning (pairs with `--retire-tol-strict`).
+    pub fn with_retire_strict(mut self, strict: bool) -> Self {
+        self.sharding.retire_strict = strict;
         self
     }
 

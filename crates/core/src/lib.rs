@@ -51,6 +51,11 @@ pub use query::{hull_of, to_geojson, KbFact, KbQuery};
 pub use result::{KnowledgeBase, Timings};
 pub use sya_obs::{ConvergenceSeries, MetricsSnapshot, Obs, TracerSnapshot};
 pub use sya_runtime::{
-    BudgetExceeded, CancellationToken, ExecContext, FaultPlan, Phase, Resource, RunBudget,
-    RunOutcome,
+    Backoff, BudgetExceeded, CancellationToken, ExecContext, FaultPlan, Phase, Resource,
+    RunBudget, RunOutcome,
+};
+// The cluster surface (DESIGN.md §13), re-exported for the CLI's
+// `shard-coordinator` / `shard-worker` subcommands.
+pub use sya_shard::{
+    ClusterConfig, StatusServer, WorkerHandle, WorkerLauncher, WorkerOptions, WorkerSpec,
 };

@@ -7,7 +7,7 @@ use crate::result::{KnowledgeBase, Timings};
 use std::time::Instant;
 use sya_ckpt::CheckpointStore;
 use sya_geom::DistanceMetric;
-use sya_ground::{expand_step_function_rules, Grounder};
+use sya_ground::{expand_step_function_rules, Grounder, Grounding};
 use sya_infer::{
     parallel_random_gibbs_ckpt, sequential_gibbs_ckpt, spatial_gibbs_ckpt, CheckpointOptions,
     CheckpointState, PyramidIndex, SamplerRun,
@@ -122,27 +122,7 @@ impl SyaSession {
         ctx: &ExecContext,
     ) -> Result<KnowledgeBase, SyaError> {
         let obs = ctx.obs();
-        // The incremental path's counters exist from the start of every
-        // observed run: dashboards and `--metrics-out` dumps then show an
-        // explicit zero instead of a missing key before the first
-        // evidence/extend update arrives.
-        obs.counter_add("infer.incremental.resampled_vars", 0);
-        obs.counter_add("infer.incremental.cells_touched", 0);
-        // Phase 1: grounding.
-        let t0 = Instant::now();
-        let grounding = {
-            let mut span = obs.span("pipeline.ground");
-            let mut grounder = Grounder::new(&self.compiled, self.config.ground.clone());
-            let grounding = grounder.ground_with(db, evidence, ctx)?;
-            span.set_attr("variables", grounding.graph.num_variables());
-            span.set_attr(
-                "factors",
-                grounding.graph.num_factors() + grounding.graph.num_spatial_factors(),
-            );
-            grounding
-        };
-        let grounding_time = t0.elapsed();
-        obs.gauge_set("phase.grounding_seconds", grounding_time.as_secs_f64());
+        let (grounding, grounding_time) = self.ground_phase(db, evidence, ctx)?;
 
         // Phase 2: inference. Even when grounding was interrupted, the
         // graph is a valid prefix: run inference (the same context stops
@@ -271,7 +251,63 @@ impl SyaSession {
         pyramid: &PyramidIndex,
         ctx: &ExecContext,
     ) -> Result<SamplerRun, SyaError> {
+        let plan = self.shard_plan(graph, ctx.obs());
+        let report = sya_shard::run_sharded(
+            graph,
+            pyramid,
+            &plan,
+            &self.config.infer,
+            self.retire_policy(),
+            &self.shard_ckpt_options(),
+            ctx,
+        )?;
+        Ok(SamplerRun {
+            counts: report.counts,
+            outcome: report.outcome,
+            warnings: report.warnings,
+            telemetry: report.telemetry,
+        })
+    }
+
+    /// Phase 1 of every construction path: grounding under a
+    /// `pipeline.ground` span. Shared by [`construct_with`]
+    /// (Self::construct_with) and the cluster roles, which must all
+    /// ground the *identical* graph — the wire rendezvous verifies this
+    /// by fingerprint.
+    fn ground_phase(
+        &self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        ctx: &ExecContext,
+    ) -> Result<(Grounding, std::time::Duration), SyaError> {
         let obs = ctx.obs();
+        // The incremental path's counters exist from the start of every
+        // observed run: dashboards and `--metrics-out` dumps then show an
+        // explicit zero instead of a missing key before the first
+        // evidence/extend update arrives.
+        obs.counter_add("infer.incremental.resampled_vars", 0);
+        obs.counter_add("infer.incremental.cells_touched", 0);
+        let t0 = Instant::now();
+        let grounding = {
+            let mut span = obs.span("pipeline.ground");
+            let mut grounder = Grounder::new(&self.compiled, self.config.ground.clone());
+            let grounding = grounder.ground_with(db, evidence, ctx)?;
+            span.set_attr("variables", grounding.graph.num_variables());
+            span.set_attr(
+                "factors",
+                grounding.graph.num_factors() + grounding.graph.num_spatial_factors(),
+            );
+            grounding
+        };
+        let grounding_time = t0.elapsed();
+        obs.gauge_set("phase.grounding_seconds", grounding_time.as_secs_f64());
+        Ok((grounding, grounding_time))
+    }
+
+    /// Cuts the grounded graph into the configured shard plan. Every
+    /// cluster role derives the same plan from the same graph, so the
+    /// owner table and halo sets agree without being sent on the wire.
+    fn shard_plan(&self, graph: &sya_fg::FactorGraph, obs: &Obs) -> sya_shard::ShardPlan {
         let sharding = &self.config.sharding;
         // `1u32 << level` cell coordinates stay in range at level <= 12;
         // finer cuts than 4096×4096 cells buy nothing on real extents.
@@ -284,19 +320,130 @@ impl SyaSession {
                 s.shard, s.owned_vars, s.halo_vars, s.boundary_factors
             ));
         }
-        let ckpt = sya_shard::ShardCkptOptions {
+        plan
+    }
+
+    /// The retirement policy implied by the sharding config: `None`
+    /// unless a tolerance was set, preserving bit-parity with the
+    /// unsharded run by default.
+    fn retire_policy(&self) -> Option<sya_shard::RetirePolicy> {
+        self.config.sharding.retire_tol.map(|tol| sya_shard::RetirePolicy {
+            tol,
+            strict: self.config.sharding.retire_strict,
+            ..sya_shard::RetirePolicy::default()
+        })
+    }
+
+    fn shard_ckpt_options(&self) -> sya_shard::ShardCkptOptions {
+        sya_shard::ShardCkptOptions {
             dir: self.config.checkpoint.dir.clone(),
             every: self.config.checkpoint.every,
             resume: self.config.checkpoint.resume,
-        };
-        let report =
-            sya_shard::run_sharded(graph, pyramid, &plan, &self.config.infer, None, &ckpt, ctx)?;
-        Ok(SamplerRun {
+        }
+    }
+
+    /// Validates that this session's config can run as a cluster role.
+    fn check_cluster_config(&self) -> Result<(), SyaError> {
+        if !self.config.sharding.is_enabled() {
+            return Err(SyaError::Config(
+                "a cluster run needs --shards >= 1 so the partitioner has a plan to cut"
+                    .to_owned(),
+            ));
+        }
+        if self.config.sampler != SamplerKind::Spatial {
+            return Err(SyaError::Config(format!(
+                "cluster roles require the spatial sampler; the {:?} sampler has no \
+                 pyramid partition to cut",
+                self.config.sampler
+            )));
+        }
+        Ok(())
+    }
+
+    /// Coordinator side of a multi-process cluster run (DESIGN.md §13):
+    /// grounds the graph, cuts the shard plan, then supervises worker
+    /// processes spawned through `launcher` — halo exchange runs over
+    /// sockets instead of the in-process board. Worker crashes restart
+    /// from per-shard checkpoints within the restart budget; beyond it
+    /// the run degrades ([`sya_runtime::RunOutcome::Degraded`]) instead
+    /// of failing, with per-shard health in the returned KB's report.
+    pub fn construct_cluster(
+        &self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        launcher: &dyn sya_shard::WorkerLauncher,
+        cluster: &sya_shard::ClusterConfig,
+        status: Option<&sya_shard::StatusServer>,
+        ctx: &ExecContext,
+    ) -> Result<KnowledgeBase, SyaError> {
+        self.check_cluster_config()?;
+        let obs = ctx.obs();
+        let (grounding, grounding_time) = self.ground_phase(db, evidence, ctx)?;
+        if grounding.outcome.is_partial() {
+            // A partial graph would never rendezvous: the workers ground
+            // the full graph and their fingerprints would not match.
+            return Err(SyaError::Config(format!(
+                "grounding stopped early ({}); a cluster run needs the complete graph, \
+                 raise the budget or run in-process",
+                grounding.outcome
+            )));
+        }
+        let infer = &self.config.infer;
+        let pyramid = PyramidIndex::build(&grounding.graph, infer.levels, infer.cell_capacity);
+        let plan = self.shard_plan(&grounding.graph, obs);
+        let t1 = Instant::now();
+        let report = sya_shard::run_cluster(
+            &grounding.graph,
+            &plan,
+            infer,
+            &self.shard_ckpt_options(),
+            cluster,
+            launcher,
+            status,
+            ctx,
+        )?;
+        let inference_time = t1.elapsed();
+        obs.gauge_set("phase.inference_seconds", inference_time.as_secs_f64());
+        let outcome = grounding.outcome.combine(report.outcome);
+        Ok(KnowledgeBase {
+            grounding,
             counts: report.counts,
-            outcome: report.outcome,
+            pyramid: Some(pyramid),
+            timings: Timings { grounding: grounding_time, inference: inference_time },
+            config: self.config.clone(),
+            outcome,
             warnings: report.warnings,
             telemetry: report.telemetry,
         })
+    }
+
+    /// Worker side of a cluster run: grounds the identical graph (same
+    /// program, data, evidence, and config as the coordinator), derives
+    /// the same shard plan, and joins the coordinator at
+    /// `opts.connect`. Returns when the protocol ends — `Done`
+    /// acknowledged or a `Stop`/socket loss from the coordinator.
+    pub fn run_cluster_worker(
+        &self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        opts: &sya_shard::WorkerOptions,
+        ctx: &ExecContext,
+    ) -> Result<(), SyaError> {
+        self.check_cluster_config()?;
+        let (grounding, _) = self.ground_phase(db, evidence, ctx)?;
+        let plan = self.shard_plan(&grounding.graph, ctx.obs());
+        // The session config is the single source of truth for the
+        // checkpoint wiring and retirement policy: the coordinator and
+        // every worker parse the same flags, so deriving both here keeps
+        // the fleet consistent without trusting the caller to copy them.
+        let opts = sya_shard::WorkerOptions {
+            ckpt: self.shard_ckpt_options(),
+            retire: self.retire_policy(),
+            ..opts.clone()
+        };
+        sya_shard::run_worker(&grounding.graph, &plan, &self.config.infer, &opts, ctx).map_err(
+            |detail| SyaError::Infer(sya_infer::InferError::Cluster { detail }),
+        )
     }
 
     /// Phase 1.5 of [`construct_with`](Self::construct_with): binds a

@@ -45,6 +45,13 @@ pub enum InferError {
     BadResume {
         detail: String,
     },
+    /// A multi-process cluster run could not be set up or supervised
+    /// past the point of graceful degradation (e.g. the coordinator
+    /// socket cannot bind, or every shard exhausted its restart
+    /// budget before producing a single usable result).
+    Cluster {
+        detail: String,
+    },
 }
 
 impl fmt::Display for InferError {
@@ -57,6 +64,7 @@ impl fmt::Display for InferError {
             InferError::BadResume { detail } => {
                 write!(f, "resume state does not fit this run: {detail}")
             }
+            InferError::Cluster { detail } => write!(f, "cluster failure: {detail}"),
         }
     }
 }

@@ -154,6 +154,14 @@ pub struct ShardChain<'g> {
     writes: Vec<(VarId, u32)>,
     counts: MarginalCounts,
     recorded: bool,
+    /// Indices (into `owned`) of boundary-exposed variables — owned
+    /// variables some other shard reads as halo. Empty unless
+    /// [`set_boundary`](Self::set_boundary) was called.
+    boundary: Vec<usize>,
+    /// Running-marginal snapshot of the boundary variables, taken by
+    /// [`snapshot_boundary`](Self::snapshot_boundary); the drift since
+    /// then is the retirement staleness signal.
+    boundary_ref: Vec<f64>,
     // Convergence tracking over owned variables.
     ones: Vec<u64>,
     prev_p: Vec<f64>,
@@ -197,6 +205,8 @@ impl<'g> ShardChain<'g> {
             writes: Vec::new(),
             counts: MarginalCounts::new(graph),
             recorded: false,
+            boundary: Vec::new(),
+            boundary_ref: Vec::new(),
             ones: vec![0; n_owned],
             prev_p: vec![0.0; n_owned],
             epochs_seen: 0,
@@ -217,6 +227,45 @@ impl<'g> ShardChain<'g> {
     /// Free variables this shard samples in `phase`.
     pub fn phase_len(&self, phase: usize) -> usize {
         self.phase_vars.get(phase).map_or(0, Vec::len)
+    }
+
+    /// The writes buffered by the current phase, in sample order — what
+    /// the cluster worker puts in its `Publish` frame before
+    /// [`publish`](Self::publish) drains them onto the board.
+    pub fn pending_writes(&self) -> &[(VarId, u32)] {
+        &self.writes
+    }
+
+    /// Declares which variables are boundary-exposed (owned here, read
+    /// as halo by some other shard). Enables the boundary-staleness
+    /// signal retirement gating uses; variables not owned by this shard
+    /// are ignored.
+    pub fn set_boundary(&mut self, vars: &[VarId]) {
+        self.boundary = vars
+            .iter()
+            .filter_map(|v| self.owned.binary_search(v).ok())
+            .collect();
+        self.boundary.sort_unstable();
+        self.boundary.dedup();
+        self.boundary_ref = Vec::new();
+    }
+
+    /// Snapshots the boundary variables' running marginals. Call at the
+    /// start of a retirement quiet streak; the drift reported by
+    /// [`boundary_delta`](Self::boundary_delta) is measured from here.
+    pub fn snapshot_boundary(&mut self) {
+        self.boundary_ref = self.boundary.iter().map(|&i| self.prev_p[i]).collect();
+    }
+
+    /// `max |p_now − p_snapshot|` over boundary-exposed variables — how
+    /// much the values the *neighbour* shards condition on have drifted
+    /// since the snapshot. `0.0` with no boundary or no snapshot.
+    pub fn boundary_delta(&self) -> f64 {
+        self.boundary
+            .iter()
+            .zip(&self.boundary_ref)
+            .map(|(&i, &p0)| (self.prev_p[i] - p0).abs())
+            .fold(0.0, f64::max)
     }
 
     /// Samples the shard's variables of one phase against the frozen
@@ -460,6 +509,61 @@ mod tests {
         let (left, right) = all.split_at(7);
         let split = run(vec![left.to_vec(), right.to_vec()]);
         assert_eq!(single, split);
+    }
+
+    #[test]
+    fn boundary_tracking_measures_drift_since_the_snapshot() {
+        // A weakly-coupled grid: the 0.8 grid saturates at all-ones under
+        // the corner evidence, which freezes every running marginal and
+        // would make the drift identically zero. At 0.05 the chain mixes,
+        // so marginals keep moving after the snapshot.
+        let mut g = FactorGraph::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut v = Variable::binary(0, format!("v{r}_{c}"))
+                    .at(Point::new(c as f64 + 0.5, r as f64 + 0.5));
+                if r == 0 && c == 0 {
+                    v.evidence = Some(1);
+                }
+                g.add_variable(v);
+            }
+        }
+        for r in 0..3usize {
+            for c in 0..3usize {
+                let i = (r * 3 + c) as VarId;
+                if c + 1 < 3 {
+                    g.add_spatial_factor(SpatialFactor::binary(i, i + 1, 0.05));
+                }
+                if r + 1 < 3 {
+                    g.add_spatial_factor(SpatialFactor::binary(i, i + 3, 0.05));
+                }
+            }
+        }
+        let pyramid = PyramidIndex::build(&g, 2, 64);
+        let cfg = cfg();
+        let schedule = ShardSchedule::new(&g, &pyramid, &cfg);
+        let board = init_board(&g, cfg.seed);
+        let all: Vec<VarId> = (0..g.num_variables() as VarId).collect();
+        let mut chain = ShardChain::new(&g, &schedule, &cfg, all);
+        // Variables 1 and 4 are boundary-exposed; 99 is foreign and ignored.
+        chain.set_boundary(&[1, 4, 99]);
+        assert_eq!(chain.boundary_delta(), 0.0, "no snapshot yet");
+        for epoch in 0..5 {
+            for phase in 0..schedule.len() {
+                chain.sample_phase(&board, &schedule, phase, epoch, true);
+                assert!(epoch > 0 || phase > 0 || !chain.pending_writes().is_empty());
+                chain.publish(&board);
+            }
+            chain.end_epoch(&board, true);
+            if epoch == 0 {
+                chain.snapshot_boundary();
+                assert_eq!(chain.boundary_delta(), 0.0, "snapshot epoch has zero drift");
+            }
+        }
+        // Early running marginals move fast: the drift over 4 epochs
+        // from a 1-epoch baseline is substantial and bounded by 1.
+        let drift = chain.boundary_delta();
+        assert!(drift > 0.0 && drift <= 1.0, "drift {drift}");
     }
 
     #[test]

@@ -189,6 +189,29 @@ impl Obs {
     }
 }
 
+/// Metric names of the cluster supervisor (`sya shard-coordinator`),
+/// centralised so the supervisor, its tests, and dashboards agree on
+/// spelling. Counters unless noted.
+pub mod cluster {
+    /// Epoch round-trips that doubled as liveness proof (one per worker
+    /// per completed epoch).
+    pub const HEARTBEATS: &str = "cluster.heartbeats_total";
+    /// Worker reads that tripped the heartbeat deadline.
+    pub const HEARTBEAT_TIMEOUTS: &str = "cluster.heartbeat_timeouts_total";
+    /// Workers relaunched after a crash, stall, or corrupt frame.
+    pub const RESTARTS: &str = "cluster.worker_restarts_total";
+    /// Rollbacks broadcast to re-rendezvous the fleet on a checkpoint.
+    pub const ROLLBACKS: &str = "cluster.rollbacks_total";
+    /// Frames rejected by the wire layer's CRC/decode validation.
+    pub const CORRUPT_FRAMES: &str = "cluster.corrupt_frames_total";
+    /// Shards abandoned after exhausting their restart budget.
+    pub const SHARDS_LOST: &str = "cluster.shards_lost_total";
+    /// Gauge: seconds slept before the most recent worker relaunch.
+    pub const BACKOFF_SECONDS: &str = "cluster.backoff_seconds_last";
+    /// Gauge: workers currently healthy (live socket, within budget).
+    pub const WORKERS_UP: &str = "cluster.workers_up";
+}
+
 /// Open a hierarchical span on an [`Obs`] handle.
 ///
 /// ```
@@ -248,6 +271,25 @@ mod tests {
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.spans[0].name, "ground.rule");
         assert_eq!(snap.spans[0].attrs[0], ("rule".to_string(), "R1".to_string()));
+    }
+
+    #[test]
+    fn cluster_metric_names_follow_the_naming_scheme() {
+        for name in [
+            cluster::HEARTBEATS,
+            cluster::HEARTBEAT_TIMEOUTS,
+            cluster::RESTARTS,
+            cluster::ROLLBACKS,
+            cluster::CORRUPT_FRAMES,
+            cluster::SHARDS_LOST,
+            cluster::BACKOFF_SECONDS,
+            cluster::WORKERS_UP,
+        ] {
+            assert!(name.starts_with("cluster."), "{name}");
+        }
+        for counter in [cluster::HEARTBEATS, cluster::RESTARTS, cluster::SHARDS_LOST] {
+            assert!(counter.ends_with("_total"), "{counter}");
+        }
     }
 
     #[test]

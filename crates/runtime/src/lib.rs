@@ -247,6 +247,20 @@ pub struct FaultPlan {
     /// read-only checkpoint directory so the degrade-don't-abort path
     /// can be tested without touching the filesystem.
     pub fail_checkpoint_saves: usize,
+    /// Kill cluster shard worker `(shard, epoch)`: the worker drops its
+    /// coordinator socket and dies mid-epoch, exercising the
+    /// supervisor's crash-detection → restart-from-checkpoint path.
+    /// Fires once per context; launchers must not forward it to a
+    /// restarted worker.
+    pub kill_worker: Option<(usize, usize)>,
+    /// Stall cluster shard worker `(shard, epoch)` for the duration
+    /// before it publishes — trips the coordinator's heartbeat deadline
+    /// without the worker actually dying.
+    pub stall_worker: Option<(usize, usize, Duration)>,
+    /// Make cluster shard worker `(shard, epoch)` emit a deliberately
+    /// CRC-broken frame — exercises the coordinator's corrupt-frame
+    /// rejection path.
+    pub corrupt_frame: Option<(usize, usize)>,
 }
 
 impl FaultPlan {
@@ -260,6 +274,39 @@ impl FaultPlan {
             && self.slowdown.is_none()
             && self.factor_pressure == 0
             && self.fail_checkpoint_saves == 0
+            && self.kill_worker.is_none()
+            && self.stall_worker.is_none()
+            && self.corrupt_frame.is_none()
+    }
+}
+
+// ----------------------------------------------------------- backoff
+
+/// Deterministic exponential backoff: `base × 2^attempt`, saturating at
+/// `max`. The cluster supervisor sleeps this long before relaunching a
+/// failed worker, so a crash-looping shard cannot hot-spin the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    pub base: Duration,
+    pub max: Duration,
+}
+
+impl Backoff {
+    pub fn new(base: Duration, max: Duration) -> Self {
+        Backoff { base, max }
+    }
+
+    /// Delay before restart attempt `attempt` (0-based: the first
+    /// restart waits `base`).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let mult = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.checked_mul(mult).unwrap_or(self.max).min(self.max)
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff { base: Duration::from_millis(250), max: Duration::from_secs(10) }
     }
 }
 
@@ -279,6 +326,12 @@ pub struct ExecContext {
     worker_panic_fired: AtomicBool,
     /// Count-down for [`FaultPlan::fail_checkpoint_saves`].
     ckpt_failures_fired: AtomicUsize,
+    /// Once-latches for the cluster worker faults: a rollback may
+    /// replay the fault's epoch in the same context, and the fault must
+    /// not re-fire.
+    kill_worker_fired: AtomicBool,
+    stall_worker_fired: AtomicBool,
+    corrupt_frame_fired: AtomicBool,
 }
 
 impl Default for ExecContext {
@@ -297,6 +350,9 @@ impl ExecContext {
             faults: FaultPlan::none(),
             worker_panic_fired: AtomicBool::new(false),
             ckpt_failures_fired: AtomicUsize::new(0),
+            kill_worker_fired: AtomicBool::new(false),
+            stall_worker_fired: AtomicBool::new(false),
+            corrupt_frame_fired: AtomicBool::new(false),
         }
     }
 
@@ -480,6 +536,62 @@ impl ExecContext {
         }
         fire
     }
+
+    fn take_cluster_fault(
+        &self,
+        planned: Option<(usize, usize)>,
+        latch: &AtomicBool,
+        shard: usize,
+        epoch: usize,
+        what: &str,
+    ) -> bool {
+        if planned != Some((shard, epoch)) {
+            return false;
+        }
+        let fire = !latch.swap(true, Ordering::AcqRel);
+        if fire {
+            self.obs.warn(format!("fault injection: {what} shard worker {shard} at epoch {epoch}"));
+        }
+        fire
+    }
+
+    /// Once-latch for [`FaultPlan::kill_worker`]: true exactly once for
+    /// the planned `(shard, epoch)`.
+    pub fn take_worker_kill(&self, shard: usize, epoch: usize) -> bool {
+        self.take_cluster_fault(
+            self.faults.kill_worker,
+            &self.kill_worker_fired,
+            shard,
+            epoch,
+            "killing",
+        )
+    }
+
+    /// Once-latch for [`FaultPlan::stall_worker`]: the stall duration,
+    /// exactly once for the planned `(shard, epoch)`.
+    pub fn take_worker_stall(&self, shard: usize, epoch: usize) -> Option<Duration> {
+        let (s, e, pause) = self.faults.stall_worker?;
+        self.take_cluster_fault(
+            Some((s, e)),
+            &self.stall_worker_fired,
+            shard,
+            epoch,
+            "stalling",
+        )
+        .then_some(pause)
+    }
+
+    /// Once-latch for [`FaultPlan::corrupt_frame`]: true exactly once
+    /// for the planned `(shard, epoch)`.
+    pub fn take_corrupt_frame(&self, shard: usize, epoch: usize) -> bool {
+        self.take_cluster_fault(
+            self.faults.corrupt_frame,
+            &self.corrupt_frame_fired,
+            shard,
+            epoch,
+            "corrupting a frame from",
+        )
+    }
 }
 
 #[cfg(test)]
@@ -598,6 +710,40 @@ mod tests {
         assert!(!ctx.take_checkpoint_save_failure(), "only the first n saves fail");
         let clean = ExecContext::unbounded();
         assert!(!clean.take_checkpoint_save_failure());
+    }
+
+    #[test]
+    fn cluster_fault_latches_fire_once_at_the_planned_site() {
+        let plan = FaultPlan {
+            kill_worker: Some((1, 5)),
+            stall_worker: Some((0, 3, Duration::from_millis(7))),
+            corrupt_frame: Some((2, 4)),
+            ..FaultPlan::none()
+        };
+        assert!(!plan.is_empty());
+        let ctx = ExecContext::unbounded().with_faults(plan);
+        assert!(!ctx.take_worker_kill(1, 4));
+        assert!(!ctx.take_worker_kill(0, 5));
+        assert!(ctx.take_worker_kill(1, 5));
+        assert!(!ctx.take_worker_kill(1, 5), "kill latch fires once");
+        assert_eq!(ctx.take_worker_stall(0, 3), Some(Duration::from_millis(7)));
+        assert_eq!(ctx.take_worker_stall(0, 3), None, "stall latch fires once");
+        assert!(ctx.take_corrupt_frame(2, 4));
+        assert!(!ctx.take_corrupt_frame(2, 4), "corrupt latch fires once");
+        let clean = ExecContext::unbounded();
+        assert!(!clean.take_worker_kill(1, 5));
+        assert_eq!(clean.take_worker_stall(0, 3), None);
+        assert!(!clean.take_corrupt_frame(2, 4));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let b = Backoff::new(Duration::from_millis(100), Duration::from_secs(2));
+        assert_eq!(b.delay(0), Duration::from_millis(100));
+        assert_eq!(b.delay(1), Duration::from_millis(200));
+        assert_eq!(b.delay(2), Duration::from_millis(400));
+        assert_eq!(b.delay(5), Duration::from_secs(2), "capped at max");
+        assert_eq!(b.delay(64), Duration::from_secs(2), "shift overflow saturates");
     }
 
     #[test]

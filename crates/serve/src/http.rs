@@ -38,7 +38,10 @@ pub enum HttpError {
     BadRequest(String),
     /// Body longer than the server's limit → 413.
     TooLarge(usize),
-    /// Socket-level failure (including read timeouts) — connection is
+    /// The client did not deliver its request within the read deadline
+    /// (slow-loris or a stalled sender) → 408.
+    Timeout,
+    /// Socket-level failure other than a timeout — connection is
     /// dropped without a response body worth sending.
     Io(std::io::Error),
 }
@@ -48,6 +51,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             HttpError::TooLarge(n) => write!(f, "request body of {n} bytes exceeds the limit"),
+            HttpError::Timeout => write!(f, "client did not deliver the request in time"),
             HttpError::Io(e) => write!(f, "socket error: {e}"),
         }
     }
@@ -55,7 +59,12 @@ impl std::fmt::Display for HttpError {
 
 impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> Self {
-        HttpError::Io(e)
+        // A read deadline on the socket surfaces as WouldBlock (most
+        // Unixes) or TimedOut; both mean the *client* was too slow.
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
     }
 }
 
@@ -171,11 +180,20 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: Vec<u8>,
+    /// Emits a `Retry-After: <seconds>` header — set on 503s for
+    /// transient conditions (a down shard, an aborted request) so
+    /// well-behaved clients back off instead of hammering.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     pub fn json(status: u16, body: String) -> Self {
-        Response { status, content_type: "application/json", body: body.into_bytes() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
     }
 
     pub fn text(status: u16, body: String) -> Self {
@@ -183,6 +201,7 @@ impl Response {
             status,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -191,12 +210,18 @@ impl Response {
         Response::json(status, format!("{{\"error\":{}}}", json_string(message)))
     }
 
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -204,12 +229,17 @@ impl Response {
     }
 
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let retry = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            retry,
         );
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
@@ -245,5 +275,94 @@ mod tests {
     #[test]
     fn json_string_escapes_quotes() {
         assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+    }
+
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    /// A connected (server, client) socket pair on loopback.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (server, client)
+    }
+
+    /// The status line [`handle_connection`](crate::server) would write
+    /// for this read_request error (408 for timeouts, 413 for oversize).
+    fn status_for(err: &HttpError) -> u16 {
+        match err {
+            HttpError::BadRequest(_) => 400,
+            HttpError::Timeout => 408,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Io(_) => 0,
+        }
+    }
+
+    #[test]
+    fn slow_loris_times_out_as_408() {
+        let (mut server, mut client) = socket_pair();
+        server.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        // A partial request head, then silence: the classic slow-loris.
+        client.write_all(b"GET /healthz HT").unwrap();
+        client.flush().unwrap();
+        let err = read_request(&mut server, 1024).expect_err("must not hang");
+        assert!(matches!(err, HttpError::Timeout), "got {err:?}");
+        assert_eq!(status_for(&err), 408);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_as_413_without_buffering() {
+        let (mut server, mut client) = socket_pair();
+        server.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        // Content-Length over the limit: rejected from the header alone,
+        // before any body bytes arrive.
+        client
+            .write_all(b"POST /v1/evidence HTTP/1.1\r\nContent-Length: 4096\r\n\r\n")
+            .unwrap();
+        client.flush().unwrap();
+        let err = read_request(&mut server, 1024).expect_err("oversized body must be refused");
+        assert!(matches!(err, HttpError::TooLarge(4096)), "got {err:?}");
+        assert_eq!(status_for(&err), 413);
+    }
+
+    #[test]
+    fn well_formed_request_still_parses_under_the_same_deadline() {
+        let (mut server, mut client) = socket_pair();
+        server.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        client
+            .write_all(b"POST /v1/query?x=1 HTTP/1.1\r\nContent-Length: 2\r\n\r\nok")
+            .unwrap();
+        client.flush().unwrap();
+        let req = read_request(&mut server, 1024).expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_on_demand() {
+        let (mut server, mut client) = socket_pair();
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        Response::error(503, "shard 1 is down")
+            .with_retry_after(5)
+            .write_to(&mut server)
+            .unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("\r\nRetry-After: 5\r\n"), "{text}");
+        assert!(text.contains("shard 1 is down"), "{text}");
+
+        // And stays absent when not requested.
+        let (mut server, mut client) = socket_pair();
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        Response::error(404, "nope").write_to(&mut server).unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(!text.contains("Retry-After"), "{text}");
     }
 }

@@ -72,6 +72,9 @@ pub enum ServeError {
     NotSpatial,
     /// An evidence batch failed schema validation (client error).
     BadEvidence(String),
+    /// The shard owning the requested atom is marked down: the request
+    /// is answerable again once the shard recovers → 503 + Retry-After.
+    ShardDown { shard: usize },
     /// Saving or opening the checkpoint store failed.
     Checkpoint(String),
     /// Threads still alive after the shutdown deadline — a leak.
@@ -88,6 +91,9 @@ impl std::fmt::Display for ServeError {
                  needs the pyramid index"
             ),
             ServeError::BadEvidence(msg) => write!(f, "bad evidence: {msg}"),
+            ServeError::ShardDown { shard } => {
+                write!(f, "shard {shard} is down; retry after it recovers")
+            }
             ServeError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
             ServeError::ShutdownTimeout { alive } => write!(
                 f,

@@ -23,6 +23,7 @@ use crate::state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer, ServingKb};
 use crate::ServeError;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use sya_core::{KnowledgeBase, SyaSession};
 use sya_obs::Obs;
@@ -36,6 +37,10 @@ pub struct ShardRouter {
     /// `(relation, id column)` → variable: the routing key every
     /// endpoint uses, built once at startup.
     atoms: HashMap<(String, i64), u32>,
+    /// Administrative per-shard availability: a down shard's atoms get
+    /// 503 + `Retry-After` while every other shard keeps serving — the
+    /// serving twin of the cluster's degraded-not-failed posture.
+    down: Vec<AtomicBool>,
     obs: Obs,
 }
 
@@ -74,7 +79,8 @@ impl ShardRouter {
                 s.boundary_factors as f64,
             );
         }
-        Ok(ShardRouter { shards: replicas, owner: plan.owner, atoms, obs })
+        let down = (0..shards).map(|_| AtomicBool::new(false)).collect();
+        Ok(ShardRouter { shards: replicas, owner: plan.owner, atoms, down, obs })
     }
 
     pub fn obs(&self) -> &Obs {
@@ -83,6 +89,35 @@ impl ShardRouter {
 
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Marks a shard unavailable: its atoms answer 503 + `Retry-After`
+    /// until [`mark_shard_up`](Self::mark_shard_up). Out-of-range
+    /// indices are ignored.
+    pub fn mark_shard_down(&self, shard: usize) {
+        if let Some(flag) = self.down.get(shard) {
+            flag.store(true, Ordering::Release);
+            self.obs.warn(format!("serve: shard {shard} marked down"));
+            self.obs.gauge_set("serve.shards_down", self.down_shards().len() as f64);
+        }
+    }
+
+    /// Restores a shard marked down.
+    pub fn mark_shard_up(&self, shard: usize) {
+        if let Some(flag) = self.down.get(shard) {
+            flag.store(false, Ordering::Release);
+            self.obs.info(format!("serve: shard {shard} marked up"));
+            self.obs.gauge_set("serve.shards_down", self.down_shards().len() as f64);
+        }
+    }
+
+    pub fn shard_is_down(&self, shard: usize) -> bool {
+        self.down.get(shard).is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Indices of shards currently marked down, ascending.
+    pub fn down_shards(&self) -> Vec<usize> {
+        (0..self.down.len()).filter(|&s| self.shard_is_down(s)).collect()
     }
 
     /// The shard owning `(relation, id)`, or `None` for unknown atoms.
@@ -103,12 +138,21 @@ impl ShardRouter {
     }
 
     /// Point marginal, answered by the owning shard and tagged with it.
-    pub fn marginal(&self, relation: &str, id: i64) -> Option<MarginalAnswer> {
-        let shard = self.shard_of(relation, id)?;
-        let mut m = self.shards[shard].marginal(relation, id)?;
+    /// `Ok(None)` is an unknown atom (404); `Err(ShardDown)` means the
+    /// owner is marked down (503) — healthy shards keep answering.
+    pub fn marginal(
+        &self,
+        relation: &str,
+        id: i64,
+    ) -> Result<Option<MarginalAnswer>, ServeError> {
+        let Some(shard) = self.shard_of(relation, id) else { return Ok(None) };
+        if self.shard_is_down(shard) {
+            return Err(ServeError::ShardDown { shard });
+        }
+        let Some(mut m) = self.shards[shard].marginal(relation, id) else { return Ok(None) };
         m.shard = Some(shard as u32);
         m.epoch = self.epoch();
-        Some(m)
+        Ok(Some(m))
     }
 
     /// Applies an evidence batch: validates the whole batch up front
@@ -123,6 +167,11 @@ impl ShardRouter {
         for row in rows {
             // validate() guarantees the atom exists.
             let shard = self.shard_of(&row.relation, row.id).expect("validated atom");
+            if self.shard_is_down(shard) {
+                // Reject the whole batch before touching any shard:
+                // evidence is not applied partially.
+                return Err(ServeError::ShardDown { shard });
+            }
             by_shard[shard].push(row.clone());
         }
         let mut resampled = 0;
@@ -220,10 +269,24 @@ impl ServeState {
         }
     }
 
-    pub fn marginal(&self, relation: &str, id: i64) -> Option<MarginalAnswer> {
+    /// `Ok(None)` = unknown atom; `Err(ShardDown)` = the owning shard is
+    /// marked down (sharded state only).
+    pub fn marginal(
+        &self,
+        relation: &str,
+        id: i64,
+    ) -> Result<Option<MarginalAnswer>, ServeError> {
         match self {
-            ServeState::Single(kb) => kb.marginal(relation, id),
+            ServeState::Single(kb) => Ok(kb.marginal(relation, id)),
             ServeState::Sharded(r) => r.marginal(relation, id),
+        }
+    }
+
+    /// Down shard indices; always empty for the single path.
+    pub fn down_shards(&self) -> Vec<usize> {
+        match self {
+            ServeState::Single(_) => Vec::new(),
+            ServeState::Sharded(r) => r.down_shards(),
         }
     }
 

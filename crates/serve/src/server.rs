@@ -198,7 +198,12 @@ fn handle_connection(state: &Arc<ServeState>, cfg: &ServeConfig, mut stream: Tcp
             ("bad", Response::error(413, &format!("request body of {n} bytes is too large")))
         }
         Err(HttpError::BadRequest(msg)) => ("bad", Response::error(400, &msg)),
-        // Socket errors (incl. read timeouts): nothing sensible to send.
+        // Slow-loris / stalled sender: tell the client it was too slow.
+        Err(HttpError::Timeout) => {
+            obs.counter_add("serve.request_timeouts_total", 1);
+            ("bad", Response::error(408, "client did not deliver the request in time"))
+        }
+        // Other socket errors: nothing sensible to send.
         Err(HttpError::Io(_)) => {
             obs.counter_add("serve.socket_errors_total", 1);
             return;
@@ -256,15 +261,21 @@ fn healthz(state: &Arc<ServeState>) -> Response {
         Some(age) => format!("{:.3}", age.as_secs_f64()),
         None => "null".to_owned(),
     };
+    let down = state.down_shards();
+    let status = if down.is_empty() { "ok" } else { "degraded" };
+    let down_json: Vec<String> = down.iter().map(usize::to_string).collect();
     Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"epoch\":{},\"variables\":{},\"outcome\":{},\
-             \"shards\":{},\"uptime_seconds\":{:.3},\"checkpoint_age_seconds\":{}}}",
+            "{{\"status\":\"{}\",\"epoch\":{},\"variables\":{},\"outcome\":{},\
+             \"shards\":{},\"shards_down\":[{}],\"uptime_seconds\":{:.3},\
+             \"checkpoint_age_seconds\":{}}}",
+            status,
             state.epoch(),
             variables,
             crate::http::json_string(&outcome),
             state.shard_count(),
+            down_json.join(","),
             state.uptime().as_secs_f64(),
             age,
         ),
@@ -302,10 +313,20 @@ fn marginal(state: &Arc<ServeState>, relation: &str, req: &Request) -> Response 
         return Response::error(400, &format!("bad id {raw:?}: want an integer"));
     };
     match state.marginal(relation, id) {
-        Some(m) => Response::json(200, marginal_json(&m)),
-        None => Response::error(404, &format!("no ground atom {relation}({id})")),
+        Ok(Some(m)) => Response::json(200, marginal_json(&m)),
+        Ok(None) => Response::error(404, &format!("no ground atom {relation}({id})")),
+        Err(e) => shard_down_response(&e),
     }
 }
+
+/// 503 + `Retry-After` for a down shard (or any other transient
+/// serving failure surfaced on the read path).
+fn shard_down_response(e: &ServeError) -> Response {
+    Response::error(503, &e.to_string()).with_retry_after(RETRY_AFTER_SECONDS)
+}
+
+/// What a 503 for a down shard advises clients to wait before retrying.
+const RETRY_AFTER_SECONDS: u64 = 5;
 
 /// `POST /v1/query` — batch marginal lookup. Body:
 /// `{"queries": [{"relation": "IsSafe", "id": 7}, ...]}`.
@@ -331,10 +352,11 @@ fn query(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response 
             );
         };
         match state.marginal(relation, id) {
-            Some(m) => results.push(marginal_json(&m)),
-            None => {
+            Ok(Some(m)) => results.push(marginal_json(&m)),
+            Ok(None) => {
                 return Response::error(404, &format!("query {i}: no ground atom {relation}({id})"))
             }
+            Err(e) => return shard_down_response(&e),
         }
     }
     Response::json(
@@ -392,6 +414,7 @@ fn evidence(state: &Arc<ServeState>, req: &Request) -> Response {
             ),
         ),
         Err(ServeError::BadEvidence(msg)) => Response::error(400, &msg),
+        Err(e @ ServeError::ShardDown { .. }) => shard_down_response(&e),
         Err(e) => Response::error(503, &e.to_string()),
     }
 }

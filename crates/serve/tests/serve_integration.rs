@@ -188,8 +188,8 @@ fn shard_router_routes_by_owner_and_updates_one_shard_only() {
     let (a, b) = (owned_by(0), owned_by(1));
 
     // Marginals are tagged with the answering shard.
-    assert_eq!(router.marginal("IsSafe", a).unwrap().shard, Some(0));
-    assert_eq!(router.marginal("IsSafe", b).unwrap().shard, Some(1));
+    assert_eq!(router.marginal("IsSafe", a).unwrap().unwrap().shard, Some(0));
+    assert_eq!(router.marginal("IsSafe", b).unwrap().unwrap().shard, Some(1));
 
     // Evidence for shard 0's atom touches shard 0 only.
     let outcome = router
@@ -203,8 +203,8 @@ fn shard_router_routes_by_owner_and_updates_one_shard_only() {
     assert_eq!(router.shard_epochs(), vec![1, 0], "only the owner re-infers");
     assert_eq!(router.epoch(), 1);
     // The owner serves the update; the other shard is untouched.
-    assert_eq!(router.marginal("IsSafe", a).unwrap().evidence, Some(0));
-    assert_eq!(router.marginal("IsSafe", b).unwrap().evidence, None);
+    assert_eq!(router.marginal("IsSafe", a).unwrap().unwrap().evidence, Some(0));
+    assert_eq!(router.marginal("IsSafe", b).unwrap().unwrap().evidence, None);
 
     // The same router behind the HTTP surface: healthz reports the
     // shard count, marginal answers carry the shard tag.
@@ -225,6 +225,83 @@ fn shard_router_routes_by_owner_and_updates_one_shard_only() {
         &format!("{{\"rows\":[{{\"relation\":\"IsSafe\",\"id\":{b},\"value\":1}}]}}"),
     );
     assert_eq!(ev["epoch"].as_u64(), Some(2), "{ev}");
+    server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
+}
+
+#[test]
+fn down_shard_degrades_to_503_while_healthy_shards_keep_answering() {
+    let dataset = dataset();
+    let cfg = config().with_shards(2).with_partition_level(3);
+    let (session, kb) = build(&dataset, cfg);
+    let router = ShardRouter::new(session, kb, Obs::enabled()).expect("router builds");
+
+    let ids = dataset.query_ids();
+    let owned_by = |shard: usize| {
+        ids.iter()
+            .copied()
+            .find(|&id| router.shard_of("IsSafe", id) == Some(shard))
+            .expect("both shards own query atoms")
+    };
+    let (a, b) = (owned_by(0), owned_by(1));
+
+    let server = SyaServer::start(
+        router,
+        ServeConfig { listen: "127.0.0.1:0".into(), workers: 2, ..ServeConfig::default() },
+    )
+    .expect("server starts on the router");
+    let addr = server.local_addr().to_string();
+
+    // Take shard 1 down behind the live server.
+    let sya_serve::ServeState::Sharded(router) = server.state().as_ref() else {
+        panic!("router state expected");
+    };
+    router.mark_shard_down(1);
+    assert_eq!(router.down_shards(), vec![1]);
+
+    // The healthy shard keeps answering; the down shard's atoms come
+    // back 503 with a Retry-After hint, not 404 and not a hang.
+    let m = get_ok(&addr, &format!("/v1/marginal/IsSafe?args={a}"));
+    assert_eq!(m["shard"].as_u64(), Some(0));
+    let down = http_get(&addr, &format!("/v1/marginal/IsSafe?args={b}")).unwrap();
+    assert_eq!(down.status, 503, "{}", down.body);
+    assert!(down.body.contains("shard 1 is down"), "{}", down.body);
+    assert_eq!(down.header("Retry-After"), Some("5"), "headers: {:?}", down.headers);
+
+    // Unknown atoms are still a 404 — degradation must not shadow
+    // client errors.
+    assert_eq!(http_get(&addr, "/v1/marginal/IsSafe?args=999999").unwrap().status, 404);
+
+    // Evidence touching the down shard is rejected whole (no partial
+    // application); evidence for the healthy shard still lands.
+    let ev = http_post_json(
+        &addr,
+        "/v1/evidence",
+        &format!(
+            "{{\"rows\":[{{\"relation\":\"IsSafe\",\"id\":{a},\"value\":1}},\
+             {{\"relation\":\"IsSafe\",\"id\":{b},\"value\":0}}]}}"
+        ),
+    )
+    .unwrap();
+    assert_eq!(ev.status, 503, "{}", ev.body);
+    assert_eq!(router.shard_epochs(), vec![0, 0], "rejected batch must not re-infer");
+    let ok = post_ok(
+        &addr,
+        "/v1/evidence",
+        &format!("{{\"rows\":[{{\"relation\":\"IsSafe\",\"id\":{a},\"value\":1}}]}}"),
+    );
+    assert_eq!(ok["epoch"].as_u64(), Some(1), "{ok}");
+
+    // healthz reports the degradation instead of lying with "ok".
+    let health = get_ok(&addr, "/healthz");
+    assert_eq!(health["status"].as_str(), Some("degraded"));
+    assert_eq!(health["shards_down"], serde_json::json!([1]));
+
+    // Recovery: marking the shard up restores full service.
+    router.mark_shard_up(1);
+    let m = get_ok(&addr, &format!("/v1/marginal/IsSafe?args={b}"));
+    assert_eq!(m["shard"].as_u64(), Some(1));
+    assert_eq!(get_ok(&addr, "/healthz")["status"].as_str(), Some("ok"));
+
     server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
 }
 

@@ -57,11 +57,17 @@ pub struct RetirePolicy {
     /// Absolute epoch floor before retirement is considered (burn-in is
     /// always respected on top of this).
     pub min_epoch: usize,
+    /// Refuse to retire while the shard's boundary-exposed marginals
+    /// have drifted more than `tol` since the quiet streak began (the
+    /// staleness the neighbours would inherit). Off by default: a
+    /// refused retirement resets the streak, trading wall-time for a
+    /// bounded halo error.
+    pub strict: bool,
 }
 
 impl Default for RetirePolicy {
     fn default() -> Self {
-        RetirePolicy { tol: 2e-3, window: 8, min_epoch: 0 }
+        RetirePolicy { tol: 2e-3, window: 8, min_epoch: 0, strict: false }
     }
 }
 
@@ -116,12 +122,13 @@ impl ShardManifest {
     }
 }
 
-fn store_name(shard: usize) -> String {
+/// Name of shard `shard`'s checkpoint store subdirectory.
+pub fn store_name(shard: usize) -> String {
     format!("shard-{shard:02}")
 }
 
 /// Per-shard outcome of a sharded run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardStats {
     pub shard: usize,
     pub owned_vars: usize,
@@ -132,8 +139,45 @@ pub struct ShardStats {
     pub epochs_sampled: usize,
     /// Epoch the shard retired at, if it did.
     pub retired_at: Option<usize>,
+    /// Drift of the boundary-exposed running marginals over the quiet
+    /// window at retirement — the staleness bound the neighbours'
+    /// frozen halos inherit. `None` when the shard never retired.
+    #[serde(default)]
+    pub retire_halo_delta: Option<f64>,
+    /// The shard retired with `retire_halo_delta` above the tolerance
+    /// (possible only when [`RetirePolicy::strict`] is off).
+    #[serde(default)]
+    pub retired_above_tol: bool,
     pub flips_total: u64,
     pub samples_total: u64,
+}
+
+/// Supervision health of one shard at the end of a run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ShardHealth {
+    pub shard: usize,
+    /// Worker restarts consumed (always 0 for in-process runs).
+    pub restarts: usize,
+    /// The shard exhausted its restart budget; its last published halo
+    /// state was frozen for the remainder of the run.
+    pub lost: bool,
+}
+
+impl ShardHealth {
+    pub fn healthy(shard: usize) -> Self {
+        ShardHealth { shard, restarts: 0, lost: false }
+    }
+
+    /// Short human label used by healthz and run summaries.
+    pub fn label(&self) -> &'static str {
+        if self.lost {
+            "lost"
+        } else if self.restarts > 0 {
+            "restarted"
+        } else {
+            "healthy"
+        }
+    }
 }
 
 /// Result of a sharded inference run: merged marginals plus the
@@ -148,6 +192,9 @@ pub struct ShardRunReport {
     /// Mean-merged convergence trajectory across shards.
     pub telemetry: ConvergenceSeries,
     pub per_shard: Vec<ShardStats>,
+    /// Per-shard supervision health — all-healthy for in-process runs;
+    /// cluster runs record restarts and lost shards here.
+    pub health: Vec<ShardHealth>,
     /// Each shard's own counts (zero rows outside its ownership class)
     /// — what the ownership tests assert on.
     pub per_shard_counts: Vec<MarginalCounts>,
@@ -286,7 +333,7 @@ fn prepare_shard_ckpt(
     }
 }
 
-fn publish_static_gauges(obs: &Obs, plan: &ShardPlan) {
+pub(crate) fn publish_static_gauges(obs: &Obs, plan: &ShardPlan) {
     obs.gauge_set("shard.count", plan.shards as f64);
     for s in plan.summaries() {
         obs.gauge_set(&format!("shard.{}.vars", s.shard), s.owned_vars as f64);
@@ -354,6 +401,17 @@ pub fn run_sharded(
             chain.resume_counts(counts, recorded);
         }
     }
+    if retire.is_some() {
+        // Boundary-exposed set of shard i: its owned variables that some
+        // other shard reads as halo (set_boundary drops foreign vars).
+        for (i, chain) in chains.iter_mut().enumerate() {
+            let exposed: Vec<_> = (0..n)
+                .filter(|&s| s != i)
+                .flat_map(|s| plan.interface.halo[s].iter().copied())
+                .collect();
+            chain.set_boundary(&exposed);
+        }
+    }
 
     let barrier = Barrier::new(n);
     let stop = AtomicU32::new(0);
@@ -374,6 +432,9 @@ pub fn run_sharded(
                 let mut outcome = RunOutcome::Completed;
                 let mut shard_warnings = Vec::new();
                 let mut retired_at: Option<usize> = None;
+                let mut retire_halo_delta: Option<f64> = None;
+                let mut retired_above_tol = false;
+                let mut strict_refusals = 0usize;
                 let mut streak = 0usize;
                 let mut epochs_sampled = 0usize;
                 let mut epoch = start_epoch;
@@ -428,10 +489,34 @@ pub fn run_sharded(
                         let delta = chain.end_epoch(board, record);
                         if let (Some(policy), Some(floor)) = (retire, retire_floor) {
                             if record && epoch >= floor && delta < policy.tol {
+                                if streak == 0 {
+                                    chain.snapshot_boundary();
+                                }
                                 streak += 1;
                                 if streak >= policy.window {
-                                    retired_at = Some(epoch);
-                                    retired.fetch_add(1, Ordering::Relaxed);
+                                    let halo_delta = chain.boundary_delta();
+                                    if policy.strict && halo_delta > policy.tol {
+                                        // Refused: the values neighbours
+                                        // read have drifted too far over
+                                        // the quiet window.
+                                        strict_refusals += 1;
+                                        streak = 0;
+                                    } else {
+                                        if halo_delta > policy.tol {
+                                            retired_above_tol = true;
+                                            let msg = format!(
+                                                "shard {i}: retired at epoch {epoch} with \
+                                                 boundary drift {halo_delta:.3e} above tol \
+                                                 {:.3e}; neighbour halos inherit this staleness",
+                                                policy.tol
+                                            );
+                                            ctx.obs().warn(msg.clone());
+                                            shard_warnings.push(msg);
+                                        }
+                                        retire_halo_delta = Some(halo_delta);
+                                        retired_at = Some(epoch);
+                                        retired.fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                             } else {
                                 streak = 0;
@@ -464,6 +549,12 @@ pub fn run_sharded(
                     ));
                     outcome = outcome.combine(RunOutcome::Degraded);
                 }
+                if strict_refusals > 0 {
+                    shard_warnings.push(format!(
+                        "shard {i}: strict retirement gating refused {strict_refusals} \
+                         retirement attempt(s) on boundary drift"
+                    ));
+                }
                 let owned_vars = chain.owned_vars();
                 let (counts, series) = chain.finish();
                 ShardLocal {
@@ -475,6 +566,8 @@ pub fn run_sharded(
                         halo_bytes: plan.interface.halo_bytes(i),
                         epochs_sampled,
                         retired_at,
+                        retire_halo_delta,
+                        retired_above_tol,
                         flips_total: series.flips_total,
                         samples_total: series.samples_total,
                     },
@@ -494,6 +587,7 @@ pub fn run_sharded(
     let mut per_shard_counts = Vec::with_capacity(n);
     let mut all_series = Vec::with_capacity(n);
     let mut epochs_run = 0usize;
+    let mut max_halo_delta: Option<f64> = None;
     for local in locals {
         total.merge(&local.counts);
         outcome = outcome.combine(local.outcome);
@@ -504,9 +598,16 @@ pub fn run_sharded(
             &format!("shard.{}.retired_at", local.stats.shard),
             local.stats.retired_at.map_or(-1.0, |e| e as f64),
         );
+        if let Some(b) = local.stats.retire_halo_delta {
+            obs.gauge_set(&format!("shard.{}.retire.halo_delta", local.stats.shard), b);
+            max_halo_delta = Some(max_halo_delta.map_or(b, |m: f64| m.max(b)));
+        }
         all_series.push(local.series.clone());
         per_shard_counts.push(local.counts);
         per_shard.push(local.stats);
+    }
+    if let Some(b) = max_halo_delta {
+        obs.gauge_set("shard.retire.halo_delta", b);
     }
     let telemetry = ConvergenceSeries::merge_mean(&all_series);
     telemetry.publish(obs, "infer.shard");
@@ -518,6 +619,7 @@ pub fn run_sharded(
         warnings,
         telemetry,
         per_shard,
+        health: (0..n).map(ShardHealth::healthy).collect(),
         per_shard_counts,
         epochs_run,
     })

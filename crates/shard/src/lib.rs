@@ -24,14 +24,21 @@
 //! The serving router that maps queries and evidence to owning shards
 //! lives in `sya-serve`.
 
+pub mod cluster;
 pub mod exec;
 pub mod plan;
+pub mod wire;
 
+pub use cluster::{
+    render_status, run_cluster, run_worker, ClusterConfig, ClusterStatus, StatusServer,
+    ThreadLauncher, WorkerHandle, WorkerLauncher, WorkerOptions, WorkerSpec,
+};
 pub use exec::{
-    run_sharded, RetirePolicy, ShardCkptOptions, ShardManifest, ShardRunReport, ShardStats,
-    MANIFEST_FILE, MANIFEST_SCHEMA,
+    run_sharded, RetirePolicy, ShardCkptOptions, ShardHealth, ShardManifest, ShardRunReport,
+    ShardStats, MANIFEST_FILE, MANIFEST_SCHEMA,
 };
 pub use plan::{ShardPlan, ShardSummary};
+pub use wire::{Frame, WireError};
 
 #[cfg(test)]
 mod tests {
@@ -168,7 +175,7 @@ mod tests {
         let pyramid = PyramidIndex::build(&g, cfg.levels, cfg.cell_capacity);
         let cells = pyramid_cell_map(&g, 1);
         let plan = ShardPlan::build(&g, &cells, 2, 1);
-        let policy = RetirePolicy { tol: 0.05, window: 4, min_epoch: 0 };
+        let policy = RetirePolicy { tol: 0.05, window: 4, min_epoch: 0, strict: false };
         let report = run_sharded(
             &g,
             &pyramid,

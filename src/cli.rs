@@ -8,6 +8,8 @@
 //! sya stats     <program.ddlog> --table NAME=FILE.csv ... [options]
 //! sya run       <program.ddlog> --table NAME=FILE.csv ... [options]
 //! sya serve     <program.ddlog> --table NAME=FILE.csv ... [options]
+//! sya shard-coordinator <program.ddlog> --shards N [options]
+//! sya shard-worker      <program.ddlog> --shard I --connect HOST:PORT [options]
 //!
 //! options:
 //!   --table NAME=FILE.csv     input relation data (repeatable)
@@ -38,6 +40,12 @@
 //!                             merged scores match --shards 1 exactly
 //!   --partition-level L       pyramid level of the shard cut
 //!                             [default: 4]
+//!   --retire-tol T            let a converged shard retire early once
+//!                             its epoch delta stays under T (trades
+//!                             bit-parity with --shards 1 for wall time)
+//!   --retire-tol-strict       refuse retirement while boundary-exposed
+//!                             marginals have drifted past the tolerance
+//!                             (requires --retire-tol)
 //!   --max-factors N           abort grounding past N ground factors
 //!   --max-vars N              abort grounding past N ground variables
 //!   --max-memory-mb N         abort grounding past N MiB (estimated)
@@ -56,6 +64,27 @@
 //!   --refresh-checkpoint-every SECS
 //!                             background-checkpoint the live marginals
 //!                             every SECS seconds (needs --checkpoint-dir)
+//!
+//! cluster options (DESIGN.md §13):
+//!   shard-coordinator spawns one `sya shard-worker` process per shard,
+//!   sequences the halo exchange over TCP, restarts crashed workers
+//!   from their checkpoints, and degrades (frozen halo, partial merge)
+//!   when a shard exhausts its restart budget; shard-worker is spawned
+//!   by the coordinator and rarely run by hand.
+//!
+//!   --cluster-listen H:P      coordinator bind address
+//!                             [default: 127.0.0.1:0 (ephemeral)]
+//!   --restart-budget N        restarts allowed per shard before it is
+//!                             declared lost [default: 2]
+//!   --heartbeat-ms N          per-worker frame deadline [default: 2000]
+//!   --backoff-ms N            base of the exponential restart backoff
+//!                             [default: 100]
+//!   --status-listen H:P       serve the cluster health board over HTTP
+//!                             (one JSON document per GET)
+//!   --status-linger           keep the status server up after the run
+//!                             until SIGTERM (CI reads the final health)
+//!   --shard I                 (worker) this worker's shard index
+//!   --connect H:P             (worker) coordinator address to join
 //! ```
 
 use std::collections::HashMap;
@@ -94,6 +123,8 @@ fn dispatch(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result
         "stats" => cmd_run(&args[1..], out, err, true),
         "run" => cmd_run(&args[1..], out, err, false),
         "serve" => cmd_serve(&args[1..], out, err),
+        "shard-coordinator" => cmd_coordinator(&args[1..], out, err),
+        "shard-worker" => cmd_worker(&args[1..], out, err),
         "--help" | "-h" | "help" => {
             writeln!(out, "{}", USAGE.trim()).map_err(|e| e.to_string())
         }
@@ -102,7 +133,7 @@ fn dispatch(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result
 }
 
 const USAGE: &str = r#"
-usage: sya <validate|translate|stats|run|serve> <program.ddlog> [options]
+usage: sya <validate|translate|stats|run|serve|shard-coordinator|shard-worker> <program.ddlog> [options]
 run `sya help` for the option list
 "#;
 
@@ -112,6 +143,9 @@ struct Options {
     tables: Vec<(String, String)>,
     evidence_path: Option<String>,
     constants: GeomConstants,
+    /// Raw `NAME=WKT` strings, kept so the coordinator can forward them
+    /// verbatim to spawned workers.
+    constant_args: Vec<String>,
     engine: EngineMode,
     metric: DistanceMetric,
     epochs: usize,
@@ -134,6 +168,16 @@ struct Options {
     workers: Option<usize>,
     shards: usize,
     partition_level: Option<u8>,
+    retire_tol: Option<f64>,
+    retire_strict: bool,
+    cluster_listen: String,
+    restart_budget: usize,
+    heartbeat_ms: u64,
+    backoff_ms: u64,
+    status_listen: Option<String>,
+    status_linger: bool,
+    shard: Option<usize>,
+    connect: Option<String>,
     listen: String,
     serve_workers: usize,
     request_timeout_ms: u64,
@@ -146,6 +190,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         tables: Vec::new(),
         evidence_path: None,
         constants: GeomConstants::new(),
+        constant_args: Vec::new(),
         engine: EngineMode::Sya,
         metric: DistanceMetric::Euclidean,
         epochs: 1000,
@@ -168,6 +213,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: None,
         shards: 0,
         partition_level: None,
+        retire_tol: None,
+        retire_strict: false,
+        cluster_listen: "127.0.0.1:0".to_owned(),
+        restart_budget: 2,
+        heartbeat_ms: 2000,
+        backoff_ms: 100,
+        status_listen: None,
+        status_linger: false,
+        shard: None,
+        connect: None,
         listen: "127.0.0.1:7171".to_owned(),
         serve_workers: 4,
         request_timeout_ms: 10_000,
@@ -196,6 +251,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("--constant expects NAME=WKT, got {v:?}"))?;
                 let g = sya_geom::parse_wkt(wkt).map_err(|e| e.to_string())?;
                 opts.constants.insert(name, g);
+                opts.constant_args.push(v);
             }
             "--engine" => {
                 opts.engine = match value("--engine")?.as_str() {
@@ -320,6 +376,50 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("bad --partition-level: {e}"))?,
                 )
             }
+            "--retire-tol" => {
+                let tol: f64 = value("--retire-tol")?
+                    .parse()
+                    .map_err(|e| format!("bad --retire-tol: {e}"))?;
+                if !tol.is_finite() || tol <= 0.0 {
+                    return Err(format!("bad --retire-tol: {tol} (want a tolerance > 0)"));
+                }
+                opts.retire_tol = Some(tol);
+            }
+            "--retire-tol-strict" => opts.retire_strict = true,
+            "--cluster-listen" => opts.cluster_listen = value("--cluster-listen")?,
+            "--restart-budget" => {
+                opts.restart_budget = value("--restart-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --restart-budget: {e}"))?
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 = value("--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --heartbeat-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("bad --heartbeat-ms: 0 (want milliseconds >= 1)".to_owned());
+                }
+                opts.heartbeat_ms = ms;
+            }
+            "--backoff-ms" => {
+                let ms: u64 = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --backoff-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("bad --backoff-ms: 0 (want milliseconds >= 1)".to_owned());
+                }
+                opts.backoff_ms = ms;
+            }
+            "--status-listen" => opts.status_listen = Some(value("--status-listen")?),
+            "--status-linger" => opts.status_linger = true,
+            "--shard" => {
+                opts.shard = Some(
+                    value("--shard")?
+                        .parse()
+                        .map_err(|e| format!("bad --shard: {e}"))?,
+                )
+            }
+            "--connect" => opts.connect = Some(value("--connect")?),
             "--workers" => {
                 let n: usize = value("--workers")?
                     .parse()
@@ -342,6 +442,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.refresh_checkpoint_every.is_some() && opts.checkpoint_dir.is_none() {
         return Err("--refresh-checkpoint-every requires --checkpoint-dir".to_owned());
+    }
+    if opts.retire_strict && opts.retire_tol.is_none() {
+        return Err("--retire-tol-strict requires --retire-tol".to_owned());
+    }
+    if opts.status_linger && opts.status_listen.is_none() {
+        return Err("--status-linger requires --status-listen".to_owned());
     }
     Ok(opts)
 }
@@ -586,71 +692,54 @@ fn config_from_opts(opts: &Options) -> SyaConfig {
     if let Some(level) = opts.partition_level {
         config = config.with_partition_level(level);
     }
+    if let Some(tol) = opts.retire_tol {
+        config = config.with_retire_tol(tol).with_retire_strict(opts.retire_strict);
+    }
     config
 }
 
-fn cmd_run(
-    args: &[String],
-    out: &mut dyn Write,
-    err: &mut dyn Write,
-    stats_only: bool,
-) -> Result<(), String> {
-    let opts = parse_options(args)?;
-    let src = read_program(&opts.program_path)?;
-    let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
-    let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
-    let obs = if observed { Obs::enabled() } else { Obs::disabled() };
-    let config = config_from_opts(&opts);
+/// Boxed evidence lookup handed to the pipeline: `(relation, args) ->
+/// clamped value`.
+type EvidenceFn = Box<dyn Fn(&str, &[Value]) -> Option<u32>>;
 
+/// The session + data + evidence closure shared by every data-bearing
+/// subcommand (`run`, `stats`, `serve`, and both cluster roles): reads
+/// the program, builds the config from the flags, loads the tables, and
+/// validates the evidence file.
+fn prepare_run(
+    opts: &Options,
+    obs: &Obs,
+) -> Result<(SyaSession, Database, EvidenceFn, usize), String> {
+    let src = read_program(&opts.program_path)?;
+    let config = config_from_opts(opts);
     let session =
         SyaSession::new_with_obs(&src, opts.constants.clone(), opts.metric, config, obs.clone())
             .map_err(|e| e.to_string())?;
-    let mut db = load_database(session.compiled(), &opts.tables)?;
+    let db = load_database(session.compiled(), &opts.tables)?;
     let evidence = match &opts.evidence_path {
         Some(p) => load_evidence(p, session.compiled(), &session.config().ground.domains)?,
         None => HashMap::new(),
     };
-    let mut diag = Diag { err, obs: obs.clone() };
-    diag.debug(format!(
-        "loaded {} input table(s), {} evidence row(s)",
-        opts.tables.len(),
-        evidence.len()
-    ));
-    let ev_fn = move |relation: &str, values: &[Value]| -> Option<u32> {
+    let n_evidence = evidence.len();
+    let ev_fn = Box::new(move |relation: &str, values: &[Value]| -> Option<u32> {
         values
             .first()
             .and_then(Value::as_int)
             .and_then(|id| evidence.get(&(relation.to_owned(), id)).copied())
-    };
-    let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
+    });
+    Ok((session, db, ev_fn, n_evidence))
+}
 
-    // Degradation report: partial/degraded runs still emit scores, but
-    // the operator learns how the run ended and what was lost.
-    for w in &kb.warnings {
-        diag.warn(w)?;
-    }
-    if !kb.outcome.is_completed() {
-        diag.info(&format!("run outcome: {}", kb.outcome))?;
-    }
-    write_observability(&opts, &obs, trace_stderr, out, diag.err)?;
-
-    if stats_only {
-        writeln!(
-            out,
-            "variables: {}\nlogical factors: {}\nspatial factors: {}\n\
-             grounding: {:.1} ms\ninference: {:.1} ms\noutcome: {}",
-            kb.grounding.graph.num_variables(),
-            kb.grounding.graph.num_factors(),
-            kb.grounding.graph.num_spatial_factors(),
-            kb.timings.grounding.as_secs_f64() * 1e3,
-            kb.timings.inference.as_secs_f64() * 1e3,
-            kb.outcome,
-        )
-        .map_err(|e| e.to_string())?;
-        return Ok(());
-    }
-
-    // Factual scores for every variable relation.
+/// Emits the factual scores of a constructed KB the way `sya run` does:
+/// sorted `relation,id,score` CSV to stdout or `--output`, plus the
+/// optional GeoJSON artifact. Shared with `shard-coordinator`, whose
+/// merged cluster scores go through the identical emission path.
+fn emit_scores(
+    opts: &Options,
+    session: &SyaSession,
+    kb: &sya_core::KnowledgeBase,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let variable_relations: Vec<String> = session
         .compiled()
         .schemas
@@ -693,6 +782,55 @@ fn cmd_run(
     Ok(())
 }
 
+fn cmd_run(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+    stats_only: bool,
+) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
+    let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
+    let obs = if observed { Obs::enabled() } else { Obs::disabled() };
+    let (session, mut db, ev_fn, n_evidence) = prepare_run(&opts, &obs)?;
+    let mut diag = Diag { err, obs: obs.clone() };
+    diag.debug(format!(
+        "loaded {} input table(s), {} evidence row(s)",
+        opts.tables.len(),
+        n_evidence
+    ));
+    let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
+
+    // Degradation report: partial/degraded runs still emit scores, but
+    // the operator learns how the run ended and what was lost.
+    for w in &kb.warnings {
+        diag.warn(w)?;
+    }
+    if !kb.outcome.is_completed() {
+        diag.info(&format!("run outcome: {}", kb.outcome))?;
+    }
+    write_observability(&opts, &obs, trace_stderr, out, diag.err)?;
+
+    if stats_only {
+        writeln!(
+            out,
+            "variables: {}\nlogical factors: {}\nspatial factors: {}\n\
+             grounding: {:.1} ms\ninference: {:.1} ms\noutcome: {}",
+            kb.grounding.graph.num_variables(),
+            kb.grounding.graph.num_factors(),
+            kb.grounding.graph.num_spatial_factors(),
+            kb.timings.grounding.as_secs_f64() * 1e3,
+            kb.timings.inference.as_secs_f64() * 1e3,
+            kb.outcome,
+        )
+        .map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+
+    // Factual scores for every variable relation.
+    emit_scores(&opts, &session, &kb, out)
+}
+
 /// `sya serve`: construct the KB once (optionally warm-started via
 /// `--checkpoint-dir --resume`), then keep it live behind the HTTP
 /// serving layer until SIGTERM/SIGINT or a cancelled token.
@@ -708,31 +846,16 @@ fn cmd_serve(
                 .to_owned(),
         );
     }
-    let src = read_program(&opts.program_path)?;
     // Serving is always observed: /metrics is an endpoint, not an
     // opt-in artifact.
     let obs = Obs::enabled();
-    let config = config_from_opts(&opts);
-    let session =
-        SyaSession::new_with_obs(&src, opts.constants.clone(), opts.metric, config, obs.clone())
-            .map_err(|e| e.to_string())?;
-    let mut db = load_database(session.compiled(), &opts.tables)?;
-    let evidence = match &opts.evidence_path {
-        Some(p) => load_evidence(p, session.compiled(), &session.config().ground.domains)?,
-        None => HashMap::new(),
-    };
+    let (session, mut db, ev_fn, n_evidence) = prepare_run(&opts, &obs)?;
     let mut diag = Diag { err, obs: obs.clone() };
     diag.debug(format!(
         "loaded {} input table(s), {} evidence row(s)",
         opts.tables.len(),
-        evidence.len()
+        n_evidence
     ));
-    let ev_fn = move |relation: &str, values: &[Value]| -> Option<u32> {
-        values
-            .first()
-            .and_then(Value::as_int)
-            .and_then(|id| evidence.get(&(relation.to_owned(), id)).copied())
-    };
     let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
     for w in &kb.warnings {
         diag.warn(w)?;
@@ -775,6 +898,242 @@ fn cmd_serve(
     server
         .shutdown(std::time::Duration::from_secs(10))
         .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// The worker argv a coordinator forwards to every spawned process:
+/// the subset of its own flags that shapes the graph, the plan, and the
+/// sampler — so each worker grounds the *identical* factor graph (the
+/// rendezvous verifies this by fingerprint). Output/trace flags are
+/// deliberately dropped: workers produce frames, not artifacts.
+fn worker_args(opts: &Options) -> Vec<String> {
+    let mut a: Vec<String> = vec!["shard-worker".to_owned(), opts.program_path.clone()];
+    for (name, path) in &opts.tables {
+        a.extend(["--table".to_owned(), format!("{name}={path}")]);
+    }
+    if let Some(p) = &opts.evidence_path {
+        a.extend(["--evidence".to_owned(), p.clone()]);
+    }
+    for c in &opts.constant_args {
+        a.extend(["--constant".to_owned(), c.clone()]);
+    }
+    let engine = match opts.engine {
+        EngineMode::Sya => "sya",
+        _ => "deepdive",
+    };
+    let metric = match opts.metric {
+        DistanceMetric::Euclidean => "euclidean",
+        DistanceMetric::HaversineMiles => "haversine-miles",
+    };
+    a.extend(["--engine".to_owned(), engine.to_owned()]);
+    a.extend(["--metric".to_owned(), metric.to_owned()]);
+    a.extend(["--epochs".to_owned(), opts.epochs.to_string()]);
+    a.extend(["--seed".to_owned(), opts.seed.to_string()]);
+    if let Some(b) = opts.bandwidth {
+        a.extend(["--bandwidth".to_owned(), b.to_string()]);
+    }
+    if let Some(r) = opts.radius {
+        a.extend(["--radius".to_owned(), r.to_string()]);
+    }
+    if let Some(n) = opts.max_factors {
+        a.extend(["--max-factors".to_owned(), n.to_string()]);
+    }
+    if let Some(n) = opts.max_vars {
+        a.extend(["--max-vars".to_owned(), n.to_string()]);
+    }
+    if let Some(mb) = opts.max_memory_mb {
+        a.extend(["--max-memory-mb".to_owned(), mb.to_string()]);
+    }
+    if let Some(n) = opts.workers {
+        a.extend(["--workers".to_owned(), n.to_string()]);
+    }
+    a.extend(["--shards".to_owned(), opts.shards.to_string()]);
+    if let Some(level) = opts.partition_level {
+        a.extend(["--partition-level".to_owned(), level.to_string()]);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        a.extend(["--checkpoint-dir".to_owned(), dir.clone()]);
+        a.extend(["--checkpoint-every".to_owned(), opts.checkpoint_every.to_string()]);
+    }
+    if let Some(tol) = opts.retire_tol {
+        a.extend(["--retire-tol".to_owned(), tol.to_string()]);
+        if opts.retire_strict {
+            a.push("--retire-tol-strict".to_owned());
+        }
+    }
+    a.extend(["--heartbeat-ms".to_owned(), opts.heartbeat_ms.to_string()]);
+    a
+}
+
+/// A spawned `sya shard-worker` process.
+struct ChildHandle(std::process::Child);
+
+impl sya_core::WorkerHandle for ChildHandle {
+    fn kill(&mut self) {
+        // Reap after killing so restarts don't accumulate zombies over a
+        // long supervised run. Both calls are idempotent-enough: a dead
+        // child just returns an error we don't care about.
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns workers as child processes of the coordinator: the same `sya`
+/// binary, `shard-worker` subcommand, identical graph-shaping flags.
+struct ProcessLauncher {
+    exe: std::path::PathBuf,
+    base_args: Vec<String>,
+    /// `--resume` was given to the coordinator (first attempts then
+    /// advertise existing checkpoints too, not just restarts).
+    resume: bool,
+    /// Whether a checkpoint dir is configured; without one `--resume`
+    /// would be rejected by the worker's own flag validation.
+    has_ckpt: bool,
+}
+
+impl sya_core::WorkerLauncher for ProcessLauncher {
+    fn launch(
+        &self,
+        spec: &sya_core::WorkerSpec,
+    ) -> Result<Box<dyn sya_core::WorkerHandle>, String> {
+        let mut cmd = std::process::Command::new(&self.exe);
+        cmd.args(&self.base_args)
+            .arg("--shard")
+            .arg(spec.shard.to_string())
+            .arg("--connect")
+            .arg(&spec.connect)
+            // Workers write no artifacts; their stderr (warnings, crash
+            // reasons) stays attached to the coordinator's stderr.
+            .stdout(std::process::Stdio::null());
+        if (self.resume || spec.attempt > 0) && self.has_ckpt {
+            cmd.arg("--resume");
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker for shard {}: {e}", spec.shard))?;
+        Ok(Box::new(ChildHandle(child)))
+    }
+}
+
+/// `sya shard-coordinator`: the multi-process cluster front end
+/// (DESIGN.md §13). Grounds the graph, spawns one `shard-worker`
+/// process per shard, supervises the fleet over TCP, and emits the
+/// merged scores through the same path as `sya run` — a crashed worker
+/// is restarted from its checkpoint, an exhausted restart budget
+/// degrades the run instead of failing it.
+fn cmd_coordinator(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    if opts.shards == 0 {
+        return Err("shard-coordinator requires --shards >= 1".to_owned());
+    }
+    let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
+    let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
+    let obs = if observed { Obs::enabled() } else { Obs::disabled() };
+    let (session, mut db, ev_fn, n_evidence) = prepare_run(&opts, &obs)?;
+    let mut diag = Diag { err, obs: obs.clone() };
+    diag.debug(format!(
+        "loaded {} input table(s), {} evidence row(s)",
+        opts.tables.len(),
+        n_evidence
+    ));
+
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the sya binary to spawn workers: {e}"))?;
+    let launcher = ProcessLauncher {
+        exe,
+        base_args: worker_args(&opts),
+        resume: opts.resume,
+        has_ckpt: opts.checkpoint_dir.is_some(),
+    };
+    let backoff_base = std::time::Duration::from_millis(opts.backoff_ms);
+    let cluster = sya_core::ClusterConfig {
+        listen: opts.cluster_listen.clone(),
+        heartbeat: std::time::Duration::from_millis(opts.heartbeat_ms),
+        backoff: sya_core::Backoff::new(backoff_base, backoff_base.saturating_mul(8)),
+        restart_budget: opts.restart_budget,
+    };
+    let status = match &opts.status_listen {
+        Some(listen) => {
+            let server = sya_core::StatusServer::start(listen)?;
+            // The smoke scripts parse this line for the bound port.
+            writeln!(out, "status on http://{}", server.addr()).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Some(server)
+        }
+        None => None,
+    };
+
+    let ctx = sya_core::ExecContext::new(session.config().budget.clone()).with_obs(obs.clone());
+    let kb = session
+        .construct_cluster(&mut db, &ev_fn, &launcher, &cluster, status.as_ref(), &ctx)
+        .map_err(|e| e.to_string())?;
+    for w in &kb.warnings {
+        diag.warn(w)?;
+    }
+    if !kb.outcome.is_completed() {
+        diag.info(&format!("run outcome: {}", kb.outcome))?;
+    }
+    write_observability(&opts, &obs, trace_stderr, out, diag.err)?;
+    emit_scores(&opts, &session, &kb, out)?;
+    out.flush().map_err(|e| e.to_string())?;
+
+    // --status-linger keeps the final health board queryable after the
+    // run (the CI chaos smoke reads the degraded verdict here), until a
+    // SIGTERM/SIGINT arrives.
+    if opts.status_linger {
+        sya_serve::install_termination_handler();
+        while !sya_serve::termination_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+    Ok(())
+}
+
+/// `sya shard-worker`: one shard of a cluster run. Spawned by the
+/// coordinator; grounds the identical graph from the identical flags,
+/// joins the coordinator, samples with socket halo exchange, and
+/// checkpoints locally so a restarted successor can resume.
+fn cmd_worker(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let Some(shard) = opts.shard else {
+        return Err("shard-worker requires --shard".to_owned());
+    };
+    let Some(connect) = opts.connect.clone() else {
+        return Err("shard-worker requires --connect".to_owned());
+    };
+    if opts.shards == 0 {
+        return Err(
+            "shard-worker requires --shards >= 1 (the same value as the coordinator)"
+                .to_owned(),
+        );
+    }
+    let obs = Obs::disabled();
+    let (session, mut db, ev_fn, _) = prepare_run(&opts, &obs)?;
+    let mut diag = Diag { err, obs: obs.clone() };
+    let wopts = sya_core::WorkerOptions {
+        shard,
+        connect,
+        resume: opts.resume,
+        // The read deadline must ride out a full coordinator-side
+        // rollback (backoff + relaunch + re-grounding of the successor).
+        read_timeout: std::time::Duration::from_millis(opts.heartbeat_ms.saturating_mul(15))
+            .max(std::time::Duration::from_secs(30)),
+        ..Default::default()
+    };
+    let ctx = sya_core::ExecContext::new(session.config().budget.clone()).with_obs(obs.clone());
+    session
+        .run_cluster_worker(&mut db, &ev_fn, &wopts, &ctx)
+        .map_err(|e| e.to_string())?;
+    diag.info(&format!("shard {shard} worker finished"))?;
+    let _ = out;
     Ok(())
 }
 
