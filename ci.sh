@@ -210,3 +210,67 @@ if ! wait "$coord"; then
 fi
 test -s /tmp/sya_ci_cluster_degraded.csv
 echo "cluster degraded smoke: lost shard reported, run degraded instead of failing"
+
+# Fleet-metrics smoke (DESIGN.md §14): a clean 2-worker cluster with a
+# lingering status board must serve fleet-aggregated Prometheus metrics
+# — a positive fleet samples rollup, per-shard labelled series, and the
+# per-shard max_delta / staleness gauges the telemetry plane exists for.
+fleet_log=/tmp/sya_ci_fleet.log
+rm -f "$fleet_log" /tmp/sya_ci_fleet.csv
+./target/release/sya shard-coordinator "${cluster_common[@]}" \
+    --heartbeat-ms 10000 \
+    --status-listen 127.0.0.1:0 --status-linger \
+    --output /tmp/sya_ci_fleet.csv > "$fleet_log" &
+coord=$!
+fleet_addr=""
+for _ in $(seq 1 3000); do
+    fleet_addr=$(sed -n 's|^status on http://||p' "$fleet_log")
+    if [ -n "$fleet_addr" ]; then break; fi
+    if ! kill -0 "$coord" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+test -n "$fleet_addr"
+board=""
+for _ in $(seq 1 6000); do
+    board=$(http_get "$fleet_addr" / 2> /dev/null || true)
+    case "$board" in *'"done":true'*) break ;; esac
+    sleep 0.01
+done
+metrics=$(http_get "$fleet_addr" /metrics 2> /dev/null || true)
+fleet_samples=$(printf '%s\n' "$metrics" \
+    | sed -n 's/^sya_fleet_infer_shard_samples_total \([0-9]*\).*/\1/p')
+if [ -z "$fleet_samples" ] || [ "$fleet_samples" -le 0 ]; then
+    echo "fleet metrics smoke: fleet samples_total missing or zero" >&2
+    printf '%s\n' "$metrics" >&2
+    exit 1
+fi
+for needle in \
+    'sya_infer_shard_samples_total{shard="0"}' \
+    'sya_infer_shard_samples_total{shard="1"}' \
+    'sya_shard_max_delta{shard="0"}' \
+    'sya_fleet_shard_staleness_epochs{shard="1"}'; do
+    case "$metrics" in
+    *"$needle"*) : ;;
+    *)  echo "fleet metrics smoke: /metrics is missing $needle" >&2
+        printf '%s\n' "$metrics" >&2
+        exit 1 ;;
+    esac
+done
+case "$(http_get "$fleet_addr" /fleet 2> /dev/null || true)" in
+*'"schema": "sya.fleet.v1"'*) : ;;
+*)  echo "fleet metrics smoke: /fleet is not a sya.fleet.v1 document" >&2
+    exit 1 ;;
+esac
+kill -TERM "$coord"
+if ! wait "$coord"; then
+    echo "fleet metrics smoke: coordinator did not exit cleanly" >&2
+    exit 1
+fi
+echo "fleet metrics smoke: $fleet_samples fleet samples, per-shard labels and drift gauges served"
+
+# Sampler hot-path baseline: the bench bin must produce a valid
+# BENCH_sampler.json (three samplers x three graph sizes, positive
+# throughput) — the floor the ROADMAP 10x sampler item measures against.
+./target/release/sampler_hotpath /tmp/sya_ci_bench_sampler.json 60 2> /dev/null
+./target/release/sampler_bench_smoke /tmp/sya_ci_bench_sampler.json
+echo "sampler hot-path smoke: BENCH_sampler.json schema valid"

@@ -1,0 +1,31 @@
+//! CI smoke validator for `BENCH_sampler.json` (written by the
+//! `sampler_hotpath` bin).
+//!
+//! ```text
+//! sampler_bench_smoke BENCH_sampler.json
+//! ```
+//!
+//! Exits 0 when the file is a valid `sya.bench.sampler.v1` document
+//! with a positive `samples_per_sec` for all three samplers on at least
+//! three graph sizes; prints the first violation and exits 1 otherwise.
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: sampler_bench_smoke BENCH_sampler.json");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("sampler_bench_smoke: cannot read {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match sya_bench::validate_sampler_bench_json(&text) {
+        Ok(()) => println!("sampler_bench_smoke: {path} ok"),
+        Err(msg) => {
+            eprintln!("sampler_bench_smoke: {path}: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -132,6 +132,46 @@ pub fn validate_metrics_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `sya.bench.sampler.v1` document (`BENCH_sampler.json`,
+/// written by the `sampler_hotpath` bin): it must parse, carry the
+/// schema tag, and report a positive `samples_per_sec` for each of the
+/// three samplers on at least three distinct graph sizes — the floor
+/// the ROADMAP 10× sampler item measures against.
+pub fn validate_sampler_bench_json(text: &str) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if v["schema"] != "sya.bench.sampler.v1" {
+        return Err(format!("bad schema tag: {}", v["schema"]));
+    }
+    let runs = v["runs"].as_array().ok_or("missing runs array")?;
+    let mut sizes_of: std::collections::HashMap<String, HashSet<u64>> =
+        std::collections::HashMap::new();
+    for (i, r) in runs.iter().enumerate() {
+        let sampler = r["sampler"]
+            .as_str()
+            .ok_or_else(|| format!("run {i}: missing sampler name"))?;
+        for key in ["wall_seconds", "samples_per_sec", "ns_per_delta_energy"] {
+            if !r[key].is_number() {
+                return Err(format!("run {i} ({sampler}): missing {key:?}"));
+            }
+        }
+        if r["samples_per_sec"].as_f64().unwrap_or(0.0) <= 0.0 {
+            return Err(format!("run {i} ({sampler}): samples_per_sec is not positive"));
+        }
+        let grid = r["grid"]
+            .as_u64()
+            .ok_or_else(|| format!("run {i} ({sampler}): missing grid size"))?;
+        sizes_of.entry(sampler.to_owned()).or_default().insert(grid);
+    }
+    for sampler in ["sequential", "parallel_random", "spatial"] {
+        let n = sizes_of.get(sampler).map_or(0, HashSet::len);
+        if n < 3 {
+            return Err(format!("sampler {sampler:?} covers {n} graph size(s), want >= 3"));
+        }
+    }
+    Ok(())
+}
+
 /// Evaluates a knowledge base with the paper's quality metrics.
 pub fn evaluate(dataset: &Dataset, kb: &KnowledgeBase) -> QualityEval {
     let relation = target_relation(dataset);
@@ -231,6 +271,36 @@ mod tests {
         assert!(validate_metrics_json("{\"schema\": \"other\"}").is_err());
         let empty = sya_obs::export::render_metrics_json(&Default::default());
         assert!(validate_metrics_json(&empty).is_err());
+    }
+
+    #[test]
+    fn sampler_bench_validator_accepts_complete_and_rejects_partial() {
+        let run = |sampler: &str, grid: u64| {
+            format!(
+                "{{\"sampler\": \"{sampler}\", \"grid\": {grid}, \"wall_seconds\": 0.5, \
+                 \"samples_per_sec\": 1000.0, \"ns_per_delta_energy\": 120.0}}"
+            )
+        };
+        let mut rows = Vec::new();
+        for sampler in ["sequential", "parallel_random", "spatial"] {
+            for grid in [16, 24, 32] {
+                rows.push(run(sampler, grid));
+            }
+        }
+        let good = format!(
+            "{{\"schema\": \"sya.bench.sampler.v1\", \"runs\": [{}]}}",
+            rows.join(",")
+        );
+        validate_sampler_bench_json(&good).unwrap();
+
+        assert!(validate_sampler_bench_json("not json").is_err());
+        assert!(validate_sampler_bench_json("{\"schema\": \"other\", \"runs\": []}").is_err());
+        // A sampler missing one graph size must be rejected.
+        let partial = format!(
+            "{{\"schema\": \"sya.bench.sampler.v1\", \"runs\": [{}]}}",
+            rows[..8].join(",")
+        );
+        assert!(validate_sampler_bench_json(&partial).is_err());
     }
 
     #[test]

@@ -221,6 +221,9 @@ impl SyaSession {
         drop(infer_span);
         let inference_time = t1.elapsed();
         obs.gauge_set("phase.inference_seconds", inference_time.as_secs_f64());
+        // Fold hot-path profiler totals (if armed) into the registry so
+        // `--metrics-out` dumps and `/metrics` carry `profile.*`.
+        sya_obs::profile::publish(obs);
         outcome = outcome.combine(run.outcome);
         warnings.extend(run.warnings);
 
@@ -404,6 +407,7 @@ impl SyaSession {
         )?;
         let inference_time = t1.elapsed();
         obs.gauge_set("phase.inference_seconds", inference_time.as_secs_f64());
+        sya_obs::profile::publish(obs);
         let outcome = grounding.outcome.combine(report.outcome);
         Ok(KnowledgeBase {
             grounding,

@@ -35,13 +35,16 @@ pub(crate) fn sample_conditional(
     v: VarId,
     rng: &mut StdRng,
 ) -> u32 {
-    if graph.variable(v).domain.cardinality() == 2 {
+    let prof = sya_obs::profile::start();
+    let x = if graph.variable(v).domain.cardinality() == 2 {
         let p1 = binary_conditional_true(graph, value_source, v);
         u32::from(rng.gen::<f64>() < p1)
     } else {
         let probs = conditional_with(graph, value_source, v);
         sample_index(rng, &probs)
-    }
+    };
+    sya_obs::profile::stop(sya_obs::profile::Site::DeltaEnergy, prof);
+    x
 }
 
 /// Random initial assignment: evidence clamped, query variables uniform.
@@ -77,11 +80,13 @@ pub(crate) fn save_checkpoint(
     warnings: &mut Vec<String>,
     outcome: &mut RunOutcome,
 ) {
+    let prof = sya_obs::profile::start();
     let res = if ctx.take_checkpoint_save_failure() {
         Err("injected fault: checkpoint save failed".to_owned())
     } else {
         sink.save(state)
     };
+    sya_obs::profile::stop(sya_obs::profile::Site::CkptWrite, prof);
     if let Err(e) = res {
         warnings.push(format!(
             "checkpoint at epoch {} could not be saved ({e}); the run continues \

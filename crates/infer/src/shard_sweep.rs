@@ -279,6 +279,7 @@ impl<'g> ShardChain<'g> {
         epoch: usize,
         record: bool,
     ) {
+        let prof = sya_obs::profile::start();
         let graph = self.graph;
         let src = |u: VarId| board[u as usize].load(Ordering::Relaxed);
         let conclique = schedule.phases[phase].conclique;
@@ -296,11 +297,13 @@ impl<'g> ShardChain<'g> {
                 *slot += self.writes.len() as u64;
             }
         }
+        sya_obs::profile::stop(sya_obs::profile::Site::ConcliqueSweep, prof);
     }
 
     /// Publishes the buffered phase writes to the board (the halo
     /// exchange: after the barrier every shard sees these values).
     pub fn publish(&mut self, board: &[AtomicU32]) {
+        let prof = sya_obs::profile::start();
         for (v, x) in self.writes.drain(..) {
             let old = board[v as usize].load(Ordering::Relaxed);
             if x != old {
@@ -308,6 +311,17 @@ impl<'g> ShardChain<'g> {
             }
             board[v as usize].store(x, Ordering::Relaxed);
         }
+        sya_obs::profile::stop(sya_obs::profile::Site::HaloPublish, prof);
+    }
+
+    /// Total samples drawn and value flips so far (closed epochs plus
+    /// the one in flight) — what the cluster worker ships per epoch in
+    /// its `Telemetry` frame.
+    pub fn progress(&self) -> (u64, u64) {
+        (
+            self.series.samples_total + self.epoch_samples,
+            self.series.flips_total + self.epoch_flips,
+        )
     }
 
     /// Closes an epoch: records owned evidence rows, folds the board

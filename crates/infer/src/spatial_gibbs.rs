@@ -556,6 +556,7 @@ fn run_instance(
         for (level, cover) in &level_plans {
             let level = *level;
             for (conclique, group) in cover {
+                let prof = sya_obs::profile::start();
                 let worker_seed = |ci: usize| {
                     cfg.seed
                         ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -612,6 +613,7 @@ fn run_instance(
                     }
                     epoch_samples += drawn;
                     telemetry.add_conclique_samples(conclique.0 as usize, drawn);
+                    sya_obs::profile::stop(sya_obs::profile::Site::ConcliqueSweep, prof);
                     continue;
                 }
                 let chunk = group.len().div_ceil(workers).max(1);
@@ -685,6 +687,7 @@ fn run_instance(
                         }
                     }
                 }
+                sya_obs::profile::stop(sya_obs::profile::Site::ConcliqueSweep, prof);
             }
         }
         // Sequential sweep of unlocated variables.

@@ -31,7 +31,7 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     escape_json(s, &mut out);
@@ -40,7 +40,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// Format an `f64` as a JSON number (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -126,7 +126,7 @@ fn end_block(empty: bool) -> &'static str {
 
 /// Mangle a `phase.noun_unit` metric name into a Prometheus identifier
 /// (`sya_phase_noun_unit`).
-fn prom_name(name: &str) -> String {
+pub(crate) fn prom_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 4);
     out.push_str("sya_");
     for c in name.chars() {
@@ -144,7 +144,7 @@ fn prom_name(name: &str) -> String {
 /// `\"`, and `\n` respectively. Without this, a label value containing
 /// any of them splits the sample line and the whole scrape fails to
 /// parse.
-fn escape_label_value(value: &str) -> String {
+pub(crate) fn escape_label_value(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
@@ -222,7 +222,9 @@ fn event_json(e: &EventRecord) -> String {
 }
 
 /// Render the trace as JSON lines, interleaved in timestamp order
-/// (spans keyed by start time).
+/// (spans keyed by start time). When a cross-process run ID is stamped
+/// on the tracer, the first line is a `{"type": "run", "run_id": ..}`
+/// preamble so per-process files stitch into one timeline.
 pub fn render_trace_jsonl(snap: &TracerSnapshot) -> String {
     let mut lines: Vec<(u64, u8, String)> = Vec::with_capacity(snap.spans.len() + snap.events.len());
     for s in &snap.spans {
@@ -233,6 +235,9 @@ pub fn render_trace_jsonl(snap: &TracerSnapshot) -> String {
     }
     lines.sort_by_key(|&(t, kind, _)| (t, kind));
     let mut out = String::new();
+    if let Some(run_id) = snap.run_id {
+        let _ = writeln!(out, "{{\"type\": \"run\", \"run_id\": {}}}", json_str(&format!("{run_id:#018x}")));
+    }
     for (_, _, line) in lines {
         out.push_str(&line);
         out.push('\n');

@@ -1,0 +1,378 @@
+//! Fleet-wide metric aggregation for the cluster coordinator
+//! (DESIGN.md §14).
+//!
+//! Each `shard-worker` ships a [`MetricsSnapshot`] per epoch over the
+//! wire (`Frame::Telemetry`); the coordinator folds them into a
+//! [`FleetView`] — the single pane of glass the `--status-listen` board
+//! serves. Aggregation semantics, per metric kind:
+//!
+//! * **counters** — per-shard samples labelled `{shard="N"}` plus a
+//!   fleet **sum** under `fleet.<name>`;
+//! * **gauges** — per-shard samples plus a fleet **max** (a fleet gauge
+//!   is a worst-case signal: the largest `max_delta`, the slowest
+//!   epoch);
+//! * **series** — exported as a per-shard `_last` gauge (the trajectory
+//!   itself stays in each worker's own `--metrics-out` dump);
+//! * **staleness** — `fleet.shard_staleness_epochs{shard=N}`: how many
+//!   epochs behind the coordinator's lockstep epoch that shard's last
+//!   telemetry shipment is. A shard that stops reporting goes stale
+//!   instead of vanishing.
+//!
+//! A shard's successive shipments *replace* each other (worker counters
+//! are cumulative), so re-shipping after a rollback or restart is
+//! idempotent.
+
+use crate::export::{escape_label_value, json_f64, json_str, prom_name};
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into the fleet JSON document.
+pub const FLEET_SCHEMA: &str = "sya.fleet.v1";
+
+/// One shard's most recent telemetry shipment.
+#[derive(Clone, Debug, Default)]
+pub struct ShardTelemetry {
+    /// Epoch the shipment was taken at.
+    pub epoch: u64,
+    pub snap: MetricsSnapshot,
+}
+
+/// The coordinator's merged view over every shard's shipments.
+#[derive(Clone, Debug, Default)]
+pub struct FleetView {
+    run_id: u64,
+    /// The coordinator's lockstep epoch (staleness reference point).
+    epoch_now: u64,
+    shards: BTreeMap<u32, ShardTelemetry>,
+    /// The coordinator's own metrics (`cluster.*` supervision counters),
+    /// rendered unlabelled next to the per-shard samples.
+    coordinator: Option<MetricsSnapshot>,
+}
+
+impl FleetView {
+    pub fn new(run_id: u64) -> Self {
+        FleetView { run_id, epoch_now: 0, shards: BTreeMap::new(), coordinator: None }
+    }
+
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// Stamp (or restamp) the coordinator-issued run ID.
+    pub fn set_run_id(&mut self, run_id: u64) {
+        self.run_id = run_id;
+    }
+
+    /// Replace the coordinator's own snapshot.
+    pub fn set_coordinator(&mut self, snap: MetricsSnapshot) {
+        self.coordinator = Some(snap);
+    }
+
+    /// Replace `shard`'s telemetry with a fresh shipment.
+    pub fn record(&mut self, shard: u32, epoch: u64, snap: MetricsSnapshot) {
+        self.epoch_now = self.epoch_now.max(epoch);
+        self.shards.insert(shard, ShardTelemetry { epoch, snap });
+    }
+
+    /// Advance the staleness reference point (the coordinator's lockstep
+    /// epoch); never moves backwards.
+    pub fn observe_epoch(&mut self, epoch: u64) {
+        self.epoch_now = self.epoch_now.max(epoch);
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Epochs between the coordinator's lockstep epoch and `shard`'s
+    /// last shipment (`None` for a shard that never reported).
+    pub fn staleness(&self, shard: u32) -> Option<u64> {
+        self.shards.get(&shard).map(|t| self.epoch_now.saturating_sub(t.epoch))
+    }
+
+    /// Fleet rollup: counters summed, gauges maxed over shards, plus
+    /// `fleet.shards_reporting` / `fleet.epoch` gauges. Histograms and
+    /// series are per-shard artifacts and stay out of the rollup.
+    pub fn rollup(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for t in self.shards.values() {
+            for (name, &v) in &t.snap.counters {
+                *out.counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, &v) in &t.snap.gauges {
+                let slot = out.gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
+                if v > *slot {
+                    *slot = v;
+                }
+            }
+        }
+        out.gauges.insert("fleet.shards_reporting".into(), self.shards.len() as f64);
+        out.gauges.insert("fleet.epoch".into(), self.epoch_now as f64);
+        out
+    }
+
+    /// Prometheus text: for every counter/gauge name, one `# TYPE` line,
+    /// one `{shard="N"}`-labelled sample per reporting shard, and a
+    /// `sya_fleet_*` rollup sample (sum for counters, max for gauges);
+    /// per-shard series as `_last` labelled gauges; per-shard staleness
+    /// gauges; and a `sya_fleet_run_info{run_id=".."} 1` info sample.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let mut counters: BTreeMap<&str, Vec<(u32, u64)>> = BTreeMap::new();
+        let mut gauges: BTreeMap<&str, Vec<(u32, f64)>> = BTreeMap::new();
+        let mut series_last: BTreeMap<&str, Vec<(u32, f64)>> = BTreeMap::new();
+        for (&shard, t) in &self.shards {
+            for (name, &v) in &t.snap.counters {
+                counters.entry(name).or_default().push((shard, v));
+            }
+            for (name, &v) in &t.snap.gauges {
+                gauges.entry(name).or_default().push((shard, v));
+            }
+            for (name, points) in &t.snap.series {
+                if let Some(&(_, last)) = points.last() {
+                    series_last.entry(name).or_default().push((shard, last));
+                }
+            }
+        }
+
+        for (name, samples) in &counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            for &(shard, v) in samples {
+                let _ = writeln!(out, "{n}{{shard=\"{shard}\"}} {v}");
+            }
+            let fleet = prom_name(&format!("fleet.{name}"));
+            let sum: u64 = samples.iter().map(|&(_, v)| v).sum();
+            let _ = writeln!(out, "# TYPE {fleet} counter");
+            let _ = writeln!(out, "{fleet} {sum}");
+        }
+        for (name, samples) in &gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            for &(shard, v) in samples {
+                let _ = writeln!(out, "{n}{{shard=\"{shard}\"}} {v}");
+            }
+            let fleet = prom_name(&format!("fleet.{name}"));
+            let max = samples.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+            let _ = writeln!(out, "# TYPE {fleet} gauge");
+            let _ = writeln!(out, "{fleet} {max}");
+        }
+        for (name, samples) in &series_last {
+            let n = format!("{}_last", prom_name(name));
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            for &(shard, v) in samples {
+                let _ = writeln!(out, "{n}{{shard=\"{shard}\"}} {v}");
+            }
+        }
+
+        if let Some(coord) = &self.coordinator {
+            // Unlabelled coordinator samples; names already emitted for
+            // the shards are skipped so no metric gets two TYPE lines.
+            for (name, v) in &coord.counters {
+                if counters.contains_key(name.as_str()) {
+                    continue;
+                }
+                let n = prom_name(name);
+                let _ = writeln!(out, "# TYPE {n} counter");
+                let _ = writeln!(out, "{n} {v}");
+            }
+            for (name, v) in &coord.gauges {
+                if gauges.contains_key(name.as_str()) {
+                    continue;
+                }
+                let n = prom_name(name);
+                let _ = writeln!(out, "# TYPE {n} gauge");
+                let _ = writeln!(out, "{n} {v}");
+            }
+        }
+
+        let stale = prom_name("fleet.shard_staleness_epochs");
+        let _ = writeln!(out, "# TYPE {stale} gauge");
+        for (&shard, t) in &self.shards {
+            let lag = self.epoch_now.saturating_sub(t.epoch);
+            let _ = writeln!(out, "{stale}{{shard=\"{shard}\"}} {lag}");
+        }
+        let _ = writeln!(out, "# TYPE sya_fleet_shards_reporting gauge");
+        let _ = writeln!(out, "sya_fleet_shards_reporting {}", self.shards.len());
+        let _ = writeln!(out, "# TYPE sya_fleet_epoch gauge");
+        let _ = writeln!(out, "sya_fleet_epoch {}", self.epoch_now);
+        let _ = writeln!(out, "# TYPE sya_fleet_run_info gauge");
+        let _ = writeln!(
+            out,
+            "sya_fleet_run_info{{run_id=\"{}\"}} 1",
+            escape_label_value(&format!("{:#018x}", self.run_id))
+        );
+        out
+    }
+
+    /// The fleet as one JSON document (schema `sya.fleet.v1`): per-shard
+    /// epoch/staleness/counters/gauges plus the rollup.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(FLEET_SCHEMA));
+        let _ = writeln!(out, "  \"run_id\": {},", json_str(&format!("{:#018x}", self.run_id)));
+        let _ = writeln!(out, "  \"epoch\": {},", self.epoch_now);
+        out.push_str("  \"shards\": {");
+        for (i, (&shard, t)) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{shard}\": {{\"epoch\": {}, \"staleness_epochs\": {}, ",
+                t.epoch,
+                self.epoch_now.saturating_sub(t.epoch)
+            );
+            out.push_str("\"counters\": {");
+            for (j, (name, v)) in t.snap.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {v}", json_str(name));
+            }
+            out.push_str("}, \"gauges\": {");
+            for (j, (name, v)) in t.snap.gauges.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_str(name), json_f64(*v));
+            }
+            out.push_str("}}");
+        }
+        if self.shards.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
+        if let Some(coord) = &self.coordinator {
+            out.push_str("  \"coordinator\": {\"counters\": {");
+            for (j, (name, v)) in coord.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {v}", json_str(name));
+            }
+            out.push_str("}, \"gauges\": {");
+            for (j, (name, v)) in coord.gauges.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_str(name), json_f64(*v));
+            }
+            out.push_str("}},\n");
+        }
+        let rollup = self.rollup();
+        out.push_str("  \"fleet\": {\"counters\": {");
+        for (j, (name, v)) in rollup.counters.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {v}", json_str(name));
+        }
+        out.push_str("}, \"gauges\": {");
+        for (j, (name, v)) in rollup.gauges.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_str(name), json_f64(*v));
+        }
+        out.push_str("}}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_snap(samples: u64, max_delta: f64) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("infer.shard.samples_total".into(), samples);
+        snap.gauges.insert("shard.max_delta".into(), max_delta);
+        snap.series.insert("infer.shard.flip_rate".into(), vec![(0.0, 0.9), (1.0, 0.4)]);
+        snap
+    }
+
+    #[test]
+    fn rollup_sums_counters_and_maxes_gauges() {
+        let mut fleet = FleetView::new(7);
+        fleet.record(0, 3, shard_snap(100, 0.25));
+        fleet.record(1, 3, shard_snap(40, 0.75));
+        let roll = fleet.rollup();
+        assert_eq!(roll.counters["infer.shard.samples_total"], 140);
+        assert_eq!(roll.gauges["shard.max_delta"], 0.75);
+        assert_eq!(roll.gauges["fleet.shards_reporting"], 2.0);
+        assert_eq!(roll.gauges["fleet.epoch"], 3.0);
+    }
+
+    #[test]
+    fn reshipment_replaces_not_accumulates() {
+        let mut fleet = FleetView::new(0);
+        fleet.record(0, 1, shard_snap(100, 0.5));
+        fleet.record(0, 2, shard_snap(120, 0.4));
+        assert_eq!(fleet.rollup().counters["infer.shard.samples_total"], 120);
+        assert_eq!(fleet.staleness(0), Some(0));
+    }
+
+    #[test]
+    fn prometheus_has_per_shard_labels_and_fleet_rollups() {
+        let mut fleet = FleetView::new(0xAB);
+        fleet.record(0, 5, shard_snap(10, 0.2));
+        fleet.record(1, 4, shard_snap(20, 0.1));
+        fleet.observe_epoch(6);
+        let text = fleet.render_prometheus();
+        assert!(text.contains("sya_infer_shard_samples_total{shard=\"0\"} 10"));
+        assert!(text.contains("sya_infer_shard_samples_total{shard=\"1\"} 20"));
+        assert!(text.contains("sya_fleet_infer_shard_samples_total 30"));
+        assert!(text.contains("sya_shard_max_delta{shard=\"0\"} 0.2"));
+        assert!(text.contains("sya_fleet_shard_max_delta 0.2"));
+        assert!(text.contains("sya_fleet_shard_staleness_epochs{shard=\"1\"} 2"));
+        assert!(text.contains("sya_infer_shard_flip_rate_last{shard=\"0\"} 0.4"));
+        assert!(text.contains("sya_fleet_shards_reporting 2"));
+        assert!(text.contains("run_id=\"0x00000000000000ab\""));
+        // One TYPE declaration per metric name, even with two shards.
+        assert_eq!(text.matches("# TYPE sya_infer_shard_samples_total counter").count(), 1);
+    }
+
+    #[test]
+    fn json_document_is_balanced_and_tagged() {
+        let mut fleet = FleetView::new(1);
+        fleet.record(0, 2, shard_snap(50, 0.3));
+        let json = fleet.render_json();
+        assert!(json.contains("\"schema\": \"sya.fleet.v1\""));
+        assert!(json.contains("\"staleness_epochs\": 0"));
+        assert!(json.contains("\"infer.shard.samples_total\": 50"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn coordinator_snapshot_renders_unlabelled_without_type_collisions() {
+        let mut fleet = FleetView::new(1);
+        fleet.record(0, 1, shard_snap(5, 0.1));
+        let mut coord = MetricsSnapshot::default();
+        coord.counters.insert("cluster.heartbeats_total".into(), 9);
+        // A name the shards also report must not get a second TYPE line.
+        coord.counters.insert("infer.shard.samples_total".into(), 999);
+        fleet.set_coordinator(coord);
+        let text = fleet.render_prometheus();
+        assert!(text.contains("sya_cluster_heartbeats_total 9"));
+        assert!(!text.contains("sya_infer_shard_samples_total 999"));
+        assert_eq!(text.matches("# TYPE sya_infer_shard_samples_total counter").count(), 1);
+        let json = fleet.render_json();
+        assert!(json.contains("\"coordinator\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_fleet_renders_cleanly() {
+        let fleet = FleetView::new(0);
+        assert!(fleet.render_prometheus().contains("sya_fleet_shards_reporting 0"));
+        let json = fleet.render_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(fleet.staleness(3), None);
+    }
+}

@@ -29,13 +29,22 @@
 //! DESIGN.md §9 (`ground.factors_total`, `infer.epoch_seconds`, …).
 
 pub mod export;
+pub mod fleet;
 pub mod metrics;
+pub mod profile;
 pub mod telemetry;
 pub mod trace;
 
+pub use fleet::{FleetView, ShardTelemetry, FLEET_SCHEMA};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use telemetry::{pll_stride, ConvergenceSeries, EpochTelemetry, NUM_CONCLIQUES};
 pub use trace::{EventRecord, Severity, SpanGuard, SpanRecord, Tracer, TracerSnapshot};
+
+/// Counter injected into every metrics snapshot: trace records evicted
+/// from the ring buffers (spans and events) because they were full.
+/// Surfacing the loss in the metric exporters means a scraper can tell
+/// "quiet run" from "the event log wrapped".
+pub const EVENTS_DROPPED: &str = "obs.events_dropped_total";
 
 use std::sync::Arc;
 
@@ -170,12 +179,33 @@ impl Obs {
         self.event(Severity::Debug, message);
     }
 
+    // ---- cross-process context ----------------------------------------
+
+    /// Stamp the coordinator-issued run ID onto the tracer so exported
+    /// traces carry it (see [`trace::Tracer::set_run_id`]).
+    pub fn set_run_id(&self, run_id: u64) {
+        if let Some(i) = self.inner.as_deref() {
+            i.tracer.set_run_id(run_id);
+        }
+    }
+
+    /// The stamped run ID, if enabled and set.
+    pub fn run_id(&self) -> Option<u64> {
+        self.inner.as_deref().and_then(|i| i.tracer.run_id())
+    }
+
     // ---- snapshots -----------------------------------------------------
 
-    /// Snapshot of all metrics (empty when disabled).
+    /// Snapshot of all metrics (empty when disabled). The snapshot
+    /// always carries [`EVENTS_DROPPED`] — the tracer's ring-buffer
+    /// eviction count — so every exporter surfaces trace loss.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         match self.inner.as_deref() {
-            Some(i) => i.metrics.snapshot(),
+            Some(i) => {
+                let mut snap = i.metrics.snapshot();
+                snap.counters.insert(EVENTS_DROPPED.to_string(), i.tracer.dropped());
+                snap
+            }
             None => MetricsSnapshot::default(),
         }
     }
@@ -206,6 +236,8 @@ pub mod cluster {
     pub const CORRUPT_FRAMES: &str = "cluster.corrupt_frames_total";
     /// Shards abandoned after exhausting their restart budget.
     pub const SHARDS_LOST: &str = "cluster.shards_lost_total";
+    /// Per-epoch telemetry shipments ingested from the workers.
+    pub const TELEMETRY_FRAMES: &str = "cluster.telemetry_frames_total";
     /// Gauge: seconds slept before the most recent worker relaunch.
     pub const BACKOFF_SECONDS: &str = "cluster.backoff_seconds_last";
     /// Gauge: workers currently healthy (live socket, within budget).
@@ -282,6 +314,7 @@ mod tests {
             cluster::ROLLBACKS,
             cluster::CORRUPT_FRAMES,
             cluster::SHARDS_LOST,
+            cluster::TELEMETRY_FRAMES,
             cluster::BACKOFF_SECONDS,
             cluster::WORKERS_UP,
         ] {
@@ -290,6 +323,35 @@ mod tests {
         for counter in [cluster::HEARTBEATS, cluster::RESTARTS, cluster::SHARDS_LOST] {
             assert!(counter.ends_with("_total"), "{counter}");
         }
+    }
+
+    #[test]
+    fn events_dropped_counter_is_always_surfaced() {
+        let obs = Obs::enabled();
+        assert_eq!(obs.metrics_snapshot().counters[EVENTS_DROPPED], 0);
+        let json = export::render_metrics_json(&obs.metrics_snapshot());
+        assert!(json.contains("\"obs.events_dropped_total\": 0"));
+        let prom = export::render_prometheus(&obs.metrics_snapshot());
+        assert!(prom.contains("sya_obs_events_dropped_total 0"));
+    }
+
+    #[test]
+    fn ring_eviction_counts_into_the_dropped_counter() {
+        let obs = Obs::enabled();
+        // Overflow the event ring: capacity + 3 events drops 3.
+        for i in 0..Tracer::DEFAULT_CAPACITY + 3 {
+            obs.debug(format!("e{i}"));
+        }
+        assert_eq!(obs.metrics_snapshot().counters[EVENTS_DROPPED], 3);
+    }
+
+    #[test]
+    fn run_id_round_trips_through_the_handle() {
+        let obs = Obs::enabled();
+        assert_eq!(obs.run_id(), None);
+        obs.set_run_id(42);
+        assert_eq!(obs.run_id(), Some(42));
+        assert!(Obs::disabled().run_id().is_none());
     }
 
     #[test]

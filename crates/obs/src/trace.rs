@@ -80,6 +80,10 @@ pub struct Tracer {
     capacity: usize,
     rings: Mutex<Rings>,
     dropped: AtomicU64,
+    /// Cross-process run ID (0 = unset): the coordinator issues one per
+    /// cluster run and every worker stamps it into its trace exports so
+    /// per-process JSONL files stitch into one timeline.
+    run_id: AtomicU64,
 }
 
 thread_local! {
@@ -99,6 +103,25 @@ impl Tracer {
             capacity: capacity.max(1),
             rings: Mutex::new(Rings::default()),
             dropped: AtomicU64::new(0),
+            run_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Records evicted from the ring buffers so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stamp the cross-process run ID (coordinator-issued; 0 clears it).
+    pub fn set_run_id(&self, run_id: u64) {
+        self.run_id.store(run_id, Ordering::Relaxed);
+    }
+
+    /// The stamped run ID, if any.
+    pub fn run_id(&self) -> Option<u64> {
+        match self.run_id.load(Ordering::Relaxed) {
+            0 => None,
+            id => Some(id),
         }
     }
 
@@ -142,6 +165,7 @@ impl Tracer {
             spans: rings.spans.iter().cloned().collect(),
             events: rings.events.iter().cloned().collect(),
             dropped: self.dropped.load(Ordering::Relaxed),
+            run_id: self.run_id(),
         }
     }
 }
@@ -154,6 +178,8 @@ pub struct TracerSnapshot {
     pub events: Vec<EventRecord>,
     /// Records evicted from the ring buffers.
     pub dropped: u64,
+    /// Cross-process run ID stamped on the tracer, if any.
+    pub run_id: Option<u64>,
 }
 
 /// RAII guard for an open span. Commits the [`SpanRecord`] on drop and
@@ -287,6 +313,15 @@ mod tests {
         assert_eq!(snap.events[0].message, "e3");
         assert_eq!(snap.events[1].message, "e4");
         assert_eq!(snap.dropped, 3);
+    }
+
+    #[test]
+    fn run_id_stamps_into_snapshots() {
+        let tracer = Tracer::new(4);
+        assert_eq!(tracer.snapshot().run_id, None);
+        tracer.set_run_id(0xFEED);
+        assert_eq!(tracer.run_id(), Some(0xFEED));
+        assert_eq!(tracer.snapshot().run_id, Some(0xFEED));
     }
 
     #[test]

@@ -78,6 +78,9 @@ impl ShardRouter {
                 &format!("serve.shard.{}.boundary_factors", s.shard),
                 s.boundary_factors as f64,
             );
+            // Per-shard availability (1 = serving, 0 = down), so the
+            // /metrics scrape shows exactly which shard is out.
+            obs.gauge_set(&format!("serve.shard.{}.up", s.shard), 1.0);
         }
         let down = (0..shards).map(|_| AtomicBool::new(false)).collect();
         Ok(ShardRouter { shards: replicas, owner: plan.owner, atoms, down, obs })
@@ -98,6 +101,7 @@ impl ShardRouter {
         if let Some(flag) = self.down.get(shard) {
             flag.store(true, Ordering::Release);
             self.obs.warn(format!("serve: shard {shard} marked down"));
+            self.obs.gauge_set(&format!("serve.shard.{shard}.up"), 0.0);
             self.obs.gauge_set("serve.shards_down", self.down_shards().len() as f64);
         }
     }
@@ -107,8 +111,17 @@ impl ShardRouter {
         if let Some(flag) = self.down.get(shard) {
             flag.store(false, Ordering::Release);
             self.obs.info(format!("serve: shard {shard} marked up"));
+            self.obs.gauge_set(&format!("serve.shard.{shard}.up"), 1.0);
             self.obs.gauge_set("serve.shards_down", self.down_shards().len() as f64);
         }
+    }
+
+    /// Counts a request rejected because its owning shard is down (the
+    /// 503 funnel) and returns the error, so every rejection site feeds
+    /// `serve.shard_unavailable_total`.
+    fn shard_unavailable(&self, shard: usize) -> ServeError {
+        self.obs.counter_add("serve.shard_unavailable_total", 1);
+        ServeError::ShardDown { shard }
     }
 
     pub fn shard_is_down(&self, shard: usize) -> bool {
@@ -147,7 +160,7 @@ impl ShardRouter {
     ) -> Result<Option<MarginalAnswer>, ServeError> {
         let Some(shard) = self.shard_of(relation, id) else { return Ok(None) };
         if self.shard_is_down(shard) {
-            return Err(ServeError::ShardDown { shard });
+            return Err(self.shard_unavailable(shard));
         }
         let Some(mut m) = self.shards[shard].marginal(relation, id) else { return Ok(None) };
         m.shard = Some(shard as u32);
@@ -170,7 +183,7 @@ impl ShardRouter {
             if self.shard_is_down(shard) {
                 // Reject the whole batch before touching any shard:
                 // evidence is not applied partially.
-                return Err(ServeError::ShardDown { shard });
+                return Err(self.shard_unavailable(shard));
             }
             by_shard[shard].push(row.clone());
         }

@@ -296,11 +296,23 @@ fn down_shard_degrades_to_503_while_healthy_shards_keep_answering() {
     assert_eq!(health["status"].as_str(), Some("degraded"));
     assert_eq!(health["shards_down"], serde_json::json!([1]));
 
+    // /metrics carries the per-shard availability gauges and counts
+    // every 503 rejection (two so far: one marginal, one evidence).
+    let metrics = http_get(&addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    for needle in
+        ["sya_serve_shard_0_up 1", "sya_serve_shard_1_up 0", "sya_serve_shard_unavailable_total 2"]
+    {
+        assert!(metrics.body.contains(needle), "metrics missing {needle}:\n{}", metrics.body);
+    }
+
     // Recovery: marking the shard up restores full service.
     router.mark_shard_up(1);
     let m = get_ok(&addr, &format!("/v1/marginal/IsSafe?args={b}"));
     assert_eq!(m["shard"].as_u64(), Some(1));
     assert_eq!(get_ok(&addr, "/healthz")["status"].as_str(), Some("ok"));
+    let recovered = http_get(&addr, "/metrics").unwrap();
+    assert!(recovered.body.contains("sya_serve_shard_1_up 1"), "{}", recovered.body);
 
     server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
 }

@@ -38,7 +38,7 @@ use crate::exec::{
 use crate::plan::ShardPlan;
 use crate::wire::{read_frame, write_frame, Frame, WireError, FRAME_HEADER_LEN, WIRE_MAGIC};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -50,7 +50,7 @@ use sya_infer::{
     init_board, CheckpointState, InferConfig, InferError, MarginalCounts, PyramidIndex,
     ShardChain, ShardSchedule,
 };
-use sya_obs::{cluster as met, ConvergenceSeries, NUM_CONCLIQUES};
+use sya_obs::{cluster as met, ConvergenceSeries, FleetView, MetricsSnapshot, NUM_CONCLIQUES};
 use sya_runtime::{Backoff, ExecContext, RunOutcome};
 
 // ------------------------------------------------------------- config
@@ -224,13 +224,26 @@ pub fn render_status(s: &ClusterStatus) -> String {
     )
 }
 
-/// A minimal HTTP endpoint serving [`render_status`] for the current
-/// [`ClusterStatus`]. Lives in `sya-shard` (not `sya-serve`) so the
+/// Path of an HTTP request head (`"/"` when unparsable).
+fn request_path(head: &[u8]) -> String {
+    let text = String::from_utf8_lossy(head);
+    text.lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/")
+        .to_string()
+}
+
+/// A minimal HTTP endpoint serving the cluster's live state. `/` is the
+/// healthz JSON ([`render_status`]); `/metrics` renders the aggregated
+/// [`FleetView`] in Prometheus exposition format and `/fleet` the same
+/// view as JSON. Lives in `sya-shard` (not `sya-serve`) so the
 /// coordinator has no dependency on the serving stack; the thread is
 /// detached and dies with the process.
 pub struct StatusServer {
     addr: SocketAddr,
     board: Arc<Mutex<ClusterStatus>>,
+    fleet: Arc<Mutex<FleetView>>,
 }
 
 impl StatusServer {
@@ -239,28 +252,55 @@ impl StatusServer {
             TcpListener::bind(listen).map_err(|e| format!("status listen {listen}: {e}"))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
         let board = Arc::new(Mutex::new(ClusterStatus::default()));
+        let fleet = Arc::new(Mutex::new(FleetView::new(0)));
         let shared = Arc::clone(&board);
+        let fleet_shared = Arc::clone(&fleet);
         std::thread::spawn(move || {
             for conn in listener.incoming() {
                 let Ok(mut c) = conn else { continue };
                 let _ = c.set_read_timeout(Some(Duration::from_secs(2)));
+                // Read until the request head is complete (a client may
+                // deliver it across several small writes).
                 let mut head = [0u8; 1024];
-                let _ = std::io::Read::read(&mut c, &mut head);
-                let body = render_status(&shared.lock().expect("status lock"));
+                let mut n = 0usize;
+                while n < head.len() && !head[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    match std::io::Read::read(&mut c, &mut head[n..]) {
+                        Ok(0) | Err(_) => break,
+                        Ok(m) => n += m,
+                    }
+                }
+                let path = request_path(&head[..n]);
+                let (content_type, body) = if path.starts_with("/metrics") {
+                    (
+                        "text/plain; version=0.0.4",
+                        fleet_shared.lock().expect("fleet lock").render_prometheus(),
+                    )
+                } else if path.starts_with("/fleet") {
+                    ("application/json", fleet_shared.lock().expect("fleet lock").render_json())
+                } else {
+                    ("application/json", render_status(&shared.lock().expect("status lock")))
+                };
                 let _ = write!(
                     c,
-                    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                    "HTTP/1.1 200 OK\r\nContent-Type: {}\r\n\
                      Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    content_type,
                     body.len(),
                     body
                 );
             }
         });
-        Ok(StatusServer { addr, board })
+        Ok(StatusServer { addr, board, fleet })
     }
 
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The shared fleet view rendered on `/metrics` and `/fleet`; the
+    /// coordinator records shipped worker telemetry into it.
+    pub fn fleet(&self) -> Arc<Mutex<FleetView>> {
+        Arc::clone(&self.fleet)
     }
 
     fn set(&self, f: impl FnOnce(&mut ClusterStatus)) {
@@ -329,6 +369,55 @@ impl SeriesWire {
             epochs: self.epochs,
         }
     }
+}
+
+/// JSON payload of the per-epoch `Telemetry` frame: the flat counter
+/// and gauge maps of a worker's metrics snapshot. Purely informational —
+/// an undecodable payload is dropped with a warning, never a protocol
+/// error, and telemetry never gates lockstep progress.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct TelemetryWire {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl TelemetryWire {
+    fn into_snapshot(self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters,
+            gauges: self.gauges,
+            histograms: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+}
+
+/// Builds the per-epoch telemetry payload: the worker's own metrics
+/// snapshot overlaid with chain progress (shipped even when the worker
+/// runs with observability disabled) and, when profiling is on, the
+/// hot-path profiler totals.
+fn telemetry_payload(
+    obs: &sya_obs::Obs,
+    chain: &ShardChain,
+    epoch: usize,
+    last_delta: f64,
+    retired: bool,
+) -> Vec<u8> {
+    let snap = obs.metrics_snapshot();
+    let mut wire = TelemetryWire { counters: snap.counters, gauges: snap.gauges };
+    let (samples, flips) = chain.progress();
+    wire.counters.insert("infer.shard.samples_total".to_owned(), samples);
+    wire.counters.insert("infer.shard.flips_total".to_owned(), flips);
+    wire.gauges.insert("shard.epoch".to_owned(), epoch as f64);
+    wire.gauges.insert("shard.max_delta".to_owned(), last_delta);
+    wire.gauges.insert("shard.retired".to_owned(), f64::from(u8::from(retired)));
+    if sya_obs::profile::enabled() {
+        for s in sya_obs::profile::snapshot() {
+            wire.counters.insert(format!("{}.ops_total", s.site.name()), s.ops);
+            wire.counters.insert(format!("{}.ns_total", s.site.name()), s.ns_total);
+        }
+    }
+    serde_json::to_vec(&wire).unwrap_or_default()
 }
 
 /// JSON payload of the `Done` frame.
@@ -432,7 +521,10 @@ pub fn run_worker(
         )
         .map_err(|e| format!("shard {me}: hello: {e}"))?;
         match read_frame(&mut stream).map_err(|e| format!("shard {me}: awaiting welcome: {e}"))? {
-            Frame::Welcome { start_epoch, epochs_total } => {
+            Frame::Welcome { start_epoch, epochs_total, run_id } => {
+                // Stamp the coordinator-issued run ID so this process's
+                // trace exports stitch into the fleet-wide timeline.
+                ctx.obs().set_run_id(run_id);
                 let flow = run_epochs(
                     graph,
                     plan,
@@ -563,6 +655,7 @@ fn run_epochs(
     let mut epochs_sampled = 0usize;
     let mut epoch = start_epoch;
     let mut stopped: Option<RunOutcome> = None;
+    let mut last_delta = 0.0f64;
 
     while epoch < epochs_total {
         if ctx.take_worker_kill(me, epoch) {
@@ -594,11 +687,13 @@ fn run_epochs(
                     .map_err(|e| format!("shard {me}: awaiting halo e{epoch} p{phase}: {e}"))?
                 {
                     Frame::Halo { writes, .. } => {
+                        let prof = sya_obs::profile::start();
                         for (v, x) in writes {
                             if plan.owner[v as usize] as usize != me {
                                 board[v as usize].store(x, Ordering::Relaxed);
                             }
                         }
+                        sya_obs::profile::stop(sya_obs::profile::Site::HaloApply, prof);
                         break;
                     }
                     Frame::ShardLost { shard } => warnings.push(format!(
@@ -618,6 +713,7 @@ fn run_epochs(
         if active {
             epochs_sampled += 1;
             let delta = chain.end_epoch(&board, record);
+            last_delta = delta;
             if let (Some(policy), Some(floor)) = (opts.retire, retire_floor) {
                 if record && epoch >= floor && delta < policy.tol {
                     if streak == 0 {
@@ -648,6 +744,9 @@ fn run_epochs(
                 }
             }
         }
+        let payload = telemetry_payload(ctx.obs(), &chain, epoch, last_delta, retired_at.is_some());
+        write_frame(stream, &Frame::Telemetry { shard: me as u32, epoch: epoch as u64, payload })
+            .map_err(|e| format!("shard {me}: telemetry e{epoch}: {e}"))?;
         write_frame(stream, &Frame::EpochEnd { epoch: epoch as u64, retired: retired_at.is_some() })
             .map_err(|e| format!("shard {me}: epoch end {epoch}: {e}"))?;
         loop {
@@ -780,6 +879,11 @@ struct Supervisor<'a> {
     outcome: RunOutcome,
     rendezvous_done: usize,
     epoch_now: u64,
+    /// Coordinator-issued run ID, carried to workers in `Welcome`.
+    run_id: u64,
+    /// Fleet-wide metric aggregate fed from shipped `Telemetry` frames;
+    /// shared with the status server when one is attached.
+    fleet: Arc<Mutex<FleetView>>,
 }
 
 /// Runs sharded inference as a supervised multi-process cluster. The
@@ -813,6 +917,23 @@ pub fn run_cluster(
     let addr = listener.local_addr().map_err(|e| cluster_err(e.to_string()))?;
     ctx.obs().info(format!("cluster coordinator listening on {addr}"));
     crate::exec::publish_static_gauges(ctx.obs(), plan);
+    // One run ID per cluster run (never 0): wall-clock entropy mixed
+    // with the graph fingerprint, stamped on the coordinator's own
+    // traces and carried to every worker in `Welcome`.
+    let run_id = {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        (nanos ^ fingerprint.rotate_left(32)) | 1
+    };
+    ctx.obs().set_run_id(run_id);
+    ctx.obs().info(format!("cluster run id {run_id:#018x}"));
+    let fleet = match status {
+        Some(s) => s.fleet(),
+        None => Arc::new(Mutex::new(FleetView::new(0))),
+    };
+    fleet.lock().expect("fleet lock").set_run_id(run_id);
 
     let workers = (0..plan.shards)
         .map(|_| Slot {
@@ -842,6 +963,8 @@ pub fn run_cluster(
         outcome: RunOutcome::Completed,
         rendezvous_done: 0,
         epoch_now: 0,
+        run_id,
+        fleet,
     };
     supervisor.run()
 }
@@ -856,6 +979,11 @@ impl<'a> Supervisor<'a> {
     }
 
     fn update_status(&self, done: bool) {
+        {
+            let mut fleet = self.fleet.lock().expect("fleet lock");
+            fleet.observe_epoch(self.epoch_now);
+            fleet.set_coordinator(self.obs().metrics_snapshot());
+        }
         let Some(status) = self.status else { return };
         let shards = self.health();
         let degraded = self.outcome >= RunOutcome::Degraded
@@ -1046,8 +1174,11 @@ impl<'a> Supervisor<'a> {
         }
         self.rendezvous_done += 1;
         self.epoch_now = start_epoch;
-        let welcome =
-            Frame::Welcome { start_epoch, epochs_total: self.epochs_total as u64 };
+        let welcome = Frame::Welcome {
+            start_epoch,
+            epochs_total: self.epochs_total as u64,
+            run_id: self.run_id,
+        };
         for w in self.live_indices() {
             self.workers[w].needs_hello = false;
             let Some(conn) = self.workers[w].conn.as_mut() else { continue };
@@ -1129,12 +1260,23 @@ impl<'a> Supervisor<'a> {
             // One round: a frame from every live worker (all Publish,
             // or all EpochEnd — the fleet is in lockstep).
             let mut frames: Vec<(usize, Frame)> = Vec::with_capacity(live.len());
+            let mut shipped: Vec<(u32, u64, Vec<u8>)> = Vec::new();
             for w in live {
-                let result = {
-                    let conn = self.workers[w].conn.as_mut().expect("live worker has conn");
-                    conn.set_read_timeout(Some(self.cluster.heartbeat))
-                        .map_err(WireError::Io)
-                        .and_then(|()| read_frame(conn))
+                // Telemetry frames precede the lockstep frame; drain
+                // them aside (they never gate progress).
+                let result = loop {
+                    let read = {
+                        let conn = self.workers[w].conn.as_mut().expect("live worker has conn");
+                        conn.set_read_timeout(Some(self.cluster.heartbeat))
+                            .map_err(WireError::Io)
+                            .and_then(|()| read_frame(conn))
+                    };
+                    match read {
+                        Ok(Frame::Telemetry { shard, epoch, payload }) => {
+                            shipped.push((shard, epoch, payload));
+                        }
+                        other => break other,
+                    }
                 };
                 match result {
                     Ok(frame) => frames.push((w, frame)),
@@ -1144,6 +1286,9 @@ impl<'a> Supervisor<'a> {
                         }
                     }
                 }
+            }
+            for (shard, epoch, payload) in shipped {
+                self.ingest_telemetry(shard, epoch, &payload);
             }
             frames.retain(|(w, _)| !self.workers[*w].lost);
             if frames.is_empty() {
@@ -1223,6 +1368,21 @@ impl<'a> Supervisor<'a> {
         }
     }
 
+    /// Folds a worker's shipped metrics snapshot into the fleet view.
+    /// Telemetry never gates lockstep: a payload that fails to decode
+    /// is dropped with a warning, not a protocol error.
+    fn ingest_telemetry(&mut self, shard: u32, epoch: u64, payload: &[u8]) {
+        self.obs().counter_add(met::TELEMETRY_FRAMES, 1);
+        match serde_json::from_slice::<TelemetryWire>(payload) {
+            Ok(wire) => {
+                self.fleet.lock().expect("fleet lock").record(shard, epoch, wire.into_snapshot());
+            }
+            Err(e) => self
+                .obs()
+                .warn(format!("shard {shard}: undecodable telemetry at epoch {epoch}: {e}")),
+        }
+    }
+
     /// Broadcasts to every live worker. Returns `true` when a write
     /// failure led to a relaunch (fleet must re-rendezvous).
     fn broadcast(&mut self, frame: &Frame) -> bool {
@@ -1273,7 +1433,9 @@ impl<'a> Supervisor<'a> {
                         match read_frame(conn)? {
                             Frame::Done { report } => break Ok(report),
                             // Stale frames from an abandoned broadcast.
-                            Frame::Publish { .. } | Frame::EpochEnd { .. } => {}
+                            Frame::Publish { .. }
+                            | Frame::EpochEnd { .. }
+                            | Frame::Telemetry { .. } => {}
                             other => {
                                 break Err(WireError::Corrupt(format!(
                                     "expected Done, got {}",

@@ -77,7 +77,8 @@ impl From<std::io::Error> for WireError {
 
 /// The protocol messages. Coordinator → worker: `Welcome`, `Halo`,
 /// `Proceed`, `Rollback`, `ShardLost`, `Stop`, `Ping`. Worker →
-/// coordinator: `Hello`, `Publish`, `EpochEnd`, `Done`, `Pong`.
+/// coordinator: `Hello`, `Publish`, `EpochEnd`, `Telemetry`, `Done`,
+/// `Pong`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Worker introduction (also the re-rendezvous after a rollback):
@@ -85,8 +86,9 @@ pub enum Frame {
     /// every locally valid checkpoint it could resume from.
     Hello { shard: u32, of: u32, fingerprint: u64, epochs: Vec<u64> },
     /// Coordinator's rendezvous decision: the epoch every worker starts
-    /// (or resumes) from, and the total epoch budget.
-    Welcome { start_epoch: u64, epochs_total: u64 },
+    /// (or resumes) from, the total epoch budget, and the run ID every
+    /// worker stamps into its traces so cross-process timelines stitch.
+    Welcome { start_epoch: u64, epochs_total: u64, run_id: u64 },
     /// A worker's buffered writes for one phase of one epoch.
     Publish { epoch: u64, phase: u32, writes: Vec<(u32, u32)> },
     /// The merged write set of a phase, broadcast to every worker.
@@ -104,6 +106,11 @@ pub enum Frame {
     ShardLost { shard: u32 },
     /// A worker's final report (JSON payload: stats, counts, series).
     Done { report: Vec<u8> },
+    /// A worker's per-epoch observability shipment (JSON payload: a
+    /// metrics snapshot plus the convergence series so far). Purely
+    /// informational: the coordinator aggregates it into the fleet view
+    /// but never gates lockstep progress on it.
+    Telemetry { shard: u32, epoch: u64, payload: Vec<u8> },
     /// Terminate immediately; no `Done` expected.
     Stop { outcome: u8 },
     Ping { nonce: u64 },
@@ -123,6 +130,7 @@ impl Frame {
             Frame::Rollback => "Rollback",
             Frame::ShardLost { .. } => "ShardLost",
             Frame::Done { .. } => "Done",
+            Frame::Telemetry { .. } => "Telemetry",
             Frame::Stop { .. } => "Stop",
             Frame::Ping { .. } => "Ping",
             Frame::Pong { .. } => "Pong",
@@ -144,6 +152,7 @@ const TAG_DONE: u8 = 9;
 const TAG_STOP: u8 = 10;
 const TAG_PING: u8 = 11;
 const TAG_PONG: u8 = 12;
+const TAG_TELEMETRY: u8 = 13;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -230,10 +239,11 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
                 put_u64(&mut out, e);
             }
         }
-        Frame::Welcome { start_epoch, epochs_total } => {
+        Frame::Welcome { start_epoch, epochs_total, run_id } => {
             out.push(TAG_WELCOME);
             put_u64(&mut out, *start_epoch);
             put_u64(&mut out, *epochs_total);
+            put_u64(&mut out, *run_id);
         }
         Frame::Publish { epoch, phase, writes } | Frame::Halo { epoch, phase, writes } => {
             out.push(if matches!(frame, Frame::Publish { .. }) { TAG_PUBLISH } else { TAG_HALO });
@@ -270,6 +280,13 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_u32(&mut out, report.len() as u32);
             out.extend_from_slice(report);
         }
+        Frame::Telemetry { shard, epoch, payload } => {
+            out.push(TAG_TELEMETRY);
+            put_u32(&mut out, *shard);
+            put_u64(&mut out, *epoch);
+            put_u32(&mut out, payload.len() as u32);
+            out.extend_from_slice(payload);
+        }
         Frame::Stop { outcome } => {
             out.push(TAG_STOP);
             out.push(*outcome);
@@ -305,7 +322,11 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             }
             Frame::Hello { shard, of, fingerprint, epochs }
         }
-        TAG_WELCOME => Frame::Welcome { start_epoch: rd.u64()?, epochs_total: rd.u64()? },
+        TAG_WELCOME => Frame::Welcome {
+            start_epoch: rd.u64()?,
+            epochs_total: rd.u64()?,
+            run_id: rd.u64()?,
+        },
         TAG_PUBLISH | TAG_HALO => {
             let epoch = rd.u64()?;
             let phase = rd.u32()?;
@@ -344,6 +365,13 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             let n = rd.u32()? as usize;
             rd.check_count(n, 1)?;
             Frame::Done { report: rd.take(n)?.to_vec() }
+        }
+        TAG_TELEMETRY => {
+            let shard = rd.u32()?;
+            let epoch = rd.u64()?;
+            let n = rd.u32()? as usize;
+            rd.check_count(n, 1)?;
+            Frame::Telemetry { shard, epoch, payload: rd.take(n)?.to_vec() }
         }
         TAG_STOP => Frame::Stop { outcome: rd.u8()? },
         TAG_PING => Frame::Ping { nonce: rd.u64()? },
@@ -432,7 +460,7 @@ mod tests {
         vec![
             Frame::Hello { shard: 1, of: 4, fingerprint: 0xFEED_BEEF, epochs: vec![10, 20, 30] },
             Frame::Hello { shard: 0, of: 1, fingerprint: 0, epochs: vec![] },
-            Frame::Welcome { start_epoch: 20, epochs_total: 500 },
+            Frame::Welcome { start_epoch: 20, epochs_total: 500, run_id: 0xDEAD_BEEF },
             Frame::Publish { epoch: 7, phase: 2, writes: vec![(0, 1), (5, 0), (9, 1)] },
             Frame::Publish { epoch: 0, phase: 0, writes: vec![] },
             Frame::Halo { epoch: 7, phase: 2, writes: vec![(3, 1)] },
@@ -443,6 +471,8 @@ mod tests {
             Frame::Rollback,
             Frame::ShardLost { shard: 3 },
             Frame::Done { report: b"{\"ok\":true}".to_vec() },
+            Frame::Telemetry { shard: 1, epoch: 12, payload: b"{\"counters\":{}}".to_vec() },
+            Frame::Telemetry { shard: 0, epoch: 0, payload: vec![] },
             Frame::Stop { outcome: 3 },
             Frame::Ping { nonce: 42 },
             Frame::Pong { nonce: 42 },

@@ -266,3 +266,77 @@ fn corrupt_frame_is_rejected_and_the_worker_restarted() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Raw HTTP GET against the status board (tests avoid an HTTP client
+/// dependency just like `ci.sh` does with /dev/tcp).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut c = std::net::TcpStream::connect(addr).expect("connect status board");
+    c.write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    c.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n").map(|(_, body)| body.to_owned()).unwrap_or(raw)
+}
+
+#[test]
+fn status_board_fleet_metrics_match_the_per_shard_reports() {
+    let g = grid(4);
+    let cfg = cfg(60);
+    let plan = plan_for(&g, 2);
+    let status = sya_shard::StatusServer::start("127.0.0.1:0").expect("status server");
+    let launcher = ThreadLauncher {
+        graph: g.clone(),
+        plan: plan.clone(),
+        cfg: cfg.clone(),
+        ckpt: ShardCkptOptions::default(),
+        retire: None,
+        faults: FaultPlan::none(),
+        read_timeout: Duration::from_secs(10),
+    };
+    let report = run_cluster(
+        &g,
+        &plan,
+        &cfg,
+        &ShardCkptOptions::default(),
+        &quick_cluster(),
+        &launcher,
+        Some(&status),
+        &ExecContext::unbounded(),
+    )
+    .expect("cluster run");
+    assert_eq!(report.outcome, RunOutcome::Completed, "{:?}", report.warnings);
+
+    // The coordinator-aggregated counters must equal the sums of the
+    // authoritative in-process per-shard counts from the Done reports.
+    let body = http_get(status.addr(), "/metrics");
+    for (w, stats) in report.per_shard.iter().enumerate() {
+        let labelled =
+            format!("sya_infer_shard_samples_total{{shard=\"{w}\"}} {}", stats.samples_total);
+        assert!(body.contains(&labelled), "missing `{labelled}` in:\n{body}");
+        let flips = format!("sya_infer_shard_flips_total{{shard=\"{w}\"}} {}", stats.flips_total);
+        assert!(body.contains(&flips), "missing `{flips}` in:\n{body}");
+    }
+    let fleet_samples: u64 = report.per_shard.iter().map(|s| s.samples_total).sum();
+    let rollup = format!("sya_fleet_infer_shard_samples_total {fleet_samples}");
+    assert!(body.contains(&rollup), "missing `{rollup}` in:\n{body}");
+
+    // Drift and staleness gauges carry per-shard labels; the run is
+    // identified for cross-process trace stitching.
+    for w in 0..2 {
+        assert!(body.contains(&format!("sya_shard_max_delta{{shard=\"{w}\"}}")), "{body}");
+        assert!(
+            body.contains(&format!("sya_fleet_shard_staleness_epochs{{shard=\"{w}\"}}")),
+            "{body}"
+        );
+    }
+    assert!(body.contains("sya_fleet_run_info{run_id=\"0x"), "{body}");
+    assert!(body.contains("sya_fleet_shards_reporting 2"), "{body}");
+
+    // The JSON view is served on /fleet and `/` stays the healthz board.
+    let fleet_json = http_get(status.addr(), "/fleet");
+    assert!(fleet_json.contains("\"schema\": \"sya.fleet.v1\""), "{fleet_json}");
+    assert!(fleet_json.contains("\"infer.shard.samples_total\""), "{fleet_json}");
+    let root = http_get(status.addr(), "/");
+    assert!(root.contains("\"done\":true"), "{root}");
+}

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 use sya_shard::wire::{encode_frame, read_frame, Frame, WireError};
 
-/// Materialises one of the twelve frame variants from generated raw
+/// Materialises one of the thirteen frame variants from generated raw
 /// material (the vendored proptest has no `prop_oneof!`, so variant
 /// choice is an explicit selector).
 #[allow(clippy::too_many_arguments)]
@@ -23,9 +23,9 @@ fn build_frame(
     epochs: Vec<u64>,
     report: Vec<u8>,
 ) -> Frame {
-    match variant % 12 {
+    match variant % 13 {
         0 => Frame::Hello { shard: small % 64, of: small % 64 + 1, fingerprint: a, epochs },
-        1 => Frame::Welcome { start_epoch: a, epochs_total: b },
+        1 => Frame::Welcome { start_epoch: a, epochs_total: b, run_id: a ^ b },
         2 => Frame::Publish { epoch: a, phase: small % 32, writes },
         3 => Frame::Halo { epoch: a, phase: small % 32, writes },
         4 => Frame::EpochEnd { epoch: a, retired: flag },
@@ -35,7 +35,8 @@ fn build_frame(
         8 => Frame::Done { report },
         9 => Frame::Stop { outcome: (b % 256) as u8 },
         10 => Frame::Ping { nonce: a },
-        _ => Frame::Pong { nonce: a },
+        11 => Frame::Pong { nonce: a },
+        _ => Frame::Telemetry { shard: small % 64, epoch: a, payload: report },
     }
 }
 
@@ -44,7 +45,7 @@ proptest! {
 
     #[test]
     fn encode_decode_is_the_identity(
-        variant in 0usize..12,
+        variant in 0usize..13,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         small in 0u32..1024,
@@ -63,7 +64,7 @@ proptest! {
 
     #[test]
     fn truncation_is_a_typed_error_never_a_panic(
-        variant in 0usize..12,
+        variant in 0usize..13,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         small in 0u32..1024,
@@ -86,7 +87,7 @@ proptest! {
 
     #[test]
     fn single_bit_flip_is_always_rejected(
-        variant in 0usize..12,
+        variant in 0usize..13,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         small in 0u32..1024,

@@ -55,6 +55,11 @@
 //!   --trace                   print the span trace as an indented tree
 //!                             on stderr (also enabled by SYA_TRACE=1)
 //!   --trace-out FILE          write spans and events as JSON lines
+//!   --profile                 record hot-path timing histograms
+//!                             (delta-energy eval, conclique sweeps,
+//!                             halo publish/apply, checkpoint writes)
+//!                             into the metrics registry; also enabled
+//!                             by SYA_PROFILE=1
 //!
 //! serve-only options:
 //!   --listen HOST:PORT        bind address [default: 127.0.0.1:7171];
@@ -162,6 +167,7 @@ struct Options {
     metrics_out: Option<String>,
     trace: bool,
     trace_out: Option<String>,
+    profile: bool,
     checkpoint_dir: Option<String>,
     checkpoint_every: usize,
     resume: bool,
@@ -207,6 +213,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         metrics_out: None,
         trace: false,
         trace_out: None,
+        profile: false,
         checkpoint_dir: None,
         checkpoint_every: 25,
         resume: false,
@@ -331,6 +338,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--trace" => opts.trace = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--profile" => opts.profile = true,
             "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
             "--checkpoint-every" => {
                 opts.checkpoint_every = value("--checkpoint-every")?
@@ -617,6 +625,16 @@ impl Diag<'_> {
     }
 }
 
+/// Arms the hot-path profiler for this process when `--profile` or
+/// `SYA_PROFILE=1` asks for it. While off, every instrumentation hook
+/// costs one relaxed atomic load.
+fn init_profiler(opts: &Options) {
+    if opts.profile {
+        sya_obs::profile::set_enabled(true);
+    }
+    sya_obs::profile::enable_from_env();
+}
+
 /// Writes the post-run observability artifacts requested on the command
 /// line: the metrics registry dump (JSON, or Prometheus text for a
 /// `.prom` path), the JSON-lines trace, and the indented trace tree on
@@ -628,6 +646,9 @@ fn write_observability(
     out: &mut dyn Write,
     err: &mut dyn Write,
 ) -> Result<(), String> {
+    // Fold any profiler histograms into the registry so a `--profile
+    // --metrics-out` run lands them in the dump (no-op when disabled).
+    sya_obs::profile::publish(obs);
     if let Some(path) = &opts.metrics_out {
         let snap = obs.metrics_snapshot();
         let text = if path.ends_with(".prom") {
@@ -789,6 +810,7 @@ fn cmd_run(
     stats_only: bool,
 ) -> Result<(), String> {
     let opts = parse_options(args)?;
+    init_profiler(&opts);
     let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
     let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
     let obs = if observed { Obs::enabled() } else { Obs::disabled() };
@@ -840,6 +862,7 @@ fn cmd_serve(
     err: &mut dyn Write,
 ) -> Result<(), String> {
     let opts = parse_options(args)?;
+    init_profiler(&opts);
     if matches!(opts.engine, EngineMode::DeepDive) {
         return Err(
             "serve requires the sya engine: incremental re-inference needs the pyramid index"
@@ -962,6 +985,11 @@ fn worker_args(opts: &Options) -> Vec<String> {
         }
     }
     a.extend(["--heartbeat-ms".to_owned(), opts.heartbeat_ms.to_string()]);
+    // Profiling is forwarded: per-site timings ride each worker's
+    // telemetry frames back to the fleet board.
+    if opts.profile {
+        a.push("--profile".to_owned());
+    }
     a
 }
 
@@ -1027,6 +1055,7 @@ fn cmd_coordinator(
     err: &mut dyn Write,
 ) -> Result<(), String> {
     let opts = parse_options(args)?;
+    init_profiler(&opts);
     if opts.shards == 0 {
         return Err("shard-coordinator requires --shards >= 1".to_owned());
     }
@@ -1103,6 +1132,7 @@ fn cmd_worker(
     err: &mut dyn Write,
 ) -> Result<(), String> {
     let opts = parse_options(args)?;
+    init_profiler(&opts);
     let Some(shard) = opts.shard else {
         return Err("shard-worker requires --shard".to_owned());
     };
