@@ -274,3 +274,75 @@ echo "fleet metrics smoke: $fleet_samples fleet samples, per-shard labels and dr
 ./target/release/sampler_hotpath /tmp/sya_ci_bench_sampler.json 60 2> /dev/null
 ./target/release/sampler_bench_smoke /tmp/sya_ci_bench_sampler.json
 echo "sampler hot-path smoke: BENCH_sampler.json schema valid"
+
+# Overload smoke (DESIGN.md §15): a deliberately tiny serve envelope —
+# one worker, queue depth 4 — driven well past capacity by the
+# open-loop load generator in evidence mode (each accepted request is a
+# real incremental re-inference). The health plane must answer 200
+# through the whole storm (the shed lane), every 503 must carry
+# Retry-After, the BENCH_serve.json the generator writes must validate,
+# and the admission ledger must land on /metrics.
+overload_log=/tmp/sya_ci_overload.log
+rm -f "$overload_log" /tmp/sya_ci_bench_serve.json
+./target/release/sya serve demo/gwdb.ddlog \
+    --table Well=demo/wells.csv --evidence demo/evidence.csv \
+    --epochs 200 --listen 127.0.0.1:0 --serve-workers 1 \
+    --max-queue 4 --request-timeout-ms 5000 > "$overload_log" &
+server=$!
+addr=""
+for _ in $(seq 1 3000); do
+    addr=$(sed -n 's|^serving on http://||p' "$overload_log")
+    if [ -n "$addr" ]; then break; fi
+    if ! kill -0 "$server" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+if [ -z "$addr" ]; then
+    echo "overload smoke: server never reported its address" >&2
+    cat "$overload_log" >&2
+    exit 1
+fi
+./target/release/serve_load "$addr" --mode evidence --rates 400 \
+    --duration-secs 3 --connections 16 \
+    --out /tmp/sya_ci_bench_serve.json 2> /dev/null &
+load=$!
+# Poll the health plane mid-storm: every probe must come back 200 even
+# while the main queue is rejecting work.
+for _ in $(seq 1 20); do
+    health=$(http_get "$addr" /healthz || true)
+    case "$health" in
+    *'HTTP/1.1 200'*) : ;;
+    *)  echo "overload smoke: /healthz did not answer 200 under load" >&2
+        printf '%s\n' "$health" >&2
+        kill "$load" "$server" 2> /dev/null || true
+        exit 1 ;;
+    esac
+    sleep 0.1
+done
+if ! wait "$load"; then
+    echo "overload smoke: serve_load failed" >&2
+    kill "$server" 2> /dev/null || true
+    exit 1
+fi
+# The sweep must have shed (every shed with Retry-After) and the
+# accepted requests must have kept the request-timeout budget.
+./target/release/serve_bench_smoke /tmp/sya_ci_bench_serve.json \
+    --expect-shed --max-p99-ms 6000
+metrics=$(http_get "$addr" /metrics 2> /dev/null || true)
+case "$metrics" in
+*sya_serve_admission_shed_queue_full_total*) : ;;
+*)  echo "overload smoke: /metrics is missing the admission shed counters" >&2
+    printf '%s\n' "$metrics" >&2
+    exit 1 ;;
+esac
+case "$metrics" in
+*'sya_serve_admission_queued 0'*) : ;;
+*)  echo "overload smoke: admission queue did not drain to zero" >&2
+    printf '%s\n' "$metrics" >&2
+    exit 1 ;;
+esac
+kill -TERM "$server"
+if ! wait "$server"; then
+    echo "overload smoke: server did not shut down cleanly after the storm" >&2
+    exit 1
+fi
+echo "overload smoke: healthz stayed 200, sheds carried Retry-After, BENCH_serve.json valid"

@@ -1,0 +1,97 @@
+//! CI smoke validator for `BENCH_serve.json` (written by the
+//! `serve_load` bin).
+//!
+//! ```text
+//! serve_bench_smoke BENCH_serve.json [--expect-shed] [--max-p99-ms N]
+//! ```
+//!
+//! Exits 0 when the file is a valid `sya.bench.serve.v1` document;
+//! `--expect-shed` additionally requires at least one shed response
+//! and that every shed carried `Retry-After` (the admission contract),
+//! and `--max-p99-ms N` bounds the accepted-request p99 of every sweep
+//! that accepted traffic — the "sheds protect the latency of what it
+//! accepts" acceptance criterion. Prints the first violation and exits
+//! 1 otherwise.
+
+fn check(
+    text: &str,
+    expect_shed: bool,
+    max_p99_ms: Option<f64>,
+) -> Result<(), String> {
+    sya_bench::validate_serve_bench_json(text)?;
+    let v: serde_json::Value = serde_json::from_str(text).expect("validated above");
+    let sweeps = v["sweeps"].as_array().expect("validated above");
+
+    if expect_shed {
+        let shed: f64 = sweeps.iter().map(|s| s["shed"].as_f64().unwrap_or(0.0)).sum();
+        let shed_ra: f64 = sweeps
+            .iter()
+            .map(|s| s["shed_with_retry_after"].as_f64().unwrap_or(0.0))
+            .sum();
+        if shed <= 0.0 {
+            return Err("expected sheds under overload, found none".into());
+        }
+        if shed_ra < shed {
+            return Err(format!(
+                "{} of {} sheds were missing the Retry-After header",
+                shed - shed_ra,
+                shed
+            ));
+        }
+    }
+    if let Some(max_ms) = max_p99_ms {
+        for (i, s) in sweeps.iter().enumerate() {
+            if s["accepted"].as_f64().unwrap_or(0.0) <= 0.0 {
+                continue;
+            }
+            let p99_ms = s["p99_seconds"].as_f64().unwrap_or(f64::INFINITY) * 1000.0;
+            if p99_ms > max_ms {
+                return Err(format!(
+                    "sweep {i}: accepted-request p99 {p99_ms:.1}ms exceeds {max_ms:.1}ms"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: serve_bench_smoke BENCH_serve.json [--expect-shed] [--max-p99-ms N]");
+        std::process::exit(2);
+    };
+    let mut expect_shed = false;
+    let mut max_p99_ms = None;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--expect-shed" => expect_shed = true,
+            "--max-p99-ms" => match rest.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(ms)) => max_p99_ms = Some(ms),
+                _ => {
+                    eprintln!("serve_bench_smoke: --max-p99-ms needs a number");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("serve_bench_smoke: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("serve_bench_smoke: cannot read {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match check(&text, expect_shed, max_p99_ms) {
+        Ok(()) => println!("serve_bench_smoke: {path} ok"),
+        Err(msg) => {
+            eprintln!("serve_bench_smoke: {path}: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Open-loop load generator for `sya serve` — the serving-throughput
+//! measurement floor the ROADMAP asks for (`BENCH_serve.json`).
+//!
+//! ```text
+//! serve_load HOST:PORT [--mode marginal|evidence] [--relation R] [--id N]
+//!            [--connections N] [--rates R1,R2,...] [--duration-secs S]
+//!            [--out FILE]
+//! ```
+//!
+//! For each offered rate in the sweep, a scheduler thread emits
+//! arrivals at fixed intervals (open loop: arrivals do not wait for
+//! completions — the honest way to measure an overloaded server) and a
+//! pool of connection-slot threads executes them. Each slot keeps its
+//! connection alive across requests when the server allows it and
+//! reconnects when the server closes (sya-serve answers
+//! `Connection: close`, so every request costs one connect — which is
+//! exactly what production traffic through its accept queue looks
+//! like). Latency is measured from the *scheduled arrival*, so queue
+//! wait inside the generator counts against the server the same way a
+//! kernel accept-backlog wait would.
+//!
+//! Each response is classified: 200 = accepted (latency recorded),
+//! 503 = shed (`Retry-After` presence tracked separately — the
+//! admission contract says sheds must carry it), anything else or a
+//! socket error = error. The sweep table lands in
+//! `sya.bench.serve.v1` JSON, checked by `validate_serve_bench_json`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What one sweep offers and what came back.
+#[derive(Debug, Default, Clone)]
+struct SweepResult {
+    offered_rps: f64,
+    sent: u64,
+    accepted: u64,
+    shed: u64,
+    shed_with_retry_after: u64,
+    errors: u64,
+    elapsed: Duration,
+    /// Latencies of accepted requests, seconds, unsorted.
+    latencies: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: String,
+    mode: String,
+    relation: String,
+    id: i64,
+    connections: usize,
+    rates: Vec<f64>,
+    duration: Duration,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut raw = std::env::args().skip(1);
+    let Some(addr) = raw.next() else {
+        return Err("usage: serve_load HOST:PORT [--mode marginal|evidence] \
+                    [--relation R] [--id N] [--connections N] [--rates R1,R2,...] \
+                    [--duration-secs S] [--out FILE]"
+            .into());
+    };
+    let mut args = Args {
+        addr,
+        mode: "marginal".into(),
+        relation: "IsSafe".into(),
+        id: 0,
+        connections: 16,
+        rates: vec![100.0, 400.0, 1600.0],
+        duration: Duration::from_secs(5),
+        out: None,
+    };
+    while let Some(flag) = raw.next() {
+        let mut value = |name: &str| {
+            raw.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                args.mode = value("--mode")?;
+                if args.mode != "marginal" && args.mode != "evidence" {
+                    return Err(format!("--mode must be marginal or evidence, got {}", args.mode));
+                }
+            }
+            "--relation" => args.relation = value("--relation")?,
+            "--id" => {
+                args.id = value("--id")?.parse().map_err(|e| format!("bad --id: {e}"))?
+            }
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+                if args.connections == 0 {
+                    return Err("--connections must be positive".into());
+                }
+            }
+            "--rates" => {
+                args.rates = value("--rates")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad rate {s:?}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.rates.is_empty() || args.rates.iter().any(|&r| r <= 0.0) {
+                    return Err("--rates wants positive numbers".into());
+                }
+            }
+            "--duration-secs" => {
+                let s: f64 = value("--duration-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-secs: {e}"))?;
+                if s <= 0.0 {
+                    return Err("--duration-secs must be positive".into());
+                }
+                args.duration = Duration::from_secs_f64(s);
+            }
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The raw request bytes one arrival sends.
+fn request_bytes(args: &Args) -> Vec<u8> {
+    match args.mode.as_str() {
+        "evidence" => {
+            let body = format!(
+                "{{\"rows\":[{{\"relation\":\"{}\",\"id\":{},\"value\":1}}]}}",
+                args.relation, args.id
+            );
+            format!(
+                "POST /v1/evidence HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                args.addr,
+                body.len()
+            )
+            .into_bytes()
+        }
+        _ => format!(
+            "GET /v1/marginal/{}?args={} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            args.relation, args.id, args.addr
+        )
+        .into_bytes(),
+    }
+}
+
+/// What one request produced on the wire.
+enum Outcome {
+    Accepted,
+    Shed { retry_after: bool },
+    Error,
+}
+
+/// A keep-alive-capable connection slot: reuses its socket while the
+/// server allows, reconnects when the server closes or errors.
+struct Slot {
+    addr: String,
+    conn: Option<TcpStream>,
+}
+
+impl Slot {
+    fn connect(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true).ok();
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().expect("just set"))
+    }
+
+    /// Sends `request` and reads one Content-Length-framed response.
+    /// Returns `(status, has_retry_after, server_closes)`.
+    fn roundtrip(&mut self, request: &[u8]) -> std::io::Result<(u16, bool, bool)> {
+        let stream = self.connect()?;
+        stream.write_all(request)?;
+        stream.flush()?;
+
+        // Read head.
+        let mut buf: Vec<u8> = Vec::with_capacity(512);
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p + 4;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let mut content_length = 0usize;
+        let mut retry_after = false;
+        let mut closes = false;
+        for line in head.lines().skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = true;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    closes = value.trim().eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        // Drain the body so a kept-alive stream is positioned at the
+        // next response boundary.
+        let mut body_read = buf.len() - head_end;
+        while body_read < content_length {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body_read += n;
+        }
+        if closes {
+            self.conn = None;
+        }
+        Ok((status, retry_after, closes))
+    }
+
+    fn run(&mut self, request: &[u8]) -> Outcome {
+        match self.roundtrip(request) {
+            Ok((200, _, _)) => Outcome::Accepted,
+            Ok((503, retry_after, _)) => Outcome::Shed { retry_after },
+            Ok(_) => Outcome::Error,
+            Err(_) => {
+                self.conn = None;
+                Outcome::Error
+            }
+        }
+    }
+}
+
+/// Drives one offered rate for `duration`; open loop.
+fn sweep(args: &Args, rate: f64) -> SweepResult {
+    let request = Arc::new(request_bytes(args));
+    let total = (rate * args.duration.as_secs_f64()).round().max(1.0) as u64;
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let (tx, rx) = mpsc::channel::<Instant>();
+    let rx = Arc::new(Mutex::new(rx));
+    let started = Instant::now();
+
+    let results: Arc<Mutex<SweepResult>> = Arc::new(Mutex::new(SweepResult {
+        offered_rps: rate,
+        ..SweepResult::default()
+    }));
+
+    std::thread::scope(|scope| {
+        for _ in 0..args.connections {
+            let rx = Arc::clone(&rx);
+            let request = Arc::clone(&request);
+            let results = Arc::clone(&results);
+            let addr = args.addr.clone();
+            scope.spawn(move || {
+                let mut slot = Slot { addr, conn: None };
+                let mut local = SweepResult::default();
+                while let Ok(arrival) = {
+                    let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.recv()
+                } {
+                    local.sent += 1;
+                    match slot.run(&request) {
+                        Outcome::Accepted => {
+                            local.accepted += 1;
+                            local.latencies.push(arrival.elapsed().as_secs_f64());
+                        }
+                        Outcome::Shed { retry_after } => {
+                            local.shed += 1;
+                            if retry_after {
+                                local.shed_with_retry_after += 1;
+                            }
+                        }
+                        Outcome::Error => local.errors += 1,
+                    }
+                }
+                let mut merged = results.lock().unwrap_or_else(|e| e.into_inner());
+                merged.sent += local.sent;
+                merged.accepted += local.accepted;
+                merged.shed += local.shed;
+                merged.shed_with_retry_after += local.shed_with_retry_after;
+                merged.errors += local.errors;
+                merged.latencies.extend(local.latencies);
+            });
+        }
+
+        // The scheduler: fixed-interval arrivals, never waiting on
+        // completions. Falling behind (the OS descheduled us) emits the
+        // backlog immediately — offered load is honored on average.
+        for k in 0..total {
+            let target = started + interval.mul_f64(k as f64);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            if tx.send(target).is_err() {
+                break;
+            }
+        }
+        drop(tx); // closes the queue; slots drain and exit
+    });
+
+    let mut out = Arc::try_unwrap(results)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_else(|_| unreachable!("all slot threads joined"));
+    out.elapsed = started.elapsed();
+    out
+}
+
+/// `p` in [0,1] over a sorted slice; 0.0 for empty input.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn sweep_json(s: &SweepResult) -> String {
+    let mut lat = s.latencies.clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let sustained = if s.elapsed.as_secs_f64() > 0.0 {
+        s.accepted as f64 / s.elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"offered_rps\":{:.3},\"sent\":{},\"accepted\":{},\"shed\":{},\
+         \"shed_with_retry_after\":{},\"errors\":{},\"elapsed_seconds\":{:.3},\
+         \"sustained_rps\":{:.3},\"p50_seconds\":{:.6},\"p99_seconds\":{:.6}}}",
+        s.offered_rps,
+        s.sent,
+        s.accepted,
+        s.shed,
+        s.shed_with_retry_after,
+        s.errors,
+        s.elapsed.as_secs_f64(),
+        sustained,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+    )
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut sweeps = Vec::new();
+    for &rate in &args.rates {
+        eprintln!(
+            "serve_load: offering {rate:.0} req/s ({} mode) for {:.1}s over {} connections",
+            args.mode,
+            args.duration.as_secs_f64(),
+            args.connections
+        );
+        let s = sweep(&args, rate);
+        eprintln!(
+            "serve_load:   sent {} accepted {} shed {} errors {} (sustained {:.1} req/s)",
+            s.sent,
+            s.accepted,
+            s.shed,
+            s.errors,
+            s.accepted as f64 / s.elapsed.as_secs_f64().max(1e-9),
+        );
+        sweeps.push(sweep_json(&s));
+    }
+    let doc = format!(
+        "{{\"schema\":\"sya.bench.serve.v1\",\"target\":\"{}\",\"mode\":\"{}\",\
+         \"connections\":{},\"duration_secs\":{:.3},\"sweeps\":[{}]}}",
+        args.addr,
+        args.mode,
+        args.connections,
+        args.duration.as_secs_f64(),
+        sweeps.join(",")
+    );
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("serve_load: wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+}

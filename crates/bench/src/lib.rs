@@ -172,6 +172,72 @@ pub fn validate_sampler_bench_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `sya.bench.serve.v1` document (`BENCH_serve.json`,
+/// written by the `serve_load` bin): it must parse, carry the schema
+/// tag, and hold at least one sweep whose accounting balances
+/// (`sent == accepted + shed + errors`, sheds carrying `Retry-After`
+/// never exceed sheds, p50 ≤ p99) with at least one sweep actually
+/// accepting traffic — the floor the overload smoke and the serving
+/// throughput trajectory measure against.
+pub fn validate_serve_bench_json(text: &str) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if v["schema"] != "sya.bench.serve.v1" {
+        return Err(format!("bad schema tag: {}", v["schema"]));
+    }
+    for key in ["target", "mode"] {
+        if !v[key].is_string() {
+            return Err(format!("missing field {key:?}"));
+        }
+    }
+    let sweeps = v["sweeps"].as_array().ok_or("missing sweeps array")?;
+    if sweeps.is_empty() {
+        return Err("sweeps array is empty".into());
+    }
+    let mut any_accepted = false;
+    for (i, s) in sweeps.iter().enumerate() {
+        for key in [
+            "offered_rps",
+            "sent",
+            "accepted",
+            "shed",
+            "shed_with_retry_after",
+            "errors",
+            "elapsed_seconds",
+            "sustained_rps",
+            "p50_seconds",
+            "p99_seconds",
+        ] {
+            if !s[key].is_number() {
+                return Err(format!("sweep {i}: missing {key:?}"));
+            }
+        }
+        let n = |key: &str| s[key].as_f64().unwrap_or(0.0);
+        if n("sent") != n("accepted") + n("shed") + n("errors") {
+            return Err(format!(
+                "sweep {i}: accounting does not balance: sent {} != accepted {} + shed {} + errors {}",
+                n("sent"),
+                n("accepted"),
+                n("shed"),
+                n("errors")
+            ));
+        }
+        if n("shed_with_retry_after") > n("shed") {
+            return Err(format!("sweep {i}: more Retry-After sheds than sheds"));
+        }
+        if n("p50_seconds") > n("p99_seconds") {
+            return Err(format!("sweep {i}: p50 exceeds p99"));
+        }
+        if n("accepted") > 0.0 {
+            any_accepted = true;
+        }
+    }
+    if !any_accepted {
+        return Err("no sweep accepted any request".into());
+    }
+    Ok(())
+}
+
 /// Evaluates a knowledge base with the paper's quality metrics.
 pub fn evaluate(dataset: &Dataset, kb: &KnowledgeBase) -> QualityEval {
     let relation = target_relation(dataset);
@@ -301,6 +367,47 @@ mod tests {
             rows[..8].join(",")
         );
         assert!(validate_sampler_bench_json(&partial).is_err());
+    }
+
+    #[test]
+    fn serve_bench_validator_balances_the_books() {
+        let sweep = |sent: u64, accepted: u64, shed: u64, shed_ra: u64, errors: u64| {
+            format!(
+                "{{\"offered_rps\": 100.0, \"sent\": {sent}, \"accepted\": {accepted}, \
+                 \"shed\": {shed}, \"shed_with_retry_after\": {shed_ra}, \
+                 \"errors\": {errors}, \"elapsed_seconds\": 2.0, \"sustained_rps\": 50.0, \
+                 \"p50_seconds\": 0.001, \"p99_seconds\": 0.01}}"
+            )
+        };
+        let doc = |sweeps: &[String]| {
+            format!(
+                "{{\"schema\": \"sya.bench.serve.v1\", \"target\": \"127.0.0.1:1\", \
+                 \"mode\": \"marginal\", \"connections\": 4, \"duration_secs\": 2.0, \
+                 \"sweeps\": [{}]}}",
+                sweeps.join(",")
+            )
+        };
+
+        validate_serve_bench_json(&doc(&[sweep(100, 90, 10, 10, 0)])).unwrap();
+        // Saturated sweeps are fine as long as one sweep accepted.
+        validate_serve_bench_json(&doc(&[sweep(100, 90, 10, 10, 0), sweep(400, 0, 400, 400, 0)]))
+            .unwrap();
+
+        assert!(validate_serve_bench_json("not json").is_err());
+        assert!(validate_serve_bench_json("{\"schema\": \"other\"}").is_err());
+        assert!(validate_serve_bench_json(&doc(&[])).is_err(), "empty sweeps");
+        assert!(
+            validate_serve_bench_json(&doc(&[sweep(100, 80, 10, 10, 0)])).is_err(),
+            "sent != accepted + shed + errors"
+        );
+        assert!(
+            validate_serve_bench_json(&doc(&[sweep(100, 90, 5, 10, 5)])).is_err(),
+            "retry-after sheds exceed sheds"
+        );
+        assert!(
+            validate_serve_bench_json(&doc(&[sweep(400, 0, 400, 400, 0)])).is_err(),
+            "no sweep accepted anything"
+        );
     }
 
     #[test]

@@ -123,6 +123,13 @@ impl Obs {
         }
     }
 
+    /// Add a (possibly negative) delta to the named gauge.
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        if let Some(i) = self.inner.as_deref() {
+            i.metrics.gauge_add(name, delta);
+        }
+    }
+
     /// Record an observation into the named histogram (default buckets).
     pub fn histogram_record(&self, name: &str, value: f64) {
         if let Some(i) = self.inner.as_deref() {

@@ -141,6 +141,26 @@ impl MetricsRegistry {
         cell.store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Add `delta` (may be negative) to a gauge, creating it at zero.
+    /// Lock-free after the registry lookup: a CAS loop on the f64 bits,
+    /// same discipline as [`Histogram::record`]'s sum. Used for
+    /// up/down lane counters (queued, in-flight) where concurrent
+    /// enqueues and dequeues race.
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        let cell = {
+            let mut map = self.gauges.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))))
+        };
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Current gauge value, or `None` if never set.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         self.gauges
@@ -271,6 +291,26 @@ mod tests {
         reg.gauge_set("phase.grounding_seconds", 1.5);
         reg.gauge_set("phase.grounding_seconds", 2.25);
         assert_eq!(reg.gauge_value("phase.grounding_seconds"), Some(2.25));
+    }
+
+    #[test]
+    fn gauge_add_is_thread_safe_and_signed() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_add("serve.admission.queued", 0.0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.gauge_add("serve.admission.queued", 1.0);
+                        reg.gauge_add("serve.admission.queued", -1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.gauge_value("serve.admission.queued"), Some(0.0));
+        reg.gauge_add("serve.admission.queued", 3.0);
+        assert_eq!(reg.gauge_value("serve.admission.queued"), Some(3.0));
     }
 
     #[test]

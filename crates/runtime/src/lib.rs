@@ -24,7 +24,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 pub use sya_obs::{Obs, Severity};
@@ -302,11 +302,165 @@ impl Backoff {
         let mult = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
         self.base.checked_mul(mult).unwrap_or(self.max).min(self.max)
     }
+
+    /// [`delay`](Self::delay) scaled by a deterministic, seed-derived
+    /// jitter factor in `[0.5, 1.0]`. Workers that crashed at the same
+    /// instant (a died coordinator host, a shared OOM) would otherwise
+    /// all sleep the same exponential delay and restart in lockstep —
+    /// the thundering herd. Seeding with the shard index keeps restart
+    /// schedules reproducible while spreading them apart.
+    pub fn delay_jittered(&self, attempt: u32, seed: u64) -> Duration {
+        let d = self.delay(attempt);
+        let h = splitmix64(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 32),
+        );
+        // 53 uniform bits → a factor in [0.5, 1.0): never less than half
+        // the nominal delay (a crash loop must still back off), never
+        // more than `delay` (the budgeted worst case stays the bound).
+        let frac = 0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+        d.mul_f64(frac).min(self.max)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mix used to turn
+/// `(seed, attempt)` into an independent jitter stream.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for Backoff {
     fn default() -> Self {
         Backoff { base: Duration::from_millis(250), max: Duration::from_secs(10) }
+    }
+}
+
+// ----------------------------------------------------------- breaker
+
+/// Where a [`Breaker`] currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: requests fast-fail until the backoff window elapses.
+    Open,
+    /// One probe request is in flight; its outcome decides the state.
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker (closed → open → half-open →
+/// closed) whose open window reuses [`Backoff`]: each consecutive trip
+/// waits exponentially longer before the next probe. The serving
+/// router fronts every shard with one of these so a sick shard
+/// fast-fails with 503 instead of holding worker threads hostage.
+///
+/// All transitions are serialized under one mutex; the breaker is
+/// shared by reference across request workers.
+#[derive(Debug)]
+pub struct Breaker {
+    /// Consecutive failures that trip the breaker open.
+    threshold: u32,
+    /// Open-window schedule: trip `n` waits `backoff.delay(n - 1)`.
+    backoff: Backoff,
+    inner: Mutex<BreakerInner>,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// Consecutive trips without an intervening success — indexes the
+    /// backoff schedule.
+    trips: u32,
+}
+
+impl Breaker {
+    /// A breaker that opens after `threshold` consecutive failures
+    /// (clamped to at least 1) and probes on the `backoff` schedule.
+    pub fn new(threshold: u32, backoff: Backoff) -> Self {
+        Breaker {
+            threshold: threshold.max(1),
+            backoff,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                trips: 0,
+            }),
+        }
+    }
+
+    /// Whether a request may proceed. Closed always admits; open admits
+    /// nothing until its backoff window elapses, then converts exactly
+    /// one caller into the half-open probe; half-open admits nothing
+    /// more until the probe reports back.
+    pub fn allow(&self) -> bool {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let wait = self.backoff.delay(g.trips.saturating_sub(1));
+                if g.opened_at.is_none_or(|at| at.elapsed() >= wait) {
+                    g.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report a successful request: resets the failure streak; a
+    /// half-open probe success closes the breaker.
+    pub fn on_success(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.consecutive_failures = 0;
+        g.trips = 0;
+        if g.state == BreakerState::HalfOpen {
+            g.state = BreakerState::Closed;
+            g.opened_at = None;
+        }
+    }
+
+    /// Report a failed request: extends the streak, trips the breaker
+    /// at the threshold, and re-opens (with a longer window) on a
+    /// failed half-open probe.
+    pub fn on_failure(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.threshold {
+                    g.state = BreakerState::Open;
+                    g.opened_at = Some(Instant::now());
+                    g.trips = g.trips.saturating_add(1);
+                }
+            }
+            BreakerState::HalfOpen => {
+                g.state = BreakerState::Open;
+                g.opened_at = Some(Instant::now());
+                g.trips = g.trips.saturating_add(1);
+            }
+            // Already open: the failure is a straggler from before the
+            // trip; the window is not extended.
+            BreakerState::Open => {}
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).state
+    }
+
+    /// Current consecutive-failure streak (0 once tripped or reset).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .consecutive_failures
     }
 }
 
@@ -744,6 +898,77 @@ mod tests {
         assert_eq!(b.delay(2), Duration::from_millis(400));
         assert_eq!(b.delay(5), Duration::from_secs(2), "capped at max");
         assert_eq!(b.delay(64), Duration::from_secs(2), "shift overflow saturates");
+    }
+
+    #[test]
+    fn jittered_delays_diverge_across_shards_and_stay_bounded() {
+        let b = Backoff::new(Duration::from_millis(100), Duration::from_secs(2));
+        for attempt in 0..8u32 {
+            let nominal = b.delay(attempt);
+            let delays: Vec<Duration> =
+                (0..16u64).map(|shard| b.delay_jittered(attempt, shard)).collect();
+            for d in &delays {
+                assert!(*d <= nominal, "jitter never exceeds the nominal delay");
+                assert!(*d <= b.max, "jitter never exceeds max");
+                assert!(
+                    *d >= nominal.mul_f64(0.5),
+                    "jitter keeps at least half the nominal delay"
+                );
+            }
+            let distinct: std::collections::HashSet<Duration> =
+                delays.iter().copied().collect();
+            assert!(
+                distinct.len() > 1,
+                "distinct shards must not restart in lockstep (attempt {attempt})"
+            );
+        }
+        // Deterministic: same (attempt, seed) → same delay.
+        assert_eq!(b.delay_jittered(3, 7), b.delay_jittered(3, 7));
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_closes() {
+        // Zero-base backoff: the open window elapses immediately, so the
+        // transition script needs no sleeps.
+        let br = Breaker::new(3, Backoff::new(Duration::ZERO, Duration::ZERO));
+        assert_eq!(br.state(), BreakerState::Closed);
+        assert!(br.allow());
+
+        br.on_failure();
+        br.on_failure();
+        assert_eq!(br.state(), BreakerState::Closed, "below threshold stays closed");
+        assert_eq!(br.consecutive_failures(), 2);
+        br.on_failure();
+        assert_eq!(br.state(), BreakerState::Open, "threshold trips the breaker");
+
+        // Window elapsed (zero backoff): exactly one caller becomes the probe.
+        assert!(br.allow(), "first caller after the window gets the probe");
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+        assert!(!br.allow(), "no second probe while one is in flight");
+
+        br.on_success();
+        assert_eq!(br.state(), BreakerState::Closed, "probe success closes");
+        assert!(br.allow());
+    }
+
+    #[test]
+    fn breaker_failed_probe_reopens_with_longer_window() {
+        let br = Breaker::new(1, Backoff::new(Duration::from_secs(60), Duration::from_secs(60)));
+        br.on_failure();
+        assert_eq!(br.state(), BreakerState::Open);
+        // 60 s window has not elapsed: fast-fail, no probe.
+        assert!(!br.allow());
+        assert_eq!(br.state(), BreakerState::Open);
+
+        let br = Breaker::new(1, Backoff::new(Duration::ZERO, Duration::ZERO));
+        br.on_failure();
+        assert!(br.allow(), "probe granted");
+        br.on_failure();
+        assert_eq!(br.state(), BreakerState::Open, "failed probe reopens");
+        assert!(br.allow(), "zero backoff: next probe granted again");
+        br.on_success();
+        assert_eq!(br.state(), BreakerState::Closed);
+        assert_eq!(br.consecutive_failures(), 0);
     }
 
     #[test]

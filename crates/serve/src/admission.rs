@@ -1,0 +1,344 @@
+//! Admission control and load shedding for the serving plane
+//! (DESIGN.md §15).
+//!
+//! An overloaded server that queues without bound fails *everyone*
+//! slowly: every request waits behind the backlog, every deadline
+//! blows, and goodput collapses exactly when traffic peaks. The
+//! overload-control remedy is to fail *some* requests fast so the rest
+//! stay within their latency budget. This module is that policy,
+//! factored out of the socket plumbing so it can be property-tested as
+//! a pure state machine:
+//!
+//! - **Bounded queue** — [`Admission::try_enqueue`] hands out at most
+//!   `max_queue` [`Ticket`]s; overflow is shed with
+//!   `503 + Retry-After` *before* the request body is read.
+//! - **Shed lane** — queue overflow first tries a tiny triage lane
+//!   ([`Admission::try_enqueue_shed`]) whose dedicated thread answers
+//!   `GET /healthz` and `GET /metrics` cheaply and sheds everything
+//!   else, so the health plane stays alive at full saturation.
+//! - **Deadline budget** — a ticket that waited out the request
+//!   timeout in the queue is shed at dequeue
+//!   ([`Admission::admit_waited`]) instead of executing work whose
+//!   client has already given up.
+//! - **In-flight gate** — [`Admission::try_begin`] bounds concurrently
+//!   executing expensive requests; cheap endpoints bypass it.
+//!
+//! Every transition lands on the metrics plane:
+//! `serve.admission.{queued,inflight}` gauges and
+//! `serve.admission.shed_{queue_full,deadline,inflight}_total`
+//! counters, all visible on `/metrics`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sya_obs::Obs;
+
+/// Tunables for the admission state machine, resolved from
+/// [`ServeConfig`](crate::ServeConfig) at server start.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Accepted connections waiting for a worker; overflow is shed.
+    pub max_queue: usize,
+    /// Concurrently executing expensive requests; cheap endpoints
+    /// (`/healthz`, `/metrics`) bypass the gate.
+    pub max_inflight: usize,
+    /// Depth of the triage lane that keeps the health plane answering
+    /// when the main queue is full.
+    pub shed_lane_depth: usize,
+    /// Per-request deadline: queue wait counts against it, and a ticket
+    /// that exhausted it is shed at dequeue.
+    pub request_timeout: Duration,
+}
+
+/// Why a request was shed rather than served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// Both the accept queue and the shed lane are full.
+    QueueFull,
+    /// The request spent its whole deadline waiting in the queue.
+    DeadlineSpent,
+    /// The in-flight gate is at capacity.
+    InflightFull,
+}
+
+impl Shed {
+    /// The counter this shed feeds (`serve.admission.*`).
+    fn metric(self) -> &'static str {
+        match self {
+            Shed::QueueFull => "serve.admission.shed_queue_full_total",
+            Shed::DeadlineSpent => "serve.admission.shed_deadline_total",
+            Shed::InflightFull => "serve.admission.shed_inflight_total",
+        }
+    }
+
+    /// Human-readable reason for the 503 body.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Shed::QueueFull => "server overloaded: accept queue is full",
+            Shed::DeadlineSpent => {
+                "server overloaded: request spent its deadline queued"
+            }
+            Shed::InflightFull => "server overloaded: concurrency limit reached",
+        }
+    }
+}
+
+/// Which bounded lane a [`Ticket`] occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Main,
+    Shed,
+}
+
+/// The admission state machine; cloned handles share one set of
+/// counters (acceptor, workers, and the shed thread each hold one).
+#[derive(Clone)]
+pub struct Admission {
+    inner: Arc<AdmissionInner>,
+}
+
+struct AdmissionInner {
+    cfg: AdmissionConfig,
+    queued: AtomicUsize,
+    shed_queued: AtomicUsize,
+    inflight: AtomicUsize,
+    obs: Obs,
+}
+
+/// Occupancy of one queue slot, released on drop — a `Pending`
+/// connection carries its ticket through the channel so an abandoned
+/// queue (shutdown) still releases its slots.
+pub struct Ticket {
+    admission: Admission,
+    lane: Lane,
+    enqueued_at: Instant,
+}
+
+impl Ticket {
+    /// How long this ticket has been queued.
+    pub fn waited(&self) -> Duration {
+        self.enqueued_at.elapsed()
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        let inner = &self.admission.inner;
+        match self.lane {
+            Lane::Main => {
+                inner.queued.fetch_sub(1, Ordering::AcqRel);
+                inner.obs.gauge_add("serve.admission.queued", -1.0);
+            }
+            Lane::Shed => {
+                inner.shed_queued.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+/// Occupancy of one in-flight execution slot, released on drop.
+pub struct InflightGuard {
+    admission: Admission,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.admission.inner.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.admission.inner.obs.gauge_add("serve.admission.inflight", -1.0);
+    }
+}
+
+impl Admission {
+    pub fn new(cfg: AdmissionConfig, obs: Obs) -> Self {
+        // Publish the limits once so a /metrics scrape shows the
+        // configured envelope next to the live occupancy.
+        obs.gauge_set("serve.admission.max_queue", cfg.max_queue as f64);
+        obs.gauge_set("serve.admission.max_inflight", cfg.max_inflight as f64);
+        obs.gauge_set("serve.admission.queued", 0.0);
+        obs.gauge_set("serve.admission.inflight", 0.0);
+        Admission {
+            inner: Arc::new(AdmissionInner {
+                cfg,
+                queued: AtomicUsize::new(0),
+                shed_queued: AtomicUsize::new(0),
+                inflight: AtomicUsize::new(0),
+                obs,
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.inner.cfg
+    }
+
+    /// Claims a main-queue slot, or reports the queue full. CAS loop:
+    /// concurrent acceptor/worker races can never push occupancy past
+    /// `max_queue`.
+    pub fn try_enqueue(&self) -> Result<Ticket, Shed> {
+        self.claim(&self.inner.queued, self.inner.cfg.max_queue, Lane::Main)
+    }
+
+    /// Claims a shed-lane slot (triage for queue overflow).
+    pub fn try_enqueue_shed(&self) -> Result<Ticket, Shed> {
+        self.claim(&self.inner.shed_queued, self.inner.cfg.shed_lane_depth, Lane::Shed)
+    }
+
+    fn claim(&self, slot: &AtomicUsize, limit: usize, lane: Lane) -> Result<Ticket, Shed> {
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            if cur >= limit {
+                return Err(Shed::QueueFull);
+            }
+            match slot.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        if lane == Lane::Main {
+            self.inner.obs.gauge_add("serve.admission.queued", 1.0);
+        }
+        Ok(Ticket { admission: self.clone(), lane, enqueued_at: Instant::now() })
+    }
+
+    /// Deadline-budget check at dequeue: a request that spent `waited`
+    /// in the queue either still has budget (`Ok(remaining)`) or is
+    /// shed without executing. Taking the wait as a parameter keeps the
+    /// check clock-free for property tests; the server passes
+    /// [`Ticket::waited`].
+    pub fn admit_waited(&self, waited: Duration) -> Result<Duration, Shed> {
+        match self.inner.cfg.request_timeout.checked_sub(waited) {
+            Some(rem) if rem > Duration::ZERO => Ok(rem),
+            _ => Err(Shed::DeadlineSpent),
+        }
+    }
+
+    /// Claims an in-flight execution slot for an expensive request.
+    pub fn try_begin(&self) -> Result<InflightGuard, Shed> {
+        let slot = &self.inner.inflight;
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            if cur >= self.inner.cfg.max_inflight {
+                return Err(Shed::InflightFull);
+            }
+            match slot.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.inner.obs.gauge_add("serve.admission.inflight", 1.0);
+        Ok(InflightGuard { admission: self.clone() })
+    }
+
+    /// Records a shed on its `serve.admission.*` counter. Called at the
+    /// exact point the 503 is written, so the counters equal the
+    /// rejects the wire observed.
+    pub fn count_shed(&self, shed: Shed) {
+        self.inner.obs.counter_add(shed.metric(), 1);
+    }
+
+    /// Live main-queue occupancy.
+    pub fn queued(&self) -> usize {
+        self.inner.queued.load(Ordering::Acquire)
+    }
+
+    /// Live shed-lane occupancy.
+    pub fn shed_queued(&self) -> usize {
+        self.inner.shed_queued.load(Ordering::Acquire)
+    }
+
+    /// Live in-flight occupancy.
+    pub fn inflight(&self) -> usize {
+        self.inner.inflight.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission(max_queue: usize, max_inflight: usize) -> Admission {
+        Admission::new(
+            AdmissionConfig {
+                max_queue,
+                max_inflight,
+                shed_lane_depth: 2,
+                request_timeout: Duration::from_millis(100),
+            },
+            Obs::enabled(),
+        )
+    }
+
+    #[test]
+    fn queue_overflow_is_shed_and_slots_are_released_on_drop() {
+        let adm = admission(2, 1);
+        let t1 = adm.try_enqueue().expect("slot 1");
+        let _t2 = adm.try_enqueue().expect("slot 2");
+        assert_eq!(adm.queued(), 2);
+        assert!(matches!(adm.try_enqueue(), Err(Shed::QueueFull)));
+        drop(t1);
+        assert_eq!(adm.queued(), 1);
+        let _t3 = adm.try_enqueue().expect("slot freed by drop");
+    }
+
+    #[test]
+    fn shed_lane_is_independent_of_the_main_queue() {
+        let adm = admission(1, 1);
+        let _main = adm.try_enqueue().expect("main slot");
+        assert!(matches!(adm.try_enqueue(), Err(Shed::QueueFull)));
+        let _s1 = adm.try_enqueue_shed().expect("shed slot 1");
+        let _s2 = adm.try_enqueue_shed().expect("shed slot 2");
+        assert!(matches!(adm.try_enqueue_shed(), Err(Shed::QueueFull)));
+        assert_eq!(adm.shed_queued(), 2);
+    }
+
+    #[test]
+    fn deadline_budget_sheds_stale_tickets() {
+        let adm = admission(4, 1);
+        let rem = adm.admit_waited(Duration::from_millis(40)).expect("within budget");
+        assert_eq!(rem, Duration::from_millis(60));
+        assert!(matches!(
+            adm.admit_waited(Duration::from_millis(100)),
+            Err(Shed::DeadlineSpent)
+        ));
+        assert!(matches!(
+            adm.admit_waited(Duration::from_secs(5)),
+            Err(Shed::DeadlineSpent)
+        ));
+    }
+
+    #[test]
+    fn inflight_gate_bounds_concurrency_and_drains_to_zero() {
+        let adm = admission(4, 2);
+        let g1 = adm.try_begin().expect("slot 1");
+        let g2 = adm.try_begin().expect("slot 2");
+        assert!(matches!(adm.try_begin(), Err(Shed::InflightFull)));
+        assert_eq!(adm.inflight(), 2);
+        drop(g1);
+        drop(g2);
+        assert_eq!(adm.inflight(), 0);
+    }
+
+    #[test]
+    fn shed_counters_land_on_the_metrics_plane() {
+        let obs = Obs::enabled();
+        let adm = Admission::new(
+            AdmissionConfig {
+                max_queue: 1,
+                max_inflight: 1,
+                shed_lane_depth: 1,
+                request_timeout: Duration::from_millis(10),
+            },
+            obs.clone(),
+        );
+        adm.count_shed(Shed::QueueFull);
+        adm.count_shed(Shed::QueueFull);
+        adm.count_shed(Shed::DeadlineSpent);
+        adm.count_shed(Shed::InflightFull);
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counters.get("serve.admission.shed_queue_full_total"), Some(&2));
+        assert_eq!(snap.counters.get("serve.admission.shed_deadline_total"), Some(&1));
+        assert_eq!(snap.counters.get("serve.admission.shed_inflight_total"), Some(&1));
+    }
+}

@@ -22,11 +22,13 @@
 //! and per-endpoint spans land in the server's [`sya_obs::Obs`] handle,
 //! which `/metrics` renders.
 
+pub mod admission;
 mod http;
 mod router;
 mod server;
 mod state;
 
+pub use admission::{Admission, AdmissionConfig, InflightGuard, Shed, Ticket};
 pub use http::{json_string, read_request, HttpError, Request, Response};
 pub use router::{ServeState, ShardRouter};
 pub use server::SyaServer;
@@ -48,6 +50,29 @@ pub struct ServeConfig {
     pub checkpoint_refresh: Option<Duration>,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Bounded accept-queue depth; overflow is shed with
+    /// `503 + Retry-After` before the body is read. `0` = auto
+    /// (8 × workers).
+    pub max_queue: usize,
+    /// In-flight concurrency gate for expensive requests; `/healthz`
+    /// and `/metrics` bypass it. `0` = auto (= workers, i.e. inert
+    /// until lowered).
+    pub max_inflight: usize,
+}
+
+impl ServeConfig {
+    /// `max_queue` with the `0 = auto` default applied: eight waiting
+    /// connections per worker keeps worst-case queue wait well under a
+    /// typical request timeout while still absorbing bursts.
+    pub fn resolved_max_queue(&self) -> usize {
+        if self.max_queue == 0 { self.workers.max(1) * 8 } else { self.max_queue }
+    }
+
+    /// `max_inflight` with the `0 = auto` default applied: one slot per
+    /// worker, so the gate only binds when explicitly tightened.
+    pub fn resolved_max_inflight(&self) -> usize {
+        if self.max_inflight == 0 { self.workers.max(1) } else { self.max_inflight }
+    }
 }
 
 impl Default for ServeConfig {
@@ -58,6 +83,8 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_millis(10_000),
             checkpoint_refresh: None,
             max_body_bytes: 1024 * 1024,
+            max_queue: 0,
+            max_inflight: 0,
         }
     }
 }
@@ -75,6 +102,10 @@ pub enum ServeError {
     /// The shard owning the requested atom is marked down: the request
     /// is answerable again once the shard recovers → 503 + Retry-After.
     ShardDown { shard: usize },
+    /// The shard's circuit breaker is open after consecutive failures:
+    /// fast-fail with 503 + Retry-After instead of letting a sick shard
+    /// hold worker threads hostage.
+    BreakerOpen { shard: usize },
     /// Saving or opening the checkpoint store failed.
     Checkpoint(String),
     /// Threads still alive after the shutdown deadline — a leak.
@@ -93,6 +124,9 @@ impl std::fmt::Display for ServeError {
             ServeError::BadEvidence(msg) => write!(f, "bad evidence: {msg}"),
             ServeError::ShardDown { shard } => {
                 write!(f, "shard {shard} is down; retry after it recovers")
+            }
+            ServeError::BreakerOpen { shard } => {
+                write!(f, "shard {shard} breaker is open; fast-failing while it recovers")
             }
             ServeError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
             ServeError::ShutdownTimeout { alive } => write!(

@@ -27,7 +27,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use sya_core::{KnowledgeBase, SyaSession};
 use sya_obs::Obs;
+use sya_runtime::{Backoff, Breaker, BreakerState};
 use sya_store::Value;
+
+/// Consecutive failures that trip a shard's circuit breaker.
+const BREAKER_THRESHOLD: u32 = 3;
+
+/// Probe schedule for an open shard breaker: first probe after 500 ms,
+/// doubling to at most 30 s between probes while the shard stays sick.
+fn breaker_backoff() -> Backoff {
+    Backoff::new(Duration::from_millis(500), Duration::from_secs(30))
+}
 
 /// Routes requests to per-shard [`ServingKb`] replicas by spatial key.
 pub struct ShardRouter {
@@ -41,6 +51,12 @@ pub struct ShardRouter {
     /// 503 + `Retry-After` while every other shard keeps serving — the
     /// serving twin of the cluster's degraded-not-failed posture.
     down: Vec<AtomicBool>,
+    /// Per-shard circuit breakers: consecutive *execution* failures
+    /// open the breaker and fast-fail that shard's requests with
+    /// 503 + `Retry-After` until a half-open probe succeeds — distinct
+    /// from the administrative `down` flag, and reported separately on
+    /// the `serve.shard.N.breaker` gauge.
+    breakers: Vec<Breaker>,
     obs: Obs,
 }
 
@@ -81,9 +97,24 @@ impl ShardRouter {
             // Per-shard availability (1 = serving, 0 = down), so the
             // /metrics scrape shows exactly which shard is out.
             obs.gauge_set(&format!("serve.shard.{}.up", s.shard), 1.0);
+            // Breaker state rides the same gauge family (0 = closed,
+            // 1 = open, 2 = half-open), so a scrape distinguishes
+            // "marked down by supervisor" from "breaker-open".
+            obs.gauge_set(&format!("serve.shard.{}.breaker", s.shard), 0.0);
         }
         let down = (0..shards).map(|_| AtomicBool::new(false)).collect();
-        Ok(ShardRouter { shards: replicas, owner: plan.owner, atoms, down, obs })
+        let breakers =
+            (0..shards).map(|_| Breaker::new(BREAKER_THRESHOLD, breaker_backoff())).collect();
+        Ok(ShardRouter { shards: replicas, owner: plan.owner, atoms, down, breakers, obs })
+    }
+
+    /// Replaces every shard's breaker policy — tests use a zero-delay
+    /// backoff so open→half-open transitions need no sleeping.
+    pub fn set_breaker_policy(&mut self, threshold: u32, backoff: Backoff) {
+        for (s, slot) in self.breakers.iter_mut().enumerate() {
+            *slot = Breaker::new(threshold, backoff);
+            self.obs.gauge_set(&format!("serve.shard.{s}.breaker"), 0.0);
+        }
     }
 
     pub fn obs(&self) -> &Obs {
@@ -128,6 +159,83 @@ impl ShardRouter {
         self.down.get(shard).is_some_and(|f| f.load(Ordering::Acquire))
     }
 
+    /// Publishes `shard`'s breaker state on the `serve.shard.N.breaker`
+    /// gauge (0 = closed, 1 = open, 2 = half-open) and refreshes the
+    /// open-breaker rollup.
+    fn publish_breaker(&self, shard: usize) {
+        let code = match self.breakers[shard].state() {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        };
+        self.obs.gauge_set(&format!("serve.shard.{shard}.breaker"), code);
+        self.obs.gauge_set("serve.breakers_open", self.open_breakers().len() as f64);
+    }
+
+    /// Records a failed operation against `shard`'s breaker — called on
+    /// every execution error, and directly by tests scripting failure
+    /// sequences. Out-of-range indices are ignored.
+    pub fn record_shard_failure(&self, shard: usize) {
+        if let Some(b) = self.breakers.get(shard) {
+            let before = b.state();
+            b.on_failure();
+            let after = b.state();
+            if before != after {
+                self.obs.warn(format!(
+                    "serve: shard {shard} breaker opened after consecutive failures"
+                ));
+            }
+            self.publish_breaker(shard);
+        }
+    }
+
+    /// Records a successful operation against `shard`'s breaker; a
+    /// half-open probe success closes it.
+    pub fn record_shard_success(&self, shard: usize) {
+        if let Some(b) = self.breakers.get(shard) {
+            let before = b.state();
+            // Hot-path fast-out: a closed breaker with no failure streak
+            // has nothing to reset and nothing to publish.
+            if before == BreakerState::Closed && b.consecutive_failures() == 0 {
+                return;
+            }
+            b.on_success();
+            if before == BreakerState::HalfOpen {
+                self.obs.info(format!("serve: shard {shard} breaker closed after probe"));
+            }
+            self.publish_breaker(shard);
+        }
+    }
+
+    pub fn breaker_state(&self, shard: usize) -> Option<BreakerState> {
+        self.breakers.get(shard).map(Breaker::state)
+    }
+
+    /// Shards whose breaker is not closed (open or probing), ascending.
+    pub fn open_breakers(&self) -> Vec<usize> {
+        (0..self.breakers.len())
+            .filter(|&s| self.breakers[s].state() != BreakerState::Closed)
+            .collect()
+    }
+
+    /// Gate for an operation on `shard`: an open breaker fast-fails with
+    /// 503 + `Retry-After` (counted on
+    /// `serve.shard_breaker_fastfail_total`); once the open window
+    /// elapses, one caller is let through as the half-open probe.
+    fn breaker_check(&self, shard: usize) -> Result<(), ServeError> {
+        // Hot-path fast-out: a closed breaker admits without publishing.
+        if self.breakers[shard].state() == BreakerState::Closed {
+            return Ok(());
+        }
+        if self.breakers[shard].allow() {
+            self.publish_breaker(shard); // may have moved open → half-open
+            Ok(())
+        } else {
+            self.obs.counter_add("serve.shard_breaker_fastfail_total", 1);
+            Err(ServeError::BreakerOpen { shard })
+        }
+    }
+
     /// Indices of shards currently marked down, ascending.
     pub fn down_shards(&self) -> Vec<usize> {
         (0..self.down.len()).filter(|&s| self.shard_is_down(s)).collect()
@@ -162,7 +270,11 @@ impl ShardRouter {
         if self.shard_is_down(shard) {
             return Err(self.shard_unavailable(shard));
         }
+        self.breaker_check(shard)?;
         let Some(mut m) = self.shards[shard].marginal(relation, id) else { return Ok(None) };
+        // A successful read doubles as the half-open probe: it closes a
+        // breaker whose open window had elapsed.
+        self.record_shard_success(shard);
         m.shard = Some(shard as u32);
         m.epoch = self.epoch();
         Ok(Some(m))
@@ -187,6 +299,13 @@ impl ShardRouter {
             }
             by_shard[shard].push(row.clone());
         }
+        // Same all-or-nothing discipline for breakers: check every
+        // touched shard before applying to any.
+        for (shard, group) in by_shard.iter().enumerate() {
+            if !group.is_empty() {
+                self.breaker_check(shard)?;
+            }
+        }
         let mut resampled = 0;
         let mut elapsed = Duration::ZERO;
         let mut touched = 0u32;
@@ -194,7 +313,18 @@ impl ShardRouter {
             if group.is_empty() {
                 continue;
             }
-            let outcome = self.shards[shard].apply_evidence(group)?;
+            let outcome = match self.shards[shard].apply_evidence(group) {
+                Ok(outcome) => {
+                    self.record_shard_success(shard);
+                    outcome
+                }
+                Err(e) => {
+                    // Validation already passed: this is an execution
+                    // failure, exactly what the breaker counts.
+                    self.record_shard_failure(shard);
+                    return Err(e);
+                }
+            };
             resampled += outcome.resampled;
             elapsed += outcome.elapsed;
             touched += 1;
@@ -300,6 +430,15 @@ impl ServeState {
         match self {
             ServeState::Single(_) => Vec::new(),
             ServeState::Sharded(r) => r.down_shards(),
+        }
+    }
+
+    /// Shards with a non-closed breaker; always empty for the single
+    /// path.
+    pub fn open_breakers(&self) -> Vec<usize> {
+        match self {
+            ServeState::Single(_) => Vec::new(),
+            ServeState::Sharded(r) => r.open_breakers(),
         }
     }
 

@@ -1,8 +1,20 @@
 //! The HTTP server: a nonblocking acceptor polling the cancellation
 //! token, a fixed worker-thread pool draining accepted connections from
-//! a channel, an optional background checkpointer — all joined under a
-//! deadline on shutdown so a leaked worker is an error, not a mystery.
+//! a *bounded* queue, a shed-lane triage thread keeping the health
+//! plane alive at saturation, an optional background checkpointer — all
+//! joined under a deadline on shutdown so a leaked worker is an error,
+//! not a mystery.
+//!
+//! Overload path (DESIGN.md §15): the acceptor claims a bounded
+//! [`Ticket`](crate::admission::Ticket) per connection; overflow falls
+//! to the shed lane, whose thread reads only the request *head* and
+//! answers `GET /healthz` / `GET /metrics` while shedding everything
+//! else with `503 + Retry-After` — before the body is ever read. At
+//! dequeue, a ticket that waited out the request timeout is shed
+//! without executing, and what remains of the deadline becomes the
+//! socket timeouts and handler budget.
 
+use crate::admission::{Admission, AdmissionConfig, Shed};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::router::ServeState;
 use crate::state::EvidenceUpdate;
@@ -13,11 +25,27 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use sya_obs::Obs;
 use sya_runtime::{CancellationToken, ExecContext, RunBudget};
 
 /// How often the acceptor re-checks the cancellation token while no
 /// connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Depth of the shed lane: enough for a scrape plus health probes to
+/// queue behind a burst, small enough that triage stays instant.
+const SHED_LANE_DEPTH: usize = 32;
+
+/// Socket deadline for shed-lane triage and shed 503 writes: a client
+/// too stalled to take a one-line rejection is simply dropped.
+const SHED_IO_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// An accepted connection travelling the queue with its admission
+/// ticket; dropping the pair (shutdown drains) releases the slot.
+struct Pending {
+    stream: TcpStream,
+    ticket: crate::admission::Ticket,
+}
 
 /// A running server. Dropping it without calling
 /// [`shutdown`](SyaServer::shutdown) leaves the threads running until
@@ -27,6 +55,7 @@ pub struct SyaServer {
     token: CancellationToken,
     threads: Vec<(String, JoinHandle<()>)>,
     state: Arc<ServeState>,
+    admission: Admission,
 }
 
 impl SyaServer {
@@ -51,7 +80,17 @@ impl SyaServer {
         listener.set_nonblocking(true).map_err(ServeError::Bind)?;
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
         let state = Arc::new(state.into());
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let admission = Admission::new(
+            AdmissionConfig {
+                max_queue: cfg.resolved_max_queue(),
+                max_inflight: cfg.resolved_max_inflight(),
+                shed_lane_depth: SHED_LANE_DEPTH,
+                request_timeout: cfg.request_timeout,
+            },
+            state.obs().clone(),
+        );
+        let (tx, rx) = mpsc::channel::<Pending>();
+        let (shed_tx, shed_rx) = mpsc::channel::<Pending>();
         let rx = Arc::new(Mutex::new(rx));
         let mut threads = Vec::new();
 
@@ -59,16 +98,32 @@ impl SyaServer {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&state);
             let cfg = cfg.clone();
+            let admission = admission.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sya-serve-worker-{i}"))
                 .spawn(move || {
                     // The loop ends when every sender is gone: the
-                    // acceptor drops its channel on cancellation.
-                    while let Ok(stream) = {
+                    // acceptor drops its channels on cancellation.
+                    while let Ok(pending) = {
                         let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
                         guard.recv()
                     } {
-                        handle_connection(&state, &cfg, stream);
+                        let Pending { mut stream, ticket } = pending;
+                        let waited = ticket.waited();
+                        drop(ticket); // dequeued: free the queue slot now
+                        match admission.admit_waited(waited) {
+                            Ok(budget) => {
+                                handle_connection(&state, &cfg, &admission, stream, budget);
+                            }
+                            Err(shed) => {
+                                // The client already waited out the whole
+                                // deadline in the queue: executing now
+                                // would burn a worker on an answer nobody
+                                // is waiting for.
+                                admission.count_shed(shed);
+                                write_shed(state.obs(), &mut stream, shed);
+                            }
+                        }
                     }
                 })
                 .expect("spawn worker thread");
@@ -76,17 +131,59 @@ impl SyaServer {
         }
 
         {
+            // Shed-lane triage: reads only the request head and keeps
+            // the health plane (`/healthz`, `/metrics`) answering while
+            // the main queue is full; everything else is shed.
+            let state = Arc::clone(&state);
+            let admission = admission.clone();
+            let handle = std::thread::Builder::new()
+                .name("sya-serve-shedder".into())
+                .spawn(move || {
+                    while let Ok(pending) = shed_rx.recv() {
+                        let Pending { mut stream, ticket } = pending;
+                        drop(ticket);
+                        triage_connection(&state, &admission, &mut stream);
+                    }
+                })
+                .expect("spawn shed thread");
+            threads.push(("shedder".into(), handle));
+        }
+
+        {
             let token = token.clone();
             let obs = state.obs().clone();
+            let admission = admission.clone();
             let handle = std::thread::Builder::new()
                 .name("sya-serve-acceptor".into())
                 .spawn(move || {
                     while !token.is_cancelled() {
                         match listener.accept() {
-                            Ok((stream, _)) => {
+                            Ok((mut stream, _)) => {
                                 obs.counter_add("serve.connections_total", 1);
-                                if tx.send(stream).is_err() {
-                                    break;
+                                match admission.try_enqueue() {
+                                    Ok(ticket) => {
+                                        if tx.send(Pending { stream, ticket }).is_err() {
+                                            break;
+                                        }
+                                    }
+                                    // Main queue full: the shed lane gets
+                                    // a chance to answer health probes.
+                                    Err(_) => match admission.try_enqueue_shed() {
+                                        Ok(ticket) => {
+                                            if shed_tx
+                                                .send(Pending { stream, ticket })
+                                                .is_err()
+                                            {
+                                                break;
+                                            }
+                                        }
+                                        // Even the shed lane is full:
+                                        // reject without reading a byte.
+                                        Err(shed) => {
+                                            admission.count_shed(shed);
+                                            write_shed(&obs, &mut stream, shed);
+                                        }
+                                    },
                                 }
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -95,8 +192,8 @@ impl SyaServer {
                             Err(_) => std::thread::sleep(ACCEPT_POLL),
                         }
                     }
-                    // Dropping `tx` here lets the workers drain the
-                    // queue and exit their recv loops.
+                    // Dropping `tx`/`shed_tx` here lets the workers and
+                    // the shedder drain their queues and exit.
                 })
                 .expect("spawn acceptor thread");
             threads.push(("acceptor".into(), handle));
@@ -129,7 +226,7 @@ impl SyaServer {
             threads.push(("checkpointer".into(), handle));
         }
 
-        Ok(SyaServer { addr, token, threads, state })
+        Ok(SyaServer { addr, token, threads, state, admission })
     }
 
     /// The bound address (with the real port when 0 was requested).
@@ -145,6 +242,12 @@ impl SyaServer {
 
     pub fn state(&self) -> &Arc<ServeState> {
         &self.state
+    }
+
+    /// The server's admission state machine — live queue/in-flight
+    /// occupancy, for tests and embedders.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
     }
 
     /// Cancels the token and joins every thread under `deadline`. An
@@ -170,22 +273,121 @@ impl SyaServer {
     }
 }
 
-/// Serves one connection: one request, one response, close.
-fn handle_connection(state: &Arc<ServeState>, cfg: &ServeConfig, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(cfg.request_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.request_timeout));
+/// Writes `response`, counting a stalled reader against
+/// `serve.write_timeout_total` — a dead-slow client must cost a
+/// bounded write deadline, not a pinned worker.
+fn write_response(obs: &Obs, stream: &mut TcpStream, response: &Response) {
+    if let Err(e) = response.write_to(stream) {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                obs.counter_add("serve.write_timeout_total", 1);
+            }
+            _ => {
+                obs.counter_add("serve.socket_errors_total", 1);
+            }
+        }
+    }
+}
+
+/// The shed rejection: `503 + Retry-After` under a short write
+/// deadline, written without ever reading the request — then a
+/// lingering close (FIN + bounded drain of whatever the client was
+/// still sending), so the rejection reaches the client instead of
+/// being torn down by a reset for unread request bytes.
+fn write_shed(obs: &Obs, stream: &mut TcpStream, shed: Shed) {
+    let _ = stream.set_write_timeout(Some(SHED_IO_TIMEOUT));
+    let response =
+        Response::error(503, shed.reason()).with_retry_after(RETRY_AFTER_SECONDS);
+    write_response(obs, stream, &response);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(SHED_IO_TIMEOUT));
+    let mut chunk = [0u8; 4096];
+    let mut budget = 64 * 1024usize;
+    while budget > 0 {
+        match std::io::Read::read(stream, &mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// Shed-lane triage: reads only the request *head* (zero body budget),
+/// answers cheap `GET /healthz` / `GET /metrics` so the health plane
+/// survives saturation, and sheds everything else.
+fn triage_connection(state: &Arc<ServeState>, admission: &Admission, stream: &mut TcpStream) {
+    let obs = state.obs().clone();
+    let _ = stream.set_read_timeout(Some(SHED_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SHED_IO_TIMEOUT));
+    match read_request(stream, 0) {
+        Ok(req) if req.method == "GET" && req.path == "/healthz" => {
+            obs.counter_add("serve.requests_total", 1);
+            obs.counter_add("serve.healthz_requests_total", 1);
+            write_response(&obs, stream, &healthz(state));
+        }
+        Ok(req) if req.method == "GET" && req.path == "/metrics" => {
+            obs.counter_add("serve.requests_total", 1);
+            obs.counter_add("serve.metrics_requests_total", 1);
+            let body = sya_obs::export::render_prometheus(&state.obs().metrics_snapshot());
+            write_response(&obs, stream, &Response::text(200, body));
+        }
+        // Anything expensive — including POSTs whose Content-Length
+        // alone trips the zero body budget (`TooLarge`) — is shed.
+        Ok(_) | Err(HttpError::TooLarge(_)) | Err(HttpError::BadRequest(_)) => {
+            admission.count_shed(Shed::QueueFull);
+            write_shed(&obs, stream, Shed::QueueFull);
+        }
+        Err(HttpError::Timeout) => {
+            admission.count_shed(Shed::QueueFull);
+            write_shed(&obs, stream, Shed::QueueFull);
+        }
+        // Socket gone: nothing sensible to send.
+        Err(HttpError::Io(_)) => {
+            obs.counter_add("serve.socket_errors_total", 1);
+        }
+    }
+}
+
+/// Serves one connection: one request, one response, close. `budget` is
+/// what remains of the request deadline after queue wait — it bounds
+/// the socket reads, the handler's `ExecContext`, and the response
+/// write.
+fn handle_connection(
+    state: &Arc<ServeState>,
+    cfg: &ServeConfig,
+    admission: &Admission,
+    mut stream: TcpStream,
+    budget: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(budget));
+    let _ = stream.set_write_timeout(Some(budget));
     let started = Instant::now();
     let obs = state.obs().clone();
     let (endpoint, response) = match read_request(&mut stream, cfg.max_body_bytes) {
         Ok(req) => {
+            let endpoint = endpoint_of(&req);
+            // The in-flight gate bounds expensive work; the health
+            // plane (`/healthz`, `/metrics`) bypasses it so saturation
+            // stays observable.
+            let _inflight = if matches!(endpoint, "healthz" | "metrics") {
+                None
+            } else {
+                match admission.try_begin() {
+                    Ok(guard) => Some(guard),
+                    Err(shed) => {
+                        admission.count_shed(shed);
+                        obs.counter_add("serve.requests_total", 1);
+                        obs.counter_add(&format!("serve.{endpoint}_requests_total"), 1);
+                        obs.counter_add("serve.errors_total", 1);
+                        write_shed(&obs, &mut stream, shed);
+                        return;
+                    }
+                }
+            };
             // Per-request deadline via the runtime's budget machinery:
             // the handler checks the context between stages and turns an
             // expired deadline into a 503 instead of a hung socket.
-            let ctx = ExecContext::new(
-                RunBudget::unlimited().with_deadline(cfg.request_timeout),
-            )
-            .with_obs(obs.clone());
-            let endpoint = endpoint_of(&req);
+            let ctx = ExecContext::new(RunBudget::unlimited().with_deadline(budget))
+                .with_obs(obs.clone());
             let mut span = obs.span_with(
                 "serve.request",
                 vec![("endpoint".into(), endpoint.to_owned())],
@@ -215,7 +417,7 @@ fn handle_connection(state: &Arc<ServeState>, cfg: &ServeConfig, mut stream: Tcp
         obs.counter_add("serve.errors_total", 1);
     }
     obs.histogram_record("serve.request_seconds", started.elapsed().as_secs_f64());
-    let _ = response.write_to(&mut stream);
+    write_response(&obs, &mut stream, &response);
 }
 
 /// Metric/span label for the request's endpoint family.
@@ -262,20 +464,23 @@ fn healthz(state: &Arc<ServeState>) -> Response {
         None => "null".to_owned(),
     };
     let down = state.down_shards();
-    let status = if down.is_empty() { "ok" } else { "degraded" };
+    let breakers = state.open_breakers();
+    let status = if down.is_empty() && breakers.is_empty() { "ok" } else { "degraded" };
     let down_json: Vec<String> = down.iter().map(usize::to_string).collect();
+    let breakers_json: Vec<String> = breakers.iter().map(usize::to_string).collect();
     Response::json(
         200,
         format!(
             "{{\"status\":\"{}\",\"epoch\":{},\"variables\":{},\"outcome\":{},\
-             \"shards\":{},\"shards_down\":[{}],\"uptime_seconds\":{:.3},\
-             \"checkpoint_age_seconds\":{}}}",
+             \"shards\":{},\"shards_down\":[{}],\"breakers_open\":[{}],\
+             \"uptime_seconds\":{:.3},\"checkpoint_age_seconds\":{}}}",
             status,
             state.epoch(),
             variables,
             crate::http::json_string(&outcome),
             state.shard_count(),
             down_json.join(","),
+            breakers_json.join(","),
             state.uptime().as_secs_f64(),
             age,
         ),
@@ -414,7 +619,9 @@ fn evidence(state: &Arc<ServeState>, req: &Request) -> Response {
             ),
         ),
         Err(ServeError::BadEvidence(msg)) => Response::error(400, &msg),
-        Err(e @ ServeError::ShardDown { .. }) => shard_down_response(&e),
+        Err(e @ (ServeError::ShardDown { .. } | ServeError::BreakerOpen { .. })) => {
+            shard_down_response(&e)
+        }
         Err(e) => Response::error(503, &e.to_string()),
     }
 }

@@ -193,6 +193,10 @@ impl ServingKb {
         drop(kb);
         self.obs.gauge_set("serve.kb_epoch", epoch as f64);
         self.obs.counter_add("serve.evidence_rows_total", rows.len() as u64);
+        // The write-path cost distribution: evidence applies are what
+        // saturate a worker pool first, so capacity planning (and the
+        // overload smoke's expectations) read from this histogram.
+        self.obs.histogram_record("serve.evidence_apply_seconds", elapsed.as_secs_f64());
         Ok(EvidenceOutcome { epoch, resampled, elapsed })
     }
 

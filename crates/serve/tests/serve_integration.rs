@@ -317,6 +317,194 @@ fn down_shard_degrades_to_503_while_healthy_shards_keep_answering() {
     server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
 }
 
+/// First value of a Prometheus sample line `NAME VALUE`.
+fn prom_value(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        if !rest.starts_with(' ') {
+            return None;
+        }
+        rest.trim().parse().ok()
+    })
+}
+
+#[test]
+fn overload_sheds_with_retry_after_while_health_plane_answers() {
+    let dataset = dataset();
+    let qid = *dataset.query_ids().first().unwrap();
+    let (session, kb) = build(&dataset, config());
+    let state = ServingKb::new(session, kb, Obs::enabled()).expect("spatial KB serves");
+    // A deliberately tiny envelope: one worker, one queue slot — a
+    // burst of expensive evidence POSTs must overflow into sheds while
+    // the health plane keeps answering through the shed lane.
+    let cfg = ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 1,
+        max_queue: 1,
+        max_inflight: 1,
+        ..ServeConfig::default()
+    };
+    let server = SyaServer::start(state, cfg).expect("server binds");
+    let addr = server.local_addr().to_string();
+    let body = format!("{{\"rows\":[{{\"relation\":\"IsSafe\",\"id\":{qid},\"value\":0}}]}}");
+
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let mut posts = Vec::new();
+        for _ in 0..24 {
+            let addr = addr.clone();
+            let body = body.clone();
+            posts.push(scope.spawn(move || http_post_json(&addr, "/v1/evidence", &body)));
+        }
+        // The health plane, polled mid-storm: every probe must answer
+        // 200 — through the shed lane when the main queue is full.
+        for _ in 0..10 {
+            let health = http_get(&addr, "/healthz").expect("healthz reachable under load");
+            assert_eq!(health.status, 200, "healthz under overload: {}", health.body);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for post in posts {
+            match post.join().expect("post thread") {
+                Ok(r) if r.status == 200 => accepted += 1,
+                Ok(r) if r.status == 503 => {
+                    // Every shed carries the Retry-After contract.
+                    assert_eq!(r.header("Retry-After"), Some("5"), "headers: {:?}", r.headers);
+                    shed += 1;
+                }
+                Ok(r) => panic!("unexpected status {}: {}", r.status, r.body),
+                Err(_) => errors += 1,
+            }
+        }
+    });
+    assert!(accepted >= 1, "at least the first arrival must be served");
+    assert!(shed >= 1, "a 24-deep burst against queue depth 1 must shed");
+
+    // The admission ledger drained back to zero…
+    assert_eq!(server.admission().queued(), 0);
+    assert_eq!(server.admission().inflight(), 0);
+
+    // …and the counters account for at least every 503 the wire saw
+    // (a client that lost the race to a closed socket counts as an
+    // error here but was still a shed server-side).
+    let metrics = http_get(&addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let shed_total = prom_value(&metrics.body, "sya_serve_admission_shed_queue_full_total")
+        .unwrap_or(0.0)
+        + prom_value(&metrics.body, "sya_serve_admission_shed_deadline_total").unwrap_or(0.0)
+        + prom_value(&metrics.body, "sya_serve_admission_shed_inflight_total").unwrap_or(0.0);
+    assert!(
+        shed_total >= shed as f64,
+        "counters {shed_total} must cover the {shed} observed 503s ({errors} errors)"
+    );
+    assert_eq!(
+        prom_value(&metrics.body, "sya_serve_admission_queued"),
+        Some(0.0),
+        "queued gauge returns to zero:\n{}",
+        metrics.body
+    );
+    assert_eq!(prom_value(&metrics.body, "sya_serve_admission_inflight"), Some(0.0));
+    assert_eq!(
+        prom_value(&metrics.body, "sya_serve_admission_max_queue"),
+        Some(1.0),
+        "configured envelope is published"
+    );
+
+    server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
+}
+
+#[test]
+fn breaker_opens_after_consecutive_failures_and_probe_closes_it() {
+    use sya_runtime::{Backoff, BreakerState};
+
+    let dataset = dataset();
+    let cfg = config().with_shards(2).with_partition_level(3);
+    let (session, kb) = build(&dataset, cfg);
+    let mut router = ShardRouter::new(session, kb, Obs::enabled()).expect("router builds");
+
+    let ids = dataset.query_ids();
+    let owned_by = |router: &ShardRouter, shard: usize| {
+        ids.iter()
+            .copied()
+            .find(|&id| router.shard_of("IsSafe", id) == Some(shard))
+            .expect("both shards own query atoms")
+    };
+    let (a, b) = (owned_by(&router, 0), owned_by(&router, 1));
+
+    // Part 1 — zero-delay probe window: the transition script runs
+    // without sleeping. Two consecutive failures trip the breaker; the
+    // next read is let through as the half-open probe and closes it.
+    router.set_breaker_policy(2, Backoff::new(Duration::ZERO, Duration::ZERO));
+    router.record_shard_failure(1);
+    assert_eq!(router.breaker_state(1), Some(BreakerState::Closed));
+    router.record_shard_failure(1);
+    assert_eq!(router.breaker_state(1), Some(BreakerState::Open));
+    assert_eq!(router.open_breakers(), vec![1]);
+    let m = router.marginal("IsSafe", b).expect("probe read is admitted");
+    assert!(m.is_some());
+    assert_eq!(router.breaker_state(1), Some(BreakerState::Closed), "probe success closes");
+    assert!(router.open_breakers().is_empty());
+
+    // Part 2 — a long probe window behind the live server: the open
+    // breaker fast-fails over HTTP while the healthy shard answers and
+    // /metrics tells "breaker-open" apart from "marked down".
+    router.set_breaker_policy(2, Backoff::new(Duration::from_secs(600), Duration::from_secs(600)));
+    router.record_shard_failure(1);
+    router.record_shard_failure(1);
+    assert_eq!(router.breaker_state(1), Some(BreakerState::Open));
+
+    let server = SyaServer::start(
+        router,
+        ServeConfig { listen: "127.0.0.1:0".into(), workers: 2, ..ServeConfig::default() },
+    )
+    .expect("server starts on the router");
+    let addr = server.local_addr().to_string();
+
+    // Healthy shard still answers; the sick shard's atoms fast-fail
+    // with 503 + Retry-After naming the breaker, not the supervisor.
+    let ok = get_ok(&addr, &format!("/v1/marginal/IsSafe?args={a}"));
+    assert_eq!(ok["shard"].as_u64(), Some(0));
+    let fast = http_get(&addr, &format!("/v1/marginal/IsSafe?args={b}")).unwrap();
+    assert_eq!(fast.status, 503, "{}", fast.body);
+    assert!(fast.body.contains("breaker is open"), "{}", fast.body);
+    assert_eq!(fast.header("Retry-After"), Some("5"), "headers: {:?}", fast.headers);
+
+    // Evidence touching the sick shard is rejected whole, before any
+    // shard re-infers.
+    let ev = http_post_json(
+        &addr,
+        "/v1/evidence",
+        &format!(
+            "{{\"rows\":[{{\"relation\":\"IsSafe\",\"id\":{a},\"value\":1}},\
+             {{\"relation\":\"IsSafe\",\"id\":{b},\"value\":0}}]}}"
+        ),
+    )
+    .unwrap();
+    assert_eq!(ev.status, 503, "{}", ev.body);
+
+    // healthz reports the open breaker distinctly from shards_down.
+    let health = get_ok(&addr, "/healthz");
+    assert_eq!(health["status"].as_str(), Some("degraded"));
+    assert_eq!(health["shards_down"], serde_json::json!([]));
+    assert_eq!(health["breakers_open"], serde_json::json!([1]));
+
+    // /metrics: the shard is *up* (not supervisor-down) with breaker
+    // *open* — the distinction the fleet plane needs — and fast-fails
+    // are counted separately from shard_unavailable.
+    let metrics = http_get(&addr, "/metrics").unwrap();
+    for needle in ["sya_serve_shard_1_up 1", "sya_serve_shard_1_breaker 1"] {
+        assert!(metrics.body.contains(needle), "metrics missing {needle}:\n{}", metrics.body);
+    }
+    assert!(
+        prom_value(&metrics.body, "sya_serve_shard_breaker_fastfail_total").unwrap_or(0.0) >= 2.0,
+        "{}",
+        metrics.body
+    );
+
+    server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
+}
+
 #[test]
 fn warm_start_from_serve_checkpoint_preserves_marginals() {
     let dir = std::env::temp_dir().join(format!("sya_serve_warm_{}", std::process::id()));

@@ -1087,7 +1087,11 @@ impl<'a> Supervisor<'a> {
                 slot.needs_hello = true;
             }
         }
-        let delay = self.cluster.backoff.delay(attempt.saturating_sub(1) as u32);
+        // Seed jitter with the worker index: workers felled by a common
+        // cause (shared host dying, coordinator OOM) restart spread out
+        // instead of stampeding the coordinator in lockstep.
+        let delay =
+            self.cluster.backoff.delay_jittered(attempt.saturating_sub(1) as u32, w as u64);
         self.obs().gauge_set(met::BACKOFF_SECONDS, delay.as_secs_f64());
         std::thread::sleep(delay);
         match self.launch(w, attempt) {

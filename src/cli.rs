@@ -65,7 +65,15 @@
 //!   --listen HOST:PORT        bind address [default: 127.0.0.1:7171];
 //!                             port 0 picks an ephemeral port
 //!   --serve-workers N         request worker threads [default: 4]
-//!   --request-timeout-ms N    per-request deadline   [default: 10000]
+//!   --request-timeout-ms N    per-request deadline   [default: 10000];
+//!                             queue wait counts against it — a request
+//!                             that waited it out is shed at dequeue
+//!   --max-queue N             bounded accept queue; overflow is shed
+//!                             with 503 + Retry-After before the body
+//!                             is read [default: 8 x workers]
+//!   --max-inflight N          concurrently executing expensive
+//!                             requests; /healthz and /metrics bypass
+//!                             the gate [default: workers]
 //!   --refresh-checkpoint-every SECS
 //!                             background-checkpoint the live marginals
 //!                             every SECS seconds (needs --checkpoint-dir)
@@ -188,6 +196,8 @@ struct Options {
     serve_workers: usize,
     request_timeout_ms: u64,
     refresh_checkpoint_every: Option<u64>,
+    max_queue: usize,
+    max_inflight: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -234,6 +244,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         serve_workers: 4,
         request_timeout_ms: 10_000,
         refresh_checkpoint_every: None,
+        max_queue: 0,
+        max_inflight: 0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -364,6 +376,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("bad --request-timeout-ms: 0 (want milliseconds >= 1)".to_owned());
                 }
                 opts.request_timeout_ms = ms;
+            }
+            "--max-queue" => {
+                let n: usize = value("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-queue: {e}"))?;
+                if n == 0 {
+                    return Err("bad --max-queue: 0 (want at least 1 queued connection)"
+                        .to_owned());
+                }
+                opts.max_queue = n;
+            }
+            "--max-inflight" => {
+                let n: usize = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight: {e}"))?;
+                if n == 0 {
+                    return Err(
+                        "bad --max-inflight: 0 (want at least 1 in-flight request)".to_owned()
+                    );
+                }
+                opts.max_inflight = n;
             }
             "--refresh-checkpoint-every" => {
                 opts.refresh_checkpoint_every = Some(
@@ -905,6 +938,8 @@ fn cmd_serve(
         checkpoint_refresh: opts
             .refresh_checkpoint_every
             .map(std::time::Duration::from_secs),
+        max_queue: opts.max_queue,
+        max_inflight: opts.max_inflight,
         ..Default::default()
     };
     sya_serve::install_termination_handler();
