@@ -51,11 +51,16 @@ pub struct ShardRouter {
     /// 503 + `Retry-After` while every other shard keeps serving — the
     /// serving twin of the cluster's degraded-not-failed posture.
     down: Vec<AtomicBool>,
-    /// Per-shard circuit breakers: consecutive *execution* failures
-    /// open the breaker and fast-fail that shard's requests with
-    /// 503 + `Retry-After` until a half-open probe succeeds — distinct
-    /// from the administrative `down` flag, and reported separately on
-    /// the `serve.shard.N.breaker` gauge.
+    /// Per-shard circuit breakers tracking *write-path* health:
+    /// consecutive evidence-apply failures open the breaker and
+    /// fast-fail that shard's requests with 503 + `Retry-After` until a
+    /// half-open *write* probe succeeds. Reads are gated on the breaker
+    /// (a shard wedged mid-write can stall readers on its lock) but
+    /// never consume the probe or close the breaker — a read has no
+    /// failure path, so a read probe would close a breaker whose writes
+    /// are still failing and flap it open again. Distinct from the
+    /// administrative `down` flag, and reported separately on the
+    /// `serve.shard.N.breaker` gauge.
     breakers: Vec<Breaker>,
     obs: Obs,
 }
@@ -218,10 +223,25 @@ impl ShardRouter {
             .collect()
     }
 
-    /// Gate for an operation on `shard`: an open breaker fast-fails with
-    /// 503 + `Retry-After` (counted on
-    /// `serve.shard_breaker_fastfail_total`); once the open window
+    /// Counts a breaker fast-fail on `serve.shard_breaker_fastfail_total`
+    /// and returns the error, so every rejection site feeds the counter.
+    fn breaker_reject(&self, shard: usize) -> ServeError {
+        self.obs.counter_add("serve.shard_breaker_fastfail_total", 1);
+        ServeError::BreakerOpen { shard }
+    }
+
+    /// Write-path gate for an operation on `shard`: an open breaker
+    /// fast-fails with 503 + `Retry-After`; once the open window
     /// elapses, one caller is let through as the half-open probe.
+    ///
+    /// `Ok(())` here may have *consumed* the half-open probe — the
+    /// caller is contractually on the hook to report
+    /// [`record_shard_success`](Self::record_shard_success) or
+    /// [`record_shard_failure`](Self::record_shard_failure) for the
+    /// operation it performs next, on every path. An unreported probe
+    /// leaves the breaker half-open (admitting nothing) until the
+    /// runtime's probe lease expires, so only call this immediately
+    /// before executing against the shard.
     fn breaker_check(&self, shard: usize) -> Result<(), ServeError> {
         // Hot-path fast-out: a closed breaker admits without publishing.
         if self.breakers[shard].state() == BreakerState::Closed {
@@ -231,8 +251,21 @@ impl ShardRouter {
             self.publish_breaker(shard); // may have moved open → half-open
             Ok(())
         } else {
-            self.obs.counter_add("serve.shard_breaker_fastfail_total", 1);
-            Err(ServeError::BreakerOpen { shard })
+            Err(self.breaker_reject(shard))
+        }
+    }
+
+    /// Read-path (and batch pre-check) gate: same admit/reject decision
+    /// as [`breaker_check`](Self::breaker_check) but *non-consuming* —
+    /// it never leases the half-open probe, so callers with no
+    /// execution outcome to report (reads cannot fail) cannot strand
+    /// the probe. An open shard's reads resume once the backoff window
+    /// elapses even though only a successful write closes the breaker.
+    fn breaker_peek(&self, shard: usize) -> Result<(), ServeError> {
+        if self.breakers[shard].would_allow() {
+            Ok(())
+        } else {
+            Err(self.breaker_reject(shard))
         }
     }
 
@@ -270,11 +303,13 @@ impl ShardRouter {
         if self.shard_is_down(shard) {
             return Err(self.shard_unavailable(shard));
         }
-        self.breaker_check(shard)?;
+        // Non-consuming gate: reads fast-fail while the breaker's
+        // window is hot but never take (or report on) the half-open
+        // probe — a read cannot fail, so a read probe would close a
+        // breaker whose writes are still failing. Only a successful
+        // evidence apply closes the breaker.
+        self.breaker_peek(shard)?;
         let Some(mut m) = self.shards[shard].marginal(relation, id) else { return Ok(None) };
-        // A successful read doubles as the half-open probe: it closes a
-        // breaker whose open window had elapsed.
-        self.record_shard_success(shard);
         m.shard = Some(shard as u32);
         m.epoch = self.epoch();
         Ok(Some(m))
@@ -299,11 +334,14 @@ impl ShardRouter {
             }
             by_shard[shard].push(row.clone());
         }
-        // Same all-or-nothing discipline for breakers: check every
-        // touched shard before applying to any.
+        // Same all-or-nothing discipline for breakers: peek every
+        // touched shard before applying to any. The peek is
+        // non-consuming — consuming the half-open probe here and then
+        // early-returning on a later shard would strand the probe and
+        // wedge that breaker half-open.
         for (shard, group) in by_shard.iter().enumerate() {
             if !group.is_empty() {
-                self.breaker_check(shard)?;
+                self.breaker_peek(shard)?;
             }
         }
         let mut resampled = 0;
@@ -313,6 +351,12 @@ impl ShardRouter {
             if group.is_empty() {
                 continue;
             }
+            // The consuming check happens immediately before the apply,
+            // so a taken probe always gets its outcome reported below.
+            // (A breaker tripped by a concurrent batch since the peek
+            // rejects here mid-batch — the same partial-application
+            // surface as an apply failure mid-batch.)
+            self.breaker_check(shard)?;
             let outcome = match self.shards[shard].apply_evidence(group) {
                 Ok(outcome) => {
                     self.record_shard_success(shard);

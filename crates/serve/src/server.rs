@@ -40,6 +40,12 @@ const SHED_LANE_DEPTH: usize = 32;
 /// too stalled to take a one-line rejection is simply dropped.
 const SHED_IO_TIMEOUT: Duration = Duration::from_millis(250);
 
+/// Overall wall-clock bound on the lingering-close drain.
+/// [`SHED_IO_TIMEOUT`] is per-read *idle* time, so without this a
+/// client dripping one byte per interval would pin the draining thread
+/// indefinitely.
+const SHED_DRAIN_DEADLINE: Duration = Duration::from_secs(1);
+
 /// An accepted connection travelling the queue with its admission
 /// ticket; dropping the pair (shutdown drains) releases the slot.
 struct Pending {
@@ -178,10 +184,14 @@ impl SyaServer {
                                             }
                                         }
                                         // Even the shed lane is full:
-                                        // reject without reading a byte.
+                                        // reject without reading a byte
+                                        // and without the drain — the
+                                        // singleton acceptor must not
+                                        // block on a slow client while
+                                        // sheds are raining.
                                         Err(shed) => {
                                             admission.count_shed(shed);
-                                            write_shed(&obs, &mut stream, shed);
+                                            write_shed_nodrain(&obs, &mut stream, shed);
                                         }
                                     },
                                 }
@@ -289,21 +299,36 @@ fn write_response(obs: &Obs, stream: &mut TcpStream, response: &Response) {
     }
 }
 
-/// The shed rejection: `503 + Retry-After` under a short write
-/// deadline, written without ever reading the request — then a
-/// lingering close (FIN + bounded drain of whatever the client was
-/// still sending), so the rejection reaches the client instead of
-/// being torn down by a reset for unread request bytes.
-fn write_shed(obs: &Obs, stream: &mut TcpStream, shed: Shed) {
+/// Best-effort shed rejection for the *acceptor* path: `503 +
+/// Retry-After` under a short write deadline, no lingering-close
+/// drain. The acceptor is a singleton, and it sheds inline exactly
+/// when both queues are full — blocking it on a slow client's drain
+/// there would collapse accept throughput at the very moment this
+/// path exists for. The write itself lands in the empty send buffer
+/// of a fresh connection, so it effectively never blocks; the cost is
+/// that a client still mid-send may see a TCP reset instead of the
+/// 503, which is the accepted trade on this path.
+fn write_shed_nodrain(obs: &Obs, stream: &mut TcpStream, shed: Shed) {
     let _ = stream.set_write_timeout(Some(SHED_IO_TIMEOUT));
     let response =
         Response::error(503, shed.reason()).with_retry_after(RETRY_AFTER_SECONDS);
     write_response(obs, stream, &response);
+}
+
+/// The full shed rejection for worker/shedder threads: the 503 write,
+/// then a lingering close (FIN + bounded drain of whatever the client
+/// was still sending), so the rejection reaches the client instead of
+/// being torn down by a reset for unread request bytes. The drain is
+/// bounded both in bytes and in wall-clock ([`SHED_DRAIN_DEADLINE`]) —
+/// the per-read timeout alone only bounds *idle* gaps.
+fn write_shed(obs: &Obs, stream: &mut TcpStream, shed: Shed) {
+    write_shed_nodrain(obs, stream, shed);
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let _ = stream.set_read_timeout(Some(SHED_IO_TIMEOUT));
+    let deadline = Instant::now() + SHED_DRAIN_DEADLINE;
     let mut chunk = [0u8; 4096];
     let mut budget = 64 * 1024usize;
-    while budget > 0 {
+    while budget > 0 && Instant::now() < deadline {
         match std::io::Read::read(stream, &mut chunk) {
             Ok(0) | Err(_) => break,
             Ok(n) => budget = budget.saturating_sub(n),
@@ -362,17 +387,20 @@ fn handle_connection(
     let _ = stream.set_write_timeout(Some(budget));
     let started = Instant::now();
     let obs = state.obs().clone();
+    // Held across the *response write* too, not just the handler: a
+    // slow reader stalling `write_response` for the remaining request
+    // budget is still occupying this request's concurrency slot, so
+    // the guard lives in the function scope and drops after the write.
+    let mut _inflight = None;
     let (endpoint, response) = match read_request(&mut stream, cfg.max_body_bytes) {
         Ok(req) => {
             let endpoint = endpoint_of(&req);
             // The in-flight gate bounds expensive work; the health
             // plane (`/healthz`, `/metrics`) bypasses it so saturation
             // stays observable.
-            let _inflight = if matches!(endpoint, "healthz" | "metrics") {
-                None
-            } else {
+            if !matches!(endpoint, "healthz" | "metrics") {
                 match admission.try_begin() {
-                    Ok(guard) => Some(guard),
+                    Ok(guard) => _inflight = Some(guard),
                     Err(shed) => {
                         admission.count_shed(shed);
                         obs.counter_add("serve.requests_total", 1);
@@ -382,7 +410,7 @@ fn handle_connection(
                         return;
                     }
                 }
-            };
+            }
             // Per-request deadline via the runtime's budget machinery:
             // the handler checks the context between stages and turns an
             // expired deadline into a 503 instead of a hung socket.

@@ -10,7 +10,7 @@ use sya_bench::http::{http_get, http_post_json};
 use sya_core::{KnowledgeBase, SyaConfig, SyaSession};
 use sya_data::{gwdb_dataset, Dataset, GwdbConfig};
 use sya_obs::Obs;
-use sya_serve::{ServeConfig, ServingKb, ShardRouter, SyaServer};
+use sya_serve::{EvidenceUpdate, ServeConfig, ServingKb, ShardRouter, SyaServer};
 
 fn dataset() -> Dataset {
     gwdb_dataset(&GwdbConfig { n_wells: 60, ..Default::default() })
@@ -433,16 +433,27 @@ fn breaker_opens_after_consecutive_failures_and_probe_closes_it() {
     let (a, b) = (owned_by(&router, 0), owned_by(&router, 1));
 
     // Part 1 — zero-delay probe window: the transition script runs
-    // without sleeping. Two consecutive failures trip the breaker; the
-    // next read is let through as the half-open probe and closes it.
+    // without sleeping. Two consecutive failures trip the breaker.
+    // Reads resume through the elapsed window but never consume the
+    // half-open probe or close the breaker — only a write can fail, so
+    // only a successful write probe closes it (otherwise a cheap read
+    // would close a breaker whose writes are still failing and flap it).
     router.set_breaker_policy(2, Backoff::new(Duration::ZERO, Duration::ZERO));
     router.record_shard_failure(1);
     assert_eq!(router.breaker_state(1), Some(BreakerState::Closed));
     router.record_shard_failure(1);
     assert_eq!(router.breaker_state(1), Some(BreakerState::Open));
     assert_eq!(router.open_breakers(), vec![1]);
-    let m = router.marginal("IsSafe", b).expect("probe read is admitted");
+    let m = router.marginal("IsSafe", b).expect("read admitted through the elapsed window");
     assert!(m.is_some());
+    assert_eq!(
+        router.breaker_state(1),
+        Some(BreakerState::Open),
+        "a read neither consumes the probe nor closes the breaker"
+    );
+    router
+        .apply_evidence(&[EvidenceUpdate { relation: "IsSafe".into(), id: b, value: Some(0) }])
+        .expect("write probe admitted through the elapsed window");
     assert_eq!(router.breaker_state(1), Some(BreakerState::Closed), "probe success closes");
     assert!(router.open_breakers().is_empty());
 
