@@ -275,6 +275,15 @@ echo "fleet metrics smoke: $fleet_samples fleet samples, per-shard labels and dr
 ./target/release/sampler_bench_smoke /tmp/sya_ci_bench_sampler.json
 echo "sampler hot-path smoke: BENCH_sampler.json schema valid"
 
+# Query latency baseline (DESIGN.md §16): a reduced sweep of the
+# demand-driven grounding bench must produce a valid sya.bench.query.v1
+# document, and the committed BENCH_query.json must keep the ≥10×
+# lazy-vs-full claim at its largest benchmarked scale.
+./target/release/query_latency /tmp/sya_ci_bench_query.json 200 8 2> /dev/null
+./target/release/query_bench_smoke /tmp/sya_ci_bench_query.json
+./target/release/query_bench_smoke BENCH_query.json --min-speedup 10
+echo "query bench smoke: fresh sweep valid; committed baseline holds the 10x floor"
+
 # Overload smoke (DESIGN.md §15): a deliberately tiny serve envelope —
 # one worker, queue depth 4 — driven well past capacity by the
 # open-loop load generator in evidence mode (each accepted request is a
@@ -346,3 +355,62 @@ if ! wait "$server"; then
     exit 1
 fi
 echo "overload smoke: healthz stayed 200, sheds carried Retry-After, BENCH_serve.json valid"
+
+# Lazy-serve smoke (DESIGN.md §16): boot `sya serve --lazy` on the demo
+# KB — which is never fully grounded — and require the health plane to
+# announce lazy mode, a bound marginal to answer 200 twice (second time
+# from the epoch-keyed cache), the cache ledger to land on /metrics,
+# and SIGTERM to produce a clean exit.
+lazy_log=/tmp/sya_ci_lazy_serve.log
+rm -f "$lazy_log"
+./target/release/sya serve demo/gwdb.ddlog \
+    --table Well=demo/wells.csv --evidence demo/evidence.csv \
+    --lazy --listen 127.0.0.1:0 --serve-workers 2 > "$lazy_log" &
+server=$!
+addr=""
+for _ in $(seq 1 3000); do
+    addr=$(sed -n 's|^serving on http://||p' "$lazy_log")
+    if [ -n "$addr" ]; then break; fi
+    if ! kill -0 "$server" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+if [ -z "$addr" ]; then
+    echo "lazy serve smoke: server never reported its address" >&2
+    cat "$lazy_log" >&2
+    exit 1
+fi
+health=$(http_get "$addr" /healthz || true)
+case "$health" in
+*'"mode":"lazy"'*) : ;;
+*)  echo "lazy serve smoke: /healthz does not report lazy mode" >&2
+    printf '%s\n' "$health" >&2
+    exit 1 ;;
+esac
+# Well 0 is a query atom in the demo evidence split; ask twice so the
+# second answer must come from the cache.
+for _ in 1 2; do
+    reply=$(http_get "$addr" '/v1/marginal/IsSafe?args=0' || true)
+    case "$reply" in
+    *'HTTP/1.1 200'*'"score":'*) : ;;
+    *)  echo "lazy serve smoke: marginal read failed" >&2
+        printf '%s\n' "$reply" >&2
+        exit 1 ;;
+    esac
+done
+metrics=$(http_get "$addr" /metrics 2> /dev/null || true)
+for needle in \
+    'sya_serve_query_cache_miss_total 1' \
+    'sya_serve_query_cache_hit_total 1'; do
+    case "$metrics" in
+    *"$needle"*) : ;;
+    *)  echo "lazy serve smoke: /metrics is missing $needle" >&2
+        printf '%s\n' "$metrics" >&2
+        exit 1 ;;
+    esac
+done
+kill -TERM "$server"
+if ! wait "$server"; then
+    echo "lazy serve smoke: server did not shut down cleanly on SIGTERM" >&2
+    exit 1
+fi
+echo "lazy serve smoke: lazy mode served, cache hit recorded, shutdown clean"

@@ -1,0 +1,80 @@
+//! CI smoke validator for `BENCH_query.json` (written by the
+//! `query_latency` bin).
+//!
+//! ```text
+//! query_bench_smoke BENCH_query.json [--min-speedup N]
+//! ```
+//!
+//! Exits 0 when the file is a valid `sya.bench.query.v1` document —
+//! and, with `--min-speedup N`, when the LARGEST benchmarked scale
+//! answers a lazy query at least N× faster than the full
+//! ground-and-sample pass. Prints the first violation and exits 1
+//! otherwise.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-speedup" => {
+                let v = it.next().map(|s| s.parse());
+                match v {
+                    Some(Ok(n)) => min_speedup = Some(n),
+                    _ => {
+                        eprintln!("query_bench_smoke: --min-speedup requires a number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            p if path.is_none() => path = Some(p.to_owned()),
+            extra => {
+                eprintln!("query_bench_smoke: unexpected argument {extra:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: query_bench_smoke BENCH_query.json [--min-speedup N]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("query_bench_smoke: cannot read {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(msg) = sya_bench::validate_query_bench_json(&text) {
+        eprintln!("query_bench_smoke: {path}: {msg}");
+        std::process::exit(1);
+    }
+    if let Some(floor) = min_speedup {
+        // The validator guarantees the shape, so indexing is safe here.
+        let v: serde_json::Value = serde_json::from_str(&text).expect("validated above");
+        let largest = v["scales"]
+            .as_array()
+            .expect("validated above")
+            .iter()
+            .max_by(|a, b| {
+                a["n_wells"].as_f64().unwrap_or(0.0).total_cmp(&b["n_wells"].as_f64().unwrap_or(0.0))
+            })
+            .expect("validated above");
+        let speedup = largest["speedup"].as_f64().unwrap_or(0.0);
+        if speedup < floor {
+            eprintln!(
+                "query_bench_smoke: {path}: largest scale ({} wells) speedup {speedup:.1}x \
+                 is below the {floor}x floor",
+                largest["n_wells"]
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "query_bench_smoke: {path} ok ({} wells: {speedup:.0}x >= {floor}x)",
+            largest["n_wells"]
+        );
+        return;
+    }
+    println!("query_bench_smoke: {path} ok");
+}

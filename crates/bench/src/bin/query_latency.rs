@@ -1,0 +1,229 @@
+//! `query_latency`: the demand-driven grounding baseline behind
+//! `BENCH_query.json` (DESIGN.md §16).
+//!
+//! For each GWDB scale this bench measures the two ways to answer ONE
+//! bound marginal `IsSafe(id)`:
+//!
+//! * **full**: ground the whole KB and run the full pipeline's chain —
+//!   wall time of `SyaSession::construct` (every query atom answered,
+//!   but you paid for all of them to read one);
+//! * **lazy**: demand-ground only the atom's factor neighborhood with
+//!   [`sya_query::QueryGrounder`] and run the short restricted chain —
+//!   per-query wall time, p50/p99 over a spread of query atoms (the
+//!   first query's hash-index build is included, so the p99 is honest
+//!   about cold starts).
+//!
+//! The recorded `speedup` is `full_construct_seconds / lazy_p50_seconds`
+//! — the latency advantage of asking for one answer instead of all of
+//! them. Parity against the full KB's scores over the same atoms rides
+//! along as `parity_max_abs_delta` (two short independent chains, so
+//! the tolerance is sampling noise, not a bug bar).
+//!
+//! Usage: `query_latency [out.json] [full-epochs] [queries-per-scale]`
+//! (defaults: `BENCH_query.json`, 1000 epochs — the paper's pipeline
+//! default — and 20 queries per scale).
+
+use std::time::Instant;
+use sya_bench::{build_kb, calibrate, target_relation};
+use sya_core::{SyaConfig, SyaSession};
+use sya_data::{gwdb_dataset, Dataset, GwdbConfig};
+use sya_query::{QueryConfig, QueryGrounder};
+use sya_runtime::ExecContext;
+use sya_store::Value;
+
+/// GWDB scales swept (wells). The largest is the scale the ROADMAP's
+/// ≥10× demand-driven latency claim is judged on.
+const SCALES: [usize; 3] = [240, 480, 960];
+const SEED: u64 = 11;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args.first().cloned().unwrap_or_else(|| "BENCH_query.json".to_owned());
+    let full_epochs: usize = match args.get(1).map(|s| s.parse()) {
+        None => 1000,
+        Some(Ok(n)) => n,
+        Some(Err(e)) => {
+            eprintln!("query_latency: bad full-epochs argument: {e}");
+            std::process::exit(1);
+        }
+    };
+    let queries: usize = match args.get(2).map(|s| s.parse()) {
+        None => 20,
+        Some(Ok(n)) if n > 0 => n,
+        Some(Ok(_)) => {
+            eprintln!("query_latency: queries-per-scale must be >= 1");
+            std::process::exit(1);
+        }
+        Some(Err(e)) => {
+            eprintln!("query_latency: bad queries-per-scale argument: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = run(&out_path, full_epochs, queries) {
+        eprintln!("query_latency: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// One measured scale of the report.
+struct ScaleRow {
+    n_wells: usize,
+    full_construct_seconds: f64,
+    queries: usize,
+    lazy_p50_seconds: f64,
+    lazy_p99_seconds: f64,
+    lazy_mean_seconds: f64,
+    mean_neighborhood_variables: f64,
+    parity_mean_abs_delta: f64,
+    parity_max_abs_delta: f64,
+    speedup: f64,
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Query ids spread evenly across the dataset's query atoms, so the
+/// sample sees both dense clusters and sparse fringes.
+fn spread_ids(dataset: &Dataset, n: usize) -> Vec<i64> {
+    let ids = dataset.query_ids();
+    if ids.len() <= n {
+        return ids;
+    }
+    let step = ids.len() as f64 / n as f64;
+    (0..n).map(|i| ids[(i as f64 * step) as usize]).collect()
+}
+
+fn measure_scale(n_wells: usize, full_epochs: usize, queries: usize) -> Result<ScaleRow, String> {
+    let dataset = gwdb_dataset(&GwdbConfig { n_wells, ..Default::default() });
+    let relation = target_relation(&dataset);
+    let config = calibrate(&dataset, SyaConfig::sya().with_epochs(full_epochs).with_seed(SEED));
+
+    // Full path: ground-and-sample the whole KB, timed end to end.
+    let t0 = Instant::now();
+    let kb = build_kb(&dataset, config.clone());
+    let full_wall = t0.elapsed().as_secs_f64();
+    let full_scores: std::collections::HashMap<i64, f64> =
+        kb.query_scores_by_id(relation).into_iter().collect();
+
+    // Lazy path: one grounder reused across queries (as the lazy server
+    // does); each query demand-grounds its neighborhood and answers.
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .map_err(|e| e.to_string())?;
+    // Hop depth 4: past GWDB's evidence separators the neighborhood is
+    // the seed's effective Markov blanket closure (see the parity
+    // suite), so the recorded deltas are sampler noise, not truncation
+    // — while the neighborhood stays orders of magnitude under the KB.
+    let mut qcfg = QueryConfig { hop_depth: 4, ..QueryConfig::default() };
+    qcfg.infer.seed = SEED;
+    let mut grounder = QueryGrounder::new(
+        session.compiled().clone(),
+        session.config().ground.clone(),
+        qcfg,
+    );
+    let mut db = dataset.db.clone();
+    let evidence = dataset.evidence.clone();
+    let ev_fn = |_: &str, values: &[Value]| -> Option<u32> {
+        values.first().and_then(Value::as_int).and_then(|id| evidence.get(&id).copied())
+    };
+    let ctx = ExecContext::unbounded();
+
+    let ids = spread_ids(&dataset, queries);
+    let mut times = Vec::with_capacity(ids.len());
+    let mut neighborhood_vars = 0usize;
+    let mut deltas = Vec::new();
+    for &id in &ids {
+        let t = Instant::now();
+        let answer = grounder
+            .marginal(&mut db, &ev_fn, relation, id, &ctx)
+            .map_err(|e| format!("{n_wells} wells, {relation}({id}): {e}"))?;
+        times.push(t.elapsed().as_secs_f64());
+        neighborhood_vars += answer.stats.variables;
+        if let Some(&full) = full_scores.get(&id) {
+            deltas.push((answer.score - full).abs());
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&times, 50.0);
+    let p99 = percentile(&times, 99.0);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    Ok(ScaleRow {
+        n_wells,
+        full_construct_seconds: full_wall,
+        queries: ids.len(),
+        lazy_p50_seconds: p50,
+        lazy_p99_seconds: p99,
+        lazy_mean_seconds: mean,
+        mean_neighborhood_variables: neighborhood_vars as f64 / ids.len() as f64,
+        parity_mean_abs_delta: sya_bench::mean(&deltas),
+        parity_max_abs_delta: deltas.iter().copied().fold(0.0, f64::max),
+        speedup: full_wall / p50,
+    })
+}
+
+fn run(out: &str, full_epochs: usize, queries: usize) -> Result<(), String> {
+    let mut rows = Vec::new();
+    for &n_wells in &SCALES {
+        let row = measure_scale(n_wells, full_epochs, queries)?;
+        eprintln!(
+            "{:>5} wells: full {:>8.3}s, lazy p50 {:>7.3}ms / p99 {:>7.3}ms \
+             ({:.0} vars/neighborhood, parity |d| mean {:.3} max {:.3}) -> {:.0}x",
+            row.n_wells,
+            row.full_construct_seconds,
+            row.lazy_p50_seconds * 1e3,
+            row.lazy_p99_seconds * 1e3,
+            row.mean_neighborhood_variables,
+            row.parity_mean_abs_delta,
+            row.parity_max_abs_delta,
+            row.speedup
+        );
+        rows.push(row);
+    }
+
+    let text = render_report(full_epochs, &rows);
+    sya_bench::validate_query_bench_json(&text)
+        .map_err(|e| format!("generated report fails its own validator: {e}"))?;
+    std::fs::write(out, &text).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn render_report(full_epochs: usize, rows: &[ScaleRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"n_wells\": {},\n      \
+                 \"full_construct_seconds\": {:.6},\n      \"queries\": {},\n      \
+                 \"lazy_p50_seconds\": {:.6},\n      \"lazy_p99_seconds\": {:.6},\n      \
+                 \"lazy_mean_seconds\": {:.6},\n      \
+                 \"mean_neighborhood_variables\": {:.3},\n      \
+                 \"parity_mean_abs_delta\": {:.6},\n      \
+                 \"parity_max_abs_delta\": {:.6},\n      \"speedup\": {:.6}\n    }}",
+                r.n_wells,
+                r.full_construct_seconds,
+                r.queries,
+                r.lazy_p50_seconds,
+                r.lazy_p99_seconds,
+                r.lazy_mean_seconds,
+                r.mean_neighborhood_variables,
+                r.parity_mean_abs_delta,
+                r.parity_max_abs_delta,
+                r.speedup
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"sya.bench.query.v1\",\n  \"dataset\": \"GWDB\",\n  \
+         \"full_epochs\": {},\n  \"seed\": {},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        full_epochs,
+        SEED,
+        body.join(",\n")
+    )
+}

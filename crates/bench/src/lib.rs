@@ -238,6 +238,66 @@ pub fn validate_serve_bench_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `sya.bench.query.v1` document (`BENCH_query.json`,
+/// written by the `query_latency` bin): it must parse, carry the schema
+/// tag, and hold at least one scale whose numbers are internally
+/// consistent (positive query count, p50 ≤ p99, positive wall times,
+/// speedup agreeing with `full_construct_seconds / lazy_p50_seconds`) —
+/// the floor the demand-driven-grounding latency claim is judged
+/// against. The ≥ N× speedup gate itself lives in `query_bench_smoke`,
+/// so the validator stays reusable for exploratory runs.
+pub fn validate_query_bench_json(text: &str) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if v["schema"] != "sya.bench.query.v1" {
+        return Err(format!("bad schema tag: {}", v["schema"]));
+    }
+    if !v["dataset"].is_string() {
+        return Err("missing field \"dataset\"".into());
+    }
+    let scales = v["scales"].as_array().ok_or("missing scales array")?;
+    if scales.is_empty() {
+        return Err("scales array is empty".into());
+    }
+    for (i, s) in scales.iter().enumerate() {
+        for key in [
+            "n_wells",
+            "full_construct_seconds",
+            "queries",
+            "lazy_p50_seconds",
+            "lazy_p99_seconds",
+            "lazy_mean_seconds",
+            "mean_neighborhood_variables",
+            "parity_mean_abs_delta",
+            "parity_max_abs_delta",
+            "speedup",
+        ] {
+            if !s[key].is_number() {
+                return Err(format!("scale {i}: missing {key:?}"));
+            }
+        }
+        let n = |key: &str| s[key].as_f64().unwrap_or(0.0);
+        if n("queries") <= 0.0 {
+            return Err(format!("scale {i}: no queries were timed"));
+        }
+        if n("full_construct_seconds") <= 0.0 || n("lazy_p50_seconds") <= 0.0 {
+            return Err(format!("scale {i}: non-positive wall time"));
+        }
+        if n("lazy_p50_seconds") > n("lazy_p99_seconds") {
+            return Err(format!("scale {i}: p50 exceeds p99"));
+        }
+        let implied = n("full_construct_seconds") / n("lazy_p50_seconds");
+        let reported = n("speedup");
+        if (implied - reported).abs() > implied * 0.01 + 1e-9 {
+            return Err(format!(
+                "scale {i}: speedup {reported:.3} disagrees with \
+                 full/p50 = {implied:.3}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Evaluates a knowledge base with the paper's quality metrics.
 pub fn evaluate(dataset: &Dataset, kb: &KnowledgeBase) -> QualityEval {
     let relation = target_relation(dataset);
@@ -407,6 +467,44 @@ mod tests {
         assert!(
             validate_serve_bench_json(&doc(&[sweep(400, 0, 400, 400, 0)])).is_err(),
             "no sweep accepted anything"
+        );
+    }
+
+    #[test]
+    fn query_bench_validator_checks_internal_consistency() {
+        let scale = |full: f64, p50: f64, p99: f64, speedup: f64| {
+            format!(
+                "{{\"n_wells\": 240, \"full_construct_seconds\": {full}, \"queries\": 20, \
+                 \"lazy_p50_seconds\": {p50}, \"lazy_p99_seconds\": {p99}, \
+                 \"lazy_mean_seconds\": {p50}, \"mean_neighborhood_variables\": 12.5, \
+                 \"parity_mean_abs_delta\": 0.03, \"parity_max_abs_delta\": 0.08, \
+                 \"speedup\": {speedup}}}"
+            )
+        };
+        let doc = |scales: &[String]| {
+            format!(
+                "{{\"schema\": \"sya.bench.query.v1\", \"dataset\": \"GWDB\", \
+                 \"scales\": [{}]}}",
+                scales.join(",")
+            )
+        };
+
+        validate_query_bench_json(&doc(&[scale(2.0, 0.004, 0.02, 500.0)])).unwrap();
+
+        assert!(validate_query_bench_json("not json").is_err());
+        assert!(validate_query_bench_json("{\"schema\": \"other\"}").is_err());
+        assert!(validate_query_bench_json(&doc(&[])).is_err(), "empty scales");
+        assert!(
+            validate_query_bench_json(&doc(&[scale(2.0, 0.02, 0.004, 100.0)])).is_err(),
+            "p50 exceeds p99"
+        );
+        assert!(
+            validate_query_bench_json(&doc(&[scale(2.0, 0.004, 0.02, 9000.0)])).is_err(),
+            "speedup disagrees with full/p50"
+        );
+        assert!(
+            validate_query_bench_json(&doc(&[scale(0.0, 0.004, 0.02, 0.0)])).is_err(),
+            "non-positive wall time"
         );
     }
 

@@ -104,6 +104,22 @@ pub struct Grounding {
 }
 
 impl Grounding {
+    /// An empty grounding: the starting point of a full [`Grounder::ground`]
+    /// run, and of the demand-driven (magic-sets) neighborhood grounding
+    /// in `sya-query`, which materializes atoms and factors into it one
+    /// [`Grounder::apply_binding`] at a time.
+    pub fn new_empty() -> Grounding {
+        Grounding {
+            graph: FactorGraph::new(),
+            atom_ids: HashMap::new(),
+            atom_meta: Vec::new(),
+            factor_rules: Vec::new(),
+            relation_atoms: HashMap::new(),
+            stats: GroundingStats::default(),
+            outcome: RunOutcome::Completed,
+        }
+    }
+
     /// Canonical textual key for a tuple of values.
     pub fn canonical_key(values: &[Value]) -> String {
         let mut s = String::new();
@@ -195,12 +211,47 @@ impl Grounding {
     }
 }
 
+/// The lazily built per-column hash indexes a [`Grounder`] accumulates —
+/// `(relation, column) -> join key -> row ids`. Exposed so demand-driven
+/// callers that create a fresh `Grounder` per query can carry the cache
+/// across calls (the indexes stay valid as long as the input tables are
+/// not mutated).
+pub type HashIndexCache = HashMap<(String, usize), HashMap<sya_store::JoinKey, Vec<usize>>>;
+
+/// A seed restriction for demand-driven (magic-sets) body evaluation:
+/// the query's bound values enter the binding row *before* the first
+/// body atom, so every probe strategy (hash equi-probe, R-tree spatial
+/// probe, condition filters) can exploit them.
+#[derive(Debug, Clone, Default)]
+pub struct BoundSeed {
+    /// Slots pre-bound with the query's values.
+    pub values: Vec<(usize, Value)>,
+    /// Restrict the body atom that first binds this slot to rows whose
+    /// spatial column lies within the candidate radius (coordinate
+    /// units; see [`candidate_radius`]) of the center point — the
+    /// "all atoms near here" enumeration of spatial-neighbor expansion.
+    pub within: Option<(usize, Point, f64)>,
+}
+
+impl BoundSeed {
+    /// A seed binding a single slot to a value.
+    pub fn slot(slot: usize, value: Value) -> BoundSeed {
+        BoundSeed { values: vec![(slot, value)], within: None }
+    }
+
+    /// A purely spatial seed: no bound values, candidates of the slot's
+    /// first-binding atom restricted to `radius` around `center`.
+    pub fn within(slot: usize, center: Point, radius: f64) -> BoundSeed {
+        BoundSeed { values: Vec::new(), within: Some((slot, center, radius)) }
+    }
+}
+
 /// The grounding executor.
 pub struct Grounder<'p> {
     program: &'p CompiledProgram,
     config: GroundConfig,
     /// Lazy hash indexes: `(relation, column) -> join key -> row ids`.
-    hash_indexes: HashMap<(String, usize), HashMap<sya_store::JoinKey, Vec<usize>>>,
+    hash_indexes: HashIndexCache,
     /// Observability handle, adopted from the [`ExecContext`] at the
     /// start of each governed run (delta grounding reuses the last one).
     obs: Obs,
@@ -209,6 +260,20 @@ pub struct Grounder<'p> {
 impl<'p> Grounder<'p> {
     pub fn new(program: &'p CompiledProgram, config: GroundConfig) -> Self {
         Grounder { program, config, hash_indexes: HashMap::new(), obs: Obs::disabled() }
+    }
+
+    /// Detaches the accumulated hash-index cache so a caller that builds
+    /// a fresh `Grounder` per query (the demand-driven path) can restore
+    /// it with [`Self::set_hash_indexes`] instead of re-scanning the
+    /// tables. The cache is only valid while the indexed tables are
+    /// unchanged — drop it after any insert.
+    pub fn take_hash_indexes(&mut self) -> HashIndexCache {
+        std::mem::take(&mut self.hash_indexes)
+    }
+
+    /// Restores a cache detached by [`Self::take_hash_indexes`].
+    pub fn set_hash_indexes(&mut self, indexes: HashIndexCache) {
+        self.hash_indexes = indexes;
     }
 
     /// Grounds the program against `db`. `evidence` maps a head atom
@@ -242,15 +307,7 @@ impl<'p> Grounder<'p> {
         if self.obs.is_enabled() {
             db.attach_obs(self.obs.clone());
         }
-        let mut out = Grounding {
-            graph: FactorGraph::new(),
-            atom_ids: HashMap::new(),
-            atom_meta: Vec::new(),
-            factor_rules: Vec::new(),
-            relation_atoms: HashMap::new(),
-            stats: GroundingStats::default(),
-            outcome: RunOutcome::Completed,
-        };
+        let mut out = Grounding::new_empty();
 
         // Derivation rules first: they create the random variables.
         for rule in &self.program.rules {
@@ -391,8 +448,13 @@ impl<'p> Grounder<'p> {
     }
 
     /// Instantiates head atoms (and the factor, for inference rules) for
-    /// one satisfying binding.
-    fn apply_binding(
+    /// one satisfying binding. Public for the demand-driven grounder,
+    /// which enumerates bindings with [`Self::eval_rule_seeded`] and
+    /// materializes only the ones inside the query neighborhood. Callers
+    /// adding factors incrementally must deduplicate bindings themselves
+    /// (atoms deduplicate automatically via the catalogue; factors do
+    /// not).
+    pub fn apply_binding(
         &self,
         rule: &CompiledRule,
         binding: &[Value],
@@ -492,7 +554,7 @@ impl<'p> Grounder<'p> {
         db: &mut Database,
         out: &mut Grounding,
     ) -> Result<Vec<Vec<Value>>, GroundError> {
-        self.eval_body_delta(rule, db, out, None)
+        self.eval_body_core(rule, db, out, None, None)
     }
 
     /// [`Self::eval_body`] with an optional *delta restriction*: when
@@ -506,22 +568,74 @@ impl<'p> Grounder<'p> {
         out: &mut Grounding,
         delta: Option<(usize, &HashMap<String, Vec<usize>>)>,
     ) -> Result<Vec<Vec<Value>>, GroundError> {
-        let n_slots = rule.slots.len();
+        self.eval_body_core(rule, db, out, delta, None)
+    }
 
-        // Statically compute which slots are bound after each atom and
-        // where each slot is first bound.
+    /// Demand-driven (magic-sets) body evaluation: the seed's bound
+    /// values enter the binding row *before* the first body atom, so
+    /// probe strategies exploit them — a bound id turns the first atom
+    /// into a hash probe, a bound location turns a `distance()` join
+    /// into an R-tree probe around a known point, and a `within` seed
+    /// restricts the first-binding atom of a spatial slot to the R-tree
+    /// neighborhood of a fixed center. Returns the complete binding rows
+    /// consistent with the seed; pair with [`Self::apply_binding`] to
+    /// materialize only the query-relevant subgraph.
+    pub fn eval_rule_seeded(
+        &mut self,
+        rule: &CompiledRule,
+        db: &mut Database,
+        out: &mut Grounding,
+        seed: &BoundSeed,
+    ) -> Result<Vec<Vec<Value>>, GroundError> {
+        self.eval_body_core(rule, db, out, None, Some(seed))
+    }
+
+    fn eval_body_core(
+        &mut self,
+        rule: &CompiledRule,
+        db: &mut Database,
+        out: &mut Grounding,
+        delta: Option<(usize, &HashMap<String, Vec<usize>>)>,
+        seed: Option<&BoundSeed>,
+    ) -> Result<Vec<Vec<Value>>, GroundError> {
+        let n_slots = rule.slots.len();
+        let seed_slots: BTreeSet<usize> = seed
+            .map(|s| s.values.iter().map(|(slot, _)| *slot).collect())
+            .unwrap_or_default();
+
+        // Statically compute which slots are bound after each atom
+        // (seeded slots count as bound from the start) and where each
+        // free slot is first bound.
         let mut bound_after: Vec<BTreeSet<usize>> = Vec::with_capacity(rule.body.len());
         let mut first_binding: HashMap<usize, (usize, usize)> = HashMap::new(); // slot -> (atom, col)
-        let mut acc: BTreeSet<usize> = BTreeSet::new();
+        let mut acc: BTreeSet<usize> = seed_slots.clone();
         for (k, atom) in rule.body.iter().enumerate() {
             for (pos, t) in atom.terms.iter().enumerate() {
                 if let SlotTerm::Slot(s) = t {
-                    first_binding.entry(*s).or_insert((k, pos));
+                    if !seed_slots.contains(s) {
+                        first_binding.entry(*s).or_insert((k, pos));
+                    }
                     acc.insert(*s);
                 }
             }
             bound_after.push(acc.clone());
         }
+
+        // A `within` seed pins the atom that first binds its slot to an
+        // R-tree neighborhood of a fixed center.
+        let within_probe: Option<(usize, SpatialProbe)> =
+            seed.and_then(|s| s.within.as_ref()).and_then(|&(slot, center, radius)| {
+                first_binding.get(&slot).map(|&(k, pos)| {
+                    (
+                        k,
+                        SpatialProbe {
+                            center: ProbeCenter::Fixed(center),
+                            new_col: pos,
+                            candidate_radius: radius,
+                        },
+                    )
+                })
+            });
 
         // Assign each condition to the earliest atom after which it is
         // fully bound; order within a stage by the planner's cost class.
@@ -539,7 +653,13 @@ impl<'p> Grounder<'p> {
         }
 
         // Iterate atoms, expanding partial bindings.
-        let mut bindings: Vec<Vec<Value>> = vec![vec![Value::Null; n_slots]];
+        let mut initial = vec![Value::Null; n_slots];
+        if let Some(seed) = seed {
+            for (slot, value) in &seed.values {
+                initial[*slot] = value.clone();
+            }
+        }
+        let mut bindings: Vec<Vec<Value>> = vec![initial];
         for (k, atom) in rule.body.iter().enumerate() {
             out.stats.queries_executed += 1;
             if !db.has_table(&atom.relation) {
@@ -548,11 +668,16 @@ impl<'p> Grounder<'p> {
 
             // Pre-extract probe strategies for this atom.
             let bound_before: BTreeSet<usize> = if k == 0 {
-                BTreeSet::new()
+                seed_slots.clone()
             } else {
                 bound_after[k - 1].clone()
             };
-            let spatial_probe = self.find_spatial_probe(rule, &conds_at[k], atom, &bound_before);
+            let spatial_probe = self
+                .find_spatial_probe(rule, &conds_at[k], atom, &bound_before)
+                .or(match &within_probe {
+                    Some((wk, probe)) if *wk == k => Some(*probe),
+                    _ => None,
+                });
             let eq_probe: Option<(usize, usize)> = atom.terms.iter().enumerate().find_map(
                 |(pos, t)| match t {
                     SlotTerm::Slot(s) if bound_before.contains(s) => Some((*s, pos)),
@@ -586,9 +711,12 @@ impl<'p> Grounder<'p> {
             let mut next: Vec<Vec<Value>> = Vec::new();
             for binding in &bindings {
                 let candidates: Vec<usize> = if let Some(probe) = &spatial_probe {
-                    let center = match binding[probe.bound_slot].as_geom() {
-                        Some(g) => g.representative_point(),
-                        None => continue,
+                    let center = match probe.center {
+                        ProbeCenter::Fixed(p) => p,
+                        ProbeCenter::Slot(slot) => match binding[slot].as_geom() {
+                            Some(g) => g.representative_point(),
+                            None => continue,
+                        },
                     };
                     let table = db.table_mut(&atom.relation)?;
                     let col_name = table.schema().columns()[probe.new_col].name.clone();
@@ -718,7 +846,7 @@ impl<'p> Grounder<'p> {
                     continue;
                 };
                 return Some(SpatialProbe {
-                    bound_slot,
+                    center: ProbeCenter::Slot(bound_slot),
                     new_col: new_slot_cols[&new_slot],
                     candidate_radius: candidate_radius(self.config.metric, radius),
                 });
@@ -927,8 +1055,18 @@ impl Grounder<'_> {
     }
 }
 
+/// Where an R-tree probe takes its center from: a bound binding-row
+/// slot (condition-derived probes) or a fixed point (seed-derived
+/// neighborhood probes).
+#[derive(Debug, Clone, Copy)]
+enum ProbeCenter {
+    Slot(usize),
+    Fixed(Point),
+}
+
+#[derive(Debug, Clone, Copy)]
 struct SpatialProbe {
-    bound_slot: usize,
+    center: ProbeCenter,
     new_col: usize,
     candidate_radius: f64,
 }
@@ -1003,7 +1141,7 @@ pub fn negligible_radius(wfn: &WeightingFn, bandwidth: f64) -> f64 {
 
 /// Default bandwidth: a tenth of the atom cloud's diagonal extent in
 /// metric units.
-fn default_bandwidth(atoms: &[(VarId, Point)], metric: DistanceMetric) -> f64 {
+pub fn default_bandwidth(atoms: &[(VarId, Point)], metric: DistanceMetric) -> f64 {
     let bbox = atoms
         .iter()
         .fold(Rect::EMPTY, |acc, (_, p)| acc.union(&Rect::from_point(*p)));
@@ -1161,6 +1299,62 @@ mod tests {
         let g = ground(10, GroundConfig { generate_spatial_factors: false, ..Default::default() });
         assert_eq!(g.graph.num_spatial_factors(), 0);
         assert!(g.graph.num_factors() > 0);
+    }
+
+    #[test]
+    fn seeded_derivation_enumerates_only_the_bound_atom() {
+        let program = parse_program(SRC).unwrap();
+        let compiled = compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(10);
+        let mut g = Grounder::new(&compiled, GroundConfig::default());
+        let mut out = Grounding::new_empty();
+        let rule = &compiled.rules[0];
+        let a = sya_lang::adorn_rule(rule, 0, 0, &[0]).unwrap();
+        let slot = a.slot_of_arg[0].1;
+        let seed = BoundSeed::slot(slot, Value::Int(3));
+        let bindings = g.eval_rule_seeded(rule, &mut db, &mut out, &seed).unwrap();
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0][slot], Value::Int(3));
+    }
+
+    #[test]
+    fn within_seed_restricts_to_the_spatial_neighborhood() {
+        let program = parse_program(SRC).unwrap();
+        let compiled = compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(10);
+        let mut g = Grounder::new(&compiled, GroundConfig::default());
+        let mut out = Grounding::new_empty();
+        let rule = &compiled.rules[0];
+        // Head arg 1 is the location slot.
+        let a = sya_lang::adorn_rule(rule, 0, 0, &[1]).unwrap();
+        let loc_slot = a.slot_of_arg[0].1;
+        let seed = BoundSeed::within(loc_slot, Point::new(5.0, 0.0), 1.2);
+        let mut bindings = g.eval_rule_seeded(rule, &mut db, &mut out, &seed).unwrap();
+        let id_slot = sya_lang::adorn_rule(rule, 0, 0, &[0]).unwrap().slot_of_arg[0].1;
+        let mut ids: Vec<i64> =
+            bindings.drain(..).filter_map(|b| b[id_slot].as_int()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn seeded_inference_rule_enumerates_partners_of_the_bound_head() {
+        let program = parse_program(SRC).unwrap();
+        let compiled = compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(10);
+        let mut g = Grounder::new(&compiled, GroundConfig::default());
+        let mut out = Grounding::new_empty();
+        let rule = &compiled.rules[1];
+        let a = sya_lang::adorn_rule(rule, 1, 0, &[0]).unwrap();
+        let w1_slot = a.slot_of_arg[0].1;
+        let seed = BoundSeed::slot(w1_slot, Value::Int(2));
+        let bindings = g.eval_rule_seeded(rule, &mut db, &mut out, &seed).unwrap();
+        // Wells 0..4 satisfy arsenic < 0.2; partners of well 2 at
+        // distance < 3, excluding itself: {0, 1, 3, 4}.
+        assert_eq!(bindings.len(), 4);
+        for b in &bindings {
+            assert_eq!(b[w1_slot], Value::Int(2));
+        }
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod stepfn;
 pub mod translator;
 
 pub use cellmap::{pyramid_bounds, pyramid_cell_map, CellVariableMap};
-pub use grounder::{GroundConfig, Grounder, Grounding, GroundingStats};
+pub use grounder::{
+    candidate_radius, default_bandwidth, metric_distance, negligible_radius, BoundSeed,
+    GroundConfig, Grounder, Grounding, GroundingStats, HashIndexCache,
+};
 pub use pruning::{allowed_domain_pairs, build_cooccurrence};
 pub use stepfn::{expand_step_function_rules, StepFunctionSpec};
 pub use translator::{translate_rule, SqlQuery};

@@ -1,0 +1,183 @@
+//! Rule adornments for demand-driven (magic-sets) grounding.
+//!
+//! A *bound marginal query* `marginal(rel, args)` fixes some argument
+//! positions of a head atom. The adornment of a rule, relative to that
+//! binding, records which binding-row slots the bound head arguments
+//! seed and — per body atom — which columns arrive **b**ound versus
+//! **f**ree when the body is evaluated left to right (the classical
+//! `bf`-annotation of the magic-sets literature). The demand-driven
+//! grounder in `sya-query` uses adornments to pick the rules worth
+//! evaluating for a bound atom and to seed
+//! [`sya-ground`]'s binding enumeration with the known values.
+
+use crate::compile::{CompiledProgram, CompiledRule, SlotTerm};
+use std::collections::BTreeSet;
+
+/// The adornment of one rule head relative to a set of bound head
+/// argument positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleAdornment {
+    /// Index of the rule in [`CompiledProgram::rules`].
+    pub rule_index: usize,
+    /// Which head atom of the rule matched the queried relation.
+    pub head_index: usize,
+    /// Binding-row slots seeded by the bound head arguments, sorted and
+    /// deduplicated. A bound argument position holding a constant term
+    /// contributes no slot (it is checked against the query value
+    /// instead).
+    pub bound_slots: Vec<usize>,
+    /// Per bound argument position, the `(position, slot)` pairs — the
+    /// caller pairs these with the query's values to build the seed.
+    pub slot_of_arg: Vec<(usize, usize)>,
+    /// Per body atom, the `b`/`f` adornment string under a left-to-right
+    /// evaluation seeded with `bound_slots` (constants are `b`,
+    /// wildcards `f`).
+    pub body: Vec<String>,
+}
+
+impl RuleAdornment {
+    /// `true` when at least one body atom gains a bound column from the
+    /// query — i.e. the seed actually restricts evaluation.
+    pub fn is_selective(&self) -> bool {
+        !self.bound_slots.is_empty()
+    }
+}
+
+/// Computes the adornment of `rule` for head atom `head_index`, given
+/// the bound head argument positions. Returns `None` when the head atom
+/// index is out of range or a bound position exceeds the head arity.
+pub fn adorn_rule(
+    rule: &CompiledRule,
+    rule_index: usize,
+    head_index: usize,
+    bound_args: &[usize],
+) -> Option<RuleAdornment> {
+    let head = rule.head.get(head_index)?;
+    let mut bound: BTreeSet<usize> = BTreeSet::new();
+    let mut slot_of_arg = Vec::new();
+    for &pos in bound_args {
+        match head.terms.get(pos)? {
+            SlotTerm::Slot(s) => {
+                bound.insert(*s);
+                slot_of_arg.push((pos, *s));
+            }
+            // Constants carry no slot: the caller compares the query
+            // value against the constant directly.
+            SlotTerm::Const(_) | SlotTerm::Wildcard => {}
+        }
+    }
+
+    // Simulate the grounder's left-to-right pass, seeded.
+    let mut acc = bound.clone();
+    let mut body = Vec::with_capacity(rule.body.len());
+    for atom in &rule.body {
+        let mut s = String::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            match t {
+                SlotTerm::Const(_) => s.push('b'),
+                SlotTerm::Wildcard => s.push('f'),
+                SlotTerm::Slot(slot) => {
+                    if acc.contains(slot) {
+                        s.push('b');
+                    } else {
+                        s.push('f');
+                        acc.insert(*slot);
+                    }
+                }
+            }
+        }
+        body.push(s);
+    }
+
+    Some(RuleAdornment {
+        rule_index,
+        head_index,
+        bound_slots: bound.into_iter().collect(),
+        slot_of_arg,
+        body,
+    })
+}
+
+/// All adornments of `program`'s rules whose head mentions `relation`,
+/// with the given argument positions bound. One entry per matching head
+/// atom (a rule whose head mentions the relation twice yields two).
+pub fn adorn_program(
+    program: &CompiledProgram,
+    relation: &str,
+    bound_args: &[usize],
+) -> Vec<RuleAdornment> {
+    let mut out = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        for (hi, atom) in rule.head.iter().enumerate() {
+            if atom.relation == relation {
+                if let Some(a) = adorn_rule(rule, ri, hi, bound_args) {
+                    out.push(a);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, GeomConstants};
+    use crate::parser::parse_program;
+    use sya_geom::DistanceMetric;
+
+    const SRC: &str = r#"
+    Well(id bigint, location point, arsenic double).
+    @spatial(exp)
+    IsSafe?(id bigint, location point).
+    D1: IsSafe(W, L) = NULL :- Well(W, L, _).
+    R1: @weight(0.7) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, A1), Well(W2, L2, A2)
+        [distance(L1, L2) < 3, A1 < 0.2, A2 < 0.2, W1 != W2].
+    "#;
+
+    fn compiled() -> CompiledProgram {
+        let p = parse_program(SRC).unwrap();
+        compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap()
+    }
+
+    #[test]
+    fn derivation_head_binding_adorns_the_body() {
+        let cp = compiled();
+        let adorned = adorn_program(&cp, "IsSafe", &[0]);
+        // D1 (one head) + R1 (two head atoms) = three adornments.
+        assert_eq!(adorned.len(), 3);
+        let d1 = &adorned[0];
+        assert_eq!(d1.rule_index, 0);
+        assert_eq!(d1.head_index, 0);
+        // Head arg 0 = slot of W; the body atom sees it bound.
+        assert_eq!(d1.bound_slots.len(), 1);
+        assert_eq!(d1.slot_of_arg, vec![(0, d1.bound_slots[0])]);
+        assert_eq!(d1.body, vec!["bff"]);
+        assert!(d1.is_selective());
+    }
+
+    #[test]
+    fn inference_rule_adorns_both_head_positions() {
+        let cp = compiled();
+        let adorned = adorn_program(&cp, "IsSafe", &[0, 1]);
+        let r1_first = adorned.iter().find(|a| a.rule_index == 1 && a.head_index == 0).unwrap();
+        // W1, L1 bound: first body atom is fully seeded (arsenic free),
+        // the second is free until the join conditions apply.
+        assert_eq!(r1_first.body, vec!["bbf", "fff"]);
+        let r1_second = adorned.iter().find(|a| a.rule_index == 1 && a.head_index == 1).unwrap();
+        assert_eq!(r1_second.body, vec!["fff", "bbf"]);
+    }
+
+    #[test]
+    fn unknown_relation_has_no_adornments() {
+        let cp = compiled();
+        assert!(adorn_program(&cp, "Nope", &[0]).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_bound_arg_is_rejected() {
+        let cp = compiled();
+        assert!(adorn_rule(&cp.rules[0], 0, 0, &[9]).is_none());
+    }
+}

@@ -48,11 +48,30 @@ pub struct FleetView {
     /// The coordinator's own metrics (`cluster.*` supervision counters),
     /// rendered unlabelled next to the per-shard samples.
     coordinator: Option<MetricsSnapshot>,
+    /// Serving/construction mode the fleet runs in: `"full"` (default,
+    /// every shard grounds its whole cut) or `"lazy"` (demand-grounded
+    /// serving; dashboards read this to pick which panels apply).
+    mode: String,
 }
 
 impl FleetView {
     pub fn new(run_id: u64) -> Self {
-        FleetView { run_id, epoch_now: 0, shards: BTreeMap::new(), coordinator: None }
+        FleetView {
+            run_id,
+            epoch_now: 0,
+            shards: BTreeMap::new(),
+            coordinator: None,
+            mode: "full".to_owned(),
+        }
+    }
+
+    pub fn mode(&self) -> &str {
+        &self.mode
+    }
+
+    /// Stamp the mode rendered on the board (`"full"`/`"lazy"`).
+    pub fn set_mode(&mut self, mode: &str) {
+        self.mode = mode.to_owned();
     }
 
     pub fn run_id(&self) -> u64 {
@@ -213,6 +232,7 @@ impl FleetView {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": {},", json_str(FLEET_SCHEMA));
+        let _ = writeln!(out, "  \"mode\": {},", json_str(&self.mode));
         let _ = writeln!(out, "  \"run_id\": {},", json_str(&format!("{:#018x}", self.run_id)));
         let _ = writeln!(out, "  \"epoch\": {},", self.epoch_now);
         out.push_str("  \"shards\": {");
@@ -343,7 +363,10 @@ mod tests {
         fleet.record(0, 2, shard_snap(50, 0.3));
         let json = fleet.render_json();
         assert!(json.contains("\"schema\": \"sya.fleet.v1\""));
+        assert!(json.contains("\"mode\": \"full\""));
         assert!(json.contains("\"staleness_epochs\": 0"));
+        fleet.set_mode("lazy");
+        assert!(fleet.render_json().contains("\"mode\": \"lazy\""));
         assert!(json.contains("\"infer.shard.samples_total\": 50"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -1,0 +1,826 @@
+//! The demand-driven query grounder: seed → neighborhood → mini graph →
+//! restricted chain → marginal.
+
+use crate::{BoundaryPolicy, QueryConfig, QueryError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+use sya_fg::{SpatialFactor, VarId, WeightingFn};
+use sya_geom::{Point, Rect};
+use sya_ground::{
+    candidate_radius, metric_distance, negligible_radius, BoundSeed, GroundConfig, GroundError,
+    Grounder, Grounding, HashIndexCache,
+};
+use sya_infer::{spatial_gibbs_with, MarginalCounts, PyramidIndex};
+use sya_lang::{adorn_rule, CompiledProgram, RuleKind, SlotTerm};
+use sya_runtime::{ExecContext, Phase, ResourceUsage, RunOutcome};
+use sya_store::{Database, Value};
+
+/// The demand-grounded factor neighborhood of one bound atom: a
+/// self-contained mini factor graph whose boundary is sealed by evidence
+/// or clamped priors. Produced by [`QueryGrounder::neighborhood`],
+/// consumed by [`QueryGrounder::answer`]; serving layers cache these
+/// keyed by `(relation, id)` and evidence epoch.
+#[derive(Debug, Clone)]
+pub struct Neighborhood {
+    pub relation: String,
+    pub id: i64,
+    /// The mini grounding (graph + atom catalogue).
+    pub grounding: Grounding,
+    /// The queried atom's variable id inside [`Self::grounding`].
+    pub seed: VarId,
+    /// Hop at which each variable was discovered (seed = 0; variables
+    /// only reached by a pruned spatial pair report the horizon).
+    pub hops: Vec<usize>,
+    /// Non-evidence frontier atoms clamped to their quantized prior.
+    pub boundary_clamped: usize,
+    /// `Completed`, or partial when a deadline/cancellation interrupted
+    /// the expansion (the closure enumerated so far is still valid).
+    pub outcome: RunOutcome,
+    pub ground_time: Duration,
+    /// Closure compromises taken while expanding (skipped unselective
+    /// rule heads, atoms without locations, ...).
+    pub warnings: Vec<String>,
+}
+
+/// Counters describing one answered query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    pub variables: usize,
+    pub logical_factors: usize,
+    pub spatial_factors: usize,
+    pub boundary_clamped: usize,
+    /// `false` when the seed was evidence and no chain ran.
+    pub sampled: bool,
+    pub ground_time: Duration,
+    pub infer_time: Duration,
+}
+
+/// A bound marginal answer.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    pub relation: String,
+    pub id: i64,
+    /// Factual score with `sya_core::KnowledgeBase::score_of` semantics:
+    /// evidence reports its observed value, binary variables `P(v = 1)`,
+    /// categorical variables the mass on the upper half of the domain.
+    pub score: f64,
+    /// The seed's observed value when it was evidence.
+    pub evidence: Option<u32>,
+    pub stats: QueryStats,
+    pub outcome: RunOutcome,
+    pub warnings: Vec<String>,
+}
+
+/// Answers bound marginal queries by demand-grounding. Owns its program
+/// and carries the grounding layer's hash-index cache across queries
+/// (valid as long as the input tables are unchanged — call
+/// [`Self::invalidate_indexes`] after mutating them).
+pub struct QueryGrounder {
+    program: CompiledProgram,
+    ground: GroundConfig,
+    config: QueryConfig,
+    hash_indexes: HashIndexCache,
+    /// Per-relation derived weighting bandwidth (when the ground config
+    /// does not pin one).
+    bandwidths: HashMap<String, f64>,
+}
+
+impl QueryGrounder {
+    pub fn new(program: CompiledProgram, ground: GroundConfig, config: QueryConfig) -> Self {
+        QueryGrounder {
+            program,
+            ground,
+            config,
+            hash_indexes: HashMap::new(),
+            bandwidths: HashMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> &QueryConfig {
+        &self.config
+    }
+
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Drops the carried hash indexes and derived bandwidths. Must be
+    /// called after any mutation of the input tables.
+    pub fn invalidate_indexes(&mut self) {
+        self.hash_indexes.clear();
+        self.bandwidths.clear();
+    }
+
+    /// Answers `marginal(relation, id)` — the full lazy path: seed,
+    /// neighborhood closure, boundary sealing, restricted chain, score.
+    pub fn marginal(
+        &mut self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        relation: &str,
+        id: i64,
+        ctx: &ExecContext,
+    ) -> Result<QueryAnswer, QueryError> {
+        let nh = self.neighborhood(db, evidence, relation, id, ctx)?;
+        self.answer(&nh, ctx)
+    }
+
+    /// Demand-grounds the factor neighborhood of `relation(id, ...)`.
+    pub fn neighborhood(
+        &mut self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        relation: &str,
+        id: i64,
+        ctx: &ExecContext,
+    ) -> Result<Neighborhood, QueryError> {
+        let start = Instant::now();
+        match self.program.schema(relation) {
+            Some(s) if s.is_variable => {}
+            _ => return Err(QueryError::UnknownRelation(relation.to_owned())),
+        }
+        let spatial = self.spatial_params(db)?;
+        let mut grounder = Grounder::new(&self.program, self.ground.clone());
+        grounder.set_hash_indexes(std::mem::take(&mut self.hash_indexes));
+        let result = ground_neighborhood(
+            &self.program,
+            &self.ground,
+            &self.config,
+            &mut grounder,
+            &spatial,
+            db,
+            evidence,
+            relation,
+            id,
+            ctx,
+        );
+        self.hash_indexes = grounder.take_hash_indexes();
+        let mut nh = result?;
+        nh.ground_time = start.elapsed();
+        Ok(nh)
+    }
+
+    /// Runs the restricted chain on a grounded neighborhood and reads the
+    /// seed's marginal. Evidence seeds skip the chain entirely.
+    pub fn answer(&self, nh: &Neighborhood, ctx: &ExecContext) -> Result<QueryAnswer, QueryError> {
+        let graph = &nh.grounding.graph;
+        let var = graph.variable(nh.seed);
+        let mut stats = QueryStats {
+            variables: graph.num_variables(),
+            logical_factors: graph.num_factors(),
+            spatial_factors: graph.num_spatial_factors(),
+            boundary_clamped: nh.boundary_clamped,
+            sampled: false,
+            ground_time: nh.ground_time,
+            infer_time: Duration::ZERO,
+        };
+        if let Some(e) = var.evidence {
+            let h = var.domain.cardinality();
+            let score = if h == 2 { e as f64 } else { f64::from(e >= h / 2) };
+            return Ok(QueryAnswer {
+                relation: nh.relation.clone(),
+                id: nh.id,
+                score,
+                evidence: Some(e),
+                stats,
+                outcome: nh.outcome,
+                warnings: nh.warnings.clone(),
+            });
+        }
+
+        let start = Instant::now();
+        let pyramid =
+            PyramidIndex::build(graph, self.config.infer.levels, self.config.infer.cell_capacity);
+        let run = spatial_gibbs_with(graph, &pyramid, &self.config.infer, ctx)?;
+        stats.sampled = true;
+        stats.infer_time = start.elapsed();
+        let score = seed_score(&run.counts, nh.seed, var.domain.cardinality());
+        let mut warnings = nh.warnings.clone();
+        warnings.extend(run.warnings);
+        Ok(QueryAnswer {
+            relation: nh.relation.clone(),
+            id: nh.id,
+            score,
+            evidence: None,
+            stats,
+            outcome: nh.outcome.combine(run.outcome),
+            warnings,
+        })
+    }
+
+    /// Per-spatial-relation `(weighting fn, factor radius)` with the same
+    /// defaulting rules as the full grounder: explicit config wins;
+    /// otherwise the bandwidth is a tenth of the spatial extent (derived
+    /// here from the relation's *base table* rather than the atom cloud,
+    /// which demand grounding never materializes) and the radius is the
+    /// negligible-weight distance capped at 3.5 bandwidths.
+    fn spatial_params(
+        &mut self,
+        db: &Database,
+    ) -> Result<HashMap<String, (WeightingFn, f64)>, QueryError> {
+        let relations: Vec<(String, String)> = self
+            .program
+            .spatial_variable_relations()
+            .map(|(s, w)| (s.name.clone(), w.to_owned()))
+            .collect();
+        let mut out = HashMap::new();
+        for (rel, wname) in relations {
+            let bandwidth = match self.ground.weighting_bandwidth {
+                Some(b) => b,
+                None => match self.bandwidths.get(&rel) {
+                    Some(&b) => b,
+                    None => {
+                        let b = base_table_bandwidth(&self.program, db, &rel, self.ground.metric);
+                        self.bandwidths.insert(rel.clone(), b);
+                        b
+                    }
+                },
+            };
+            let wfn = WeightingFn::by_name(&wname, self.ground.weighting_scale, bandwidth)
+                .ok_or(QueryError::Ground(GroundError::UnknownWeighting(wname)))?;
+            let radius = self
+                .ground
+                .spatial_radius
+                .unwrap_or_else(|| negligible_radius(&wfn, bandwidth).min(3.5 * bandwidth));
+            out.insert(rel, (wfn, radius));
+        }
+        Ok(out)
+    }
+}
+
+/// Derives the default weighting bandwidth for `relation` from the
+/// bounding box of the base table feeding its derivation rules (the full
+/// pipeline uses the ground-atom cloud, which coincides for the common
+/// one-atom-per-row derivation). Falls back to scanning every table's
+/// spatial column when no derivation rule is found.
+fn base_table_bandwidth(
+    program: &CompiledProgram,
+    db: &Database,
+    relation: &str,
+    metric: sya_geom::DistanceMetric,
+) -> f64 {
+    let mut tables: Vec<&str> = Vec::new();
+    for rule in &program.rules {
+        if matches!(rule.kind, RuleKind::Derivation)
+            && rule.head.first().is_some_and(|h| h.relation == relation)
+        {
+            tables.extend(rule.body.iter().map(|a| a.relation.as_str()));
+        }
+    }
+    let mut bbox = Rect::EMPTY;
+    let mut scan = |name: &str| {
+        if let Ok(table) = db.table(name) {
+            for row in 0..table.len() {
+                if let Some(p) = table.point_of(row) {
+                    bbox = bbox.union(&Rect::from_point(p));
+                }
+            }
+        }
+    };
+    if tables.is_empty() {
+        let names: Vec<String> = db.table_names().map(str::to_owned).collect();
+        for name in names {
+            scan(&name);
+        }
+    } else {
+        for name in tables {
+            scan(name);
+        }
+    }
+    if bbox.is_empty() {
+        return 1.0;
+    }
+    let lo = Point::new(bbox.min_x, bbox.min_y);
+    let hi = Point::new(bbox.max_x, bbox.max_y);
+    (metric_distance(metric, &lo, &hi) / 10.0).max(f64::MIN_POSITIVE)
+}
+
+/// Score of the seed variable from the restricted chain's counts
+/// (`KnowledgeBase::score_of` semantics for the non-evidence case).
+fn seed_score(counts: &MarginalCounts, seed: VarId, cardinality: u32) -> f64 {
+    if cardinality == 2 {
+        counts.factual_score(seed)
+    } else {
+        (cardinality / 2..cardinality).map(|x| counts.marginal(seed, x)).sum()
+    }
+}
+
+/// Quantizes a prior marginal onto a domain: binary `p >= 0.5 -> 1`,
+/// categorical the nearest level of `p * (h - 1)`.
+fn quantized_prior(p: f64, cardinality: u32) -> u32 {
+    let h = cardinality.max(2);
+    ((p.clamp(0.0, 1.0) * f64::from(h - 1)).round() as u32).min(h - 1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ground_neighborhood(
+    program: &CompiledProgram,
+    gcfg: &GroundConfig,
+    cfg: &QueryConfig,
+    grounder: &mut Grounder<'_>,
+    spatial: &HashMap<String, (WeightingFn, f64)>,
+    db: &mut Database,
+    evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+    relation: &str,
+    id: i64,
+    ctx: &ExecContext,
+) -> Result<Neighborhood, QueryError> {
+    let mut out = Grounding::new_empty();
+    let mut warnings: Vec<String> = Vec::new();
+    let mut outcome = RunOutcome::Completed;
+
+    // --- Seed: materialize the bound atom through its derivation rules.
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if !matches!(rule.kind, RuleKind::Derivation) {
+            continue;
+        }
+        if rule.head.first().map(|h| h.relation.as_str()) != Some(relation) {
+            continue;
+        }
+        let Some(adorn) = adorn_rule(rule, ri, 0, &[0]) else { continue };
+        let Some(&(_, slot)) = adorn.slot_of_arg.first() else {
+            // Head id position is a constant or wildcard; a seeded probe
+            // cannot bind it — skip (the atom, if any, has no queryable
+            // id column).
+            continue;
+        };
+        let seed = BoundSeed::slot(slot, Value::Int(id));
+        let bindings = grounder.eval_rule_seeded(rule, db, &mut out, &seed)?;
+        for b in bindings {
+            grounder.apply_binding(rule, &b, evidence, &mut out);
+        }
+    }
+    let mut seed_var = out
+        .atoms_of(relation)
+        .iter()
+        .copied()
+        .find(|&v| out.atom_meta[v as usize].1.first().and_then(Value::as_int) == Some(id))
+        .ok_or_else(|| QueryError::NotFound { relation: relation.to_owned(), id })?;
+
+    // Observed seed: conditioning makes the rest of the graph irrelevant.
+    if out.graph.variable(seed_var).evidence.is_some() {
+        let hops = vec![0; out.graph.num_variables()];
+        return Ok(Neighborhood {
+            relation: relation.to_owned(),
+            id,
+            grounding: out,
+            seed: seed_var,
+            hops,
+            boundary_clamped: 0,
+            outcome,
+            ground_time: Duration::ZERO,
+            warnings,
+        });
+    }
+
+    // --- Breadth-first closure up to the hop horizon.
+    let mut hops: HashMap<VarId, usize> = HashMap::from([(seed_var, 0)]);
+    let mut expanded: HashSet<VarId> = HashSet::new();
+    let mut frontier: VecDeque<VarId> = VecDeque::from([seed_var]);
+    // Logical factors are deduplicated by (rule, full binding) — the same
+    // key the full grounder's one-pass evaluation implies; spatial pairs
+    // by unordered endpoints.
+    let mut factor_seen: HashSet<(usize, String)> = HashSet::new();
+    let mut pair_seen: HashSet<(VarId, VarId)> = HashSet::new();
+    let mut unselective_warned: HashSet<usize> = HashSet::new();
+
+    'bfs: while let Some(v) = frontier.pop_front() {
+        let hop = hops[&v];
+        if hop >= cfg.hop_depth {
+            continue;
+        }
+        // Evidence blocks expansion: factors touching it are included,
+        // nothing beyond it matters for the seed's conditional.
+        if v != seed_var && out.graph.variable(v).evidence.is_some() {
+            continue;
+        }
+        if let Some(interrupt) = ctx.interrupted() {
+            outcome = outcome.combine(interrupt);
+            break 'bfs;
+        }
+        ctx.check_resources(
+            Phase::Grounding,
+            ResourceUsage {
+                factors: out.graph.total_factors() as u64,
+                variables: out.graph.num_variables() as u64,
+                memory_bytes: 0,
+            },
+        )?;
+        expanded.insert(v);
+        let (rel_v, vals_v) = out.atom_meta[v as usize].clone();
+        let loc_v = out.graph.variable(v).location;
+        let mut discovered: Vec<VarId> = Vec::new();
+
+        // Logical expansion: every inference rule whose head can have
+        // produced v, seeded with v's values.
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if !matches!(rule.kind, RuleKind::Inference(_)) {
+                continue;
+            }
+            'heads: for head in &rule.head {
+                if head.relation != rel_v {
+                    continue;
+                }
+                let mut seed_values: Vec<(usize, Value)> = Vec::new();
+                for (pos, t) in head.terms.iter().enumerate() {
+                    let val = vals_v.get(pos);
+                    match t {
+                        SlotTerm::Slot(s) => {
+                            let Some(val) = val else { continue 'heads };
+                            if matches!(val, Value::Null) {
+                                continue; // materialized through a wildcard
+                            }
+                            if let Some((_, prev)) =
+                                seed_values.iter().find(|(slot, _)| slot == s)
+                            {
+                                if prev != val {
+                                    continue 'heads; // repeated slot disagrees
+                                }
+                            } else {
+                                seed_values.push((*s, val.clone()));
+                            }
+                        }
+                        SlotTerm::Const(c) => {
+                            if val != Some(c) {
+                                continue 'heads; // this head cannot be v
+                            }
+                        }
+                        SlotTerm::Wildcard => {}
+                    }
+                }
+                if seed_values.is_empty() {
+                    // Nothing bound: evaluating would ground the whole
+                    // rule, defeating demand-driven enumeration.
+                    if unselective_warned.insert(ri) {
+                        warnings.push(format!(
+                            "rule {} head binds no query slot; its factors are not expanded",
+                            rule.label
+                        ));
+                    }
+                    continue;
+                }
+                let seed = BoundSeed { values: seed_values, within: None };
+                let bindings = grounder.eval_rule_seeded(rule, db, &mut out, &seed)?;
+                for b in bindings {
+                    let key = (ri, Grounding::canonical_key(&b));
+                    if !factor_seen.insert(key) {
+                        continue;
+                    }
+                    grounder.apply_binding(rule, &b, evidence, &mut out);
+                    if let Some(f) = out.graph.factors().last() {
+                        discovered.extend(f.vars.iter().copied());
+                    }
+                }
+            }
+        }
+
+        // Spatial expansion: materialize the relation's atoms within the
+        // factor radius and pair v against every included one.
+        if let (Some((wfn, radius)), Some(p)) = (spatial.get(&rel_v), loc_v) {
+            let spatial_col =
+                program.schema(&rel_v).and_then(|s| s.first_spatial_column());
+            for rule in &program.rules {
+                if !matches!(rule.kind, RuleKind::Derivation) {
+                    continue;
+                }
+                let Some(head) = rule.head.first().filter(|h| h.relation == rel_v) else {
+                    continue;
+                };
+                let Some(SlotTerm::Slot(ls)) = spatial_col.and_then(|c| head.terms.get(c))
+                else {
+                    continue;
+                };
+                let seed =
+                    BoundSeed::within(*ls, p, candidate_radius(gcfg.metric, *radius));
+                let bindings = grounder.eval_rule_seeded(rule, db, &mut out, &seed)?;
+                for b in bindings {
+                    let q = match b[*ls].as_geom() {
+                        Some(g) => g.representative_point(),
+                        None => continue,
+                    };
+                    if metric_distance(gcfg.metric, &p, &q) > *radius {
+                        continue;
+                    }
+                    grounder.apply_binding(rule, &b, evidence, &mut out);
+                }
+            }
+            let h = gcfg.domains.get(&rel_v).copied().filter(|&h| h > 2);
+            let peers: Vec<(VarId, Point)> = out
+                .atoms_of(&rel_v)
+                .iter()
+                .filter(|&&u| u != v)
+                .filter_map(|&u| out.graph.variable(u).location.map(|q| (u, q)))
+                .collect();
+            for (u, q) in peers {
+                let pair = (v.min(u), v.max(u));
+                if pair_seen.contains(&pair) {
+                    continue;
+                }
+                let d = metric_distance(gcfg.metric, &p, &q);
+                if d > *radius {
+                    continue;
+                }
+                let w = wfn.weight(d);
+                if w < WeightingFn::NEGLIGIBLE {
+                    continue;
+                }
+                pair_seen.insert(pair);
+                match h {
+                    None => {
+                        out.graph.add_spatial_factor(SpatialFactor::binary(v, u, w));
+                    }
+                    // Without the full atom cloud there are no
+                    // co-occurrence statistics to prune with (Section
+                    // IV-C); use the diagonal agreement pairs.
+                    Some(h) => {
+                        for t in 0..h {
+                            out.graph
+                                .add_spatial_factor(SpatialFactor::categorical(v, u, w, t, t));
+                        }
+                    }
+                }
+                discovered.push(u);
+            }
+        } else if spatial.contains_key(&rel_v) && loc_v.is_none() {
+            warnings.push(format!(
+                "spatial atom {rel_v}({id}, ...) has no location; spatial expansion skipped"
+            ));
+        }
+
+        for u in discovered {
+            if let std::collections::hash_map::Entry::Vacant(e) = hops.entry(u) {
+                e.insert(hop + 1);
+                frontier.push_back(u);
+            }
+        }
+    }
+
+    // --- Seal the boundary: frontier atoms that were discovered but
+    // never expanded behave like evidence under ClampPrior.
+    let mut boundary_clamped = 0usize;
+    if cfg.boundary == BoundaryPolicy::ClampPrior {
+        let unexpanded: Vec<VarId> = hops
+            .keys()
+            .copied()
+            .filter(|u| *u != seed_var && !expanded.contains(u))
+            .collect();
+        for u in unexpanded {
+            let var = out.graph.variable(u);
+            if var.evidence.is_some() {
+                continue;
+            }
+            let cardinality = var.domain.cardinality();
+            let rel_u = &out.atom_meta[u as usize].0;
+            let p = cfg.priors.get(rel_u).copied().unwrap_or(0.5);
+            out.graph.set_evidence(u, Some(quantized_prior(p, cardinality)));
+            boundary_clamped += 1;
+        }
+    }
+
+    // --- Drop atoms that ended up with no factor at all (e.g. spatial
+    // candidates whose exact weight was negligible).
+    let isolated: HashSet<VarId> = (0..out.graph.num_variables() as VarId)
+        .filter(|&u| {
+            u != seed_var
+                && out.graph.factors_of(u).is_empty()
+                && out.graph.spatial_factors_of(u).is_empty()
+                && out.graph.region_factors_of(u).is_empty()
+        })
+        .collect();
+    let mut hop_vec: Vec<usize> = (0..out.graph.num_variables())
+        .map(|u| hops.get(&(u as VarId)).copied().unwrap_or(cfg.hop_depth))
+        .collect();
+    if !isolated.is_empty() {
+        let remap = out.remove_atoms(&isolated);
+        seed_var = remap[seed_var as usize].expect("seed is never isolated-removed");
+        let mut compacted = vec![0usize; out.graph.num_variables()];
+        for (old, hop) in hop_vec.iter().enumerate() {
+            if let Some(new) = remap[old] {
+                compacted[new as usize] = *hop;
+            }
+        }
+        hop_vec = compacted;
+    }
+
+    Ok(Neighborhood {
+        relation: relation.to_owned(),
+        id,
+        grounding: out,
+        seed: seed_var,
+        hops: hop_vec,
+        boundary_clamped,
+        outcome,
+        ground_time: Duration::ZERO,
+        warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryConfig;
+    use sya_geom::DistanceMetric;
+    use sya_lang::{compile, parse_program, GeomConstants};
+    use sya_runtime::RunBudget;
+    use sya_store::{Column, DataType, TableSchema};
+
+    const SRC: &str = r#"
+    Well(id bigint, location point, arsenic double).
+    @spatial(exp)
+    IsSafe?(id bigint, location point).
+    D1: IsSafe(W, L) = NULL :- Well(W, L, _).
+    R1: @weight(0.7) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+        Well(W1, L1, A1), Well(W2, L2, A2)
+        [distance(L1, L2) < 3, A1 < 0.2, A2 < 0.2, W1 != W2].
+    "#;
+
+    fn compiled() -> CompiledProgram {
+        let p = parse_program(SRC).unwrap();
+        compile(&p, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap()
+    }
+
+    fn make_db(n: i64) -> Database {
+        let mut db = Database::new();
+        let schema = TableSchema::new(vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("location", DataType::Point),
+            Column::new("arsenic", DataType::Double),
+        ]);
+        let t = db.create_table("Well", schema).unwrap();
+        for i in 0..n {
+            t.insert(vec![
+                Value::Int(i),
+                Value::from(Point::new(i as f64, 0.0)),
+                Value::Double(if i < n / 2 { 0.1 } else { 0.5 }),
+            ])
+            .unwrap();
+        }
+        db
+    }
+
+    fn evidence(rel: &str, vals: &[Value]) -> Option<u32> {
+        if rel != "IsSafe" {
+            return None;
+        }
+        match vals.first().and_then(Value::as_int) {
+            Some(0) | Some(1) => Some(1),
+            _ => None,
+        }
+    }
+
+    fn query_grounder(ground: GroundConfig, config: QueryConfig) -> QueryGrounder {
+        QueryGrounder::new(compiled(), ground, config)
+    }
+
+    fn tight_ground() -> GroundConfig {
+        GroundConfig {
+            spatial_radius: Some(2.0),
+            weighting_bandwidth: Some(1.0),
+            ..GroundConfig::default()
+        }
+    }
+
+    #[test]
+    fn neighborhood_is_a_strict_subset_of_the_kb() {
+        let mut db = make_db(40);
+        let mut qg = query_grounder(tight_ground(), QueryConfig::default());
+        let nh = qg
+            .neighborhood(&mut db, &evidence, "IsSafe", 20, &ExecContext::unbounded())
+            .unwrap();
+        // Hop depth 2 with joins/radius reaching +-3 cannot touch more
+        // than a dozen of the 40 wells.
+        assert!(nh.grounding.graph.num_variables() < 20);
+        assert!(nh.grounding.graph.num_variables() >= 3);
+        assert_eq!(nh.hops[nh.seed as usize], 0);
+        let (_, vals) = &nh.grounding.atom_meta[nh.seed as usize];
+        assert_eq!(vals.first().and_then(Value::as_int), Some(20));
+    }
+
+    #[test]
+    fn evidence_seed_answers_without_sampling() {
+        let mut db = make_db(10);
+        let mut qg = query_grounder(tight_ground(), QueryConfig::default());
+        let a = qg
+            .marginal(&mut db, &evidence, "IsSafe", 0, &ExecContext::unbounded())
+            .unwrap();
+        assert_eq!(a.score, 1.0);
+        assert_eq!(a.evidence, Some(1));
+        assert!(!a.stats.sampled);
+    }
+
+    #[test]
+    fn sampled_answer_is_a_probability_and_leans_on_safe_evidence() {
+        let mut db = make_db(10);
+        let mut qg = query_grounder(tight_ground(), QueryConfig::default());
+        let a = qg
+            .marginal(&mut db, &evidence, "IsSafe", 2, &ExecContext::unbounded())
+            .unwrap();
+        assert!(a.stats.sampled);
+        assert!((0.0..=1.0).contains(&a.score));
+        // Well 2 sits next to two safe-observed wells with positive
+        // implication and spatial agreement factors: the marginal must
+        // land clearly above a fair coin.
+        assert!(a.score > 0.55, "score {}", a.score);
+    }
+
+    #[test]
+    fn unknown_relation_and_missing_id_are_typed_errors() {
+        let mut db = make_db(10);
+        let mut qg = query_grounder(tight_ground(), QueryConfig::default());
+        let ctx = ExecContext::unbounded();
+        assert!(matches!(
+            qg.marginal(&mut db, &evidence, "Nope", 0, &ctx),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            qg.marginal(&mut db, &evidence, "Well", 0, &ctx),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            qg.marginal(&mut db, &evidence, "IsSafe", 999, &ctx),
+            Err(QueryError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_surfaced_as_budget_error() {
+        let mut db = make_db(400);
+        let mut qg = query_grounder(
+            tight_ground(),
+            QueryConfig { hop_depth: 50, ..QueryConfig::default() },
+        );
+        let ctx = ExecContext::new(RunBudget::unlimited().with_max_variables(4));
+        assert!(matches!(
+            qg.neighborhood(&mut db, &evidence, "IsSafe", 200, &ctx),
+            Err(QueryError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn hop_depth_zero_grounds_the_seed_alone() {
+        let mut db = make_db(10);
+        let mut qg = query_grounder(
+            tight_ground(),
+            QueryConfig { hop_depth: 0, ..QueryConfig::default() },
+        );
+        let nh = qg
+            .neighborhood(&mut db, &evidence, "IsSafe", 5, &ExecContext::unbounded())
+            .unwrap();
+        assert_eq!(nh.grounding.graph.num_variables(), 1);
+        assert_eq!(nh.grounding.graph.total_factors(), 0);
+    }
+
+    #[test]
+    fn boundary_atoms_are_clamped_under_the_default_policy() {
+        let mut db = make_db(40);
+        let mut qg = query_grounder(
+            tight_ground(),
+            QueryConfig { hop_depth: 1, ..QueryConfig::default() },
+        );
+        let nh = qg
+            .neighborhood(&mut db, &evidence, "IsSafe", 20, &ExecContext::unbounded())
+            .unwrap();
+        assert!(nh.boundary_clamped > 0);
+        // Every non-seed variable is sealed: evidence or clamped.
+        for u in 0..nh.grounding.graph.num_variables() as VarId {
+            if u != nh.seed {
+                assert!(nh.grounding.graph.variable(u).evidence.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn free_boundary_policy_leaves_the_frontier_open() {
+        let mut db = make_db(40);
+        let mut qg = query_grounder(
+            tight_ground(),
+            QueryConfig {
+                hop_depth: 1,
+                boundary: BoundaryPolicy::Free,
+                ..QueryConfig::default()
+            },
+        );
+        let nh = qg
+            .neighborhood(&mut db, &evidence, "IsSafe", 20, &ExecContext::unbounded())
+            .unwrap();
+        assert_eq!(nh.boundary_clamped, 0);
+        let free = (0..nh.grounding.graph.num_variables() as VarId)
+            .filter(|&u| nh.grounding.graph.variable(u).evidence.is_none())
+            .count();
+        assert!(free > 1);
+    }
+
+    #[test]
+    fn hash_indexes_survive_across_queries() {
+        let mut db = make_db(40);
+        let mut qg = query_grounder(tight_ground(), QueryConfig::default());
+        let ctx = ExecContext::unbounded();
+        let a = qg.marginal(&mut db, &evidence, "IsSafe", 10, &ctx).unwrap();
+        let b = qg.marginal(&mut db, &evidence, "IsSafe", 10, &ctx).unwrap();
+        assert_eq!(a.stats.variables, b.stats.variables);
+        assert_eq!(a.stats.logical_factors, b.stats.logical_factors);
+        qg.invalidate_indexes();
+        let c = qg.marginal(&mut db, &evidence, "IsSafe", 10, &ctx).unwrap();
+        assert_eq!(a.stats.variables, c.stats.variables);
+    }
+}

@@ -1,0 +1,361 @@
+//! Lazy serving (DESIGN.md §16): a KB that is *never fully grounded*.
+//!
+//! `sya serve --lazy` skips `SyaSession::construct` entirely — the
+//! server holds only the compiled program and the input tables, and
+//! every `/v1/marginal` / `/v1/query` request demand-grounds the bound
+//! atom's factor neighborhood through [`sya_query::QueryGrounder`] and
+//! answers it with a short restricted chain. This is the read path for
+//! KBs too large to ground up front: per-request cost scales with the
+//! neighborhood (hop depth × spatial radius), not the KB.
+//!
+//! Answers are cached in an **epoch-keyed LRU**: each entry is stamped
+//! with the evidence epoch it was grounded under, and `/v1/evidence`
+//! bumps the epoch (and drops the cache), so a stale neighborhood can
+//! never answer a query — the lazy twin of the full path's
+//! epoch-versioned `RwLock` swap. Evidence updates here cost O(rows):
+//! no incremental re-inference runs, because nothing is materialized to
+//! re-infer; the next query of an affected atom simply re-grounds.
+//!
+//! Trade-offs versus [`ServingKb`](crate::ServingKb), by design:
+//! * evidence validation cannot check atom *existence* (there is no
+//!   grounded catalogue); an unknown id is accepted and simply never
+//!   matches a neighborhood;
+//! * misses serialize on the single grounder lock (the hash-index and
+//!   bandwidth caches are shared mutable state); hits are lock-cheap;
+//! * marginals carry single-chain sampling noise per grounding, where
+//!   the full path amortizes one long chain over every atom.
+
+use crate::state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer};
+use crate::ServeError;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+use sya_ground::GroundConfig;
+use sya_lang::CompiledProgram;
+use sya_obs::Obs;
+use sya_query::{QueryAnswer, QueryConfig, QueryError, QueryGrounder};
+use sya_runtime::{ExecContext, RunBudget};
+use sya_store::{Database, Value};
+
+/// Tunables of the lazy serving state.
+#[derive(Debug, Clone)]
+pub struct LazyConfig {
+    /// Hop depth, boundary policy, and restricted-chain settings of the
+    /// per-request demand grounding.
+    pub query: QueryConfig,
+    /// Per-request resource budget (variables/factors/memory); the
+    /// request deadline is layered on top by the server. Exhaustion is
+    /// a 503 + Retry-After, counted on `serve.query.budget_exceeded_total`.
+    pub budget: RunBudget,
+    /// Neighborhood-cache capacity (answers, one per `(relation, id)`);
+    /// 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for LazyConfig {
+    fn default() -> Self {
+        LazyConfig {
+            query: QueryConfig::default(),
+            budget: RunBudget::unlimited(),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// The demand grounder and its input tables. One lock for both: every
+/// cache miss needs the grounder's hash-index/bandwidth caches and the
+/// database's R-tree probes mutably, together.
+struct LazyEngine {
+    grounder: QueryGrounder,
+    db: Database,
+}
+
+/// One cached answer, stamped with the evidence epoch it was grounded
+/// under and an LRU tick.
+struct CacheEntry {
+    epoch: u64,
+    tick: u64,
+    answer: QueryAnswer,
+}
+
+/// Bounded `(relation, id)` → answer map with epoch invalidation and
+/// least-recently-used eviction (linear-scan evict: the capacity is
+/// dashboard-scale, not KB-scale).
+struct QueryCache {
+    map: HashMap<(String, i64), CacheEntry>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl QueryCache {
+    fn new(capacity: usize) -> Self {
+        QueryCache { map: HashMap::new(), tick: 0, capacity }
+    }
+
+    /// A hit requires the entry's grounding epoch to match the current
+    /// evidence epoch; a stale entry is dropped on sight.
+    fn get(&mut self, key: &(String, i64), epoch: u64) -> Option<QueryAnswer> {
+        match self.map.get_mut(key) {
+            Some(e) if e.epoch == epoch => {
+                self.tick += 1;
+                e.tick = self.tick;
+                Some(e.answer.clone())
+            }
+            Some(_) => {
+                self.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (evicting the least recently used entry at capacity) and
+    /// returns the resulting entry count.
+    fn insert(&mut self, key: (String, i64), epoch: u64, answer: QueryAnswer) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, CacheEntry { epoch, tick: self.tick, answer });
+        self.map.len()
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.map.len();
+        self.map.clear();
+        n
+    }
+}
+
+/// The lazy serving state: compiled program + input tables + evidence
+/// map + demand grounder, but **no factor graph** — neighborhoods are
+/// grounded per query and cached per evidence epoch.
+pub struct LazyKb {
+    engine: Mutex<LazyEngine>,
+    /// `(relation, id)` → observed value; the only mutable KB state in
+    /// lazy mode. Queries ground under the read lock so the epoch a
+    /// cache entry is stamped with matches the evidence it saw.
+    evidence: RwLock<HashMap<(String, i64), u32>>,
+    epoch: AtomicU64,
+    cache: Mutex<QueryCache>,
+    /// Domain size per variable relation (from the ground config),
+    /// for evidence validation.
+    domains: HashMap<String, u32>,
+    /// Declared variable relations, for evidence validation without
+    /// taking the engine lock.
+    variable_relations: HashSet<String>,
+    budget: RunBudget,
+    obs: Obs,
+    started: Instant,
+}
+
+impl LazyKb {
+    /// Wraps a compiled program and its loaded input tables for lazy
+    /// serving. Like the full path, requires the spatial engine — the
+    /// demand grounding's neighborhood bound *is* the spatial-factor
+    /// radius; a program with no `@spatial` relation has nothing to
+    /// bound the closure with.
+    pub fn new(
+        program: CompiledProgram,
+        ground: GroundConfig,
+        db: Database,
+        evidence: HashMap<(String, i64), u32>,
+        cfg: LazyConfig,
+        obs: Obs,
+    ) -> Result<Self, ServeError> {
+        if program.spatial_variable_relations().next().is_none() {
+            return Err(ServeError::NotSpatial);
+        }
+        let domains = ground.domains.clone();
+        let variable_relations = program
+            .schemas
+            .values()
+            .filter(|s| s.is_variable)
+            .map(|s| s.name.clone())
+            .collect();
+        let grounder = QueryGrounder::new(program, ground, cfg.query);
+        obs.gauge_set("serve.query.cache_entries", 0.0);
+        Ok(LazyKb {
+            engine: Mutex::new(LazyEngine { grounder, db }),
+            evidence: RwLock::new(evidence),
+            epoch: AtomicU64::new(0),
+            cache: Mutex::new(QueryCache::new(cfg.cache_capacity)),
+            domains,
+            variable_relations,
+            budget: cfg.budget,
+            obs,
+            started: Instant::now(),
+        })
+    }
+
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Evidence epoch: 0 at startup, +1 per applied evidence batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The per-request resource budget the server layers the request
+    /// deadline onto.
+    pub fn request_budget(&self) -> RunBudget {
+        self.budget.clone()
+    }
+
+    /// `(cached answers, variables materialized across them)` — the
+    /// lazy stand-in for the full path's graph-shape health fields.
+    pub fn cache_shape(&self) -> (usize, usize) {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let vars = cache.map.values().map(|e| e.answer.stats.variables).sum();
+        (cache.map.len(), vars)
+    }
+
+    /// Point marginal via demand grounding: epoch-keyed cache, then the
+    /// grounder. `Ok(None)` is an unknown atom (404); budget exhaustion
+    /// is [`ServeError::QueryBudget`] (503 + Retry-After).
+    pub fn marginal(
+        &self,
+        relation: &str,
+        id: i64,
+        ctx: &ExecContext,
+    ) -> Result<Option<MarginalAnswer>, ServeError> {
+        self.obs.counter_add("serve.query.requests_total", 1);
+        // The evidence read lock pins the epoch for the whole grounding:
+        // an evidence batch (write lock) cannot slip between the cache
+        // check and the insert, so entries are never stamped stale.
+        let evidence = self.evidence.read().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.epoch();
+        let key = (relation.to_owned(), id);
+        let hit = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get(&key, epoch)
+        };
+        if let Some(answer) = hit {
+            self.obs.counter_add("serve.query.cache_hit_total", 1);
+            return Ok(Some(to_marginal(&answer, epoch)));
+        }
+        self.obs.counter_add("serve.query.cache_miss_total", 1);
+
+        let ev_fn = |rel: &str, values: &[Value]| -> Option<u32> {
+            values
+                .first()
+                .and_then(Value::as_int)
+                .and_then(|vid| evidence.get(&(rel.to_owned(), vid)).copied())
+        };
+        let result = {
+            let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+            let LazyEngine { grounder, db } = &mut *engine;
+            grounder.marginal(db, &ev_fn, relation, id, ctx)
+        };
+        match result {
+            Ok(answer) => {
+                self.obs.histogram_record(
+                    "serve.query.ground_seconds",
+                    answer.stats.ground_time.as_secs_f64(),
+                );
+                self.obs.histogram_record(
+                    "serve.query.infer_seconds",
+                    answer.stats.infer_time.as_secs_f64(),
+                );
+                for w in &answer.warnings {
+                    self.obs.debug(format!("lazy query {relation}({id}): {w}"));
+                }
+                let entries = {
+                    let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                    cache.insert(key, epoch, answer.clone())
+                };
+                self.obs.gauge_set("serve.query.cache_entries", entries as f64);
+                Ok(Some(to_marginal(&answer, epoch)))
+            }
+            Err(QueryError::NotFound { .. } | QueryError::UnknownRelation(_)) => Ok(None),
+            Err(QueryError::Budget(b)) => {
+                self.obs.counter_add("serve.query.budget_exceeded_total", 1);
+                Err(ServeError::QueryBudget(b.to_string()))
+            }
+            Err(e) => Err(ServeError::QueryFailed(e.to_string())),
+        }
+    }
+
+    /// Applies an evidence batch: validate, swap the evidence map, bump
+    /// the epoch, drop the cache. `resampled` is always 0 — lazy mode
+    /// re-grounds affected neighborhoods on their next query instead of
+    /// re-inferring eagerly.
+    pub fn apply_evidence(&self, rows: &[EvidenceUpdate]) -> Result<EvidenceOutcome, ServeError> {
+        let started = Instant::now();
+        if rows.is_empty() {
+            return Err(ServeError::BadEvidence("empty evidence batch".into()));
+        }
+        let mut seen = HashSet::new();
+        for (i, row) in rows.iter().enumerate() {
+            let at = |msg: String| ServeError::BadEvidence(format!("row {i}: {msg}"));
+            if !self.variable_relations.contains(&row.relation) {
+                return Err(at(format!(
+                    "evidence applies only to declared variable relations, not {:?}",
+                    row.relation
+                )));
+            }
+            let cardinality = self.domains.get(&row.relation).copied().unwrap_or(2);
+            if let Some(value) = row.value {
+                if value >= cardinality {
+                    return Err(at(format!(
+                        "value {value} is out of range for {:?} (domain 0..{cardinality})",
+                        row.relation
+                    )));
+                }
+            }
+            if !seen.insert((row.relation.clone(), row.id)) {
+                return Err(at(format!(
+                    "duplicate evidence for {:?} id {}",
+                    row.relation, row.id
+                )));
+            }
+        }
+        let epoch = {
+            let mut evidence = self.evidence.write().unwrap_or_else(|e| e.into_inner());
+            for row in rows {
+                match row.value {
+                    Some(v) => {
+                        evidence.insert((row.relation.clone(), row.id), v);
+                    }
+                    None => {
+                        evidence.remove(&(row.relation.clone(), row.id));
+                    }
+                }
+            }
+            self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        let dropped = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.clear()
+        };
+        self.obs.gauge_set("serve.query.cache_entries", 0.0);
+        self.obs.counter_add("serve.query.cache_invalidated_total", dropped as u64);
+        self.obs.gauge_set("serve.kb_epoch", epoch as f64);
+        self.obs.counter_add("serve.evidence_rows_total", rows.len() as u64);
+        Ok(EvidenceOutcome { epoch, resampled: 0, elapsed: started.elapsed() })
+    }
+}
+
+fn to_marginal(answer: &QueryAnswer, epoch: u64) -> MarginalAnswer {
+    MarginalAnswer {
+        relation: answer.relation.clone(),
+        id: answer.id,
+        score: answer.score,
+        evidence: answer.evidence,
+        epoch,
+        shard: None,
+    }
+}

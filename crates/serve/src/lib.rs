@@ -24,12 +24,14 @@
 
 pub mod admission;
 mod http;
+mod lazy;
 mod router;
 mod server;
 mod state;
 
 pub use admission::{Admission, AdmissionConfig, InflightGuard, Shed, Ticket};
 pub use http::{json_string, read_request, HttpError, Request, Response};
+pub use lazy::{LazyConfig, LazyKb};
 pub use router::{ServeState, ShardRouter};
 pub use server::SyaServer;
 pub use state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer, ServingKb};
@@ -108,6 +110,14 @@ pub enum ServeError {
     BreakerOpen { shard: usize },
     /// Saving or opening the checkpoint store failed.
     Checkpoint(String),
+    /// A lazy-mode demand grounding exhausted its per-request
+    /// `RunBudget`: the query is answerable with a looser budget or a
+    /// quieter server → 503 + Retry-After, counted on
+    /// `serve.query.budget_exceeded_total`.
+    QueryBudget(String),
+    /// The lazy query path failed outright (grounding or inference
+    /// error) — a server-side 500, not a retryable condition.
+    QueryFailed(String),
     /// Threads still alive after the shutdown deadline — a leak.
     ShutdownTimeout { alive: Vec<String> },
 }
@@ -129,6 +139,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "shard {shard} breaker is open; fast-failing while it recovers")
             }
             ServeError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            ServeError::QueryBudget(msg) => {
+                write!(f, "query budget exhausted: {msg}; retry with a looser budget")
+            }
+            ServeError::QueryFailed(msg) => write!(f, "query failed: {msg}"),
             ServeError::ShutdownTimeout { alive } => write!(
                 f,
                 "shutdown deadline expired with {} thread(s) still alive: {}",

@@ -410,15 +410,20 @@ impl ShardRouter {
     }
 }
 
-/// What the server actually serves: a single live KB, or the shard
-/// router in front of per-shard replicas. Every endpoint goes through
-/// this enum, so `sya serve` and `sya serve --shards N` expose the
-/// exact same HTTP surface.
+/// What the server actually serves: a single live KB, the shard router
+/// in front of per-shard replicas, or the lazy demand grounder. Every
+/// endpoint goes through this enum, so `sya serve`, `sya serve
+/// --shards N`, and `sya serve --lazy` expose the exact same HTTP
+/// surface.
 pub enum ServeState {
     /// Boxed: a `ServingKb` is an order of magnitude larger than the
     /// router handle, and the state is built once per server.
     Single(Box<ServingKb>),
     Sharded(ShardRouter),
+    /// A KB that is never fully grounded: `/v1/marginal` and
+    /// `/v1/query` demand-ground the bound atom's neighborhood per
+    /// request (DESIGN.md §16).
+    Lazy(Box<crate::lazy::LazyKb>),
 }
 
 impl From<ServingKb> for ServeState {
@@ -433,18 +438,35 @@ impl From<ShardRouter> for ServeState {
     }
 }
 
+impl From<crate::lazy::LazyKb> for ServeState {
+    fn from(kb: crate::lazy::LazyKb) -> Self {
+        ServeState::Lazy(Box::new(kb))
+    }
+}
+
 impl ServeState {
     pub fn obs(&self) -> &Obs {
         match self {
             ServeState::Single(kb) => kb.obs(),
             ServeState::Sharded(r) => r.obs(),
+            ServeState::Lazy(kb) => kb.obs(),
         }
     }
 
-    /// Shards behind this state: 1 for the single path.
+    /// Serving mode, as reported by `/healthz` and the fleet board:
+    /// `"full"` for the constructed-KB paths (single or sharded),
+    /// `"lazy"` for the demand grounder.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            ServeState::Single(_) | ServeState::Sharded(_) => "full",
+            ServeState::Lazy(_) => "lazy",
+        }
+    }
+
+    /// Shards behind this state: 1 for the single and lazy paths.
     pub fn shard_count(&self) -> usize {
         match self {
-            ServeState::Single(_) => 1,
+            ServeState::Single(_) | ServeState::Lazy(_) => 1,
             ServeState::Sharded(r) => r.shard_count(),
         }
     }
@@ -453,35 +475,51 @@ impl ServeState {
         match self {
             ServeState::Single(kb) => kb.epoch(),
             ServeState::Sharded(r) => r.epoch(),
+            ServeState::Lazy(kb) => kb.epoch(),
+        }
+    }
+
+    /// The per-request resource budget the server combines with the
+    /// request deadline: unlimited on the full paths (reads are table
+    /// lookups), the configured grounding budget in lazy mode.
+    pub fn request_budget(&self) -> sya_runtime::RunBudget {
+        match self {
+            ServeState::Single(_) | ServeState::Sharded(_) => sya_runtime::RunBudget::unlimited(),
+            ServeState::Lazy(kb) => kb.request_budget(),
         }
     }
 
     /// `Ok(None)` = unknown atom; `Err(ShardDown)` = the owning shard is
-    /// marked down (sharded state only).
+    /// marked down (sharded state only); `Err(QueryBudget)` = the lazy
+    /// demand grounding exhausted its budget. `ctx` bounds the lazy
+    /// path's grounding and chain; the full paths answer from the live
+    /// KB and ignore it.
     pub fn marginal(
         &self,
         relation: &str,
         id: i64,
+        ctx: &sya_runtime::ExecContext,
     ) -> Result<Option<MarginalAnswer>, ServeError> {
         match self {
             ServeState::Single(kb) => Ok(kb.marginal(relation, id)),
             ServeState::Sharded(r) => r.marginal(relation, id),
+            ServeState::Lazy(kb) => kb.marginal(relation, id, ctx),
         }
     }
 
-    /// Down shard indices; always empty for the single path.
+    /// Down shard indices; always empty for the single and lazy paths.
     pub fn down_shards(&self) -> Vec<usize> {
         match self {
-            ServeState::Single(_) => Vec::new(),
+            ServeState::Single(_) | ServeState::Lazy(_) => Vec::new(),
             ServeState::Sharded(r) => r.down_shards(),
         }
     }
 
     /// Shards with a non-closed breaker; always empty for the single
-    /// path.
+    /// and lazy paths.
     pub fn open_breakers(&self) -> Vec<usize> {
         match self {
-            ServeState::Single(_) => Vec::new(),
+            ServeState::Single(_) | ServeState::Lazy(_) => Vec::new(),
             ServeState::Sharded(r) => r.open_breakers(),
         }
     }
@@ -490,13 +528,33 @@ impl ServeState {
         match self {
             ServeState::Single(kb) => kb.apply_evidence(rows),
             ServeState::Sharded(r) => r.apply_evidence(rows),
+            ServeState::Lazy(kb) => kb.apply_evidence(rows),
         }
     }
 
-    pub fn with_kb<T>(&self, f: impl FnOnce(&KnowledgeBase) -> T) -> T {
+    /// Read access to the constructed KB; `None` in lazy mode, where no
+    /// KB ever exists to borrow.
+    pub fn with_kb<T>(&self, f: impl FnOnce(&KnowledgeBase) -> T) -> Option<T> {
         match self {
-            ServeState::Single(kb) => kb.with_kb(f),
-            ServeState::Sharded(r) => r.with_kb(f),
+            ServeState::Single(kb) => Some(kb.with_kb(f)),
+            ServeState::Sharded(r) => Some(r.with_kb(f)),
+            ServeState::Lazy(_) => None,
+        }
+    }
+
+    /// `/healthz`'s graph-shape fields, mode-appropriately: the full
+    /// paths report the constructed graph and its run outcome; lazy
+    /// reports the variables materialized across cached neighborhoods
+    /// and a literal `"lazy"` outcome.
+    pub fn health_shape(&self) -> (usize, String) {
+        match self {
+            ServeState::Single(_) | ServeState::Sharded(_) => self
+                .with_kb(|kb| (kb.grounding.graph.num_variables(), kb.outcome.to_string()))
+                .expect("full state has a KB"),
+            ServeState::Lazy(kb) => {
+                let (_, vars) = kb.cache_shape();
+                (vars, "lazy".to_owned())
+            }
         }
     }
 
@@ -504,6 +562,7 @@ impl ServeState {
         match self {
             ServeState::Single(kb) => kb.uptime(),
             ServeState::Sharded(r) => r.uptime(),
+            ServeState::Lazy(kb) => kb.uptime(),
         }
     }
 
@@ -511,6 +570,7 @@ impl ServeState {
         match self {
             ServeState::Single(kb) => kb.checkpoint_age(),
             ServeState::Sharded(r) => r.checkpoint_age(),
+            ServeState::Lazy(_) => None,
         }
     }
 
@@ -518,6 +578,9 @@ impl ServeState {
         match self {
             ServeState::Single(kb) => kb.checkpoint_now(),
             ServeState::Sharded(r) => r.checkpoint_now(),
+            // Nothing to persist: lazy state is the input tables plus
+            // the evidence map, both of which the operator already has.
+            ServeState::Lazy(_) => Ok(None),
         }
     }
 }

@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use sya_obs::Obs;
-use sya_runtime::{CancellationToken, ExecContext, RunBudget};
+use sya_runtime::{CancellationToken, ExecContext};
 
 /// How often the acceptor re-checks the cancellation token while no
 /// connection is pending.
@@ -413,8 +413,10 @@ fn handle_connection(
             }
             // Per-request deadline via the runtime's budget machinery:
             // the handler checks the context between stages and turns an
-            // expired deadline into a 503 instead of a hung socket.
-            let ctx = ExecContext::new(RunBudget::unlimited().with_deadline(budget))
+            // expired deadline into a 503 instead of a hung socket. The
+            // state's own resource budget (lazy mode's grounding caps)
+            // rides under the same context.
+            let ctx = ExecContext::new(state.request_budget().with_deadline(budget))
                 .with_obs(obs.clone());
             let mut span = obs.span_with(
                 "serve.request",
@@ -471,7 +473,7 @@ fn route(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response 
             sya_obs::export::render_prometheus(&state.obs().metrics_snapshot()),
         ),
         ("GET", p) if p.starts_with("/v1/marginal/") => {
-            marginal(state, &p["/v1/marginal/".len()..], req)
+            marginal(state, ctx, &p["/v1/marginal/".len()..], req)
         }
         ("POST", "/v1/query") => query(state, ctx, req),
         ("POST", "/v1/evidence") => evidence(state, req),
@@ -484,9 +486,7 @@ fn route(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response 
 }
 
 fn healthz(state: &Arc<ServeState>) -> Response {
-    let (variables, outcome) = state.with_kb(|kb| {
-        (kb.grounding.graph.num_variables(), kb.outcome.to_string())
-    });
+    let (variables, outcome) = state.health_shape();
     let age = match state.checkpoint_age() {
         Some(age) => format!("{:.3}", age.as_secs_f64()),
         None => "null".to_owned(),
@@ -499,10 +499,12 @@ fn healthz(state: &Arc<ServeState>) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":\"{}\",\"epoch\":{},\"variables\":{},\"outcome\":{},\
+            "{{\"status\":\"{}\",\"mode\":\"{}\",\"epoch\":{},\"variables\":{},\
+             \"outcome\":{},\
              \"shards\":{},\"shards_down\":[{}],\"breakers_open\":[{}],\
              \"uptime_seconds\":{:.3},\"checkpoint_age_seconds\":{}}}",
             status,
+            state.mode(),
             state.epoch(),
             variables,
             crate::http::json_string(&outcome),
@@ -538,24 +540,33 @@ fn marginal_json(m: &crate::state::MarginalAnswer) -> String {
 }
 
 /// `GET /v1/marginal/{relation}?args=ID` (also accepts `id=ID`).
-fn marginal(state: &Arc<ServeState>, relation: &str, req: &Request) -> Response {
+fn marginal(
+    state: &Arc<ServeState>,
+    ctx: &ExecContext,
+    relation: &str,
+    req: &Request,
+) -> Response {
     let Some(raw) = req.query_value("args").or_else(|| req.query_value("id")) else {
         return Response::error(400, "missing ?args=<id> (the atom's id column)");
     };
     let Ok(id) = raw.trim().parse::<i64>() else {
         return Response::error(400, &format!("bad id {raw:?}: want an integer"));
     };
-    match state.marginal(relation, id) {
+    match state.marginal(relation, id, ctx) {
         Ok(Some(m)) => Response::json(200, marginal_json(&m)),
         Ok(None) => Response::error(404, &format!("no ground atom {relation}({id})")),
-        Err(e) => shard_down_response(&e),
+        Err(e) => read_failure_response(&e),
     }
 }
 
-/// 503 + `Retry-After` for a down shard (or any other transient
-/// serving failure surfaced on the read path).
-fn shard_down_response(e: &ServeError) -> Response {
-    Response::error(503, &e.to_string()).with_retry_after(RETRY_AFTER_SECONDS)
+/// Maps a read-path serving failure onto the wire: transient conditions
+/// (down shard, open breaker, exhausted lazy query budget) are 503 +
+/// `Retry-After`; a lazy query that failed outright is a plain 500.
+fn read_failure_response(e: &ServeError) -> Response {
+    match e {
+        ServeError::QueryFailed(_) => Response::error(500, &e.to_string()),
+        _ => Response::error(503, &e.to_string()).with_retry_after(RETRY_AFTER_SECONDS),
+    }
 }
 
 /// What a 503 for a down shard advises clients to wait before retrying.
@@ -584,12 +595,12 @@ fn query(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response 
                 &format!("query {i}: want {{\"relation\": string, \"id\": integer}}"),
             );
         };
-        match state.marginal(relation, id) {
+        match state.marginal(relation, id, ctx) {
             Ok(Some(m)) => results.push(marginal_json(&m)),
             Ok(None) => {
                 return Response::error(404, &format!("query {i}: no ground atom {relation}({id})"))
             }
-            Err(e) => return shard_down_response(&e),
+            Err(e) => return read_failure_response(&e),
         }
     }
     Response::json(
@@ -648,7 +659,7 @@ fn evidence(state: &Arc<ServeState>, req: &Request) -> Response {
         ),
         Err(ServeError::BadEvidence(msg)) => Response::error(400, &msg),
         Err(e @ (ServeError::ShardDown { .. } | ServeError::BreakerOpen { .. })) => {
-            shard_down_response(&e)
+            read_failure_response(&e)
         }
         Err(e) => Response::error(503, &e.to_string()),
     }

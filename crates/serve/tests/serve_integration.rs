@@ -544,7 +544,8 @@ fn warm_start_from_serve_checkpoint_preserves_marginals() {
     assert!(saved.is_some(), "first save must write a file");
     // Same epoch again: nothing new to save.
     assert!(server.state().checkpoint_now().unwrap().is_none());
-    let live: Vec<(i64, f64)> = server.state().with_kb(|kb| kb.query_scores_by_id("IsSafe"));
+    let live: Vec<(i64, f64)> =
+        server.state().with_kb(|kb| kb.query_scores_by_id("IsSafe")).expect("full-mode KB");
     server.shutdown(Duration::from_secs(10)).expect("no leaked threads");
 
     // A fresh process warm-starts from the serve-time checkpoint and

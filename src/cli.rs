@@ -7,6 +7,7 @@
 //! sya translate <program.ddlog> [--constant name=WKT ...]
 //! sya stats     <program.ddlog> --table NAME=FILE.csv ... [options]
 //! sya run       <program.ddlog> --table NAME=FILE.csv ... [options]
+//! sya query     <program.ddlog> --table NAME=FILE.csv --relation R --id N [options]
 //! sya serve     <program.ddlog> --table NAME=FILE.csv ... [options]
 //! sya shard-coordinator <program.ddlog> --shards N [options]
 //! sya shard-worker      <program.ddlog> --shard I --connect HOST:PORT [options]
@@ -61,7 +62,30 @@
 //!                             into the metrics registry; also enabled
 //!                             by SYA_PROFILE=1
 //!
+//! query-only options (DESIGN.md §16):
+//!   `sya query` answers ONE bound marginal without grounding the KB:
+//!   a magic-sets backward pass grounds only the factor neighborhood
+//!   of the named atom and runs a short restricted chain over it.
+//!   The answer is a single JSON object on stdout.
+//!
+//!   --relation NAME           variable relation of the queried atom
+//!   --id N                    entity id of the queried atom
+//!   --hop-depth N             factor hops expanded around the seed
+//!                             [default: 2]
+//!   --epochs here defaults to the short restricted-chain budget (240),
+//!   not the full pipeline's 1000.
+//!
 //! serve-only options:
+//!   --lazy                    never ground the full KB: demand-ground
+//!                             each /v1/marginal neighborhood through
+//!                             the query grounder, behind an
+//!                             epoch-keyed answer cache that /v1/evidence
+//!                             invalidates (incompatible with --shards
+//!                             and checkpointing)
+//!   --hop-depth N             (with --lazy) per-request hop depth
+//!                             [default: 2]
+//!   --query-cache N           (with --lazy) cached answers; 0 disables
+//!                             [default: 1024]
 //!   --listen HOST:PORT        bind address [default: 127.0.0.1:7171];
 //!                             port 0 picks an ephemeral port
 //!   --serve-workers N         request worker threads [default: 4]
@@ -135,6 +159,7 @@ fn dispatch(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result
         "translate" => cmd_translate(&args[1..], out),
         "stats" => cmd_run(&args[1..], out, err, true),
         "run" => cmd_run(&args[1..], out, err, false),
+        "query" => cmd_query(&args[1..], out, err),
         "serve" => cmd_serve(&args[1..], out, err),
         "shard-coordinator" => cmd_coordinator(&args[1..], out, err),
         "shard-worker" => cmd_worker(&args[1..], out, err),
@@ -146,7 +171,7 @@ fn dispatch(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result
 }
 
 const USAGE: &str = r#"
-usage: sya <validate|translate|stats|run|serve|shard-coordinator|shard-worker> <program.ddlog> [options]
+usage: sya <validate|translate|stats|run|query|serve|shard-coordinator|shard-worker> <program.ddlog> [options]
 run `sya help` for the option list
 "#;
 
@@ -161,7 +186,9 @@ struct Options {
     constant_args: Vec<String>,
     engine: EngineMode,
     metric: DistanceMetric,
-    epochs: usize,
+    /// `None` means "subcommand default": 1000 epochs for the full
+    /// pipeline, the short restricted-chain budget for `query`/`--lazy`.
+    epochs: Option<usize>,
     seed: u64,
     bandwidth: Option<f64>,
     radius: Option<f64>,
@@ -198,6 +225,11 @@ struct Options {
     refresh_checkpoint_every: Option<u64>,
     max_queue: usize,
     max_inflight: usize,
+    lazy: bool,
+    hop_depth: Option<usize>,
+    query_cache: usize,
+    relation: Option<String>,
+    id: Option<i64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -209,7 +241,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         constant_args: Vec::new(),
         engine: EngineMode::Sya,
         metric: DistanceMetric::Euclidean,
-        epochs: 1000,
+        epochs: None,
         seed: 42,
         bandwidth: None,
         radius: None,
@@ -246,6 +278,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         refresh_checkpoint_every: None,
         max_queue: 0,
         max_inflight: 0,
+        lazy: false,
+        hop_depth: None,
+        query_cache: 1024,
+        relation: None,
+        id: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -287,9 +324,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--epochs" => {
-                opts.epochs = value("--epochs")?
-                    .parse()
-                    .map_err(|e| format!("bad --epochs: {e}"))?
+                opts.epochs = Some(
+                    value("--epochs")?
+                        .parse()
+                        .map_err(|e| format!("bad --epochs: {e}"))?,
+                )
             }
             "--seed" => {
                 opts.seed = value("--seed")?
@@ -461,6 +500,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--connect" => opts.connect = Some(value("--connect")?),
+            "--lazy" => opts.lazy = true,
+            "--hop-depth" => {
+                opts.hop_depth = Some(
+                    value("--hop-depth")?
+                        .parse()
+                        .map_err(|e| format!("bad --hop-depth: {e}"))?,
+                )
+            }
+            "--query-cache" => {
+                opts.query_cache = value("--query-cache")?
+                    .parse()
+                    .map_err(|e| format!("bad --query-cache: {e}"))?
+            }
+            "--relation" => opts.relation = Some(value("--relation")?),
+            "--id" => {
+                opts.id = Some(
+                    value("--id")?
+                        .parse()
+                        .map_err(|e| format!("bad --id: {e}"))?,
+                )
+            }
             "--workers" => {
                 let n: usize = value("--workers")?
                     .parse()
@@ -489,6 +549,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.status_linger && opts.status_listen.is_none() {
         return Err("--status-linger requires --status-listen".to_owned());
+    }
+    if opts.lazy && opts.shards > 0 {
+        return Err(
+            "--lazy is incompatible with --shards: lazy serving never grounds the KB, \
+             so there is nothing to shard"
+                .to_owned(),
+        );
+    }
+    if opts.lazy && (opts.checkpoint_dir.is_some() || opts.refresh_checkpoint_every.is_some()) {
+        return Err(
+            "--lazy is incompatible with checkpointing: there is no materialized state to \
+             checkpoint"
+                .to_owned(),
+        );
     }
     Ok(opts)
 }
@@ -713,7 +787,7 @@ fn config_from_opts(opts: &Options) -> SyaConfig {
         EngineMode::DeepDive => SyaConfig::deepdive(),
         EngineMode::DeepDiveStepFn(_) => unreachable!("not constructible from CLI"),
     };
-    config = config.with_epochs(opts.epochs).with_seed(opts.seed);
+    config = config.with_epochs(opts.epochs.unwrap_or(1000)).with_seed(opts.seed);
     if let Some(b) = opts.bandwidth {
         config = config.with_bandwidth(b);
     }
@@ -756,14 +830,19 @@ fn config_from_opts(opts: &Options) -> SyaConfig {
 /// clamped value`.
 type EvidenceFn = Box<dyn Fn(&str, &[Value]) -> Option<u32>>;
 
-/// The session + data + evidence closure shared by every data-bearing
-/// subcommand (`run`, `stats`, `serve`, and both cluster roles): reads
-/// the program, builds the config from the flags, loads the tables, and
-/// validates the evidence file.
+/// Loaded evidence rows: `(relation, id) -> observed value`.
+type EvidenceMap = HashMap<(String, i64), u32>;
+
+/// The session + data + evidence map shared by every data-bearing
+/// subcommand (`run`, `stats`, `query`, `serve`, and both cluster
+/// roles): reads the program, builds the config from the flags, loads
+/// the tables, and validates the evidence file. The evidence comes back
+/// as the raw map — pipeline callers wrap it with [`evidence_closure`],
+/// the lazy paths (`query`, `serve --lazy`) hand it over whole.
 fn prepare_run(
     opts: &Options,
     obs: &Obs,
-) -> Result<(SyaSession, Database, EvidenceFn, usize), String> {
+) -> Result<(SyaSession, Database, EvidenceMap), String> {
     let src = read_program(&opts.program_path)?;
     let config = config_from_opts(opts);
     let session =
@@ -774,14 +853,18 @@ fn prepare_run(
         Some(p) => load_evidence(p, session.compiled(), &session.config().ground.domains)?,
         None => HashMap::new(),
     };
-    let n_evidence = evidence.len();
-    let ev_fn = Box::new(move |relation: &str, values: &[Value]| -> Option<u32> {
+    Ok((session, db, evidence))
+}
+
+/// Wraps the loaded evidence map as the `(relation, args) -> value`
+/// lookup the pipeline expects.
+fn evidence_closure(evidence: EvidenceMap) -> EvidenceFn {
+    Box::new(move |relation: &str, values: &[Value]| -> Option<u32> {
         values
             .first()
             .and_then(Value::as_int)
             .and_then(|id| evidence.get(&(relation.to_owned(), id)).copied())
-    });
-    Ok((session, db, ev_fn, n_evidence))
+    })
 }
 
 /// Emits the factual scores of a constructed KB the way `sya run` does:
@@ -847,13 +930,14 @@ fn cmd_run(
     let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
     let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
     let obs = if observed { Obs::enabled() } else { Obs::disabled() };
-    let (session, mut db, ev_fn, n_evidence) = prepare_run(&opts, &obs)?;
+    let (session, mut db, evidence) = prepare_run(&opts, &obs)?;
     let mut diag = Diag { err, obs: obs.clone() };
     diag.debug(format!(
         "loaded {} input table(s), {} evidence row(s)",
         opts.tables.len(),
-        n_evidence
+        evidence.len()
     ));
+    let ev_fn = evidence_closure(evidence);
     let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
 
     // Degradation report: partial/degraded runs still emit scores, but
@@ -886,9 +970,101 @@ fn cmd_run(
     emit_scores(&opts, &session, &kb, out)
 }
 
+/// The demand-grounding configuration shared by `sya query` and
+/// `sya serve --lazy`: the short restricted-chain defaults, reshaped by
+/// the relevant flags. `--epochs` here overrides the *chain* budget
+/// (default 240), not the full pipeline's 1000.
+fn query_config_from_opts(opts: &Options) -> sya_query::QueryConfig {
+    let mut qcfg = sya_query::QueryConfig::default();
+    if let Some(h) = opts.hop_depth {
+        qcfg.hop_depth = h;
+    }
+    if let Some(e) = opts.epochs {
+        qcfg.infer.epochs = e;
+    }
+    qcfg.infer.seed = opts.seed;
+    if let Some(n) = opts.workers {
+        qcfg.infer.workers = Some(n);
+    }
+    qcfg
+}
+
+/// `sya query`: answer one bound marginal without constructing the KB
+/// (DESIGN.md §16). A magic-sets backward pass grounds only the factor
+/// neighborhood of `--relation`/`--id` and a short restricted chain
+/// samples it; the answer is a single JSON object on stdout.
+fn cmd_query(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    init_profiler(&opts);
+    let Some(relation) = opts.relation.clone() else {
+        return Err("query requires --relation".to_owned());
+    };
+    let Some(id) = opts.id else {
+        return Err("query requires --id".to_owned());
+    };
+    let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
+    let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
+    let obs = if observed { Obs::enabled() } else { Obs::disabled() };
+    let (session, mut db, evidence) = prepare_run(&opts, &obs)?;
+    let mut diag = Diag { err, obs: obs.clone() };
+    diag.debug(format!(
+        "loaded {} input table(s), {} evidence row(s)",
+        opts.tables.len(),
+        evidence.len()
+    ));
+
+    let mut grounder = sya_query::QueryGrounder::new(
+        session.compiled().clone(),
+        session.config().ground.clone(),
+        query_config_from_opts(&opts),
+    );
+    let ev_fn = |rel: &str, values: &[Value]| -> Option<u32> {
+        values
+            .first()
+            .and_then(Value::as_int)
+            .and_then(|vid| evidence.get(&(rel.to_owned(), vid)).copied())
+    };
+    let ctx = sya_core::ExecContext::new(session.config().budget.clone()).with_obs(obs.clone());
+    let answer = grounder
+        .marginal(&mut db, &ev_fn, &relation, id, &ctx)
+        .map_err(|e| e.to_string())?;
+
+    for w in &answer.warnings {
+        diag.warn(w)?;
+    }
+    if !answer.outcome.is_completed() {
+        diag.info(&format!("query outcome: {}", answer.outcome))?;
+    }
+    write_observability(&opts, &obs, trace_stderr, out, diag.err)?;
+
+    let rendered = serde_json::json!({
+        "relation": answer.relation,
+        "id": answer.id,
+        "score": answer.score,
+        "evidence": answer.evidence,
+        "outcome": answer.outcome.to_string(),
+        "stats": {
+            "variables": answer.stats.variables,
+            "logical_factors": answer.stats.logical_factors,
+            "spatial_factors": answer.stats.spatial_factors,
+            "boundary_clamped": answer.stats.boundary_clamped,
+            "sampled": answer.stats.sampled,
+            "ground_ms": answer.stats.ground_time.as_secs_f64() * 1e3,
+            "infer_ms": answer.stats.infer_time.as_secs_f64() * 1e3,
+        },
+    });
+    writeln!(out, "{rendered}").map_err(|e| e.to_string())
+}
+
 /// `sya serve`: construct the KB once (optionally warm-started via
 /// `--checkpoint-dir --resume`), then keep it live behind the HTTP
-/// serving layer until SIGTERM/SIGINT or a cancelled token.
+/// serving layer until SIGTERM/SIGINT or a cancelled token. With
+/// `--lazy` the construction is skipped entirely: requests demand-ground
+/// their neighborhoods through the query grounder (DESIGN.md §16).
 fn cmd_serve(
     args: &[String],
     out: &mut dyn Write,
@@ -905,31 +1081,50 @@ fn cmd_serve(
     // Serving is always observed: /metrics is an endpoint, not an
     // opt-in artifact.
     let obs = Obs::enabled();
-    let (session, mut db, ev_fn, n_evidence) = prepare_run(&opts, &obs)?;
+    let (session, mut db, evidence) = prepare_run(&opts, &obs)?;
     let mut diag = Diag { err, obs: obs.clone() };
     diag.debug(format!(
         "loaded {} input table(s), {} evidence row(s)",
         opts.tables.len(),
-        n_evidence
+        evidence.len()
     ));
-    let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
-    for w in &kb.warnings {
-        diag.warn(w)?;
-    }
-    if !kb.outcome.is_completed() {
-        diag.info(&format!("run outcome: {}", kb.outcome))?;
-    }
 
-    let sharded = session.config().sharding.is_enabled();
-    let state: sya_serve::ServeState = if sharded {
-        diag.info(&format!(
-            "routing across {} spatial shards (partition level {})",
-            session.config().sharding.shards,
-            session.config().sharding.partition_level
-        ))?;
-        sya_serve::ShardRouter::new(session, kb, obs).map_err(|e| e.to_string())?.into()
+    let state: sya_serve::ServeState = if opts.lazy {
+        diag.info("lazy mode: serving demand-grounded neighborhoods, no full KB")?;
+        let cfg = sya_serve::LazyConfig {
+            query: query_config_from_opts(&opts),
+            budget: session.config().budget.clone(),
+            cache_capacity: opts.query_cache,
+        };
+        sya_serve::LazyKb::new(
+            session.compiled().clone(),
+            session.config().ground.clone(),
+            db,
+            evidence,
+            cfg,
+            obs,
+        )
+        .map_err(|e| e.to_string())?
+        .into()
     } else {
-        sya_serve::ServingKb::new(session, kb, obs).map_err(|e| e.to_string())?.into()
+        let ev_fn = evidence_closure(evidence);
+        let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
+        for w in &kb.warnings {
+            diag.warn(w)?;
+        }
+        if !kb.outcome.is_completed() {
+            diag.info(&format!("run outcome: {}", kb.outcome))?;
+        }
+        if session.config().sharding.is_enabled() {
+            diag.info(&format!(
+                "routing across {} spatial shards (partition level {})",
+                session.config().sharding.shards,
+                session.config().sharding.partition_level
+            ))?;
+            sya_serve::ShardRouter::new(session, kb, obs).map_err(|e| e.to_string())?.into()
+        } else {
+            sya_serve::ServingKb::new(session, kb, obs).map_err(|e| e.to_string())?.into()
+        }
     };
     let cfg = sya_serve::ServeConfig {
         listen: opts.listen.clone(),
@@ -985,7 +1180,7 @@ fn worker_args(opts: &Options) -> Vec<String> {
     };
     a.extend(["--engine".to_owned(), engine.to_owned()]);
     a.extend(["--metric".to_owned(), metric.to_owned()]);
-    a.extend(["--epochs".to_owned(), opts.epochs.to_string()]);
+    a.extend(["--epochs".to_owned(), opts.epochs.unwrap_or(1000).to_string()]);
     a.extend(["--seed".to_owned(), opts.seed.to_string()]);
     if let Some(b) = opts.bandwidth {
         a.extend(["--bandwidth".to_owned(), b.to_string()]);
@@ -1097,13 +1292,14 @@ fn cmd_coordinator(
     let trace_stderr = opts.trace || std::env::var("SYA_TRACE").is_ok_and(|v| v == "1");
     let observed = trace_stderr || opts.metrics_out.is_some() || opts.trace_out.is_some();
     let obs = if observed { Obs::enabled() } else { Obs::disabled() };
-    let (session, mut db, ev_fn, n_evidence) = prepare_run(&opts, &obs)?;
+    let (session, mut db, evidence) = prepare_run(&opts, &obs)?;
     let mut diag = Diag { err, obs: obs.clone() };
     diag.debug(format!(
         "loaded {} input table(s), {} evidence row(s)",
         opts.tables.len(),
-        n_evidence
+        evidence.len()
     ));
+    let ev_fn = evidence_closure(evidence);
 
     let exe = std::env::current_exe()
         .map_err(|e| format!("cannot locate the sya binary to spawn workers: {e}"))?;
@@ -1181,7 +1377,8 @@ fn cmd_worker(
         );
     }
     let obs = Obs::disabled();
-    let (session, mut db, ev_fn, _) = prepare_run(&opts, &obs)?;
+    let (session, mut db, evidence) = prepare_run(&opts, &obs)?;
+    let ev_fn = evidence_closure(evidence);
     let mut diag = Diag { err, obs: obs.clone() };
     let wopts = sya_core::WorkerOptions {
         shard,
@@ -1708,6 +1905,104 @@ IsSafe,0,7
         ]);
         assert_eq!(code, 1);
         assert!(err.contains("configuration error"), "{err}");
+    }
+
+    #[test]
+    fn query_answers_one_bound_marginal_as_json() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "q.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_q.csv", WELLS);
+        let (code, out, err) = run(&[
+            "query",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--relation",
+            "IsSafe",
+            "--id",
+            "1",
+            "--bandwidth",
+            "2",
+            "--radius",
+            "4",
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["relation"], "IsSafe");
+        assert_eq!(v["id"], 1);
+        let score = v["score"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&score), "{v}");
+        assert_eq!(v["evidence"], serde_json::Value::Null);
+        assert_eq!(v["outcome"], "completed");
+        // Well 1 sits in a 3-well cluster: the neighborhood is larger
+        // than the seed but never the whole KB's 4 wells + isolated 3.
+        assert!(v["stats"]["variables"].as_u64().unwrap() >= 2, "{v}");
+        assert_eq!(v["stats"]["sampled"], true);
+    }
+
+    #[test]
+    fn query_reports_evidence_atoms_without_sampling() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "qe.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_qe.csv", WELLS);
+        let evidence = write_file(&dir, "ev_qe.csv", "relation,id,value\nIsSafe,0,1\n");
+        let (code, out, err) = run(&[
+            "query",
+            &program,
+            "--table",
+            &format!("Well={wells}"),
+            "--evidence",
+            &evidence,
+            "--relation",
+            "IsSafe",
+            "--id",
+            "0",
+            "--radius",
+            "4",
+        ]);
+        assert_eq!(code, 0, "stderr: {err}");
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["score"].as_f64(), Some(1.0));
+        assert_eq!(v["evidence"].as_u64(), Some(1));
+        assert_eq!(v["stats"]["sampled"], false);
+    }
+
+    #[test]
+    fn query_flag_and_atom_errors() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "qerr.ddlog", PROGRAM);
+        let wells = write_file(&dir, "wells_qerr.csv", WELLS);
+        let table = format!("Well={wells}");
+
+        let (code, _, err) = run(&["query", &program, "--table", &table, "--id", "1"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("requires --relation"), "{err}");
+
+        let (code, _, err) =
+            run(&["query", &program, "--table", &table, "--relation", "IsSafe"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("requires --id"), "{err}");
+
+        // An id no rule derives is an error, not a silent 0.5.
+        let (code, _, err) = run(&[
+            "query", &program, "--table", &table, "--relation", "IsSafe", "--id", "99",
+            "--radius", "4",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("no ground atom"), "{err}");
+    }
+
+    #[test]
+    fn lazy_flag_rejects_sharding_and_checkpointing() {
+        let dir = tmpdir();
+        let program = write_file(&dir, "lz.ddlog", PROGRAM);
+        let (code, _, err) = run(&["serve", &program, "--lazy", "--shards", "2"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("--lazy is incompatible with --shards"), "{err}");
+        let (code, _, err) =
+            run(&["serve", &program, "--lazy", "--checkpoint-dir", "/tmp/nope"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("incompatible with checkpointing"), "{err}");
     }
 
     #[test]
