@@ -414,3 +414,44 @@ if ! wait "$server"; then
     exit 1
 fi
 echo "lazy serve smoke: lazy mode served, cache hit recorded, shutdown clean"
+
+# Delta rows smoke (DESIGN.md §17): boot `sya serve` on the demo KB and
+# drive POST /v1/rows end to end — insert a synthetic well next to the
+# demo's well 0 (new ground atom born, epoch bumped, conclique
+# re-sampled, delta.* counters on /metrics), then retract it (atom
+# buried, neighbor's marginal back to baseline within sampler
+# tolerance) — live maintenance, never a full re-ground.
+rows_log=/tmp/sya_ci_rows_serve.log
+rm -f "$rows_log"
+./target/release/sya serve demo/gwdb.ddlog \
+    --table Well=demo/wells.csv --evidence demo/evidence.csv \
+    --epochs 200 --listen 127.0.0.1:0 --serve-workers 2 > "$rows_log" &
+server=$!
+addr=""
+for _ in $(seq 1 3000); do
+    addr=$(sed -n 's|^serving on http://||p' "$rows_log")
+    if [ -n "$addr" ]; then break; fi
+    if ! kill -0 "$server" 2> /dev/null; then break; fi
+    sleep 0.01
+done
+if [ -z "$addr" ]; then
+    echo "delta rows smoke: server never reported its address" >&2
+    cat "$rows_log" >&2
+    exit 1
+fi
+./target/release/serve_rows_smoke "$addr" IsSafe 0
+kill -TERM "$server"
+if ! wait "$server"; then
+    echo "delta rows smoke: server did not shut down cleanly on SIGTERM" >&2
+    exit 1
+fi
+echo "delta rows smoke: insert/retract round trip restored baseline marginals"
+
+# Delta throughput baseline (DESIGN.md §17): a reduced sweep of the
+# differential-maintenance bench must produce a valid sya.bench.delta.v1
+# document, and the committed BENCH_delta.json must keep the ≥10×
+# delta-vs-full-reground claim on the 960-well workload.
+./target/release/delta_throughput /tmp/sya_ci_bench_delta.json 200 4 2> /dev/null
+./target/release/delta_bench_smoke /tmp/sya_ci_bench_delta.json
+./target/release/delta_bench_smoke BENCH_delta.json --min-speedup 10 --max-parity 0.35
+echo "delta bench smoke: fresh sweep valid; committed baseline holds the 10x floor"

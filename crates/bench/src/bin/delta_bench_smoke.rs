@@ -1,0 +1,89 @@
+//! CI smoke validator for `BENCH_delta.json` (written by the
+//! `delta_throughput` bin).
+//!
+//! ```text
+//! delta_bench_smoke BENCH_delta.json [--min-speedup N] [--max-parity X]
+//! ```
+//!
+//! Exits 0 when the file is a valid `sya.bench.delta.v1` document —
+//! and, with `--min-speedup N`, when a single-row delta update lands at
+//! least N× faster than the full ground-and-sample pass; with
+//! `--max-parity X`, when the post-round-trip marginals agree with a
+//! fresh re-ground within X on every atom. Prints the first violation
+//! and exits 1 otherwise.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut max_parity: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-speedup" => {
+                let v = it.next().map(|s| s.parse());
+                match v {
+                    Some(Ok(n)) => min_speedup = Some(n),
+                    _ => {
+                        eprintln!("delta_bench_smoke: --min-speedup requires a number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--max-parity" => {
+                let v = it.next().map(|s| s.parse());
+                match v {
+                    Some(Ok(n)) => max_parity = Some(n),
+                    _ => {
+                        eprintln!("delta_bench_smoke: --max-parity requires a number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            p if path.is_none() => path = Some(p.to_owned()),
+            extra => {
+                eprintln!("delta_bench_smoke: unexpected argument {extra:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: delta_bench_smoke BENCH_delta.json [--min-speedup N] [--max-parity X]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("delta_bench_smoke: cannot read {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(msg) = sya_bench::validate_delta_bench_json(&text) {
+        eprintln!("delta_bench_smoke: {path}: {msg}");
+        std::process::exit(1);
+    }
+    // The validator guarantees the shape, so indexing is safe here.
+    let v: serde_json::Value = serde_json::from_str(&text).expect("validated above");
+    let speedup = v["speedup"].as_f64().unwrap_or(0.0);
+    let parity = v["parity_max_abs_delta"].as_f64().unwrap_or(f64::INFINITY);
+    if let Some(floor) = min_speedup {
+        if speedup < floor {
+            eprintln!(
+                "delta_bench_smoke: {path}: speedup {speedup:.1}x is below the {floor}x floor"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(ceiling) = max_parity {
+        if parity > ceiling {
+            eprintln!(
+                "delta_bench_smoke: {path}: parity_max_abs_delta {parity:.3} exceeds {ceiling}"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "delta_bench_smoke: {path} ok ({} wells: {speedup:.0}x, parity max |d| {parity:.3})",
+        v["n_wells"]
+    );
+}

@@ -1,0 +1,243 @@
+//! `delta_throughput`: the differential-maintenance baseline behind
+//! `BENCH_delta.json` (DESIGN.md §17).
+//!
+//! On the 960-well GWDB workload this bench compares the two ways to
+//! absorb ONE base-row change into a constructed knowledge base:
+//!
+//! * **full**: re-ground the whole KB and re-run the full pipeline —
+//!   wall time of `SyaSession::construct` (what a server without
+//!   differential maintenance pays per update);
+//! * **delta**: `sya_delta::apply_updates` — semi-naive delta-rule
+//!   grounding of the touched neighborhood, factor tombstones, and one
+//!   conclique-restricted warm re-sample. Per-update wall time, p50/p99
+//!   over repeated insert/retract cycles of synthetic wells placed
+//!   across the field.
+//!
+//! Each cycle inserts a well and then retracts it, so after the sweep
+//! the database is byte-identical to the baseline — which makes the
+//! parity check honest: the delta-maintained marginals must agree with
+//! a fresh from-scratch construction of the same database within
+//! sampler tolerance (`parity_max_abs_delta` rides along in the
+//! report). The recorded `speedup` is
+//! `full_ground_sample_seconds / delta_update_p50_seconds` and
+//! `rows_per_second` is `1 / delta_update_p50_seconds`.
+//!
+//! Usage: `delta_throughput [out.json] [full-epochs] [cycles]`
+//! (defaults: `BENCH_delta.json`, 1000 epochs — the paper's pipeline
+//! default — and 20 insert/retract cycles).
+
+use std::collections::HashMap;
+use std::time::Instant;
+use sya_bench::calibrate;
+use sya_core::{SyaConfig, SyaSession};
+use sya_data::{gwdb_dataset, Dataset, GwdbConfig};
+use sya_delta::{apply_updates, RowUpdate};
+use sya_geom::Point;
+use sya_store::{Row, Value};
+
+const N_WELLS: usize = 960;
+const SEED: u64 = 11;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args.first().cloned().unwrap_or_else(|| "BENCH_delta.json".to_owned());
+    let full_epochs: usize = match args.get(1).map(|s| s.parse()) {
+        None => 1000,
+        Some(Ok(n)) => n,
+        Some(Err(e)) => {
+            eprintln!("delta_throughput: bad full-epochs argument: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cycles: usize = match args.get(2).map(|s| s.parse()) {
+        None => 20,
+        Some(Ok(n)) if n > 0 => n,
+        Some(Ok(_)) => {
+            eprintln!("delta_throughput: cycles must be >= 1");
+            std::process::exit(1);
+        }
+        Some(Err(e)) => {
+            eprintln!("delta_throughput: bad cycles argument: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = run(&out_path, full_epochs, cycles) {
+        eprintln!("delta_throughput: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Synthetic wells spread across the field, each offset ~1 distance
+/// unit from an existing query atom so the delta grounding always has a
+/// non-trivial neighborhood (spatial factors, possibly rule factors).
+fn synthetic_wells(dataset: &Dataset, n: usize) -> Vec<Row> {
+    let ids = dataset.query_ids();
+    let step = (ids.len() as f64 / n as f64).max(1.0);
+    (0..n)
+        .map(|k| {
+            let anchor = ids[((k as f64 * step) as usize).min(ids.len() - 1)];
+            let at = dataset.locations[&anchor];
+            vec![
+                Value::Int(100_000 + k as i64),
+                Value::from(Point::new(at.x + 0.7, at.y + 0.7)),
+                Value::Double(0.08),
+                Value::Double(0.10),
+            ]
+        })
+        .collect()
+}
+
+fn run(out: &str, full_epochs: usize, cycles: usize) -> Result<(), String> {
+    let mut dataset = gwdb_dataset(&GwdbConfig { n_wells: N_WELLS, ..Default::default() });
+    let config =
+        calibrate(&dataset, SyaConfig::sya().with_epochs(full_epochs).with_seed(SEED));
+    let evidence = dataset.evidence.clone();
+    let ev_fn = move |_: &str, values: &[Value]| -> Option<u32> {
+        values.first().and_then(Value::as_int).and_then(|id| evidence.get(&id).copied())
+    };
+
+    // Full path: ground-and-sample the whole KB, timed end to end — the
+    // cost a server without differential maintenance pays per row.
+    let session =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config.clone())
+            .map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let mut kb = session.construct(&mut dataset.db, &ev_fn).map_err(|e| e.to_string())?;
+    let full_wall = t0.elapsed().as_secs_f64();
+    eprintln!("{N_WELLS} wells: full ground-and-sample {full_wall:.3}s");
+
+    // Delta path: repeated single-row insert/retract cycles, each op a
+    // one-update batch through `apply_updates` (delta ground + graph
+    // surgery + conclique-restricted warm re-sample), timed wall clock.
+    let wells = synthetic_wells(&dataset, cycles);
+    let mut times = Vec::with_capacity(2 * cycles);
+    let mut resampled = 0usize;
+    for row in &wells {
+        for op in [RowUpdate::insert("Well", row.clone()), RowUpdate::retract("Well", row.clone())]
+        {
+            let t = Instant::now();
+            let stats = apply_updates(&session, &mut kb, &mut dataset.db, &ev_fn, &[op])
+                .map_err(|e| e.to_string())?;
+            times.push(t.elapsed().as_secs_f64());
+            resampled += stats.resampled;
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&times, 50.0);
+    let p99 = percentile(&times, 99.0);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+
+    // Every insert was retracted, so the database is back to baseline —
+    // the maintained marginals must agree with a fresh from-scratch
+    // construction within sampler tolerance (two independent chains).
+    let maintained: HashMap<i64, f64> = kb.query_scores_by_id("IsSafe").into_iter().collect();
+    let session2 =
+        SyaSession::new(&dataset.program, dataset.constants.clone(), dataset.metric, config)
+            .map_err(|e| e.to_string())?;
+    let mut db2 = dataset.db.clone();
+    let fresh: HashMap<i64, f64> =
+        session2.construct(&mut db2, &ev_fn).map_err(|e| e.to_string())?
+            .query_scores_by_id("IsSafe")
+            .into_iter()
+            .collect();
+    if maintained.len() != fresh.len() {
+        return Err(format!(
+            "atom sets diverged after round-trip: maintained {} vs fresh {}",
+            maintained.len(),
+            fresh.len()
+        ));
+    }
+    let mut deltas = Vec::with_capacity(maintained.len());
+    for (id, score) in &maintained {
+        let full = fresh
+            .get(id)
+            .ok_or_else(|| format!("well {id} missing from the fresh re-ground"))?;
+        deltas.push((score - full).abs());
+    }
+
+    let report = Report {
+        n_wells: N_WELLS,
+        full_epochs,
+        cycles,
+        updates: times.len(),
+        full_ground_sample_seconds: full_wall,
+        delta_update_p50_seconds: p50,
+        delta_update_p99_seconds: p99,
+        delta_update_mean_seconds: mean,
+        rows_per_second: 1.0 / p50,
+        mean_resampled: resampled as f64 / times.len() as f64,
+        parity_mean_abs_delta: sya_bench::mean(&deltas),
+        parity_max_abs_delta: deltas.iter().copied().fold(0.0, f64::max),
+        speedup: full_wall / p50,
+    };
+    eprintln!(
+        "{:>5} wells: delta p50 {:>7.3}ms / p99 {:>7.3}ms ({:.0} rows/s, {:.0} \
+         resampled/update, parity |d| mean {:.3} max {:.3}) -> {:.0}x",
+        report.n_wells,
+        report.delta_update_p50_seconds * 1e3,
+        report.delta_update_p99_seconds * 1e3,
+        report.rows_per_second,
+        report.mean_resampled,
+        report.parity_mean_abs_delta,
+        report.parity_max_abs_delta,
+        report.speedup
+    );
+
+    let text = render_report(&report);
+    sya_bench::validate_delta_bench_json(&text)
+        .map_err(|e| format!("generated report fails its own validator: {e}"))?;
+    std::fs::write(out, &text).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+struct Report {
+    n_wells: usize,
+    full_epochs: usize,
+    cycles: usize,
+    updates: usize,
+    full_ground_sample_seconds: f64,
+    delta_update_p50_seconds: f64,
+    delta_update_p99_seconds: f64,
+    delta_update_mean_seconds: f64,
+    rows_per_second: f64,
+    mean_resampled: f64,
+    parity_mean_abs_delta: f64,
+    parity_max_abs_delta: f64,
+    speedup: f64,
+}
+
+fn render_report(r: &Report) -> String {
+    format!(
+        "{{\n  \"schema\": \"sya.bench.delta.v1\",\n  \"dataset\": \"GWDB\",\n  \
+         \"n_wells\": {},\n  \"full_epochs\": {},\n  \"seed\": {},\n  \"cycles\": {},\n  \
+         \"updates\": {},\n  \"full_ground_sample_seconds\": {:.6},\n  \
+         \"delta_update_p50_seconds\": {:.9},\n  \"delta_update_p99_seconds\": {:.9},\n  \
+         \"delta_update_mean_seconds\": {:.9},\n  \"rows_per_second\": {:.3},\n  \
+         \"mean_resampled\": {:.3},\n  \"parity_mean_abs_delta\": {:.6},\n  \
+         \"parity_max_abs_delta\": {:.6},\n  \"speedup\": {:.6}\n}}\n",
+        r.n_wells,
+        r.full_epochs,
+        SEED,
+        r.cycles,
+        r.updates,
+        r.full_ground_sample_seconds,
+        r.delta_update_p50_seconds,
+        r.delta_update_p99_seconds,
+        r.delta_update_mean_seconds,
+        r.rows_per_second,
+        r.mean_resampled,
+        r.parity_mean_abs_delta,
+        r.parity_max_abs_delta,
+        r.speedup
+    )
+}

@@ -1,0 +1,158 @@
+//! End-to-end smoke of live row updates against a running `sya serve`
+//! instance, driven by the CI script: a baseline marginal read, a
+//! `POST /v1/rows` insert that must birth a new queryable ground atom
+//! (epoch bump, non-empty resample set, `delta.*` counters on
+//! `/metrics`), then a retract of the same row that must bury the atom
+//! again and return the neighbor's marginal to baseline within sampler
+//! tolerance — the HTTP mirror of the delta crate's round-trip parity
+//! property.
+//!
+//! ```text
+//! serve_rows_smoke HOST:PORT [RELATION] [ID] [X] [Y]
+//! ```
+//!
+//! `RELATION(ID)` is an existing query atom and `(X, Y)` a point near
+//! it where the synthetic well is inserted (defaults match the demo
+//! GWDB KB: `IsSafe(0)` at ~(603.6, 45.9)). Exits non-zero with a
+//! message on the first failed expectation.
+
+use serde_json::Value as Json;
+use sya_bench::http::{http_get, http_post_json};
+
+/// Synthetic well id far outside the demo id space.
+const NEW_ID: i64 = 900_001;
+/// Round-trip restoration tolerance: two short independent chains over
+/// the same graph, so the gap is sampler noise, not maintenance drift.
+const TOLERANCE: f64 = 0.35;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!("usage: serve_rows_smoke HOST:PORT [RELATION] [ID] [X] [Y]");
+        std::process::exit(2);
+    };
+    let relation = args.get(1).map(String::as_str).unwrap_or("IsSafe");
+    let id: i64 = args.get(2).map(|s| s.parse().expect("ID must be an integer")).unwrap_or(0);
+    let x: f64 = args.get(3).map(|s| s.parse().expect("X must be a number")).unwrap_or(604.3);
+    let y: f64 = args.get(4).map(|s| s.parse().expect("Y must be a number")).unwrap_or(46.6);
+    if let Err(msg) = smoke(addr, relation, id, x, y) {
+        eprintln!("serve rows smoke FAILED: {msg}");
+        std::process::exit(1);
+    }
+    println!("serve rows smoke OK");
+}
+
+fn get_json(addr: &str, path: &str) -> Result<Json, String> {
+    let r = http_get(addr, path)?;
+    if r.status != 200 {
+        return Err(format!("GET {path}: status {} body {}", r.status, r.body));
+    }
+    serde_json::from_str(&r.body).map_err(|e| format!("GET {path}: bad JSON {:?}: {e}", r.body))
+}
+
+fn post_json(addr: &str, path: &str, body: &str) -> Result<Json, String> {
+    let r = http_post_json(addr, path, body)?;
+    if r.status != 200 {
+        return Err(format!("POST {path}: status {} body {}", r.status, r.body));
+    }
+    serde_json::from_str(&r.body).map_err(|e| format!("POST {path}: bad JSON {:?}: {e}", r.body))
+}
+
+fn rows_body(op: &str, x: f64, y: f64) -> String {
+    format!(
+        "{{\"updates\":[{{\"op\":\"{op}\",\"relation\":\"Well\",\
+         \"row\":[{NEW_ID},{{\"x\":{x},\"y\":{y}}},0.05,0.10]}}]}}"
+    )
+}
+
+fn smoke(addr: &str, relation: &str, id: i64, x: f64, y: f64) -> Result<(), String> {
+    // 1. Readiness and baseline: the anchor atom answers, the synthetic
+    //    well does not exist yet.
+    let health = get_json(addr, "/healthz")?;
+    if health["status"].as_str() != Some("ok") {
+        return Err(format!("healthz not ok: {health}"));
+    }
+    let epoch0 = health["epoch"].as_u64().ok_or("healthz has no epoch")?;
+    let anchor_path = format!("/v1/marginal/{relation}?args={id}");
+    let new_path = format!("/v1/marginal/{relation}?args={NEW_ID}");
+    let baseline = get_json(addr, &anchor_path)?;
+    let score0 =
+        baseline["score"].as_f64().ok_or_else(|| format!("no score in {baseline}"))?;
+    let absent = http_get(addr, &new_path)?;
+    if absent.status != 404 {
+        return Err(format!("{new_path} before insert: want 404, got {}", absent.status));
+    }
+
+    // 2. Malformed updates are rejected wholesale.
+    let bad = http_post_json(addr, "/v1/rows", &rows_body("bogus", x, y))?;
+    if bad.status != 400 {
+        return Err(format!("bogus op: want 400, got {} body {}", bad.status, bad.body));
+    }
+
+    // 3. Insert: the row must birth a ground atom and re-infer its
+    //    neighborhood under a new epoch.
+    let ins = post_json(addr, "/v1/rows", &rows_body("insert", x, y))?;
+    let epoch1 = ins["epoch"].as_u64().ok_or("rows reply has no epoch")?;
+    if epoch1 <= epoch0 {
+        return Err(format!("insert did not bump the epoch: {epoch0} -> {epoch1}"));
+    }
+    if ins["rows_inserted"].as_u64() != Some(1) {
+        return Err(format!("want rows_inserted 1: {ins}"));
+    }
+    if ins["vars_added"].as_u64().unwrap_or(0) == 0 {
+        return Err(format!("insert added no ground atoms: {ins}"));
+    }
+    if ins["resampled"].as_u64().unwrap_or(0) == 0 {
+        return Err(format!("insert re-sampled no variables: {ins}"));
+    }
+
+    // 4. The marginal landscape changed: the new atom answers, and the
+    //    anchor is re-served from the re-inferred graph at the new epoch.
+    let born = get_json(addr, &new_path)?;
+    let born_score = born["score"].as_f64().ok_or_else(|| format!("no score in {born}"))?;
+    if !(0.0..=1.0).contains(&born_score) {
+        return Err(format!("new atom score {born_score} outside [0, 1]"));
+    }
+    let anchor_mid = get_json(addr, &anchor_path)?;
+    if anchor_mid["epoch"].as_u64() != Some(epoch1) {
+        return Err(format!("anchor epoch {} != rows epoch {epoch1}", anchor_mid["epoch"]));
+    }
+
+    // 5. /metrics carries the delta family.
+    let metrics = http_get(addr, "/metrics")?;
+    if metrics.status != 200 {
+        return Err(format!("/metrics status {}", metrics.status));
+    }
+    for needle in
+        ["sya_delta_rows_inserted_total", "sya_serve_rows_total", "sya_serve_kb_epoch"]
+    {
+        if !metrics.body.contains(needle) {
+            return Err(format!("/metrics is missing {needle}"));
+        }
+    }
+
+    // 6. Retract: the atom is buried and the anchor's marginal returns
+    //    to baseline within sampler tolerance — no full re-ground.
+    let ret = post_json(addr, "/v1/rows", &rows_body("retract", x, y))?;
+    let epoch2 = ret["epoch"].as_u64().ok_or("rows reply has no epoch")?;
+    if epoch2 <= epoch1 {
+        return Err(format!("retract did not bump the epoch: {epoch1} -> {epoch2}"));
+    }
+    if ret["rows_retracted"].as_u64() != Some(1) {
+        return Err(format!("want rows_retracted 1: {ret}"));
+    }
+    let buried = http_get(addr, &new_path)?;
+    if buried.status != 404 {
+        return Err(format!("{new_path} after retract: want 404, got {}", buried.status));
+    }
+    let anchor_end = get_json(addr, &anchor_path)?;
+    let score_end =
+        anchor_end["score"].as_f64().ok_or_else(|| format!("no score in {anchor_end}"))?;
+    if (score_end - score0).abs() > TOLERANCE {
+        return Err(format!(
+            "round trip did not restore {relation}({id}): baseline {score0:.3} vs \
+             post-retract {score_end:.3} (tolerance {TOLERANCE})"
+        ));
+    }
+    Ok(())
+}

@@ -27,6 +27,26 @@ pub struct FactorGraph {
     /// `var -> indices into region_factors`.
     #[serde(default)]
     var_region: Vec<Vec<u32>>,
+    /// Tombstone flags for logical factors. Empty until the first
+    /// removal (old serialized graphs load with every factor live);
+    /// once non-empty it is kept at `factors.len()`.
+    #[serde(default)]
+    factor_dead: Vec<bool>,
+    /// Tombstone flags for spatial factors (same convention).
+    #[serde(default)]
+    spatial_dead: Vec<bool>,
+    /// Tombstone flags for variables (same convention). Variable slots
+    /// are never reused — marginal-count rows and delta grounding both
+    /// rely on ids being append-only — so a dead variable is a
+    /// permanently retired id.
+    #[serde(default)]
+    var_dead: Vec<bool>,
+    /// Free logical-factor slots available for reuse.
+    #[serde(default)]
+    factor_free: Vec<u32>,
+    /// Free spatial-factor slots available for reuse.
+    #[serde(default)]
+    spatial_free: Vec<u32>,
 }
 
 impl FactorGraph {
@@ -44,34 +64,162 @@ impl FactorGraph {
         self.var_factors.push(Vec::new());
         self.var_spatial.push(Vec::new());
         self.var_region.push(Vec::new());
+        if !self.var_dead.is_empty() {
+            self.var_dead.push(false);
+        }
         id
     }
 
-    /// Adds a logical factor.
+    /// Adds a logical factor, reusing a tombstoned slot when one is
+    /// free. Returns the slot index — callers keeping side tables in
+    /// lockstep (e.g. grounding rule labels) must write at this index
+    /// rather than assuming a push.
     ///
     /// # Panics
     /// Panics (debug) when a referenced variable does not exist.
     pub fn add_factor(&mut self, f: Factor) -> u32 {
-        let idx = self.factors.len() as u32;
         for &v in &f.vars {
             debug_assert!((v as usize) < self.variables.len(), "factor references unknown var");
+        }
+        if let Some(idx) = self.factor_free.pop() {
+            for &v in &f.vars {
+                self.var_factors[v as usize].push(idx);
+            }
+            self.factors[idx as usize] = f;
+            self.factor_dead[idx as usize] = false;
+            return idx;
+        }
+        let idx = self.factors.len() as u32;
+        for &v in &f.vars {
             self.var_factors[v as usize].push(idx);
         }
         self.factors.push(f);
+        if !self.factor_dead.is_empty() {
+            self.factor_dead.push(false);
+        }
         idx
     }
 
-    /// Adds a spatial factor.
+    /// Adds a spatial factor, reusing a tombstoned slot when one is
+    /// free (same contract as [`FactorGraph::add_factor`]).
     pub fn add_spatial_factor(&mut self, f: SpatialFactor) -> u32 {
-        let idx = self.spatial_factors.len() as u32;
         debug_assert!((f.a as usize) < self.variables.len());
         debug_assert!((f.b as usize) < self.variables.len());
+        if let Some(idx) = self.spatial_free.pop() {
+            self.var_spatial[f.a as usize].push(idx);
+            if f.b != f.a {
+                self.var_spatial[f.b as usize].push(idx);
+            }
+            self.spatial_factors[idx as usize] = f;
+            self.spatial_dead[idx as usize] = false;
+            return idx;
+        }
+        let idx = self.spatial_factors.len() as u32;
         self.var_spatial[f.a as usize].push(idx);
         if f.b != f.a {
             self.var_spatial[f.b as usize].push(idx);
         }
         self.spatial_factors.push(f);
+        if !self.spatial_dead.is_empty() {
+            self.spatial_dead.push(false);
+        }
         idx
+    }
+
+    /// True when the logical factor at `idx` is a tombstone.
+    pub fn is_factor_dead(&self, idx: u32) -> bool {
+        self.factor_dead.get(idx as usize).copied().unwrap_or(false)
+    }
+
+    /// True when the spatial factor at `idx` is a tombstone.
+    pub fn is_spatial_factor_dead(&self, idx: u32) -> bool {
+        self.spatial_dead.get(idx as usize).copied().unwrap_or(false)
+    }
+
+    /// True when the variable `v` has been retired.
+    pub fn is_var_dead(&self, v: VarId) -> bool {
+        self.var_dead.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Tombstones a logical factor: detaches it from the adjacency
+    /// lists, zeroes its weight (so any full-scan energy walk that
+    /// still sees it contributes nothing), and queues its slot for
+    /// reuse. The scope (`vars`) is kept intact so energy evaluation
+    /// over the dense factor array never indexes out of bounds.
+    /// Returns the factor's scope; no-op (empty vec) when already dead.
+    pub fn remove_factor(&mut self, idx: u32) -> Vec<VarId> {
+        if self.is_factor_dead(idx) || (idx as usize) >= self.factors.len() {
+            return Vec::new();
+        }
+        if self.factor_dead.len() < self.factors.len() {
+            self.factor_dead.resize(self.factors.len(), false);
+        }
+        let vars = self.factors[idx as usize].vars.clone();
+        for &v in &vars {
+            self.var_factors[v as usize].retain(|&f| f != idx);
+        }
+        self.factors[idx as usize].weight = 0.0;
+        self.factor_dead[idx as usize] = true;
+        self.factor_free.push(idx);
+        vars
+    }
+
+    /// Tombstones a spatial factor (same contract as
+    /// [`FactorGraph::remove_factor`]). Returns its endpoints; no-op
+    /// (`None`) when already dead.
+    pub fn remove_spatial_factor(&mut self, idx: u32) -> Option<(VarId, VarId)> {
+        if self.is_spatial_factor_dead(idx) || (idx as usize) >= self.spatial_factors.len() {
+            return None;
+        }
+        if self.spatial_dead.len() < self.spatial_factors.len() {
+            self.spatial_dead.resize(self.spatial_factors.len(), false);
+        }
+        let (a, b) = {
+            let s = &self.spatial_factors[idx as usize];
+            (s.a, s.b)
+        };
+        self.var_spatial[a as usize].retain(|&f| f != idx);
+        if b != a {
+            self.var_spatial[b as usize].retain(|&f| f != idx);
+        }
+        self.spatial_factors[idx as usize].weight = 0.0;
+        self.spatial_dead[idx as usize] = true;
+        self.spatial_free.push(idx);
+        Some((a, b))
+    }
+
+    /// Retires a variable: clears its adjacency (callers are expected
+    /// to tombstone its factors first) and marks it dead. The id is
+    /// never reused — marginal-count rows and delta grounding rely on
+    /// ids being append-only — so retirement is a bounded leak of one
+    /// `Variable` slot per retracted atom.
+    pub fn kill_variable(&mut self, v: VarId) {
+        if (v as usize) >= self.variables.len() || self.is_var_dead(v) {
+            return;
+        }
+        if self.var_dead.len() < self.variables.len() {
+            self.var_dead.resize(self.variables.len(), false);
+        }
+        self.var_factors[v as usize].clear();
+        self.var_spatial[v as usize].clear();
+        self.var_region[v as usize].clear();
+        self.variables[v as usize].evidence = None;
+        self.var_dead[v as usize] = true;
+    }
+
+    /// Number of live (non-tombstoned) logical factors.
+    pub fn num_live_factors(&self) -> usize {
+        self.factors.len() - self.factor_dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of live (non-tombstoned) spatial factors.
+    pub fn num_live_spatial_factors(&self) -> usize {
+        self.spatial_factors.len() - self.spatial_dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of live (non-retired) variables.
+    pub fn num_live_variables(&self) -> usize {
+        self.variables.len() - self.var_dead.iter().filter(|&&d| d).count()
     }
 
     pub fn num_variables(&self) -> usize {
@@ -172,19 +320,22 @@ impl FactorGraph {
             .collect()
     }
 
-    /// Ids of non-evidence (query) variables.
+    /// Ids of non-evidence (query) variables. Retired variables are
+    /// excluded — they are no longer part of the model.
     pub fn query_variables(&self) -> Vec<VarId> {
         self.variables
             .iter()
-            .filter(|v| !v.is_evidence())
+            .filter(|v| !v.is_evidence() && !self.is_var_dead(v.id))
             .map(|v| v.id)
             .collect()
     }
 
-    /// Bounding box of all located variables (empty rect when none).
+    /// Bounding box of all live located variables (empty rect when
+    /// none).
     pub fn bounding_box(&self) -> Rect {
         self.variables
             .iter()
+            .filter(|v| !self.is_var_dead(v.id))
             .filter_map(|v| v.location)
             .fold(Rect::EMPTY, |acc, p: Point| acc.union(&Rect::from_point(p)))
     }
@@ -207,21 +358,27 @@ impl FactorGraph {
         let mut remap: Vec<Option<VarId>> = Vec::with_capacity(self.variables.len());
         let mut out = FactorGraph::new();
         for v in &self.variables {
-            if remove.contains(&v.id) {
+            if remove.contains(&v.id) || self.is_var_dead(v.id) {
                 remap.push(None);
             } else {
                 let nv = out.add_variable(v.clone());
                 remap.push(Some(nv));
             }
         }
-        for f in &self.factors {
+        for (i, f) in self.factors.iter().enumerate() {
+            if self.is_factor_dead(i as u32) {
+                continue;
+            }
             let vars: Option<Vec<VarId>> =
                 f.vars.iter().map(|&v| remap[v as usize]).collect();
             if let Some(vars) = vars {
                 out.add_factor(Factor { kind: f.kind, vars, weight: f.weight });
             }
         }
-        for s in &self.spatial_factors {
+        for (i, s) in self.spatial_factors.iter().enumerate() {
+            if self.is_spatial_factor_dead(i as u32) {
+                continue;
+            }
             if let (Some(a), Some(b)) = (remap[s.a as usize], remap[s.b as usize]) {
                 out.add_spatial_factor(SpatialFactor { a, b, ..*s });
             }
@@ -326,6 +483,29 @@ impl FactorGraph {
                 mix(v as u64);
             }
             mix(r.weight.to_bits());
+        }
+        // Liveness: tombstoned slots and retired variables change the
+        // model even when the dense arrays look alike (a zero-weight
+        // live factor is not the same model as a tombstone awaiting
+        // reuse). Only dead entries are mixed, so graphs without any
+        // tombstones keep their historical fingerprint.
+        for (i, &d) in self.factor_dead.iter().enumerate() {
+            if d {
+                mix(0xdead_f001);
+                mix(i as u64);
+            }
+        }
+        for (i, &d) in self.spatial_dead.iter().enumerate() {
+            if d {
+                mix(0xdead_f002);
+                mix(i as u64);
+            }
+        }
+        for (i, &d) in self.var_dead.iter().enumerate() {
+            if d {
+                mix(0xdead_f003);
+                mix(i as u64);
+            }
         }
         h
     }
@@ -500,6 +680,94 @@ mod tests {
         g.save(&mut buf).unwrap();
         let g2 = FactorGraph::load(buf.as_slice()).unwrap();
         assert_eq!(g.fingerprint(), g2.fingerprint());
+    }
+
+    #[test]
+    fn remove_factor_detaches_and_reuses_slot() {
+        let mut g = tiny();
+        let scope = g.remove_factor(0);
+        assert_eq!(scope, vec![0, 1]);
+        assert!(g.is_factor_dead(0));
+        assert!(g.factors_of(0).is_empty());
+        assert!(g.factors_of(1).is_empty());
+        assert_eq!(g.factor(0).weight, 0.0);
+        assert_eq!(g.num_live_factors(), 1);
+        // Removing again is a no-op.
+        assert!(g.remove_factor(0).is_empty());
+        // The next add reuses the tombstoned slot and reattaches
+        // adjacency.
+        let idx = g.add_factor(Factor::new(FactorKind::And, vec![0, 2], 2.0));
+        assert_eq!(idx, 0);
+        assert!(!g.is_factor_dead(0));
+        assert_eq!(g.factors_of(0), &[0]);
+        assert_eq!(g.factors_of(2), &[1, 0]);
+        assert_eq!(g.num_factors(), 2);
+        // A further add appends (free list drained) and stays live.
+        let idx2 = g.add_factor(Factor::new(FactorKind::IsTrue, vec![1], 0.3));
+        assert_eq!(idx2, 2);
+        assert!(!g.is_factor_dead(2));
+        assert_eq!(g.num_live_factors(), 3);
+    }
+
+    #[test]
+    fn remove_spatial_factor_detaches_and_reuses_slot() {
+        let mut g = tiny();
+        assert_eq!(g.remove_spatial_factor(0), Some((0, 1)));
+        assert!(g.is_spatial_factor_dead(0));
+        assert!(g.spatial_factors_of(0).is_empty());
+        assert!(g.spatial_factors_of(1).is_empty());
+        assert_eq!(g.num_live_spatial_factors(), 0);
+        assert_eq!(g.remove_spatial_factor(0), None);
+        let idx = g.add_spatial_factor(SpatialFactor::binary(1, 2, 0.4));
+        assert_eq!(idx, 0);
+        assert_eq!(g.spatial_factors_of(1), &[0]);
+        assert_eq!(g.spatial_factors_of(2), &[0]);
+        assert_eq!(g.num_live_spatial_factors(), 1);
+    }
+
+    #[test]
+    fn kill_variable_retires_without_compaction() {
+        let mut g = tiny();
+        g.remove_factor(0);
+        g.remove_spatial_factor(0);
+        g.kill_variable(1);
+        assert!(g.is_var_dead(1));
+        assert_eq!(g.num_variables(), 3, "slot is kept");
+        assert_eq!(g.num_live_variables(), 2);
+        assert_eq!(g.query_variables(), vec![0]);
+        // The dead var's location no longer widens the bounding box.
+        assert_eq!(g.bounding_box(), Rect::raw(0.0, 0.0, 0.0, 0.0));
+        // New variables still get fresh dense ids.
+        let d = g.add_variable(Variable::binary(0, "d"));
+        assert_eq!(d, 3);
+        assert!(!g.is_var_dead(d));
+        // Compaction drops tombstones and dead vars.
+        let (g2, remap) = g.remove_variables(&std::collections::HashSet::new());
+        assert_eq!(g2.num_variables(), 3);
+        assert_eq!(remap[1], None);
+        assert_eq!(g2.num_factors(), 1);
+        assert_eq!(g2.num_spatial_factors(), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_liveness() {
+        let base = tiny();
+        let mut t = tiny();
+        t.remove_factor(1);
+        assert_ne!(base.fingerprint(), t.fingerprint());
+        // A tombstone differs from a live zero-weight factor in the
+        // same slot.
+        let mut z = tiny();
+        z.set_factor_weight(1, 0.0);
+        assert_ne!(z.fingerprint(), t.fingerprint());
+        let mut k = tiny();
+        k.kill_variable(2);
+        assert_ne!(base.fingerprint(), k.fingerprint());
+        // Round-trips through serialization.
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let t2 = FactorGraph::load(buf.as_slice()).unwrap();
+        assert_eq!(t.fingerprint(), t2.fingerprint());
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub struct Grounding {
     /// Rule label of each logical factor, parallel to
     /// `graph.factors()` — the weight-tying groups for learning.
     pub factor_rules: Vec<String>,
+    /// Canonical binding key of each logical factor, parallel to
+    /// `graph.factors()` — the provenance a retraction needs to find
+    /// exactly the factors a vanished binding produced (DeepDive keeps
+    /// the same per-factor provenance for its incremental maintenance).
+    pub factor_bindings: Vec<String>,
     /// Variable ids per relation, in creation order.
     relation_atoms: HashMap<String, Vec<VarId>>,
     pub stats: GroundingStats,
@@ -114,6 +119,7 @@ impl Grounding {
             atom_ids: HashMap::new(),
             atom_meta: Vec::new(),
             factor_rules: Vec::new(),
+            factor_bindings: Vec::new(),
             relation_atoms: HashMap::new(),
             stats: GroundingStats::default(),
             outcome: RunOutcome::Completed,
@@ -140,10 +146,14 @@ impl Grounding {
     }
 
     /// Logical factor indices grouped by originating rule label —
-    /// the tied-weight groups for weight learning.
+    /// the tied-weight groups for weight learning. Tombstoned factors
+    /// are excluded.
     pub fn rule_factor_groups(&self) -> Vec<(String, Vec<u32>)> {
         let mut map: std::collections::BTreeMap<String, Vec<u32>> = Default::default();
         for (i, label) in self.factor_rules.iter().enumerate() {
+            if self.graph.is_factor_dead(i as u32) {
+                continue;
+            }
             map.entry(label.clone()).or_default().push(i as u32);
         }
         map.into_iter().collect()
@@ -156,19 +166,29 @@ impl Grounding {
         &mut self,
         remove: &std::collections::HashSet<VarId>,
     ) -> Vec<Option<VarId>> {
-        // Factors surviving = all endpoints survive (same rule the graph
-        // compaction applies); keep factor_rules in lockstep.
-        let kept_rules: Vec<String> = self
-            .graph
-            .factors()
-            .iter()
-            .zip(&self.factor_rules)
-            .filter(|(f, _)| f.vars.iter().all(|v| !remove.contains(v)))
-            .map(|(_, label)| label.clone())
-            .collect();
+        // Factors surviving = live and all endpoints survive (same rule
+        // the graph compaction applies); keep the factor side tables in
+        // lockstep.
+        let survives = |i: usize, vars: &[VarId]| {
+            !self.graph.is_factor_dead(i as u32)
+                && vars
+                    .iter()
+                    .all(|v| !remove.contains(v) && !self.graph.is_var_dead(*v))
+        };
+        let mut kept_rules = Vec::new();
+        let mut kept_bindings = Vec::new();
+        for (i, f) in self.graph.factors().iter().enumerate() {
+            if survives(i, &f.vars) {
+                kept_rules.push(self.factor_rules[i].clone());
+                kept_bindings.push(
+                    self.factor_bindings.get(i).cloned().unwrap_or_default(),
+                );
+            }
+        }
         let (graph, remap) = self.graph.remove_variables(remove);
         self.graph = graph;
         self.factor_rules = kept_rules;
+        self.factor_bindings = kept_bindings;
         debug_assert_eq!(self.factor_rules.len(), self.graph.num_factors());
 
         let mut atom_meta = Vec::with_capacity(self.graph.num_variables());
@@ -208,6 +228,84 @@ impl Grounding {
             .get(relation)
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// Tombstones one logical factor in place (no compaction): detaches
+    /// it from the graph and clears its side-table provenance so label
+    /// and binding-key matches never hit the dead slot. Returns the
+    /// factor's scope (empty when it was already dead).
+    pub fn tombstone_factor(&mut self, idx: u32) -> Vec<VarId> {
+        let vars = self.graph.remove_factor(idx);
+        if !vars.is_empty() {
+            if let Some(label) = self.factor_rules.get_mut(idx as usize) {
+                label.clear();
+            }
+            if let Some(key) = self.factor_bindings.get_mut(idx as usize) {
+                key.clear();
+            }
+        }
+        vars
+    }
+
+    /// Live logical factors produced by `rule_label` from the binding
+    /// with canonical key `binding_key` — the exact provenance match a
+    /// retraction uses to decide which factors a vanished binding owns.
+    pub fn live_factors_matching(&self, rule_label: &str, binding_key: &str) -> Vec<u32> {
+        self.factor_rules
+            .iter()
+            .zip(self.factor_bindings.iter())
+            .enumerate()
+            .filter(|(i, (label, key))| {
+                !self.graph.is_factor_dead(*i as u32)
+                    && label.as_str() == rule_label
+                    && key.as_str() == binding_key
+            })
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Removes a ground atom from the catalogue (id map + per-relation
+    /// list). The variable slot itself stays in the graph — pair with
+    /// [`FactorGraph::kill_variable`] via [`Grounding::kill_atom`].
+    pub fn retract_atom(&mut self, v: VarId) {
+        let Some((relation, values)) = self.atom_meta.get(v as usize).cloned() else {
+            return;
+        };
+        self.atom_ids
+            .remove(&(relation.clone(), Self::canonical_key(&values)));
+        if let Some(atoms) = self.relation_atoms.get_mut(&relation) {
+            atoms.retain(|&x| x != v);
+        }
+    }
+
+    /// Fully retires a ground atom in place (no id compaction):
+    /// tombstones every live logical and spatial factor touching it,
+    /// removes it from the catalogue, and retires its variable slot.
+    /// Returns the surviving neighbour variables whose Markov blanket
+    /// changed (the set incremental re-inference must resample).
+    pub fn kill_atom(&mut self, v: VarId) -> Vec<VarId> {
+        let mut touched = Vec::new();
+        for idx in self.graph.factors_of(v).to_vec() {
+            for u in self.tombstone_factor(idx) {
+                if u != v && !self.graph.is_var_dead(u) {
+                    touched.push(u);
+                }
+            }
+        }
+        for idx in self.graph.spatial_factors_of(v).to_vec() {
+            if let Some((a, b)) = self.graph.remove_spatial_factor(idx) {
+                for u in [a, b] {
+                    if u != v && !self.graph.is_var_dead(u) {
+                        touched.push(u);
+                    }
+                }
+            }
+        }
+        self.retract_atom(v);
+        self.graph.kill_variable(v);
+        touched.sort_unstable();
+        touched.dedup();
+        touched
     }
 }
 
@@ -477,8 +575,17 @@ impl<'p> Grounder<'p> {
                     HeadOp::Or => FactorKind::Or,
                     HeadOp::IsTrue => FactorKind::IsTrue,
                 };
-                out.graph.add_factor(Factor::new(kind, vars, rule.weight));
-                out.factor_rules.push(rule.label.clone());
+                // `add_factor` may reuse a tombstoned slot; write the
+                // side tables at the returned index either way.
+                let idx = out.graph.add_factor(Factor::new(kind, vars, rule.weight)) as usize;
+                let key = Grounding::canonical_key(binding);
+                if idx == out.factor_rules.len() {
+                    out.factor_rules.push(rule.label.clone());
+                    out.factor_bindings.push(key);
+                } else {
+                    out.factor_rules[idx] = rule.label.clone();
+                    out.factor_bindings[idx] = key;
+                }
             }
         }
     }
@@ -569,6 +676,22 @@ impl<'p> Grounder<'p> {
         delta: Option<(usize, &HashMap<String, Vec<usize>>)>,
     ) -> Result<Vec<Vec<Value>>, GroundError> {
         self.eval_body_core(rule, db, out, delta, None)
+    }
+
+    /// Public delta-restricted body evaluation: enumerates the bindings
+    /// of `rule` in which body atom `delta_atom` is limited to the
+    /// given row ids of its relation. Retraction uses this *before*
+    /// deleting rows to learn exactly which bindings the deleted rows
+    /// supported (the negative half of semi-naive delta evaluation).
+    pub fn eval_rule_delta(
+        &mut self,
+        rule: &CompiledRule,
+        db: &mut Database,
+        out: &mut Grounding,
+        delta_atom: usize,
+        rows: &HashMap<String, Vec<usize>>,
+    ) -> Result<Vec<Vec<Value>>, GroundError> {
+        self.eval_body_core(rule, db, out, Some((delta_atom, rows)), None)
     }
 
     /// Demand-driven (magic-sets) body evaluation: the seed's bound
@@ -1533,6 +1656,84 @@ mod tests {
             let id = g.atom_id(&relation, &values).expect("atom still findable");
             assert_eq!(&g.atom_meta[id as usize].1, &values);
         }
+    }
+
+    #[test]
+    fn kill_atom_tombstones_factors_and_retires_the_variable() {
+        let mut g = ground(10, GroundConfig {
+            spatial_radius: Some(2.0),
+            weighting_bandwidth: Some(1.0),
+            ..Default::default()
+        });
+        let target = g.atoms_of("IsSafe")[3];
+        let factors_before = g.graph.num_live_factors();
+        let spatial_before = g.graph.num_live_spatial_factors();
+        let touching: usize = g.graph.factors_of(target).len();
+        let spatial_touching = g.graph.spatial_factors_of(target).len();
+        assert!(touching > 0 && spatial_touching > 0);
+
+        let touched = g.kill_atom(target);
+        assert!(!touched.is_empty(), "neighbours must be reported");
+        assert!(!touched.contains(&target));
+        assert!(g.graph.is_var_dead(target));
+        assert_eq!(g.graph.num_live_factors(), factors_before - touching);
+        assert_eq!(
+            g.graph.num_live_spatial_factors(),
+            spatial_before - spatial_touching
+        );
+        // Catalogue no longer knows the atom; ids are NOT compacted.
+        assert_eq!(g.atoms_of("IsSafe").len(), 9);
+        let (rel, values) = g.atom_meta[target as usize].clone();
+        assert_eq!(g.atom_id(&rel, &values), None);
+        // No surviving adjacency points at a tombstone.
+        for v in 0..g.graph.num_variables() as VarId {
+            for &fi in g.graph.factors_of(v) {
+                assert!(!g.graph.is_factor_dead(fi));
+            }
+            for &si in g.graph.spatial_factors_of(v) {
+                assert!(!g.graph.is_spatial_factor_dead(si));
+            }
+        }
+        // Killing again is a no-op.
+        assert!(g.kill_atom(target).is_empty());
+    }
+
+    #[test]
+    fn factor_bindings_locate_a_rule_binding_exactly() {
+        let g = ground(10, GroundConfig { generate_spatial_factors: false, ..Default::default() });
+        assert_eq!(g.factor_bindings.len(), g.graph.num_factors());
+        // Every inference factor is findable by its provenance.
+        for (i, key) in g.factor_bindings.iter().enumerate() {
+            let label = &g.factor_rules[i];
+            let hits = g.live_factors_matching(label, key);
+            assert!(hits.contains(&(i as u32)));
+        }
+        // Tombstoning removes the factor from provenance matches.
+        let mut g = g;
+        let key = g.factor_bindings[0].clone();
+        let label = g.factor_rules[0].clone();
+        let before = g.live_factors_matching(&label, &key).len();
+        g.tombstone_factor(0);
+        assert_eq!(g.live_factors_matching(&label, &key).len(), before - 1);
+    }
+
+    #[test]
+    fn eval_rule_delta_enumerates_bindings_of_given_rows() {
+        let program = parse_program(SRC).unwrap();
+        let compiled =
+            compile(&program, &GeomConstants::new(), DistanceMetric::Euclidean).unwrap();
+        let mut db = make_db(10);
+        let mut grounder = Grounder::new(&compiled, GroundConfig::default());
+        let mut out = Grounding::new_empty();
+        // Restrict the first body atom of R1 to well 2's row: bindings
+        // must all have W1 = 2 (partners at distance < 3 with low
+        // arsenic: wells 0, 1, 3, 4).
+        let rule = &compiled.rules[1];
+        let rows = HashMap::from([("Well".to_owned(), vec![2usize])]);
+        let bindings = grounder
+            .eval_rule_delta(rule, &mut db, &mut out, 0, &rows)
+            .unwrap();
+        assert_eq!(bindings.len(), 4);
     }
 
     #[test]

@@ -55,6 +55,36 @@ pub struct QueryStats {
     pub infer_time: Duration,
 }
 
+/// One resolved seed of a (possibly multi-atom) neighborhood closure.
+#[derive(Debug, Clone)]
+pub struct SeedAtom {
+    pub relation: String,
+    pub id: i64,
+    /// The atom's variable id inside the union grounding.
+    pub var: VarId,
+}
+
+/// The union neighborhood of a batch of bound atoms: one mini factor
+/// graph covering every requested seed, with overlapping closures
+/// enumerated once (shared factor/pair dedup, one BFS over the joint
+/// frontier). Produced by [`QueryGrounder::neighborhood_batch`],
+/// consumed by [`QueryGrounder::answer_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchNeighborhood {
+    /// The mini grounding (graph + atom catalogue).
+    pub grounding: Grounding,
+    /// Resolved seeds in request order (duplicates collapsed).
+    pub seeds: Vec<SeedAtom>,
+    /// Requested atoms no derivation rule materialized.
+    pub missing: Vec<(String, i64)>,
+    /// Hop at which each variable was discovered (any seed = 0).
+    pub hops: Vec<usize>,
+    pub boundary_clamped: usize,
+    pub outcome: RunOutcome,
+    pub ground_time: Duration,
+    pub warnings: Vec<String>,
+}
+
 /// A bound marginal answer.
 #[derive(Debug, Clone)]
 pub struct QueryAnswer {
@@ -134,15 +164,47 @@ impl QueryGrounder {
         id: i64,
         ctx: &ExecContext,
     ) -> Result<Neighborhood, QueryError> {
+        let batch =
+            self.neighborhood_batch(db, evidence, &[(relation.to_owned(), id)], ctx)?;
+        let Some(seed) = batch.seeds.first() else {
+            return Err(QueryError::NotFound { relation: relation.to_owned(), id });
+        };
+        Ok(Neighborhood {
+            relation: relation.to_owned(),
+            id,
+            seed: seed.var,
+            grounding: batch.grounding,
+            hops: batch.hops,
+            boundary_clamped: batch.boundary_clamped,
+            outcome: batch.outcome,
+            ground_time: batch.ground_time,
+            warnings: batch.warnings,
+        })
+    }
+
+    /// Demand-grounds the *union* neighborhood of several bound atoms in
+    /// one pass: overlapping closures share their BFS frontier and factor
+    /// deduplication, so a batch of nearby queries grounds each factor
+    /// once instead of once per query. Atoms that do not exist land in
+    /// [`BatchNeighborhood::missing`] rather than failing the batch.
+    pub fn neighborhood_batch(
+        &mut self,
+        db: &mut Database,
+        evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
+        targets: &[(String, i64)],
+        ctx: &ExecContext,
+    ) -> Result<BatchNeighborhood, QueryError> {
         let start = Instant::now();
-        match self.program.schema(relation) {
-            Some(s) if s.is_variable => {}
-            _ => return Err(QueryError::UnknownRelation(relation.to_owned())),
+        for (relation, _) in targets {
+            match self.program.schema(relation) {
+                Some(s) if s.is_variable => {}
+                _ => return Err(QueryError::UnknownRelation(relation.clone())),
+            }
         }
         let spatial = self.spatial_params(db)?;
         let mut grounder = Grounder::new(&self.program, self.ground.clone());
         grounder.set_hash_indexes(std::mem::take(&mut self.hash_indexes));
-        let result = ground_neighborhood(
+        let result = ground_closure(
             &self.program,
             &self.ground,
             &self.config,
@@ -150,8 +212,7 @@ impl QueryGrounder {
             &spatial,
             db,
             evidence,
-            relation,
-            id,
+            targets,
             ctx,
         );
         self.hash_indexes = grounder.take_hash_indexes();
@@ -206,6 +267,84 @@ impl QueryGrounder {
             outcome: nh.outcome.combine(run.outcome),
             warnings,
         })
+    }
+
+    /// Runs at most one restricted chain over a union neighborhood and
+    /// reads every seed's marginal from it; answers align with
+    /// `nh.seeds`. Evidence seeds answer without sampling; the chain's
+    /// wall time is reported on every sampled answer (it was shared).
+    pub fn answer_batch(
+        &self,
+        nh: &BatchNeighborhood,
+        ctx: &ExecContext,
+    ) -> Result<Vec<QueryAnswer>, QueryError> {
+        let graph = &nh.grounding.graph;
+        let base = QueryStats {
+            variables: graph.num_variables(),
+            logical_factors: graph.num_factors(),
+            spatial_factors: graph.num_spatial_factors(),
+            boundary_clamped: nh.boundary_clamped,
+            sampled: false,
+            ground_time: nh.ground_time,
+            infer_time: Duration::ZERO,
+        };
+        let needs_chain =
+            nh.seeds.iter().any(|s| graph.variable(s.var).evidence.is_none());
+        let mut run = None;
+        let mut infer_time = Duration::ZERO;
+        if needs_chain {
+            let start = Instant::now();
+            let pyramid = PyramidIndex::build(
+                graph,
+                self.config.infer.levels,
+                self.config.infer.cell_capacity,
+            );
+            run = Some(spatial_gibbs_with(graph, &pyramid, &self.config.infer, ctx)?);
+            infer_time = start.elapsed();
+        }
+        let mut answers = Vec::with_capacity(nh.seeds.len());
+        for s in &nh.seeds {
+            let var = graph.variable(s.var);
+            if let Some(e) = var.evidence {
+                let h = var.domain.cardinality();
+                let score = if h == 2 { e as f64 } else { f64::from(e >= h / 2) };
+                answers.push(QueryAnswer {
+                    relation: s.relation.clone(),
+                    id: s.id,
+                    score,
+                    evidence: Some(e),
+                    stats: base.clone(),
+                    outcome: nh.outcome,
+                    warnings: nh.warnings.clone(),
+                });
+                continue;
+            }
+            let run = run.as_ref().expect("chain ran: non-evidence seed present");
+            let score = seed_score(&run.counts, s.var, var.domain.cardinality());
+            let mut stats = base.clone();
+            stats.sampled = true;
+            stats.infer_time = infer_time;
+            let mut warnings = nh.warnings.clone();
+            warnings.extend(run.warnings.iter().cloned());
+            answers.push(QueryAnswer {
+                relation: s.relation.clone(),
+                id: s.id,
+                score,
+                evidence: None,
+                stats,
+                outcome: nh.outcome.combine(run.outcome),
+                warnings,
+            });
+        }
+        Ok(answers)
+    }
+
+    /// Largest spatial factor radius across the program's spatial
+    /// variable relations — the interaction horizon a single located row
+    /// can reach. Serving layers use it as the invalidation margin when
+    /// deciding which cached neighborhoods a row update may intersect.
+    pub fn max_factor_radius(&mut self, db: &Database) -> Result<f64, QueryError> {
+        Ok(self.spatial_params(db)?.values().fold(0.0, |m, &(_, r)| m.max(r)))
     }
 
     /// Per-spatial-relation `(weighting fn, factor radius)` with the same
@@ -313,7 +452,7 @@ fn quantized_prior(p: f64, cardinality: u32) -> u32 {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn ground_neighborhood(
+fn ground_closure(
     program: &CompiledProgram,
     gcfg: &GroundConfig,
     cfg: &QueryConfig,
@@ -321,62 +460,61 @@ fn ground_neighborhood(
     spatial: &HashMap<String, (WeightingFn, f64)>,
     db: &mut Database,
     evidence: &dyn Fn(&str, &[Value]) -> Option<u32>,
-    relation: &str,
-    id: i64,
+    targets: &[(String, i64)],
     ctx: &ExecContext,
-) -> Result<Neighborhood, QueryError> {
+) -> Result<BatchNeighborhood, QueryError> {
     let mut out = Grounding::new_empty();
     let mut warnings: Vec<String> = Vec::new();
     let mut outcome = RunOutcome::Completed;
 
-    // --- Seed: materialize the bound atom through its derivation rules.
-    for (ri, rule) in program.rules.iter().enumerate() {
-        if !matches!(rule.kind, RuleKind::Derivation) {
-            continue;
-        }
-        if rule.head.first().map(|h| h.relation.as_str()) != Some(relation) {
-            continue;
-        }
-        let Some(adorn) = adorn_rule(rule, ri, 0, &[0]) else { continue };
-        let Some(&(_, slot)) = adorn.slot_of_arg.first() else {
-            // Head id position is a constant or wildcard; a seeded probe
-            // cannot bind it — skip (the atom, if any, has no queryable
-            // id column).
-            continue;
-        };
-        let seed = BoundSeed::slot(slot, Value::Int(id));
-        let bindings = grounder.eval_rule_seeded(rule, db, &mut out, &seed)?;
-        for b in bindings {
-            grounder.apply_binding(rule, &b, evidence, &mut out);
+    // --- Seeds: materialize each bound atom through its derivation
+    // rules (duplicate targets collapse to one seed).
+    let mut requested: Vec<(String, i64)> = Vec::new();
+    for t in targets {
+        if !requested.contains(t) {
+            requested.push(t.clone());
         }
     }
-    let mut seed_var = out
-        .atoms_of(relation)
-        .iter()
-        .copied()
-        .find(|&v| out.atom_meta[v as usize].1.first().and_then(Value::as_int) == Some(id))
-        .ok_or_else(|| QueryError::NotFound { relation: relation.to_owned(), id })?;
-
-    // Observed seed: conditioning makes the rest of the graph irrelevant.
-    if out.graph.variable(seed_var).evidence.is_some() {
-        let hops = vec![0; out.graph.num_variables()];
-        return Ok(Neighborhood {
-            relation: relation.to_owned(),
-            id,
-            grounding: out,
-            seed: seed_var,
-            hops,
-            boundary_clamped: 0,
-            outcome,
-            ground_time: Duration::ZERO,
-            warnings,
+    for (relation, id) in &requested {
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if !matches!(rule.kind, RuleKind::Derivation) {
+                continue;
+            }
+            if rule.head.first().map(|h| h.relation.as_str()) != Some(relation.as_str()) {
+                continue;
+            }
+            let Some(adorn) = adorn_rule(rule, ri, 0, &[0]) else { continue };
+            let Some(&(_, slot)) = adorn.slot_of_arg.first() else {
+                // Head id position is a constant or wildcard; a seeded
+                // probe cannot bind it — skip (the atom, if any, has no
+                // queryable id column).
+                continue;
+            };
+            let seed = BoundSeed::slot(slot, Value::Int(*id));
+            let bindings = grounder.eval_rule_seeded(rule, db, &mut out, &seed)?;
+            for b in bindings {
+                grounder.apply_binding(rule, &b, evidence, &mut out);
+            }
+        }
+    }
+    let mut seeds: Vec<SeedAtom> = Vec::new();
+    let mut missing: Vec<(String, i64)> = Vec::new();
+    for (relation, id) in requested {
+        let found = out.atoms_of(&relation).iter().copied().find(|&v| {
+            out.atom_meta[v as usize].1.first().and_then(Value::as_int) == Some(id)
         });
+        match found {
+            Some(var) => seeds.push(SeedAtom { relation, id, var }),
+            None => missing.push((relation, id)),
+        }
     }
+    let seed_set: HashSet<VarId> = seeds.iter().map(|s| s.var).collect();
 
-    // --- Breadth-first closure up to the hop horizon.
-    let mut hops: HashMap<VarId, usize> = HashMap::from([(seed_var, 0)]);
+    // --- Breadth-first closure up to the hop horizon, jointly from
+    // every seed: a variable reachable from two seeds is expanded once.
+    let mut hops: HashMap<VarId, usize> = seeds.iter().map(|s| (s.var, 0)).collect();
     let mut expanded: HashSet<VarId> = HashSet::new();
-    let mut frontier: VecDeque<VarId> = VecDeque::from([seed_var]);
+    let mut frontier: VecDeque<VarId> = seeds.iter().map(|s| s.var).collect();
     // Logical factors are deduplicated by (rule, full binding) — the same
     // key the full grounder's one-pass evaluation implies; spatial pairs
     // by unordered endpoints.
@@ -389,9 +527,10 @@ fn ground_neighborhood(
         if hop >= cfg.hop_depth {
             continue;
         }
-        // Evidence blocks expansion: factors touching it are included,
-        // nothing beyond it matters for the seed's conditional.
-        if v != seed_var && out.graph.variable(v).evidence.is_some() {
+        // Evidence blocks expansion (observed seeds included): factors
+        // touching it are in, nothing beyond it matters for any seed's
+        // conditional.
+        if out.graph.variable(v).evidence.is_some() {
             continue;
         }
         if let Some(interrupt) = ctx.interrupted() {
@@ -543,7 +682,8 @@ fn ground_neighborhood(
             }
         } else if spatial.contains_key(&rel_v) && loc_v.is_none() {
             warnings.push(format!(
-                "spatial atom {rel_v}({id}, ...) has no location; spatial expansion skipped"
+                "spatial atom {} has no location; spatial expansion skipped",
+                out.graph.variable(v).name
             ));
         }
 
@@ -562,7 +702,7 @@ fn ground_neighborhood(
         let unexpanded: Vec<VarId> = hops
             .keys()
             .copied()
-            .filter(|u| *u != seed_var && !expanded.contains(u))
+            .filter(|u| !seed_set.contains(u) && !expanded.contains(u))
             .collect();
         for u in unexpanded {
             let var = out.graph.variable(u);
@@ -581,7 +721,7 @@ fn ground_neighborhood(
     // candidates whose exact weight was negligible).
     let isolated: HashSet<VarId> = (0..out.graph.num_variables() as VarId)
         .filter(|&u| {
-            u != seed_var
+            !seed_set.contains(&u)
                 && out.graph.factors_of(u).is_empty()
                 && out.graph.spatial_factors_of(u).is_empty()
                 && out.graph.region_factors_of(u).is_empty()
@@ -592,7 +732,9 @@ fn ground_neighborhood(
         .collect();
     if !isolated.is_empty() {
         let remap = out.remove_atoms(&isolated);
-        seed_var = remap[seed_var as usize].expect("seed is never isolated-removed");
+        for s in &mut seeds {
+            s.var = remap[s.var as usize].expect("seeds are never isolated-removed");
+        }
         let mut compacted = vec![0usize; out.graph.num_variables()];
         for (old, hop) in hop_vec.iter().enumerate() {
             if let Some(new) = remap[old] {
@@ -602,11 +744,10 @@ fn ground_neighborhood(
         hop_vec = compacted;
     }
 
-    Ok(Neighborhood {
-        relation: relation.to_owned(),
-        id,
+    Ok(BatchNeighborhood {
         grounding: out,
-        seed: seed_var,
+        seeds,
+        missing,
         hops: hop_vec,
         boundary_clamped,
         outcome,
@@ -808,6 +949,53 @@ mod tests {
             .filter(|&u| nh.grounding.graph.variable(u).evidence.is_none())
             .count();
         assert!(free > 1);
+    }
+
+    #[test]
+    fn batch_union_shares_overlapping_neighborhoods() {
+        let mut db = make_db(40);
+        let mut qg = query_grounder(tight_ground(), QueryConfig::default());
+        let ctx = ExecContext::unbounded();
+        let targets = vec![
+            ("IsSafe".to_owned(), 20),
+            ("IsSafe".to_owned(), 21),
+            ("IsSafe".to_owned(), 20),
+            ("IsSafe".to_owned(), 999),
+        ];
+        let batch = qg.neighborhood_batch(&mut db, &evidence, &targets, &ctx).unwrap();
+        assert_eq!(batch.seeds.len(), 2, "duplicates collapse, missing excluded");
+        assert_eq!(batch.missing, vec![("IsSafe".to_owned(), 999)]);
+        for s in &batch.seeds {
+            assert_eq!(batch.hops[s.var as usize], 0);
+        }
+        // The union grounds overlapping closures once: strictly fewer
+        // variables than the two single-seed neighborhoods combined.
+        let a = qg.neighborhood(&mut db, &evidence, "IsSafe", 20, &ctx).unwrap();
+        let b = qg.neighborhood(&mut db, &evidence, "IsSafe", 21, &ctx).unwrap();
+        assert!(
+            batch.grounding.graph.num_variables()
+                < a.grounding.graph.num_variables() + b.grounding.graph.num_variables()
+        );
+        let answers = qg.answer_batch(&batch, &ctx).unwrap();
+        assert_eq!(answers.len(), 2);
+        for ans in &answers {
+            assert!(ans.stats.sampled);
+            assert!((0.0..=1.0).contains(&ans.score));
+        }
+    }
+
+    #[test]
+    fn batch_with_evidence_seed_mixes_sampled_and_observed() {
+        let mut db = make_db(10);
+        let mut qg = query_grounder(tight_ground(), QueryConfig::default());
+        let ctx = ExecContext::unbounded();
+        let targets = vec![("IsSafe".to_owned(), 0), ("IsSafe".to_owned(), 2)];
+        let batch = qg.neighborhood_batch(&mut db, &evidence, &targets, &ctx).unwrap();
+        let answers = qg.answer_batch(&batch, &ctx).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].evidence, Some(1));
+        assert!(!answers[0].stats.sampled);
+        assert!(answers[1].stats.sampled);
     }
 
     #[test]

@@ -43,7 +43,9 @@
 
 pub mod grounder;
 
-pub use grounder::{Neighborhood, QueryAnswer, QueryGrounder, QueryStats};
+pub use grounder::{
+    BatchNeighborhood, Neighborhood, QueryAnswer, QueryGrounder, QueryStats, SeedAtom,
+};
 
 use std::collections::HashMap;
 use sya_infer::{InferConfig, InferError};

@@ -223,6 +223,8 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
             503 => "Service Unavailable",
             _ => "Unknown",
         }

@@ -25,13 +25,17 @@
 //! * marginals carry single-chain sampling noise per grounding, where
 //!   the full path amortizes one long chain over every atom.
 
+use crate::rows::{RawRowUpdate, RowsOutcome};
 use crate::state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer};
 use crate::ServeError;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use sya_ground::GroundConfig;
+use sya_delta::RowOp;
+use sya_geom::{DistanceMetric, Point, Rect};
+use sya_ground::{candidate_radius, GroundConfig, Grounding};
 use sya_lang::CompiledProgram;
 use sya_obs::Obs;
 use sya_query::{QueryAnswer, QueryConfig, QueryError, QueryGrounder};
@@ -71,12 +75,33 @@ struct LazyEngine {
     db: Database,
 }
 
+/// A cached neighborhood's invalidation footprint: the grounding's
+/// bounding box plus the integer ids of every atom it materialized. A
+/// `/v1/rows` delta intersects the entry iff one of its rows lands
+/// inside the box (expanded by the spatial interaction radius) or names
+/// one of the ids — everything else provably cannot change the answer.
+#[derive(Debug, Clone)]
+struct Footprint {
+    bbox: Rect,
+    ids: HashSet<i64>,
+}
+
+fn footprint_of(grounding: &Grounding) -> Footprint {
+    let ids = grounding
+        .atom_meta
+        .iter()
+        .filter_map(|(_, values)| values.first().and_then(Value::as_int))
+        .collect();
+    Footprint { bbox: grounding.graph.bounding_box(), ids }
+}
+
 /// One cached answer, stamped with the evidence epoch it was grounded
 /// under and an LRU tick.
 struct CacheEntry {
     epoch: u64,
     tick: u64,
     answer: QueryAnswer,
+    footprint: Footprint,
 }
 
 /// Bounded `(relation, id)` → answer map with epoch invalidation and
@@ -112,7 +137,13 @@ impl QueryCache {
 
     /// Inserts (evicting the least recently used entry at capacity) and
     /// returns the resulting entry count.
-    fn insert(&mut self, key: (String, i64), epoch: u64, answer: QueryAnswer) -> usize {
+    fn insert(
+        &mut self,
+        key: (String, i64),
+        epoch: u64,
+        answer: QueryAnswer,
+        footprint: Footprint,
+    ) -> usize {
         if self.capacity == 0 {
             return 0;
         }
@@ -124,8 +155,23 @@ impl QueryCache {
             }
         }
         self.tick += 1;
-        self.map.insert(key, CacheEntry { epoch, tick: self.tick, answer });
+        self.map.insert(key, CacheEntry { epoch, tick: self.tick, answer, footprint });
         self.map.len()
+    }
+
+    /// Targeted invalidation: drops entries whose footprint the
+    /// predicate matches and re-stamps the survivors to `epoch`.
+    /// Re-stamping is load-bearing — [`QueryCache::get`] drops entries
+    /// from older epochs on sight, so surviving a *selective*
+    /// invalidation only means something if the survivor carries the
+    /// new epoch. Returns the number of entries dropped.
+    fn retain_and_restamp(&mut self, epoch: u64, hit: impl Fn(&Footprint) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, e| !hit(&e.footprint));
+        for e in self.map.values_mut() {
+            e.epoch = epoch;
+        }
+        before - self.map.len()
     }
 
     fn clear(&mut self) -> usize {
@@ -133,6 +179,14 @@ impl QueryCache {
         self.map.clear();
         n
     }
+}
+
+/// A singleflight slot: the first thread to miss a `(relation, id,
+/// epoch)` key grounds it; followers block here until the leader
+/// publishes (or fails), then re-check the cache.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
 }
 
 /// The lazy serving state: compiled program + input tables + evidence
@@ -146,6 +200,14 @@ pub struct LazyKb {
     evidence: RwLock<HashMap<(String, i64), u32>>,
     epoch: AtomicU64,
     cache: Mutex<QueryCache>,
+    /// In-flight demand groundings, keyed `(relation, id, epoch)`:
+    /// concurrent misses of the same atom coalesce onto one grounding
+    /// instead of queueing up behind the engine lock to each redo it.
+    flights: Mutex<HashMap<(String, i64, u64), Arc<Flight>>>,
+    /// Distance metric of the ground config, for converting the spatial
+    /// interaction radius into coordinate units when testing whether a
+    /// row update lands inside a cached neighborhood's bounding box.
+    metric: DistanceMetric,
     /// Domain size per variable relation (from the ground config),
     /// for evidence validation.
     domains: HashMap<String, u32>,
@@ -175,6 +237,7 @@ impl LazyKb {
             return Err(ServeError::NotSpatial);
         }
         let domains = ground.domains.clone();
+        let metric = ground.metric;
         let variable_relations = program
             .schemas
             .values()
@@ -188,6 +251,8 @@ impl LazyKb {
             evidence: RwLock::new(evidence),
             epoch: AtomicU64::new(0),
             cache: Mutex::new(QueryCache::new(cfg.cache_capacity)),
+            flights: Mutex::new(HashMap::new()),
+            metric,
             domains,
             variable_relations,
             budget: cfg.budget,
@@ -226,6 +291,14 @@ impl LazyKb {
     /// Point marginal via demand grounding: epoch-keyed cache, then the
     /// grounder. `Ok(None)` is an unknown atom (404); budget exhaustion
     /// is [`ServeError::QueryBudget`] (503 + Retry-After).
+    ///
+    /// Misses are **singleflighted** per `(relation, id, epoch)`: the
+    /// first thread grounds (and counts the miss), concurrent callers of
+    /// the same atom count `serve.query.singleflight_wait_total`, park
+    /// until the leader publishes its cache entry, and answer from it —
+    /// a thundering herd on one hot atom does one grounding, not one per
+    /// worker thread. If the leader fails, a waiter is elected leader on
+    /// its next pass and retries the grounding itself.
     pub fn marginal(
         &self,
         relation: &str,
@@ -234,21 +307,67 @@ impl LazyKb {
     ) -> Result<Option<MarginalAnswer>, ServeError> {
         self.obs.counter_add("serve.query.requests_total", 1);
         // The evidence read lock pins the epoch for the whole grounding:
-        // an evidence batch (write lock) cannot slip between the cache
-        // check and the insert, so entries are never stamped stale.
+        // an evidence or row batch (write lock) cannot slip between the
+        // cache check and the insert, so entries are never stamped stale.
         let evidence = self.evidence.read().unwrap_or_else(|e| e.into_inner());
         let epoch = self.epoch();
         let key = (relation.to_owned(), id);
-        let hit = {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.get(&key, epoch)
-        };
-        if let Some(answer) = hit {
-            self.obs.counter_add("serve.query.cache_hit_total", 1);
-            return Ok(Some(to_marginal(&answer, epoch)));
+        loop {
+            let hit = {
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.get(&key, epoch)
+            };
+            if let Some(answer) = hit {
+                self.obs.counter_add("serve.query.cache_hit_total", 1);
+                return Ok(Some(to_marginal(&answer, epoch)));
+            }
+            let fkey = (key.0.clone(), key.1, epoch);
+            let (flight, leader) = {
+                let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                match flights.entry(fkey.clone()) {
+                    Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                    Entry::Vacant(v) => {
+                        let f = Arc::new(Flight { done: Mutex::new(false), cv: Condvar::new() });
+                        (Arc::clone(v.insert(f)), true)
+                    }
+                }
+            };
+            if !leader {
+                self.obs.counter_add("serve.query.singleflight_wait_total", 1);
+                let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+                while !*done {
+                    done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+                }
+                // Leader published (or failed): re-check the cache. A
+                // failed or capacity-0-evicted entry makes this thread
+                // the next leader rather than spinning.
+                continue;
+            }
+            // A genuine cache miss is counted exactly once per grounding
+            // — here in the leader branch — so miss/hit counters keep
+            // meaning "groundings performed" under concurrency.
+            self.obs.counter_add("serve.query.cache_miss_total", 1);
+            let result = self.ground_and_cache(&key, epoch, &evidence, ctx);
+            {
+                let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+                *done = true;
+                flight.cv.notify_all();
+            }
+            self.flights.lock().unwrap_or_else(|e| e.into_inner()).remove(&fkey);
+            return result;
         }
-        self.obs.counter_add("serve.query.cache_miss_total", 1);
+    }
 
+    /// The leader's side of a cache miss: demand-ground the atom's
+    /// neighborhood, record its footprint, cache, and answer.
+    fn ground_and_cache(
+        &self,
+        key: &(String, i64),
+        epoch: u64,
+        evidence: &HashMap<(String, i64), u32>,
+        ctx: &ExecContext,
+    ) -> Result<Option<MarginalAnswer>, ServeError> {
+        let (relation, id) = (key.0.as_str(), key.1);
         let ev_fn = |rel: &str, values: &[Value]| -> Option<u32> {
             values
                 .first()
@@ -258,10 +377,13 @@ impl LazyKb {
         let result = {
             let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
             let LazyEngine { grounder, db } = &mut *engine;
-            grounder.marginal(db, &ev_fn, relation, id, ctx)
+            grounder.neighborhood(db, &ev_fn, relation, id, ctx).and_then(|nh| {
+                let footprint = footprint_of(&nh.grounding);
+                grounder.answer(&nh, ctx).map(|answer| (answer, footprint))
+            })
         };
         match result {
-            Ok(answer) => {
+            Ok((answer, footprint)) => {
                 self.obs.histogram_record(
                     "serve.query.ground_seconds",
                     answer.stats.ground_time.as_secs_f64(),
@@ -275,7 +397,7 @@ impl LazyKb {
                 }
                 let entries = {
                     let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-                    cache.insert(key, epoch, answer.clone())
+                    cache.insert(key.clone(), epoch, answer.clone(), footprint)
                 };
                 self.obs.gauge_set("serve.query.cache_entries", entries as f64);
                 Ok(Some(to_marginal(&answer, epoch)))
@@ -287,6 +409,103 @@ impl LazyKb {
             }
             Err(e) => Err(ServeError::QueryFailed(e.to_string())),
         }
+    }
+
+    /// Batch marginals through **one union grounding**: cache hits are
+    /// answered per key; the misses are deduplicated and demand-grounded
+    /// together ([`QueryGrounder::neighborhood_batch`]), so overlapping
+    /// neighborhoods share their BFS closure and a single restricted
+    /// chain instead of re-grounding the shared region once per query.
+    /// Answers align with `queries`; `None` mirrors the point path's 404
+    /// (unknown relation or atom). The batch path skips singleflight —
+    /// the union grounding is itself the coalescing mechanism.
+    pub fn marginal_batch(
+        &self,
+        queries: &[(String, i64)],
+        ctx: &ExecContext,
+    ) -> Result<Vec<Option<MarginalAnswer>>, ServeError> {
+        if queries.len() <= 1 {
+            return queries.iter().map(|(r, i)| self.marginal(r, *i, ctx)).collect();
+        }
+        self.obs.counter_add("serve.query.requests_total", queries.len() as u64);
+        let evidence = self.evidence.read().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.epoch();
+        let mut out: Vec<Option<MarginalAnswer>> = vec![None; queries.len()];
+        let mut misses: Vec<(String, i64)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, key) in queries.iter().enumerate() {
+                if !self.variable_relations.contains(&key.0) {
+                    continue; // stays None → per-query 404, like the point path
+                }
+                if let Some(answer) = cache.get(key, epoch) {
+                    self.obs.counter_add("serve.query.cache_hit_total", 1);
+                    out[i] = Some(to_marginal(&answer, epoch));
+                } else if !misses.contains(key) {
+                    misses.push(key.clone());
+                }
+            }
+        }
+        if misses.is_empty() {
+            return Ok(out);
+        }
+        self.obs.counter_add("serve.query.cache_miss_total", misses.len() as u64);
+        self.obs.counter_add("serve.query.batch_union_total", 1);
+        let ev_fn = |rel: &str, values: &[Value]| -> Option<u32> {
+            values
+                .first()
+                .and_then(Value::as_int)
+                .and_then(|vid| evidence.get(&(rel.to_owned(), vid)).copied())
+        };
+        let result = {
+            let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+            let LazyEngine { grounder, db } = &mut *engine;
+            grounder.neighborhood_batch(db, &ev_fn, &misses, ctx).and_then(|nh| {
+                let footprint = footprint_of(&nh.grounding);
+                grounder.answer_batch(&nh, ctx).map(|answers| (answers, footprint))
+            })
+        };
+        let (answers, footprint) = match result {
+            Ok(x) => x,
+            Err(QueryError::Budget(b)) => {
+                self.obs.counter_add("serve.query.budget_exceeded_total", 1);
+                return Err(ServeError::QueryBudget(b.to_string()));
+            }
+            Err(e) => return Err(ServeError::QueryFailed(e.to_string())),
+        };
+        if let Some(a) = answers.first() {
+            self.obs
+                .histogram_record("serve.query.ground_seconds", a.stats.ground_time.as_secs_f64());
+            self.obs
+                .histogram_record("serve.query.infer_seconds", a.stats.infer_time.as_secs_f64());
+        }
+        // Every answer from the union is cached under the union's
+        // footprint — conservative for invalidation (a delta near any
+        // member drops them all), exact for correctness.
+        let entries = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let mut n = cache.map.len();
+            for answer in &answers {
+                n = cache.insert(
+                    (answer.relation.clone(), answer.id),
+                    epoch,
+                    answer.clone(),
+                    footprint.clone(),
+                );
+            }
+            n
+        };
+        self.obs.gauge_set("serve.query.cache_entries", entries as f64);
+        let by_key: HashMap<(String, i64), MarginalAnswer> = answers
+            .iter()
+            .map(|a| ((a.relation.clone(), a.id), to_marginal(a, epoch)))
+            .collect();
+        for (i, key) in queries.iter().enumerate() {
+            if out[i].is_none() {
+                out[i] = by_key.get(key).cloned();
+            }
+        }
+        Ok(out)
     }
 
     /// Applies an evidence batch: validate, swap the evidence map, bump
@@ -346,6 +565,120 @@ impl LazyKb {
         self.obs.gauge_set("serve.kb_epoch", epoch as f64);
         self.obs.counter_add("serve.evidence_rows_total", rows.len() as u64);
         Ok(EvidenceOutcome { epoch, resampled: 0, elapsed: started.elapsed() })
+    }
+
+    /// Applies a `/v1/rows` batch to the input tables. Lazy mode has no
+    /// materialized graph to patch — the differential work is **cache
+    /// surgery**: validate and mutate the tables, bump the epoch, then
+    /// drop only the cached neighborhoods whose footprint intersects the
+    /// delta (a changed row inside the entry's bounding box expanded by
+    /// the spatial interaction radius, or naming one of its atom ids)
+    /// and re-stamp the survivors. Untouched neighborhoods keep serving
+    /// from cache across the update; touched ones re-ground on their
+    /// next query.
+    pub fn apply_rows(&self, raw: &[RawRowUpdate]) -> Result<RowsOutcome, ServeError> {
+        let started = Instant::now();
+        // Same lock order as the query path (evidence, then engine), but
+        // exclusive: in-flight marginals hold the evidence read lock for
+        // their whole grounding, so the write lock serializes the table
+        // mutation + epoch bump + cache surgery against all of them.
+        let _evidence = self.evidence.write().unwrap_or_else(|e| e.into_inner());
+        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let LazyEngine { grounder, db } = &mut *engine;
+        let updates = crate::rows::decode_updates(grounder.program(), raw)
+            .map_err(ServeError::BadRows)?;
+
+        // All-or-nothing validation before any table is touched;
+        // retractions claim distinct row indices so a batch can retract
+        // duplicates but never the same physical row twice.
+        let mut retracts: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, u) in updates.iter().enumerate() {
+            let at = |msg: String| ServeError::BadRows(format!("update #{i}: {msg}"));
+            let table = db.table(&u.relation).map_err(|e| at(e.to_string()))?;
+            table.check_row(&u.row).map_err(|e| at(e.to_string()))?;
+            if u.op == RowOp::Retract {
+                let claimed = retracts.entry(u.relation.clone()).or_default();
+                let Some(rid) =
+                    table.find_rows(&u.row).into_iter().find(|r| !claimed.contains(r))
+                else {
+                    return Err(at(format!("no matching {} row to retract", u.relation)));
+                };
+                claimed.push(rid);
+            }
+        }
+
+        // Delta footprint: a representative point and/or first integer
+        // id per row. A row exposing neither cannot be localized, so the
+        // whole cache goes (conservative, correct).
+        let mut touch_points: Vec<Point> = Vec::new();
+        let mut touch_ids: HashSet<i64> = HashSet::new();
+        let mut conservative = false;
+        for u in &updates {
+            let point =
+                u.row.iter().find_map(|v| v.as_geom().map(|g| g.representative_point()));
+            let id = u.row.iter().find_map(Value::as_int);
+            if point.is_none() && id.is_none() {
+                conservative = true;
+            }
+            touch_points.extend(point);
+            touch_ids.extend(id);
+        }
+
+        let mut inserted = 0usize;
+        let mut retracted = 0usize;
+        for (rel, rows) in &retracts {
+            retracted +=
+                db.table_mut(rel).expect("validated above").remove_rows(rows);
+        }
+        for u in updates.iter().filter(|u| u.op == RowOp::Insert) {
+            db.table_mut(&u.relation)
+                .expect("validated above")
+                .insert(u.row.clone())
+                .map_err(|e| ServeError::RowsFailed(e.to_string()))?;
+            inserted += 1;
+        }
+        // The grounder's hash indexes and bandwidth cache were built
+        // over the old tables; the R-tree is rebuilt by the table layer.
+        grounder.invalidate_indexes();
+        // Interaction horizon in coordinate units: a changed row can
+        // only affect neighborhoods within the largest spatial-factor
+        // radius of it.
+        let margin =
+            grounder.max_factor_radius(db).ok().map(|r| candidate_radius(self.metric, r));
+
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let (dropped, entries) = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let dropped = match margin {
+                Some(margin) if !conservative => {
+                    cache.retain_and_restamp(epoch, |fp| {
+                        !fp.ids.is_disjoint(&touch_ids)
+                            || touch_points
+                                .iter()
+                                .any(|p| fp.bbox.expand(margin).contains_point(p))
+                    })
+                }
+                _ => cache.clear(),
+            };
+            (dropped, cache.map.len())
+        };
+        self.obs.gauge_set("serve.query.cache_entries", entries as f64);
+        self.obs.counter_add("serve.query.cache_invalidated_total", dropped as u64);
+        self.obs.gauge_set("serve.kb_epoch", epoch as f64);
+        self.obs.counter_add("serve.rows_total", raw.len() as u64);
+        self.obs.counter_add("delta.rows_inserted_total", inserted as u64);
+        self.obs.counter_add("delta.rows_retracted_total", retracted as u64);
+        let apply_time = started.elapsed();
+        self.obs.histogram_record("serve.rows_apply_seconds", apply_time.as_secs_f64());
+        self.obs.histogram_record("delta.apply_seconds", apply_time.as_secs_f64());
+        Ok(RowsOutcome {
+            epoch,
+            rows_inserted: inserted,
+            rows_retracted: retracted,
+            cache_invalidated: dropped,
+            apply_time,
+            ..RowsOutcome::default()
+        })
     }
 }
 

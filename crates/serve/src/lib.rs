@@ -26,6 +26,7 @@ pub mod admission;
 mod http;
 mod lazy;
 mod router;
+mod rows;
 mod server;
 mod state;
 
@@ -33,6 +34,7 @@ pub use admission::{Admission, AdmissionConfig, InflightGuard, Shed, Ticket};
 pub use http::{json_string, read_request, HttpError, Request, Response};
 pub use lazy::{LazyConfig, LazyKb};
 pub use router::{ServeState, ShardRouter};
+pub use rows::{RawRowUpdate, RowsOutcome};
 pub use server::SyaServer;
 pub use state::{EvidenceOutcome, EvidenceUpdate, MarginalAnswer, ServingKb};
 
@@ -101,6 +103,14 @@ pub enum ServeError {
     NotSpatial,
     /// An evidence batch failed schema validation (client error).
     BadEvidence(String),
+    /// A `/v1/rows` batch failed decoding or validation (client error).
+    BadRows(String),
+    /// `/v1/rows` is not available in this serving mode (sharded
+    /// replicas have no single mutable database) → 501.
+    RowsUnsupported { mode: &'static str },
+    /// A validated row batch failed mid-apply (grounding or inference
+    /// error) — a server-side 500, not a retryable condition.
+    RowsFailed(String),
     /// The shard owning the requested atom is marked down: the request
     /// is answerable again once the shard recovers → 503 + Retry-After.
     ShardDown { shard: usize },
@@ -132,6 +142,11 @@ impl std::fmt::Display for ServeError {
                  needs the pyramid index"
             ),
             ServeError::BadEvidence(msg) => write!(f, "bad evidence: {msg}"),
+            ServeError::BadRows(msg) => write!(f, "bad row batch: {msg}"),
+            ServeError::RowsUnsupported { mode } => {
+                write!(f, "row updates are not supported in {mode} serving mode")
+            }
+            ServeError::RowsFailed(msg) => write!(f, "row apply failed: {msg}"),
             ServeError::ShardDown { shard } => {
                 write!(f, "shard {shard} is down; retry after it recovers")
             }

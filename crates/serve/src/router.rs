@@ -507,6 +507,41 @@ impl ServeState {
         }
     }
 
+    /// Batch marginals; answers align with `queries` and `None` mirrors
+    /// the point path's 404. Lazy mode grounds the misses as **one
+    /// union neighborhood** (overlapping closures share their BFS and a
+    /// single restricted chain); the full paths answer each query from
+    /// the live KB, which is already O(1) per lookup.
+    pub fn marginals(
+        &self,
+        queries: &[(String, i64)],
+        ctx: &sya_runtime::ExecContext,
+    ) -> Result<Vec<Option<MarginalAnswer>>, ServeError> {
+        match self {
+            ServeState::Single(_) | ServeState::Sharded(_) => {
+                queries.iter().map(|(r, i)| self.marginal(r, *i, ctx)).collect()
+            }
+            ServeState::Lazy(kb) => kb.marginal_batch(queries, ctx),
+        }
+    }
+
+    /// Applies a `/v1/rows` batch of base-row inserts/retractions.
+    /// Single mode patches the live factor graph differentially
+    /// (`sya-delta`); lazy mode mutates the tables and surgically
+    /// invalidates intersecting cache entries; sharded replicas have no
+    /// single mutable database, so the batch is rejected as unsupported
+    /// (501).
+    pub fn apply_rows(
+        &self,
+        raw: &[crate::rows::RawRowUpdate],
+    ) -> Result<crate::rows::RowsOutcome, ServeError> {
+        match self {
+            ServeState::Single(kb) => kb.apply_rows(raw),
+            ServeState::Sharded(_) => Err(ServeError::RowsUnsupported { mode: "sharded" }),
+            ServeState::Lazy(kb) => kb.apply_rows(raw),
+        }
+    }
+
     /// Down shard indices; always empty for the single and lazy paths.
     pub fn down_shards(&self) -> Vec<usize> {
         match self {

@@ -456,6 +456,7 @@ fn endpoint_of(req: &Request) -> &'static str {
         (_, p) if p.starts_with("/v1/marginal/") => "marginal",
         (_, "/v1/query") => "query",
         (_, "/v1/evidence") => "evidence",
+        (_, "/v1/rows") => "rows",
         (_, "/metrics") => "metrics",
         (_, "/healthz") => "healthz",
         _ => "other",
@@ -477,7 +478,8 @@ fn route(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response 
         }
         ("POST", "/v1/query") => query(state, ctx, req),
         ("POST", "/v1/evidence") => evidence(state, req),
-        (_, "/healthz" | "/metrics" | "/v1/query" | "/v1/evidence") => {
+        ("POST", "/v1/rows") => rows(state, req),
+        (_, "/healthz" | "/metrics" | "/v1/query" | "/v1/evidence" | "/v1/rows") => {
             Response::error(405, "method not allowed")
         }
         (_, p) if p.starts_with("/v1/marginal/") => Response::error(405, "method not allowed"),
@@ -582,11 +584,8 @@ fn query(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response 
     let Some(queries) = parsed.get("queries").and_then(Json::as_array) else {
         return Response::error(400, "body must be {\"queries\": [{\"relation\",\"id\"}, ...]}");
     };
-    let mut results = Vec::with_capacity(queries.len());
+    let mut pairs: Vec<(String, i64)> = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
-        if let Some(outcome) = ctx.interrupted() {
-            return Response::error(503, &format!("request aborted: {outcome}"));
-        }
         let (Some(relation), Some(id)) =
             (q.get("relation").and_then(Json::as_str), q.get("id").and_then(Json::as_i64))
         else {
@@ -595,18 +594,107 @@ fn query(state: &Arc<ServeState>, ctx: &ExecContext, req: &Request) -> Response 
                 &format!("query {i}: want {{\"relation\": string, \"id\": integer}}"),
             );
         };
-        match state.marginal(relation, id, ctx) {
-            Ok(Some(m)) => results.push(marginal_json(&m)),
-            Ok(None) => {
-                return Response::error(404, &format!("query {i}: no ground atom {relation}({id})"))
+        pairs.push((relation.to_owned(), id));
+    }
+    // One marginals() call: lazy mode grounds the batch's misses as a
+    // single union neighborhood instead of once per query.
+    let answers = match state.marginals(&pairs, ctx) {
+        Ok(a) => a,
+        Err(e) => return read_failure_response(&e),
+    };
+    let mut results = Vec::with_capacity(answers.len());
+    for (i, answer) in answers.iter().enumerate() {
+        match answer {
+            Some(m) => results.push(marginal_json(m)),
+            None => {
+                let (relation, id) = &pairs[i];
+                return Response::error(
+                    404,
+                    &format!("query {i}: no ground atom {relation}({id})"),
+                );
             }
-            Err(e) => return read_failure_response(&e),
         }
     }
     Response::json(
         200,
         format!("{{\"epoch\":{},\"results\":[{}]}}", state.epoch(), results.join(",")),
     )
+}
+
+/// `POST /v1/rows` — typed base-row updates, absorbed differentially.
+/// Body: `{"updates": [{"op": "insert"|"retract", "relation": "Well",
+/// "row": [960, {"x": 20.0, "y": 35.0}, 0.12]}, ...]}`. Cells decode
+/// against the relation's declared column types; points also accept
+/// `[x, y]`.
+fn rows(state: &Arc<ServeState>, req: &Request) -> Response {
+    let parsed: Json = match serde_json::from_slice(&req.body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+    };
+    let Some(updates) = parsed.get("updates").and_then(Json::as_array) else {
+        return Response::error(
+            400,
+            "body must be {\"updates\": [{\"op\",\"relation\",\"row\"}, ...]}",
+        );
+    };
+    let mut raw = Vec::with_capacity(updates.len());
+    for (i, u) in updates.iter().enumerate() {
+        let op = match u.get("op").and_then(Json::as_str) {
+            Some("insert") => sya_delta::RowOp::Insert,
+            Some("retract") => sya_delta::RowOp::Retract,
+            other => {
+                return Response::error(
+                    400,
+                    &format!(
+                        "update {i}: bad op {other:?}: want \"insert\" or \"retract\""
+                    ),
+                )
+            }
+        };
+        let (Some(relation), Some(row)) =
+            (u.get("relation").and_then(Json::as_str), u.get("row").and_then(Json::as_array))
+        else {
+            return Response::error(
+                400,
+                &format!("update {i}: want {{\"op\", \"relation\": string, \"row\": array}}"),
+            );
+        };
+        raw.push(crate::rows::RawRowUpdate {
+            op,
+            relation: relation.to_owned(),
+            row: row.clone(),
+        });
+    }
+    match state.apply_rows(&raw) {
+        Ok(o) => Response::json(
+            200,
+            format!(
+                "{{\"epoch\":{},\"rows_inserted\":{},\"rows_retracted\":{},\
+                 \"vars_added\":{},\"vars_removed\":{},\
+                 \"factors_added\":{},\"factors_tombstoned\":{},\
+                 \"spatial_factors_added\":{},\"spatial_factors_tombstoned\":{},\
+                 \"resampled\":{},\"cache_invalidated\":{},\
+                 \"apply_seconds\":{:.6},\"infer_seconds\":{:.6}}}",
+                o.epoch,
+                o.rows_inserted,
+                o.rows_retracted,
+                o.vars_added,
+                o.vars_removed,
+                o.factors_added,
+                o.factors_tombstoned,
+                o.spatial_factors_added,
+                o.spatial_factors_tombstoned,
+                o.resampled,
+                o.cache_invalidated,
+                o.apply_time.as_secs_f64(),
+                o.infer_time.as_secs_f64(),
+            ),
+        ),
+        Err(ServeError::BadRows(msg)) => Response::error(400, &msg),
+        Err(e @ ServeError::RowsUnsupported { .. }) => Response::error(501, &e.to_string()),
+        Err(e @ ServeError::RowsFailed(_)) => Response::error(500, &e.to_string()),
+        Err(e) => Response::error(503, &e.to_string()),
+    }
 }
 
 /// `POST /v1/evidence` — append evidence rows. Body:

@@ -6,6 +6,7 @@
 //! clients' point of view, since no reader can observe the KB between
 //! the merge and the epoch increment.
 
+use crate::rows::{RawRowUpdate, RowsOutcome};
 use crate::ServeError;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -15,7 +16,7 @@ use std::time::{Duration, Instant};
 use sya_core::{KnowledgeBase, SyaSession};
 use sya_infer::{ChainState, CheckpointState};
 use sya_obs::Obs;
-use sya_store::Value;
+use sya_store::{Database, Value};
 
 /// One evidence change submitted over the wire. `value: None` retracts
 /// the observation (the atom becomes a query variable again).
@@ -50,19 +51,49 @@ pub struct MarginalAnswer {
     pub shard: Option<u32>,
 }
 
+/// The mutable ingestion inputs a live (`/v1/rows`-capable) server
+/// retains: the loaded base tables and the CLI-loaded evidence map the
+/// KB was constructed from. One mutex for both — a row batch mutates
+/// the tables and re-grounds against the evidence together.
+struct LiveInputs {
+    db: Database,
+    evidence: HashMap<(String, i64), u32>,
+}
+
 /// The serving state shared by all worker threads.
 pub struct ServingKb {
     session: SyaSession,
     kb: RwLock<KnowledgeBase>,
     epoch: AtomicU64,
-    /// `(relation, id column) -> variable`, built once at startup; the
-    /// id keys every endpoint the same way `scores_by_id` does.
-    atoms: HashMap<(String, i64), u32>,
+    /// `(relation, id column) -> variable`, rebuilt after row batches;
+    /// the id keys every endpoint the same way `scores_by_id` does.
+    /// Readers must drop this lock before taking `kb` (row applies
+    /// lock `kb` first, then this).
+    atoms: RwLock<HashMap<(String, i64), u32>>,
+    /// `Some` when built via [`Self::with_live`]: the inputs `/v1/rows`
+    /// batches mutate. `None` replicas (sharded mode, embedders without
+    /// the tables) answer 501 for row updates.
+    live: Option<Mutex<LiveInputs>>,
     obs: Obs,
     started: Instant,
     ckpt: Option<sya_ckpt::CheckpointStore>,
     last_checkpoint: Mutex<Option<Instant>>,
     last_saved_epoch: AtomicU64,
+}
+
+/// Builds the `(relation, id) -> variable` routing map, skipping atoms
+/// retired by differential maintenance.
+fn atom_index(kb: &KnowledgeBase) -> HashMap<(String, i64), u32> {
+    let mut atoms = HashMap::new();
+    for (v, (relation, values)) in kb.grounding.atom_meta.iter().enumerate() {
+        if kb.grounding.graph.is_var_dead(v as u32) {
+            continue;
+        }
+        if let Some(id) = values.first().and_then(Value::as_int) {
+            atoms.insert((relation.clone(), id), v as u32);
+        }
+    }
+    atoms
 }
 
 impl ServingKb {
@@ -74,12 +105,7 @@ impl ServingKb {
         if kb.pyramid.is_none() {
             return Err(ServeError::NotSpatial);
         }
-        let mut atoms = HashMap::new();
-        for (v, (relation, values)) in kb.grounding.atom_meta.iter().enumerate() {
-            if let Some(id) = values.first().and_then(Value::as_int) {
-                atoms.insert((relation.clone(), id), v as u32);
-            }
-        }
+        let atoms = atom_index(&kb);
         let ckpt = match &kb.config.checkpoint.dir {
             Some(dir) => Some(
                 sya_ckpt::CheckpointStore::create(dir.clone(), kb.grounding.graph.fingerprint())
@@ -91,13 +117,30 @@ impl ServingKb {
             session,
             kb: RwLock::new(kb),
             epoch: AtomicU64::new(0),
-            atoms,
+            atoms: RwLock::new(atoms),
+            live: None,
             obs,
             started: Instant::now(),
             ckpt,
             last_checkpoint: Mutex::new(None),
             last_saved_epoch: AtomicU64::new(u64::MAX),
         })
+    }
+
+    /// Like [`Self::new`], but retains the base tables and evidence map
+    /// the KB was constructed from, enabling `POST /v1/rows`: inserted
+    /// and retracted rows are absorbed differentially (`sya-delta`)
+    /// instead of requiring a restart-and-reground.
+    pub fn with_live(
+        session: SyaSession,
+        kb: KnowledgeBase,
+        db: Database,
+        evidence: HashMap<(String, i64), u32>,
+        obs: Obs,
+    ) -> Result<Self, ServeError> {
+        let mut state = Self::new(session, kb, obs)?;
+        state.live = Some(Mutex::new(LiveInputs { db, evidence }));
+        Ok(state)
     }
 
     pub fn obs(&self) -> &Obs {
@@ -113,10 +156,19 @@ impl ServingKb {
         self.epoch.load(Ordering::SeqCst)
     }
 
-    /// Point marginal lookup; `None` when the atom was never grounded.
+    /// Point marginal lookup; `None` when the atom was never grounded
+    /// (or was retired by a row retraction).
     pub fn marginal(&self, relation: &str, id: i64) -> Option<MarginalAnswer> {
-        let &v = self.atoms.get(&(relation.to_owned(), id))?;
+        // Scoped so the atom lock is released before `kb` is taken:
+        // row applies acquire the two in the opposite order.
+        let v = {
+            let atoms = self.atoms.read().unwrap_or_else(|e| e.into_inner());
+            *atoms.get(&(relation.to_owned(), id))?
+        };
         let kb = self.kb.read().unwrap_or_else(|e| e.into_inner());
+        if kb.grounding.graph.is_var_dead(v) {
+            return None;
+        }
         let score = kb.score_of(v);
         let evidence = kb.grounding.graph.variable(v).evidence;
         Some(MarginalAnswer {
@@ -143,6 +195,7 @@ impl ServingKb {
         }
         let compiled = self.session.compiled();
         let domains = &self.session.config().ground.domains;
+        let atoms = self.atoms.read().unwrap_or_else(|e| e.into_inner());
         let mut seen = HashSet::new();
         let mut changes = Vec::with_capacity(rows.len());
         for (i, row) in rows.iter().enumerate() {
@@ -171,12 +224,9 @@ impl ServingKb {
                     row.relation, row.id
                 )));
             }
-            let &v = self
-                .atoms
-                .get(&(row.relation.clone(), row.id))
-                .ok_or_else(|| {
-                    at(format!("no ground atom {}({})", row.relation, row.id))
-                })?;
+            let &v = atoms.get(&(row.relation.clone(), row.id)).ok_or_else(|| {
+                at(format!("no ground atom {}({})", row.relation, row.id))
+            })?;
             changes.push((v, row.value));
         }
         Ok(changes)
@@ -198,6 +248,46 @@ impl ServingKb {
         // overload smoke's expectations) read from this histogram.
         self.obs.histogram_record("serve.evidence_apply_seconds", elapsed.as_secs_f64());
         Ok(EvidenceOutcome { epoch, resampled, elapsed })
+    }
+
+    /// Applies a `/v1/rows` batch differentially: decode against the
+    /// schemas, run `sya_delta::apply_updates` under the write lock
+    /// (retract → tombstone, insert → delta-ground, conclique-restricted
+    /// warm re-inference of the touched variables), rebuild the atom
+    /// routing map, bump the epoch. All-or-nothing: a bad batch leaves
+    /// tables and graph untouched.
+    pub fn apply_rows(&self, raw: &[RawRowUpdate]) -> Result<RowsOutcome, ServeError> {
+        let Some(live) = &self.live else {
+            return Err(ServeError::RowsUnsupported { mode: "full (no live inputs retained)" });
+        };
+        let updates = crate::rows::decode_updates(self.session.compiled(), raw)
+            .map_err(ServeError::BadRows)?;
+        let mut inputs = live.lock().unwrap_or_else(|e| e.into_inner());
+        let LiveInputs { db, evidence } = &mut *inputs;
+        let ev: &HashMap<(String, i64), u32> = evidence;
+        let ev_fn = |rel: &str, values: &[Value]| -> Option<u32> {
+            values
+                .first()
+                .and_then(Value::as_int)
+                .and_then(|id| ev.get(&(rel.to_owned(), id)).copied())
+        };
+        let (stats, rebuilt) = {
+            let mut kb = self.kb.write().unwrap_or_else(|e| e.into_inner());
+            let stats = sya_delta::apply_updates(&self.session, &mut kb, db, &ev_fn, &updates)
+                .map_err(|e| match e {
+                    sya_delta::DeltaError::BadUpdate(msg) => ServeError::BadRows(msg),
+                    sya_delta::DeltaError::NotSpatial => ServeError::NotSpatial,
+                    sya_delta::DeltaError::Ground(g) => ServeError::RowsFailed(g.to_string()),
+                })?;
+            (stats, atom_index(&kb))
+        };
+        *self.atoms.write().unwrap_or_else(|e| e.into_inner()) = rebuilt;
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        drop(inputs);
+        self.obs.gauge_set("serve.kb_epoch", epoch as f64);
+        self.obs.counter_add("serve.rows_total", raw.len() as u64);
+        self.obs.histogram_record("serve.rows_apply_seconds", stats.apply_time.as_secs_f64());
+        Ok(RowsOutcome::from_delta(epoch, &stats))
     }
 
     /// Runs queries and evidence against the KB via a caller-provided

@@ -80,20 +80,7 @@ impl Table {
 
     /// Inserts a row after checking arity and per-column type fit.
     pub fn insert(&mut self, row: Row) -> Result<(), StoreError> {
-        if row.len() != self.schema.arity() {
-            return Err(StoreError::TypeMismatch {
-                expected: format!("{} columns", self.schema.arity()),
-                got: format!("{} values", row.len()),
-            });
-        }
-        for (v, c) in row.iter().zip(self.schema.columns()) {
-            if !v.fits(c.ty) {
-                return Err(StoreError::TypeMismatch {
-                    expected: format!("{} for column {:?}", c.ty.ddlog_name(), c.name),
-                    got: format!("{v}"),
-                });
-            }
-        }
+        self.check_row(&row)?;
         self.spatial_index = None;
         self.rows.push(row);
         Ok(())
@@ -164,6 +151,58 @@ impl Table {
     pub fn point_of(&self, row: usize) -> Option<Point> {
         let col = self.schema.first_spatial_column()?;
         self.rows[row][col].as_geom().map(|g| g.representative_point())
+    }
+
+    /// Checks a row against the schema (arity + per-column type fit)
+    /// without inserting it — the same validation `insert` applies.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), StoreError> {
+        if row.len() != self.schema.arity() {
+            return Err(StoreError::TypeMismatch {
+                expected: format!("{} columns", self.schema.arity()),
+                got: format!("{} values", row.len()),
+            });
+        }
+        for (v, c) in row.iter().zip(self.schema.columns()) {
+            if !v.fits(c.ty) {
+                return Err(StoreError::TypeMismatch {
+                    expected: format!("{} for column {:?}", c.ty.ddlog_name(), c.name),
+                    got: format!("{v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Row ids whose values equal `row` exactly (full-row equality).
+    pub fn find_rows(&self, row: &[Value]) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.as_slice() == row)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Deletes the given row ids, preserving the order of survivors
+    /// and invalidating the spatial index. Out-of-range ids are
+    /// ignored. Returns the number of rows removed.
+    pub fn remove_rows(&mut self, remove: &[usize]) -> usize {
+        if remove.is_empty() {
+            return 0;
+        }
+        let dead: std::collections::HashSet<usize> = remove.iter().copied().collect();
+        let before = self.rows.len();
+        let mut i = 0usize;
+        self.rows.retain(|_| {
+            let keep = !dead.contains(&i);
+            i += 1;
+            keep
+        });
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.spatial_index = None;
+        }
+        removed
     }
 }
 
@@ -251,6 +290,41 @@ mod tests {
     fn point_of_uses_first_spatial_column() {
         let t = well_table();
         assert_eq!(t.point_of(2), Some(Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn remove_rows_deletes_and_invalidates_index() {
+        let mut t = well_table();
+        let _ = t.spatial_index("location").unwrap();
+        let hits = t.find_rows(&[
+            Value::Int(5),
+            Value::from(Point::new(5.0, 0.0)),
+            Value::Double(0.5),
+        ]);
+        assert_eq!(hits, vec![5]);
+        assert_eq!(t.remove_rows(&hits), 1);
+        assert_eq!(t.len(), 9);
+        // Survivor order preserved; index rebuilt without the row.
+        assert_eq!(t.value(5, "id").unwrap(), &Value::Int(6));
+        let ids = t
+            .rows_within_distance("location", &Point::new(5.0, 0.0), 0.5)
+            .unwrap();
+        assert!(ids.is_empty(), "deleted row must not be found: {ids:?}");
+        // Out-of-range and repeated removals are harmless.
+        assert_eq!(t.remove_rows(&[99]), 0);
+        assert_eq!(t.remove_rows(&[]), 0);
+    }
+
+    #[test]
+    fn check_row_matches_insert_validation() {
+        let t = well_table();
+        assert!(t.check_row(&[Value::Int(1)]).is_err());
+        assert!(t
+            .check_row(&[Value::Int(1), Value::from("oops"), Value::Double(0.0)])
+            .is_err());
+        assert!(t
+            .check_row(&[Value::Int(1), Value::from(Point::ORIGIN), Value::Int(2)])
+            .is_ok());
     }
 
     #[test]

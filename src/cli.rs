@@ -1107,7 +1107,7 @@ fn cmd_serve(
         .map_err(|e| e.to_string())?
         .into()
     } else {
-        let ev_fn = evidence_closure(evidence);
+        let ev_fn = evidence_closure(evidence.clone());
         let kb = session.construct(&mut db, &ev_fn).map_err(|e| e.to_string())?;
         for w in &kb.warnings {
             diag.warn(w)?;
@@ -1123,7 +1123,12 @@ fn cmd_serve(
             ))?;
             sya_serve::ShardRouter::new(session, kb, obs).map_err(|e| e.to_string())?.into()
         } else {
-            sya_serve::ServingKb::new(session, kb, obs).map_err(|e| e.to_string())?.into()
+            // Keep the input tables and evidence map alive behind the
+            // serving state: POST /v1/rows replays base-row deltas
+            // against them through sya-delta instead of re-grounding.
+            sya_serve::ServingKb::with_live(session, kb, db, evidence, obs)
+                .map_err(|e| e.to_string())?
+                .into()
         }
     };
     let cfg = sya_serve::ServeConfig {
